@@ -1,0 +1,172 @@
+//! Centroid-target (Lloyd) ablation.
+//!
+//! The movement-assisted deployments the paper builds on (refs \[9\], \[10\])
+//! move nodes toward the *centroids* of their Voronoi regions — Lloyd's
+//! algorithm — which optimizes a quantization objective, not the minimax
+//! sensing range. This module runs the same synchronous loop as LAACAD
+//! but with centroid targets over the order-k dominating regions, to
+//! quantify how much the Chebyshev-center rule matters (an ablation the
+//! paper argues qualitatively in Sec. IV-B).
+
+use laacad_geom::{Point, Vector};
+use laacad_region::Region;
+use laacad_voronoi::dominating::dominating_region_in_region;
+use laacad_wsn::mobility::step_toward;
+use laacad_wsn::{Network, NodeId};
+
+/// Result of a Lloyd run.
+#[derive(Debug, Clone)]
+pub struct LloydOutcome {
+    /// Final maximum sensing range (the k-CSDP objective, for comparison
+    /// with LAACAD's `R*`).
+    pub max_sensing_radius: f64,
+    /// Final minimum sensing range.
+    pub min_sensing_radius: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether motion fell below `epsilon` before the round limit.
+    pub converged: bool,
+}
+
+/// Area-weighted centroid of a dominating region (union of convex
+/// pieces).
+fn region_centroid(pieces: &laacad_voronoi::DominatingRegion) -> Option<Point> {
+    let mut weighted = Vector::ZERO;
+    let mut total = 0.0;
+    for piece in pieces.pieces() {
+        let a = piece.area();
+        weighted += piece.centroid().to_vector() * a;
+        total += a;
+    }
+    (total > 0.0).then(|| (weighted / total).to_point())
+}
+
+/// Runs the centroid-motion loop with global knowledge (the ablation
+/// isolates the *motion rule*, so it skips the localized discovery).
+///
+/// # Panics
+///
+/// Panics for invalid `alpha` (via the motion executor) or `k = 0`.
+pub fn lloyd_run(
+    net: &mut Network,
+    region: &Region,
+    k: usize,
+    alpha: f64,
+    epsilon: f64,
+    max_rounds: usize,
+) -> LloydOutcome {
+    assert!(k >= 1, "k must be at least 1");
+    let n = net.len();
+    let mut rounds = 0;
+    let mut converged = false;
+    while rounds < max_rounds {
+        rounds += 1;
+        let positions: Vec<Point> = net.positions().to_vec();
+        let mut targets: Vec<Option<Point>> = vec![None; n];
+        for i in 0..n {
+            let mut sites = vec![positions[i]];
+            sites.extend(
+                positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &p)| p),
+            );
+            let dr = dominating_region_in_region(0, &sites, k, region);
+            if let Some(c) = region_centroid(&dr) {
+                if positions[i].distance(c) > epsilon {
+                    targets[i] = Some(c);
+                }
+                net.set_sensing_radius(NodeId(i), dr.farthest_distance(positions[i]));
+            }
+        }
+        let moved = targets.iter().flatten().count();
+        for i in 0..n {
+            if let Some(c) = targets[i] {
+                step_toward(net, NodeId(i), c, alpha, Some(region));
+            }
+        }
+        if moved == 0 {
+            converged = true;
+            break;
+        }
+    }
+    // Final radii from fresh regions.
+    let positions: Vec<Point> = net.positions().to_vec();
+    for i in 0..n {
+        let mut sites = vec![positions[i]];
+        sites.extend(
+            positions
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &p)| p),
+        );
+        let dr = dominating_region_in_region(0, &sites, k, region);
+        net.set_sensing_radius(NodeId(i), dr.farthest_distance(positions[i]));
+    }
+    LloydOutcome {
+        max_sensing_radius: net.max_sensing_radius(),
+        min_sensing_radius: net.min_sensing_radius(),
+        rounds,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_region::sampling::sample_uniform;
+
+    #[test]
+    fn lloyd_spreads_nodes_and_covers() {
+        use laacad_coverage::evaluate_coverage;
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 12, 17);
+        let mut net = Network::from_positions(0.5, initial);
+        let out = lloyd_run(&mut net, &region, 1, 0.6, 1e-3, 60);
+        assert!(out.max_sensing_radius > 0.0);
+        let report = evaluate_coverage(&net, &region, 1, 2000);
+        assert!(report.covered_fraction > 0.999, "{report}");
+    }
+
+    #[test]
+    fn single_node_moves_to_centroid() {
+        let region = Region::square(1.0).unwrap();
+        let mut net = Network::from_positions(0.5, [Point::new(0.1, 0.1)]);
+        let out = lloyd_run(&mut net, &region, 1, 1.0, 1e-6, 50);
+        assert!(out.converged);
+        // Centroid of the square = its center (which for a square is also
+        // the Chebyshev center — the rules differ on asymmetric regions).
+        assert!(net.position(NodeId(0)).approx_eq(Point::new(0.5, 0.5), 1e-4));
+    }
+
+    #[test]
+    fn centroid_differs_from_chebyshev_on_asymmetric_regions() {
+        // A thin right triangle: centroid ≠ Chebyshev center, so Lloyd's
+        // fixed point differs from LAACAD's and yields a *larger* minimax
+        // radius for the single-node case.
+        let tri = laacad_geom::Polygon::new([
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap();
+        let region = Region::new(tri);
+        let mut net = Network::from_positions(1.0, [Point::new(0.5, 0.3)]);
+        let out = lloyd_run(&mut net, &region, 1, 1.0, 1e-7, 200);
+        // Chebyshev optimum: the min enclosing circle of the triangle.
+        let vertices = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let opt = laacad_geom::min_enclosing_circle(&vertices);
+        assert!(
+            out.max_sensing_radius > opt.radius + 1e-3,
+            "lloyd {} vs chebyshev-optimal {}",
+            out.max_sensing_radius,
+            opt.radius
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Uniform random deployments and their coverage behaviour.
+//!
+//! Random deployments (paper refs \[2\], \[14\]) achieve k-coverage only with
+//! substantially more nodes than deterministic ones — the comparison that
+//! motivates autonomous deployment in the first place (Sec. I).
+
+use laacad_geom::Point;
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+
+/// A uniform random deployment of `n` nodes.
+pub fn random_deployment(region: &Region, n: usize, seed: u64) -> Vec<Point> {
+    sample_uniform(region, n, seed)
+}
+
+/// Probability that a fixed interior point is covered by at least `k` of
+/// `n` uniformly placed sensors of range `r` in an area of size `area`
+/// (binomial tail with per-node hit probability `p = π r² / area`,
+/// ignoring boundary effects).
+///
+/// # Panics
+///
+/// Panics for non-positive `area`/`r`.
+pub fn k_coverage_probability(area: f64, r: f64, n: usize, k: usize) -> f64 {
+    assert!(area > 0.0 && r > 0.0, "area and range must be positive");
+    let p = (std::f64::consts::PI * r * r / area).min(1.0);
+    // P[X ≥ k], X ~ Binomial(n, p), computed stably via the recurrence
+    // on the probability mass.
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    let q = 1.0 - p;
+    // pmf(0) = q^n; pmf(i+1) = pmf(i) · (n−i)/(i+1) · p/q.
+    let mut pmf = q.powi(n as i32);
+    let mut cdf_below_k = 0.0;
+    for i in 0..k {
+        cdf_below_k += pmf;
+        if q > 0.0 {
+            pmf *= (n - i) as f64 / (i + 1) as f64 * (p / q);
+        } else {
+            pmf = 0.0;
+        }
+    }
+    (1.0 - cdf_below_k).clamp(0.0, 1.0)
+}
+
+/// Nodes needed by a random deployment for a target per-point k-coverage
+/// probability (smallest `n` with
+/// [`k_coverage_probability`]`(…, n, k) ≥ target`).
+pub fn random_nodes_for_target(area: f64, r: f64, k: usize, target: f64) -> usize {
+    assert!((0.0..1.0).contains(&target), "target must be in [0, 1)");
+    let mut n = k.max(1);
+    while k_coverage_probability(area, r, n, k) < target {
+        n = (n as f64 * 1.3).ceil() as usize;
+        assert!(n < 100_000_000, "target unreachable");
+    }
+    // Walk back down to the threshold.
+    while n > k && k_coverage_probability(area, r, n - 1, k) >= target {
+        n -= 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_edges() {
+        assert_eq!(k_coverage_probability(1.0, 0.1, 10, 0), 1.0);
+        assert_eq!(k_coverage_probability(1.0, 0.1, 3, 5), 0.0);
+        // Huge disks: certain coverage.
+        assert!((k_coverage_probability(1.0, 10.0, 3, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_monotone_in_n() {
+        let mut prev = 0.0;
+        for n in [10, 20, 40, 80, 160] {
+            let p = k_coverage_probability(1.0, 0.1, n, 2);
+            assert!(p >= prev - 1e-12, "p({n}) = {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        // p = π·0.15² ≈ 0.0707; n = 60, k = 2.
+        let analytic = k_coverage_probability(1.0, 0.15, 60, 2);
+        // Monte-Carlo estimate over random deployments.
+        let region = Region::square(1.0).unwrap();
+        let probe = Point::new(0.5, 0.5);
+        let mut hits = 0;
+        let trials = 2000;
+        for t in 0..trials {
+            let pts = random_deployment(&region, 60, 1000 + t as u64);
+            let c = pts.iter().filter(|p| p.distance(probe) <= 0.15).count();
+            if c >= 2 {
+                hits += 1;
+            }
+        }
+        let mc = hits as f64 / trials as f64;
+        assert!((analytic - mc).abs() < 0.05, "analytic {analytic} vs MC {mc}");
+    }
+
+    #[test]
+    fn random_needs_many_more_nodes_than_deterministic() {
+        // For 2-coverage at 99% per-point probability, random deployment
+        // needs far more nodes than Bai's optimal bound.
+        let area = 1.0e4;
+        let r = 3.0;
+        let random_n = random_nodes_for_target(area, r, 2, 0.99) as f64;
+        let optimal_n = crate::bai::bai_min_nodes(area, r);
+        assert!(
+            random_n > 1.5 * optimal_n,
+            "random {random_n} vs optimal {optimal_n}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Component microbenchmarks: the geometric primitives LAACAD leans on
+//! every node, every round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laacad::ring::expanding_ring_search;
+use laacad_bench::point_cloud;
+use laacad_geom::{min_enclosing_circle, Arc, ArcCover, Point, Polygon};
+use laacad_region::Region;
+use laacad_voronoi::dominating::dominating_region;
+use laacad_wsn::mds::classical_mds;
+use laacad_wsn::{Network, NodeId};
+use std::hint::black_box;
+
+fn bench_welzl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("welzl_min_enclosing_circle");
+    for n in [8usize, 64, 512] {
+        let pts = point_cloud(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| min_enclosing_circle(black_box(pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dominating_region(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominating_region");
+    let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+    for (n, k) in [(20usize, 1usize), (20, 2), (20, 4), (60, 2), (60, 4)] {
+        let sites = point_cloud(n, 7);
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), k),
+            &(sites, k),
+            |b, (sites, k)| b.iter(|| dominating_region(0, black_box(sites), *k, &domain)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ring_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expanding_ring_search");
+    let region = Region::square(1.0).unwrap();
+    for k in [1usize, 2, 4] {
+        let pts = point_cloud(100, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut net = Network::from_positions(0.2, pts.iter().copied());
+            b.iter(|| expanding_ring_search(&mut net, NodeId(50), &region, black_box(k), 3.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical_mds");
+    for n in [10usize, 30, 60] {
+        let pts = point_cloud(n, 13);
+        let d: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|a| pts.iter().map(|b| a.distance(*b)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| classical_mds(black_box(d)).expect("valid matrix"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_arc_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arc_cover_min_depth");
+    for n in [8usize, 64, 256] {
+        let arcs: Vec<Arc> = (0..n)
+            .map(|i| Arc::new(i as f64 * 0.37, 0.5 + (i % 7) as f64 * 0.3))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &arcs, |b, arcs| {
+            b.iter(|| {
+                let mut cover = ArcCover::new();
+                for a in arcs {
+                    cover.add(*a);
+                }
+                black_box(cover.min_depth())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_region_decomposition(c: &mut Criterion) {
+    c.bench_function("region_decompose_lakes", |b| {
+        b.iter(|| black_box(laacad_region::gallery::square_with_lakes()))
+    });
+}
+
+criterion_group!(
+    components,
+    bench_welzl,
+    bench_dominating_region,
+    bench_ring_search,
+    bench_mds,
+    bench_arc_cover,
+    bench_region_decomposition
+);
+criterion_main!(components);

@@ -1,0 +1,115 @@
+//! One bench per paper figure, at Criterion-friendly scale.
+//!
+//! Each bench exercises the exact code path that regenerates the figure
+//! (see `laacad-experiments` for the full-scale runs): Fig. 1 builds
+//! order-k diagrams, Fig. 2 measures ring searches on a lattice, Figs.
+//! 5/6 run the corner-start simulation, Fig. 7 converges uniform
+//! deployments across N, Fig. 8 steps through an obstacle region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laacad::expanding_ring_search;
+use laacad_baselines::lattice::{central_node, triangular_lattice};
+use laacad_bench::{corner_scenario, point_cloud, uniform_scenario};
+use laacad_geom::Point;
+use laacad_region::{gallery, Region};
+use laacad_voronoi::korder::order_k_diagram;
+use laacad_wsn::{Network, NodeId};
+use std::hint::black_box;
+
+fn fig1_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_order_k_diagram");
+    group.sample_size(20);
+    let sites = point_cloud(30, 2012);
+    let domain =
+        laacad_geom::Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| order_k_diagram(black_box(&sites), k, &domain, 64))
+        });
+    }
+    group.finish();
+}
+
+fn fig2_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_lattice_ring");
+    let region = Region::square(2.0).unwrap();
+    let sites = triangular_lattice(&region, 0.2);
+    let center = central_node(&sites, &region).unwrap();
+    for k in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut net = Network::from_positions(0.3, sites.iter().copied());
+            b.iter(|| expanding_ring_search(&mut net, NodeId(center), &region, black_box(k), 4.0))
+        });
+    }
+    group.finish();
+}
+
+fn fig5_deployment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_corner_run");
+    group.sample_size(10);
+    for k in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sim = corner_scenario(30, k, 40, 42);
+                black_box(sim.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig6_convergence_step(c: &mut Criterion) {
+    // The per-round cost that Fig. 6's x-axis counts.
+    let mut group = c.benchmark_group("fig6_single_round");
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut sim = corner_scenario(40, k, 10_000, 42);
+            b.iter(|| black_box(sim.step()))
+        });
+    }
+    group.finish();
+}
+
+fn fig7_energy_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_uniform_run");
+    group.sample_size(10);
+    for n in [20usize, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = uniform_scenario(n, 2, 30, 7);
+                black_box(sim.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig8_obstacle_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_obstacle_round");
+    group.sample_size(20);
+    group.bench_function("lakes_k2_step", |b| {
+        let region = gallery::square_with_lakes();
+        let config = laacad::LaacadConfig::builder(2)
+            .transmission_range(0.3)
+            .alpha(0.6)
+            .epsilon(1e-3)
+            .max_rounds(100_000)
+            .build()
+            .unwrap();
+        let initial = laacad_region::sampling::sample_uniform(&region, 30, 5);
+        let mut sim = laacad::Laacad::new(config, region, initial).unwrap();
+        b.iter(|| black_box(sim.step()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_partition,
+    fig2_ring,
+    fig5_deployment,
+    fig6_convergence_step,
+    fig7_energy_run,
+    fig8_obstacle_step
+);
+criterion_main!(figures);

@@ -1,0 +1,82 @@
+//! One bench per paper table (scaled down) plus the min-node search and
+//! the Lloyd ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laacad::{min_node_deployment, LaacadConfig};
+use laacad_baselines::bai::bai_min_nodes;
+use laacad_baselines::lloyd::lloyd_run;
+use laacad_bench::{point_cloud, uniform_scenario};
+use laacad_region::Region;
+use laacad_wsn::Network;
+use std::hint::black_box;
+
+fn table1_minnode_scaled(c: &mut Criterion) {
+    // Table I at 1/10 scale: k = 2 runs across N, plus the Bai bound.
+    let mut group = c.benchmark_group("table1_2coverage_run");
+    group.sample_size(10);
+    for n in [60usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = uniform_scenario(n, 2, 30, 1000 + n as u64);
+                let summary = sim.run();
+                black_box(bai_min_nodes(1.0, summary.max_sensing_radius))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table2_ammari_scaled(c: &mut Criterion) {
+    // Table II at reduced scale: k = 3..5 over a fixed 60-node network.
+    let mut group = c.benchmark_group("table2_kcoverage_run");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sim = uniform_scenario(60, k, 30, 2000 + k as u64);
+                black_box(sim.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn minnode_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minnode_search");
+    group.sample_size(10);
+    group.bench_function("k1_rs0.35", |b| {
+        let region = Region::square(1.0).unwrap();
+        let config = LaacadConfig::builder(1)
+            .transmission_range(0.6)
+            .alpha(0.7)
+            .epsilon(5e-3)
+            .max_rounds(25)
+            .build()
+            .unwrap();
+        b.iter(|| black_box(min_node_deployment(&region, &config, 0.35, 9).unwrap()))
+    });
+    group.finish();
+}
+
+fn ablation_lloyd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lloyd_run");
+    group.sample_size(10);
+    group.bench_function("k2_n24", |b| {
+        let region = Region::square(1.0).unwrap();
+        let pts = point_cloud(24, 3);
+        b.iter(|| {
+            let mut net = Network::from_positions(0.5, pts.iter().copied());
+            black_box(lloyd_run(&mut net, &region, 2, 0.6, 2e-3, 30))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    tables,
+    table1_minnode_scaled,
+    table2_ammari_scaled,
+    minnode_search,
+    ablation_lloyd
+);
+criterion_main!(tables);

@@ -1,0 +1,63 @@
+//! # laacad-bench — benchmark fixtures
+//!
+//! Shared workload builders for the Criterion benches. The benches mirror
+//! the paper's tables and figures at reduced scale (Criterion needs
+//! sub-second iterations); the full-scale numbers come from
+//! `laacad-experiments` binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use laacad::{Laacad, LaacadConfig};
+use laacad_geom::Point;
+use laacad_region::sampling::{sample_clustered, sample_uniform};
+use laacad_region::Region;
+
+/// A deterministic uniform scenario: `n` nodes in the unit square.
+pub fn uniform_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Laacad {
+    let region = Region::square(1.0).expect("unit square");
+    let gamma = LaacadConfig::recommended_gamma(1.0, n, k);
+    let config = LaacadConfig::builder(k)
+        .transmission_range(gamma)
+        .alpha(0.6)
+        .epsilon(2e-3)
+        .max_rounds(max_rounds)
+        .build()
+        .expect("valid bench config");
+    let initial = sample_uniform(&region, n, seed);
+    Laacad::new(config, region, initial).expect("valid bench scenario")
+}
+
+/// The Fig. 5 corner-start scenario at reduced scale.
+pub fn corner_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Laacad {
+    let region = Region::square(1.0).expect("unit square");
+    let config = LaacadConfig::builder(k)
+        .transmission_range(0.3)
+        .alpha(0.6)
+        .epsilon(2e-3)
+        .max_rounds(max_rounds)
+        .build()
+        .expect("valid bench config");
+    let initial = sample_clustered(&region, n, Point::new(0.15, 0.15), 0.12, seed);
+    Laacad::new(config, region, initial).expect("valid bench scenario")
+}
+
+/// Deterministic pseudo-random points for component benches.
+pub fn point_cloud(n: usize, seed: u64) -> Vec<Point> {
+    let region = Region::square(1.0).expect("unit square");
+    sample_uniform(&region, n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_construct() {
+        let sim = uniform_scenario(10, 2, 5, 1);
+        assert_eq!(sim.network().len(), 10);
+        let sim2 = corner_scenario(8, 1, 5, 2);
+        assert_eq!(sim2.network().len(), 8);
+        assert_eq!(point_cloud(20, 3).len(), 20);
+    }
+}

@@ -1,0 +1,168 @@
+//! Min-node k-coverage adaptation (paper Sec. IV-C).
+//!
+//! The min-node problem fixes a common sensing range `r_s` and asks for
+//! the fewest nodes achieving k-coverage. LAACAD approximates it by
+//! searching for the smallest `N` whose converged `R*(N)` satisfies
+//! `R* ≤ r_s` — "nodes are added (resp. reduced) if `R* > r_s`
+//! (resp. `R* < r_s`)". We realize the search as exponential growth
+//! followed by bisection; `R*(N)` is treated as (noisily) non-increasing
+//! in `N`.
+
+use crate::config::LaacadConfig;
+use crate::error::LaacadError;
+use crate::runner::Laacad;
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+
+/// Result of a min-node search.
+#[derive(Debug, Clone)]
+pub struct MinNodeResult {
+    /// The smallest node count found with `R* ≤ r_s`.
+    pub n: usize,
+    /// The converged `R*` at that count.
+    pub r_star: f64,
+    /// Every `(N, R*)` evaluation performed, in evaluation order.
+    pub evaluations: Vec<(usize, f64)>,
+}
+
+impl std::fmt::Display for MinNodeResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min-node: N = {} (R* = {:.5}, {} evaluations)",
+            self.n,
+            self.r_star,
+            self.evaluations.len()
+        )
+    }
+}
+
+/// Runs LAACAD once with `n` uniformly sampled nodes and returns `R*`.
+fn evaluate(
+    region: &Region,
+    config: &LaacadConfig,
+    n: usize,
+    seed: u64,
+) -> Result<f64, LaacadError> {
+    let initial = sample_uniform(region, n, seed);
+    let mut sim = Laacad::new(config.clone(), region.clone(), initial)?;
+    Ok(sim.run().max_sensing_radius)
+}
+
+/// Searches for the minimum node count achieving k-coverage with common
+/// sensing range `target_rs`.
+///
+/// `config.k` supplies the coverage degree; the search seeds each
+/// evaluation deterministically from `seed`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the underlying runs.
+///
+/// # Panics
+///
+/// Panics when `target_rs` is not strictly positive.
+pub fn min_node_deployment(
+    region: &Region,
+    config: &LaacadConfig,
+    target_rs: f64,
+    seed: u64,
+) -> Result<MinNodeResult, LaacadError> {
+    assert!(target_rs > 0.0, "target sensing range must be positive");
+    let mut evaluations = Vec::new();
+    // Initial estimate from the area argument: each node covers about
+    // π r² / k of area, padded 20% for boundary effects.
+    let estimate = (1.2 * config.k as f64 * region.area()
+        / (std::f64::consts::PI * target_rs * target_rs))
+        .ceil()
+        .max(config.k as f64) as usize;
+
+    // Exponential phase: find an upper bound with R* ≤ r_s.
+    let mut hi = estimate.max(config.k);
+    let mut r_hi = evaluate(region, config, hi, seed)?;
+    evaluations.push((hi, r_hi));
+    let mut guard = 0;
+    while r_hi > target_rs {
+        hi = (hi * 2).max(hi + 1);
+        r_hi = evaluate(region, config, hi, seed.wrapping_add(hi as u64))?;
+        evaluations.push((hi, r_hi));
+        guard += 1;
+        assert!(
+            guard <= 24,
+            "min-node search failed to bracket: R*({hi}) = {r_hi} > {target_rs}"
+        );
+    }
+    // Bisection phase: smallest n in [lo, hi] with R*(n) ≤ r_s.
+    let mut lo = config.k; // k nodes are the absolute minimum
+    let mut best = (hi, r_hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let r = evaluate(region, config, mid, seed.wrapping_add(mid as u64))?;
+        evaluations.push((mid, r));
+        if r <= target_rs {
+            best = (mid, r);
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(MinNodeResult {
+        n: best.0,
+        r_star: best.1,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(k: usize) -> LaacadConfig {
+        LaacadConfig::builder(k)
+            .transmission_range(0.3)
+            .alpha(0.6)
+            .epsilon(5e-3)
+            .max_rounds(40)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_a_count_meeting_the_target() {
+        let region = Region::square(1.0).unwrap();
+        let result = min_node_deployment(&region, &quick_config(1), 0.30, 7).unwrap();
+        assert!(result.r_star <= 0.30 + 1e-9);
+        assert!(result.n >= 1);
+        // Sanity: the theoretical floor |A|/(π r²) ≈ 3.5 nodes.
+        assert!(result.n >= 3, "n = {}", result.n);
+        assert!(!result.evaluations.is_empty());
+    }
+
+    #[test]
+    fn larger_target_range_needs_fewer_nodes() {
+        let region = Region::square(1.0).unwrap();
+        let tight = min_node_deployment(&region, &quick_config(1), 0.25, 7).unwrap();
+        let loose = min_node_deployment(&region, &quick_config(1), 0.45, 7).unwrap();
+        assert!(
+            loose.n <= tight.n,
+            "loose {} vs tight {}",
+            loose.n,
+            tight.n
+        );
+    }
+
+    #[test]
+    fn k2_needs_more_nodes_than_k1() {
+        let region = Region::square(1.0).unwrap();
+        let k1 = min_node_deployment(&region, &quick_config(1), 0.35, 9).unwrap();
+        let k2 = min_node_deployment(&region, &quick_config(2), 0.35, 9).unwrap();
+        assert!(k2.n > k1.n, "k1 {} vs k2 {}", k1.n, k2.n);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_panics() {
+        let region = Region::square(1.0).unwrap();
+        let _ = min_node_deployment(&region, &quick_config(1), 0.0, 1);
+    }
+}

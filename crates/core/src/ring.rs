@@ -1,0 +1,252 @@
+//! Algorithm 2 — localized `V^k_i` discovery by expanding-ring search.
+//!
+//! The ring radius `ρ` grows in transmission-range (`γ`) increments. After
+//! each expansion the node checks the circle of radius `ρ/2` around
+//! itself: expansion stops once **every** in-area point of that circle has
+//! at least `k` *other* nodes strictly closer than the node itself
+//! (evaluated exactly as an arc-coverage-depth query; paper lines 5–8 and
+//! Prop. 1). Because dominating regions are star-shaped about their node,
+//! domination of the whole circle implies `V^k_i ⊆ disk(ρ/2)`, and by
+//! Lemma 1 the nodes within `ρ` then suffice to compute it exactly.
+//!
+//! A node whose ring saturates its connected component without achieving
+//! domination is a **boundary node** (Fig. 3): its dominating region is
+//! bounded by the target area itself, and — during the expansion phase —
+//! optionally by the searching ring (see [`crate::RingCapPolicy`]).
+
+use laacad_geom::{Arc, ArcCover, Circle, HalfPlane, Point};
+use laacad_region::arcs::arcs_inside_region;
+use laacad_region::Region;
+use laacad_wsn::multihop::ring_neighborhood;
+use laacad_wsn::radio::MessageStats;
+use laacad_wsn::{Network, NodeId};
+
+/// Result of the expanding-ring search for one node.
+#[derive(Debug, Clone)]
+pub struct RingOutcome {
+    /// Members of `N(n_i, ρ)` at termination (center excluded).
+    pub candidates: Vec<NodeId>,
+    /// Final ring radius `ρ`.
+    pub rho: f64,
+    /// Whether the ring check succeeded (`out = true` in Algorithm 2):
+    /// every in-area circle point is dominated by ≥ k other nodes.
+    pub dominated: bool,
+    /// Whether the ring saturated the node's connected component (the
+    /// boundary-node condition) or hit the `max_rho` guard.
+    pub saturated: bool,
+    /// Messages spent on the search.
+    pub messages: MessageStats,
+}
+
+/// Checks whether every in-area point of `circle` has at least `k` of the
+/// `competitors` strictly closer than `center` (an exact arc-depth query).
+///
+/// Returns `true` for the vacuous case where no part of the circle lies
+/// inside the area (nothing left to dominate).
+pub fn circle_dominated(
+    center: Point,
+    competitors: &[Point],
+    circle: &Circle,
+    region: &Region,
+    k: usize,
+) -> bool {
+    let query = arcs_inside_region(circle, region);
+    if query.is_empty() {
+        return true;
+    }
+    let mut cover = ArcCover::new();
+    for &c in competitors {
+        let Some(h) = HalfPlane::closer_to(c, center) else {
+            continue; // co-located: never strictly closer
+        };
+        // Shrink the dominance region to its open interior: points of the
+        // circle exactly equidistant do not count as dominated.
+        cover.add_span(Arc::from_halfplane_on_circle(circle, &h));
+    }
+    cover.min_depth_on(&query) >= k
+}
+
+/// Runs the expanding-ring search (Algorithm 2) for `id`.
+///
+/// `max_rho` bounds the search; pass the region diameter for the paper's
+/// semantics (the ring can always grow until the area boundary acts as
+/// the natural boundary).
+pub fn expanding_ring_search(
+    net: &mut Network,
+    id: NodeId,
+    region: &Region,
+    k: usize,
+    max_rho: f64,
+) -> RingOutcome {
+    let gamma = net.gamma();
+    let center = net.position(id);
+    let mut rho = 0.0;
+    let mut messages = MessageStats::default();
+    let mut last_members: Vec<NodeId> = Vec::new();
+    loop {
+        rho += gamma;
+        let ring = ring_neighborhood(net, id, rho);
+        messages.absorb(ring.messages);
+        let circle = Circle::new(center, rho / 2.0);
+        let competitors: Vec<Point> =
+            ring.members.iter().map(|&m| net.position(m)).collect();
+        if circle_dominated(center, &competitors, &circle, region, k) {
+            return RingOutcome {
+                candidates: ring.members,
+                rho,
+                dominated: true,
+                saturated: false,
+                messages,
+            };
+        }
+        // Saturation: the ring already contains the node's whole connected
+        // component *and* widening the Euclidean filter cannot add members
+        // (everything reachable is inside the ring). Further expansion is
+        // futile — this is the boundary-node case.
+        let farthest = ring
+            .members
+            .iter()
+            .map(|&m| net.position(m).distance(center))
+            .fold(0.0, f64::max);
+        let same_as_before = ring.members == last_members;
+        let euclidean_slack = rho - farthest > gamma;
+        if (same_as_before && euclidean_slack) || rho >= max_rho {
+            return RingOutcome {
+                candidates: ring.members,
+                rho,
+                dominated: false,
+                saturated: true,
+                messages,
+            };
+        }
+        last_members = ring.members;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_grid_network(spacing: f64, n_side: usize, gamma: f64) -> Network {
+        Network::from_positions(
+            gamma,
+            (0..n_side).flat_map(move |i| {
+                (0..n_side).map(move |j| Point::new(i as f64 * spacing, j as f64 * spacing))
+            }),
+        )
+    }
+
+    #[test]
+    fn interior_node_terminates_quickly_for_k1() {
+        let region = Region::square(1.0).unwrap();
+        // 11×11 grid with 0.1 spacing fills the unit square.
+        let mut net = dense_grid_network(0.1, 11, 0.15);
+        // Center node (5,5) → id 5*11+5 = 60.
+        let out = expanding_ring_search(&mut net, NodeId(60), &region, 1, 3.0);
+        assert!(out.dominated);
+        assert!(!out.saturated);
+        // k=1 needs only the immediate neighborhood: ρ ≤ a few γ.
+        assert!(out.rho <= 0.5, "ρ = {}", out.rho);
+        assert!(!out.candidates.is_empty());
+    }
+
+    #[test]
+    fn ring_grows_with_k() {
+        let region = Region::square(1.0).unwrap();
+        let mut net = dense_grid_network(0.1, 11, 0.15);
+        let rho_k: Vec<f64> = (1..=4)
+            .map(|k| {
+                expanding_ring_search(&mut net, NodeId(60), &region, k, 3.0).rho
+            })
+            .collect();
+        for w in rho_k.windows(2) {
+            assert!(w[1] >= w[0], "ρ must not shrink with k: {rho_k:?}");
+        }
+        assert!(rho_k[3] > rho_k[0], "k=4 needs a wider ring than k=1");
+    }
+
+    #[test]
+    fn corner_node_is_dominated_thanks_to_area_clipping() {
+        // The corner node of a dense grid: out-of-area arcs are excluded
+        // from the check (Fig. 3), so the ring closes.
+        let region = Region::square(1.0).unwrap();
+        let mut net = dense_grid_network(0.1, 11, 0.15);
+        let out = expanding_ring_search(&mut net, NodeId(0), &region, 1, 3.0);
+        assert!(out.dominated, "ρ = {}, saturated = {}", out.rho, out.saturated);
+    }
+
+    #[test]
+    fn sparse_cluster_saturates() {
+        // Three nodes huddled in a corner of a large area: for k = 2 the
+        // far side of the circle is never dominated → boundary case.
+        let region = Region::square(10.0).unwrap();
+        let mut net = Network::from_positions(
+            0.3,
+            [
+                Point::new(0.2, 0.2),
+                Point::new(0.4, 0.2),
+                Point::new(0.3, 0.4),
+            ],
+        );
+        let out = expanding_ring_search(&mut net, NodeId(0), &region, 2, 30.0);
+        assert!(!out.dominated);
+        assert!(out.saturated);
+        assert_eq!(out.candidates.len(), 2);
+    }
+
+    #[test]
+    fn isolated_node_saturates_immediately() {
+        let region = Region::square(1.0).unwrap();
+        let mut net = Network::from_positions(0.1, [Point::new(0.5, 0.5)]);
+        let out = expanding_ring_search(&mut net, NodeId(0), &region, 1, 5.0);
+        assert!(!out.dominated);
+        assert!(out.saturated);
+        assert!(out.candidates.is_empty());
+    }
+
+    #[test]
+    fn domination_check_matches_brute_force() {
+        let region = Region::square(1.0).unwrap();
+        let center = Point::new(0.5, 0.5);
+        let competitors = [
+            Point::new(0.62, 0.5),
+            Point::new(0.38, 0.52),
+            Point::new(0.5, 0.62),
+            Point::new(0.48, 0.38),
+        ];
+        for k in 1..=3usize {
+            for rho_half in [0.05, 0.1, 0.2, 0.4] {
+                let circle = Circle::new(center, rho_half);
+                let exact = circle_dominated(center, &competitors, &circle, &region, k);
+                // Brute force over dense circle samples.
+                let mut brute = true;
+                for i in 0..1440 {
+                    let th = (i as f64 + 0.5) / 1440.0 * std::f64::consts::TAU;
+                    let v = circle.point_at(th);
+                    if !region.contains(v) {
+                        continue;
+                    }
+                    let closer = competitors
+                        .iter()
+                        .filter(|c| c.distance(v) < center.distance(v) - 1e-12)
+                        .count();
+                    if closer < k {
+                        brute = false;
+                        break;
+                    }
+                }
+                assert_eq!(exact, brute, "k={k} ρ/2={rho_half}");
+            }
+        }
+    }
+
+    #[test]
+    fn colocated_competitors_do_not_dominate() {
+        let region = Region::square(1.0).unwrap();
+        let center = Point::new(0.5, 0.5);
+        // Competitors exactly at the center: never strictly closer.
+        let competitors = [center, center, center];
+        let circle = Circle::new(center, 0.1);
+        assert!(!circle_dominated(center, &competitors, &circle, &region, 1));
+    }
+}

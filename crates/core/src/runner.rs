@@ -1,0 +1,433 @@
+//! Algorithm 1 — the LAACAD simulation runner.
+//!
+//! Rounds are synchronous: every node computes its dominating region and
+//! Chebyshev center from the same position snapshot, then all nodes move.
+//! This matches the paper's periodic (`every τ ms`) execution in the
+//! regime where motion per round is small relative to `τ`.
+
+use crate::config::LaacadConfig;
+use crate::error::LaacadError;
+use crate::history::{History, RoundReport, RunSummary};
+use crate::localview::compute_local_view;
+use laacad_geom::Point;
+use laacad_region::Region;
+use laacad_wsn::mobility::step_toward;
+use laacad_wsn::radio::MessageStats;
+use laacad_wsn::{Network, NodeId};
+
+/// A LAACAD deployment simulation.
+///
+/// # Example
+///
+/// ```
+/// use laacad::{Laacad, LaacadConfig};
+/// use laacad_region::{sampling::sample_uniform, Region};
+///
+/// let region = Region::square(1.0)?;
+/// let config = LaacadConfig::builder(1)
+///     .transmission_range(0.3)
+///     .max_rounds(40)
+///     .build()?;
+/// let mut sim = Laacad::new(config, region, sample_uniform(&Region::square(1.0)?, 12, 7))?;
+/// let summary = sim.run();
+/// assert!(summary.max_sensing_radius > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Laacad {
+    config: LaacadConfig,
+    region: Region,
+    net: Network,
+    history: History,
+    round: usize,
+    converged: bool,
+}
+
+impl Laacad {
+    /// Builds a simulation from a config, target area and initial node
+    /// positions.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid parameters ([`LaacadError`]), empty deployments,
+    /// and initial positions outside the target area.
+    pub fn new(
+        config: LaacadConfig,
+        region: Region,
+        initial_positions: Vec<Point>,
+    ) -> Result<Self, LaacadError> {
+        if initial_positions.is_empty() {
+            return Err(LaacadError::EmptyDeployment);
+        }
+        config.validate(initial_positions.len())?;
+        for (i, p) in initial_positions.iter().enumerate() {
+            if !region.contains(*p) {
+                return Err(LaacadError::NodeOutsideRegion { index: i });
+            }
+        }
+        let net = Network::from_positions(config.gamma, initial_positions.iter().copied());
+        let mut sim = Laacad {
+            config,
+            region,
+            net,
+            history: History::default(),
+            round: 0,
+            converged: false,
+        };
+        if sim.config.snapshot_every.is_some() {
+            sim.history
+                .push_snapshot(0, sim.net.positions().to_vec());
+        }
+        Ok(sim)
+    }
+
+    /// The live network (positions, sensing ranges, odometry).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The target area.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LaacadConfig {
+        &self.config
+    }
+
+    /// Recorded history (Fig. 6 series, snapshots).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_executed(&self) -> usize {
+        self.round
+    }
+
+    /// Whether the ε-termination condition has been observed.
+    pub fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Executes one round of Algorithm 1 and records it.
+    ///
+    /// Under [`ExecutionMode::Synchronous`] every node computes on the
+    /// same snapshot, then all move (Jacobi); under
+    /// [`ExecutionMode::Sequential`] each node moves immediately after
+    /// computing (Gauss–Seidel), which models unsynchronized periodic
+    /// execution.
+    ///
+    /// [`ExecutionMode::Synchronous`]: crate::ExecutionMode::Synchronous
+    /// [`ExecutionMode::Sequential`]: crate::ExecutionMode::Sequential
+    pub fn step(&mut self) -> RoundReport {
+        self.round += 1;
+        let n = self.net.len();
+        let sequential = self.config.execution == crate::ExecutionMode::Sequential;
+        let mut targets: Vec<Option<Point>> = vec![None; n];
+        let mut max_circumradius: f64 = 0.0;
+        let mut min_circumradius = f64::INFINITY;
+        let mut max_reach: f64 = 0.0;
+        let mut max_disp: f64 = 0.0;
+        let mut messages = MessageStats::default();
+        let mut nodes_moved = 0;
+        // Phase 1: every node computes its view (and, in sequential mode,
+        // acts on it immediately).
+        for i in 0..n {
+            let id = NodeId(i);
+            let view = compute_local_view(&mut self.net, id, &self.region, &self.config, self.round);
+            messages.absorb(view.ring.messages);
+            let u = self.net.position(id);
+            if let Some(disk) = view.chebyshev {
+                max_circumradius = max_circumradius.max(disk.radius);
+                min_circumradius = min_circumradius.min(disk.radius);
+                max_reach = max_reach.max(view.region.farthest_distance(u));
+                let d = u.distance(disk.center);
+                max_disp = max_disp.max(d);
+                if d > self.config.epsilon {
+                    if sequential {
+                        step_toward(
+                            &mut self.net,
+                            id,
+                            disk.center,
+                            self.config.alpha,
+                            Some(&self.region),
+                        );
+                        nodes_moved += 1;
+                    } else {
+                        targets[i] = Some(disk.center);
+                    }
+                }
+                // Keep the node's sensing range able to cover its current
+                // responsibility (used by coverage monitoring mid-run).
+                let r = view.region.farthest_distance(u);
+                self.net.set_sensing_radius(id, r);
+            }
+        }
+        // Phase 2 (synchronous only): all nodes move together.
+        if !sequential {
+            for i in 0..n {
+                if let Some(c) = targets[i] {
+                    step_toward(
+                        &mut self.net,
+                        NodeId(i),
+                        c,
+                        self.config.alpha,
+                        Some(&self.region),
+                    );
+                    nodes_moved += 1;
+                }
+            }
+        }
+        let converged = nodes_moved == 0;
+        self.converged = converged;
+        if min_circumradius == f64::INFINITY {
+            min_circumradius = 0.0;
+        }
+        let report = RoundReport {
+            round: self.round,
+            max_circumradius,
+            min_circumradius,
+            max_reach,
+            max_displacement_to_target: max_disp,
+            nodes_moved,
+            messages,
+            converged,
+        };
+        self.history.push_round(report.clone());
+        if let Some(every) = self.config.snapshot_every {
+            if self.round % every == 0 || converged {
+                self.history
+                    .push_snapshot(self.round, self.net.positions().to_vec());
+            }
+        }
+        report
+    }
+
+    /// Runs until the ε-termination condition or the round limit, then
+    /// finalizes sensing ranges (Algorithm 1 line 7).
+    pub fn run(&mut self) -> RunSummary {
+        while self.round < self.config.max_rounds {
+            let report = self.step();
+            if report.converged {
+                break;
+            }
+        }
+        self.finalize();
+        RunSummary {
+            rounds: self.round,
+            converged: self.converged,
+            max_sensing_radius: self.net.max_sensing_radius(),
+            min_sensing_radius: self.net.min_sensing_radius(),
+            messages: self
+                .history
+                .rounds()
+                .iter()
+                .fold(MessageStats::default(), |mut acc, r| {
+                    acc.absorb(r.messages);
+                    acc
+                }),
+            total_distance_moved: self.net.total_distance_moved(),
+        }
+    }
+
+    /// Recomputes every node's dominating region at the final positions
+    /// and tunes sensing ranges to the minimum covering value
+    /// (`r*_i = max_{u ∈ V^k_i} ‖u − u_i‖`).
+    pub fn finalize(&mut self) {
+        let n = self.net.len();
+        for i in 0..n {
+            let id = NodeId(i);
+            let view =
+                compute_local_view(&mut self.net, id, &self.region, &self.config, self.round);
+            let r = view.region.farthest_distance(self.net.position(id));
+            self.net.set_sensing_radius(id, r);
+        }
+        if self.config.snapshot_every.is_some() {
+            self.history
+                .push_snapshot(self.round, self.net.positions().to_vec());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_coverage::evaluate_coverage;
+    use laacad_region::sampling::{sample_clustered, sample_uniform};
+
+    fn quick_config(k: usize, rounds: usize) -> LaacadConfig {
+        LaacadConfig::builder(k)
+            .transmission_range(0.25)
+            .alpha(0.5)
+            .epsilon(1e-3)
+            .max_rounds(rounds)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_produces_k_coverage_from_uniform_start() {
+        let region = Region::square(1.0).unwrap();
+        for k in 1..=2usize {
+            let initial = sample_uniform(&region, 20, 99);
+            let mut sim = Laacad::new(quick_config(k, 80), region.clone(), initial).unwrap();
+            let summary = sim.run();
+            assert!(summary.max_sensing_radius > 0.0);
+            let report = evaluate_coverage(sim.network(), &region, k, 2000);
+            assert!(
+                report.covered_fraction > 0.999,
+                "k={k}: {report} (summary {summary})"
+            );
+        }
+    }
+
+    #[test]
+    fn corner_start_spreads_out() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_clustered(&region, 16, Point::new(0.1, 0.1), 0.1, 5);
+        let mut sim = Laacad::new(quick_config(1, 100), region.clone(), initial).unwrap();
+        sim.run();
+        // The deployment must have expanded well beyond the corner.
+        let far = sim
+            .network()
+            .positions()
+            .iter()
+            .filter(|p| p.x > 0.5 || p.y > 0.5)
+            .count();
+        assert!(far >= 6, "only {far} nodes left the corner");
+        let report = evaluate_coverage(sim.network(), &region, 1, 2000);
+        assert!(report.covered_fraction > 0.999, "{report}");
+    }
+
+    #[test]
+    fn max_circumradius_non_increasing_for_alpha_one() {
+        // Paper Prop. 4 byproduct: R^l is non-increasing when α = 1.
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 15, 3);
+        let mut config = quick_config(2, 60);
+        config.alpha = 1.0;
+        // Prop. 4 assumes exact dominating regions: use a radio range that
+        // keeps every ring search fully informed.
+        config.gamma = 1.0;
+        let mut sim = Laacad::new(config, region, initial).unwrap();
+        sim.run();
+        let series = sim.history().circumradius_series();
+        for w in series.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-6,
+                "R increased: {} -> {} at round {}",
+                w[0].1,
+                w[1].1,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn radii_balance_out() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 24, 11);
+        // γ must exceed the converged sensing range (paper Sec. IV-C
+        // assumes γ ≥ r_i), or the k-clusters disconnect the radio graph.
+        let mut config = quick_config(3, 120);
+        config.gamma = LaacadConfig::recommended_gamma(1.0, 24, 3);
+        let mut sim = Laacad::new(config, region, initial).unwrap();
+        let summary = sim.run();
+        // Sec. V-A: min and max sensing ranges end up close for k > 2.
+        assert!(
+            summary.min_sensing_radius > 0.8 * summary.max_sensing_radius,
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn construction_validation() {
+        let region = Region::square(1.0).unwrap();
+        assert!(matches!(
+            Laacad::new(quick_config(1, 10), region.clone(), vec![]),
+            Err(LaacadError::EmptyDeployment)
+        ));
+        assert!(matches!(
+            Laacad::new(
+                quick_config(5, 10),
+                region.clone(),
+                vec![Point::new(0.5, 0.5); 3]
+            ),
+            Err(LaacadError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            Laacad::new(quick_config(1, 10), region, vec![Point::new(5.0, 5.0)]),
+            Err(LaacadError::NodeOutsideRegion { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn snapshots_recorded_when_enabled() {
+        let region = Region::square(1.0).unwrap();
+        let mut config = quick_config(1, 10);
+        config.snapshot_every = Some(2);
+        let initial = sample_uniform(&region, 8, 1);
+        let mut sim = Laacad::new(config, region, initial).unwrap();
+        sim.run();
+        assert!(sim.history().snapshots().len() >= 2);
+        assert_eq!(sim.history().snapshots()[0].0, 0);
+    }
+
+    #[test]
+    fn sequential_mode_converges_and_covers() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 20, 99);
+        let mut config = quick_config(2, 120);
+        config.execution = crate::ExecutionMode::Sequential;
+        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let summary = sim.run();
+        let report = evaluate_coverage(sim.network(), &region, 2, 2000);
+        assert!(report.covered_fraction > 0.999, "{report} ({summary})");
+    }
+
+    #[test]
+    fn sequential_mode_needs_no_more_rounds_than_synchronous() {
+        // Gauss–Seidel sweeps use fresher information; they should not be
+        // dramatically slower than Jacobi on the same workload.
+        let region = Region::square(1.0).unwrap();
+        let run = |mode: crate::ExecutionMode| {
+            let initial = sample_uniform(&region, 15, 5);
+            let mut config = quick_config(1, 400);
+            config.execution = mode;
+            config.epsilon = 2e-3;
+            // Keep the radio graph connected for 15 sparse nodes.
+            config.gamma = LaacadConfig::recommended_gamma(1.0, 15, 1);
+            let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+            sim.run()
+        };
+        let sync = run(crate::ExecutionMode::Synchronous);
+        let seq = run(crate::ExecutionMode::Sequential);
+        assert!(sync.converged && seq.converged, "{sync} / {seq}");
+        assert!(
+            seq.rounds <= 2 * sync.rounds,
+            "sequential {} vs synchronous {}",
+            seq.rounds,
+            sync.rounds
+        );
+    }
+
+    #[test]
+    fn single_node_k1_centers_itself() {
+        // One node must move to the Chebyshev center of the whole square
+        // (its dominating region) — the square's center.
+        let region = Region::square(1.0).unwrap();
+        let mut config = quick_config(1, 100);
+        config.alpha = 1.0;
+        config.epsilon = 1e-6;
+        let mut sim =
+            Laacad::new(config, region, vec![Point::new(0.1, 0.2)]).unwrap();
+        let summary = sim.run();
+        assert!(summary.converged);
+        let p = sim.network().position(NodeId(0));
+        assert!(p.approx_eq(Point::new(0.5, 0.5), 1e-3), "ended at {p}");
+        // r* = half diagonal.
+        assert!((summary.max_sensing_radius - (0.5f64).hypot(0.5)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation — step size α (paper Sec. IV-B: "smaller α leads to slower
+//! convergence but smoother motion trace"; convergence holds for any
+//! α ∈ (0, 1], Prop. 4).
+
+use laacad_experiments::sweep::parallel_map;
+use laacad_experiments::{markdown_table, output, runs, Csv};
+use laacad_region::Region;
+
+fn main() {
+    let alphas = [0.25f64, 0.5, 0.75, 1.0];
+    let results = parallel_map(alphas.to_vec(), |alpha| {
+        let region = Region::square(1.0).expect("unit square");
+        let mut params = runs::StandardRun::new(2, 40, 4242);
+        params.alpha = alpha;
+        params.max_rounds = 400;
+        let (sim, summary, coverage) = runs::run_laacad(&region, &params);
+        (
+            alpha,
+            summary.rounds,
+            summary.converged,
+            summary.max_sensing_radius,
+            sim.network().total_distance_moved(),
+            coverage.covered_fraction,
+        )
+    });
+    let mut rows = Vec::new();
+    let mut csv = Csv::with_header(&["alpha", "rounds", "converged", "r_star", "distance", "covered"]);
+    for (alpha, rounds, converged, r_star, distance, covered) in results {
+        rows.push(vec![
+            format!("{alpha:.2}"),
+            rounds.to_string(),
+            converged.to_string(),
+            format!("{r_star:.4}"),
+            format!("{distance:.2}"),
+            format!("{:.1}%", covered * 100.0),
+        ]);
+        csv.row(&[
+            format!("{alpha}"),
+            rounds.to_string(),
+            converged.to_string(),
+            format!("{r_star:.5}"),
+            format!("{distance:.3}"),
+            format!("{covered:.4}"),
+        ]);
+    }
+    println!("wrote {}", output::rel(&csv.save("ablation_alpha.csv")));
+    println!("\nAblation — step size α (k=2, 40 nodes, unit square)");
+    println!(
+        "{}",
+        markdown_table(
+            &["α", "rounds", "converged", "R*", "total distance moved", "2-covered"],
+            &rows
+        )
+    );
+}

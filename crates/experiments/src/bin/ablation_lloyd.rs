@@ -1,0 +1,57 @@
+//! Ablation — Chebyshev-center motion (LAACAD) versus centroid motion
+//! (Lloyd, the strategy of the paper's refs \[9\]/\[10\] generalized to
+//! order-k regions). Same initial deployments, same round budget; the
+//! comparison isolates the motion rule's effect on the minimax sensing
+//! range (k-CSDP's objective).
+
+use laacad_baselines::lloyd::lloyd_run;
+use laacad_experiments::{markdown_table, output, runs, Csv};
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+use laacad_wsn::Network;
+
+fn main() {
+    let region = Region::square(1.0).expect("unit square");
+    let mut rows = Vec::new();
+    let mut csv = Csv::with_header(&["k", "n", "laacad_r_star", "lloyd_r_star", "lloyd_over_laacad"]);
+    for (k, n) in [(1usize, 30usize), (2, 40), (3, 45)] {
+        let seed = 9_000 + (10 * k + n) as u64;
+        // LAACAD.
+        let mut params = runs::StandardRun::new(k, n, seed);
+        params.max_rounds = 150;
+        let (_, summary, _) = runs::run_laacad(&region, &params);
+        // Lloyd from the identical start.
+        let initial = sample_uniform(&region, n, seed);
+        let mut net = Network::from_positions(0.5, initial);
+        let lloyd = lloyd_run(&mut net, &region, k, params.alpha, 1e-4, 150);
+        let ratio = lloyd.max_sensing_radius / summary.max_sensing_radius;
+        rows.push(vec![
+            k.to_string(),
+            n.to_string(),
+            format!("{:.4}", summary.max_sensing_radius),
+            format!("{:.4}", lloyd.max_sensing_radius),
+            format!("{ratio:.3}"),
+        ]);
+        csv.row(&[
+            k.to_string(),
+            n.to_string(),
+            format!("{:.5}", summary.max_sensing_radius),
+            format!("{:.5}", lloyd.max_sensing_radius),
+            format!("{ratio:.4}"),
+        ]);
+    }
+    println!("wrote {}", output::rel(&csv.save("ablation_lloyd.csv")));
+    println!("\nAblation — motion target: Chebyshev center (LAACAD) vs centroid (Lloyd)");
+    println!(
+        "{}",
+        markdown_table(
+            &["k", "N", "LAACAD R*", "Lloyd R*", "Lloyd / LAACAD"],
+            &rows
+        )
+    );
+    println!(
+        "The Chebyshev rule directly minimizes the circumradius (Prop. 3); \
+         centroid motion optimizes a quantization objective and settles at \
+         larger minimax ranges."
+    );
+}

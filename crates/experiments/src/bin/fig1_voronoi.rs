@@ -1,0 +1,49 @@
+//! Fig. 1 — order-k Voronoi partitions (k = 1..4) of 30 random nodes.
+//!
+//! Prints the cell counts `N̂_k` (Lee's bound says `O(k(N−k))`) and writes
+//! one SVG per k into `out/`.
+
+use laacad_experiments::{markdown_table, output, write_artifact, Csv};
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+use laacad_viz::deployment::render_partition;
+use laacad_voronoi::korder::order_k_diagram;
+
+fn main() {
+    let region = Region::square(1.0).expect("unit square");
+    let sites = sample_uniform(&region, 30, 2012);
+    let domain = region.convex_pieces()[0].clone();
+    let mut rows = Vec::new();
+    let mut csv = Csv::with_header(&["k", "cells", "total_area"]);
+    for k in 1..=4usize {
+        let diagram = order_k_diagram(&sites, k, &domain, 256);
+        let cells: Vec<laacad_geom::Polygon> =
+            diagram.cells().iter().map(|c| c.polygon.clone()).collect();
+        let svg = render_partition(
+            &region,
+            &cells,
+            &sites,
+            480.0,
+            &format!("Fig. 1({}) — order-{k} Voronoi partition, 30 nodes", (b'a' + k as u8 - 1) as char),
+        );
+        let path = write_artifact(&format!("fig1_order{k}.svg"), &svg);
+        println!("wrote {}", output::rel(&path));
+        rows.push(vec![
+            k.to_string(),
+            diagram.len().to_string(),
+            format!("{:.6}", diagram.total_area()),
+        ]);
+        csv.row(&[
+            k.to_string(),
+            diagram.len().to_string(),
+            format!("{:.6}", diagram.total_area()),
+        ]);
+    }
+    csv.save("fig1_cells.csv");
+    println!("\nFig. 1 — order-k Voronoi partition of 30 random nodes (unit square)");
+    println!(
+        "{}",
+        markdown_table(&["k", "cells N̂_k", "Σ cell area (=1 if exact)"], &rows)
+    );
+    println!("Lee's bound: N̂_k = O(k(N−k)); order-1 has exactly N = 30 cells.");
+}

@@ -1,0 +1,69 @@
+//! Fig. 6 — convergence of LAACAD: maximum and minimum circumradius per
+//! round for k = 1..4, from the Fig. 5 corner start.
+//!
+//! Expected shape: the max circumradius decreases monotonically (exactly
+//! so for α = 1, by Prop. 4), the min circumradius rises, and the two
+//! meet — evidence of load balancing (min ≈ max at convergence,
+//! especially for larger k).
+
+use laacad_experiments::{markdown_table, output, runs, Csv};
+use laacad_geom::Point;
+use laacad_region::Region;
+use laacad_viz::LineChart;
+
+fn main() {
+    let region = Region::square(1.0).expect("1 km² square");
+    let corner = Point::new(0.12, 0.12);
+    let mut chart = LineChart::new("round", "circumradius (km)");
+    let mut csv = Csv::with_header(&["k", "round", "max_circumradius", "min_circumradius"]);
+    let mut rows = Vec::new();
+    for k in 1..=4usize {
+        let mut params = runs::StandardRun::new(k, 100, 42);
+        params.cluster = Some((corner, 0.12));
+        params.max_rounds = 250;
+        params.gamma = Some(0.25);
+        let (sim, summary, _) = runs::run_laacad(&region, &params);
+        let series = sim.history().circumradius_series();
+        for &(round, max_r, min_r) in &series {
+            csv.row(&[
+                k.to_string(),
+                round.to_string(),
+                format!("{max_r:.6}"),
+                format!("{min_r:.6}"),
+            ]);
+        }
+        chart.add_series(
+            format!("k={k} max"),
+            series.iter().map(|&(r, max, _)| (r as f64, max)).collect(),
+        );
+        chart.add_dashed_series(
+            format!("k={k} min"),
+            series.iter().map(|&(r, _, min)| (r as f64, min)).collect(),
+        );
+        let final_gap = series
+            .last()
+            .map(|&(_, max, min)| max - min)
+            .unwrap_or(f64::NAN);
+        rows.push(vec![
+            k.to_string(),
+            summary.rounds.to_string(),
+            summary.converged.to_string(),
+            format!("{:.4}", series.first().map(|&(_, m, _)| m).unwrap_or(0.0)),
+            format!("{:.4}", series.last().map(|&(_, m, _)| m).unwrap_or(0.0)),
+            format!("{final_gap:.4}"),
+        ]);
+    }
+    let p = csv.save("fig6_convergence.csv");
+    println!("wrote {}", output::rel(&p));
+    let svg = chart.render(640.0, 420.0);
+    let p = laacad_experiments::write_artifact("fig6_convergence.svg", &svg);
+    println!("wrote {}", output::rel(&p));
+    println!("\nFig. 6 — convergence summary (corner start, 100 nodes)");
+    println!(
+        "{}",
+        markdown_table(
+            &["k", "rounds", "converged", "max R (round 1)", "max R (final)", "final max−min gap"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,99 @@
+//! Fig. 7 — sensing energy consumption of converged deployments:
+//! (a) maximum per-node load `max_i E(r_i)` and (b) total load
+//! `Σ_i E(r_i)`, with `E(r) = π r²`, for N ∈ {20, 60, 100, 140, 180} and
+//! k = 1..4.
+//!
+//! Expected shapes: max load decreases with N and increases with k, with
+//! `maxload(k₁)/maxload(k₂) ≈ k₁/k₂` at equal N (every node covers about
+//! `k|A|/N`); total load *decreases* with N (bigger disks overlap more).
+
+use laacad_experiments::sweep::parallel_map;
+use laacad_experiments::{markdown_table, output, runs, Csv};
+use laacad_region::Region;
+use laacad_viz::LineChart;
+use laacad_wsn::energy::EnergyModel;
+
+fn main() {
+    let ns = [20usize, 60, 100, 140, 180];
+    let ks = [1usize, 2, 3, 4];
+    let jobs: Vec<(usize, usize)> = ks
+        .iter()
+        .flat_map(|&k| ns.iter().map(move |&n| (k, n)))
+        .collect();
+    let results = parallel_map(jobs.clone(), |(k, n)| {
+        let region = Region::square(1.0).expect("1 km² square");
+        let mut params = runs::StandardRun::new(k, n, 7_000 + (k * 1000 + n) as u64);
+        params.max_rounds = 200;
+        let (sim, summary, coverage) = runs::run_laacad(&region, &params);
+        let model = EnergyModel::DISK_AREA;
+        (
+            k,
+            n,
+            model.max_load(sim.network()),
+            model.total_load(sim.network()),
+            summary.max_sensing_radius,
+            coverage.covered_fraction,
+        )
+    });
+
+    let mut csv = Csv::with_header(&["k", "n", "max_load", "total_load", "r_star", "covered"]);
+    let mut chart_max = LineChart::new("# of nodes", "maximum sensing load");
+    let mut chart_total = LineChart::new("# of nodes", "total sensing load");
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let mut max_series = Vec::new();
+        let mut total_series = Vec::new();
+        for &(rk, n, max_load, total_load, r_star, covered) in &results {
+            if rk != k {
+                continue;
+            }
+            csv.row(&[
+                k.to_string(),
+                n.to_string(),
+                format!("{max_load:.5}"),
+                format!("{total_load:.4}"),
+                format!("{r_star:.4}"),
+                format!("{covered:.4}"),
+            ]);
+            max_series.push((n as f64, max_load));
+            total_series.push((n as f64, total_load));
+            rows.push(vec![
+                k.to_string(),
+                n.to_string(),
+                format!("{max_load:.4}"),
+                format!("{total_load:.3}"),
+                format!("{:.1}%", covered * 100.0),
+            ]);
+        }
+        chart_max.add_series(format!("{k}-coverage"), max_series);
+        chart_total.add_series(format!("{k}-coverage"), total_series);
+    }
+    println!("wrote {}", output::rel(&csv.save("fig7_energy.csv")));
+    let p = laacad_experiments::write_artifact("fig7a_max_load.svg", &chart_max.render(520.0, 380.0));
+    println!("wrote {}", output::rel(&p));
+    let p =
+        laacad_experiments::write_artifact("fig7b_total_load.svg", &chart_total.render(520.0, 380.0));
+    println!("wrote {}", output::rel(&p));
+
+    println!("\nFig. 7 — energy consumption of converged deployments (1 km², E(r)=πr²)");
+    println!(
+        "{}",
+        markdown_table(&["k", "N", "max load", "total load", "k-covered"], &rows)
+    );
+    // The k-ratio check the paper calls out: max-load ratio ≈ k₁/k₂.
+    let load_of = |k: usize, n: usize| {
+        results
+            .iter()
+            .find(|r| r.0 == k && r.1 == n)
+            .map(|r| r.2)
+            .unwrap_or(f64::NAN)
+    };
+    println!("\nmax-load ratios at N = 100 (paper: ≈ k₁/k₂):");
+    for (k1, k2) in [(2usize, 1usize), (3, 1), (4, 2)] {
+        println!(
+            "  E_max(k={k1}) / E_max(k={k2}) = {:.2}  (expected ≈ {:.2})",
+            load_of(k1, 100) / load_of(k2, 100),
+            k1 as f64 / k2 as f64
+        );
+    }
+}

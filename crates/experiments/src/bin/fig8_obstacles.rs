@@ -1,0 +1,52 @@
+//! Fig. 8 — adaptability to arbitrarily shaped areas and obstacles:
+//! LAACAD on a concave "coast" region (deployment I) and a square with
+//! two obstacle "lakes" (deployment II), k ∈ {2, 4, 6, 8}.
+
+use laacad_experiments::{markdown_table, output, runs, write_artifact};
+use laacad_geom::Point;
+use laacad_region::{gallery, Region};
+use laacad_viz::DeploymentPlot;
+
+fn run_scenario(name: &str, region: &Region, rows: &mut Vec<Vec<String>>) {
+    for k in [2usize, 4, 6, 8] {
+        let mut params = runs::StandardRun::new(k, 120, 55_000 + k as u64);
+        params.cluster = Some((Point::new(
+            region.bounding_box().min().x + 0.15 * region.bounding_box().width(),
+            region.bounding_box().min().y + 0.15 * region.bounding_box().height(),
+        ), 0.1 * region.diameter_bound()));
+        params.max_rounds = 250;
+        let (sim, summary, coverage) = runs::run_laacad(region, &params);
+        let svg = DeploymentPlot::new(region)
+            .title(format!("Fig. 8 — {name}, {k}-coverage"))
+            .render(sim.network());
+        let path = write_artifact(&format!("fig8_{name}_k{k}.svg"), &svg);
+        println!("wrote {}", output::rel(&path));
+        rows.push(vec![
+            name.to_string(),
+            k.to_string(),
+            summary.rounds.to_string(),
+            format!("{:.4}", summary.max_sensing_radius),
+            format!("{:.1}%", 100.0 * coverage.covered_fraction),
+        ]);
+    }
+}
+
+fn main() {
+    let coast = gallery::irregular_coast();
+    let lakes = gallery::square_with_lakes();
+    let mut rows = Vec::new();
+    run_scenario("coast", &coast, &mut rows);
+    run_scenario("lakes", &lakes, &mut rows);
+    println!("\nFig. 8 — irregular areas and obstacles (120 nodes, corner start)");
+    println!(
+        "{}",
+        markdown_table(
+            &["area", "k", "rounds", "R* (km)", "k-covered"],
+            &rows
+        )
+    );
+    println!(
+        "Paper's claim: LAACAD adapts to irregular outlines and obstacle \
+         holes, again reaching the even k-clustering distribution."
+    );
+}

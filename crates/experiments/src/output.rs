@@ -1,0 +1,89 @@
+//! Artifact output: `out/` directory, CSV files.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The artifact directory (`$LAACAD_OUT` or `./out`), created on demand.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var_os("LAACAD_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("out"));
+    fs::create_dir_all(&dir).expect("cannot create output directory");
+    dir
+}
+
+/// Writes an artifact into the output directory, returning its path.
+pub fn write_artifact(name: &str, content: &str) -> PathBuf {
+    let path = out_dir().join(name);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("cannot create artifact subdirectory");
+    }
+    fs::write(&path, content).expect("cannot write artifact");
+    path
+}
+
+/// Tiny CSV builder (no quoting needs — all output is numeric/simple).
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// Starts a CSV with a header row.
+    pub fn with_header(columns: &[&str]) -> Self {
+        Csv {
+            lines: vec![columns.join(",")],
+        }
+    }
+
+    /// Appends a row of display-able cells.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.lines.push(cells.join(","));
+        self
+    }
+
+    /// Serializes to CSV text.
+    pub fn to_string(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// Writes to `out/<name>` and returns the path.
+    pub fn save(&self, name: &str) -> PathBuf {
+        write_artifact(name, &self.to_string())
+    }
+}
+
+/// Formats a float with 4 significant decimals for table cells.
+pub fn fmt(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Path pretty-printer for log lines.
+pub fn rel(path: &Path) -> String {
+    path.display().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let mut csv = Csv::with_header(&["a", "b"]);
+        csv.row(&["1".into(), "2".into()]);
+        csv.row(&[fmt(0.5), fmt(1.25)]);
+        let text = csv.to_string();
+        assert_eq!(text, "a,b\n1,2\n0.5000,1.2500\n");
+    }
+
+    #[test]
+    fn artifacts_land_in_out_dir() {
+        std::env::set_var("LAACAD_OUT", std::env::temp_dir().join("laacad-test-out"));
+        let p = write_artifact("probe.txt", "hello");
+        assert!(p.exists());
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");
+        std::env::remove_var("LAACAD_OUT");
+    }
+}

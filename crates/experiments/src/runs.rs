@@ -1,0 +1,80 @@
+//! Standardized LAACAD runs shared by the experiment binaries.
+
+use laacad::{Laacad, LaacadConfig, RunSummary};
+use laacad_coverage::{evaluate_coverage, CoverageReport};
+use laacad_region::sampling::{sample_clustered, sample_uniform};
+use laacad_region::Region;
+use laacad_geom::Point;
+
+/// Parameters for a standard run.
+#[derive(Debug, Clone)]
+pub struct StandardRun {
+    /// Coverage degree.
+    pub k: usize,
+    /// Node count.
+    pub n: usize,
+    /// RNG seed for the initial deployment.
+    pub seed: u64,
+    /// Step size α.
+    pub alpha: f64,
+    /// Round limit.
+    pub max_rounds: usize,
+    /// `None` = uniform initial deployment; `Some((center, radius))` =
+    /// clustered (the Fig. 5 corner start).
+    pub cluster: Option<(Point, f64)>,
+    /// Transmission range override (`None` = recommended).
+    pub gamma: Option<f64>,
+    /// Record snapshots every this many rounds.
+    pub snapshot_every: Option<usize>,
+}
+
+impl StandardRun {
+    /// A run with paper-ish defaults.
+    pub fn new(k: usize, n: usize, seed: u64) -> Self {
+        StandardRun {
+            k,
+            n,
+            seed,
+            alpha: 0.5,
+            max_rounds: 200,
+            cluster: None,
+            gamma: None,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// Executes a standard run, returning the simulator, its summary, and a
+/// k-coverage verification report.
+pub fn run_laacad(region: &Region, params: &StandardRun) -> (Laacad, RunSummary, CoverageReport) {
+    let gamma = params
+        .gamma
+        .unwrap_or_else(|| LaacadConfig::recommended_gamma(region.area(), params.n, params.k));
+    // Stopping tolerance scaled to the *expected sensing range*
+    // √(k|A|/πN), not the region size: the end-game load balancing moves
+    // nodes by small fractions of their (small) ranges.
+    let expected_range =
+        (params.k as f64 * region.area() / (std::f64::consts::PI * params.n as f64)).sqrt();
+    let mut builder = LaacadConfig::builder(params.k);
+    builder
+        .transmission_range(gamma)
+        .alpha(params.alpha)
+        .epsilon(5e-3 * expected_range)
+        .max_rounds(params.max_rounds)
+        .seed(params.seed);
+    if let Some(every) = params.snapshot_every {
+        builder.snapshot_every(every);
+    }
+    let config = builder.build().expect("standard configs are valid");
+    let initial = match params.cluster {
+        Some((center, radius)) => {
+            sample_clustered(region, params.n, center, radius, params.seed)
+        }
+        None => sample_uniform(region, params.n, params.seed),
+    };
+    let mut sim =
+        Laacad::new(config, region.clone(), initial).expect("standard runs construct cleanly");
+    let summary = sim.run();
+    let report = evaluate_coverage(sim.network(), region, params.k, 10_000);
+    (sim, summary, report)
+}

@@ -1,0 +1,68 @@
+//! Markdown table rendering for stdout reports.
+
+/// Renders a GitHub-flavored markdown table.
+///
+/// # Example
+///
+/// ```
+/// let t = laacad_experiments::markdown_table(
+///     &["N", "R*"],
+///     &[vec!["1000".to_string(), "3.03".to_string()]],
+/// );
+/// assert!(t.contains("| N"));
+/// assert!(t.contains("| 1000"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = markdown_table(
+            &["k", "value"],
+            &[
+                vec!["1".into(), "0.5".into()],
+                vec!["10".into(), "0.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn empty_rows_table() {
+        let t = markdown_table(&["a"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+}

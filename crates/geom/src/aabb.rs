@@ -1,0 +1,168 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::{Point, Vector};
+
+/// A non-empty axis-aligned bounding box.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{Aabb, Point};
+/// let b = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+/// assert_eq!(b.width(), 2.0);
+/// assert!(b.contains(Point::new(1.0, 0.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    min: Point,
+    max: Point,
+}
+
+impl Aabb {
+    /// Box spanned by two corners (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Tight box around a point set; `None` when empty.
+    pub fn from_points(points: impl IntoIterator<Item = Point>) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = Aabb {
+            min: first,
+            max: first,
+        };
+        for p in it {
+            bb.min = bb.min.min(p);
+            bb.max = bb.max.max(p);
+        }
+        Some(bb)
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Horizontal extent.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Diagonal length — a convenient size scale for tolerances.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Area (zero for degenerate boxes).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Closed containment test.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when the two boxes overlap (closed).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Box expanded by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        let m = Vector::new(margin, margin);
+        Aabb::new(self.min - m, self.max + m)
+    }
+}
+
+impl std::fmt::Display for Aabb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "aabb[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalized() {
+        let b = Aabb::new(Point::new(3.0, -1.0), Point::new(1.0, 4.0));
+        assert_eq!(b.min(), Point::new(1.0, -1.0));
+        assert_eq!(b.max(), Point::new(3.0, 4.0));
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 5.0);
+        assert_eq!(b.area(), 10.0);
+    }
+
+    #[test]
+    fn from_points_handles_empty_and_singleton() {
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+        let b = Aabb::from_points([Point::new(1.0, 2.0)]).unwrap();
+        assert_eq!(b.min(), b.max());
+        assert_eq!(b.area(), 0.0);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Aabb::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let c = Aabb::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert_eq!(u.max(), Point::new(6.0, 6.0));
+        assert_eq!(u.min(), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn inflation_and_center() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert_eq!(a.center(), Point::new(1.0, 1.0));
+        let i = a.inflated(1.0);
+        assert_eq!(i.min(), Point::new(-1.0, -1.0));
+        assert_eq!(i.max(), Point::new(3.0, 3.0));
+        // Touching boxes intersect (closed semantics).
+        let t = Aabb::new(Point::new(2.0, 0.0), Point::new(4.0, 2.0));
+        assert!(a.intersects(&t));
+    }
+}

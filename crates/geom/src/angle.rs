@@ -1,0 +1,151 @@
+//! Angle normalization and interval helpers.
+//!
+//! The Algorithm 2 ring check reasons about arcs of a circle, i.e. angular
+//! intervals. These helpers keep all angle arithmetic in one tested place.
+
+use std::f64::consts::{PI, TAU};
+
+/// An angle in radians, kept as a plain `f64` newtype for documentation
+/// purposes in public APIs that would otherwise take a bare float.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::Angle;
+/// let a = Angle::from_degrees(180.0);
+/// assert!((a.radians() - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// Creates an angle from radians.
+    #[inline]
+    pub const fn from_radians(rad: f64) -> Self {
+        Angle(rad)
+    }
+
+    /// Creates an angle from degrees.
+    #[inline]
+    pub fn from_degrees(deg: f64) -> Self {
+        Angle(deg.to_radians())
+    }
+
+    /// The value in radians.
+    #[inline]
+    pub const fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// The value in degrees.
+    #[inline]
+    pub fn degrees(self) -> f64 {
+        self.0.to_degrees()
+    }
+
+    /// Normalizes into `[0, 2π)`.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        Angle(normalize_angle(self.0))
+    }
+}
+
+impl std::fmt::Display for Angle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rad", self.0)
+    }
+}
+
+/// Normalizes an angle (radians) into `[0, 2π)`.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::normalize_angle;
+/// use std::f64::consts::{PI, TAU};
+/// assert!((normalize_angle(-PI) - PI).abs() < 1e-12);
+/// assert!(normalize_angle(TAU) < 1e-12);
+/// ```
+#[inline]
+pub fn normalize_angle(theta: f64) -> f64 {
+    let mut t = theta % TAU;
+    if t < 0.0 {
+        t += TAU;
+    }
+    // `-1e-30 % TAU` is `-0.0 + TAU == TAU`; clamp the boundary.
+    if t >= TAU {
+        t -= TAU;
+    }
+    t
+}
+
+/// Smallest absolute difference between two angles, in `[0, π]`.
+#[inline]
+pub fn angular_distance(a: f64, b: f64) -> f64 {
+    let d = normalize_angle(a - b);
+    if d > PI {
+        TAU - d
+    } else {
+        d
+    }
+}
+
+/// Returns `true` when angle `theta` lies inside the counter-clockwise
+/// interval from `start` to `end` (all radians, any range).
+///
+/// The interval is closed; when `start == end` it contains only that single
+/// direction. An interval spanning the full circle should be handled by the
+/// caller (pass `start`, `start + 2π − ε`).
+#[inline]
+pub fn ccw_contains(start: f64, end: f64, theta: f64) -> bool {
+    let span = normalize_angle(end - start);
+    let off = normalize_angle(theta - start);
+    off <= span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_into_range() {
+        for &t in &[-10.0, -PI, -0.5, 0.0, 0.5, PI, TAU, 12.0] {
+            let n = normalize_angle(t);
+            assert!((0.0..TAU).contains(&n), "normalize({t}) = {n}");
+            // Same direction.
+            assert!((n.sin() - t.sin()).abs() < 1e-9);
+            assert!((n.cos() - t.cos()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalize_handles_negative_zero() {
+        let n = normalize_angle(-0.0);
+        assert!((0.0..TAU).contains(&n));
+    }
+
+    #[test]
+    fn angular_distance_symmetric() {
+        assert!((angular_distance(0.1, TAU - 0.1) - 0.2).abs() < 1e-12);
+        assert!((angular_distance(TAU - 0.1, 0.1) - 0.2).abs() < 1e-12);
+        assert!((angular_distance(0.0, PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccw_contains_wrapping_interval() {
+        // Interval from 3π/2 ccw to π/2 passes through 0.
+        assert!(ccw_contains(4.712, 1.57, 0.0));
+        assert!(!ccw_contains(4.712, 1.57, PI));
+        assert!(ccw_contains(0.0, PI, 1.0));
+        assert!(!ccw_contains(0.0, PI, 4.0));
+    }
+
+    #[test]
+    fn angle_unit_conversions() {
+        let a = Angle::from_degrees(90.0);
+        assert!((a.radians() - PI / 2.0).abs() < 1e-12);
+        assert!((a.degrees() - 90.0).abs() < 1e-12);
+        let n = Angle::from_radians(-PI / 2.0).normalized();
+        assert!((n.radians() - 3.0 * PI / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,403 @@
+//! Circular arcs and exact arc-coverage depth.
+//!
+//! Algorithm 2 (lines 5–8) asks: *is every point `v` of the circle of
+//! radius `ρ/2` strictly closer to at least `k` other nodes than to the
+//! center?* For each competitor the set of circle points it dominates is an
+//! arc, so the question becomes the **minimum coverage depth of a circle by
+//! a set of arcs** — computed exactly here, no sampling.
+
+use crate::angle::{ccw_contains, normalize_angle};
+use crate::circle::Circle;
+use crate::halfplane::HalfPlane;
+use std::f64::consts::TAU;
+
+/// A counter-clockwise arc on the unit circle of directions, stored as a
+/// start angle in `[0, 2π)` and a span in `[0, 2π]`.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::Arc;
+/// let a = Arc::new(0.0, std::f64::consts::PI);
+/// assert!(a.contains(1.0));
+/// assert!(!a.contains(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    start: f64,
+    span: f64,
+}
+
+impl Arc {
+    /// Creates an arc starting at `start` (radians) spanning `span` radians
+    /// counter-clockwise. The span is clamped into `[0, 2π]`.
+    pub fn new(start: f64, span: f64) -> Self {
+        Arc {
+            start: normalize_angle(start),
+            span: span.clamp(0.0, TAU),
+        }
+    }
+
+    /// The full circle.
+    pub const fn full() -> Self {
+        Arc {
+            start: 0.0,
+            span: TAU,
+        }
+    }
+
+    /// Start angle in `[0, 2π)`.
+    #[inline]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Counter-clockwise span in `[0, 2π]`.
+    #[inline]
+    pub fn span(&self) -> f64 {
+        self.span
+    }
+
+    /// End angle (`start + span`, not normalized; may exceed `2π`).
+    #[inline]
+    pub fn end(&self) -> f64 {
+        self.start + self.span
+    }
+
+    /// Returns `true` when direction `theta` lies on the closed arc.
+    pub fn contains(&self, theta: f64) -> bool {
+        if self.span >= TAU {
+            return true;
+        }
+        if self.span <= 0.0 {
+            return false;
+        }
+        ccw_contains(self.start, self.end(), theta)
+    }
+
+    /// Midpoint direction of the arc.
+    #[inline]
+    pub fn midpoint(&self) -> f64 {
+        normalize_angle(self.start + 0.5 * self.span)
+    }
+
+    /// The arc of `circle` dominated by a half-plane: directions `θ` whose
+    /// circle point `circle.point_at(θ)` lies inside `h`.
+    ///
+    /// Returns [`ArcSpan::Full`] / [`ArcSpan::Empty`] when the circle lies
+    /// entirely inside / outside the half-plane.
+    pub fn from_halfplane_on_circle(circle: &Circle, h: &HalfPlane) -> ArcSpan {
+        if circle.radius <= 0.0 {
+            return if h.contains(circle.center) {
+                ArcSpan::Full
+            } else {
+                ArcSpan::Empty
+            };
+        }
+        // point_at(θ) ∈ h  ⇔  n·c + r·cos(θ − φ) ≤ off, φ = angle of n.
+        let n = h.normal();
+        let q = (h.offset() - n.dot(circle.center.to_vector())) / circle.radius;
+        if q >= 1.0 {
+            ArcSpan::Full
+        } else if q <= -1.0 {
+            ArcSpan::Empty
+        } else {
+            let phi = n.angle();
+            let half = q.acos(); // cos(θ−φ) ≤ q ⇔ θ−φ ∈ [half, 2π−half]
+            ArcSpan::Partial(Arc::new(phi + half, TAU - 2.0 * half))
+        }
+    }
+}
+
+impl std::fmt::Display for Arc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "arc[{:.4} +{:.4}]", self.start, self.span)
+    }
+}
+
+/// Result of restricting a region to a circle: nothing, everything, or a
+/// proper arc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArcSpan {
+    /// No direction qualifies.
+    Empty,
+    /// Every direction qualifies.
+    Full,
+    /// A proper sub-arc qualifies.
+    Partial(Arc),
+}
+
+/// Accumulates arcs and answers *minimum coverage depth* queries exactly.
+///
+/// Depth is evaluated on the open intervals between arc endpoints, which is
+/// the right notion for LAACAD's strict-inequality dominance arcs
+/// (endpoint ties have measure zero and do not affect domination).
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{Arc, ArcCover};
+/// use std::f64::consts::PI;
+/// let mut cover = ArcCover::new();
+/// cover.add(Arc::new(0.0, PI * 1.5));
+/// cover.add(Arc::new(PI, PI * 1.5)); // together they wrap the circle
+/// assert_eq!(cover.min_depth(), 1);
+/// assert_eq!(cover.max_depth(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ArcCover {
+    arcs: Vec<Arc>,
+    full_count: usize,
+}
+
+impl ArcCover {
+    /// Creates an empty cover.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arc (full-circle arcs are counted separately for exactness).
+    pub fn add(&mut self, arc: Arc) {
+        if arc.span() >= TAU {
+            self.full_count += 1;
+        } else if arc.span() > 0.0 {
+            self.arcs.push(arc);
+        }
+    }
+
+    /// Adds an [`ArcSpan`] (ignoring `Empty`).
+    pub fn add_span(&mut self, span: ArcSpan) {
+        match span {
+            ArcSpan::Empty => {}
+            ArcSpan::Full => self.full_count += 1,
+            ArcSpan::Partial(a) => self.add(a),
+        }
+    }
+
+    /// Number of arcs covering direction `theta` (generic position — if
+    /// `theta` is an arc endpoint the closed convention applies).
+    pub fn depth_at(&self, theta: f64) -> usize {
+        self.full_count + self.arcs.iter().filter(|a| a.contains(theta)).count()
+    }
+
+    /// All arc endpoints, sorted, in `[0, 2π)`.
+    fn breakpoints(&self) -> Vec<f64> {
+        let mut bs: Vec<f64> = Vec::with_capacity(2 * self.arcs.len() + 1);
+        bs.push(0.0);
+        for a in &self.arcs {
+            bs.push(a.start());
+            bs.push(normalize_angle(a.end()));
+        }
+        bs.sort_by(f64::total_cmp);
+        bs.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+        bs
+    }
+
+    /// Exact minimum coverage depth over the whole circle.
+    pub fn min_depth(&self) -> usize {
+        self.extreme_depth_on(&[Arc::full()], true)
+    }
+
+    /// Exact maximum coverage depth over the whole circle.
+    pub fn max_depth(&self) -> usize {
+        self.extreme_depth_on(&[Arc::full()], false)
+    }
+
+    /// Exact minimum coverage depth over the union of `query` arcs.
+    ///
+    /// Returns `usize::MAX` when the query union is empty (vacuous minimum)
+    /// — for the ring check this reads as "nothing left to dominate", which
+    /// correctly terminates the expansion.
+    pub fn min_depth_on(&self, query: &[Arc]) -> usize {
+        self.extreme_depth_on(query, true)
+    }
+
+    fn extreme_depth_on(&self, query: &[Arc], take_min: bool) -> usize {
+        let queries: Vec<&Arc> = query.iter().filter(|a| a.span() > 0.0).collect();
+        if queries.is_empty() {
+            return if take_min { usize::MAX } else { 0 };
+        }
+        let mut bs = self.breakpoints();
+        for q in &queries {
+            bs.push(q.start());
+            bs.push(normalize_angle(q.end()));
+        }
+        bs.sort_by(f64::total_cmp);
+        bs.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+        let mut best: Option<usize> = None;
+        let m = bs.len();
+        for i in 0..m {
+            let a = bs[i];
+            let b = if i + 1 < m { bs[i + 1] } else { bs[0] + TAU };
+            if b - a <= 1e-14 {
+                continue;
+            }
+            let mid = normalize_angle(0.5 * (a + b));
+            if !queries.iter().any(|q| q.contains(mid)) {
+                continue;
+            }
+            let d = self.depth_at(mid);
+            best = Some(match best {
+                None => d,
+                Some(x) => {
+                    if take_min {
+                        x.min(d)
+                    } else {
+                        x.max(d)
+                    }
+                }
+            });
+        }
+        best.unwrap_or(if take_min { usize::MAX } else { 0 })
+    }
+
+    /// Number of proper arcs added (full-circle arcs excluded).
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Returns `true` when no arc has been added at all.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty() && self.full_count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{Point, Vector};
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arc_containment_with_wrap() {
+        let a = Arc::new(5.0, 2.0); // wraps through 0
+        assert!(a.contains(5.5));
+        assert!(a.contains(0.2));
+        assert!(!a.contains(2.0));
+        assert_eq!(Arc::full().contains(3.0), true);
+        assert!(!Arc::new(1.0, 0.0).contains(1.5));
+    }
+
+    #[test]
+    fn halfplane_arc_cases() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        // Half-plane x ≤ 0: left half of circle, i.e. θ ∈ [π/2, 3π/2].
+        let h = HalfPlane::new(Vector::new(1.0, 0.0), 0.0).unwrap();
+        match Arc::from_halfplane_on_circle(&c, &h) {
+            ArcSpan::Partial(a) => {
+                assert!((a.start() - PI / 2.0).abs() < 1e-9);
+                assert!((a.span() - PI).abs() < 1e-9);
+                assert!(a.contains(PI));
+                assert!(!a.contains(0.0));
+            }
+            other => panic!("expected partial arc, got {other:?}"),
+        }
+        // Half-plane x ≤ 5 contains the whole circle.
+        let hf = HalfPlane::new(Vector::new(1.0, 0.0), 5.0).unwrap();
+        assert_eq!(Arc::from_halfplane_on_circle(&c, &hf), ArcSpan::Full);
+        // Half-plane x ≤ −5 misses it entirely.
+        let he = HalfPlane::new(Vector::new(1.0, 0.0), -5.0).unwrap();
+        assert_eq!(Arc::from_halfplane_on_circle(&c, &he), ArcSpan::Empty);
+    }
+
+    #[test]
+    fn dominance_arc_matches_distance_comparison() {
+        // Circle around node i; competitor j to the east. The dominated arc
+        // must be exactly the directions where j is closer than i's center.
+        let ui = Point::new(2.0, 1.0);
+        let uj = Point::new(3.5, 1.0);
+        let rho_half = 1.0;
+        let c = Circle::new(ui, rho_half);
+        let h = HalfPlane::closer_to(uj, ui).unwrap();
+        let span = Arc::from_halfplane_on_circle(&c, &h);
+        for i in 0..720 {
+            let th = i as f64 / 720.0 * TAU;
+            let v = c.point_at(th);
+            let j_closer = v.distance(uj) < v.distance(ui) - 1e-12;
+            let in_arc = match span {
+                ArcSpan::Empty => false,
+                ArcSpan::Full => true,
+                ArcSpan::Partial(a) => a.contains(th),
+            };
+            if (v.distance(uj) - v.distance(ui)).abs() > 1e-9 {
+                assert_eq!(in_arc, j_closer, "θ={th}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_depth_empty_cover_is_zero() {
+        let cover = ArcCover::new();
+        assert_eq!(cover.min_depth(), 0);
+        assert_eq!(cover.max_depth(), 0);
+        assert!(cover.is_empty());
+    }
+
+    #[test]
+    fn min_depth_with_gap() {
+        let mut cover = ArcCover::new();
+        cover.add(Arc::new(0.0, PI)); // covers upper half
+        assert_eq!(cover.min_depth(), 0);
+        assert_eq!(cover.max_depth(), 1);
+        cover.add(Arc::new(PI, PI)); // covers lower half
+        assert_eq!(cover.min_depth(), 1);
+    }
+
+    #[test]
+    fn full_circle_arcs_add_everywhere() {
+        let mut cover = ArcCover::new();
+        cover.add(Arc::full());
+        cover.add(Arc::full());
+        cover.add(Arc::new(1.0, 0.5));
+        assert_eq!(cover.min_depth(), 2);
+        assert_eq!(cover.max_depth(), 3);
+    }
+
+    #[test]
+    fn min_depth_on_query_subarc() {
+        let mut cover = ArcCover::new();
+        cover.add(Arc::new(0.0, PI));
+        // Query only the covered half: min depth is 1 there.
+        assert_eq!(cover.min_depth_on(&[Arc::new(0.5, 1.0)]), 1);
+        // Query the uncovered half: 0.
+        assert_eq!(cover.min_depth_on(&[Arc::new(PI + 0.5, 1.0)]), 0);
+        // Empty query: vacuous (MAX).
+        assert_eq!(cover.min_depth_on(&[]), usize::MAX);
+    }
+
+    #[test]
+    fn depth_matches_brute_force_sampling() {
+        let mut cover = ArcCover::new();
+        let arcs = [
+            Arc::new(0.3, 2.0),
+            Arc::new(1.0, 4.0),
+            Arc::new(5.5, 1.5), // wraps
+            Arc::new(2.0, 0.7),
+            Arc::new(4.0, 2.9),
+        ];
+        for a in arcs {
+            cover.add(a);
+        }
+        let mut brute_min = usize::MAX;
+        let mut brute_max = 0;
+        for i in 0..7200 {
+            let th = (i as f64 + 0.5) / 7200.0 * TAU;
+            let d = arcs.iter().filter(|a| a.contains(th)).count();
+            brute_min = brute_min.min(d);
+            brute_max = brute_max.max(d);
+        }
+        assert_eq!(cover.min_depth(), brute_min);
+        assert_eq!(cover.max_depth(), brute_max);
+    }
+
+    #[test]
+    fn add_span_variants() {
+        let mut cover = ArcCover::new();
+        cover.add_span(ArcSpan::Empty);
+        cover.add_span(ArcSpan::Full);
+        cover.add_span(ArcSpan::Partial(Arc::new(0.0, 1.0)));
+        assert_eq!(cover.min_depth(), 1);
+        assert_eq!(cover.max_depth(), 2);
+        assert_eq!(cover.len(), 1);
+    }
+}

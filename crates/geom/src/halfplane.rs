@@ -1,0 +1,198 @@
+//! Closed half-planes, the atoms of Voronoi-cell construction.
+
+use crate::line::Line;
+use crate::point::{Point, Vector};
+use crate::EPS;
+
+/// A closed half-plane `{ p : n · p ≤ c }` with inward normal conventions
+/// spelled out by the constructors.
+///
+/// The LAACAD dominating-region computation clips convex polygons by the
+/// *dominance* half-plane of two sensors: the set of points at least as
+/// close to one as to the other ([`HalfPlane::closer_to`]).
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{HalfPlane, Point};
+/// let h = HalfPlane::closer_to(Point::new(0.0, 0.0), Point::new(2.0, 0.0)).unwrap();
+/// assert!(h.contains(Point::new(-1.0, 3.0)));
+/// assert!(!h.contains(Point::new(1.5, 0.0)));
+/// assert!(h.contains(Point::new(1.0, 7.0))); // boundary (closed)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    /// Outward unit normal.
+    normal: Vector,
+    /// Offset: the half-plane is `{ p : normal · p ≤ offset }`.
+    offset: f64,
+}
+
+impl HalfPlane {
+    /// Creates the half-plane `{ p : normal · p ≤ offset }`.
+    ///
+    /// Returns `None` when `normal` is (near-)zero. The normal is stored
+    /// normalized so that [`HalfPlane::signed_distance`] is metric.
+    pub fn new(normal: Vector, offset: f64) -> Option<Self> {
+        let n = normal.norm();
+        if n <= EPS {
+            return None;
+        }
+        Some(HalfPlane {
+            normal: normal / n,
+            offset: offset / n,
+        })
+    }
+
+    /// Half-plane of points at least as close to `a` as to `b`
+    /// (the closed dominance region of `a` against `b`).
+    ///
+    /// Returns `None` when `a` and `b` (nearly) coincide: co-located sensors
+    /// never strictly dominate one another, so no constraint applies — the
+    /// caller simply skips the pair, matching Eq. (7)'s strict inequality.
+    pub fn closer_to(a: Point, b: Point) -> Option<Self> {
+        let d = b - a;
+        let n = d.norm();
+        if n <= EPS {
+            return None;
+        }
+        // p closer to a: ‖p−a‖² ≤ ‖p−b‖²  ⇔  2(b−a)·p ≤ ‖b‖² − ‖a‖².
+        let normal = d / n;
+        let offset = normal.dot(a.midpoint(b).to_vector());
+        Some(HalfPlane { normal, offset })
+    }
+
+    /// Half-plane to the *left* of the directed line `a → b`
+    /// (boundary included).
+    ///
+    /// Returns `None` for coincident points. Clipping a counter-clockwise
+    /// polygon by the left half-planes of its edges reproduces the polygon.
+    pub fn left_of(a: Point, b: Point) -> Option<Self> {
+        let d = (b - a).normalized(EPS)?;
+        // Left of direction d: outward normal is -d.perp() ... left means
+        // cross(d, p - a) >= 0  ⇔  (-d.perp()) · p ≤ (-d.perp()) · a.
+        let normal = -d.perp();
+        let offset = normal.dot(a.to_vector());
+        Some(HalfPlane { normal, offset })
+    }
+
+    /// Outward unit normal.
+    #[inline]
+    pub fn normal(&self) -> Vector {
+        self.normal
+    }
+
+    /// Offset of the boundary line along the normal.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Signed distance of `p` from the boundary (negative inside).
+    #[inline]
+    pub fn signed_distance(&self, p: Point) -> f64 {
+        self.normal.dot(p.to_vector()) - self.offset
+    }
+
+    /// Returns `true` when `p` belongs to the closed half-plane
+    /// (tolerance [`EPS`] on the boundary).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.signed_distance(p) <= EPS
+    }
+
+    /// The boundary line, oriented with the half-plane on its left.
+    pub fn boundary(&self) -> Line {
+        let dir = self.normal.perp();
+        let origin = (self.normal * self.offset).to_point();
+        Line::new(origin, dir).expect("unit normal yields unit direction")
+    }
+
+    /// The complementary (open) half-plane, returned as a closed one whose
+    /// boundary coincides.
+    pub fn complement(&self) -> HalfPlane {
+        HalfPlane {
+            normal: -self.normal,
+            offset: -self.offset,
+        }
+    }
+}
+
+impl std::fmt::Display for HalfPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{p : {}·p ≤ {}}}", self.normal, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closer_to_is_the_bisector_halfplane() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(5.0, -1.0);
+        let h = HalfPlane::closer_to(a, b).unwrap();
+        assert!(h.contains(a));
+        assert!(!h.contains(b));
+        let mid = a.midpoint(b);
+        assert!(h.signed_distance(mid).abs() < 1e-9);
+        // Points strictly closer to a are inside.
+        for p in [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 5.0)] {
+            assert_eq!(h.contains(p), p.distance(a) <= p.distance(b) + 1e-9, "{p}");
+        }
+    }
+
+    #[test]
+    fn coincident_points_have_no_dominance() {
+        let a = Point::new(3.0, 3.0);
+        assert!(HalfPlane::closer_to(a, a).is_none());
+        let b = Point::new(3.0, 3.0 + 1e-12);
+        assert!(HalfPlane::closer_to(a, b).is_none());
+    }
+
+    #[test]
+    fn left_of_keeps_ccw_interiors() {
+        // Unit square CCW; interior point must be inside all edge half-planes.
+        let sq = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        let inside = Point::new(0.5, 0.5);
+        let outside = Point::new(1.5, 0.5);
+        for i in 0..4 {
+            let h = HalfPlane::left_of(sq[i], sq[(i + 1) % 4]).unwrap();
+            assert!(h.contains(inside));
+        }
+        let right_edge = HalfPlane::left_of(sq[1], sq[2]).unwrap();
+        assert!(!right_edge.contains(outside));
+    }
+
+    #[test]
+    fn complement_flips_containment() {
+        let h = HalfPlane::closer_to(Point::new(0.0, 0.0), Point::new(2.0, 0.0)).unwrap();
+        let c = h.complement();
+        let p = Point::new(-1.0, 0.0);
+        assert!(h.contains(p));
+        assert!(!c.contains(p));
+        // Boundary belongs to both closed half-planes.
+        let b = Point::new(1.0, 4.0);
+        assert!(h.contains(b) && c.contains(b));
+    }
+
+    #[test]
+    fn boundary_line_lies_on_zero_set() {
+        let h = HalfPlane::new(Vector::new(3.0, 4.0), 10.0).unwrap();
+        let l = h.boundary();
+        for t in [-2.0, 0.0, 1.5] {
+            assert!(h.signed_distance(l.point_at(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_normal_rejected() {
+        assert!(HalfPlane::new(Vector::ZERO, 1.0).is_none());
+    }
+}

@@ -1,0 +1,136 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use crate::point::Point;
+use crate::predicates::cross3;
+use crate::EPS;
+
+/// Convex hull of a point set, counter-clockwise, without collinear
+/// interior points.
+///
+/// Degenerate inputs return what exists: the empty set, a single point, or
+/// two endpoints of a collinear run.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{convex_hull, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 0.5), // interior
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(*b));
+    pts.dedup_by(|a, b| a.approx_eq(*b, EPS));
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && cross3(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross3(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// Returns `true` when `p` lies in the closed convex hull given as a CCW
+/// vertex loop (as produced by [`convex_hull`]).
+pub fn hull_contains(hull: &[Point], p: Point) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].approx_eq(p, EPS),
+        2 => crate::segment::Segment::new(hull[0], hull[1]).contains(p, 1e-9),
+        n => (0..n).all(|i| cross3(hull[i], hull[(i + 1) % n], p) >= -1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+            Point::new(0.25, 0.75),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        for &p in &pts {
+            assert!(hull_contains(&h, p));
+        }
+        assert!(!hull_contains(&h, Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 3.0),
+            Point::new(-1.0, 1.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(crate::polygon::signed_area(&h) > 0.0);
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        // All collinear: hull is the two extreme points.
+        let line: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let h = convex_hull(&line);
+        assert_eq!(h.len(), 2);
+        assert!(hull_contains(&h, Point::new(2.0, 4.0)));
+        assert!(!hull_contains(&h, Point::new(2.0, 4.1)));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![Point::new(1.0, 1.0); 7];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn collinear_edge_points_removed() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0), // on the bottom edge
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4, "collinear mid-edge point must be dropped");
+    }
+}

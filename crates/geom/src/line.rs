@@ -1,0 +1,157 @@
+//! Infinite lines, including perpendicular bisectors.
+
+use crate::point::{Point, Vector};
+use crate::EPS;
+
+/// An infinite line through `origin` with direction `direction`.
+///
+/// The direction need not be normalized; constructors reject degenerate
+/// (zero-length) directions.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{Line, Point};
+/// let bis = Line::bisector(Point::new(0.0, 0.0), Point::new(2.0, 0.0)).unwrap();
+/// // Every point of the bisector is equidistant from the two inputs.
+/// let p = bis.point_at(3.5);
+/// assert!((p.distance(Point::new(0.0, 0.0)) - p.distance(Point::new(2.0, 0.0))).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    origin: Point,
+    direction: Vector,
+}
+
+impl Line {
+    /// Creates a line through `origin` with the given `direction`.
+    ///
+    /// Returns `None` when `direction` is (near-)zero.
+    pub fn new(origin: Point, direction: Vector) -> Option<Self> {
+        let direction = direction.normalized(EPS)?;
+        Some(Line { origin, direction })
+    }
+
+    /// Creates the line through two distinct points.
+    ///
+    /// Returns `None` when the points (nearly) coincide.
+    pub fn through(a: Point, b: Point) -> Option<Self> {
+        Line::new(a, b - a)
+    }
+
+    /// Perpendicular bisector of the segment `a b`, oriented so that `a`
+    /// lies on the *left* of the direction.
+    ///
+    /// Returns `None` when `a` and `b` (nearly) coincide — co-located
+    /// sensors have no bisector, a case LAACAD's k-clusters hit routinely.
+    pub fn bisector(a: Point, b: Point) -> Option<Self> {
+        let d = (b - a).normalized(EPS)?;
+        Some(Line {
+            origin: a.midpoint(b),
+            direction: d.perp(),
+        })
+    }
+
+    /// A point anchoring the line.
+    #[inline]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The unit direction of the line.
+    #[inline]
+    pub fn direction(&self) -> Vector {
+        self.direction
+    }
+
+    /// The point `origin + t · direction`.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.origin + self.direction * t
+    }
+
+    /// Signed perpendicular distance from `p` to the line
+    /// (positive on the left of `direction`).
+    #[inline]
+    pub fn signed_distance(&self, p: Point) -> f64 {
+        self.direction.cross(p - self.origin)
+    }
+
+    /// Orthogonal projection of `p` onto the line.
+    pub fn project(&self, p: Point) -> Point {
+        let t = (p - self.origin).dot(self.direction);
+        self.point_at(t)
+    }
+
+    /// Intersection parameter/point with another line.
+    ///
+    /// Returns `None` for (near-)parallel lines.
+    pub fn intersect(&self, other: &Line) -> Option<Point> {
+        let denom = self.direction.cross(other.direction);
+        if denom.abs() <= EPS {
+            return None;
+        }
+        let t = (other.origin - self.origin).cross(other.direction) / denom;
+        Some(self.point_at(t))
+    }
+}
+
+impl std::fmt::Display for Line {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line({} + t·{})", self.origin, self.direction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_directions_rejected() {
+        assert!(Line::new(Point::ORIGIN, Vector::ZERO).is_none());
+        assert!(Line::through(Point::new(1.0, 1.0), Point::new(1.0, 1.0)).is_none());
+        assert!(Line::bisector(Point::new(1.0, 1.0), Point::new(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn bisector_equidistance_and_orientation() {
+        let a = Point::new(-1.0, 0.5);
+        let b = Point::new(3.0, -2.0);
+        let bis = Line::bisector(a, b).unwrap();
+        for t in [-5.0, -1.0, 0.0, 2.0, 7.0] {
+            let p = bis.point_at(t);
+            assert!((p.distance(a) - p.distance(b)).abs() < 1e-9);
+        }
+        // `a` on the left (positive signed distance).
+        assert!(bis.signed_distance(a) > 0.0);
+        assert!(bis.signed_distance(b) < 0.0);
+    }
+
+    #[test]
+    fn projection_is_idempotent_and_orthogonal() {
+        let l = Line::through(Point::new(0.0, 0.0), Point::new(2.0, 1.0)).unwrap();
+        let p = Point::new(3.0, -4.0);
+        let q = l.project(p);
+        assert!(l.project(q).approx_eq(q, 1e-12));
+        assert!((p - q).dot(l.direction()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_intersection() {
+        let l1 = Line::through(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let l2 = Line::through(Point::new(0.0, 2.0), Point::new(1.0, 1.0)).unwrap();
+        let p = l1.intersect(&l2).unwrap();
+        assert!(p.approx_eq(Point::new(1.0, 1.0), 1e-9));
+        // Parallel lines do not intersect.
+        let l3 = Line::through(Point::new(0.0, 5.0), Point::new(1.0, 6.0)).unwrap();
+        assert!(l1.intersect(&l3).is_none());
+    }
+
+    #[test]
+    fn signed_distance_sign_convention() {
+        let l = Line::new(Point::ORIGIN, Vector::new(1.0, 0.0)).unwrap();
+        assert!(l.signed_distance(Point::new(0.0, 1.0)) > 0.0);
+        assert!(l.signed_distance(Point::new(0.0, -1.0)) < 0.0);
+        assert!(l.signed_distance(Point::new(7.0, 0.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! Reuleaux triangles — the building block of the Ammari–Das \[15\]
+//! k-coverage deployment that Table II compares against.
+//!
+//! A Reuleaux triangle of width `w` is the intersection of three disks of
+//! radius `w` centered at the vertices of an equilateral triangle of side
+//! `w`. Ammari & Das tile the target area with adjacent Reuleaux triangles
+//! and drop `k` sensors in each *lens* (the intersection of two adjacent
+//! triangles), yielding `N*_k = 6 k |A| / ((4π − 3√3) r²)` sensors.
+
+use crate::point::{Point, Vector};
+use crate::polygon::Polygon;
+
+/// Area of a Reuleaux triangle of width `w`: `(π − √3) w² / 2`.
+///
+/// # Example
+///
+/// ```
+/// let a = laacad_geom::reuleaux::reuleaux_area(1.0);
+/// assert!((a - 0.70477).abs() < 1e-4);
+/// ```
+pub fn reuleaux_area(width: f64) -> f64 {
+    0.5 * (std::f64::consts::PI - 3.0f64.sqrt()) * width * width
+}
+
+/// Area of the *lens* formed by two adjacent Reuleaux triangles of width
+/// `w`: `(4π − 3√3)/6 · w² − ...` — Ammari & Das's derivation gives the
+/// per-lens share of area `((4π − 3√3)/6) w²` used in their density bound;
+/// this helper returns that normalizing constant times `w²`.
+pub fn lens_area_share(width: f64) -> f64 {
+    (4.0 * std::f64::consts::PI - 3.0 * 3.0f64.sqrt()) / 6.0 * width * width
+}
+
+/// A Reuleaux triangle of width `width` anchored at vertex `a` with its
+/// base direction `rotation` radians from the x-axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReuleauxTriangle {
+    /// First vertex.
+    pub a: Point,
+    /// Width (= side of the underlying equilateral triangle).
+    pub width: f64,
+    /// Orientation of the edge `a → b`.
+    pub rotation: f64,
+}
+
+impl ReuleauxTriangle {
+    /// Creates a Reuleaux triangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is not strictly positive and finite.
+    pub fn new(a: Point, width: f64, rotation: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "reuleaux width must be positive, got {width}"
+        );
+        ReuleauxTriangle { a, width, rotation }
+    }
+
+    /// The three corner vertices.
+    pub fn corners(&self) -> [Point; 3] {
+        let b = self.a + Vector::from_angle(self.rotation) * self.width;
+        let c = self.a
+            + Vector::from_angle(self.rotation + std::f64::consts::FRAC_PI_3) * self.width;
+        [self.a, b, c]
+    }
+
+    /// Centroid of the corner triangle (= center of the Reuleaux triangle).
+    pub fn center(&self) -> Point {
+        let [a, b, c] = self.corners();
+        Point::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0)
+    }
+
+    /// Exact area (`(π − √3) w² / 2`).
+    pub fn area(&self) -> f64 {
+        reuleaux_area(self.width)
+    }
+
+    /// Containment test: inside all three corner disks.
+    pub fn contains(&self, p: Point) -> bool {
+        let w2 = self.width * self.width + 1e-12;
+        self.corners().iter().all(|&c| c.distance_sq(p) <= w2)
+    }
+
+    /// Polygonal approximation with `segments_per_arc` segments per
+    /// circular arc (counter-clockwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments_per_arc == 0`.
+    pub fn to_polygon(&self, segments_per_arc: usize) -> Polygon {
+        assert!(segments_per_arc > 0, "need at least one segment per arc");
+        let [a, b, c] = self.corners();
+        let mut pts = Vec::with_capacity(3 * segments_per_arc);
+        // Arc from a to b is centered at c, etc. (opposite corner).
+        for (from, to, center) in [(a, b, c), (b, c, a), (c, a, b)] {
+            let th0 = (from - center).angle();
+            let th1 = (to - center).angle();
+            // Sweep ccw from th0 to th1 (span is exactly π/3).
+            let mut span = th1 - th0;
+            while span <= 0.0 {
+                span += std::f64::consts::TAU;
+            }
+            for s in 0..segments_per_arc {
+                let t = s as f64 / segments_per_arc as f64;
+                pts.push(center + Vector::from_angle(th0 + t * span) * self.width);
+            }
+        }
+        Polygon::new(pts).expect("reuleaux approximation is a valid polygon")
+    }
+}
+
+impl std::fmt::Display for ReuleauxTriangle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reuleaux(a {}, w {})", self.a, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_geometry() {
+        let r = ReuleauxTriangle::new(Point::ORIGIN, 2.0, 0.0);
+        let [a, b, c] = r.corners();
+        assert_eq!(a, Point::ORIGIN);
+        assert!((a.distance(b) - 2.0).abs() < 1e-12);
+        assert!((a.distance(c) - 2.0).abs() < 1e-12);
+        assert!((b.distance(c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_center_and_corners() {
+        let r = ReuleauxTriangle::new(Point::new(1.0, 1.0), 1.0, 0.3);
+        assert!(r.contains(r.center()));
+        for c in r.corners() {
+            assert!(r.contains(c));
+        }
+        assert!(!r.contains(Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn polygon_area_approaches_exact_area() {
+        let r = ReuleauxTriangle::new(Point::ORIGIN, 1.0, 0.0);
+        let poly = r.to_polygon(64);
+        let err = (poly.area() - r.area()).abs() / r.area();
+        assert!(err < 1e-3, "relative error {err}");
+        assert!(poly.is_convex());
+    }
+
+    #[test]
+    fn polygon_points_inside_reuleaux() {
+        let r = ReuleauxTriangle::new(Point::new(-1.0, 2.0), 1.5, 1.0);
+        let poly = r.to_polygon(32);
+        for &v in poly.vertices() {
+            assert!(r.contains(v), "{v}");
+        }
+        assert!(poly.contains(r.center()));
+    }
+
+    #[test]
+    fn constant_width_property() {
+        // Width in every direction equals w: support function difference.
+        let r = ReuleauxTriangle::new(Point::ORIGIN, 1.0, 0.0);
+        let poly = r.to_polygon(256);
+        for i in 0..12 {
+            let dir = Vector::from_angle(i as f64 * 0.5);
+            let max: f64 = poly
+                .vertices()
+                .iter()
+                .map(|v| v.to_vector().dot(dir))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let min: f64 = poly
+                .vertices()
+                .iter()
+                .map(|v| v.to_vector().dot(dir))
+                .fold(f64::INFINITY, f64::min);
+            assert!((max - min - 1.0).abs() < 1e-2, "width {}", max - min);
+        }
+    }
+
+    #[test]
+    fn area_formulas() {
+        assert!((reuleaux_area(2.0) - 4.0 * reuleaux_area(1.0)).abs() < 1e-12);
+        assert!(lens_area_share(1.0) > reuleaux_area(1.0) / 2.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Welzl's minimum-enclosing-circle algorithm.
+//!
+//! LAACAD moves every node to the **Chebyshev center** of its dominating
+//! region (Prop. 3). Because a dominating region is a union of polygons,
+//! its Chebyshev center is the center of the minimum enclosing circle of
+//! the polygon vertices, which the paper computes with Welzl's algorithm
+//! \[26\] — "we apply Welzl's algorithm to compute the Chebyshev center by
+//! taking the vertices of the region as the input" (Sec. IV-B).
+//!
+//! The implementation below is the iterative move-to-front variant, which
+//! is expected linear time without needing randomization (determinism keeps
+//! the whole simulation reproducible under fixed seeds).
+
+use crate::circle::Circle;
+use crate::point::Point;
+use crate::EPS;
+
+/// Minimum enclosing circle of a point set.
+///
+/// Returns the zero-radius circle at the single input point for singletons
+/// and a zero circle at the origin for an empty slice (documented
+/// degenerate convention — LAACAD never queries empty regions, but the
+/// total function keeps callers panic-free).
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{min_enclosing_circle, Point};
+/// let square = [
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(0.0, 1.0),
+/// ];
+/// let c = min_enclosing_circle(&square);
+/// assert!(c.center.approx_eq(Point::new(0.5, 0.5), 1e-9));
+/// assert!((c.radius - (0.5f64).hypot(0.5)).abs() < 1e-9);
+/// ```
+pub fn min_enclosing_circle(points: &[Point]) -> Circle {
+    match points.len() {
+        0 => Circle::point(Point::ORIGIN),
+        1 => Circle::point(points[0]),
+        _ => {
+            let mut pts: Vec<Point> = points.to_vec();
+            welzl_mtf(&mut pts)
+        }
+    }
+}
+
+/// Tolerant containment used while growing the disk.
+fn inside(c: &Circle, p: Point, scale: f64) -> bool {
+    c.center.distance_sq(p) <= c.radius * c.radius + EPS * (1.0 + scale)
+}
+
+/// Iterative Welzl with move-to-front heuristic.
+fn welzl_mtf(pts: &mut [Point]) -> Circle {
+    let scale = pts
+        .iter()
+        .map(|p| p.x.abs().max(p.y.abs()))
+        .fold(0.0, f64::max);
+    let mut circle = Circle::from_diameter(pts[0], pts[1]);
+    for i in 2..pts.len() {
+        if inside(&circle, pts[i], scale) {
+            continue;
+        }
+        // pts[i] is on the boundary of the new circle.
+        circle = Circle::from_diameter(pts[0], pts[i]);
+        for j in 1..i {
+            if inside(&circle, pts[j], scale) {
+                continue;
+            }
+            // pts[i] and pts[j] are on the boundary.
+            circle = Circle::from_diameter(pts[i], pts[j]);
+            for l in 0..j {
+                if inside(&circle, pts[l], scale) {
+                    continue;
+                }
+                // Three boundary points determine the circle.
+                circle = circumcircle_or_diameter(pts[i], pts[j], pts[l]);
+            }
+            pts[..=j].rotate_right(1); // move-to-front
+        }
+        pts[..=i].rotate_right(1); // move-to-front
+    }
+    circle
+}
+
+/// Circumcircle of three points, falling back to the largest diameter
+/// circle when they are (numerically) collinear.
+fn circumcircle_or_diameter(a: Point, b: Point, c: Point) -> Circle {
+    if let Some(circ) = Circle::circumscribing(a, b, c) {
+        return circ;
+    }
+    // Collinear: the two farthest-apart points define the disk.
+    let (dab, dac, dbc) = (a.distance_sq(b), a.distance_sq(c), b.distance_sq(c));
+    if dab >= dac && dab >= dbc {
+        Circle::from_diameter(a, b)
+    } else if dac >= dbc {
+        Circle::from_diameter(a, c)
+    } else {
+        Circle::from_diameter(b, c)
+    }
+}
+
+/// Exhaustive `O(n⁴)` minimum enclosing circle used as a test oracle.
+///
+/// Tries every pair (diameter circles) and every triple (circumcircles) and
+/// returns the smallest circle enclosing all points. Exposed (not
+/// `cfg(test)`) so property tests in *other* crates can reuse it.
+pub fn min_enclosing_circle_brute(points: &[Point]) -> Circle {
+    match points.len() {
+        0 => return Circle::point(Point::ORIGIN),
+        1 => return Circle::point(points[0]),
+        _ => {}
+    }
+    let scale = points
+        .iter()
+        .map(|p| p.x.abs().max(p.y.abs()))
+        .fold(0.0, f64::max);
+    let mut best: Option<Circle> = None;
+    let mut consider = |c: Circle| {
+        if points.iter().all(|&p| inside(&c, p, scale))
+            && best.is_none_or(|b| c.radius < b.radius)
+        {
+            best = Some(c);
+        }
+    };
+    let n = points.len();
+    for i in 0..n {
+        for j in i + 1..n {
+            consider(Circle::from_diameter(points[i], points[j]));
+            for l in j + 1..n {
+                if let Some(c) = Circle::circumscribing(points[i], points[j], points[l]) {
+                    consider(c);
+                }
+            }
+        }
+    }
+    best.expect("at least one enclosing circle exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_inputs() {
+        assert_eq!(min_enclosing_circle(&[]).radius, 0.0);
+        let p = Point::new(3.0, 4.0);
+        let c = min_enclosing_circle(&[p]);
+        assert_eq!(c.center, p);
+        assert_eq!(c.radius, 0.0);
+        let c2 = min_enclosing_circle(&[p, p, p]);
+        assert!(c2.radius < 1e-9);
+    }
+
+    #[test]
+    fn two_points_diameter() {
+        let c = min_enclosing_circle(&[Point::new(0.0, 0.0), Point::new(2.0, 0.0)]);
+        assert!(c.center.approx_eq(Point::new(1.0, 0.0), 1e-12));
+        assert!((c.radius - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter() {
+        // Very obtuse triangle: min circle is the diameter of the long side.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 0.1),
+        ];
+        let c = min_enclosing_circle(&pts);
+        assert!((c.radius - 2.0).abs() < 1e-6);
+        assert!(c.center.approx_eq(Point::new(2.0, 0.0), 1e-6));
+    }
+
+    #[test]
+    fn acute_triangle_uses_circumcircle() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 1.7),
+        ];
+        let got = min_enclosing_circle(&pts);
+        let expect = Circle::circumscribing(pts[0], pts[1], pts[2]).unwrap();
+        assert!(got.center.approx_eq(expect.center, 1e-9));
+        assert!((got.radius - expect.radius).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(3.0, 3.0),
+            Point::new(2.0, 2.0),
+        ];
+        let c = min_enclosing_circle(&pts);
+        assert!(c.center.approx_eq(Point::new(1.5, 1.5), 1e-9));
+        assert!((c.radius - 1.5 * 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_grids_and_rings() {
+        // Deterministic structured inputs exercising all branch depths.
+        let mut sets: Vec<Vec<Point>> = Vec::new();
+        let grid: Vec<Point> = (0..4)
+            .flat_map(|i| (0..3).map(move |j| Point::new(i as f64, j as f64 * 1.3)))
+            .collect();
+        sets.push(grid);
+        let ring: Vec<Point> = (0..9)
+            .map(|i| {
+                let th = i as f64 / 9.0 * std::f64::consts::TAU;
+                Point::new(th.cos() * 2.0 + 5.0, th.sin() * 2.0 - 1.0)
+            })
+            .collect();
+        sets.push(ring);
+        for pts in sets {
+            let fast = min_enclosing_circle(&pts);
+            let slow = min_enclosing_circle_brute(&pts);
+            assert!(
+                (fast.radius - slow.radius).abs() < 1e-7,
+                "fast {fast} vs brute {slow}"
+            );
+            for &p in &pts {
+                assert!(fast.center.distance(p) <= fast.radius + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn circle_encloses_all_inputs_pseudorandom() {
+        // Simple LCG so this test has no dependencies.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 10.0 - 5.0
+        };
+        for n in [3usize, 5, 9, 17, 40] {
+            let pts: Vec<Point> = (0..n).map(|_| Point::new(next(), next())).collect();
+            let c = min_enclosing_circle(&pts);
+            for &p in &pts {
+                assert!(
+                    c.center.distance(p) <= c.radius + 1e-7,
+                    "point {p} escapes {c}"
+                );
+            }
+            let brute = min_enclosing_circle_brute(&pts);
+            assert!((c.radius - brute.radius).abs() < 1e-7);
+        }
+    }
+}

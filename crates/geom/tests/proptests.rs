@@ -1,0 +1,154 @@
+//! Property-based tests for the geometry kernel.
+
+use laacad_geom::hull::hull_contains;
+use laacad_geom::polygon::signed_area;
+use laacad_geom::welzl::min_enclosing_circle_brute;
+use laacad_geom::{
+    convex_hull, min_enclosing_circle, Arc, ArcCover, HalfPlane, Point, Polygon, Segment, Vector,
+};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Bounded, finite coordinates at the scale LAACAD uses (km).
+    (-1000.0f64..1000.0).prop_map(|x| (x * 1e6).round() / 1e6)
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(point(), min..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn welzl_encloses_all_points(pts in points(1, 60)) {
+        let c = min_enclosing_circle(&pts);
+        let scale = 1.0 + c.radius;
+        for p in &pts {
+            prop_assert!(c.center.distance(*p) <= c.radius + 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn welzl_matches_brute_force(pts in points(1, 12)) {
+        let fast = min_enclosing_circle(&pts);
+        let slow = min_enclosing_circle_brute(&pts);
+        let scale = 1.0 + slow.radius;
+        prop_assert!(
+            (fast.radius - slow.radius).abs() <= 1e-6 * scale,
+            "fast {} vs slow {}", fast.radius, slow.radius
+        );
+    }
+
+    #[test]
+    fn hull_contains_every_input(pts in points(1, 50)) {
+        let h = convex_hull(&pts);
+        for p in &pts {
+            prop_assert!(hull_contains(&h, *p), "hull misses {p}");
+        }
+    }
+
+    #[test]
+    fn hull_is_convex_and_ccw(pts in points(3, 50)) {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            prop_assert!(signed_area(&h) > 0.0);
+            let p = Polygon::new(h.iter().copied()).unwrap();
+            prop_assert!(p.is_convex());
+        }
+    }
+
+    #[test]
+    fn halfplane_clip_respects_constraint(
+        pts in points(3, 20),
+        nx in -1.0f64..1.0,
+        ny in -1.0f64..1.0,
+        off in -500.0f64..500.0,
+    ) {
+        let hull = convex_hull(&pts);
+        prop_assume!(hull.len() >= 3);
+        let poly = Polygon::new(hull).unwrap();
+        let Some(h) = HalfPlane::new(Vector::new(nx, ny), off) else {
+            return Ok(());
+        };
+        if let Some(clipped) = poly.clip_halfplane(&h) {
+            let tol = 1e-6 * (1.0 + poly.bounding_box().diagonal());
+            for v in clipped.vertices() {
+                prop_assert!(h.signed_distance(*v) <= tol, "vertex {v} escapes");
+                prop_assert!(poly.contains(*v) || poly.closest_boundary_point(*v).distance(*v) <= tol);
+            }
+            prop_assert!(clipped.area() <= poly.area() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn convex_clip_is_commutative_in_area(a_pts in points(3, 15), b_pts in points(3, 15)) {
+        let ha = convex_hull(&a_pts);
+        let hb = convex_hull(&b_pts);
+        prop_assume!(ha.len() >= 3 && hb.len() >= 3);
+        let pa = Polygon::new(ha).unwrap();
+        let pb = Polygon::new(hb).unwrap();
+        let ab = pa.clip_convex(&pb).map(|p| p.area()).unwrap_or(0.0);
+        let ba = pb.clip_convex(&pa).map(|p| p.area()).unwrap_or(0.0);
+        let scale = 1.0 + pa.area().max(pb.area());
+        prop_assert!((ab - ba).abs() <= 1e-6 * scale, "areas {ab} vs {ba}");
+    }
+
+    #[test]
+    fn segment_closest_point_is_nearest(a in point(), b in point(), q in point()) {
+        let s = Segment::new(a, b);
+        let c = s.closest_point(q);
+        // Closest point beats both endpoints and a few interior samples.
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            prop_assert!(c.distance(q) <= s.point_at(t).distance(q) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn arc_cover_min_depth_matches_sampling(
+        raw in prop::collection::vec((0.0f64..std::f64::consts::TAU, 0.01f64..std::f64::consts::TAU), 1..12)
+    ) {
+        let arcs: Vec<Arc> = raw.iter().map(|&(s, w)| Arc::new(s, w)).collect();
+        let mut cover = ArcCover::new();
+        for a in &arcs {
+            cover.add(*a);
+        }
+        let mut sampled_min = usize::MAX;
+        for i in 0..2880 {
+            let th = (i as f64 + 0.5) / 2880.0 * std::f64::consts::TAU;
+            let d = arcs.iter().filter(|a| a.contains(th)).count();
+            sampled_min = sampled_min.min(d);
+        }
+        // Sampling can only overestimate the true minimum (it may miss a
+        // narrow gap); the exact sweep may only be ≤ the sampled estimate.
+        prop_assert!(cover.min_depth() <= sampled_min);
+        // And on a refined grid around breakpoints they agree for the
+        // generated (≥0.01-rad) arcs.
+        prop_assert!(sampled_min.saturating_sub(cover.min_depth()) <= 1);
+    }
+
+    #[test]
+    fn closer_to_halfplane_agrees_with_distances(a in point(), b in point(), q in point()) {
+        if let Some(h) = HalfPlane::closer_to(a, b) {
+            let da = q.distance(a);
+            let db = q.distance(b);
+            if (da - db).abs() > 1e-6 * (1.0 + da + db) {
+                prop_assert_eq!(h.contains(q), da < db);
+            }
+        }
+    }
+
+    #[test]
+    fn polygon_scaling_scales_area_quadratically(pts in points(3, 20), f in 0.1f64..4.0) {
+        let h = convex_hull(&pts);
+        prop_assume!(h.len() >= 3);
+        let p = Polygon::new(h).unwrap();
+        let s = p.scaled_about(p.centroid(), f);
+        let scale = 1.0 + p.area() * f * f;
+        prop_assert!((s.area() - p.area() * f * f).abs() <= 1e-6 * scale);
+    }
+}

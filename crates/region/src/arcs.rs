@@ -1,0 +1,203 @@
+//! Circle ∩ region angular clipping.
+//!
+//! Fig. 3 of the paper: a boundary node running the Algorithm 2 ring check
+//! must only verify the half-radius arc *within the target area* — the arc
+//! outside `A` would never become dominated and the ring would expand
+//! forever. This module computes exactly which arcs of a circle lie inside
+//! a [`Region`].
+
+use crate::Region;
+use laacad_geom::angle::normalize_angle;
+use laacad_geom::{Arc, Circle};
+use std::f64::consts::TAU;
+
+/// Returns the arcs of `circle` whose points lie inside `region`.
+///
+/// The result is a set of disjoint CCW arcs; a circle fully inside yields
+/// one full-circle arc, a circle fully outside yields an empty vector.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{Circle, Point};
+/// use laacad_region::{arcs::arcs_inside_region, Region};
+/// let region = Region::square(10.0).unwrap();
+/// // Circle centered on the left boundary: only its right half is inside.
+/// let c = Circle::new(Point::new(0.0, 5.0), 1.0);
+/// let arcs = arcs_inside_region(&c, &region);
+/// let total: f64 = arcs.iter().map(|a| a.span()).sum();
+/// assert!((total - std::f64::consts::PI).abs() < 1e-6);
+/// ```
+pub fn arcs_inside_region(circle: &Circle, region: &Region) -> Vec<Arc> {
+    if circle.radius <= 0.0 {
+        return if region.contains(circle.center) {
+            vec![Arc::full()]
+        } else {
+            Vec::new()
+        };
+    }
+    // Fast path: bounding-box disjointness.
+    let bb = region.bounding_box().inflated(circle.radius);
+    if !bb.contains(circle.center) {
+        return Vec::new();
+    }
+
+    // Collect crossing angles against every boundary edge (outer + holes).
+    let mut cuts: Vec<f64> = Vec::new();
+    for e in region.outer().edges() {
+        cuts.extend(circle.intersect_segment_angles(&e));
+    }
+    for h in region.holes() {
+        for e in h.edges() {
+            cuts.extend(circle.intersect_segment_angles(&e));
+        }
+    }
+
+    if cuts.is_empty() {
+        // No boundary crossing: all-in or all-out, decided by any point.
+        return if region.contains(circle.point_at(0.0)) {
+            vec![Arc::full()]
+        } else {
+            Vec::new()
+        };
+    }
+
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let n = cuts.len();
+    let mut arcs = Vec::new();
+    for i in 0..n {
+        let a = cuts[i];
+        let b = if i + 1 < n { cuts[i + 1] } else { cuts[0] + TAU };
+        let span = b - a;
+        if span <= 1e-12 {
+            continue;
+        }
+        let mid = normalize_angle(a + 0.5 * span);
+        if region.contains(circle.point_at(mid)) {
+            arcs.push(Arc::new(a, span));
+        }
+    }
+    merge_adjacent(arcs)
+}
+
+/// Total angular measure (radians) of a set of disjoint arcs.
+pub fn total_span(arcs: &[Arc]) -> f64 {
+    arcs.iter().map(|a| a.span()).sum()
+}
+
+/// Merges arcs that touch end-to-start (within tolerance) into single arcs.
+fn merge_adjacent(mut arcs: Vec<Arc>) -> Vec<Arc> {
+    if arcs.len() <= 1 {
+        return arcs;
+    }
+    arcs.sort_by(|x, y| x.start().total_cmp(&y.start()));
+    let mut out: Vec<Arc> = Vec::with_capacity(arcs.len());
+    for a in arcs {
+        if let Some(last) = out.last_mut() {
+            let gap = normalize_angle(a.start() - last.start()) - last.span();
+            if gap.abs() < 1e-9 {
+                let combined = (last.span() + a.span()).min(TAU);
+                *last = Arc::new(last.start(), combined);
+                continue;
+            }
+        }
+        out.push(a);
+    }
+    // Wrap-around merge: last arc ending at first arc's start.
+    if out.len() >= 2 {
+        let first = out[0];
+        let last = *out.last().unwrap();
+        let gap = normalize_angle(first.start() - last.start()) - last.span();
+        if gap.abs() < 1e-9 {
+            let combined = (last.span() + first.span()).min(TAU);
+            let merged = Arc::new(last.start(), combined);
+            out[0] = merged;
+            out.pop();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_geom::{Point, Polygon};
+    use std::f64::consts::PI;
+
+    #[test]
+    fn interior_circle_is_full() {
+        let r = Region::square(10.0).unwrap();
+        let arcs = arcs_inside_region(&Circle::new(Point::new(5.0, 5.0), 1.0), &r);
+        assert_eq!(arcs.len(), 1);
+        assert!((total_span(&arcs) - TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exterior_circle_is_empty() {
+        let r = Region::square(10.0).unwrap();
+        let arcs = arcs_inside_region(&Circle::new(Point::new(50.0, 50.0), 1.0), &r);
+        assert!(arcs.is_empty());
+    }
+
+    #[test]
+    fn corner_circle_keeps_a_quarter() {
+        let r = Region::square(10.0).unwrap();
+        let arcs = arcs_inside_region(&Circle::new(Point::new(0.0, 0.0), 1.0), &r);
+        assert!((total_span(&arcs) - PI / 2.0).abs() < 1e-6);
+        // The quarter arc is the first quadrant.
+        assert!(arcs.iter().any(|a| a.contains(PI / 4.0)));
+        assert!(!arcs.iter().any(|a| a.contains(PI)));
+    }
+
+    #[test]
+    fn circle_over_hole_excludes_hole_arcs() {
+        let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let hole = Polygon::rectangle(Point::new(4.0, 4.0), Point::new(6.0, 6.0)).unwrap();
+        let r = Region::with_holes(outer, vec![hole]).unwrap();
+        // Radius between the hole's edge distance (1.0) and its corner
+        // distance (√2): the circle crosses each hole edge twice.
+        let c = Circle::new(Point::new(5.0, 5.0), 1.2);
+        let arcs = arcs_inside_region(&c, &r);
+        let span = total_span(&arcs);
+        assert!(span > 0.0 && span < TAU, "span {span}");
+        // Axis directions (e.g. (6.2, 5)) sit inside the hole → excluded;
+        // diagonal directions (5±0.85, 5±0.85) are free. Verify exactly:
+        for i in 0..720 {
+            let th = (i as f64 + 0.5) / 720.0 * TAU;
+            let inside = r.contains(c.point_at(th));
+            let in_arcs = arcs.iter().any(|a| a.contains(th));
+            assert_eq!(inside, in_arcs, "θ={th}");
+        }
+    }
+
+    #[test]
+    fn brute_force_agreement_on_boundary_circle() {
+        let r = Region::square(10.0).unwrap();
+        for (cx, cy, rad) in [
+            (0.0, 5.0, 2.0),
+            (10.0, 10.0, 3.0),
+            (5.0, 0.0, 1.0),
+            (9.5, 5.0, 1.0),
+        ] {
+            let c = Circle::new(Point::new(cx, cy), rad);
+            let arcs = arcs_inside_region(&c, &r);
+            for i in 0..720 {
+                let th = (i as f64 + 0.5) / 720.0 * TAU;
+                let inside = r.contains(c.point_at(th));
+                let in_arcs = arcs.iter().any(|a| a.contains(th));
+                assert_eq!(inside, in_arcs, "center ({cx},{cy}) r {rad} θ={th}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_radius_circle_degenerates_to_point_test() {
+        let r = Region::square(10.0).unwrap();
+        assert_eq!(
+            arcs_inside_region(&Circle::point(Point::new(5.0, 5.0)), &r).len(),
+            1
+        );
+        assert!(arcs_inside_region(&Circle::point(Point::new(50.0, 5.0)), &r).is_empty());
+    }
+}

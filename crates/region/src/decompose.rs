@@ -1,0 +1,230 @@
+//! Hertel–Mehlhorn convex decomposition.
+//!
+//! Starting from the triangulation, adjacent pieces are merged across
+//! shared edges whenever the union stays convex. The result is at most
+//! 4× the optimal number of convex pieces — plenty good for clipping
+//! dominating regions, where fewer pieces simply mean fewer convex–convex
+//! intersections per node per round.
+
+use crate::triangulate::Triangle;
+use laacad_geom::{Point, Polygon};
+use std::collections::HashMap;
+
+/// Key for matching shared edges between pieces: quantized endpoint pair,
+/// order-normalized.
+fn edge_key(a: Point, b: Point) -> ((i64, i64), (i64, i64)) {
+    let q = |p: Point| ((p.x * 1e9).round() as i64, (p.y * 1e9).round() as i64);
+    let (ka, kb) = (q(a), q(b));
+    if ka <= kb {
+        (ka, kb)
+    } else {
+        (kb, ka)
+    }
+}
+
+/// Merges two CCW loops that share the directed edge `piece_a[i] →
+/// piece_a[i+1]` (present reversed in `piece_b`), returning the union loop.
+fn merge_loops(a: &[Point], ai: usize, b: &[Point], bi: usize) -> Vec<Point> {
+    // a: ... a[ai] a[ai+1] ...   b: ... b[bi] b[bi+1] ... with
+    // a[ai] == b[bi+1] and a[ai+1] == b[bi].
+    let na = a.len();
+    let nb = b.len();
+    let mut out: Vec<Point> = Vec::with_capacity(na + nb - 2);
+    // Walk a from a[ai+1] all the way around to a[ai] (inclusive).
+    for k in 0..na {
+        out.push(a[(ai + 1 + k) % na]);
+    }
+    // Then b's interior from b[bi+2] around to b[bi-1]: skip the shared
+    // edge's two vertices (already present).
+    for k in 0..nb - 2 {
+        out.push(b[(bi + 2 + k) % nb]);
+    }
+    out
+}
+
+fn is_convex_loop(vs: &[Point]) -> bool {
+    let n = vs.len();
+    if n < 3 {
+        return false;
+    }
+    (0..n).all(|i| {
+        laacad_geom::predicates::cross3(vs[i], vs[(i + 1) % n], vs[(i + 2) % n]) >= -1e-9
+    })
+}
+
+fn drop_collinear(vs: &[Point]) -> Vec<Point> {
+    let n = vs.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let prev = vs[(i + n - 1) % n];
+        let cur = vs[i];
+        let next = vs[(i + 1) % n];
+        if laacad_geom::predicates::cross3(prev, cur, next).abs() > 1e-12
+            || prev.distance(next) < 1e-12
+        {
+            out.push(cur);
+        }
+    }
+    out
+}
+
+/// Greedy Hertel–Mehlhorn merge of a triangle soup into convex polygons.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{Point, Polygon};
+/// use laacad_region::{decompose::convex_decomposition, triangulate::triangulate_with_holes};
+/// let sq = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(2.0, 2.0)).unwrap();
+/// let pieces = convex_decomposition(&triangulate_with_holes(&sq, &[]));
+/// // A square merges back into a single convex piece.
+/// assert_eq!(pieces.len(), 1);
+/// assert!((pieces[0].area() - 4.0).abs() < 1e-9);
+/// ```
+pub fn convex_decomposition(triangles: &[Triangle]) -> Vec<Polygon> {
+    let mut pieces: Vec<Option<Vec<Point>>> = triangles
+        .iter()
+        .map(|t| Some(t.to_vec()))
+        .collect();
+
+    let mut merged_any = true;
+    while merged_any {
+        merged_any = false;
+        // Rebuild the edge → (piece, edge index) map each pass; pass count
+        // is small (each merge shrinks the piece count).
+        let mut edges: HashMap<((i64, i64), (i64, i64)), Vec<(usize, usize)>> = HashMap::new();
+        for (pi, piece) in pieces.iter().enumerate() {
+            let Some(vs) = piece else { continue };
+            let n = vs.len();
+            for i in 0..n {
+                edges
+                    .entry(edge_key(vs[i], vs[(i + 1) % n]))
+                    .or_default()
+                    .push((pi, i));
+            }
+        }
+        for (_, owners) in edges {
+            if owners.len() != 2 {
+                continue;
+            }
+            let (pa, ai) = owners[0];
+            let (pb, bi) = owners[1];
+            if pa == pb {
+                continue;
+            }
+            let (Some(a), Some(b)) = (pieces[pa].clone(), pieces[pb].clone()) else {
+                continue;
+            };
+            // Guard against stale indices after a prior merge this pass.
+            if ai >= a.len() || bi >= b.len() {
+                continue;
+            }
+            let ka = edge_key(a[ai], a[(ai + 1) % a.len()]);
+            let kb = edge_key(b[bi], b[(bi + 1) % b.len()]);
+            if ka != kb {
+                continue;
+            }
+            let merged = drop_collinear(&merge_loops(&a, ai, &b, bi));
+            if is_convex_loop(&merged) && merged.len() >= 3 {
+                pieces[pa] = Some(merged);
+                pieces[pb] = None;
+                merged_any = true;
+            }
+        }
+    }
+
+    pieces
+        .into_iter()
+        .flatten()
+        .filter_map(|vs| Polygon::new(vs).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangulate::triangulate_with_holes;
+
+    #[test]
+    fn l_shape_becomes_few_convex_pieces() {
+        let l = Polygon::new([
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        let pieces = convex_decomposition(&triangulate_with_holes(&l, &[]));
+        assert!(pieces.len() <= 3, "got {} pieces", pieces.len());
+        let area: f64 = pieces.iter().map(|p| p.area()).sum();
+        assert!((area - 3.0).abs() < 1e-9);
+        for p in &pieces {
+            assert!(p.is_convex());
+        }
+    }
+
+    #[test]
+    fn holed_square_pieces_avoid_the_hole() {
+        let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap();
+        let hole = Polygon::rectangle(Point::new(1.0, 1.0), Point::new(3.0, 3.0)).unwrap();
+        let pieces = convex_decomposition(&triangulate_with_holes(&outer, &[hole.clone()]));
+        let area: f64 = pieces.iter().map(|p| p.area()).sum();
+        assert!((area - 12.0).abs() < 1e-9);
+        for p in &pieces {
+            assert!(p.is_convex());
+            let c = p.centroid();
+            assert!(!(hole.contains(c) && hole.closest_boundary_point(c).distance(c) > 1e-9));
+        }
+    }
+
+    #[test]
+    fn star_decomposition_is_area_preserving() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let th = i as f64 / 10.0 * std::f64::consts::TAU;
+            let r = if i % 2 == 0 { 2.0 } else { 0.8 };
+            pts.push(Point::new(r * th.cos(), r * th.sin()));
+        }
+        let star = Polygon::new(pts).unwrap();
+        let tris = triangulate_with_holes(&star, &[]);
+        let pieces = convex_decomposition(&tris);
+        let area: f64 = pieces.iter().map(|p| p.area()).sum();
+        assert!((area - star.area()).abs() < 1e-9);
+        assert!(pieces.len() < tris.len(), "merging must reduce piece count");
+    }
+
+    #[test]
+    fn pieces_tile_without_overlap() {
+        // Random-ish sample points must fall in exactly one piece
+        // (interior) for a partition.
+        let l = Polygon::new([
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 3.0),
+        ])
+        .unwrap();
+        let pieces = convex_decomposition(&triangulate_with_holes(&l, &[]));
+        let probes = [
+            Point::new(0.5, 0.5),
+            Point::new(2.5, 0.5),
+            Point::new(0.5, 2.5),
+            Point::new(0.9, 0.9),
+        ];
+        for q in probes {
+            let strictly_in = pieces
+                .iter()
+                .filter(|p| p.contains(q) && p.closest_boundary_point(q).distance(q) > 1e-9)
+                .count();
+            assert!(strictly_in <= 1, "point {q} in {strictly_in} piece interiors");
+            if l.contains(q) {
+                let any = pieces.iter().any(|p| p.contains(q));
+                assert!(any, "point {q} lost by decomposition");
+            }
+        }
+    }
+}

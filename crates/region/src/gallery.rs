@@ -1,0 +1,175 @@
+//! Ready-made target areas used throughout the experiments.
+//!
+//! The paper's evaluation uses a unit square (Figs. 5–7, Tables I–II) and
+//! two irregular scenarios (Fig. 8): an arbitrarily shaped concave area
+//! ("deployment I") and an area containing obstacles ("deployment II").
+//! Exact outlines are not published; these shapes match the described
+//! character (concave outline; internal holes) and are fixed here so every
+//! experiment and test sees identical geometry.
+
+use crate::Region;
+use laacad_geom::{Point, Polygon};
+
+/// The 1 × 1 unit square (kilometres in Figs. 5–7).
+pub fn unit_square() -> Region {
+    Region::square(1.0).expect("unit square is valid")
+}
+
+/// Square of the given side.
+///
+/// # Panics
+///
+/// Panics for non-positive side lengths.
+pub fn square(side: f64) -> Region {
+    Region::square(side).expect("square side must be positive")
+}
+
+/// An L-shaped area (concave) with unit "arm" thickness, total area 3.
+pub fn l_shape() -> Region {
+    Region::new(
+        Polygon::new([
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .expect("L-shape is a valid polygon"),
+    )
+}
+
+/// A cross/plus-shaped area, the union of two 3 × 1 bars.
+pub fn cross_shape() -> Region {
+    Region::new(
+        Polygon::new([
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(3.0, 1.0),
+            Point::new(3.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 3.0),
+            Point::new(1.0, 3.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ])
+        .expect("cross is a valid polygon"),
+    )
+}
+
+/// Fig. 8 "deployment I": an arbitrarily shaped concave coastline-like
+/// area (no holes), area ≈ 0.66 km².
+pub fn irregular_coast() -> Region {
+    Region::new(
+        Polygon::new([
+            Point::new(0.00, 0.10),
+            Point::new(0.35, 0.00),
+            Point::new(0.75, 0.05),
+            Point::new(1.00, 0.30),
+            Point::new(0.95, 0.65),
+            Point::new(0.70, 0.60),
+            Point::new(0.55, 0.80),
+            Point::new(0.65, 1.00),
+            Point::new(0.30, 0.95),
+            Point::new(0.10, 0.70),
+            Point::new(0.20, 0.45),
+            Point::new(0.05, 0.35),
+        ])
+        .expect("coast outline is a valid polygon"),
+    )
+}
+
+/// Fig. 8 "deployment II": a square kilometre with two obstacle "lakes"
+/// that nodes can neither enter nor need to cover.
+pub fn square_with_lakes() -> Region {
+    let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+        .expect("outer square");
+    let lake1 = Polygon::regular(Point::new(0.30, 0.62), 0.13, 8, 0.3).expect("octagon lake");
+    let lake2 = Polygon::new([
+        Point::new(0.60, 0.18),
+        Point::new(0.82, 0.22),
+        Point::new(0.88, 0.38),
+        Point::new(0.72, 0.46),
+        Point::new(0.58, 0.36),
+    ])
+    .expect("pentagon lake");
+    Region::with_holes(outer, vec![lake1, lake2]).expect("lakes sit inside the square")
+}
+
+/// A long, thin corridor (aspect 8 : 1) — stresses boundary handling and
+/// models border-surveillance deployments.
+pub fn corridor() -> Region {
+    Region::rect(8.0, 1.0).expect("corridor is valid")
+}
+
+/// Forest-watch scenario for the examples: a concave forest outline with a
+/// lake obstacle.
+pub fn forest_with_lake() -> Region {
+    let outer = Polygon::new([
+        Point::new(0.00, 0.20),
+        Point::new(0.30, 0.00),
+        Point::new(0.80, 0.05),
+        Point::new(1.05, 0.35),
+        Point::new(0.95, 0.75),
+        Point::new(0.60, 1.00),
+        Point::new(0.25, 0.90),
+        Point::new(0.05, 0.60),
+    ])
+    .expect("forest outline");
+    let lake = Polygon::regular(Point::new(0.55, 0.45), 0.12, 10, 0.0).expect("lake");
+    Region::with_holes(outer, vec![lake]).expect("lake inside forest")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gallery_regions_are_valid_and_decompose() {
+        for (name, r) in [
+            ("unit_square", unit_square()),
+            ("l_shape", l_shape()),
+            ("cross", cross_shape()),
+            ("coast", irregular_coast()),
+            ("lakes", square_with_lakes()),
+            ("corridor", corridor()),
+            ("forest", forest_with_lake()),
+        ] {
+            assert!(r.area() > 0.0, "{name} has positive area");
+            let pieces_area: f64 = r.convex_pieces().iter().map(|p| p.area()).sum();
+            assert!(
+                (pieces_area - r.area()).abs() < 1e-6 * (1.0 + r.area()),
+                "{name}: decomposition area {pieces_area} vs region {}",
+                r.area()
+            );
+            assert!(r.convex_pieces().iter().all(|p| p.is_convex()), "{name}");
+        }
+    }
+
+    #[test]
+    fn lakes_are_excluded() {
+        let r = square_with_lakes();
+        assert!(!r.contains(Point::new(0.30, 0.62)));
+        assert!(!r.contains(Point::new(0.72, 0.32)));
+        assert!(r.contains(Point::new(0.1, 0.1)));
+        assert!(r.area() < 1.0);
+    }
+
+    #[test]
+    fn grid_points_respect_holes() {
+        let r = square_with_lakes();
+        for p in r.grid_points(2000) {
+            assert!(r.contains(p));
+        }
+    }
+
+    #[test]
+    fn coast_is_concave() {
+        let r = irregular_coast();
+        assert!(!r.outer().is_convex());
+        assert!(r.convex_pieces().len() > 1);
+    }
+}

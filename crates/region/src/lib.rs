@@ -1,0 +1,45 @@
+//! # laacad-region — target areas `A`, possibly irregular, possibly holed
+//!
+//! LAACAD deploys sensors over a 2-D target area `A`. The paper evaluates
+//! both a plain square (Figs. 5–7, Tables I–II) and arbitrarily shaped
+//! areas containing obstacles that nodes can neither enter nor need to
+//! cover (Fig. 8). This crate models such areas:
+//!
+//! * [`Region`]: a simple outer polygon minus a set of polygonal holes,
+//!   with containment, area, nearest-free-point projection and sampling;
+//! * [`triangulate`]: ear-clipping triangulation with hole bridging;
+//! * [`decompose`]: Hertel–Mehlhorn convex decomposition — the Voronoi
+//!   machinery clips dominating regions against these convex pieces so
+//!   that *every* polygon Boolean in the system is convex–convex;
+//! * [`arcs`]: circle∩region angular clipping (the constrained ring check
+//!   of Fig. 3 sweeps only the sub-arcs of the searching circle that lie
+//!   inside `A`);
+//! * [`gallery`]: ready-made areas used by the experiments, including the
+//!   Fig. 8 irregular/obstacle scenarios.
+//!
+//! # Example
+//!
+//! ```
+//! use laacad_region::Region;
+//! use laacad_geom::{Point, Polygon};
+//!
+//! let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0))?;
+//! let hole = Polygon::rectangle(Point::new(4.0, 4.0), Point::new(6.0, 6.0))?;
+//! let region = Region::with_holes(outer, vec![hole])?;
+//! assert!((region.area() - 96.0).abs() < 1e-9);
+//! assert!(region.contains(Point::new(1.0, 1.0)));
+//! assert!(!region.contains(Point::new(5.0, 5.0))); // inside the obstacle
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arcs;
+pub mod decompose;
+pub mod gallery;
+pub mod region;
+pub mod sampling;
+pub mod triangulate;
+
+pub use region::{Region, RegionError};

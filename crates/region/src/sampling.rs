@@ -1,0 +1,174 @@
+//! Random sampling of points inside a region.
+//!
+//! Uniform sampling picks a triangle of the cached triangulation with
+//! probability proportional to its area, then samples uniformly inside it
+//! — exact, no rejection loop over the bounding box.
+
+use crate::Region;
+use laacad_geom::Point;
+
+/// Deterministic, dependency-free RNG (SplitMix64) so that *library* code
+/// does not force a `rand` dependency on downstream users; experiment
+/// crates use `rand` for their own workloads.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// Samples `n` points uniformly from the free area of `region`.
+///
+/// # Example
+///
+/// ```
+/// use laacad_region::{sampling::sample_uniform, Region};
+/// let r = Region::square(1.0).unwrap();
+/// let pts = sample_uniform(&r, 100, 42);
+/// assert_eq!(pts.len(), 100);
+/// assert!(pts.iter().all(|&p| r.contains(p)));
+/// ```
+pub fn sample_uniform(region: &Region, n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SplitMix64::new(seed);
+    let tris = region.triangles();
+    assert!(!tris.is_empty(), "region has an empty triangulation");
+    // Cumulative areas.
+    let mut cum: Vec<f64> = Vec::with_capacity(tris.len());
+    let mut acc = 0.0;
+    for t in tris {
+        acc += 0.5 * ((t[1] - t[0]).cross(t[2] - t[0])).abs();
+        cum.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let target = rng.next_f64() * total;
+            let idx = cum.partition_point(|&c| c < target).min(tris.len() - 1);
+            let t = &tris[idx];
+            // Uniform point in a triangle via reflected barycentric trick.
+            let mut u = rng.next_f64();
+            let mut v = rng.next_f64();
+            if u + v > 1.0 {
+                u = 1.0 - u;
+                v = 1.0 - v;
+            }
+            t[0] + (t[1] - t[0]) * u + (t[2] - t[0]) * v
+        })
+        .collect()
+}
+
+/// Samples `n` points from a disk of radius `radius` around `center`,
+/// clipped to the region by projection — the paper's Fig. 5 initial
+/// deployment ("initially deploy 100 sensor nodes at the bottom-left
+/// corner") uses this with a small radius.
+pub fn sample_clustered(
+    region: &Region,
+    n: usize,
+    center: Point,
+    radius: f64,
+    seed: u64,
+) -> Vec<Point> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let th = rng.range(0.0, std::f64::consts::TAU);
+            let r = radius * rng.next_f64().sqrt();
+            let p = center + laacad_geom::Vector::from_angle(th) * r;
+            region.project(p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_geom::Polygon;
+
+    #[test]
+    fn uniform_points_inside_region() {
+        let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let hole = Polygon::rectangle(Point::new(4.0, 4.0), Point::new(6.0, 6.0)).unwrap();
+        let r = Region::with_holes(outer, vec![hole]).unwrap();
+        let pts = sample_uniform(&r, 2000, 7);
+        assert_eq!(pts.len(), 2000);
+        assert!(pts.iter().all(|&p| r.contains(p)));
+        // No sample inside the (open) hole.
+        assert!(!pts
+            .iter()
+            .any(|p| p.x > 4.1 && p.x < 5.9 && p.y > 4.1 && p.y < 5.9));
+    }
+
+    #[test]
+    fn uniform_sampling_is_roughly_uniform() {
+        let r = Region::square(1.0).unwrap();
+        let pts = sample_uniform(&r, 4000, 99);
+        // Quadrant counts should be near 1000 each.
+        let mut counts = [0usize; 4];
+        for p in &pts {
+            let q = (p.x >= 0.5) as usize + 2 * (p.y >= 0.5) as usize;
+            counts[q] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 1000).abs() < 150, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let r = Region::square(5.0).unwrap();
+        let a = sample_uniform(&r, 50, 1234);
+        let b = sample_uniform(&r, 50, 1234);
+        assert_eq!(a, b);
+        let c = sample_uniform(&r, 50, 4321);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_sampling_respects_region() {
+        let r = Region::square(10.0).unwrap();
+        let pts = sample_clustered(&r, 200, Point::new(0.5, 0.5), 2.0, 5);
+        assert_eq!(pts.len(), 200);
+        assert!(pts.iter().all(|&p| r.contains(p)));
+        // Most points stay near the corner.
+        let near = pts
+            .iter()
+            .filter(|p| p.distance(Point::new(0.5, 0.5)) <= 2.0 + 1e-9)
+            .count();
+        assert!(near == 200, "projection may move only outside-region draws");
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let x = SplitMix64::new(2).next_f64();
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for regions: decomposition is area-preserving and
+//! point-location-consistent, sampling stays inside, arc clipping matches
+//! brute-force membership.
+
+use laacad_geom::{Circle, Point, Polygon};
+use laacad_region::arcs::arcs_inside_region;
+use laacad_region::sampling::sample_uniform;
+use laacad_region::triangulate::convex_difference;
+use laacad_region::Region;
+use proptest::prelude::*;
+
+/// Strategy: a random star-shaped simple polygon around the origin
+/// (radii per angle step), guaranteed simple by construction.
+fn star_polygon() -> impl Strategy<Value = Polygon> {
+    prop::collection::vec(0.5f64..3.0, 5..14).prop_map(|radii| {
+        let n = radii.len();
+        let pts: Vec<Point> = radii
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let th = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point::new(5.0 + r * th.cos(), 5.0 + r * th.sin())
+            })
+            .collect();
+        Polygon::new(pts).expect("star polygons are valid")
+    })
+}
+
+/// A small convex hole strictly inside the star region's inner radius.
+fn small_hole() -> impl Strategy<Value = Polygon> {
+    (3usize..7, 0.05f64..0.35, 0.0f64..std::f64::consts::TAU).prop_map(|(n, r, phase)| {
+        Polygon::regular(Point::new(5.0, 5.0), r, n, phase).expect("hole polygon")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decomposition_preserves_area(outer in star_polygon()) {
+        let region = Region::new(outer.clone());
+        let sum: f64 = region.convex_pieces().iter().map(|p| p.area()).sum();
+        prop_assert!((sum - outer.area()).abs() <= 1e-6 * (1.0 + outer.area()));
+    }
+
+    #[test]
+    fn decomposition_with_hole_preserves_area(outer in star_polygon(), hole in small_hole()) {
+        let region = Region::with_holes(outer.clone(), vec![hole.clone()]).unwrap();
+        let expect = outer.area() - hole.area();
+        let sum: f64 = region.convex_pieces().iter().map(|p| p.area()).sum();
+        prop_assert!((sum - expect).abs() <= 1e-6 * (1.0 + expect), "sum {sum} expect {expect}");
+        prop_assert!(region.convex_pieces().iter().all(|p| p.is_convex()));
+    }
+
+    #[test]
+    fn point_location_consistent(outer in star_polygon(), hole in small_hole(),
+                                 x in 1.0f64..9.0, y in 1.0f64..9.0) {
+        let region = Region::with_holes(outer, vec![hole]).unwrap();
+        let p = Point::new(x, y);
+        let in_region = region.contains(p);
+        let in_pieces = region.convex_pieces().iter().any(|piece| piece.contains(p));
+        // Allow disagreement only within tolerance of a boundary.
+        let near_boundary = {
+            let ob = region.outer().closest_boundary_point(p).distance(p);
+            let hb = region
+                .holes()
+                .iter()
+                .map(|h| h.closest_boundary_point(p).distance(p))
+                .fold(f64::INFINITY, f64::min);
+            ob.min(hb) < 1e-6
+        };
+        prop_assert!(in_region == in_pieces || near_boundary,
+            "contains {in_region} pieces {in_pieces} at {p}");
+    }
+
+    #[test]
+    fn samples_always_inside(outer in star_polygon(), seed in 0u64..1000) {
+        let region = Region::new(outer);
+        for p in sample_uniform(&region, 64, seed) {
+            prop_assert!(region.contains(p));
+        }
+    }
+
+    #[test]
+    fn projection_lands_inside(outer in star_polygon(), x in -5.0f64..15.0, y in -5.0f64..15.0) {
+        let region = Region::new(outer);
+        let q = region.project(Point::new(x, y));
+        prop_assert!(region.contains(q), "projected {q} escapes");
+    }
+
+    #[test]
+    fn convex_difference_area_identity(
+        ax in 0.0f64..2.0, ay in 0.0f64..2.0,
+        bw in 0.5f64..3.0, bh in 0.5f64..3.0,
+    ) {
+        // a = fixed square, b = random rectangle; |a \ b| = |a| − |a ∩ b|.
+        let a = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap();
+        let b = Polygon::rectangle(Point::new(ax, ay), Point::new(ax + bw, ay + bh)).unwrap();
+        let inter = a.clip_convex(&b).map(|p| p.area()).unwrap_or(0.0);
+        let diff: f64 = convex_difference(&a, &b).iter().map(|p| p.area()).sum();
+        prop_assert!((diff - (a.area() - inter)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arc_clipping_matches_membership(
+        outer in star_polygon(),
+        cx in 2.0f64..8.0, cy in 2.0f64..8.0, r in 0.2f64..4.0,
+    ) {
+        let region = Region::new(outer);
+        let c = Circle::new(Point::new(cx, cy), r);
+        let arcs = arcs_inside_region(&c, &region);
+        for i in 0..360 {
+            let th = (i as f64 + 0.5) / 360.0 * std::f64::consts::TAU;
+            let p = c.point_at(th);
+            // Skip points too close to the region boundary (tolerance zone).
+            let d = region.outer().closest_boundary_point(p).distance(p);
+            if d < 1e-6 {
+                continue;
+            }
+            let inside = region.contains(p);
+            let in_arcs = arcs.iter().any(|a| a.contains(th));
+            prop_assert_eq!(inside, in_arcs, "θ={} p={}", th, p);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Simple line charts (paper Figs. 6 and 7).
+
+use crate::svg::SvgCanvas;
+use laacad_geom::Point;
+
+/// One data series of a [`LineChart`].
+#[derive(Debug, Clone)]
+struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+    color: String,
+    dashed: bool,
+}
+
+/// A multi-series line chart with axes, tick labels and a legend.
+///
+/// # Example
+///
+/// ```
+/// use laacad_viz::LineChart;
+/// let mut chart = LineChart::new("rounds", "max circumradius");
+/// chart.add_series("k=1", vec![(0.0, 0.45), (10.0, 0.2), (20.0, 0.15)]);
+/// let svg = chart.render(400.0, 300.0);
+/// assert!(svg.contains("polyline"));
+/// assert!(svg.contains("k=1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Creates an empty chart with axis labels.
+    pub fn new(x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        LineChart {
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a solid series with an automatic palette color.
+    pub fn add_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        let color = crate::PALETTE[self.series.len() % crate::PALETTE.len()].to_string();
+        self.series.push(Series {
+            label: label.into(),
+            points,
+            color,
+            dashed: false,
+        });
+        self
+    }
+
+    /// Adds a dashed series reusing the color of the most recent solid
+    /// series (Fig. 6 pairs max/min per k this way).
+    pub fn add_dashed_series(
+        &mut self,
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> &mut Self {
+        let color = self
+            .series
+            .last()
+            .map(|s| s.color.clone())
+            .unwrap_or_else(|| crate::PALETTE[0].to_string());
+        self.series.push(Series {
+            label: label.into(),
+            points,
+            color,
+            dashed: true,
+        });
+        self
+    }
+
+    /// Renders the chart to SVG.
+    pub fn render(&self, width: f64, height: f64) -> String {
+        let margin = 45.0;
+        let mut canvas = SvgCanvas::new(width, height);
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return canvas.finish();
+        }
+        let (x0, mut x1) = all
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+                (lo.min(x), hi.max(x))
+            });
+        let (mut y0, mut y1) = all
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+                (lo.min(y), hi.max(y))
+            });
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        // Pad y and pin the origin-ish.
+        y0 = (y0 - 0.05 * (y1 - y0)).min(0.0_f64.min(y0));
+        y1 += 0.05 * (y1 - y0);
+        let to_px = |x: f64, y: f64| {
+            Point::new(
+                margin + (x - x0) / (x1 - x0) * (width - margin - 15.0),
+                height - margin - (y - y0) / (y1 - y0) * (height - margin - 15.0),
+            )
+        };
+        // Axes.
+        canvas.line(to_px(x0, y0), to_px(x1, y0), "#000", 1.0);
+        canvas.line(to_px(x0, y0), to_px(x0, y1), "#000", 1.0);
+        // Ticks: 5 per axis.
+        for i in 0..=5 {
+            let tx = x0 + i as f64 / 5.0 * (x1 - x0);
+            let p = to_px(tx, y0);
+            canvas.line(p, Point::new(p.x, p.y + 4.0), "#000", 1.0);
+            canvas.text(
+                Point::new(p.x - 10.0, p.y + 16.0),
+                9.0,
+                &format_tick(tx),
+            );
+            let ty = y0 + i as f64 / 5.0 * (y1 - y0);
+            let q = to_px(x0, ty);
+            canvas.line(q, Point::new(q.x - 4.0, q.y), "#000", 1.0);
+            canvas.text(Point::new(q.x - 40.0, q.y + 3.0), 9.0, &format_tick(ty));
+        }
+        canvas.text(
+            Point::new(width / 2.0 - 20.0, height - 8.0),
+            11.0,
+            &self.x_label,
+        );
+        canvas.text(Point::new(4.0, 12.0), 11.0, &self.y_label);
+        // Series.
+        for s in &self.series {
+            let pts: Vec<Point> = s.points.iter().map(|&(x, y)| to_px(x, y)).collect();
+            if s.dashed {
+                // Poor-man's dash: draw alternate segments.
+                for pair in pts.windows(2).step_by(2) {
+                    canvas.line(pair[0], pair[1], &s.color, 1.5);
+                }
+            } else {
+                canvas.polyline(&pts, &s.color, 1.5);
+            }
+        }
+        // Legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let y = 20.0 + i as f64 * 14.0;
+            canvas.line(
+                Point::new(width - 130.0, y),
+                Point::new(width - 110.0, y),
+                &s.color,
+                2.0,
+            );
+            canvas.text(Point::new(width - 105.0, y + 3.0), 10.0, &s.label);
+        }
+        canvas.finish()
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 100.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_with_two_series_renders() {
+        let mut chart = LineChart::new("x", "y");
+        chart.add_series("up", vec![(0.0, 0.0), (1.0, 1.0)]);
+        chart.add_dashed_series("down", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let svg = chart.render(300.0, 200.0);
+        assert!(svg.contains("up") && svg.contains("down"));
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn empty_chart_is_valid_svg() {
+        let chart = LineChart::new("x", "y");
+        let svg = chart.render(100.0, 100.0);
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut chart = LineChart::new("x", "y");
+        chart.add_series("flat", vec![(1.0, 5.0), (1.0, 5.0)]);
+        let svg = chart.render(200.0, 150.0);
+        assert!(!svg.contains("NaN"));
+    }
+}

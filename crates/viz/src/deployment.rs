@@ -1,0 +1,166 @@
+//! Deployment plots (paper Figs. 5 and 8): region outline, obstacle
+//! holes, node markers and translucent sensing disks.
+
+use crate::svg::{SvgCanvas, WorldMap};
+use laacad_geom::Point;
+use laacad_region::Region;
+use laacad_wsn::Network;
+
+/// Builder for a deployment figure.
+#[derive(Debug)]
+pub struct DeploymentPlot<'a> {
+    region: &'a Region,
+    title: String,
+    canvas_size: f64,
+    show_disks: bool,
+}
+
+impl<'a> DeploymentPlot<'a> {
+    /// Starts a plot over a target area.
+    pub fn new(region: &'a Region) -> Self {
+        DeploymentPlot {
+            region,
+            title: String::new(),
+            canvas_size: 480.0,
+            show_disks: true,
+        }
+    }
+
+    /// Sets the figure title.
+    pub fn title(&mut self, title: impl Into<String>) -> &mut Self {
+        self.title = title.into();
+        self
+    }
+
+    /// Sets the canvas size in pixels.
+    pub fn canvas_size(&mut self, px: f64) -> &mut Self {
+        self.canvas_size = px.max(64.0);
+        self
+    }
+
+    /// Toggles the translucent sensing disks.
+    pub fn show_disks(&mut self, show: bool) -> &mut Self {
+        self.show_disks = show;
+        self
+    }
+
+    /// Renders the network into an SVG string.
+    pub fn render(&self, net: &Network) -> String {
+        let bb = self.region.bounding_box();
+        let (map, w, h) = WorldMap::fit(bb.min(), bb.max(), self.canvas_size, 20.0);
+        let mut canvas = SvgCanvas::new(w, h + 18.0);
+        // Region outline.
+        let outline: Vec<Point> = self
+            .region
+            .outer()
+            .vertices()
+            .iter()
+            .map(|&p| map.to_canvas(p))
+            .collect();
+        canvas.polygon(&outline, "#f7f7f7", "#444444", 1.5);
+        // Obstacle holes.
+        for hole in self.region.holes() {
+            let hv: Vec<Point> = hole.vertices().iter().map(|&p| map.to_canvas(p)).collect();
+            canvas.polygon(&hv, "#d9d9d9", "#888888", 1.0);
+        }
+        // Sensing disks below node markers.
+        if self.show_disks {
+            for node in net.nodes() {
+                if node.sensing_radius() > 0.0 {
+                    canvas.circle_alpha(
+                        map.to_canvas(node.position()),
+                        map.scale_len(node.sensing_radius()),
+                        crate::PALETTE[0],
+                        0.10,
+                    );
+                }
+            }
+        }
+        for node in net.nodes() {
+            canvas.circle(map.to_canvas(node.position()), 2.5, "#d62728", "#7f0000", 0.5);
+        }
+        if !self.title.is_empty() {
+            canvas.text(Point::new(6.0, h + 12.0), 12.0, &self.title);
+        }
+        canvas.finish()
+    }
+}
+
+/// Renders a set of convex cells (e.g. an order-k Voronoi diagram) over a
+/// region — the Fig. 1 style of figure.
+pub fn render_partition(
+    region: &Region,
+    cells: &[laacad_geom::Polygon],
+    sites: &[Point],
+    canvas_size: f64,
+    title: &str,
+) -> String {
+    let bb = region.bounding_box();
+    let (map, w, h) = WorldMap::fit(bb.min(), bb.max(), canvas_size, 20.0);
+    let mut canvas = SvgCanvas::new(w, h + 18.0);
+    for (i, cell) in cells.iter().enumerate() {
+        let pts: Vec<Point> = cell.vertices().iter().map(|&p| map.to_canvas(p)).collect();
+        let fill = crate::PALETTE[i % crate::PALETTE.len()];
+        canvas.polygon(&pts, &format!("{fill}20"), "#555555", 0.8);
+    }
+    for &s in sites {
+        canvas.circle(map.to_canvas(s), 2.5, "#000000", "none", 0.0);
+    }
+    if !title.is_empty() {
+        canvas.text(Point::new(6.0, h + 12.0), 12.0, title);
+    }
+    canvas.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_wsn::NodeId;
+
+    #[test]
+    fn render_contains_nodes_and_outline() {
+        let region = Region::square(1.0).unwrap();
+        let mut net = Network::from_positions(
+            0.2,
+            [Point::new(0.25, 0.25), Point::new(0.75, 0.75)],
+        );
+        net.set_sensing_radius(NodeId(0), 0.3);
+        let svg = DeploymentPlot::new(&region)
+            .title("test deployment")
+            .render(&net);
+        assert!(svg.contains("<polygon"));
+        // 1 disk (node 1 has r = 0) + 2 markers.
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("test deployment"));
+    }
+
+    #[test]
+    fn holes_render_as_polygons() {
+        let outer =
+            laacad_geom::Polygon::rectangle(Point::new(0.0, 0.0), Point::new(2.0, 2.0)).unwrap();
+        let hole =
+            laacad_geom::Polygon::rectangle(Point::new(0.8, 0.8), Point::new(1.2, 1.2)).unwrap();
+        let region = Region::with_holes(outer, vec![hole]).unwrap();
+        let net = Network::from_positions(0.2, [Point::new(0.2, 0.2)]);
+        let svg = DeploymentPlot::new(&region).show_disks(false).render(&net);
+        assert_eq!(svg.matches("<polygon").count(), 2, "outline + hole");
+    }
+
+    #[test]
+    fn partition_renders_cells() {
+        let region = Region::square(1.0).unwrap();
+        let cells = vec![
+            laacad_geom::Polygon::rectangle(Point::new(0.0, 0.0), Point::new(0.5, 1.0)).unwrap(),
+            laacad_geom::Polygon::rectangle(Point::new(0.5, 0.0), Point::new(1.0, 1.0)).unwrap(),
+        ];
+        let svg = render_partition(
+            &region,
+            &cells,
+            &[Point::new(0.25, 0.5), Point::new(0.75, 0.5)],
+            300.0,
+            "order-1",
+        );
+        assert_eq!(svg.matches("<polygon").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+}

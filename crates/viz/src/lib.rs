@@ -1,0 +1,36 @@
+//! # laacad-viz — dependency-free SVG rendering
+//!
+//! Regenerates the paper's figures as actual images: deployment scatter
+//! plots with sensing disks (Figs. 5, 8), Voronoi-partition plots
+//! (Fig. 1), and convergence line charts (Figs. 6, 7). Everything is
+//! plain SVG text — no graphics dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use laacad_viz::svg::SvgCanvas;
+//! use laacad_geom::Point;
+//!
+//! let mut canvas = SvgCanvas::new(200.0, 200.0);
+//! canvas.circle(Point::new(100.0, 100.0), 50.0, "none", "#1f77b4", 2.0);
+//! let doc = canvas.finish();
+//! assert!(doc.starts_with("<svg"));
+//! assert!(doc.contains("circle"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod deployment;
+pub mod svg;
+
+pub use chart::LineChart;
+pub use deployment::DeploymentPlot;
+pub use svg::SvgCanvas;
+
+/// A qualitative 8-color palette (Matplotlib "tab" colors) used across
+/// all figures for consistency with the paper's 4-series plots.
+pub const PALETTE: [&str; 8] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+];

@@ -1,0 +1,221 @@
+//! Minimal SVG document builder.
+
+use laacad_geom::Point;
+use std::fmt::Write as _;
+
+/// An SVG document under construction. Coordinates are in SVG pixel space
+/// (y grows downward); the higher-level plot types handle the mapping
+/// from world coordinates.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas of the given pixel size with a white background.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive dimensions.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "canvas must have positive size");
+        let mut canvas = SvgCanvas {
+            width,
+            height,
+            body: String::new(),
+        };
+        canvas.rect(Point::new(0.0, 0.0), width, height, "#ffffff", "none", 0.0);
+        canvas
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, center: Point, r: f64, fill: &str, stroke: &str, stroke_width: f64) {
+        writeln!(
+            self.body,
+            r#"<circle cx="{:.3}" cy="{:.3}" r="{:.3}" fill="{}" stroke="{}" stroke-width="{:.2}"/>"#,
+            center.x, center.y, r, fill, stroke, stroke_width
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds a circle with fill opacity (for overlapping sensing disks).
+    pub fn circle_alpha(&mut self, center: Point, r: f64, fill: &str, opacity: f64) {
+        writeln!(
+            self.body,
+            r#"<circle cx="{:.3}" cy="{:.3}" r="{:.3}" fill="{}" fill-opacity="{:.3}" stroke="none"/>"#,
+            center.x, center.y, r, fill, opacity
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds a rectangle.
+    pub fn rect(&mut self, origin: Point, w: f64, h: f64, fill: &str, stroke: &str, sw: f64) {
+        writeln!(
+            self.body,
+            r#"<rect x="{:.3}" y="{:.3}" width="{:.3}" height="{:.3}" fill="{}" stroke="{}" stroke-width="{:.2}"/>"#,
+            origin.x, origin.y, w, h, fill, stroke, sw
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, a: Point, b: Point, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            r#"<line x1="{:.3}" y1="{:.3}" x2="{:.3}" y2="{:.3}" stroke="{}" stroke-width="{:.2}"/>"#,
+            a.x, a.y, b.x, b.y, stroke, width
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds a closed polygon.
+    pub fn polygon(&mut self, vertices: &[Point], fill: &str, stroke: &str, width: f64) {
+        let pts: Vec<String> = vertices
+            .iter()
+            .map(|p| format!("{:.3},{:.3}", p.x, p.y))
+            .collect();
+        writeln!(
+            self.body,
+            r#"<polygon points="{}" fill="{}" stroke="{}" stroke-width="{:.2}"/>"#,
+            pts.join(" "),
+            fill,
+            stroke,
+            width
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds an open polyline.
+    pub fn polyline(&mut self, vertices: &[Point], stroke: &str, width: f64) {
+        let pts: Vec<String> = vertices
+            .iter()
+            .map(|p| format!("{:.3},{:.3}", p.x, p.y))
+            .collect();
+        writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{:.2}"/>"#,
+            pts.join(" "),
+            stroke,
+            width
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds text anchored at its start.
+    pub fn text(&mut self, at: Point, size: f64, content: &str) {
+        writeln!(
+            self.body,
+            r##"<text x="{:.3}" y="{:.3}" font-size="{:.1}" font-family="sans-serif" fill="#333">{}</text>"##,
+            at.x,
+            at.y,
+            size,
+            escape(content)
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Maps world coordinates (y up) into canvas pixels (y down) with uniform
+/// scale and margins.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldMap {
+    scale: f64,
+    world_min: Point,
+    margin: f64,
+    canvas_height: f64,
+}
+
+impl WorldMap {
+    /// Builds a map fitting the world box `(min, max)` into a canvas of
+    /// `canvas_size` pixels with `margin` pixels on each side.
+    pub fn fit(min: Point, max: Point, canvas_size: f64, margin: f64) -> (WorldMap, f64, f64) {
+        let w = (max.x - min.x).max(1e-12);
+        let h = (max.y - min.y).max(1e-12);
+        let scale = (canvas_size - 2.0 * margin) / w.max(h);
+        let cw = w * scale + 2.0 * margin;
+        let ch = h * scale + 2.0 * margin;
+        (
+            WorldMap {
+                scale,
+                world_min: min,
+                margin,
+                canvas_height: ch,
+            },
+            cw,
+            ch,
+        )
+    }
+
+    /// World point → canvas pixels.
+    pub fn to_canvas(&self, p: Point) -> Point {
+        Point::new(
+            self.margin + (p.x - self.world_min.x) * self.scale,
+            self.canvas_height - self.margin - (p.y - self.world_min.y) * self.scale,
+        )
+    }
+
+    /// World length → pixels.
+    pub fn scale_len(&self, d: f64) -> f64 {
+        d * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut c = SvgCanvas::new(100.0, 50.0);
+        c.circle(Point::new(10.0, 10.0), 5.0, "red", "black", 1.0);
+        c.line(Point::new(0.0, 0.0), Point::new(10.0, 10.0), "#000", 1.0);
+        c.text(Point::new(5.0, 5.0), 10.0, "a<b&c");
+        let doc = c.finish();
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert!(doc.contains("&lt;") && doc.contains("&amp;"));
+        assert_eq!(doc.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn world_map_flips_y_and_scales() {
+        let (map, w, h) = WorldMap::fit(Point::new(0.0, 0.0), Point::new(2.0, 1.0), 220.0, 10.0);
+        assert!((w - 220.0).abs() < 1e-9);
+        assert!(h < w);
+        let origin = map.to_canvas(Point::new(0.0, 0.0));
+        let top_right = map.to_canvas(Point::new(2.0, 1.0));
+        assert!((origin.x - 10.0).abs() < 1e-9);
+        assert!(origin.y > top_right.y, "y must flip");
+        assert!((map.scale_len(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn bad_canvas_panics() {
+        let _ = SvgCanvas::new(0.0, 10.0);
+    }
+}

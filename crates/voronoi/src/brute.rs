@@ -1,0 +1,87 @@
+//! Brute-force oracles for Voronoi-region membership.
+//!
+//! These are deliberately naive `O(N)`-per-query implementations of the
+//! paper's defining formulas, used as ground truth by the test suites of
+//! this and downstream crates.
+
+use laacad_geom::Point;
+
+/// Number of sites **strictly** closer to `v` than `sites[center]` is —
+/// the paper's `|S^k_{n_i}(v)|` (Sec. III-C).
+///
+/// Co-located sites are never strictly closer, matching Eq. (7).
+pub fn strictly_closer_count(center: usize, sites: &[Point], v: Point) -> usize {
+    let dc = sites[center].distance_sq(v);
+    sites
+        .iter()
+        .enumerate()
+        .filter(|&(j, &s)| j != center && s.distance_sq(v) < dc - 1e-12 * (1.0 + dc))
+        .count()
+}
+
+/// Ground-truth membership in the dominating region `V^k_i`
+/// (Proposition 1: at most `k − 1` sites strictly closer).
+pub fn in_dominating_region(center: usize, sites: &[Point], k: usize, v: Point) -> bool {
+    strictly_closer_count(center, sites, v) <= k - 1
+}
+
+/// The `k` nearest site indices to `v`, ties broken by index (sorted by
+/// `(distance, index)`), as used to seed order-k cell enumeration.
+pub fn k_nearest(sites: &[Point], k: usize, v: Point) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..sites.len()).collect();
+    order.sort_by(|&a, &b| {
+        sites[a]
+            .distance_sq(v)
+            .total_cmp(&sites[b].distance_sq(v))
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order.sort_unstable();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closer_count_ignores_self_and_colocated() {
+        let sites = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0), // co-located with site 0
+            Point::new(1.0, 0.0),
+        ];
+        // At the shared location, nothing is strictly closer than site 0.
+        assert_eq!(strictly_closer_count(0, &sites, Point::new(0.0, 0.0)), 0);
+        // Near site 2, both other sites are farther.
+        assert_eq!(strictly_closer_count(2, &sites, Point::new(1.0, 0.0)), 0);
+        // Halfway: ties are not "strictly closer".
+        assert_eq!(strictly_closer_count(0, &sites, Point::new(0.5, 0.0)), 0);
+    }
+
+    #[test]
+    fn membership_thresholds() {
+        let sites = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        let v = Point::new(1.9, 0.0);
+        assert_eq!(strictly_closer_count(0, &sites, v), 2);
+        assert!(!in_dominating_region(0, &sites, 1, v));
+        assert!(!in_dominating_region(0, &sites, 2, v));
+        assert!(in_dominating_region(0, &sites, 3, v));
+    }
+
+    #[test]
+    fn k_nearest_breaks_ties_by_index() {
+        let sites = vec![
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0), // same distance from the origin
+            Point::new(5.0, 0.0),
+        ];
+        assert_eq!(k_nearest(&sites, 1, Point::ORIGIN), vec![0]);
+        assert_eq!(k_nearest(&sites, 2, Point::ORIGIN), vec![0, 1]);
+        assert_eq!(k_nearest(&sites, 3, Point::ORIGIN), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Order-1 Voronoi cells by half-plane clipping.
+
+use laacad_geom::{HalfPlane, Point, Polygon};
+
+/// The order-1 Voronoi cell of `sites[center]` clipped to a convex
+/// `domain`: all domain points at least as close to the center site as to
+/// any other site.
+///
+/// Returns `None` when the cell is empty or degenerate (possible when a
+/// co-located twin site exists — the shared cell then collapses onto the
+/// bisector arrangement; LAACAD never needs order-1 cells of co-located
+/// sites, but callers get a clean `None` rather than a panic).
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{Point, Polygon};
+/// use laacad_voronoi::voronoi_cell;
+/// let sites = [Point::new(0.25, 0.5), Point::new(0.75, 0.5)];
+/// let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+/// let cell = voronoi_cell(0, &sites, &domain).unwrap();
+/// assert!((cell.area() - 0.5).abs() < 1e-9);
+/// ```
+pub fn voronoi_cell(center: usize, sites: &[Point], domain: &Polygon) -> Option<Polygon> {
+    debug_assert!(domain.is_convex(), "domain must be convex");
+    let u = sites[center];
+    let mut cell = domain.clone();
+    for (j, &s) in sites.iter().enumerate() {
+        if j == center {
+            continue;
+        }
+        let Some(h) = HalfPlane::closer_to(u, s) else {
+            continue; // co-located: no constraint (strict dominance never holds)
+        };
+        cell = cell.clip_halfplane(&h)?;
+    }
+    Some(cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sites_split_the_square() {
+        let sites = [Point::new(0.25, 0.5), Point::new(0.75, 0.5)];
+        let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let c0 = voronoi_cell(0, &sites, &domain).unwrap();
+        let c1 = voronoi_cell(1, &sites, &domain).unwrap();
+        assert!((c0.area() - 0.5).abs() < 1e-9);
+        assert!((c1.area() - 0.5).abs() < 1e-9);
+        assert!(c0.contains(Point::new(0.1, 0.5)));
+        assert!(!c0.contains(Point::new(0.9, 0.5)));
+    }
+
+    #[test]
+    fn grid_sites_cells_tile_the_domain() {
+        let mut sites = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                sites.push(Point::new(
+                    0.5 + i as f64 * 2.0,
+                    0.5 + j as f64 * 2.0,
+                ));
+            }
+        }
+        let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(5.5, 5.5)).unwrap();
+        let total: f64 = (0..sites.len())
+            .filter_map(|i| voronoi_cell(i, &sites, &domain))
+            .map(|c| c.area())
+            .sum();
+        assert!((total - domain.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_site_owns_everything() {
+        let sites = [Point::new(3.0, 3.0)];
+        let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(6.0, 6.0)).unwrap();
+        let c = voronoi_cell(0, &sites, &domain).unwrap();
+        assert!((c.area() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colocated_twin_is_ignored() {
+        let sites = [Point::new(2.0, 2.0), Point::new(2.0, 2.0), Point::new(5.0, 2.0)];
+        let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(6.0, 4.0)).unwrap();
+        // Site 0's cell vs site 2 only (twin contributes no constraint).
+        let c = voronoi_cell(0, &sites, &domain).unwrap();
+        assert!((c.area() - 3.5 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_site_cell_outside_domain_is_none() {
+        let sites = [Point::new(100.0, 100.0), Point::new(3.0, 3.0)];
+        let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(6.0, 6.0)).unwrap();
+        assert!(voronoi_cell(0, &sites, &domain).is_none());
+    }
+}

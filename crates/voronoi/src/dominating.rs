@@ -1,0 +1,418 @@
+//! Exact dominating regions `V^k_i` via recursive bisector subdivision.
+//!
+//! The region `V^k_i = { v : |{ j : ‖v−u_j‖ < ‖v−u_i‖ }| ≤ k−1 }` (paper
+//! Eq. 7) is carved out of a convex domain by splitting along one
+//! competitor bisector at a time:
+//!
+//! * on the center's side of `bis(u_i, u_j)`, competitor `j` is *never*
+//!   strictly closer → drop `j`;
+//! * on `j`'s side it *always* is → drop `j` and charge 1 against the
+//!   budget `k − 1`;
+//! * faces whose budget goes negative are discarded; faces whose remaining
+//!   competitor count fits in the budget are accepted wholesale.
+//!
+//! Every face is convex (intersection of half-planes with a convex
+//! domain), so the output is a convex decomposition of `V^k_i ∩ domain`
+//! whose vertices feed Welzl's algorithm directly — which is exactly what
+//! Algorithm 1 needs (Chebyshev center + circumradius).
+
+use laacad_geom::{min_enclosing_circle, Circle, HalfPlane, Point, Polygon};
+use laacad_region::Region;
+
+/// A node's dominating region: a set of convex polygons whose union is
+/// `V^k_i ∩ domain`.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::{Point, Polygon};
+/// use laacad_voronoi::dominating::dominating_region;
+/// let sites = vec![Point::new(0.2, 0.5), Point::new(0.8, 0.5)];
+/// let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+/// let r1 = dominating_region(0, &sites, 1, &domain);
+/// assert!((r1.area() - 0.5).abs() < 1e-9);   // order-1: half the square
+/// let r2 = dominating_region(0, &sites, 2, &domain);
+/// assert!((r2.area() - 1.0).abs() < 1e-9);   // k = N: everything
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DominatingRegion {
+    pieces: Vec<Polygon>,
+}
+
+impl DominatingRegion {
+    /// Builds a region from raw convex pieces (used by the algorithm crate
+    /// to merge per-domain-piece results).
+    pub fn from_pieces(pieces: Vec<Polygon>) -> Self {
+        DominatingRegion { pieces }
+    }
+
+    /// The convex pieces whose union is the region.
+    #[inline]
+    pub fn pieces(&self) -> &[Polygon] {
+        &self.pieces
+    }
+
+    /// Returns `true` when the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Total area (pieces are interior-disjoint by construction).
+    pub fn area(&self) -> f64 {
+        self.pieces.iter().map(|p| p.area()).sum()
+    }
+
+    /// All piece vertices (the extreme points of the region).
+    pub fn vertices(&self) -> impl Iterator<Item = Point> + '_ {
+        self.pieces.iter().flat_map(|p| p.vertices().iter().copied())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: Point) -> bool {
+        self.pieces.iter().any(|piece| piece.contains(p))
+    }
+
+    /// The Chebyshev disk: center = Chebyshev center (Def. 2), radius =
+    /// circumradius `R_i` of the region. Computed with Welzl's algorithm
+    /// over the piece vertices, exactly as the paper prescribes
+    /// (Sec. IV-B: "we apply Welzl's algorithm … taking the vertices of
+    /// the region as the input").
+    pub fn chebyshev_disk(&self) -> Option<Circle> {
+        if self.is_empty() {
+            return None;
+        }
+        let vs: Vec<Point> = self.vertices().collect();
+        Some(min_enclosing_circle(&vs))
+    }
+
+    /// Farthest distance from `p` to the region — the sensing range `r_i`
+    /// node `i` needs from position `p` to cover the whole region
+    /// (`r_i = max_{v ∈ V^k_i} ‖v − u_i‖`, Sec. III-B).
+    ///
+    /// Returns 0 for an empty region.
+    pub fn farthest_distance(&self, p: Point) -> f64 {
+        self.pieces
+            .iter()
+            .map(|piece| piece.farthest_vertex(p).1)
+            .fold(0.0, f64::max)
+    }
+
+    /// Merges another region's pieces into this one.
+    pub fn extend(&mut self, other: DominatingRegion) {
+        self.pieces.extend(other.pieces);
+    }
+}
+
+impl std::fmt::Display for DominatingRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dominating-region[{} pieces, area {:.6}]",
+            self.pieces.len(),
+            self.area()
+        )
+    }
+}
+
+/// How a competitor's bisector relates to a face.
+enum Classification {
+    /// The whole face is at least as close to the center: drop competitor.
+    CenterSide,
+    /// The whole face is strictly closer to the competitor: charge budget.
+    CompetitorSide,
+    /// The bisector cuts the face.
+    Cuts(HalfPlane),
+}
+
+fn classify(face: &Polygon, center: Point, competitor: Point) -> Classification {
+    // Half-plane of points at least as close to the *competitor*.
+    let Some(h) = HalfPlane::closer_to(competitor, center) else {
+        // Co-located: never strictly closer anywhere.
+        return Classification::CenterSide;
+    };
+    let tol = 1e-12 * (1.0 + face.bounding_box().diagonal());
+    let mut any_comp = false;
+    let mut any_center = false;
+    for &v in face.vertices() {
+        let d = h.signed_distance(v);
+        if d < -tol {
+            any_comp = true;
+        } else if d > tol {
+            any_center = true;
+        }
+        if any_comp && any_center {
+            return Classification::Cuts(h);
+        }
+    }
+    if any_comp {
+        Classification::CompetitorSide
+    } else {
+        Classification::CenterSide
+    }
+}
+
+fn subdivide(
+    face: Polygon,
+    center: Point,
+    competitors: &[Point],
+    budget: usize,
+    out: &mut Vec<Polygon>,
+) {
+    // Resolve competitors against this face.
+    let mut budget = budget;
+    let mut cutting: Vec<(Point, HalfPlane)> = Vec::new();
+    for &c in competitors {
+        match classify(&face, center, c) {
+            Classification::CenterSide => {}
+            Classification::CompetitorSide => {
+                if budget == 0 {
+                    return; // too many strictly-closer competitors
+                }
+                budget -= 1;
+            }
+            Classification::Cuts(h) => cutting.push((c, h)),
+        }
+    }
+    if cutting.len() <= budget {
+        // Even if every cutting competitor were closer everywhere, the
+        // budget holds: accept the whole face.
+        out.push(face);
+        return;
+    }
+    // Split along the first cutting bisector.
+    let (_, h) = cutting[0];
+    let rest: Vec<Point> = cutting[1..].iter().map(|&(c, _)| c).collect();
+    // h contains the points closer to the competitor.
+    if let Some(comp_side) = face.clip_halfplane(&h) {
+        if budget > 0 {
+            subdivide(comp_side, center, &rest, budget - 1, out);
+        }
+    }
+    if let Some(center_side) = face.clip_halfplane(&h.complement()) {
+        subdivide(center_side, center, &rest, budget, out);
+    }
+}
+
+/// Computes the dominating region `V^k_i ∩ domain` of `sites[center]`.
+///
+/// `sites` lists the center and its competitors (extra points are harmless
+/// — they only matter if their bisectors reach the domain). `domain` must
+/// be convex; for non-convex target areas use
+/// [`dominating_region_in_region`].
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `center` is out of bounds.
+pub fn dominating_region(
+    center: usize,
+    sites: &[Point],
+    k: usize,
+    domain: &Polygon,
+) -> DominatingRegion {
+    assert!(k >= 1, "coverage degree k must be at least 1");
+    let u = sites[center];
+    let competitors: Vec<Point> = sites
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != center)
+        .map(|(_, &s)| s)
+        .collect();
+    let mut pieces = Vec::new();
+    subdivide(domain.clone(), u, &competitors, k - 1, &mut pieces);
+    DominatingRegion { pieces }
+}
+
+/// Computes `V^k_i ∩ A` for a (possibly non-convex, holed) target area by
+/// running the subdivision on each convex piece of the region's cached
+/// decomposition and merging the results.
+pub fn dominating_region_in_region(
+    center: usize,
+    sites: &[Point],
+    k: usize,
+    area: &Region,
+) -> DominatingRegion {
+    let mut out = DominatingRegion::default();
+    for piece in area.convex_pieces() {
+        out.extend(dominating_region(center, sites, k, piece));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::in_dominating_region;
+    use laacad_region::sampling::SplitMix64;
+
+    fn unit_domain() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn order1_matches_voronoi_cell() {
+        let sites = vec![
+            Point::new(0.2, 0.3),
+            Point::new(0.7, 0.6),
+            Point::new(0.4, 0.9),
+            Point::new(0.9, 0.1),
+        ];
+        let domain = unit_domain();
+        for c in 0..sites.len() {
+            let dr = dominating_region(c, &sites, 1, &domain);
+            let cell = crate::cell::voronoi_cell(c, &sites, &domain);
+            let cell_area = cell.map(|p| p.area()).unwrap_or(0.0);
+            assert!(
+                (dr.area() - cell_area).abs() < 1e-9,
+                "site {c}: {} vs {}",
+                dr.area(),
+                cell_area
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_n_covers_domain() {
+        let sites = vec![
+            Point::new(0.2, 0.3),
+            Point::new(0.7, 0.6),
+            Point::new(0.4, 0.9),
+        ];
+        let domain = unit_domain();
+        for c in 0..sites.len() {
+            let dr = dominating_region(c, &sites, sites.len(), &domain);
+            assert!((dr.area() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dominating_regions_cover_each_point_k_times() {
+        // Σ_i area(V^k_i) = k · |domain| — each point belongs to exactly k
+        // dominating regions (generic position).
+        let sites = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.2),
+            Point::new(0.5, 0.5),
+            Point::new(0.2, 0.8),
+            Point::new(0.8, 0.9),
+        ];
+        let domain = unit_domain();
+        for k in 1..=4usize {
+            let total: f64 = (0..sites.len())
+                .map(|c| dominating_region(c, &sites, k, &domain).area())
+                .sum();
+            assert!(
+                (total - k as f64).abs() < 1e-6,
+                "k={k}: total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_matches_brute_force() {
+        let mut rng = SplitMix64::new(2024);
+        let sites: Vec<Point> = (0..9)
+            .map(|_| Point::new(rng.next_f64(), rng.next_f64()))
+            .collect();
+        let domain = unit_domain();
+        for k in 1..=4usize {
+            for c in [0usize, 3, 8] {
+                let dr = dominating_region(c, &sites, k, &domain);
+                for _ in 0..400 {
+                    let v = Point::new(rng.next_f64(), rng.next_f64());
+                    let expect = in_dominating_region(c, &sites, k, v);
+                    let got = dr.contains(v);
+                    if expect != got {
+                        // Tolerate only boundary points.
+                        let dc = sites[c].distance(v);
+                        let near_tie = sites
+                            .iter()
+                            .enumerate()
+                            .any(|(j, s)| j != c && (s.distance(v) - dc).abs() < 1e-7);
+                        assert!(near_tie, "k={k} c={c} v={v}: brute {expect} got {got}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colocated_cluster_shares_everything() {
+        // Three co-located sites with k = 3: each dominates the whole
+        // domain (none of the twins is ever strictly closer).
+        let p = Point::new(0.5, 0.5);
+        let sites = vec![p, p, p];
+        let domain = unit_domain();
+        for c in 0..3 {
+            let dr = dominating_region(c, &sites, 3, &domain);
+            assert!((dr.area() - 1.0).abs() < 1e-9, "site {c}");
+            // Even k = 1 gives everything: strict dominance never happens.
+            let dr1 = dominating_region(c, &sites, 1, &domain);
+            assert!((dr1.area() - 1.0).abs() < 1e-9, "site {c} k=1");
+        }
+    }
+
+    #[test]
+    fn chebyshev_disk_encloses_region() {
+        let sites = vec![
+            Point::new(0.3, 0.4),
+            Point::new(0.6, 0.7),
+            Point::new(0.8, 0.2),
+        ];
+        let domain = unit_domain();
+        let dr = dominating_region(0, &sites, 2, &domain);
+        let disk = dr.chebyshev_disk().unwrap();
+        for v in dr.vertices() {
+            assert!(disk.center.distance(v) <= disk.radius + 1e-7);
+        }
+        // Circumradius from the Chebyshev center is minimal: moving the
+        // center anywhere else cannot reduce the farthest distance.
+        let r_at_center = dr.farthest_distance(disk.center);
+        assert!((r_at_center - disk.radius).abs() < 1e-7);
+        for q in [
+            Point::new(disk.center.x + 0.05, disk.center.y),
+            Point::new(disk.center.x, disk.center.y - 0.05),
+        ] {
+            assert!(dr.farthest_distance(q) >= disk.radius - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pieces_are_interior_disjoint() {
+        let mut rng = SplitMix64::new(7);
+        let sites: Vec<Point> = (0..7)
+            .map(|_| Point::new(rng.next_f64(), rng.next_f64()))
+            .collect();
+        let dr = dominating_region(2, &sites, 3, &unit_domain());
+        // Monte-Carlo: no sample point may fall strictly inside 2+ pieces.
+        for _ in 0..2000 {
+            let v = Point::new(rng.next_f64(), rng.next_f64());
+            let strictly_in = dr
+                .pieces()
+                .iter()
+                .filter(|p| p.contains(v) && p.closest_boundary_point(v).distance(v) > 1e-9)
+                .count();
+            assert!(strictly_in <= 1, "{v} in {strictly_in} interiors");
+        }
+    }
+
+    #[test]
+    fn region_with_hole_excludes_hole_area() {
+        let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let hole =
+            Polygon::rectangle(Point::new(0.4, 0.4), Point::new(0.6, 0.6)).unwrap();
+        let area = Region::with_holes(outer, vec![hole]).unwrap();
+        let sites = vec![Point::new(0.2, 0.5), Point::new(0.8, 0.5)];
+        let dr = dominating_region_in_region(0, &sites, 2, &area);
+        // k = N ⇒ V = whole free region.
+        assert!((dr.area() - area.area()).abs() < 1e-6);
+        assert!(!dr.contains(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let sites = vec![Point::new(0.5, 0.5)];
+        let _ = dominating_region(0, &sites, 0, &unit_domain());
+    }
+}

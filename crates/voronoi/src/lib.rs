@@ -1,0 +1,51 @@
+//! # laacad-voronoi — order-k Voronoi machinery
+//!
+//! LAACAD's optimality condition (paper Prop. 2) assigns each node the
+//! union of the order-k Voronoi cells it generates — its **dominating
+//! region** `V^k_i = { v : |{ j : ‖v−u_j‖ < ‖v−u_i‖ }| ≤ k−1 }` (Eq. 7).
+//! This crate computes that region *exactly*:
+//!
+//! * [`dominating::dominating_region`] — recursive bisector subdivision
+//!   returning a convex decomposition of `V^k_i ∩ domain`;
+//! * [`dominating::DominatingRegion`] — the assembled region with its
+//!   Chebyshev disk (Welzl), circumradius and farthest-point queries, i.e.
+//!   everything Algorithm 1 needs per node per round;
+//! * [`cell::voronoi_cell`] — the classic order-1 cell (fast path and test
+//!   oracle);
+//! * [`korder`] — enumeration of the full order-k diagram (Fig. 1);
+//! * [`brute`] — brute-force membership oracles used by the test suite.
+//!
+//! Co-located sites are handled by the strict `<` in Eq. (7): sensors at
+//! the same position never dominate each other. This matters because
+//! LAACAD *converges to* k-node co-located clusters for k > 1 (Fig. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use laacad_geom::{Point, Polygon};
+//! use laacad_voronoi::dominating::dominating_region;
+//!
+//! let sites = vec![
+//!     Point::new(0.25, 0.5),
+//!     Point::new(0.75, 0.5),
+//!     Point::new(0.5, 0.1),
+//! ];
+//! let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0))?;
+//! // 2-coverage dominating region of site 0: points where at most one
+//! // other site is strictly closer.
+//! let region = dominating_region(0, &sites, 2, &domain);
+//! assert!(!region.is_empty());
+//! assert!(region.contains(Point::new(0.25, 0.5)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod brute;
+pub mod cell;
+pub mod dominating;
+pub mod korder;
+
+pub use cell::voronoi_cell;
+pub use dominating::{dominating_region, dominating_region_in_region, DominatingRegion};

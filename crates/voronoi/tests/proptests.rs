@@ -1,0 +1,103 @@
+//! Property tests for the order-k Voronoi machinery — the correctness core
+//! of the whole reproduction.
+
+use laacad_geom::{Point, Polygon};
+use laacad_voronoi::brute::{in_dominating_region, strictly_closer_count};
+use laacad_voronoi::dominating::dominating_region;
+use proptest::prelude::*;
+
+fn site() -> impl Strategy<Value = Point> {
+    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn sites(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(site(), min..max)
+}
+
+fn unit_domain() -> Polygon {
+    Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The defining property (paper Eq. 7): membership in the computed
+    /// region ⇔ at most k−1 sites strictly closer, away from ties.
+    #[test]
+    fn membership_matches_brute(
+        pts in sites(2, 10),
+        k in 1usize..5,
+        probes in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 50),
+    ) {
+        let k = k.min(pts.len());
+        let domain = unit_domain();
+        let center = 0usize;
+        let dr = dominating_region(center, &pts, k, &domain);
+        for (x, y) in probes {
+            let v = Point::new(x, y);
+            let expect = in_dominating_region(center, &pts, k, v);
+            let got = dr.contains(v);
+            if expect != got {
+                let dc = pts[center].distance(v);
+                let near_tie = pts
+                    .iter()
+                    .enumerate()
+                    .any(|(j, s)| j != center && (s.distance(v) - dc).abs() < 1e-6);
+                prop_assert!(near_tie, "k={} v={} expect {} got {}", k, v, expect, got);
+            }
+        }
+    }
+
+    /// Each generic point belongs to exactly k dominating regions, so the
+    /// areas sum to k·|domain|.
+    #[test]
+    fn areas_sum_to_k_times_domain(pts in sites(3, 9), k in 1usize..4) {
+        let k = k.min(pts.len());
+        let domain = unit_domain();
+        let total: f64 = (0..pts.len())
+            .map(|c| dominating_region(c, &pts, k, &domain).area())
+            .sum();
+        prop_assert!((total - k as f64).abs() < 1e-5, "k={} total={}", k, total);
+    }
+
+    /// Dominating regions are monotone in k: V^k ⊆ V^{k+1}.
+    #[test]
+    fn regions_grow_with_k(pts in sites(3, 9)) {
+        let domain = unit_domain();
+        let mut prev = 0.0;
+        for k in 1..=pts.len() {
+            let a = dominating_region(0, &pts, k, &domain).area();
+            prop_assert!(a >= prev - 1e-9, "k={} area {} < {}", k, a, prev);
+            prev = a;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-6, "k=N must cover the domain");
+    }
+
+    /// The center always belongs to its own dominating region.
+    #[test]
+    fn center_is_inside_when_in_domain(pts in sites(2, 10), k in 1usize..4) {
+        let k = k.min(pts.len());
+        let dr = dominating_region(0, &pts, k, &unit_domain());
+        prop_assert!(dr.contains(pts[0]), "center {} escaped", pts[0]);
+    }
+
+    /// The Chebyshev disk radius equals the minimax sensing range and is
+    /// never larger than the farthest distance from any other point.
+    #[test]
+    fn chebyshev_center_is_minimax(pts in sites(2, 8), k in 1usize..4) {
+        let k = k.min(pts.len());
+        let dr = dominating_region(0, &pts, k, &unit_domain());
+        prop_assume!(!dr.is_empty());
+        let disk = dr.chebyshev_disk().unwrap();
+        prop_assert!((dr.farthest_distance(disk.center) - disk.radius).abs() < 1e-6);
+        prop_assert!(dr.farthest_distance(pts[0]) >= disk.radius - 1e-9);
+    }
+
+    /// Brute-force count is antitone in distance: closer probes see fewer
+    /// strictly-closer competitors than probes right next to a competitor.
+    #[test]
+    fn closer_count_sane(pts in sites(2, 10)) {
+        // At the center's own position, nothing is strictly closer.
+        prop_assert_eq!(strictly_closer_count(0, &pts, pts[0]), 0);
+    }
+}

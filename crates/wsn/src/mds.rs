@@ -1,0 +1,259 @@
+//! Classical multidimensional scaling (MDS) in 2-D.
+//!
+//! Algorithm 2 line 4: "Construct a local coordinate system using
+//! N(n_i, ρ)" — the paper cites Shang & Ruml's improved MDS localization
+//! \[28\]. We implement classical (Torgerson) MDS: double-center the squared
+//! distance matrix and take the top-2 eigenpairs (power iteration with
+//! deflation). The output reproduces the geometry up to a rigid transform
+//! (plus reflection), which is all a relative coordinate system needs.
+
+use laacad_geom::Point;
+
+/// Result of an MDS embedding.
+#[derive(Debug, Clone)]
+pub struct MdsEmbedding {
+    /// One 2-D coordinate per input row.
+    pub coords: Vec<Point>,
+    /// The two leading eigenvalues of the double-centered Gram matrix —
+    /// small or negative trailing values signal non-Euclidean (noisy)
+    /// input.
+    pub eigenvalues: [f64; 2],
+}
+
+/// Errors for [`classical_mds`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdsError {
+    /// Fewer than 2 points or a non-square/asymmetric matrix.
+    BadInput,
+    /// All distances are (numerically) zero — geometry is undetermined.
+    Degenerate,
+}
+
+impl std::fmt::Display for MdsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MdsError::BadInput => "MDS needs a square symmetric matrix of ≥ 2 points",
+            MdsError::Degenerate => "MDS input distances are all zero",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for MdsError {}
+
+/// Embeds a symmetric distance matrix into the plane by classical MDS.
+///
+/// # Errors
+///
+/// [`MdsError::BadInput`] for malformed matrices; [`MdsError::Degenerate`]
+/// when every pairwise distance is zero.
+///
+/// # Example
+///
+/// ```
+/// use laacad_wsn::mds::classical_mds;
+/// // A 3-4-5 right triangle, described only by its distances.
+/// let d = vec![
+///     vec![0.0, 3.0, 4.0],
+///     vec![3.0, 0.0, 5.0],
+///     vec![4.0, 5.0, 0.0],
+/// ];
+/// let e = classical_mds(&d).unwrap();
+/// let c = &e.coords;
+/// assert!((c[0].distance(c[1]) - 3.0).abs() < 1e-6);
+/// assert!((c[0].distance(c[2]) - 4.0).abs() < 1e-6);
+/// assert!((c[1].distance(c[2]) - 5.0).abs() < 1e-6);
+/// ```
+pub fn classical_mds(distances: &[Vec<f64>]) -> Result<MdsEmbedding, MdsError> {
+    let n = distances.len();
+    if n < 2 || distances.iter().any(|row| row.len() != n) {
+        return Err(MdsError::BadInput);
+    }
+    // Gram matrix B = −½ J D² J (double centering).
+    let d2: Vec<Vec<f64>> = distances
+        .iter()
+        .map(|row| row.iter().map(|&d| d * d).collect())
+        .collect();
+    let row_mean: Vec<f64> = d2.iter().map(|r| r.iter().sum::<f64>() / n as f64).collect();
+    let grand = row_mean.iter().sum::<f64>() / n as f64;
+    let mut b = vec![vec![0.0; n]; n];
+    let mut norm = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            b[i][j] = -0.5 * (d2[i][j] - row_mean[i] - row_mean[j] + grand);
+            norm = norm.max(b[i][j].abs());
+        }
+    }
+    if norm <= 1e-15 {
+        return Err(MdsError::Degenerate);
+    }
+
+    let (l1, v1) = power_iteration(&b, None);
+    let (l2, v2) = power_iteration(&b, Some((l1, &v1)));
+    let s1 = l1.max(0.0).sqrt();
+    let s2 = l2.max(0.0).sqrt();
+    let coords = (0..n)
+        .map(|i| Point::new(s1 * v1[i], s2 * v2[i]))
+        .collect();
+    Ok(MdsEmbedding {
+        coords,
+        eigenvalues: [l1, l2],
+    })
+}
+
+/// Leading eigenpair of a symmetric matrix by power iteration, optionally
+/// deflating a known eigenpair first.
+fn power_iteration(b: &[Vec<f64>], deflate: Option<(f64, &[f64])>) -> (f64, Vec<f64>) {
+    let n = b.len();
+    // Deterministic pseudo-random start to avoid adversarial orthogonality.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| ((i as f64 * 0.754877666 + 0.1).sin()).abs() + 0.1)
+        .collect();
+    normalize(&mut v);
+    let mut lambda = 0.0;
+    for _ in 0..500 {
+        let mut w = mat_vec(b, &v);
+        if let Some((l, u)) = deflate {
+            // Hotelling deflation: w = B v − λ (uᵀv) u.
+            let uv = dot(u, &v);
+            for i in 0..n {
+                w[i] -= l * uv * u[i];
+            }
+        }
+        let new_lambda = dot(&v, &w);
+        normalize(&mut w);
+        let delta: f64 = v
+            .iter()
+            .zip(&w)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        v = w;
+        lambda = new_lambda;
+        if delta < 1e-14 {
+            break;
+        }
+    }
+    (lambda, v)
+}
+
+fn mat_vec(b: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    b.iter().map(|row| dot(row, v)).collect()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = dot(v, v).sqrt();
+    if n > 1e-300 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_geom::transform::procrustes;
+    use laacad_region::sampling::SplitMix64;
+
+    fn distance_matrix(pts: &[Point]) -> Vec<Vec<f64>> {
+        pts.iter()
+            .map(|a| pts.iter().map(|b| a.distance(*b)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn reconstructs_random_clouds_up_to_isometry() {
+        let mut rng = SplitMix64::new(99);
+        for trial in 0..5 {
+            let pts: Vec<Point> = (0..12)
+                .map(|_| Point::new(rng.next_f64() * 4.0, rng.next_f64() * 4.0))
+                .collect();
+            let e = classical_mds(&distance_matrix(&pts)).unwrap();
+            // Align the embedding onto the truth and check the residual.
+            let t = procrustes(&e.coords, &pts).unwrap();
+            let max_err = e
+                .coords
+                .iter()
+                .zip(&pts)
+                .map(|(c, p)| t.apply(*c).distance(*p))
+                .fold(0.0, f64::max);
+            assert!(max_err < 1e-6, "trial {trial}: err {max_err}");
+        }
+    }
+
+    #[test]
+    fn pairwise_distances_preserved() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(-1.0, 3.0),
+        ];
+        let e = classical_mds(&distance_matrix(&pts)).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = pts[i].distance(pts[j]);
+                let got = e.coords[i].distance(e.coords[j]);
+                assert!((want - got).abs() < 1e-6, "({i},{j}): {want} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_input_still_embeds_approximately() {
+        let mut rng = SplitMix64::new(5);
+        let pts: Vec<Point> = (0..10)
+            .map(|_| Point::new(rng.next_f64() * 2.0, rng.next_f64() * 2.0))
+            .collect();
+        let mut d = distance_matrix(&pts);
+        for i in 0..10 {
+            for j in i + 1..10 {
+                let noisy = d[i][j] * (1.0 + 0.02 * (rng.next_f64() - 0.5));
+                d[i][j] = noisy;
+                d[j][i] = noisy;
+            }
+        }
+        let e = classical_mds(&d).unwrap();
+        let t = procrustes(&e.coords, &pts).unwrap();
+        let rms: f64 = (e
+            .coords
+            .iter()
+            .zip(&pts)
+            .map(|(c, p)| t.apply(*c).distance_sq(*p))
+            .sum::<f64>()
+            / 10.0)
+            .sqrt();
+        assert!(rms < 0.1, "rms {rms}");
+    }
+
+    #[test]
+    fn degenerate_and_bad_inputs() {
+        assert_eq!(
+            classical_mds(&[vec![0.0]]).unwrap_err(),
+            MdsError::BadInput
+        );
+        let zeros = vec![vec![0.0; 3]; 3];
+        assert_eq!(classical_mds(&zeros).unwrap_err(), MdsError::Degenerate);
+        let ragged = vec![vec![0.0, 1.0], vec![1.0, 0.0, 2.0]];
+        assert_eq!(classical_mds(&ragged).unwrap_err(), MdsError::BadInput);
+    }
+
+    #[test]
+    fn collinear_points_embed_on_a_line() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let e = classical_mds(&distance_matrix(&pts)).unwrap();
+        // Second eigenvalue ≈ 0: the cloud is 1-D.
+        assert!(e.eigenvalues[1].abs() < 1e-6 * e.eigenvalues[0].max(1.0));
+        for i in 0..5 {
+            for j in 0..5 {
+                let want = pts[i].distance(pts[j]);
+                let got = e.coords[i].distance(e.coords[j]);
+                assert!((want - got).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-hop ring neighborhoods `N(n_i, ρ)` (Algorithm 2).
+//!
+//! The paper gathers the nodes within Euclidean radius `ρ` of `n_i` via
+//! multi-hop communication; since hop counts are integral, `ρ` grows in
+//! transmission-range (`γ`) increments. A node inside the Euclidean ring
+//! but unreachable in `⌈ρ/γ⌉` hops cannot report its position, so the
+//! neighborhood is the *intersection* of the Euclidean disk with the
+//! h-hop BFS ball — which this module computes, with message accounting.
+
+use crate::network::Network;
+use crate::node::NodeId;
+use crate::radio::MessageStats;
+use std::collections::VecDeque;
+
+/// The result of a ring query: members (center excluded), the hop budget
+/// used, and messages spent collecting it.
+#[derive(Debug, Clone)]
+pub struct RingNeighborhood {
+    /// Nodes within Euclidean `ρ` and `⌈ρ/γ⌉` hops, excluding the center.
+    pub members: Vec<NodeId>,
+    /// Hop budget `⌈ρ/γ⌉` used by the query.
+    pub hops: usize,
+    /// Messages expended (one broadcast per contacted node, one unicast
+    /// reply per member relayed back over its hop distance).
+    pub messages: MessageStats,
+}
+
+/// Collects `N(n_i, ρ)`: nodes within Euclidean distance `rho` of the
+/// center **and** reachable within `⌈ρ/γ⌉` hops.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::Point;
+/// use laacad_wsn::{multihop::ring_neighborhood, Network, NodeId};
+/// let mut net = Network::from_positions(
+///     0.12,
+///     (0..5).map(|i| Point::new(i as f64 * 0.1, 0.0)),
+/// );
+/// let ring = ring_neighborhood(&mut net, NodeId(0), 0.25);
+/// // Nodes at 0.1 and 0.2 are inside the ring and within 3 hops.
+/// assert_eq!(ring.members, vec![NodeId(1), NodeId(2)]);
+/// ```
+pub fn ring_neighborhood(net: &mut Network, center: NodeId, rho: f64) -> RingNeighborhood {
+    ring_neighborhood_with_slack(net, center, rho, 2)
+}
+
+/// [`ring_neighborhood`] with an explicit hop-slack budget.
+///
+/// The paper's `N(n_i, ρ)` is defined purely by Euclidean distance; a
+/// multi-hop query needs `⌈ρ/γ⌉` hops along a straight path, but sparse
+/// graphs route around gaps, so real queries grant extra hops. Two hops
+/// of slack (the default above) make the collected set match the
+/// Euclidean definition in all but pathologically stretched topologies —
+/// Lemma 1's exactness depends on this set being complete.
+pub fn ring_neighborhood_with_slack(
+    net: &mut Network,
+    center: NodeId,
+    rho: f64,
+    hop_slack: usize,
+) -> RingNeighborhood {
+    let gamma = net.gamma();
+    let hops = (rho / gamma).ceil().max(1.0) as usize + hop_slack;
+    let origin = net.position(center);
+    let n = net.len();
+    let mut dist = vec![usize::MAX; n];
+    dist[center.index()] = 0;
+    let mut queue = VecDeque::from([center]);
+    let mut contacted = 0u64;
+    let mut members = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= hops {
+            continue;
+        }
+        contacted += 1; // u broadcasts the query onward
+        for v in net.one_hop_neighbors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut replies = 0u64;
+    for i in 0..n {
+        if i != center.index()
+            && dist[i] != usize::MAX
+            && dist[i] <= hops
+            && net.position(NodeId(i)).distance(origin) <= rho + 1e-12
+        {
+            members.push(NodeId(i));
+            replies += dist[i] as u64; // reply relayed over its hop path
+        }
+    }
+    RingNeighborhood {
+        members,
+        hops,
+        messages: MessageStats {
+            unicast: replies,
+            broadcast: contacted,
+        },
+    }
+}
+
+/// Whether node `other` is inside the ring of `center` — convenience for
+/// tests.
+pub fn in_ring(net: &Network, center: NodeId, other: NodeId, rho: f64) -> bool {
+    net.position(center).distance(net.position(other)) <= rho + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_geom::Point;
+
+    #[test]
+    fn euclidean_and_hop_constraints_combine() {
+        // A "C" shape: node 3 is Euclidean-close to node 0 but many hops
+        // away around the C.
+        let mut net = Network::from_positions(
+            0.12,
+            [
+                Point::new(0.0, 0.0),   // 0
+                Point::new(0.1, 0.0),   // 1
+                Point::new(0.2, 0.0),   // 2
+                Point::new(0.0, 0.05),  // 3: close to 0, direct link
+            ],
+        );
+        let ring = ring_neighborhood_with_slack(&mut net, NodeId(0), 0.12, 0);
+        assert_eq!(ring.members, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(ring.hops, 1);
+    }
+
+    #[test]
+    fn disconnected_nodes_never_join() {
+        let mut net = Network::from_positions(
+            0.1,
+            [
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 0.0), // inside a ρ=1 ring but > γ away: unreachable
+            ],
+        );
+        let ring = ring_neighborhood(&mut net, NodeId(0), 1.0);
+        assert!(ring.members.is_empty());
+    }
+
+    #[test]
+    fn hop_limit_truncates_long_chains() {
+        // Chain with spacing 0.1, γ = 0.12. ρ = 0.25 ⇒ 3 hops allowed,
+        // Euclidean cut at 0.25 keeps nodes 1 and 2 only.
+        let mut net = Network::from_positions(
+            0.12,
+            (0..6).map(|i| Point::new(i as f64 * 0.1, 0.0)),
+        );
+        let ring = ring_neighborhood_with_slack(&mut net, NodeId(0), 0.25, 0);
+        assert_eq!(ring.members, vec![NodeId(1), NodeId(2)]);
+        // Wider ring reaches further down the chain.
+        let ring2 = ring_neighborhood_with_slack(&mut net, NodeId(0), 0.45, 0);
+        assert_eq!(
+            ring2.members,
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn slack_recovers_euclidean_members_over_detours() {
+        // Node 3 is Euclidean-close to node 0 but the only path detours
+        // through 1 and 2: strict hop budgets miss it, slack finds it.
+        let mut net = Network::from_positions(
+            0.12,
+            [
+                Point::new(0.0, 0.0),   // 0
+                Point::new(0.06, 0.09), // 1 (detour, 1 hop from 0)
+                Point::new(0.14, 0.09), // 2 (detour, 2 hops from 0)
+                Point::new(0.15, 0.0),  // 3: 0.15 from node 0, 3 hops away
+            ],
+        );
+        let strict = ring_neighborhood_with_slack(&mut net, NodeId(0), 0.16, 0);
+        let slack = ring_neighborhood_with_slack(&mut net, NodeId(0), 0.16, 2);
+        assert!(!strict.members.contains(&NodeId(3)), "{:?}", strict.members);
+        assert!(slack.members.contains(&NodeId(3)), "{:?}", slack.members);
+    }
+
+    #[test]
+    fn message_cost_grows_with_ring() {
+        let mut net = Network::from_positions(
+            0.12,
+            (0..8).map(|i| Point::new(i as f64 * 0.1, 0.0)),
+        );
+        let small = ring_neighborhood(&mut net, NodeId(0), 0.12);
+        let large = ring_neighborhood(&mut net, NodeId(0), 0.6);
+        assert!(large.messages.total() > small.messages.total());
+    }
+}

@@ -1,0 +1,235 @@
+//! The sensor network container.
+
+use crate::node::{NodeId, SensorNode};
+use crate::spatial::SpatialGrid;
+use laacad_geom::Point;
+
+/// A WSN: a set of [`SensorNode`]s with one shared transmission range `γ`
+/// (paper Sec. III-A: "All nodes have an identical transmission range γ"),
+/// spatially indexed for the radius queries every LAACAD round performs.
+///
+/// # Example
+///
+/// ```
+/// use laacad_geom::Point;
+/// use laacad_wsn::Network;
+/// let mut net = Network::new(0.2);
+/// let a = net.add_node(Point::new(0.0, 0.0));
+/// net.move_node(a, Point::new(0.5, 0.5));
+/// assert_eq!(net.position(a), Point::new(0.5, 0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    nodes: Vec<SensorNode>,
+    positions: Vec<Point>,
+    gamma: f64,
+    grid: Option<SpatialGrid>,
+}
+
+impl Network {
+    /// Creates an empty network with transmission range `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` is not strictly positive and finite.
+    pub fn new(gamma: f64) -> Self {
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "transmission range must be positive, got {gamma}"
+        );
+        Network {
+            nodes: Vec::new(),
+            positions: Vec::new(),
+            gamma,
+            grid: None,
+        }
+    }
+
+    /// Creates a network from initial node positions.
+    pub fn from_positions(gamma: f64, positions: impl IntoIterator<Item = Point>) -> Self {
+        let mut net = Network::new(gamma);
+        for p in positions {
+            net.add_node(p);
+        }
+        net
+    }
+
+    /// Adds a node, returning its id. Invalidates the spatial index
+    /// (rebuilt lazily).
+    pub fn add_node(&mut self, position: Point) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(SensorNode::new(id, position));
+        self.positions.push(position);
+        self.grid = None;
+        id
+    }
+
+    /// Number of nodes `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The shared transmission range `γ`.
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// All node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &SensorNode {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[SensorNode] {
+        &self.nodes
+    }
+
+    /// Position of a node.
+    #[inline]
+    pub fn position(&self, id: NodeId) -> Point {
+        self.positions[id.0]
+    }
+
+    /// All positions, indexed by node id.
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Moves a node, maintaining odometry and the spatial index.
+    pub fn move_node(&mut self, id: NodeId, target: Point) {
+        let old = self.positions[id.0];
+        self.nodes[id.0].move_to(target);
+        self.positions[id.0] = target;
+        if let Some(grid) = &mut self.grid {
+            grid.relocate(id.0, old, target);
+        }
+    }
+
+    /// Sets a node's sensing range.
+    pub fn set_sensing_radius(&mut self, id: NodeId, r: f64) {
+        self.nodes[id.0].set_sensing_radius(r);
+    }
+
+    /// Builds the spatial index if it does not exist yet.
+    fn ensure_index(&mut self) {
+        if self.grid.is_none() {
+            self.grid = Some(SpatialGrid::build(&self.positions, self.gamma.max(1e-9)));
+        }
+    }
+
+    /// Ids of nodes within Euclidean distance `radius` of `q` (inclusive),
+    /// including any node located exactly at `q`.
+    pub fn nodes_within(&mut self, q: Point, radius: f64) -> Vec<NodeId> {
+        self.ensure_index();
+        let grid = self.grid.as_ref().expect("ensured above");
+        grid.within(&self.positions, q, radius)
+            .into_iter()
+            .map(NodeId)
+            .collect()
+    }
+
+    /// One-hop neighbors of `id`: nodes within the transmission range `γ`
+    /// (the paper's `N(n_i)`), excluding the node itself.
+    pub fn one_hop_neighbors(&mut self, id: NodeId) -> Vec<NodeId> {
+        let q = self.positions[id.0];
+        let g = self.gamma;
+        self.nodes_within(q, g)
+            .into_iter()
+            .filter(|&n| n != id)
+            .collect()
+    }
+
+    /// Maximum sensing range over the network — the paper's objective `R`.
+    pub fn max_sensing_radius(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.sensing_radius())
+            .fold(0.0, f64::max)
+    }
+
+    /// Minimum sensing range over the network (reported alongside `R` in
+    /// Fig. 6 to show load balance).
+    pub fn min_sensing_radius(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.sensing_radius())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total distance moved by all nodes (movement-energy reporting).
+    pub fn total_distance_moved(&self) -> f64 {
+        self.nodes.iter().map(|n| n.distance_moved()).sum()
+    }
+}
+
+impl std::fmt::Display for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "network[N={}, γ={}]", self.len(), self.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut net = Network::new(0.15);
+        let a = net.add_node(Point::new(0.0, 0.0));
+        let b = net.add_node(Point::new(0.1, 0.0));
+        let c = net.add_node(Point::new(1.0, 1.0));
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.one_hop_neighbors(a), vec![b]);
+        assert!(net.one_hop_neighbors(c).is_empty());
+        assert_eq!(net.nodes_within(Point::new(0.05, 0.0), 0.06), vec![a, b]);
+    }
+
+    #[test]
+    fn movement_updates_queries() {
+        let mut net = Network::new(0.15);
+        let a = net.add_node(Point::new(0.0, 0.0));
+        let b = net.add_node(Point::new(1.0, 1.0));
+        assert!(net.one_hop_neighbors(a).is_empty());
+        net.move_node(b, Point::new(0.1, 0.0));
+        assert_eq!(net.one_hop_neighbors(a), vec![b]);
+        assert!((net.node(b).distance_moved() - Point::new(1.0, 1.0).distance(Point::new(0.1, 0.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_stats() {
+        let mut net = Network::new(0.2);
+        let a = net.add_node(Point::new(0.0, 0.0));
+        let b = net.add_node(Point::new(1.0, 0.0));
+        net.set_sensing_radius(a, 0.3);
+        net.set_sensing_radius(b, 0.7);
+        assert_eq!(net.max_sensing_radius(), 0.7);
+        assert_eq!(net.min_sensing_radius(), 0.3);
+    }
+
+    #[test]
+    fn from_positions_builder() {
+        let net = Network::from_positions(0.1, [Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.position(NodeId(1)), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "transmission range")]
+    fn invalid_gamma_panics() {
+        let _ = Network::new(0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # laacad-suite — umbrella crate for the LAACAD reproduction
+//!
+//! Re-exports the whole workspace behind one dependency so the examples
+//! and integration tests (and downstream users who want everything) can
+//! write `use laacad_suite::prelude::*`.
+//!
+//! The implementation lives in the member crates:
+//!
+//! * [`laacad`] — the deployment algorithm (paper Algorithms 1–2),
+//! * [`laacad_geom`] — computational-geometry kernel,
+//! * [`laacad_region`] — target areas with obstacles,
+//! * [`laacad_voronoi`] — order-k Voronoi machinery,
+//! * [`laacad_wsn`] — network substrate (radio, ranging, MDS, energy),
+//! * [`laacad_coverage`] — k-coverage verification,
+//! * [`laacad_baselines`] — Bai \[3\], Ammari–Das \[15\], Lloyd, lattices,
+//! * [`laacad_viz`] — SVG figure rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use laacad_suite::prelude::*;
+//!
+//! let region = Region::square(1.0)?;
+//! let config = LaacadConfig::builder(2)
+//!     .transmission_range(0.4)
+//!     .max_rounds(30)
+//!     .build()?;
+//! let initial = sample_uniform(&region, 16, 7);
+//! let mut sim = Laacad::new(config, region.clone(), initial)?;
+//! let summary = sim.run();
+//! let report = evaluate_coverage(sim.network(), &region, 2, 2000);
+//! assert!(report.covered_fraction > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use laacad;
+pub use laacad_baselines;
+pub use laacad_coverage;
+pub use laacad_geom;
+pub use laacad_region;
+pub use laacad_viz;
+pub use laacad_voronoi;
+pub use laacad_wsn;
+
+/// The convenient flat import surface.
+pub mod prelude {
+    pub use laacad::{
+        min_node_deployment, CoordinateMode, Laacad, LaacadConfig, LaacadError, RingCapPolicy,
+        RunSummary,
+    };
+    pub use laacad_coverage::{evaluate_coverage, CoverageReport};
+    pub use laacad_geom::{Circle, Point, Polygon, Vector};
+    pub use laacad_region::sampling::{sample_clustered, sample_uniform};
+    pub use laacad_region::{gallery, Region};
+    pub use laacad_viz::{DeploymentPlot, LineChart};
+    pub use laacad_wsn::{Network, NodeId};
+}

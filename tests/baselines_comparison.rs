@@ -1,0 +1,137 @@
+//! Cross-crate comparisons against the paper's baselines (Tables I–II at
+//! test scale, plus the Lloyd ablation).
+
+use laacad_baselines::ammari::ammari_min_nodes;
+use laacad_baselines::bai::{bai_min_nodes, bai_pattern};
+use laacad_baselines::lloyd::lloyd_run;
+use laacad_suite::prelude::*;
+
+#[test]
+fn table1_shape_laacad_close_to_bai_bound() {
+    // Scaled-down Table I: LAACAD's node usage should be within ~2.5× of
+    // Bai's boundary-free optimum (the paper reports ≈ 1.15 at N = 1000+;
+    // smaller N suffers relatively more boundary).
+    let region = Region::square(1.0).unwrap();
+    let n = 80;
+    let config = LaacadConfig::builder(2)
+        .transmission_range(LaacadConfig::recommended_gamma(1.0, n, 2))
+        .alpha(0.6)
+        .epsilon(1e-3)
+        .max_rounds(200)
+        .build()
+        .unwrap();
+    let initial = sample_uniform(&region, n, 1234);
+    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    let summary = sim.run();
+    let n_star = bai_min_nodes(region.area(), summary.max_sensing_radius);
+    let ratio = n as f64 / n_star;
+    assert!(
+        (1.0..2.5).contains(&ratio),
+        "N/N* = {ratio:.2} (R* = {:.4})",
+        summary.max_sensing_radius
+    );
+    // And the deployment genuinely 2-covers.
+    let report = evaluate_coverage(sim.network(), &region, 2, 10_000);
+    assert!(report.covered_fraction > 0.999, "{report}");
+}
+
+#[test]
+fn table2_shape_laacad_beats_ammari_lenses() {
+    // Scaled-down Table II: at LAACAD's converged range, the Ammari–Das
+    // lens construction needs *more* nodes than LAACAD used.
+    let region = Region::square(1.0).unwrap();
+    let n = 60;
+    for k in [3usize, 4] {
+        let config = LaacadConfig::builder(k)
+            .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+            .alpha(0.6)
+            .epsilon(1e-3)
+            .max_rounds(200)
+            .build()
+            .unwrap();
+        let initial = sample_uniform(&region, n, 900 + k as u64);
+        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let summary = sim.run();
+        let n_star = ammari_min_nodes(region.area(), summary.max_sensing_radius, k);
+        assert!(
+            n_star > n as f64,
+            "k={k}: Ammari needs {n_star:.0} ≤ our {n} at R* = {:.4}",
+            summary.max_sensing_radius
+        );
+    }
+}
+
+#[test]
+fn bai_pattern_matches_its_own_bound() {
+    // The generator realizes the density its formula promises (boundary
+    // slack aside) — keeps the two halves of the baseline consistent.
+    let region = Region::square(4.0).unwrap();
+    let r = 0.35;
+    let pattern = bai_pattern(&region, r);
+    let bound = bai_min_nodes(region.area(), r);
+    let ratio = pattern.len() as f64 / bound;
+    assert!(
+        (0.8..1.4).contains(&ratio),
+        "pattern {} vs bound {bound:.0}",
+        pattern.len()
+    );
+}
+
+#[test]
+fn lloyd_never_beats_laacad_minimax_on_asymmetric_region() {
+    // The Chebyshev rule optimizes exactly the minimax radius; Lloyd
+    // optimizes quantization error. On an asymmetric region the fixed
+    // points differ and Lloyd's minimax radius is at least LAACAD's.
+    let tri = Polygon::new([
+        Point::new(0.0, 0.0),
+        Point::new(3.0, 0.0),
+        Point::new(0.0, 1.2),
+    ])
+    .unwrap();
+    let region = Region::new(tri);
+    let n = 6;
+    let initial = sample_uniform(&region, n, 77);
+
+    let config = LaacadConfig::builder(1)
+        .transmission_range(1.5)
+        .alpha(0.8)
+        .epsilon(1e-4)
+        .max_rounds(300)
+        .build()
+        .unwrap();
+    let mut sim = Laacad::new(config, region.clone(), initial.clone()).unwrap();
+    let laacad_summary = sim.run();
+
+    let mut net = Network::from_positions(1.5, initial);
+    let lloyd = lloyd_run(&mut net, &region, 1, 0.8, 1e-4, 300);
+
+    assert!(
+        lloyd.max_sensing_radius >= laacad_summary.max_sensing_radius - 1e-6,
+        "lloyd {} < laacad {}",
+        lloyd.max_sensing_radius,
+        laacad_summary.max_sensing_radius
+    );
+}
+
+#[test]
+fn minnode_search_is_consistent_with_direct_runs() {
+    // The N the search returns must indeed satisfy R*(N) ≤ r_s when
+    // re-evaluated, and N−1 must fail (for the same seeds the search
+    // used).
+    let region = Region::square(1.0).unwrap();
+    let config = LaacadConfig::builder(1)
+        .transmission_range(0.7)
+        .alpha(0.7)
+        .epsilon(5e-3)
+        .max_rounds(40)
+        .build()
+        .unwrap();
+    let target = 0.34;
+    let result = laacad::min_node_deployment(&region, &config, target, 31).unwrap();
+    assert!(result.r_star <= target + 1e-9);
+    // The evaluations trace must bracket the answer.
+    assert!(result
+        .evaluations
+        .iter()
+        .any(|&(n, r)| n == result.n && (r - result.r_star).abs() < 1e-12));
+}

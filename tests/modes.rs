@@ -1,0 +1,110 @@
+//! End-to-end tests for the algorithm's alternative operating modes:
+//! ranging/MDS coordinates, ring-cap policies, and execution schedules.
+
+use laacad_suite::prelude::*;
+use laacad_wsn::ranging::RangingNoise;
+
+fn base_config(k: usize, n: usize) -> laacad::LaacadConfigBuilder {
+    let mut b = LaacadConfig::builder(k);
+    b.transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+        .alpha(0.6)
+        .epsilon(2e-3)
+        .max_rounds(150);
+    b
+}
+
+#[test]
+fn ranging_mode_full_pipeline_covers() {
+    // The whole deployment driven by MDS local frames from noisy ranging:
+    // no node ever reads its true coordinates for the geometry.
+    let region = Region::square(1.0).unwrap();
+    let n = 24;
+    let config = base_config(2, n)
+        .coordinates(CoordinateMode::Ranging(RangingNoise::new(0.01, 0.0)))
+        .build()
+        .unwrap();
+    let initial = sample_uniform(&region, n, 404);
+    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    let summary = sim.run();
+    let report = evaluate_coverage(sim.network(), &region, 2, 10_000);
+    assert!(report.covered_fraction > 0.99, "{report} ({summary})");
+}
+
+#[test]
+fn noiseless_ranging_equals_oracle_trajectories() {
+    // σ = 0 ranging must reproduce the oracle run bit-for-bit in outcome
+    // terms (same converged radii), because MDS + Procrustes is exact on
+    // noiseless distances.
+    let region = Region::square(1.0).unwrap();
+    let n = 16;
+    let run = |mode: CoordinateMode| {
+        let config = base_config(1, n).coordinates(mode).build().unwrap();
+        let initial = sample_uniform(&region, n, 11);
+        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        sim.run()
+    };
+    let oracle = run(CoordinateMode::Oracle);
+    let ranging = run(CoordinateMode::Ranging(RangingNoise::NONE));
+    assert!(
+        (oracle.max_sensing_radius - ranging.max_sensing_radius).abs() < 1e-6,
+        "oracle {} vs ranging {}",
+        oracle.max_sensing_radius,
+        ranging.max_sensing_radius
+    );
+}
+
+#[test]
+fn always_cap_policy_still_reaches_coverage() {
+    // The literal Fig. 3 reading (always cap by the searching ring) slows
+    // the expansion phase but must not break the end state.
+    let region = Region::square(1.0).unwrap();
+    let n = 20;
+    let config = base_config(1, n)
+        .ring_cap(RingCapPolicy::AlwaysCap)
+        .max_rounds(250)
+        .build()
+        .unwrap();
+    let initial = sample_clustered(&region, n, Point::new(0.2, 0.2), 0.1, 3);
+    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    sim.run();
+    let report = evaluate_coverage(sim.network(), &region, 1, 10_000);
+    assert!(report.covered_fraction > 0.995, "{report}");
+}
+
+#[test]
+fn sequential_schedule_full_pipeline() {
+    let region = gallery::l_shape();
+    let n = 24;
+    let config = LaacadConfig::builder(2)
+        .transmission_range(LaacadConfig::recommended_gamma(region.area(), n, 2))
+        .alpha(0.6)
+        .epsilon(2e-3)
+        .max_rounds(200)
+        .execution(laacad::ExecutionMode::Sequential)
+        .build()
+        .unwrap();
+    let initial = sample_uniform(&region, n, 21);
+    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    sim.run();
+    let report = evaluate_coverage(sim.network(), &region, 2, 10_000);
+    assert!(report.covered_fraction > 0.995, "{report}");
+    assert!(sim.network().positions().iter().all(|&p| region.contains(p)));
+}
+
+#[test]
+fn connectivity_follows_coverage_for_k2() {
+    // Sec. IV-C: under k ≥ 2 coverage with γ ≥ r_i, degree ≥ 6 and the
+    // network is connected.
+    let region = Region::square(1.0).unwrap();
+    let n = 40;
+    let config = base_config(2, n).build().unwrap();
+    let initial = sample_uniform(&region, n, 77);
+    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    let summary = sim.run();
+    // γ ≥ r*: the paper's realistic assumption holds here by construction.
+    assert!(sim.network().gamma() >= summary.max_sensing_radius);
+    let mut net = sim.network().clone();
+    assert!(laacad_wsn::radio::is_connected(&mut net));
+    let (min_degree, _, _) = laacad_wsn::radio::degree_stats(&mut net);
+    assert!(min_degree >= 3, "min degree {min_degree}");
+}

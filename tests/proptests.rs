@@ -1,0 +1,66 @@
+//! Workspace-level property tests: whatever the random scenario, LAACAD
+//! must end k-covered with balanced, sane radii.
+
+use laacad_suite::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    // Full runs are expensive; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn any_small_scenario_ends_k_covered(
+        k in 1usize..=3,
+        extra in 0usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let n = 8 * k + extra;
+        let region = Region::square(1.0).unwrap();
+        let config = LaacadConfig::builder(k)
+            .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+            .alpha(0.6)
+            .epsilon(2e-3)
+            .max_rounds(100)
+            .build()
+            .unwrap();
+        let initial = sample_uniform(&region, n, seed);
+        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let summary = sim.run();
+        let report = evaluate_coverage(sim.network(), &region, k, 4000);
+        prop_assert!(
+            report.covered_fraction > 0.995,
+            "k={} n={} seed={}: {} ({})", k, n, seed, report, summary
+        );
+        // Radii are positive and bounded by the region diameter.
+        prop_assert!(summary.max_sensing_radius > 0.0);
+        prop_assert!(summary.max_sensing_radius <= region.diameter_bound());
+        prop_assert!(summary.min_sensing_radius <= summary.max_sensing_radius);
+        // Nodes stay inside the area.
+        prop_assert!(sim.network().positions().iter().all(|&p| region.contains(p)));
+    }
+
+    #[test]
+    fn clustered_starts_also_converge_to_coverage(
+        cx in 0.1f64..0.9,
+        cy in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let region = Region::square(1.0).unwrap();
+        let n = 18;
+        let config = LaacadConfig::builder(1)
+            .transmission_range(0.3)
+            .alpha(0.6)
+            .epsilon(2e-3)
+            .max_rounds(120)
+            .build()
+            .unwrap();
+        let initial = sample_clustered(&region, n, Point::new(cx, cy), 0.08, seed);
+        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        sim.run();
+        let report = evaluate_coverage(sim.network(), &region, 1, 4000);
+        prop_assert!(
+            report.covered_fraction > 0.995,
+            "start ({:.2},{:.2}) seed {}: {}", cx, cy, seed, report
+        );
+    }
+}
