@@ -127,7 +127,10 @@ mod tests {
         let a = ammari_pattern(&region, 0.5, 3).len() as f64;
         let b = ammari_pattern(&region, 0.25, 3).len() as f64;
         let ratio = b / a;
-        assert!((ratio - 4.0).abs() < 0.7, "halving r ≈ 4× nodes, got {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.7,
+            "halving r ≈ 4× nodes, got {ratio}"
+        );
     }
 
     #[test]

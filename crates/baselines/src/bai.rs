@@ -57,7 +57,12 @@ mod tests {
     fn table1_numbers_reproduce() {
         // Table I: |A| = 10⁴ m² (see DESIGN.md §3 on units), R* from the
         // paper's runs → N*. Spot-check the published rows.
-        for (r_star, n_star) in [(3.035f64, 836.0f64), (2.712, 1047.0), (2.523, 1210.0), (2.357, 1386.0)] {
+        for (r_star, n_star) in [
+            (3.035f64, 836.0f64),
+            (2.712, 1047.0),
+            (2.523, 1210.0),
+            (2.357, 1386.0),
+        ] {
             let n = bai_min_nodes(1.0e4, r_star);
             let err = (n - n_star).abs() / n_star;
             assert!(err < 0.005, "R*={r_star}: {n} vs paper {n_star}");
@@ -71,8 +76,7 @@ mod tests {
         let pts = bai_pattern(&region, r);
         // Disk-area-to-region ratio ≈ BAI_DENSITY (boundary effects small
         // for a 20r-wide region).
-        let density =
-            pts.len() as f64 * std::f64::consts::PI * r * r / region.area();
+        let density = pts.len() as f64 * std::f64::consts::PI * r * r / region.area();
         assert!(
             (density - BAI_DENSITY).abs() / BAI_DENSITY < 0.15,
             "density {density} vs {BAI_DENSITY}"

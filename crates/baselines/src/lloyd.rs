@@ -81,8 +81,8 @@ pub fn lloyd_run(
             }
         }
         let moved = targets.iter().flatten().count();
-        for i in 0..n {
-            if let Some(c) = targets[i] {
+        for (i, target) in targets.iter().enumerate() {
+            if let Some(c) = *target {
                 step_toward(net, NodeId(i), c, alpha, Some(region));
             }
         }
@@ -138,7 +138,9 @@ mod tests {
         assert!(out.converged);
         // Centroid of the square = its center (which for a square is also
         // the Chebyshev center — the rules differ on asymmetric regions).
-        assert!(net.position(NodeId(0)).approx_eq(Point::new(0.5, 0.5), 1e-4));
+        assert!(net
+            .position(NodeId(0))
+            .approx_eq(Point::new(0.5, 0.5), 1e-4));
     }
 
     #[test]

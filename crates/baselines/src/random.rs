@@ -103,7 +103,10 @@ mod tests {
             }
         }
         let mc = hits as f64 / trials as f64;
-        assert!((analytic - mc).abs() < 0.05, "analytic {analytic} vs MC {mc}");
+        assert!(
+            (analytic - mc).abs() < 0.05,
+            "analytic {analytic} vs MC {mc}"
+        );
     }
 
     #[test]

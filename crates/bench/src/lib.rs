@@ -8,38 +8,49 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use laacad::{Laacad, LaacadConfig};
+use laacad::Laacad;
 use laacad_geom::Point;
-use laacad_region::sampling::{sample_clustered, sample_uniform};
+use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
+use laacad_scenario::{build_scenario, AlgorithmSpec, PlacementSpec, ScenarioSpec};
 
-/// A deterministic uniform scenario: `n` nodes in the unit square.
+/// Bench-grade algorithm parameters (fast ε, fixed α).
+fn bench_algorithm(k: usize, max_rounds: usize) -> AlgorithmSpec {
+    AlgorithmSpec {
+        k,
+        alpha: 0.6,
+        epsilon: Some(2e-3),
+        max_rounds,
+        ..AlgorithmSpec::default()
+    }
+}
+
+/// A deterministic uniform scenario: `n` nodes in the unit square,
+/// expressed as a declarative [`ScenarioSpec`] and built through the
+/// scenario engine.
 pub fn uniform_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Laacad {
-    let region = Region::square(1.0).expect("unit square");
-    let gamma = LaacadConfig::recommended_gamma(1.0, n, k);
-    let config = LaacadConfig::builder(k)
-        .transmission_range(gamma)
-        .alpha(0.6)
-        .epsilon(2e-3)
-        .max_rounds(max_rounds)
-        .build()
-        .expect("valid bench config");
-    let initial = sample_uniform(&region, n, seed);
-    Laacad::new(config, region, initial).expect("valid bench scenario")
+    let spec = ScenarioSpec {
+        laacad: bench_algorithm(k, max_rounds),
+        ..ScenarioSpec::uniform("bench-uniform", n, k)
+    };
+    build_scenario(&spec, seed).expect("valid bench scenario").0
 }
 
 /// The Fig. 5 corner-start scenario at reduced scale.
 pub fn corner_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Laacad {
-    let region = Region::square(1.0).expect("unit square");
-    let config = LaacadConfig::builder(k)
-        .transmission_range(0.3)
-        .alpha(0.6)
-        .epsilon(2e-3)
-        .max_rounds(max_rounds)
-        .build()
-        .expect("valid bench config");
-    let initial = sample_clustered(&region, n, Point::new(0.15, 0.15), 0.12, seed);
-    Laacad::new(config, region, initial).expect("valid bench scenario")
+    let spec = ScenarioSpec {
+        placement: PlacementSpec::Clustered {
+            n,
+            center: (0.15, 0.15),
+            radius: 0.12,
+        },
+        laacad: AlgorithmSpec {
+            gamma: Some(0.3),
+            ..bench_algorithm(k, max_rounds)
+        },
+        ..ScenarioSpec::uniform("bench-corner", n, k)
+    };
+    build_scenario(&spec, seed).expect("valid bench scenario").0
 }
 
 /// Deterministic pseudo-random points for component benches.

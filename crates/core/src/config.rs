@@ -129,13 +129,13 @@ impl LaacadConfig {
         if self.k < 1 || self.k > n {
             return Err(LaacadError::InvalidK { k: self.k, n });
         }
-        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+        if self.alpha.is_nan() || self.alpha <= 0.0 || self.alpha > 1.0 {
             return Err(LaacadError::InvalidAlpha(self.alpha));
         }
-        if !(self.epsilon > 0.0) {
+        if self.epsilon.is_nan() || self.epsilon <= 0.0 {
             return Err(LaacadError::InvalidEpsilon(self.epsilon));
         }
-        if !(self.gamma > 0.0) {
+        if self.gamma.is_nan() || self.gamma <= 0.0 {
             return Err(LaacadError::InvalidGamma(self.gamma));
         }
         Ok(())

@@ -42,7 +42,10 @@ impl std::fmt::Display for LaacadError {
             }
             LaacadError::EmptyDeployment => write!(f, "initial deployment has no nodes"),
             LaacadError::NodeOutsideRegion { index } => {
-                write!(f, "initial position of node {index} lies outside the target area")
+                write!(
+                    f,
+                    "initial position of node {index} lies outside the target area"
+                )
             }
         }
     }
@@ -66,7 +69,13 @@ mod tests {
         ];
         for m in msgs {
             assert!(!m.is_empty());
-            assert!(m.is_ascii() || m.contains('α') || m.contains('ε') || m.contains('γ') || m.contains('≤'));
+            assert!(
+                m.is_ascii()
+                    || m.contains('α')
+                    || m.contains('ε')
+                    || m.contains('γ')
+                    || m.contains('≤')
+            );
         }
     }
 }

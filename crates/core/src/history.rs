@@ -88,7 +88,11 @@ impl std::fmt::Display for RunSummary {
             f,
             "{} rounds ({}), R* = {:.5}, r_min = {:.5}, moved {:.3}, messages {}",
             self.rounds,
-            if self.converged { "converged" } else { "round limit" },
+            if self.converged {
+                "converged"
+            } else {
+                "round limit"
+            },
             self.max_sensing_radius,
             self.min_sensing_radius,
             self.total_distance_moved,

@@ -44,6 +44,7 @@
 pub mod config;
 pub mod error;
 pub mod history;
+pub mod hooks;
 pub mod localview;
 pub mod minnode;
 pub mod ring;
@@ -52,6 +53,7 @@ pub mod runner;
 pub use config::{CoordinateMode, ExecutionMode, LaacadConfig, LaacadConfigBuilder, RingCapPolicy};
 pub use error::LaacadError;
 pub use history::{History, RoundReport, RunSummary};
+pub use hooks::{EventOutcome, HookAction, NetworkEvent, RoundHook};
 pub use minnode::{min_node_deployment, MinNodeResult};
 pub use ring::{expanding_ring_search, RingOutcome};
 pub use runner::Laacad;

@@ -63,7 +63,10 @@ pub fn compute_local_view(
     let (self_est, candidate_positions, rmse) = match config.coordinates {
         CoordinateMode::Oracle => (
             true_self,
-            ring.candidates.iter().map(|&m| net.position(m)).collect::<Vec<_>>(),
+            ring.candidates
+                .iter()
+                .map(|&m| net.position(m))
+                .collect::<Vec<_>>(),
             0.0,
         ),
         CoordinateMode::Ranging(noise) => {
@@ -186,19 +189,15 @@ mod tests {
                     .filter(|&(i, _)| i != id.index())
                     .map(|(_, &p)| p),
             );
-            let global = laacad_voronoi::dominating::dominating_region_in_region(
-                0, &reordered, k, &area,
-            );
+            let global =
+                laacad_voronoi::dominating::dominating_region_in_region(0, &reordered, k, &area);
             assert!(
                 (view.region.area() - global.area()).abs() < 1e-6,
                 "k={k}: local {} vs global {}",
                 view.region.area(),
                 global.area()
             );
-            let (lc, gc) = (
-                view.chebyshev.unwrap(),
-                global.chebyshev_disk().unwrap(),
-            );
+            let (lc, gc) = (view.chebyshev.unwrap(), global.chebyshev_disk().unwrap());
             assert!(lc.center.approx_eq(gc.center, 1e-6), "k={k}");
             assert!((lc.radius - gc.radius).abs() < 1e-6, "k={k}");
         }

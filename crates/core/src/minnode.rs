@@ -143,12 +143,7 @@ mod tests {
         let region = Region::square(1.0).unwrap();
         let tight = min_node_deployment(&region, &quick_config(1), 0.25, 7).unwrap();
         let loose = min_node_deployment(&region, &quick_config(1), 0.45, 7).unwrap();
-        assert!(
-            loose.n <= tight.n,
-            "loose {} vs tight {}",
-            loose.n,
-            tight.n
-        );
+        assert!(loose.n <= tight.n, "loose {} vs tight {}", loose.n, tight.n);
     }
 
     #[test]

@@ -88,8 +88,7 @@ pub fn expanding_ring_search(
         let ring = ring_neighborhood(net, id, rho);
         messages.absorb(ring.messages);
         let circle = Circle::new(center, rho / 2.0);
-        let competitors: Vec<Point> =
-            ring.members.iter().map(|&m| net.position(m)).collect();
+        let competitors: Vec<Point> = ring.members.iter().map(|&m| net.position(m)).collect();
         if circle_dominated(center, &competitors, &circle, region, k) {
             return RingOutcome {
                 candidates: ring.members,
@@ -155,9 +154,7 @@ mod tests {
         let region = Region::square(1.0).unwrap();
         let mut net = dense_grid_network(0.1, 11, 0.15);
         let rho_k: Vec<f64> = (1..=4)
-            .map(|k| {
-                expanding_ring_search(&mut net, NodeId(60), &region, k, 3.0).rho
-            })
+            .map(|k| expanding_ring_search(&mut net, NodeId(60), &region, k, 3.0).rho)
             .collect();
         for w in rho_k.windows(2) {
             assert!(w[1] >= w[0], "ρ must not shrink with k: {rho_k:?}");
@@ -172,7 +169,11 @@ mod tests {
         let region = Region::square(1.0).unwrap();
         let mut net = dense_grid_network(0.1, 11, 0.15);
         let out = expanding_ring_search(&mut net, NodeId(0), &region, 1, 3.0);
-        assert!(out.dominated, "ρ = {}, saturated = {}", out.rho, out.saturated);
+        assert!(
+            out.dominated,
+            "ρ = {}, saturated = {}",
+            out.rho, out.saturated
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::config::LaacadConfig;
 use crate::error::LaacadError;
 use crate::history::{History, RoundReport, RunSummary};
+use crate::hooks::{EventOutcome, HookAction, NetworkEvent, RoundHook};
 use crate::localview::compute_local_view;
 use laacad_geom::Point;
 use laacad_region::Region;
@@ -75,8 +76,7 @@ impl Laacad {
             converged: false,
         };
         if sim.config.snapshot_every.is_some() {
-            sim.history
-                .push_snapshot(0, sim.net.positions().to_vec());
+            sim.history.push_snapshot(0, sim.net.positions().to_vec());
         }
         Ok(sim)
     }
@@ -134,9 +134,10 @@ impl Laacad {
         let mut nodes_moved = 0;
         // Phase 1: every node computes its view (and, in sequential mode,
         // acts on it immediately).
-        for i in 0..n {
+        for (i, target) in targets.iter_mut().enumerate() {
             let id = NodeId(i);
-            let view = compute_local_view(&mut self.net, id, &self.region, &self.config, self.round);
+            let view =
+                compute_local_view(&mut self.net, id, &self.region, &self.config, self.round);
             messages.absorb(view.ring.messages);
             let u = self.net.position(id);
             if let Some(disk) = view.chebyshev {
@@ -156,7 +157,7 @@ impl Laacad {
                         );
                         nodes_moved += 1;
                     } else {
-                        targets[i] = Some(disk.center);
+                        *target = Some(disk.center);
                     }
                 }
                 // Keep the node's sensing range able to cover its current
@@ -167,8 +168,8 @@ impl Laacad {
         }
         // Phase 2 (synchronous only): all nodes move together.
         if !sequential {
-            for i in 0..n {
-                if let Some(c) = targets[i] {
+            for (i, target) in targets.iter().enumerate() {
+                if let Some(c) = *target {
                     step_toward(
                         &mut self.net,
                         NodeId(i),
@@ -181,6 +182,10 @@ impl Laacad {
             }
         }
         let converged = nodes_moved == 0;
+        // A hook may keep a converged run alive for pending events; only
+        // the transition into convergence earns an off-cadence snapshot,
+        // or idle rounds would each push a full position copy.
+        let newly_converged = converged && !self.converged;
         self.converged = converged;
         if min_circumradius == f64::INFINITY {
             min_circumradius = 0.0;
@@ -197,7 +202,7 @@ impl Laacad {
         };
         self.history.push_round(report.clone());
         if let Some(every) = self.config.snapshot_every {
-            if self.round % every == 0 || converged {
+            if self.round.is_multiple_of(every) || newly_converged {
                 self.history
                     .push_snapshot(self.round, self.net.positions().to_vec());
             }
@@ -208,9 +213,35 @@ impl Laacad {
     /// Runs until the ε-termination condition or the round limit, then
     /// finalizes sensing ranges (Algorithm 1 line 7).
     pub fn run(&mut self) -> RunSummary {
+        self.run_with_hooks(&mut [])
+    }
+
+    /// Like [`Laacad::run`], but invokes every hook after each round.
+    ///
+    /// Hooks observe the fresh [`RoundReport`] and may mutate the
+    /// simulation through [`Laacad::apply_event`]; their verdicts combine
+    /// as: any [`HookAction::Stop`] stops the run, else any
+    /// [`HookAction::KeepRunning`] overrides the convergence stop (used
+    /// while scenario events are still pending), else the default
+    /// ε-termination rule applies.
+    pub fn run_with_hooks(&mut self, hooks: &mut [&mut dyn RoundHook]) -> RunSummary {
         while self.round < self.config.max_rounds {
             let report = self.step();
-            if report.converged {
+            let mut stop = false;
+            let mut keep_running = false;
+            for hook in hooks.iter_mut() {
+                match hook.after_round(self, &report) {
+                    HookAction::Stop => stop = true,
+                    HookAction::KeepRunning => keep_running = true,
+                    HookAction::Default => {}
+                }
+            }
+            if stop {
+                break;
+            }
+            // `self.converged`, not `report.converged`: an event applied
+            // by a hook this round resets the latch.
+            if self.converged && !keep_running {
                 break;
             }
         }
@@ -230,6 +261,72 @@ impl Laacad {
                 }),
             total_distance_moved: self.net.total_distance_moved(),
         }
+    }
+
+    /// Applies a dynamic [`NetworkEvent`] between rounds.
+    ///
+    /// Validation happens up front and failures leave the simulation
+    /// untouched; a successful event resets the convergence latch (the
+    /// deployment must re-balance) and records a position snapshot when
+    /// snapshots are enabled.
+    ///
+    /// # Errors
+    ///
+    /// * [`LaacadError::EmptyDeployment`] — the event would remove every node;
+    /// * [`LaacadError::InvalidK`] — fewer survivors than `k`, or `SetK`
+    ///   out of `1..=N`;
+    /// * [`LaacadError::NodeOutsideRegion`] — an inserted position lies
+    ///   outside the target area;
+    /// * [`LaacadError::InvalidAlpha`] — `SetAlpha` outside `(0, 1]`.
+    pub fn apply_event(&mut self, event: NetworkEvent) -> Result<EventOutcome, LaacadError> {
+        let mut outcome = EventOutcome::default();
+        match event {
+            NetworkEvent::FailNodes(ids) => {
+                let survivors = self.net.len() - self.net.count_present(&ids);
+                if survivors == 0 {
+                    return Err(LaacadError::EmptyDeployment);
+                }
+                if survivors < self.config.k {
+                    return Err(LaacadError::InvalidK {
+                        k: self.config.k,
+                        n: survivors,
+                    });
+                }
+                outcome.removed = self.net.remove_nodes(&ids);
+            }
+            NetworkEvent::InsertNodes(points) => {
+                for (i, p) in points.iter().enumerate() {
+                    if !self.region.contains(*p) {
+                        return Err(LaacadError::NodeOutsideRegion { index: i });
+                    }
+                }
+                for p in points {
+                    self.net.add_node(p);
+                    outcome.inserted += 1;
+                }
+            }
+            NetworkEvent::SetK(k) => {
+                if k < 1 || k > self.net.len() {
+                    return Err(LaacadError::InvalidK {
+                        k,
+                        n: self.net.len(),
+                    });
+                }
+                self.config.k = k;
+            }
+            NetworkEvent::SetAlpha(alpha) => {
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return Err(LaacadError::InvalidAlpha(alpha));
+                }
+                self.config.alpha = alpha;
+            }
+        }
+        self.converged = false;
+        if self.config.snapshot_every.is_some() {
+            self.history
+                .push_snapshot(self.round, self.net.positions().to_vec());
+        }
+        Ok(outcome)
     }
 
     /// Recomputes every node's dominating region at the final positions
@@ -421,8 +518,7 @@ mod tests {
         let mut config = quick_config(1, 100);
         config.alpha = 1.0;
         config.epsilon = 1e-6;
-        let mut sim =
-            Laacad::new(config, region, vec![Point::new(0.1, 0.2)]).unwrap();
+        let mut sim = Laacad::new(config, region, vec![Point::new(0.1, 0.2)]).unwrap();
         let summary = sim.run();
         assert!(summary.converged);
         let p = sim.network().position(NodeId(0));

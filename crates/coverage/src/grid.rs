@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn k2_needs_two_disks() {
         let region = Region::square(1.0).unwrap();
-        let mut net = Network::from_positions(
-            1.0,
-            [Point::new(0.5, 0.5), Point::new(0.5, 0.5)],
-        );
+        let mut net = Network::from_positions(1.0, [Point::new(0.5, 0.5), Point::new(0.5, 0.5)]);
         net.set_sensing_radius(NodeId(0), 0.8);
         let rep1 = evaluate_coverage(&net, &region, 2, 500);
         assert!(!rep1.is_k_covered(), "only one active disk");

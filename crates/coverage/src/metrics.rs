@@ -73,7 +73,7 @@ pub fn cluster_sizes(net: &Network, merge_radius: f64) -> Vec<usize> {
     let positions = net.positions();
     // Union–find over proximity.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -122,7 +122,11 @@ mod tests {
     fn stats_of_known_radii() {
         let mut net = Network::from_positions(
             1.0,
-            [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+            [
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+            ],
         );
         for (i, r) in [1.0, 2.0, 3.0].into_iter().enumerate() {
             net.set_sensing_radius(NodeId(i), r);
@@ -166,10 +170,7 @@ mod tests {
     #[test]
     fn transitive_clusters_merge() {
         // A chain of nodes each within merge radius of the next.
-        let net = Network::from_positions(
-            1.0,
-            (0..4).map(|i| Point::new(i as f64 * 0.009, 0.0)),
-        );
+        let net = Network::from_positions(1.0, (0..4).map(|i| Point::new(i as f64 * 0.009, 0.0)));
         assert_eq!(cluster_sizes(&net, 0.01), vec![4]);
     }
 

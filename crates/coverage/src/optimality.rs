@@ -122,10 +122,7 @@ mod tests {
     use laacad_wsn::NodeId;
 
     fn two_node_net() -> Network {
-        let mut net = Network::from_positions(
-            1.0,
-            [Point::new(0.25, 0.5), Point::new(0.75, 0.5)],
-        );
+        let mut net = Network::from_positions(1.0, [Point::new(0.25, 0.5), Point::new(0.75, 0.5)]);
         net.set_sensing_radius(NodeId(0), 0.6);
         net.set_sensing_radius(NodeId(1), 0.6);
         net
@@ -146,7 +143,10 @@ mod tests {
         let bound = optimal_range_bound(&net, &region, 1, 40_000);
         // Farthest point is a corner: distance √0.5 ≈ 0.7071 (grid slightly
         // underestimates).
-        assert!((bound - 0.7071).abs() < 0.01, "bound {bound}");
+        assert!(
+            (bound - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
+            "bound {bound}"
+        );
     }
 
     #[test]
@@ -161,10 +161,7 @@ mod tests {
     #[test]
     fn fault_tolerance_of_redundant_pair() {
         // Both disks cover everything; losing one leaves 1-coverage.
-        let mut net = Network::from_positions(
-            1.0,
-            [Point::new(0.5, 0.5), Point::new(0.5, 0.5)],
-        );
+        let mut net = Network::from_positions(1.0, [Point::new(0.5, 0.5), Point::new(0.5, 0.5)]);
         net.set_sensing_radius(NodeId(0), 0.8);
         net.set_sensing_radius(NodeId(1), 0.8);
         let region = Region::square(1.0).unwrap();

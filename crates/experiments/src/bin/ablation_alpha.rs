@@ -24,7 +24,14 @@ fn main() {
         )
     });
     let mut rows = Vec::new();
-    let mut csv = Csv::with_header(&["alpha", "rounds", "converged", "r_star", "distance", "covered"]);
+    let mut csv = Csv::with_header(&[
+        "alpha",
+        "rounds",
+        "converged",
+        "r_star",
+        "distance",
+        "covered",
+    ]);
     for (alpha, rounds, converged, r_star, distance, covered) in results {
         rows.push(vec![
             format!("{alpha:.2}"),
@@ -48,7 +55,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["α", "rounds", "converged", "R*", "total distance moved", "2-covered"],
+            &[
+                "α",
+                "rounds",
+                "converged",
+                "R*",
+                "total distance moved",
+                "2-covered"
+            ],
             &rows
         )
     );

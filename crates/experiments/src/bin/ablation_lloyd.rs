@@ -13,7 +13,13 @@ use laacad_wsn::Network;
 fn main() {
     let region = Region::square(1.0).expect("unit square");
     let mut rows = Vec::new();
-    let mut csv = Csv::with_header(&["k", "n", "laacad_r_star", "lloyd_r_star", "lloyd_over_laacad"]);
+    let mut csv = Csv::with_header(&[
+        "k",
+        "n",
+        "laacad_r_star",
+        "lloyd_r_star",
+        "lloyd_over_laacad",
+    ]);
     for (k, n) in [(1usize, 30usize), (2, 40), (3, 45)] {
         let seed = 9_000 + (10 * k + n) as u64;
         // LAACAD.

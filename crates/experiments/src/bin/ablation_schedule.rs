@@ -18,7 +18,14 @@ fn main() {
     let region = Region::square(1.0).expect("unit square");
     let mut rows = Vec::new();
     let mut csv = Csv::with_header(&[
-        "mode", "k", "rounds", "converged", "r_star", "r_min", "covered", "clusters",
+        "mode",
+        "k",
+        "rounds",
+        "converged",
+        "r_star",
+        "r_min",
+        "covered",
+        "clusters",
     ]);
     for k in [1usize, 2, 3] {
         for (name, mode) in [
@@ -67,7 +74,16 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["schedule", "k", "rounds", "converged", "R*", "r_min", "covered", "cluster histogram"],
+            &[
+                "schedule",
+                "k",
+                "rounds",
+                "converged",
+                "R*",
+                "r_min",
+                "covered",
+                "cluster histogram"
+            ],
             &rows
         )
     );

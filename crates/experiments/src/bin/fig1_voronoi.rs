@@ -24,7 +24,10 @@ fn main() {
             &cells,
             &sites,
             480.0,
-            &format!("Fig. 1({}) — order-{k} Voronoi partition, 30 nodes", (b'a' + k as u8 - 1) as char),
+            &format!(
+                "Fig. 1({}) — order-{k} Voronoi partition, 30 nodes",
+                (b'a' + k as u8 - 1) as char
+            ),
         );
         let path = write_artifact(&format!("fig1_order{k}.svg"), &svg);
         println!("wrote {}", output::rel(&path));

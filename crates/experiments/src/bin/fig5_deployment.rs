@@ -2,43 +2,72 @@
 //! 1 km² area; LAACAD spreads them into k-coverage deployments
 //! (k = 1..4). The hallmark result is the **even clustering**: for k > 1
 //! the converged nodes gather in co-located groups of size k.
+//!
+//! Driven by the declarative spec `scenarios/fig5_corner.toml`: the
+//! campaign runner executes the k-grid across all cores and this binary
+//! renders the layouts and streams the JSONL/CSV results.
 
 use laacad_coverage::metrics::cluster_histogram;
-use laacad_experiments::{markdown_table, output, runs, write_artifact};
-use laacad_geom::Point;
-use laacad_region::Region;
+use laacad_experiments::scenarios::{self, FIG5_CORNER};
+use laacad_experiments::{markdown_table, output, write_artifact};
+use laacad_scenario::{run_campaign, ResultStore};
 use laacad_viz::DeploymentPlot;
 
 fn main() {
-    let region = Region::square(1.0).expect("1 km² square");
-    let corner = Point::new(0.12, 0.12);
+    let campaign =
+        scenarios::load_campaign("fig5_corner", FIG5_CORNER).expect("fig5_corner spec parses");
+    let region = campaign
+        .scenario
+        .region
+        .build()
+        .expect("fig5 region builds");
+    let results = run_campaign(&campaign).expect("fig5 grid expands");
+    let store = ResultStore::new(output::out_dir());
+    let (jsonl, csv) = store
+        .write(&campaign.name, &results)
+        .expect("result store writes");
+    println!("wrote {}", output::rel(&jsonl));
+    println!("wrote {}", output::rel(&csv));
+
     let mut rows = Vec::new();
-    for k in 1..=4usize {
-        let mut params = runs::StandardRun::new(k, 100, 42);
-        params.cluster = Some((corner, 0.12));
-        params.max_rounds = 250;
-        params.gamma = Some(0.25);
-        let (sim, summary, coverage) = runs::run_laacad(&region, &params);
+    for cell in &results {
+        let outcome = match &cell.outcome {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("cell {} failed: {e}", cell.cell.index);
+                continue;
+            }
+        };
+        let k = cell.cell.k;
         if k == 1 {
             // Render the shared initial deployment once.
-            let init_net = laacad_wsn::Network::from_positions(
-                0.25,
-                laacad_region::sampling::sample_clustered(&region, 100, corner, 0.12, 42),
-            );
+            let initial = campaign
+                .scenario
+                .placement
+                .build(&region, cell.cell.seed)
+                .expect("fig5 placement builds");
+            let init_net = laacad_wsn::Network::from_positions(outcome.gamma, initial);
             let svg = DeploymentPlot::new(&region)
                 .title("Fig. 5(a) — initial corner deployment (100 nodes)")
                 .show_disks(false)
                 .render(&init_net);
-            println!("wrote {}", output::rel(&write_artifact("fig5_initial.svg", &svg)));
+            println!(
+                "wrote {}",
+                output::rel(&write_artifact("fig5_initial.svg", &svg))
+            );
         }
+        let net = outcome.final_network();
         let svg = DeploymentPlot::new(&region)
-            .title(format!("Fig. 5({}) — {k}-coverage deployment", (b'a' + k as u8) as char))
-            .render(sim.network());
+            .title(format!(
+                "Fig. 5({}) — {k}-coverage deployment",
+                (b'a' + k as u8) as char
+            ))
+            .render(&net);
         let path = write_artifact(&format!("fig5_k{k}.svg"), &svg);
         println!("wrote {}", output::rel(&path));
         // Cluster-size histogram at 1/4 of the final sensing range.
-        let merge = summary.max_sensing_radius * 0.25;
-        let hist = cluster_histogram(sim.network(), merge);
+        let merge = outcome.summary.max_sensing_radius * 0.25;
+        let hist = cluster_histogram(&net, merge);
         let dominant = hist
             .iter()
             .enumerate()
@@ -48,10 +77,10 @@ fn main() {
             .unwrap_or(0);
         rows.push(vec![
             k.to_string(),
-            summary.rounds.to_string(),
-            format!("{:.4}", summary.max_sensing_radius),
-            format!("{:.4}", summary.min_sensing_radius),
-            format!("{:.1}%", 100.0 * coverage.covered_fraction),
+            outcome.summary.rounds.to_string(),
+            format!("{:.4}", outcome.summary.max_sensing_radius),
+            format!("{:.4}", outcome.summary.min_sensing_radius),
+            format!("{:.1}%", 100.0 * outcome.coverage.covered_fraction),
             dominant.to_string(),
             format!("{hist:?}"),
         ]);

@@ -62,7 +62,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["k", "rounds", "converged", "max R (round 1)", "max R (final)", "final max−min gap"],
+            &[
+                "k",
+                "rounds",
+                "converged",
+                "max R (round 1)",
+                "max R (final)",
+                "final max−min gap"
+            ],
             &rows
         )
     );

@@ -69,10 +69,13 @@ fn main() {
         chart_total.add_series(format!("{k}-coverage"), total_series);
     }
     println!("wrote {}", output::rel(&csv.save("fig7_energy.csv")));
-    let p = laacad_experiments::write_artifact("fig7a_max_load.svg", &chart_max.render(520.0, 380.0));
-    println!("wrote {}", output::rel(&p));
     let p =
-        laacad_experiments::write_artifact("fig7b_total_load.svg", &chart_total.render(520.0, 380.0));
+        laacad_experiments::write_artifact("fig7a_max_load.svg", &chart_max.render(520.0, 380.0));
+    println!("wrote {}", output::rel(&p));
+    let p = laacad_experiments::write_artifact(
+        "fig7b_total_load.svg",
+        &chart_total.render(520.0, 380.0),
+    );
     println!("wrote {}", output::rel(&p));
 
     println!("\nFig. 7 — energy consumption of converged deployments (1 km², E(r)=πr²)");

@@ -10,10 +10,13 @@ use laacad_viz::DeploymentPlot;
 fn run_scenario(name: &str, region: &Region, rows: &mut Vec<Vec<String>>) {
     for k in [2usize, 4, 6, 8] {
         let mut params = runs::StandardRun::new(k, 120, 55_000 + k as u64);
-        params.cluster = Some((Point::new(
-            region.bounding_box().min().x + 0.15 * region.bounding_box().width(),
-            region.bounding_box().min().y + 0.15 * region.bounding_box().height(),
-        ), 0.1 * region.diameter_bound()));
+        params.cluster = Some((
+            Point::new(
+                region.bounding_box().min().x + 0.15 * region.bounding_box().width(),
+                region.bounding_box().min().y + 0.15 * region.bounding_box().height(),
+            ),
+            0.1 * region.diameter_bound(),
+        ));
         params.max_rounds = 250;
         let (sim, summary, coverage) = runs::run_laacad(region, &params);
         let svg = DeploymentPlot::new(region)
@@ -40,10 +43,7 @@ fn main() {
     println!("\nFig. 8 — irregular areas and obstacles (120 nodes, corner start)");
     println!(
         "{}",
-        markdown_table(
-            &["area", "k", "rounds", "R* (km)", "k-covered"],
-            &rows
-        )
+        markdown_table(&["area", "k", "rounds", "R* (km)", "k-covered"], &rows)
     );
     println!(
         "Paper's claim: LAACAD adapts to irregular outlines and obstacle \

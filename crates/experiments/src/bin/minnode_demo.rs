@@ -53,7 +53,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["k", "target r_s", "N (LAACAD search)", "R* at N", "lower bound"],
+            &[
+                "k",
+                "target r_s",
+                "N (LAACAD search)",
+                "R* at N",
+                "lower bound"
+            ],
             &rows
         )
     );

@@ -24,7 +24,12 @@ fn main() {
         "ablation_schedule",
         "minnode_demo",
     ];
-    let heavy = ["fig7_energy", "table1_minnode", "table2_ammari", "fig8_obstacles"];
+    let heavy = [
+        "fig7_energy",
+        "table1_minnode",
+        "table2_ammari",
+        "fig8_obstacles",
+    ];
     let mut failed = Vec::new();
     let exe_dir = std::env::current_exe()
         .ok()

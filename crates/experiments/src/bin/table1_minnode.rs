@@ -8,14 +8,17 @@
 //! boundary effects. Units: |A| = 10⁴ m² (see DESIGN.md §3 — the paper's
 //! "1 km²" is inconsistent with its own reported numbers).
 //!
+//! Driven by the declarative spec `scenarios/table1_minnode.toml`; the
+//! campaign runner sweeps the N-grid across all cores.
+//!
 //! Scale knob: `--scale <f>` (default 1.0) multiplies the node counts by
-//! `f` (e.g. `--scale 0.1` runs a 10× smaller but same-shaped experiment,
-//! used by the benches and CI).
+//! `f` and shrinks the area to keep density constant (e.g. `--scale 0.1`
+//! runs a 10× smaller but same-shaped experiment, used by CI).
 
 use laacad_baselines::bai::bai_min_nodes;
-use laacad_experiments::sweep::parallel_map;
-use laacad_experiments::{markdown_table, output, runs, Csv};
-use laacad_region::Region;
+use laacad_experiments::scenarios::{self, TABLE1_MINNODE};
+use laacad_experiments::{markdown_table, output};
+use laacad_scenario::{run_campaign, RegionSpec, ResultStore};
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -23,25 +26,45 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let side = 100.0 * scale.sqrt(); // keep density constant under scaling
+    let mut campaign = scenarios::load_campaign("table1_minnode", TABLE1_MINNODE)
+        .expect("table1_minnode spec parses");
+    if scale != 1.0 {
+        // Shrink node counts and area together so density is unchanged.
+        campaign.grid.n = campaign
+            .grid
+            .n
+            .iter()
+            .map(|&n| ((n as f64 * scale).round() as usize).max(8))
+            .collect();
+        if let RegionSpec::Square { side } = &mut campaign.scenario.region {
+            *side *= scale.sqrt();
+        }
+    }
+    let side = match &campaign.scenario.region {
+        RegionSpec::Square { side } => *side,
+        _ => panic!("table1 spec uses a square region"),
+    };
     let area = side * side;
-    let ns: Vec<usize> = [1000usize, 1200, 1400, 1600]
-        .iter()
-        .map(|&n| ((n as f64 * scale).round() as usize).max(8))
-        .collect();
 
-    let results = parallel_map(ns.clone(), |n| {
-        let region = Region::square(side).expect("square area");
-        let mut params = runs::StandardRun::new(2, n, 77_000 + n as u64);
-        params.max_rounds = 300;
-        params.alpha = 0.8;
-        let (_, summary, coverage) = runs::run_laacad(&region, &params);
-        (n, summary.max_sensing_radius, coverage.covered_fraction)
-    });
+    let results = run_campaign(&campaign).expect("table1 grid expands");
+    let store = ResultStore::new(output::out_dir());
+    let (jsonl, csv_path) = store
+        .write(&campaign.name, &results)
+        .expect("result store writes");
+    println!("wrote {}", output::rel(&jsonl));
+    println!("wrote {}", output::rel(&csv_path));
 
     let mut rows = Vec::new();
-    let mut csv = Csv::with_header(&["n", "r_star_m", "n_star_bai", "ratio", "covered"]);
-    for (n, r_star, covered) in results {
+    for cell in &results {
+        let outcome = match &cell.outcome {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("cell {} (n={}) failed: {e}", cell.cell.index, cell.cell.n);
+                continue;
+            }
+        };
+        let n = cell.cell.n;
+        let r_star = outcome.summary.max_sensing_radius;
         let n_star = bai_min_nodes(area, r_star);
         let ratio = n as f64 / n_star;
         rows.push(vec![
@@ -49,17 +72,9 @@ fn main() {
             format!("{r_star:.3}"),
             format!("{n_star:.0}"),
             format!("{ratio:.3}"),
-            format!("{:.1}%", covered * 100.0),
-        ]);
-        csv.row(&[
-            n.to_string(),
-            format!("{r_star:.4}"),
-            format!("{n_star:.1}"),
-            format!("{ratio:.4}"),
-            format!("{covered:.4}"),
+            format!("{:.1}%", outcome.coverage.covered_fraction * 100.0),
         ]);
     }
-    println!("wrote {}", output::rel(&csv.save("table1_minnode.csv")));
     println!(
         "\nTable I — minimum nodes for 2-coverage ({}×{} m area{})",
         side,
@@ -73,7 +88,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["N (LAACAD)", "R* (m)", "N*₂ = 4|A|/(3√3R*²)", "N / N*₂", "2-covered"],
+            &[
+                "N (LAACAD)",
+                "R* (m)",
+                "N*₂ = 4|A|/(3√3R*²)",
+                "N / N*₂",
+                "2-covered"
+            ],
             &rows
         )
     );

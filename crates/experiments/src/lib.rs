@@ -23,9 +23,11 @@
 
 pub mod output;
 pub mod runs;
+pub mod scenarios;
 pub mod sweep;
 pub mod table;
 
 pub use output::{out_dir, write_artifact, Csv};
 pub use runs::{run_laacad, StandardRun};
+pub use scenarios::load_campaign;
 pub use table::markdown_table;

@@ -42,16 +42,18 @@ impl Csv {
         self
     }
 
-    /// Serializes to CSV text.
-    pub fn to_string(&self) -> String {
-        let mut s = self.lines.join("\n");
-        s.push('\n');
-        s
-    }
-
     /// Writes to `out/<name>` and returns the path.
     pub fn save(&self, name: &str) -> PathBuf {
         write_artifact(name, &self.to_string())
+    }
+}
+
+impl std::fmt::Display for Csv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
     }
 }
 

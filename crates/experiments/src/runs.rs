@@ -2,9 +2,9 @@
 
 use laacad::{Laacad, LaacadConfig, RunSummary};
 use laacad_coverage::{evaluate_coverage, CoverageReport};
+use laacad_geom::Point;
 use laacad_region::sampling::{sample_clustered, sample_uniform};
 use laacad_region::Region;
-use laacad_geom::Point;
 
 /// Parameters for a standard run.
 #[derive(Debug, Clone)]
@@ -67,9 +67,7 @@ pub fn run_laacad(region: &Region, params: &StandardRun) -> (Laacad, RunSummary,
     }
     let config = builder.build().expect("standard configs are valid");
     let initial = match params.cluster {
-        Some((center, radius)) => {
-            sample_clustered(region, params.n, center, radius, params.seed)
-        }
+        Some((center, radius)) => sample_clustered(region, params.n, center, radius, params.seed),
         None => sample_uniform(region, params.n, params.seed),
     };
     let mut sim =

@@ -1,0 +1,77 @@
+//! Locating and loading the repository's scenario specs.
+//!
+//! The experiment binaries consume declarative specs from the
+//! `scenarios/` directory at the repository root. Each spec is also
+//! embedded at compile time, so the binaries work from any working
+//! directory; an on-disk copy (found via `$LAACAD_SCENARIOS`, `./scenarios`
+//! or the crate-relative path) takes precedence so users can edit specs
+//! without rebuilding.
+
+use laacad_scenario::{CampaignSpec, SpecError};
+use std::path::PathBuf;
+
+/// Embedded copy of `scenarios/fig5_corner.toml`.
+pub const FIG5_CORNER: &str = include_str!("../../../scenarios/fig5_corner.toml");
+/// Embedded copy of `scenarios/table1_minnode.toml`.
+pub const TABLE1_MINNODE: &str = include_str!("../../../scenarios/table1_minnode.toml");
+/// Embedded copy of `scenarios/failure_recovery.toml`.
+pub const FAILURE_RECOVERY: &str = include_str!("../../../scenarios/failure_recovery.toml");
+
+/// Candidate directories that may hold an editable `scenarios/` tree.
+fn candidate_dirs() -> Vec<PathBuf> {
+    let mut dirs = Vec::new();
+    if let Some(dir) = std::env::var_os("LAACAD_SCENARIOS") {
+        dirs.push(PathBuf::from(dir));
+    }
+    dirs.push(PathBuf::from("scenarios"));
+    // Relative to this crate at build time (works from any cwd inside a
+    // checkout).
+    dirs.push(PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios"
+    )));
+    dirs
+}
+
+/// Loads the campaign `<name>.toml`, preferring an on-disk copy over the
+/// embedded fallback.
+///
+/// # Errors
+///
+/// Propagates parse/validation errors from whichever source was chosen.
+pub fn load_campaign(name: &str, embedded: &str) -> Result<CampaignSpec, SpecError> {
+    for dir in candidate_dirs() {
+        let path = dir.join(format!("{name}.toml"));
+        if path.is_file() {
+            return CampaignSpec::from_path(&path);
+        }
+    }
+    CampaignSpec::from_toml(embedded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_specs_parse() {
+        for (name, text) in [
+            ("fig5_corner", FIG5_CORNER),
+            ("table1_minnode", TABLE1_MINNODE),
+            ("failure_recovery", FAILURE_RECOVERY),
+        ] {
+            let campaign = CampaignSpec::from_toml(text)
+                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            assert!(!campaign.expand().unwrap().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn load_prefers_disk_then_embeds() {
+        let campaign = load_campaign("fig5_corner", FIG5_CORNER).unwrap();
+        assert_eq!(campaign.scenario.name, "fig5-corner");
+        // Unknown name falls back to the embedded text.
+        let campaign = load_campaign("no-such-spec-anywhere", FAILURE_RECOVERY).unwrap();
+        assert_eq!(campaign.scenario.name, "failure-recovery");
+    }
+}

@@ -1,58 +1,13 @@
-//! Parallel parameter sweeps (crossbeam scoped threads).
+//! Parallel parameter sweeps.
+//!
+//! Thin re-export of the scenario engine's campaign executor
+//! ([`laacad_scenario::exec::parallel_map`]) so the whole workspace has
+//! exactly one parallel-execution path. The experiment binaries keep
+//! calling `sweep::parallel_map`; new code should prefer expressing the
+//! sweep as a [`laacad_scenario::CampaignSpec`] and letting
+//! [`laacad_scenario::run_campaign`] drive it.
 
-/// Maps `f` over `inputs` in parallel, preserving order.
-///
-/// Uses one scoped thread per input up to the CPU count; the experiment
-/// sweeps have ≤ ~24 configurations, so a simple chunking scheme is
-/// plenty.
-///
-/// # Example
-///
-/// ```
-/// let squares = laacad_experiments::sweep::parallel_map(vec![1, 2, 3], |x| x * x);
-/// assert_eq!(squares, vec![1, 4, 9]);
-/// ```
-pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(inputs.len().max(1));
-    let n = inputs.len();
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    // Hand out (index, input) pairs through a crossbeam channel.
-    let (tx, rx) = crossbeam::channel::unbounded();
-    for pair in inputs.into_iter().enumerate() {
-        tx.send(pair).expect("channel open");
-    }
-    drop(tx);
-    let results = crossbeam::channel::unbounded();
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let results = results.0.clone();
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((i, input)) = rx.recv() {
-                    results.send((i, f(input))).expect("results channel open");
-                }
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    drop(results.0);
-    while let Ok((i, r)) = results.1.recv() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every input produces a result"))
-        .collect()
-}
+pub use laacad_scenario::exec::parallel_map;
 
 #[cfg(test)]
 mod tests {

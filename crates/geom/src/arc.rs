@@ -274,7 +274,7 @@ mod tests {
         assert!(a.contains(5.5));
         assert!(a.contains(0.2));
         assert!(!a.contains(2.0));
-        assert_eq!(Arc::full().contains(3.0), true);
+        assert!(Arc::full().contains(3.0));
         assert!(!Arc::new(1.0, 0.0).contains(1.5));
     }
 

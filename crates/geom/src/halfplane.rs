@@ -138,7 +138,11 @@ mod tests {
         let mid = a.midpoint(b);
         assert!(h.signed_distance(mid).abs() < 1e-9);
         // Points strictly closer to a are inside.
-        for p in [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 5.0)] {
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 5.0),
+        ] {
             assert_eq!(h.contains(p), p.distance(a) <= p.distance(b) + 1e-9, "{p}");
         }
     }

@@ -35,9 +35,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2
-            && cross3(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
-        {
+        while hull.len() >= 2 && cross3(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS {
             hull.pop();
         }
         hull.push(p);
@@ -107,7 +105,9 @@ mod tests {
         assert!(convex_hull(&[]).is_empty());
         assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
         // All collinear: hull is the two extreme points.
-        let line: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let line: Vec<Point> = (0..5)
+            .map(|i| Point::new(i as f64, 2.0 * i as f64))
+            .collect();
         let h = convex_hull(&line);
         assert_eq!(h.len(), 2);
         assert!(hull_contains(&h, Point::new(2.0, 4.0)));

@@ -102,12 +102,7 @@ impl Polygon {
     pub fn rectangle(a: Point, b: Point) -> Result<Self, PolygonError> {
         let lo = a.min(b);
         let hi = a.max(b);
-        Polygon::new([
-            lo,
-            Point::new(hi.x, lo.y),
-            hi,
-            Point::new(lo.x, hi.y),
-        ])
+        Polygon::new([lo, Point::new(hi.x, lo.y), hi, Point::new(lo.x, hi.y)])
     }
 
     /// Regular `n`-gon inscribed in the circle of radius `r` around
@@ -120,7 +115,7 @@ impl Polygon {
     ///
     /// Fails for `n < 3` or non-positive radius.
     pub fn regular(center: Point, r: f64, n: usize, phase: f64) -> Result<Self, PolygonError> {
-        if n < 3 || !(r > 0.0) {
+        if n < 3 || r.is_nan() || r <= 0.0 {
             return Err(PolygonError::TooFewVertices);
         }
         let pts = (0..n).map(|i| {
@@ -236,7 +231,11 @@ impl Polygon {
         let mut out: Vec<Point> = Vec::with_capacity(n + 4);
         let scale = 1.0 + self.bounding_box().diagonal();
         let tol = EPS * scale;
-        let dist: Vec<f64> = self.vertices.iter().map(|&v| h.signed_distance(v)).collect();
+        let dist: Vec<f64> = self
+            .vertices
+            .iter()
+            .map(|&v| h.signed_distance(v))
+            .collect();
         for i in 0..n {
             let (a, da) = (self.vertices[i], dist[i]);
             let (b, db) = (self.vertices[(i + 1) % n], dist[(i + 1) % n]);
@@ -328,7 +327,12 @@ impl Polygon {
 
 impl std::fmt::Display for Polygon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "polygon[{} vertices, area {:.6}]", self.len(), self.area())
+        write!(
+            f,
+            "polygon[{} vertices, area {:.6}]",
+            self.len(),
+            self.area()
+        )
     }
 }
 

@@ -59,8 +59,8 @@ impl ReuleauxTriangle {
     /// The three corner vertices.
     pub fn corners(&self) -> [Point; 3] {
         let b = self.a + Vector::from_angle(self.rotation) * self.width;
-        let c = self.a
-            + Vector::from_angle(self.rotation + std::f64::consts::FRAC_PI_3) * self.width;
+        let c =
+            self.a + Vector::from_angle(self.rotation + std::f64::consts::FRAC_PI_3) * self.width;
         [self.a, b, c]
     }
 

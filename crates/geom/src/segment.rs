@@ -145,7 +145,10 @@ mod tests {
         let s = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
         assert_eq!(s.closest_point(Point::new(-5.0, 2.0)), s.a);
         assert_eq!(s.closest_point(Point::new(9.0, -3.0)), s.b);
-        assert_eq!(s.closest_point(Point::new(0.25, 7.0)), Point::new(0.25, 0.0));
+        assert_eq!(
+            s.closest_point(Point::new(0.25, 7.0)),
+            Point::new(0.25, 0.0)
+        );
     }
 
     #[test]

@@ -329,15 +329,25 @@ mod tests {
     #[test]
     fn procrustes_rejects_bad_input() {
         let a = tri();
-        assert_eq!(procrustes(&a[..2], &a[..3]).unwrap_err(), AlignError::BadInput);
-        assert_eq!(procrustes(&a[..1], &a[..1]).unwrap_err(), AlignError::BadInput);
+        assert_eq!(
+            procrustes(&a[..2], &a[..3]).unwrap_err(),
+            AlignError::BadInput
+        );
+        assert_eq!(
+            procrustes(&a[..1], &a[..1]).unwrap_err(),
+            AlignError::BadInput
+        );
         let same = vec![Point::new(1.0, 1.0); 4];
         assert_eq!(procrustes(&same, &a).unwrap_err(), AlignError::Degenerate);
     }
 
     #[test]
     fn apply_vector_ignores_translation() {
-        let iso = Isometry::new(std::f64::consts::FRAC_PI_2, false, Vector::new(100.0, 100.0));
+        let iso = Isometry::new(
+            std::f64::consts::FRAC_PI_2,
+            false,
+            Vector::new(100.0, 100.0),
+        );
         let v = iso.apply_vector(Vector::new(1.0, 0.0));
         assert!((v.x - 0.0).abs() < 1e-12 && (v.y - 1.0).abs() < 1e-12);
     }

@@ -119,8 +119,7 @@ pub fn min_enclosing_circle_brute(points: &[Point]) -> Circle {
         .fold(0.0, f64::max);
     let mut best: Option<Circle> = None;
     let mut consider = |c: Circle| {
-        if points.iter().all(|&p| inside(&c, p, scale))
-            && best.is_none_or(|b| c.radius < b.radius)
+        if points.iter().all(|&p| inside(&c, p, scale)) && best.is_none_or(|b| c.radius < b.radius)
         {
             best = Some(c);
         }
@@ -233,7 +232,9 @@ mod tests {
         // Simple LCG so this test has no dependencies.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 10.0 - 5.0
         };
         for n in [3usize, 5, 9, 17, 40] {

@@ -68,7 +68,11 @@ pub fn arcs_inside_region(circle: &Circle, region: &Region) -> Vec<Arc> {
     let mut arcs = Vec::new();
     for i in 0..n {
         let a = cuts[i];
-        let b = if i + 1 < n { cuts[i + 1] } else { cuts[0] + TAU };
+        let b = if i + 1 < n {
+            cuts[i + 1]
+        } else {
+            cuts[0] + TAU
+        };
         let span = b - a;
         if span <= 1e-12 {
             continue;

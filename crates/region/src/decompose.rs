@@ -47,9 +47,8 @@ fn is_convex_loop(vs: &[Point]) -> bool {
     if n < 3 {
         return false;
     }
-    (0..n).all(|i| {
-        laacad_geom::predicates::cross3(vs[i], vs[(i + 1) % n], vs[(i + 2) % n]) >= -1e-9
-    })
+    (0..n)
+        .all(|i| laacad_geom::predicates::cross3(vs[i], vs[(i + 1) % n], vs[(i + 2) % n]) >= -1e-9)
 }
 
 fn drop_collinear(vs: &[Point]) -> Vec<Point> {
@@ -82,17 +81,17 @@ fn drop_collinear(vs: &[Point]) -> Vec<Point> {
 /// assert!((pieces[0].area() - 4.0).abs() < 1e-9);
 /// ```
 pub fn convex_decomposition(triangles: &[Triangle]) -> Vec<Polygon> {
-    let mut pieces: Vec<Option<Vec<Point>>> = triangles
-        .iter()
-        .map(|t| Some(t.to_vec()))
-        .collect();
+    let mut pieces: Vec<Option<Vec<Point>>> = triangles.iter().map(|t| Some(t.to_vec())).collect();
+
+    /// Quantized directed edge -> every (piece, edge index) that uses it.
+    type EdgeMap = HashMap<((i64, i64), (i64, i64)), Vec<(usize, usize)>>;
 
     let mut merged_any = true;
     while merged_any {
         merged_any = false;
         // Rebuild the edge → (piece, edge index) map each pass; pass count
         // is small (each merge shrinks the piece count).
-        let mut edges: HashMap<((i64, i64), (i64, i64)), Vec<(usize, usize)>> = HashMap::new();
+        let mut edges: EdgeMap = HashMap::new();
         for (pi, piece) in pieces.iter().enumerate() {
             let Some(vs) = piece else { continue };
             let n = vs.len();
@@ -169,7 +168,8 @@ mod tests {
     fn holed_square_pieces_avoid_the_hole() {
         let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap();
         let hole = Polygon::rectangle(Point::new(1.0, 1.0), Point::new(3.0, 3.0)).unwrap();
-        let pieces = convex_decomposition(&triangulate_with_holes(&outer, &[hole.clone()]));
+        let pieces =
+            convex_decomposition(&triangulate_with_holes(&outer, std::slice::from_ref(&hole)));
         let area: f64 = pieces.iter().map(|p| p.area()).sum();
         assert!((area - 12.0).abs() < 1e-9);
         for p in &pieces {
@@ -220,7 +220,10 @@ mod tests {
                 .iter()
                 .filter(|p| p.contains(q) && p.closest_boundary_point(q).distance(q) > 1e-9)
                 .count();
-            assert!(strictly_in <= 1, "point {q} in {strictly_in} piece interiors");
+            assert!(
+                strictly_in <= 1,
+                "point {q} in {strictly_in} piece interiors"
+            );
             if l.contains(q) {
                 let any = pieces.iter().any(|p| p.contains(q));
                 assert!(any, "point {q} lost by decomposition");

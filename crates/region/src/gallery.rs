@@ -85,8 +85,8 @@ pub fn irregular_coast() -> Region {
 /// Fig. 8 "deployment II": a square kilometre with two obstacle "lakes"
 /// that nodes can neither enter nor need to cover.
 pub fn square_with_lakes() -> Region {
-    let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
-        .expect("outer square");
+    let outer =
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).expect("outer square");
     let lake1 = Polygon::regular(Point::new(0.30, 0.62), 0.13, 8, 0.3).expect("octagon lake");
     let lake2 = Polygon::new([
         Point::new(0.60, 0.18),

@@ -103,12 +103,14 @@ impl Region {
             for j in i + 1..holes.len() {
                 let hi = &holes[i];
                 let hj = &holes[j];
-                let cross_ij = hi.vertices().iter().any(|&v| {
-                    hj.contains(v) && hj.closest_boundary_point(v).distance(v) > 1e-9
-                });
-                let cross_ji = hj.vertices().iter().any(|&v| {
-                    hi.contains(v) && hi.closest_boundary_point(v).distance(v) > 1e-9
-                });
+                let cross_ij = hi
+                    .vertices()
+                    .iter()
+                    .any(|&v| hj.contains(v) && hj.closest_boundary_point(v).distance(v) > 1e-9);
+                let cross_ji = hj
+                    .vertices()
+                    .iter()
+                    .any(|&v| hi.contains(v) && hi.closest_boundary_point(v).distance(v) > 1e-9);
                 if cross_ij || cross_ji {
                     return Err(RegionError::OverlappingHoles);
                 }
@@ -283,8 +285,7 @@ mod tests {
     #[test]
     fn validation_errors() {
         let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap();
-        let escaping =
-            Polygon::rectangle(Point::new(3.0, 3.0), Point::new(5.0, 5.0)).unwrap();
+        let escaping = Polygon::rectangle(Point::new(3.0, 3.0), Point::new(5.0, 5.0)).unwrap();
         assert_eq!(
             Region::with_holes(outer.clone(), vec![escaping]).unwrap_err(),
             RegionError::HoleOutsideOuter

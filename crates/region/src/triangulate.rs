@@ -63,11 +63,7 @@ fn diagonal_is_valid(vs: &[Point], i: usize) -> bool {
     for j in 0..n {
         // Skip the two edges incident to the clipped vertex and the two
         // edges incident to the diagonal's endpoints.
-        if j == i
-            || (j + 1) % n == i
-            || j == (i + 1) % n
-            || (j + 1) % n == (i + n - 1) % n
-        {
+        if j == i || (j + 1) % n == i || j == (i + 1) % n || (j + 1) % n == (i + n - 1) % n {
             continue;
         }
         let a = vs[j];
@@ -78,7 +74,7 @@ fn diagonal_is_valid(vs: &[Point], i: usize) -> bool {
         if denom.abs() > 1e-15 {
             let t = qp.cross(e) / denom; // position along the diagonal
             let u = qp.cross(d) / denom; // position along the edge
-            // Proper crossing, or an edge endpoint in the diagonal interior.
+                                         // Proper crossing, or an edge endpoint in the diagonal interior.
             if t > eps && t < 1.0 - eps && u > -eps && u < 1.0 + eps {
                 // Allow touching when the contact point coincides with a
                 // diagonal endpoint (can't happen with t interior) — so any
@@ -214,8 +210,7 @@ pub fn convex_difference(a: &Polygon, b: &Polygon) -> Vec<Polygon> {
     let mut remainder = a.clone();
     let bn = b.vertices().len();
     for i in 0..bn {
-        let Some(h) =
-            laacad_geom::HalfPlane::left_of(b.vertices()[i], b.vertices()[(i + 1) % bn])
+        let Some(h) = laacad_geom::HalfPlane::left_of(b.vertices()[i], b.vertices()[(i + 1) % bn])
         else {
             continue;
         };
@@ -367,7 +362,7 @@ mod tests {
     fn square_with_center_hole() {
         let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap();
         let hole = Polygon::rectangle(Point::new(1.5, 1.5), Point::new(2.5, 2.5)).unwrap();
-        let tris = triangulate_with_holes(&outer, &[hole.clone()]);
+        let tris = triangulate_with_holes(&outer, std::slice::from_ref(&hole));
         assert!((total_area(&tris) - 15.0).abs() < 1e-9);
         // No triangle's centroid may fall inside the hole.
         for t in &tris {

@@ -1,0 +1,414 @@
+//! Campaigns: seed × parameter grids over a scenario, run in parallel.
+//!
+//! A [`CampaignSpec`] pairs one [`ScenarioSpec`] with a [`ParamGrid`]
+//! sweeping seeds and (optionally) `n`, `k` and `α`. [`expand`] unrolls
+//! the grid into an ordered list of [`CampaignCell`]s — the order is a
+//! pure function of the spec, which is what makes campaign reruns
+//! byte-identical — and [`run_campaign`] executes the cells across all
+//! cores via [`crate::exec::parallel_map`].
+//!
+//! [`expand`]: CampaignSpec::expand
+
+use crate::engine::{run_scenario, ScenarioOutcome};
+use crate::exec::parallel_map;
+use crate::spec::{ScenarioSpec, SpecError};
+use crate::value::{decode, encode, DecodeError, Value};
+
+/// The sweep axes. Empty vectors mean "use the scenario's own value".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamGrid {
+    /// Seeds to run (one cell per seed per parameter combination).
+    /// Empty means the single seed `0`.
+    pub seeds: Vec<u64>,
+    /// Node-count overrides.
+    pub n: Vec<usize>,
+    /// Coverage-degree overrides.
+    pub k: Vec<usize>,
+    /// Step-size overrides.
+    pub alpha: Vec<f64>,
+}
+
+impl ParamGrid {
+    /// A grid running the scenario as-is over `count` seeds starting at
+    /// `start`.
+    pub fn seed_range(start: u64, count: usize) -> Self {
+        ParamGrid {
+            seeds: (0..count as u64).map(|i| start + i).collect(),
+            ..ParamGrid::default()
+        }
+    }
+
+    fn from_value(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let list_u64 = |key: &str| -> Result<Vec<u64>, SpecError> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(a) => {
+                    let p = format!("{path}.{key}");
+                    a.as_array()
+                        .ok_or_else(|| SpecError::from(DecodeError::new(&p, "expected array")))?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, x)| {
+                            decode::to_usize(x, &format!("{p}[{i}]"))
+                                .map(|u| u as u64)
+                                .map_err(SpecError::from)
+                        })
+                        .collect()
+                }
+            }
+        };
+        let list_usize = |key: &str| -> Result<Vec<usize>, SpecError> {
+            list_u64(key).map(|xs| xs.into_iter().map(|x| x as usize).collect())
+        };
+        let list_f64 = |key: &str| -> Result<Vec<f64>, SpecError> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(a) => {
+                    let p = format!("{path}.{key}");
+                    a.as_array()
+                        .ok_or_else(|| SpecError::from(DecodeError::new(&p, "expected array")))?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, x)| {
+                            x.as_f64().ok_or_else(|| {
+                                SpecError::from(DecodeError::new(
+                                    format!("{p}[{i}]"),
+                                    "expected number",
+                                ))
+                            })
+                        })
+                        .collect()
+                }
+            }
+        };
+        let mut seeds = list_u64("seeds")?;
+        if seeds.is_empty() {
+            if let (Some(start), Some(count)) = (
+                decode::opt_usize(v, "seed_start", path)?,
+                decode::opt_usize(v, "seed_count", path)?,
+            ) {
+                seeds = (0..count as u64).map(|i| start as u64 + i).collect();
+            }
+        }
+        Ok(ParamGrid {
+            seeds,
+            n: list_usize("n")?,
+            k: list_usize("k")?,
+            alpha: list_f64("alpha")?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        if !self.seeds.is_empty() {
+            t.insert(
+                "seeds",
+                Value::Array(self.seeds.iter().map(|&s| Value::Int(s as i64)).collect()),
+            );
+        }
+        if !self.n.is_empty() {
+            t.insert(
+                "n",
+                Value::Array(self.n.iter().map(|&x| encode::int(x)).collect()),
+            );
+        }
+        if !self.k.is_empty() {
+            t.insert(
+                "k",
+                Value::Array(self.k.iter().map(|&x| encode::int(x)).collect()),
+            );
+        }
+        if !self.alpha.is_empty() {
+            t.insert(
+                "alpha",
+                Value::Array(self.alpha.iter().map(|&x| Value::Float(x)).collect()),
+            );
+        }
+        t
+    }
+}
+
+/// A scenario plus the grid to sweep it over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (result files are named after it).
+    pub name: String,
+    /// The scenario template.
+    pub scenario: ScenarioSpec,
+    /// The sweep.
+    pub grid: ParamGrid,
+}
+
+/// One fully resolved unit of campaign work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Position in the expansion order (also the JSONL line index).
+    pub index: usize,
+    /// The scenario with all overrides applied.
+    pub scenario: ScenarioSpec,
+    /// Seed for this cell.
+    pub seed: u64,
+    /// Effective node count.
+    pub n: usize,
+    /// Effective coverage degree.
+    pub k: usize,
+    /// Effective step size.
+    pub alpha: f64,
+}
+
+/// Outcome of one cell: the resolved parameters plus the run result (a
+/// cell whose overrides are unbuildable — e.g. sweeping `n` over a
+/// custom placement — reports the error instead of aborting the
+/// campaign).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell parameters.
+    pub cell: CellInfo,
+    /// The run outcome or the error that prevented it.
+    pub outcome: Result<ScenarioOutcome, SpecError>,
+}
+
+/// Compact cell identification carried into the result store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellInfo {
+    /// Expansion index.
+    pub index: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed.
+    pub seed: u64,
+    /// Node count.
+    pub n: usize,
+    /// Coverage degree.
+    pub k: usize,
+    /// Step size.
+    pub alpha: f64,
+}
+
+impl CampaignSpec {
+    /// A campaign running `scenario` once per seed with no overrides.
+    pub fn over_seeds(scenario: ScenarioSpec, seeds: impl IntoIterator<Item = u64>) -> Self {
+        CampaignSpec {
+            name: scenario.name.clone(),
+            scenario,
+            grid: ParamGrid {
+                seeds: seeds.into_iter().collect(),
+                ..ParamGrid::default()
+            },
+        }
+    }
+
+    /// Unrolls the grid into cells, in deterministic order:
+    /// `n` (outer) × `k` × `alpha` × `seeds` (inner).
+    ///
+    /// # Errors
+    ///
+    /// Fails only when an override cannot be expressed at all (e.g. a
+    /// node-count sweep over a custom placement); per-cell *run* failures
+    /// are reported in the cell's [`CellResult`] instead.
+    pub fn expand(&self) -> Result<Vec<CampaignCell>, SpecError> {
+        let seeds: &[u64] = if self.grid.seeds.is_empty() {
+            &[0]
+        } else {
+            &self.grid.seeds
+        };
+        let base_n = self.scenario.placement.node_count();
+        let ns: Vec<usize> = if self.grid.n.is_empty() {
+            vec![base_n]
+        } else {
+            self.grid.n.clone()
+        };
+        let ks: Vec<usize> = if self.grid.k.is_empty() {
+            vec![self.scenario.laacad.k]
+        } else {
+            self.grid.k.clone()
+        };
+        let alphas: Vec<f64> = if self.grid.alpha.is_empty() {
+            vec![self.scenario.laacad.alpha]
+        } else {
+            self.grid.alpha.clone()
+        };
+        let mut cells = Vec::with_capacity(ns.len() * ks.len() * alphas.len() * seeds.len());
+        for &n in &ns {
+            for &k in &ks {
+                for &alpha in &alphas {
+                    for &seed in seeds {
+                        let mut scenario = self.scenario.clone();
+                        if n != base_n {
+                            scenario.placement = scenario.placement.with_node_count(n)?;
+                        }
+                        scenario.laacad.k = k;
+                        scenario.laacad.alpha = alpha;
+                        cells.push(CampaignCell {
+                            index: cells.len(),
+                            scenario,
+                            seed,
+                            n,
+                            k,
+                            alpha,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Decodes a campaign document (`name`, `[scenario]`, `[grid]`).
+    pub fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let scenario = ScenarioSpec::from_value(
+            v.get("scenario")
+                .ok_or_else(|| DecodeError::new("campaign.scenario", "missing required field"))?,
+        )?;
+        let grid = match v.get("grid") {
+            None => ParamGrid::default(),
+            Some(g) => ParamGrid::from_value(g, "campaign.grid")?,
+        };
+        let name = match decode::opt_str(v, "name", "campaign")? {
+            Some(n) => n,
+            None => scenario.name.clone(),
+        };
+        Ok(CampaignSpec {
+            name,
+            scenario,
+            grid,
+        })
+    }
+
+    /// Encodes the campaign as a [`Value`] tree.
+    pub fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("name", Value::Str(self.name.clone()));
+        t.insert("scenario", self.scenario.to_value());
+        t.insert("grid", self.grid.to_value());
+        t
+    }
+
+    /// Parses a TOML campaign document.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        let v = crate::toml::parse(text).map_err(SpecError::Toml)?;
+        Self::from_value(&v)
+    }
+
+    /// Serializes as TOML.
+    pub fn to_toml(&self) -> String {
+        crate::toml::to_string(&self.to_value())
+    }
+
+    /// Loads a campaign — or a bare scenario, promoted to a one-cell
+    /// campaign — from a TOML/JSON file.
+    pub fn from_path(path: &std::path::Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Build(format!("cannot read {}: {e}", path.display())))?;
+        let v = match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => crate::json::parse(&text).map_err(SpecError::Json)?,
+            _ => crate::toml::parse(&text).map_err(SpecError::Toml)?,
+        };
+        if v.get("scenario").is_some() {
+            Self::from_value(&v)
+        } else {
+            let scenario = ScenarioSpec::from_value(&v)?;
+            Ok(CampaignSpec {
+                name: scenario.name.clone(),
+                scenario,
+                grid: ParamGrid::default(),
+            })
+        }
+    }
+}
+
+/// Expands and executes a campaign across all cores.
+///
+/// Results come back in expansion order (not completion order), so two
+/// runs of the same campaign produce identical result sequences.
+///
+/// # Errors
+///
+/// Fails only when the grid itself cannot be expanded; individual cell
+/// failures are embedded in the returned [`CellResult`]s.
+pub fn run_campaign(campaign: &CampaignSpec) -> Result<Vec<CellResult>, SpecError> {
+    let cells = campaign.expand()?;
+    Ok(parallel_map(cells, |cell| {
+        let outcome = run_scenario(&cell.scenario, cell.seed);
+        CellResult {
+            cell: CellInfo {
+                index: cell.index,
+                scenario: cell.scenario.name.clone(),
+                seed: cell.seed,
+                n: cell.n,
+                k: cell.k,
+                alpha: cell.alpha,
+            },
+            outcome,
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_order_is_deterministic() {
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("grid", 10, 1), [1, 2]);
+        campaign.grid.k = vec![1, 2];
+        campaign.grid.n = vec![10, 20];
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 8);
+        let params: Vec<(usize, usize, u64)> = cells.iter().map(|c| (c.n, c.k, c.seed)).collect();
+        assert_eq!(
+            params,
+            vec![
+                (10, 1, 1),
+                (10, 1, 2),
+                (10, 2, 1),
+                (10, 2, 2),
+                (20, 1, 1),
+                (20, 1, 2),
+                (20, 2, 1),
+                (20, 2, 2),
+            ]
+        );
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.scenario.placement.node_count(), c.n);
+            assert_eq!(c.scenario.laacad.k, c.k);
+        }
+    }
+
+    #[test]
+    fn campaign_runs_in_parallel_and_in_order() {
+        let mut spec = ScenarioSpec::uniform("par", 12, 1);
+        spec.laacad.max_rounds = 40;
+        let campaign = CampaignSpec::over_seeds(spec, [5, 6, 7, 8]);
+        let results = run_campaign(&campaign).unwrap();
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.cell.index, i);
+            assert_eq!(r.cell.seed, 5 + i as u64);
+            let out = r.outcome.as_ref().unwrap();
+            assert_eq!(out.seed, r.cell.seed);
+            assert!(out.coverage.covered_fraction > 0.9);
+        }
+    }
+
+    #[test]
+    fn n_sweep_over_custom_placement_fails_cleanly() {
+        let mut spec = ScenarioSpec::uniform("bad", 4, 1);
+        spec.placement = crate::spec::PlacementSpec::Custom {
+            points: vec![(0.2, 0.2), (0.8, 0.8), (0.2, 0.8), (0.8, 0.2)],
+        };
+        let mut campaign = CampaignSpec::over_seeds(spec, [1]);
+        campaign.grid.n = vec![8];
+        assert!(campaign.expand().is_err());
+    }
+
+    #[test]
+    fn campaign_toml_round_trip() {
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("rt", 10, 2), [3, 4]);
+        campaign.grid.alpha = vec![0.5, 1.0];
+        let text = campaign.to_toml();
+        let back = CampaignSpec::from_toml(&text).unwrap();
+        assert_eq!(campaign, back, "TOML:\n{text}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Executing one scenario: spec + seed → simulation → outcome.
+
+use crate::events::{AppliedEvent, TimelineHook};
+use crate::spec::{ScenarioSpec, SpecError};
+use crate::value::{encode, Value};
+use laacad::{Laacad, RunSummary};
+use laacad_coverage::{evaluate_coverage, CoverageReport};
+use laacad_wsn::energy::EnergyModel;
+
+/// Compact per-round metric row streamed into result files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundMetric {
+    /// Round index (1-based).
+    pub round: usize,
+    /// Maximum circumradius this round.
+    pub max_circumradius: f64,
+    /// Minimum circumradius this round.
+    pub min_circumradius: f64,
+    /// Nodes that moved.
+    pub nodes_moved: usize,
+}
+
+/// Everything a finished scenario run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// The seed this run used.
+    pub seed: u64,
+    /// Final population (after failures/insertions).
+    pub final_n: usize,
+    /// The run summary (rounds, convergence, R*, messages, movement).
+    pub summary: RunSummary,
+    /// Independent k-coverage verification at the final deployment.
+    pub coverage: CoverageReport,
+    /// Max per-node sensing load `max_i E(r_i)`.
+    pub max_load: f64,
+    /// Total sensing load `Σ_i E(r_i)`.
+    pub total_load: f64,
+    /// Load-balance ratio `min E / max E`.
+    pub balance_ratio: f64,
+    /// Events applied (or skipped) during the run.
+    pub events: Vec<AppliedEvent>,
+    /// Per-round series (Fig. 6-style).
+    pub rounds: Vec<RoundMetric>,
+    /// Final node positions (render-ready).
+    pub final_positions: Vec<(f64, f64)>,
+    /// Final per-node sensing radii (same order as positions).
+    pub final_radii: Vec<f64>,
+    /// The transmission range the run used.
+    pub gamma: f64,
+}
+
+impl ScenarioOutcome {
+    /// Reconstructs the final deployment as a [`laacad_wsn::Network`]
+    /// (positions + sensing radii; odometry is not carried over).
+    pub fn final_network(&self) -> laacad_wsn::Network {
+        let mut net = laacad_wsn::Network::from_positions(
+            self.gamma,
+            self.final_positions
+                .iter()
+                .map(|&(x, y)| laacad_geom::Point::new(x, y)),
+        );
+        for (i, &r) in self.final_radii.iter().enumerate() {
+            net.set_sensing_radius(laacad_wsn::NodeId(i), r);
+        }
+        net
+    }
+}
+
+impl ScenarioOutcome {
+    /// Serializes the outcome as a deterministic JSON [`Value`]
+    /// (sorted keys, shortest-round-trip floats) for the JSONL store.
+    pub fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("scenario", Value::Str(self.scenario.clone()));
+        t.insert("seed", Value::Int(self.seed as i64));
+        t.insert("final_n", encode::int(self.final_n));
+        t.insert("rounds", encode::int(self.summary.rounds));
+        t.insert("converged", Value::Bool(self.summary.converged));
+        t.insert(
+            "max_sensing_radius",
+            Value::Float(self.summary.max_sensing_radius),
+        );
+        t.insert(
+            "min_sensing_radius",
+            Value::Float(self.summary.min_sensing_radius),
+        );
+        t.insert(
+            "total_distance_moved",
+            Value::Float(self.summary.total_distance_moved),
+        );
+        t.insert(
+            "messages_unicast",
+            Value::Int(self.summary.messages.unicast as i64),
+        );
+        t.insert(
+            "messages_broadcast",
+            Value::Int(self.summary.messages.broadcast as i64),
+        );
+        let mut cov = Value::table();
+        cov.insert("k", encode::int(self.coverage.k));
+        cov.insert("samples", encode::int(self.coverage.samples));
+        cov.insert(
+            "covered_fraction",
+            Value::Float(self.coverage.covered_fraction),
+        );
+        cov.insert("min_degree", encode::int(self.coverage.min_degree));
+        cov.insert("mean_degree", Value::Float(self.coverage.mean_degree));
+        cov.insert("holes", encode::int(self.coverage.holes.len()));
+        t.insert("coverage", cov);
+        t.insert("max_load", Value::Float(self.max_load));
+        t.insert("total_load", Value::Float(self.total_load));
+        t.insert("balance_ratio", Value::Float(self.balance_ratio));
+        t.insert(
+            "events",
+            Value::Array(
+                self.events
+                    .iter()
+                    .map(|e| {
+                        let mut ev = Value::table();
+                        ev.insert("round", encode::int(e.round));
+                        ev.insert("action", Value::Str(e.action.clone()));
+                        ev.insert("removed", encode::int(e.removed));
+                        ev.insert("inserted", encode::int(e.inserted));
+                        if let Some(reason) = &e.skipped {
+                            ev.insert("skipped", Value::Str(reason.clone()));
+                        }
+                        ev
+                    })
+                    .collect(),
+            ),
+        );
+        t.insert(
+            "final_positions",
+            Value::Array(
+                self.final_positions
+                    .iter()
+                    .map(|&p| encode::pair(p))
+                    .collect(),
+            ),
+        );
+        t.insert(
+            "final_radii",
+            Value::Array(self.final_radii.iter().map(|&r| Value::Float(r)).collect()),
+        );
+        t.insert("gamma", Value::Float(self.gamma));
+        t.insert(
+            "round_series",
+            Value::Array(
+                self.rounds
+                    .iter()
+                    .map(|r| {
+                        let mut row = Value::table();
+                        row.insert("round", encode::int(r.round));
+                        row.insert("max_circumradius", Value::Float(r.max_circumradius));
+                        row.insert("min_circumradius", Value::Float(r.min_circumradius));
+                        row.insert("nodes_moved", encode::int(r.nodes_moved));
+                        row
+                    })
+                    .collect(),
+            ),
+        );
+        t
+    }
+}
+
+/// Builds the simulation and timeline hook for `spec` at `seed` without
+/// running it (the bench fixtures use this to construct workloads).
+pub fn build_scenario(spec: &ScenarioSpec, seed: u64) -> Result<(Laacad, TimelineHook), SpecError> {
+    let region = spec.region.build()?;
+    let initial = spec.placement.build(&region, seed)?;
+    let config = spec.laacad.build(&region, initial.len(), seed)?;
+    let sim = Laacad::new(config, region, initial).map_err(|e| SpecError::Build(e.to_string()))?;
+    Ok((sim, TimelineHook::new(&spec.events, seed)))
+}
+
+/// Runs `spec` at `seed` to completion and evaluates the outcome.
+pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, SpecError> {
+    let (mut sim, mut hook) = build_scenario(spec, seed)?;
+    // Round-0 events act on the initial deployment, before any movement.
+    hook.fire_due(&mut sim, 0);
+    let summary = sim.run_with_hooks(&mut [&mut hook]);
+    // Timeline entries beyond the executed rounds must still show up in
+    // the outcome (as skipped), or the results would silently describe a
+    // different scenario than the one specified.
+    hook.mark_unfired(summary.rounds);
+    let region = sim.region().clone();
+    let k = sim.config().k;
+    let coverage = evaluate_coverage(sim.network(), &region, k, spec.evaluation.coverage_samples);
+    let model = EnergyModel::new(std::f64::consts::PI, spec.evaluation.energy_exponent);
+    let rounds = sim
+        .history()
+        .rounds()
+        .iter()
+        .map(|r| RoundMetric {
+            round: r.round,
+            max_circumradius: r.max_circumradius,
+            min_circumradius: r.min_circumradius,
+            nodes_moved: r.nodes_moved,
+        })
+        .collect();
+    Ok(ScenarioOutcome {
+        scenario: spec.name.clone(),
+        seed,
+        final_n: sim.network().len(),
+        max_load: model.max_load(sim.network()),
+        total_load: model.total_load(sim.network()),
+        balance_ratio: model.balance_ratio(sim.network()),
+        final_positions: sim
+            .network()
+            .positions()
+            .iter()
+            .map(|p| (p.x, p.y))
+            .collect(),
+        final_radii: sim
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| n.sensing_radius())
+            .collect(),
+        gamma: sim.config().gamma,
+        summary,
+        coverage,
+        events: hook.into_log(),
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{EventAction, EventSpec};
+
+    #[test]
+    fn plain_scenario_runs_and_covers() {
+        let mut spec = ScenarioSpec::uniform("smoke", 16, 1);
+        spec.laacad.max_rounds = 100;
+        let out = run_scenario(&spec, 42).unwrap();
+        assert_eq!(out.scenario, "smoke");
+        assert_eq!(out.final_n, 16);
+        assert!(out.coverage.covered_fraction > 0.99, "{}", out.coverage);
+        assert!(!out.rounds.is_empty());
+        assert!(out.max_load >= out.total_load / 16.0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_outcomes() {
+        let mut spec = ScenarioSpec::uniform("det", 14, 1);
+        spec.laacad.max_rounds = 60;
+        spec.events.push(EventSpec {
+            round: 10,
+            action: EventAction::FailFraction { fraction: 0.15 },
+        });
+        let a = run_scenario(&spec, 7).unwrap();
+        let b = run_scenario(&spec, 7).unwrap();
+        assert_eq!(a, b);
+        let c = run_scenario(&spec, 8).unwrap();
+        assert_ne!(a.summary.max_sensing_radius, c.summary.max_sensing_radius);
+    }
+
+    #[test]
+    fn round_zero_events_act_on_the_initial_deployment() {
+        let mut spec = ScenarioSpec::uniform("doa", 20, 1);
+        spec.laacad.max_rounds = 1; // no time to fire anything after round 1
+        spec.events.push(EventSpec {
+            round: 0,
+            action: EventAction::FailFraction { fraction: 0.25 },
+        });
+        let out = run_scenario(&spec, 5).unwrap();
+        assert_eq!(out.final_n, 15, "25% dead on arrival");
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.events[0].round, 0);
+        assert_eq!(out.events[0].removed, 5);
+        assert!(out.events[0].skipped.is_none());
+    }
+
+    #[test]
+    fn outcome_serializes_to_json() {
+        let mut spec = ScenarioSpec::uniform("json", 10, 1);
+        spec.laacad.max_rounds = 30;
+        let out = run_scenario(&spec, 3).unwrap();
+        let line = crate::json::to_string(&out.to_value());
+        let back = crate::json::parse(&line).unwrap();
+        assert_eq!(back.get("scenario").unwrap().as_str(), Some("json"));
+        assert_eq!(back.get("final_n").unwrap().as_i64(), Some(10));
+    }
+}

@@ -1,0 +1,160 @@
+//! The campaign result store: JSONL (full records) + CSV (summaries).
+//!
+//! Serialization is deterministic — sorted keys, expansion-ordered rows,
+//! shortest-round-trip floats, no timestamps — so running the same
+//! campaign twice produces *byte-identical* files. The determinism
+//! integration test pins this property.
+
+use crate::campaign::CellResult;
+use crate::json;
+use crate::value::Value;
+use std::path::{Path, PathBuf};
+
+/// One JSONL line per cell: the cell parameters plus either the full
+/// outcome or the error that prevented it.
+pub fn to_jsonl(results: &[CellResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        let mut line = Value::table();
+        line.insert("index", Value::Int(r.cell.index as i64));
+        line.insert("scenario", Value::Str(r.cell.scenario.clone()));
+        line.insert("seed", Value::Int(r.cell.seed as i64));
+        line.insert("n", Value::Int(r.cell.n as i64));
+        line.insert("k", Value::Int(r.cell.k as i64));
+        line.insert("alpha", Value::Float(r.cell.alpha));
+        match &r.outcome {
+            Ok(outcome) => line.insert("outcome", outcome.to_value()),
+            Err(e) => line.insert("error", Value::Str(e.to_string())),
+        }
+        out.push_str(&json::to_string(&line));
+        out.push('\n');
+    }
+    out
+}
+
+/// Summary CSV: one row per cell with the headline metrics.
+pub fn to_csv(results: &[CellResult]) -> String {
+    let mut out = String::from(
+        "index,scenario,seed,n,k,alpha,final_n,rounds,converged,\
+         max_sensing_radius,min_sensing_radius,covered_fraction,min_degree,\
+         balance_ratio,total_distance_moved,events_applied,error\n",
+    );
+    for r in results {
+        let c = &r.cell;
+        // Scenario names come straight from user specs; keep the CSV
+        // grid intact whatever they contain.
+        let name = c.scenario.replace([',', '\n'], ";");
+        match &r.outcome {
+            Ok(o) => {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                    c.index,
+                    name,
+                    c.seed,
+                    c.n,
+                    c.k,
+                    c.alpha,
+                    o.final_n,
+                    o.summary.rounds,
+                    o.summary.converged,
+                    o.summary.max_sensing_radius,
+                    o.summary.min_sensing_radius,
+                    o.coverage.covered_fraction,
+                    o.coverage.min_degree,
+                    o.balance_ratio,
+                    o.summary.total_distance_moved,
+                    o.events.len(),
+                ));
+            }
+            Err(e) => {
+                let msg = e.to_string().replace([',', '\n'], ";");
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},,,,,,,,,,,{}\n",
+                    c.index, name, c.seed, c.n, c.k, c.alpha, msg
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Writes campaign results into a directory as `<name>.jsonl` and
+/// `<name>.csv`.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// A store rooted at `dir` (created on demand).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultStore { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes both result files, returning `(jsonl_path, csv_path)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, name: &str, results: &[CellResult]) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(&self.dir)?;
+        let jsonl = self.dir.join(format!("{name}.jsonl"));
+        std::fs::write(&jsonl, to_jsonl(results))?;
+        let csv = self.dir.join(format!("{name}.csv"));
+        std::fs::write(&csv, to_csv(results))?;
+        Ok((jsonl, csv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignSpec};
+    use crate::spec::ScenarioSpec;
+
+    fn tiny_results() -> Vec<CellResult> {
+        let mut spec = ScenarioSpec::uniform("store", 8, 1);
+        spec.laacad.max_rounds = 25;
+        run_campaign(&CampaignSpec::over_seeds(spec, [1, 2])).unwrap()
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let results = tiny_results();
+        let text = to_jsonl(&results);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("index").unwrap().as_i64(), Some(i as i64));
+            assert!(v.get("outcome").is_some());
+        }
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows() {
+        let results = tiny_results();
+        let text = to_csv(&results);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("index,scenario,seed"));
+        assert!(lines[1].starts_with("0,store,1,"));
+    }
+
+    #[test]
+    fn store_writes_files() {
+        let dir = std::env::temp_dir().join("laacad-scenario-store-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::new(&dir);
+        let results = tiny_results();
+        let (jsonl, csv) = store.write("probe", &results).unwrap();
+        assert!(jsonl.exists() && csv.exists());
+        assert_eq!(std::fs::read_to_string(&jsonl).unwrap(), to_jsonl(&results));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,945 @@
+//! The declarative scenario specification.
+//!
+//! A [`ScenarioSpec`] fully describes one LAACAD experiment: the target
+//! region (named gallery entry, parametric square/rect, or custom polygon
+//! with obstacle holes), the initial placement, the algorithm
+//! configuration, a timeline of dynamic [`EventSpec`]s, and evaluation
+//! settings. Specs load from TOML or JSON (see [`crate::toml`] /
+//! [`crate::json`]) and build the concrete [`Region`], initial positions
+//! and [`LaacadConfig`] for a given seed.
+
+use crate::value::{decode, encode, DecodeError, Value};
+use laacad::{ExecutionMode, LaacadConfig, RingCapPolicy};
+use laacad_geom::{Point, Polygon};
+use laacad_region::sampling::{sample_clustered, sample_uniform};
+use laacad_region::{gallery, Region};
+use std::fmt;
+
+/// Any error arising while loading or building a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document failed to parse as TOML.
+    Toml(crate::toml::TomlError),
+    /// The document failed to parse as JSON.
+    Json(crate::json::JsonError),
+    /// The value tree did not decode into a spec.
+    Decode(DecodeError),
+    /// The spec decoded but describes an unbuildable scenario.
+    Build(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Toml(e) => write!(f, "{e}"),
+            SpecError::Json(e) => write!(f, "{e}"),
+            SpecError::Decode(e) => write!(f, "{e}"),
+            SpecError::Build(m) => write!(f, "cannot build scenario: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<DecodeError> for SpecError {
+    fn from(e: DecodeError) -> Self {
+        SpecError::Decode(e)
+    }
+}
+
+/// The target area.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionSpec {
+    /// A named gallery region (see [`laacad_region::gallery`]):
+    /// `unit_square`, `l_shape`, `cross`, `coast`, `lakes`, `corridor`,
+    /// `forest`.
+    Named(String),
+    /// An axis-aligned square with the given side.
+    Square {
+        /// Side length.
+        side: f64,
+    },
+    /// An axis-aligned rectangle.
+    Rect {
+        /// Width.
+        width: f64,
+        /// Height.
+        height: f64,
+    },
+    /// A custom simple polygon with optional obstacle holes.
+    Polygon {
+        /// Outer boundary vertices.
+        outer: Vec<(f64, f64)>,
+        /// Hole polygons (obstacles).
+        holes: Vec<Vec<(f64, f64)>>,
+    },
+}
+
+impl RegionSpec {
+    /// Builds the concrete region.
+    pub fn build(&self) -> Result<Region, SpecError> {
+        let build_err = |m: String| SpecError::Build(m);
+        match self {
+            RegionSpec::Named(name) => match name.as_str() {
+                "unit_square" => Ok(gallery::unit_square()),
+                "l_shape" => Ok(gallery::l_shape()),
+                "cross" => Ok(gallery::cross_shape()),
+                "coast" => Ok(gallery::irregular_coast()),
+                "lakes" => Ok(gallery::square_with_lakes()),
+                "corridor" => Ok(gallery::corridor()),
+                "forest" => Ok(gallery::forest_with_lake()),
+                other => Err(build_err(format!(
+                    "unknown gallery region `{other}` (expected one of \
+                     unit_square, l_shape, cross, coast, lakes, corridor, forest)"
+                ))),
+            },
+            RegionSpec::Square { side } => {
+                Region::square(*side).map_err(|e| build_err(e.to_string()))
+            }
+            RegionSpec::Rect { width, height } => {
+                Region::rect(*width, *height).map_err(|e| build_err(e.to_string()))
+            }
+            RegionSpec::Polygon { outer, holes } => {
+                let poly = |pts: &[(f64, f64)]| {
+                    Polygon::new(pts.iter().map(|&(x, y)| Point::new(x, y)))
+                        .map_err(|e| build_err(e.to_string()))
+                };
+                let outer = poly(outer)?;
+                if holes.is_empty() {
+                    Ok(Region::new(outer))
+                } else {
+                    let holes = holes
+                        .iter()
+                        .map(|h| poly(h))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Region::with_holes(outer, holes).map_err(|e| build_err(e.to_string()))
+                }
+            }
+        }
+    }
+
+    fn from_value(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let kind = decode::req_str(v, "kind", path)?;
+        match kind.as_str() {
+            "named" => Ok(RegionSpec::Named(decode::req_str(v, "name", path)?)),
+            "square" => Ok(RegionSpec::Square {
+                side: decode::req_f64(v, "side", path)?,
+            }),
+            "rect" => Ok(RegionSpec::Rect {
+                width: decode::req_f64(v, "width", path)?,
+                height: decode::req_f64(v, "height", path)?,
+            }),
+            "polygon" => {
+                let p = format!("{path}.outer");
+                let outer = decode::to_pairs(
+                    v.get("outer")
+                        .ok_or_else(|| DecodeError::new(&p, "missing required field"))?,
+                    &p,
+                )?;
+                let holes = match v.get("holes") {
+                    None => Vec::new(),
+                    Some(hs) => {
+                        let hp = format!("{path}.holes");
+                        hs.as_array()
+                            .ok_or_else(|| DecodeError::new(&hp, "expected array of polygons"))?
+                            .iter()
+                            .enumerate()
+                            .map(|(i, h)| decode::to_pairs(h, &format!("{hp}[{i}]")))
+                            .collect::<Result<Vec<_>, _>>()?
+                    }
+                };
+                Ok(RegionSpec::Polygon { outer, holes })
+            }
+            other => Err(DecodeError::new(
+                format!("{path}.kind"),
+                format!("unknown region kind `{other}`"),
+            )
+            .into()),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        match self {
+            RegionSpec::Named(name) => {
+                t.insert("kind", Value::Str("named".into()));
+                t.insert("name", Value::Str(name.clone()));
+            }
+            RegionSpec::Square { side } => {
+                t.insert("kind", Value::Str("square".into()));
+                t.insert("side", Value::Float(*side));
+            }
+            RegionSpec::Rect { width, height } => {
+                t.insert("kind", Value::Str("rect".into()));
+                t.insert("width", Value::Float(*width));
+                t.insert("height", Value::Float(*height));
+            }
+            RegionSpec::Polygon { outer, holes } => {
+                t.insert("kind", Value::Str("polygon".into()));
+                t.insert("outer", encode::pairs(outer));
+                if !holes.is_empty() {
+                    t.insert(
+                        "holes",
+                        Value::Array(holes.iter().map(|h| encode::pairs(h)).collect()),
+                    );
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Initial node placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementSpec {
+    /// `n` nodes sampled uniformly from the free area.
+    Uniform {
+        /// Node count.
+        n: usize,
+    },
+    /// `n` nodes sampled from a disk around `center`, projected into the
+    /// region (the paper's Fig. 5 corner dump).
+    Clustered {
+        /// Node count.
+        n: usize,
+        /// Cluster center.
+        center: (f64, f64),
+        /// Cluster radius.
+        radius: f64,
+    },
+    /// Like `Clustered` with the center placed just inside the region's
+    /// bounding-box minimum corner — the adversarial start of Bartolini
+    /// et al.'s Push & Pull evaluations, without hard-coding coordinates.
+    Corner {
+        /// Node count.
+        n: usize,
+        /// Cluster radius.
+        radius: f64,
+    },
+    /// Explicit positions.
+    Custom {
+        /// The positions.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl PlacementSpec {
+    /// Number of nodes this placement produces.
+    pub fn node_count(&self) -> usize {
+        match self {
+            PlacementSpec::Uniform { n }
+            | PlacementSpec::Clustered { n, .. }
+            | PlacementSpec::Corner { n, .. } => *n,
+            PlacementSpec::Custom { points } => points.len(),
+        }
+    }
+
+    /// Returns a copy with the node count replaced (campaign grids sweep
+    /// `n`). `Custom` placements reject resizing.
+    pub fn with_node_count(&self, n: usize) -> Result<Self, SpecError> {
+        match self {
+            PlacementSpec::Uniform { .. } => Ok(PlacementSpec::Uniform { n }),
+            PlacementSpec::Clustered { center, radius, .. } => Ok(PlacementSpec::Clustered {
+                n,
+                center: *center,
+                radius: *radius,
+            }),
+            PlacementSpec::Corner { radius, .. } => {
+                Ok(PlacementSpec::Corner { n, radius: *radius })
+            }
+            PlacementSpec::Custom { .. } => Err(SpecError::Build(
+                "cannot sweep node count over a custom placement".into(),
+            )),
+        }
+    }
+
+    /// Builds the initial positions for the given seed.
+    pub fn build(&self, region: &Region, seed: u64) -> Result<Vec<Point>, SpecError> {
+        match self {
+            PlacementSpec::Uniform { n } => Ok(sample_uniform(region, *n, seed)),
+            PlacementSpec::Clustered { n, center, radius } => Ok(sample_clustered(
+                region,
+                *n,
+                region.project(Point::new(center.0, center.1)),
+                *radius,
+                seed,
+            )),
+            PlacementSpec::Corner { n, radius } => {
+                let bb = region.bounding_box();
+                let center = region.project(Point::new(bb.min().x + *radius, bb.min().y + *radius));
+                Ok(sample_clustered(region, *n, center, *radius, seed))
+            }
+            PlacementSpec::Custom { points } => {
+                let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                for (i, p) in pts.iter().enumerate() {
+                    if !region.contains(*p) {
+                        return Err(SpecError::Build(format!(
+                            "custom placement point {i} ({}, {}) lies outside the region",
+                            p.x, p.y
+                        )));
+                    }
+                }
+                Ok(pts)
+            }
+        }
+    }
+
+    fn from_value(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let kind = decode::req_str(v, "kind", path)?;
+        match kind.as_str() {
+            "uniform" => Ok(PlacementSpec::Uniform {
+                n: decode::req_usize(v, "n", path)?,
+            }),
+            "clustered" => Ok(PlacementSpec::Clustered {
+                n: decode::req_usize(v, "n", path)?,
+                center: decode::req_pair(v, "center", path)?,
+                radius: decode::req_f64(v, "radius", path)?,
+            }),
+            "corner" => Ok(PlacementSpec::Corner {
+                n: decode::req_usize(v, "n", path)?,
+                radius: decode::req_f64(v, "radius", path)?,
+            }),
+            "custom" => {
+                let p = format!("{path}.points");
+                let points = decode::to_pairs(
+                    v.get("points")
+                        .ok_or_else(|| DecodeError::new(&p, "missing required field"))?,
+                    &p,
+                )?;
+                Ok(PlacementSpec::Custom { points })
+            }
+            other => Err(DecodeError::new(
+                format!("{path}.kind"),
+                format!("unknown placement kind `{other}`"),
+            )
+            .into()),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        match self {
+            PlacementSpec::Uniform { n } => {
+                t.insert("kind", Value::Str("uniform".into()));
+                t.insert("n", encode::int(*n));
+            }
+            PlacementSpec::Clustered { n, center, radius } => {
+                t.insert("kind", Value::Str("clustered".into()));
+                t.insert("n", encode::int(*n));
+                t.insert("center", encode::pair(*center));
+                t.insert("radius", Value::Float(*radius));
+            }
+            PlacementSpec::Corner { n, radius } => {
+                t.insert("kind", Value::Str("corner".into()));
+                t.insert("n", encode::int(*n));
+                t.insert("radius", Value::Float(*radius));
+            }
+            PlacementSpec::Custom { points } => {
+                t.insert("kind", Value::Str("custom".into()));
+                t.insert("points", encode::pairs(points));
+            }
+        }
+        t
+    }
+}
+
+/// LAACAD algorithm parameters.
+///
+/// `gamma` and `epsilon` are optional: when omitted, the engine derives
+/// them from the region and node count exactly like the experiment
+/// harness does (`LaacadConfig::recommended_gamma` and an ε scaled to the
+/// expected converged sensing range).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmSpec {
+    /// Coverage degree `k`.
+    pub k: usize,
+    /// Step size `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Stopping tolerance (`None` → scaled default).
+    pub epsilon: Option<f64>,
+    /// Transmission range (`None` → recommended for region/n/k).
+    pub gamma: Option<f64>,
+    /// Round limit.
+    pub max_rounds: usize,
+    /// Execution schedule.
+    pub execution: ExecutionMode,
+    /// Ring-cap policy.
+    pub ring_cap: RingCapPolicy,
+    /// Snapshot cadence (`None` disables snapshots).
+    pub snapshot_every: Option<usize>,
+}
+
+impl Default for AlgorithmSpec {
+    fn default() -> Self {
+        AlgorithmSpec {
+            k: 1,
+            alpha: 0.5,
+            epsilon: None,
+            gamma: None,
+            max_rounds: 300,
+            execution: ExecutionMode::Synchronous,
+            ring_cap: RingCapPolicy::Exact,
+            snapshot_every: None,
+        }
+    }
+}
+
+impl AlgorithmSpec {
+    /// Builds the concrete config for a region with `n` initial nodes.
+    pub fn build(&self, region: &Region, n: usize, seed: u64) -> Result<LaacadConfig, SpecError> {
+        let area = region.area();
+        let gamma = self
+            .gamma
+            .unwrap_or_else(|| LaacadConfig::recommended_gamma(area, n.max(1), self.k.max(1)));
+        let epsilon = self.epsilon.unwrap_or_else(|| {
+            let expected_range =
+                (self.k.max(1) as f64 * area / (std::f64::consts::PI * n.max(1) as f64)).sqrt();
+            5e-3 * expected_range
+        });
+        let mut builder = LaacadConfig::builder(self.k);
+        builder
+            .transmission_range(gamma)
+            .alpha(self.alpha)
+            .epsilon(epsilon)
+            .max_rounds(self.max_rounds)
+            .execution(self.execution)
+            .ring_cap(self.ring_cap)
+            .seed(seed);
+        if let Some(every) = self.snapshot_every {
+            builder.snapshot_every(every);
+        }
+        builder.build().map_err(|e| SpecError::Build(e.to_string()))
+    }
+
+    fn from_value(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let d = AlgorithmSpec::default();
+        let execution = match decode::opt_str(v, "execution", path)? {
+            None => d.execution,
+            Some(s) => match s.as_str() {
+                "synchronous" => ExecutionMode::Synchronous,
+                "sequential" => ExecutionMode::Sequential,
+                other => {
+                    return Err(DecodeError::new(
+                        format!("{path}.execution"),
+                        format!("unknown execution mode `{other}`"),
+                    )
+                    .into())
+                }
+            },
+        };
+        let ring_cap = match decode::opt_str(v, "ring_cap", path)? {
+            None => d.ring_cap,
+            Some(s) => match s.as_str() {
+                "exact" => RingCapPolicy::Exact,
+                "always_cap" => RingCapPolicy::AlwaysCap,
+                other => {
+                    return Err(DecodeError::new(
+                        format!("{path}.ring_cap"),
+                        format!("unknown ring-cap policy `{other}`"),
+                    )
+                    .into())
+                }
+            },
+        };
+        Ok(AlgorithmSpec {
+            k: decode::req_usize(v, "k", path)?,
+            alpha: decode::opt_f64(v, "alpha", path)?.unwrap_or(d.alpha),
+            epsilon: decode::opt_f64(v, "epsilon", path)?,
+            gamma: decode::opt_f64(v, "gamma", path)?,
+            max_rounds: decode::opt_usize(v, "max_rounds", path)?.unwrap_or(d.max_rounds),
+            execution,
+            ring_cap,
+            snapshot_every: decode::opt_usize(v, "snapshot_every", path)?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let d = AlgorithmSpec::default();
+        let mut t = Value::table();
+        t.insert("k", encode::int(self.k));
+        t.insert("alpha", Value::Float(self.alpha));
+        if let Some(e) = self.epsilon {
+            t.insert("epsilon", Value::Float(e));
+        }
+        if let Some(g) = self.gamma {
+            t.insert("gamma", Value::Float(g));
+        }
+        t.insert("max_rounds", encode::int(self.max_rounds));
+        if self.execution != d.execution {
+            t.insert(
+                "execution",
+                Value::Str(
+                    match self.execution {
+                        ExecutionMode::Synchronous => "synchronous",
+                        ExecutionMode::Sequential => "sequential",
+                    }
+                    .into(),
+                ),
+            );
+        }
+        if self.ring_cap != d.ring_cap {
+            t.insert(
+                "ring_cap",
+                Value::Str(
+                    match self.ring_cap {
+                        RingCapPolicy::Exact => "exact",
+                        RingCapPolicy::AlwaysCap => "always_cap",
+                    }
+                    .into(),
+                ),
+            );
+        }
+        if let Some(every) = self.snapshot_every {
+            t.insert("snapshot_every", encode::int(every));
+        }
+        t
+    }
+}
+
+/// One timed entry of the dynamic-event timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSpec {
+    /// Round after which the event fires (`0` = on the initial
+    /// deployment, before any movement).
+    pub round: usize,
+    /// What happens.
+    pub action: EventAction,
+}
+
+/// A dynamic event, declaratively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventAction {
+    /// Kills a random fraction of the current population (crash-stop).
+    FailFraction {
+        /// Fraction in `(0, 1)` of nodes to kill.
+        fraction: f64,
+    },
+    /// Kills the listed node indices (as of the event round).
+    FailNodes {
+        /// Indices to kill.
+        ids: Vec<usize>,
+    },
+    /// Kills every node inside a disk (localized destruction).
+    FailRegion {
+        /// Disk center.
+        center: (f64, f64),
+        /// Disk radius.
+        radius: f64,
+    },
+    /// Kills nodes whose cumulative energy spend exceeds their battery
+    /// capacity. Spend = `move_cost · distance_moved +
+    /// rounds · sense_cost · E(r_i)` with `E` the
+    /// [`laacad_wsn::energy::EnergyModel`] `coefficient · r^exponent`.
+    DepleteBatteries {
+        /// Per-node battery capacity.
+        capacity: f64,
+        /// Energy per unit distance moved.
+        move_cost: f64,
+        /// Energy per round per unit of `E(r_i)`.
+        sense_cost: f64,
+        /// Energy-model exponent `η` (2 = the paper's disk-area model).
+        exponent: f64,
+    },
+    /// Inserts new nodes (churn / robots-assisted redeployment).
+    Insert {
+        /// Where the reinforcements appear.
+        placement: PlacementSpec,
+    },
+    /// Changes the coverage requirement.
+    SetK {
+        /// The new `k`.
+        k: usize,
+    },
+    /// Changes the step size.
+    SetAlpha {
+        /// The new `α`.
+        alpha: f64,
+    },
+}
+
+impl EventSpec {
+    fn from_value(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let round = decode::req_usize(v, "round", path)?;
+        let action = decode::req_str(v, "action", path)?;
+        let action = match action.as_str() {
+            "fail_fraction" => EventAction::FailFraction {
+                fraction: decode::req_f64(v, "fraction", path)?,
+            },
+            "fail_nodes" => {
+                let p = format!("{path}.ids");
+                let ids = v
+                    .get("ids")
+                    .ok_or_else(|| DecodeError::new(&p, "missing required field"))?
+                    .as_array()
+                    .ok_or_else(|| DecodeError::new(&p, "expected array of integers"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, id)| decode::to_usize(id, &format!("{p}[{i}]")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                EventAction::FailNodes { ids }
+            }
+            "fail_region" => EventAction::FailRegion {
+                center: decode::req_pair(v, "center", path)?,
+                radius: decode::req_f64(v, "radius", path)?,
+            },
+            "deplete_batteries" => EventAction::DepleteBatteries {
+                capacity: decode::req_f64(v, "capacity", path)?,
+                move_cost: decode::opt_f64(v, "move_cost", path)?.unwrap_or(1.0),
+                sense_cost: decode::opt_f64(v, "sense_cost", path)?.unwrap_or(1.0),
+                exponent: decode::opt_f64(v, "exponent", path)?.unwrap_or(2.0),
+            },
+            "insert" => EventAction::Insert {
+                placement: PlacementSpec::from_value(
+                    v.get("placement").ok_or_else(|| {
+                        DecodeError::new(format!("{path}.placement"), "missing required field")
+                    })?,
+                    &format!("{path}.placement"),
+                )?,
+            },
+            "set_k" => EventAction::SetK {
+                k: decode::req_usize(v, "k", path)?,
+            },
+            "set_alpha" => EventAction::SetAlpha {
+                alpha: decode::req_f64(v, "alpha", path)?,
+            },
+            other => {
+                return Err(DecodeError::new(
+                    format!("{path}.action"),
+                    format!("unknown event action `{other}`"),
+                )
+                .into())
+            }
+        };
+        Ok(EventSpec { round, action })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("round", encode::int(self.round));
+        match &self.action {
+            EventAction::FailFraction { fraction } => {
+                t.insert("action", Value::Str("fail_fraction".into()));
+                t.insert("fraction", Value::Float(*fraction));
+            }
+            EventAction::FailNodes { ids } => {
+                t.insert("action", Value::Str("fail_nodes".into()));
+                t.insert(
+                    "ids",
+                    Value::Array(ids.iter().map(|&i| encode::int(i)).collect()),
+                );
+            }
+            EventAction::FailRegion { center, radius } => {
+                t.insert("action", Value::Str("fail_region".into()));
+                t.insert("center", encode::pair(*center));
+                t.insert("radius", Value::Float(*radius));
+            }
+            EventAction::DepleteBatteries {
+                capacity,
+                move_cost,
+                sense_cost,
+                exponent,
+            } => {
+                t.insert("action", Value::Str("deplete_batteries".into()));
+                t.insert("capacity", Value::Float(*capacity));
+                t.insert("move_cost", Value::Float(*move_cost));
+                t.insert("sense_cost", Value::Float(*sense_cost));
+                t.insert("exponent", Value::Float(*exponent));
+            }
+            EventAction::Insert { placement } => {
+                t.insert("action", Value::Str("insert".into()));
+                t.insert("placement", placement.to_value());
+            }
+            EventAction::SetK { k } => {
+                t.insert("action", Value::Str("set_k".into()));
+                t.insert("k", encode::int(*k));
+            }
+            EventAction::SetAlpha { alpha } => {
+                t.insert("action", Value::Str("set_alpha".into()));
+                t.insert("alpha", Value::Float(*alpha));
+            }
+        }
+        t
+    }
+}
+
+/// Evaluation settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationSpec {
+    /// Grid samples for the final coverage verification.
+    pub coverage_samples: usize,
+    /// Energy-model exponent used for the load metrics.
+    pub energy_exponent: f64,
+}
+
+impl Default for EvaluationSpec {
+    fn default() -> Self {
+        EvaluationSpec {
+            coverage_samples: 4000,
+            energy_exponent: 2.0,
+        }
+    }
+}
+
+impl EvaluationSpec {
+    fn from_value(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let d = EvaluationSpec::default();
+        Ok(EvaluationSpec {
+            coverage_samples: decode::opt_usize(v, "coverage_samples", path)?
+                .unwrap_or(d.coverage_samples),
+            energy_exponent: decode::opt_f64(v, "energy_exponent", path)?
+                .unwrap_or(d.energy_exponent),
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("coverage_samples", encode::int(self.coverage_samples));
+        t.insert("energy_exponent", Value::Float(self.energy_exponent));
+        t
+    }
+}
+
+/// A complete declarative scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in result records and file names).
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// The target area.
+    pub region: RegionSpec,
+    /// Initial placement.
+    pub placement: PlacementSpec,
+    /// Algorithm parameters.
+    pub laacad: AlgorithmSpec,
+    /// Dynamic-event timeline (sorted by round at build time).
+    pub events: Vec<EventSpec>,
+    /// Evaluation settings.
+    pub evaluation: EvaluationSpec,
+}
+
+impl ScenarioSpec {
+    /// A minimal uniform-placement scenario, useful as a programmatic
+    /// starting point.
+    pub fn uniform(name: impl Into<String>, n: usize, k: usize) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            description: String::new(),
+            region: RegionSpec::Named("unit_square".into()),
+            placement: PlacementSpec::Uniform { n },
+            laacad: AlgorithmSpec {
+                k,
+                ..AlgorithmSpec::default()
+            },
+            events: Vec::new(),
+            evaluation: EvaluationSpec::default(),
+        }
+    }
+
+    /// Decodes a spec from a parsed [`Value`] tree.
+    pub fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let path = "scenario";
+        let events = match v.get("events") {
+            None => Vec::new(),
+            Some(evs) => {
+                let p = format!("{path}.events");
+                evs.as_array()
+                    .ok_or_else(|| DecodeError::new(&p, "expected array of event tables"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| EventSpec::from_value(e, &format!("{p}[{i}]")))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        let evaluation = match v.get("evaluation") {
+            None => EvaluationSpec::default(),
+            Some(e) => EvaluationSpec::from_value(e, &format!("{path}.evaluation"))?,
+        };
+        Ok(ScenarioSpec {
+            name: decode::req_str(v, "name", path)?,
+            description: decode::opt_str(v, "description", path)?.unwrap_or_default(),
+            region: RegionSpec::from_value(
+                v.get("region")
+                    .ok_or_else(|| DecodeError::new("scenario.region", "missing required field"))?,
+                &format!("{path}.region"),
+            )?,
+            placement: PlacementSpec::from_value(
+                v.get("placement").ok_or_else(|| {
+                    DecodeError::new("scenario.placement", "missing required field")
+                })?,
+                &format!("{path}.placement"),
+            )?,
+            laacad: AlgorithmSpec::from_value(
+                v.get("laacad")
+                    .ok_or_else(|| DecodeError::new("scenario.laacad", "missing required field"))?,
+                &format!("{path}.laacad"),
+            )?,
+            events,
+            evaluation,
+        })
+    }
+
+    /// Encodes the spec as a [`Value`] tree.
+    pub fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("name", Value::Str(self.name.clone()));
+        if !self.description.is_empty() {
+            t.insert("description", Value::Str(self.description.clone()));
+        }
+        t.insert("region", self.region.to_value());
+        t.insert("placement", self.placement.to_value());
+        t.insert("laacad", self.laacad.to_value());
+        if !self.events.is_empty() {
+            t.insert(
+                "events",
+                Value::Array(self.events.iter().map(|e| e.to_value()).collect()),
+            );
+        }
+        t.insert("evaluation", self.evaluation.to_value());
+        t
+    }
+
+    /// Parses a TOML scenario document.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        let v = crate::toml::parse(text).map_err(SpecError::Toml)?;
+        Self::from_value(&v)
+    }
+
+    /// Serializes as a TOML document (round-trips through
+    /// [`ScenarioSpec::from_toml`]).
+    pub fn to_toml(&self) -> String {
+        crate::toml::to_string(&self.to_value())
+    }
+
+    /// Parses a JSON scenario document.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let v = crate::json::parse(text).map_err(SpecError::Json)?;
+        Self::from_value(&v)
+    }
+
+    /// Serializes as a JSON document.
+    pub fn to_json(&self) -> String {
+        crate::json::to_string(&self.to_value())
+    }
+
+    /// Loads a spec from a `.toml` or `.json` file (decided by
+    /// extension; anything else tries TOML first, then JSON).
+    pub fn from_path(path: &std::path::Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Build(format!("cannot read {}: {e}", path.display())))?;
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => Self::from_json(&text),
+            Some("toml") => Self::from_toml(&text),
+            _ => Self::from_toml(&text).or_else(|_| Self::from_json(&text)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "failure-recovery".into(),
+            description: "kill 20% mid-run".into(),
+            region: RegionSpec::Named("unit_square".into()),
+            placement: PlacementSpec::Uniform { n: 40 },
+            laacad: AlgorithmSpec {
+                k: 2,
+                alpha: 0.6,
+                max_rounds: 150,
+                ..AlgorithmSpec::default()
+            },
+            events: vec![
+                EventSpec {
+                    round: 40,
+                    action: EventAction::FailFraction { fraction: 0.2 },
+                },
+                EventSpec {
+                    round: 60,
+                    action: EventAction::Insert {
+                        placement: PlacementSpec::Clustered {
+                            n: 4,
+                            center: (0.5, 0.5),
+                            radius: 0.1,
+                        },
+                    },
+                },
+            ],
+            evaluation: EvaluationSpec::default(),
+        }
+    }
+
+    #[test]
+    fn toml_round_trip() {
+        let spec = sample_spec();
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(spec, back, "TOML:\n{text}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = sample_spec();
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn builds_region_placement_config() {
+        let spec = sample_spec();
+        let region = spec.region.build().unwrap();
+        let pts = spec.placement.build(&region, 7).unwrap();
+        assert_eq!(pts.len(), 40);
+        assert!(pts.iter().all(|&p| region.contains(p)));
+        let config = spec.laacad.build(&region, pts.len(), 7).unwrap();
+        assert_eq!(config.k, 2);
+        assert!(config.gamma > 0.0);
+        assert!(config.epsilon > 0.0);
+    }
+
+    #[test]
+    fn corner_placement_hugs_the_min_corner() {
+        let region = RegionSpec::Named("unit_square".into()).build().unwrap();
+        let pts = PlacementSpec::Corner { n: 30, radius: 0.1 }
+            .build(&region, 3)
+            .unwrap();
+        assert!(pts.iter().all(|p| p.x < 0.35 && p.y < 0.35));
+    }
+
+    #[test]
+    fn all_gallery_names_build() {
+        for name in [
+            "unit_square",
+            "l_shape",
+            "cross",
+            "coast",
+            "lakes",
+            "corridor",
+            "forest",
+        ] {
+            assert!(RegionSpec::Named(name.into()).build().is_ok(), "{name}");
+        }
+        assert!(RegionSpec::Named("atlantis".into()).build().is_err());
+    }
+
+    #[test]
+    fn decode_errors_carry_paths() {
+        let err = ScenarioSpec::from_toml("name = \"x\"\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("region"), "{msg}");
+        let doc = "name = \"x\"\n[region]\nkind = \"sphere\"\n";
+        let msg = ScenarioSpec::from_toml(doc).unwrap_err().to_string();
+        assert!(msg.contains("region.kind"), "{msg}");
+    }
+
+    #[test]
+    fn custom_placement_outside_region_rejected() {
+        let region = RegionSpec::Square { side: 1.0 }.build().unwrap();
+        let placement = PlacementSpec::Custom {
+            points: vec![(0.5, 0.5), (2.0, 2.0)],
+        };
+        assert!(placement.build(&region, 0).is_err());
+    }
+}

@@ -119,11 +119,7 @@ impl LineChart {
             let tx = x0 + i as f64 / 5.0 * (x1 - x0);
             let p = to_px(tx, y0);
             canvas.line(p, Point::new(p.x, p.y + 4.0), "#000", 1.0);
-            canvas.text(
-                Point::new(p.x - 10.0, p.y + 16.0),
-                9.0,
-                &format_tick(tx),
-            );
+            canvas.text(Point::new(p.x - 10.0, p.y + 16.0), 9.0, &format_tick(tx));
             let ty = y0 + i as f64 / 5.0 * (y1 - y0);
             let q = to_px(x0, ty);
             canvas.line(q, Point::new(q.x - 4.0, q.y), "#000", 1.0);

@@ -77,7 +77,13 @@ impl<'a> DeploymentPlot<'a> {
             }
         }
         for node in net.nodes() {
-            canvas.circle(map.to_canvas(node.position()), 2.5, "#d62728", "#7f0000", 0.5);
+            canvas.circle(
+                map.to_canvas(node.position()),
+                2.5,
+                "#d62728",
+                "#7f0000",
+                0.5,
+            );
         }
         if !self.title.is_empty() {
             canvas.text(Point::new(6.0, h + 12.0), 12.0, &self.title);
@@ -120,10 +126,8 @@ mod tests {
     #[test]
     fn render_contains_nodes_and_outline() {
         let region = Region::square(1.0).unwrap();
-        let mut net = Network::from_positions(
-            0.2,
-            [Point::new(0.25, 0.25), Point::new(0.75, 0.75)],
-        );
+        let mut net =
+            Network::from_positions(0.2, [Point::new(0.25, 0.25), Point::new(0.75, 0.75)]);
         net.set_sensing_radius(NodeId(0), 0.3);
         let svg = DeploymentPlot::new(&region)
             .title("test deployment")

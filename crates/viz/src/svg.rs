@@ -20,7 +20,10 @@ impl SvgCanvas {
     ///
     /// Panics for non-positive dimensions.
     pub fn new(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "canvas must have positive size");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "canvas must have positive size"
+        );
         let mut canvas = SvgCanvas {
             width,
             height,
@@ -136,7 +139,9 @@ impl SvgCanvas {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Maps world coordinates (y up) into canvas pixels (y down) with uniform

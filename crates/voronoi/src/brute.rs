@@ -22,7 +22,7 @@ pub fn strictly_closer_count(center: usize, sites: &[Point], v: Point) -> usize 
 /// Ground-truth membership in the dominating region `V^k_i`
 /// (Proposition 1: at most `k − 1` sites strictly closer).
 pub fn in_dominating_region(center: usize, sites: &[Point], k: usize, v: Point) -> bool {
-    strictly_closer_count(center, sites, v) <= k - 1
+    strictly_closer_count(center, sites, v) < k
 }
 
 /// The `k` nearest site indices to `v`, ties broken by index (sorted by

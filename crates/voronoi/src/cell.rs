@@ -58,10 +58,7 @@ mod tests {
         let mut sites = Vec::new();
         for i in 0..3 {
             for j in 0..3 {
-                sites.push(Point::new(
-                    0.5 + i as f64 * 2.0,
-                    0.5 + j as f64 * 2.0,
-                ));
+                sites.push(Point::new(0.5 + i as f64 * 2.0, 0.5 + j as f64 * 2.0));
             }
         }
         let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(5.5, 5.5)).unwrap();
@@ -82,7 +79,11 @@ mod tests {
 
     #[test]
     fn colocated_twin_is_ignored() {
-        let sites = [Point::new(2.0, 2.0), Point::new(2.0, 2.0), Point::new(5.0, 2.0)];
+        let sites = [
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(5.0, 2.0),
+        ];
         let domain = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(6.0, 4.0)).unwrap();
         // Site 0's cell vs site 2 only (twin contributes no constraint).
         let c = voronoi_cell(0, &sites, &domain).unwrap();

@@ -65,7 +65,9 @@ impl DominatingRegion {
 
     /// All piece vertices (the extreme points of the region).
     pub fn vertices(&self) -> impl Iterator<Item = Point> + '_ {
-        self.pieces.iter().flat_map(|p| p.vertices().iter().copied())
+        self.pieces
+            .iter()
+            .flat_map(|p| p.vertices().iter().copied())
     }
 
     /// Membership test.
@@ -301,10 +303,7 @@ mod tests {
             let total: f64 = (0..sites.len())
                 .map(|c| dominating_region(c, &sites, k, &domain).area())
                 .sum();
-            assert!(
-                (total - k as f64).abs() < 1e-6,
-                "k={k}: total {total}"
-            );
+            assert!((total - k as f64).abs() < 1e-6, "k={k}: total {total}");
         }
     }
 
@@ -399,8 +398,7 @@ mod tests {
     #[test]
     fn region_with_hole_excludes_hole_area() {
         let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
-        let hole =
-            Polygon::rectangle(Point::new(0.4, 0.4), Point::new(0.6, 0.6)).unwrap();
+        let hole = Polygon::rectangle(Point::new(0.4, 0.4), Point::new(0.6, 0.6)).unwrap();
         let area = Region::with_holes(outer, vec![hole]).unwrap();
         let sites = vec![Point::new(0.2, 0.5), Point::new(0.8, 0.5)];
         let dr = dominating_region_in_region(0, &sites, 2, &area);

@@ -106,7 +106,11 @@ mod tests {
     fn network_loads() {
         let mut net = Network::from_positions(
             0.1,
-            [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+            [
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+            ],
         );
         for (i, r) in [0.1, 0.2, 0.3].into_iter().enumerate() {
             net.set_sensing_radius(crate::NodeId(i), r);

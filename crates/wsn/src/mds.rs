@@ -74,7 +74,10 @@ pub fn classical_mds(distances: &[Vec<f64>]) -> Result<MdsEmbedding, MdsError> {
         .iter()
         .map(|row| row.iter().map(|&d| d * d).collect())
         .collect();
-    let row_mean: Vec<f64> = d2.iter().map(|r| r.iter().sum::<f64>() / n as f64).collect();
+    let row_mean: Vec<f64> = d2
+        .iter()
+        .map(|r| r.iter().sum::<f64>() / n as f64)
+        .collect();
     let grand = row_mean.iter().sum::<f64>() / n as f64;
     let mut b = vec![vec![0.0; n]; n];
     let mut norm = 0.0f64;
@@ -92,9 +95,7 @@ pub fn classical_mds(distances: &[Vec<f64>]) -> Result<MdsEmbedding, MdsError> {
     let (l2, v2) = power_iteration(&b, Some((l1, &v1)));
     let s1 = l1.max(0.0).sqrt();
     let s2 = l2.max(0.0).sqrt();
-    let coords = (0..n)
-        .map(|i| Point::new(s1 * v1[i], s2 * v2[i]))
-        .collect();
+    let coords = (0..n).map(|i| Point::new(s1 * v1[i], s2 * v2[i])).collect();
     Ok(MdsEmbedding {
         coords,
         eigenvalues: [l1, l2],
@@ -204,6 +205,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric matrix update needs both indices
     fn noisy_input_still_embeds_approximately() {
         let mut rng = SplitMix64::new(5);
         let pts: Vec<Point> = (0..10)
@@ -232,10 +234,7 @@ mod tests {
 
     #[test]
     fn degenerate_and_bad_inputs() {
-        assert_eq!(
-            classical_mds(&[vec![0.0]]).unwrap_err(),
-            MdsError::BadInput
-        );
+        assert_eq!(classical_mds(&[vec![0.0]]).unwrap_err(), MdsError::BadInput);
         let zeros = vec![vec![0.0; 3]; 3];
         assert_eq!(classical_mds(&zeros).unwrap_err(), MdsError::Degenerate);
         let ragged = vec![vec![0.0, 1.0], vec![1.0, 0.0, 2.0]];

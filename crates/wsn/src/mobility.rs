@@ -72,7 +72,9 @@ mod tests {
     fn damped_step_moves_fractionally() {
         let mut net = Network::from_positions(0.1, [Point::new(0.0, 0.0)]);
         step_toward(&mut net, NodeId(0), Point::new(1.0, 0.0), 0.25, None);
-        assert!(net.position(NodeId(0)).approx_eq(Point::new(0.25, 0.0), 1e-12));
+        assert!(net
+            .position(NodeId(0))
+            .approx_eq(Point::new(0.25, 0.0), 1e-12));
     }
 
     #[test]
@@ -82,13 +84,22 @@ mod tests {
         let region = Region::with_holes(outer, vec![hole]).unwrap();
         let mut net = Network::from_positions(0.1, [Point::new(3.0, 5.0)]);
         // Full step toward the obstacle's center lands inside → projected.
-        let out = step_toward(&mut net, NodeId(0), Point::new(5.0, 5.0), 1.0, Some(&region));
+        let out = step_toward(
+            &mut net,
+            NodeId(0),
+            Point::new(5.0, 5.0),
+            1.0,
+            Some(&region),
+        );
         assert!(out.projected);
         let p = net.position(NodeId(0));
         assert!(region.contains(p));
         // The landing point sits on the hole boundary, one unit from the
         // hole center (which edge wins the tie is an implementation detail).
-        assert!((p.distance(Point::new(5.0, 5.0)) - 1.0).abs() < 1e-6, "landed at {p}");
+        assert!(
+            (p.distance(Point::new(5.0, 5.0)) - 1.0).abs() < 1e-6,
+            "landed at {p}"
+        );
     }
 
     #[test]

@@ -82,14 +82,14 @@ pub fn ring_neighborhood_with_slack(
         }
     }
     let mut replies = 0u64;
-    for i in 0..n {
+    for (i, &di) in dist.iter().enumerate() {
         if i != center.index()
-            && dist[i] != usize::MAX
-            && dist[i] <= hops
+            && di != usize::MAX
+            && di <= hops
             && net.position(NodeId(i)).distance(origin) <= rho + 1e-12
         {
             members.push(NodeId(i));
-            replies += dist[i] as u64; // reply relayed over its hop path
+            replies += di as u64; // reply relayed over its hop path
         }
     }
     RingNeighborhood {
@@ -120,10 +120,10 @@ mod tests {
         let mut net = Network::from_positions(
             0.12,
             [
-                Point::new(0.0, 0.0),   // 0
-                Point::new(0.1, 0.0),   // 1
-                Point::new(0.2, 0.0),   // 2
-                Point::new(0.0, 0.05),  // 3: close to 0, direct link
+                Point::new(0.0, 0.0),  // 0
+                Point::new(0.1, 0.0),  // 1
+                Point::new(0.2, 0.0),  // 2
+                Point::new(0.0, 0.05), // 3: close to 0, direct link
             ],
         );
         let ring = ring_neighborhood_with_slack(&mut net, NodeId(0), 0.12, 0);
@@ -148,10 +148,8 @@ mod tests {
     fn hop_limit_truncates_long_chains() {
         // Chain with spacing 0.1, γ = 0.12. ρ = 0.25 ⇒ 3 hops allowed,
         // Euclidean cut at 0.25 keeps nodes 1 and 2 only.
-        let mut net = Network::from_positions(
-            0.12,
-            (0..6).map(|i| Point::new(i as f64 * 0.1, 0.0)),
-        );
+        let mut net =
+            Network::from_positions(0.12, (0..6).map(|i| Point::new(i as f64 * 0.1, 0.0)));
         let ring = ring_neighborhood_with_slack(&mut net, NodeId(0), 0.25, 0);
         assert_eq!(ring.members, vec![NodeId(1), NodeId(2)]);
         // Wider ring reaches further down the chain.
@@ -183,10 +181,8 @@ mod tests {
 
     #[test]
     fn message_cost_grows_with_ring() {
-        let mut net = Network::from_positions(
-            0.12,
-            (0..8).map(|i| Point::new(i as f64 * 0.1, 0.0)),
-        );
+        let mut net =
+            Network::from_positions(0.12, (0..8).map(|i| Point::new(i as f64 * 0.1, 0.0)));
         let small = ring_neighborhood(&mut net, NodeId(0), 0.12);
         let large = ring_neighborhood(&mut net, NodeId(0), 0.6);
         assert!(large.messages.total() > small.messages.total());

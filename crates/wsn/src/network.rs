@@ -24,6 +24,9 @@ pub struct Network {
     positions: Vec<Point>,
     gamma: f64,
     grid: Option<SpatialGrid>,
+    /// Odometry of nodes that have since been removed (kept so that
+    /// movement-energy totals survive node failures).
+    retired_distance: f64,
 }
 
 impl Network {
@@ -42,6 +45,7 @@ impl Network {
             positions: Vec::new(),
             gamma,
             grid: None,
+            retired_distance: 0.0,
         }
     }
 
@@ -124,6 +128,75 @@ impl Network {
         self.nodes[id.0].set_sensing_radius(r);
     }
 
+    /// Removes the given nodes (duplicates and out-of-range ids ignored),
+    /// compacting the network and **reassigning node ids** so that ids
+    /// remain the dense range `0..len()`. Any previously held [`NodeId`]
+    /// is invalidated. The odometry of removed nodes is retained in
+    /// [`Network::total_distance_moved`]. Returns the number of nodes
+    /// actually removed.
+    ///
+    /// This is the substrate for dynamic-event scenarios (node failure,
+    /// battery depletion); the LAACAD round loop itself never removes
+    /// nodes.
+    pub fn remove_nodes(&mut self, ids: &[NodeId]) -> usize {
+        let (doomed, removing) = self.doomed_bitmap(ids);
+        if removing == 0 {
+            return 0;
+        }
+        let n = self.nodes.len();
+        let mut nodes = Vec::with_capacity(n - removing);
+        let mut positions = Vec::with_capacity(n - removing);
+        for (i, node) in self.nodes.drain(..).enumerate() {
+            if doomed[i] {
+                self.retired_distance += node.distance_moved();
+            } else {
+                let mut node = node;
+                node.reassign_id(NodeId(nodes.len()));
+                positions.push(node.position());
+                nodes.push(node);
+            }
+        }
+        self.nodes = nodes;
+        self.positions = positions;
+        self.grid = None;
+        removing
+    }
+
+    /// Marks the distinct, in-range ids among `ids`; the count is exactly
+    /// what [`Network::remove_nodes`] would remove.
+    fn doomed_bitmap(&self, ids: &[NodeId]) -> (Vec<bool>, usize) {
+        let n = self.nodes.len();
+        let mut doomed = vec![false; n];
+        for id in ids {
+            if id.0 < n {
+                doomed[id.0] = true;
+            }
+        }
+        let removing = doomed.iter().filter(|&&d| d).count();
+        (doomed, removing)
+    }
+
+    /// Number of distinct nodes among `ids` that currently exist — the
+    /// exact removal count of [`Network::remove_nodes`] on the same
+    /// input, for callers that must validate survivor counts before
+    /// mutating.
+    pub fn count_present(&self, ids: &[NodeId]) -> usize {
+        self.doomed_bitmap(ids).1
+    }
+
+    /// Keeps only the nodes for which `keep` returns `true`; same id
+    /// reassignment and odometry semantics as [`Network::remove_nodes`].
+    /// Returns the number of nodes removed.
+    pub fn retain_nodes(&mut self, mut keep: impl FnMut(&SensorNode) -> bool) -> usize {
+        let doomed: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|node| !keep(node))
+            .map(|node| node.id())
+            .collect();
+        self.remove_nodes(&doomed)
+    }
+
     /// Builds the spatial index if it does not exist yet.
     fn ensure_index(&mut self) {
         if self.grid.is_none() {
@@ -170,9 +243,10 @@ impl Network {
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Total distance moved by all nodes (movement-energy reporting).
+    /// Total distance moved by all nodes, including nodes that have since
+    /// been removed (movement-energy reporting).
     pub fn total_distance_moved(&self) -> f64 {
-        self.nodes.iter().map(|n| n.distance_moved()).sum()
+        self.retired_distance + self.nodes.iter().map(|n| n.distance_moved()).sum::<f64>()
     }
 }
 
@@ -206,7 +280,11 @@ mod tests {
         assert!(net.one_hop_neighbors(a).is_empty());
         net.move_node(b, Point::new(0.1, 0.0));
         assert_eq!(net.one_hop_neighbors(a), vec![b]);
-        assert!((net.node(b).distance_moved() - Point::new(1.0, 1.0).distance(Point::new(0.1, 0.0))).abs() < 1e-12);
+        assert!(
+            (net.node(b).distance_moved() - Point::new(1.0, 1.0).distance(Point::new(0.1, 0.0)))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -231,5 +309,53 @@ mod tests {
     #[should_panic(expected = "transmission range")]
     fn invalid_gamma_panics() {
         let _ = Network::new(0.0);
+    }
+
+    #[test]
+    fn remove_nodes_compacts_and_reindexes() {
+        let mut net = Network::from_positions(
+            0.5,
+            [
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(3.0, 0.0),
+            ],
+        );
+        net.move_node(NodeId(1), Point::new(1.0, 1.0)); // odometry 1.0
+        net.move_node(NodeId(3), Point::new(3.0, 2.0)); // odometry 2.0
+        let removed = net.remove_nodes(&[NodeId(1), NodeId(1), NodeId(99)]);
+        assert_eq!(removed, 1);
+        assert_eq!(net.len(), 3);
+        // Survivors are reindexed densely and keep their positions.
+        assert_eq!(net.position(NodeId(0)), Point::new(0.0, 0.0));
+        assert_eq!(net.position(NodeId(1)), Point::new(2.0, 0.0));
+        assert_eq!(net.position(NodeId(2)), Point::new(3.0, 2.0));
+        for (i, node) in net.nodes().iter().enumerate() {
+            assert_eq!(node.id(), NodeId(i));
+        }
+        // The removed node's odometry is retained in the total.
+        assert!((net.total_distance_moved() - 3.0).abs() < 1e-12);
+        // Spatial queries reflect the removal.
+        assert_eq!(
+            net.nodes_within(Point::new(1.0, 1.0), 0.1),
+            Vec::<NodeId>::new()
+        );
+    }
+
+    #[test]
+    fn retain_nodes_by_predicate() {
+        let mut net = Network::from_positions(
+            0.5,
+            [
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+            ],
+        );
+        let removed = net.retain_nodes(|n| n.position().x < 1.5);
+        assert_eq!(removed, 1);
+        assert_eq!(net.len(), 2);
+        assert!(net.positions().iter().all(|p| p.x < 1.5));
     }
 }

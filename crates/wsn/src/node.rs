@@ -77,6 +77,12 @@ impl SensorNode {
         self.distance_moved
     }
 
+    /// Rebinds the node to a new id (used when the network compacts after
+    /// node removal).
+    pub(crate) fn reassign_id(&mut self, id: NodeId) {
+        self.id = id;
+    }
+
     /// Moves the node to `target`, updating the odometer.
     pub fn move_to(&mut self, target: Point) {
         self.distance_moved += self.position.distance(target);
@@ -102,7 +108,11 @@ impl SensorNode {
 
 impl std::fmt::Display for SensorNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}@{} r={:.4}", self.id, self.position, self.sensing_radius)
+        write!(
+            f,
+            "{}@{} r={:.4}",
+            self.id, self.position, self.sensing_radius
+        )
     }
 }
 

@@ -118,10 +118,7 @@ mod tests {
     use laacad_geom::Point;
 
     fn chain(n: usize, spacing: f64, gamma: f64) -> Network {
-        Network::from_positions(
-            gamma,
-            (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)),
-        )
+        Network::from_positions(gamma, (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)))
     }
 
     #[test]
@@ -133,10 +130,7 @@ mod tests {
 
     #[test]
     fn unreachable_nodes_are_max() {
-        let mut net = Network::from_positions(
-            0.1,
-            [Point::new(0.0, 0.0), Point::new(5.0, 5.0)],
-        );
+        let mut net = Network::from_positions(0.1, [Point::new(0.0, 0.0), Point::new(5.0, 5.0)]);
         let d = hop_distances(&mut net, NodeId(0));
         assert_eq!(d[0], 0);
         assert_eq!(d[1], usize::MAX);

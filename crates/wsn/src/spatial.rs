@@ -97,9 +97,12 @@ mod tests {
     fn within_matches_brute_force() {
         let pts = cloud();
         let grid = SpatialGrid::build(&pts, 0.25);
-        for &(qx, qy, r) in
-            &[(0.5, 0.5, 0.2), (0.0, 0.0, 0.15), (0.95, 0.5, 0.3), (0.5, 0.5, 5.0)]
-        {
+        for &(qx, qy, r) in &[
+            (0.5, 0.5, 0.2),
+            (0.0, 0.0, 0.15),
+            (0.95, 0.5, 0.3),
+            (0.5, 0.5, 5.0),
+        ] {
             let q = Point::new(qx, qy);
             let got = grid.within(&pts, q, r);
             let expect: Vec<usize> = (0..pts.len())
@@ -111,7 +114,11 @@ mod tests {
 
     #[test]
     fn zero_radius_returns_coincident_points() {
-        let pts = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0), Point::new(1.0, 1.0)];
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 1.0),
+        ];
         let grid = SpatialGrid::build(&pts, 0.5);
         assert_eq!(grid.within(&pts, Point::new(1.0, 1.0), 0.0), vec![0, 2]);
     }

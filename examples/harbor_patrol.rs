@@ -36,12 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The corridor shape shows in the deployment: drones form a double
     // chain along the channel axis.
-    let spread_x: Vec<f64> = sim
-        .network()
-        .positions()
-        .iter()
-        .map(|p| p.x)
-        .collect();
+    let spread_x: Vec<f64> = sim.network().positions().iter().map(|p| p.x).collect();
     let min_x = spread_x.iter().copied().fold(f64::INFINITY, f64::min);
     let max_x = spread_x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     println!("drone chain spans x ∈ [{min_x:.2}, {max_x:.2}] of [0, 8] km");

@@ -13,7 +13,9 @@
 //! * [`laacad_wsn`] — network substrate (radio, ranging, MDS, energy),
 //! * [`laacad_coverage`] — k-coverage verification,
 //! * [`laacad_baselines`] — Bai \[3\], Ammari–Das \[15\], Lloyd, lattices,
-//! * [`laacad_viz`] — SVG figure rendering.
+//! * [`laacad_viz`] — SVG figure rendering,
+//! * [`laacad_scenario`] — declarative scenarios, dynamic events, and the
+//!   parallel campaign runner.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub use laacad_baselines;
 pub use laacad_coverage;
 pub use laacad_geom;
 pub use laacad_region;
+pub use laacad_scenario;
 pub use laacad_viz;
 pub use laacad_voronoi;
 pub use laacad_wsn;
@@ -48,13 +51,17 @@ pub use laacad_wsn;
 /// The convenient flat import surface.
 pub mod prelude {
     pub use laacad::{
-        min_node_deployment, CoordinateMode, Laacad, LaacadConfig, LaacadError, RingCapPolicy,
-        RunSummary,
+        min_node_deployment, CoordinateMode, HookAction, Laacad, LaacadConfig, LaacadError,
+        NetworkEvent, RingCapPolicy, RoundHook, RunSummary,
     };
     pub use laacad_coverage::{evaluate_coverage, CoverageReport};
     pub use laacad_geom::{Circle, Point, Polygon, Vector};
     pub use laacad_region::sampling::{sample_clustered, sample_uniform};
     pub use laacad_region::{gallery, Region};
+    pub use laacad_scenario::{
+        run_campaign, run_scenario, CampaignSpec, ParamGrid, ResultStore, ScenarioOutcome,
+        ScenarioSpec,
+    };
     pub use laacad_viz::{DeploymentPlot, LineChart};
     pub use laacad_wsn::{Network, NodeId};
 }

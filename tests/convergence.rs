@@ -142,5 +142,8 @@ fn movement_energy_decreases_with_alpha() {
         "α=0.25 should need more rounds ({rounds_small} vs {rounds_big})"
     );
     // Total travel should be within 2× of each other (same destination).
-    assert!(dist_small < 2.0 * dist_big + 1.0, "{dist_small} vs {dist_big}");
+    assert!(
+        dist_small < 2.0 * dist_big + 1.0,
+        "{dist_small} vs {dist_big}"
+    );
 }

@@ -88,7 +88,11 @@ fn sequential_schedule_full_pipeline() {
     sim.run();
     let report = evaluate_coverage(sim.network(), &region, 2, 10_000);
     assert!(report.covered_fraction > 0.995, "{report}");
-    assert!(sim.network().positions().iter().all(|&p| region.contains(p)));
+    assert!(sim
+        .network()
+        .positions()
+        .iter()
+        .all(|&p| region.contains(p)));
 }
 
 #[test]

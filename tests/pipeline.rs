@@ -19,8 +19,7 @@ fn square_region_k1_through_k3() {
     for k in 1..=3usize {
         let n = 12 * k + 8;
         let initial = sample_uniform(&region, n, 100 + k as u64);
-        let mut sim =
-            Laacad::new(standard_config(k, n, 1.0), region.clone(), initial).unwrap();
+        let mut sim = Laacad::new(standard_config(k, n, 1.0), region.clone(), initial).unwrap();
         let summary = sim.run();
         let report = evaluate_coverage(sim.network(), &region, k, 10_000);
         assert!(
@@ -108,11 +107,9 @@ fn final_r_star_matches_prop2_optimal_assignment() {
     for k in [1usize, 2, 3] {
         let n = 24;
         let initial = sample_uniform(&region, n, 60 + k as u64);
-        let mut sim =
-            Laacad::new(standard_config(k, n, 1.0), region.clone(), initial).unwrap();
+        let mut sim = Laacad::new(standard_config(k, n, 1.0), region.clone(), initial).unwrap();
         let summary = sim.run();
-        let bound =
-            laacad_coverage::optimal_range_bound(sim.network(), &region, k, 40_000);
+        let bound = laacad_coverage::optimal_range_bound(sim.network(), &region, k, 40_000);
         // The grid bound slightly underestimates (it can miss the exact
         // farthest vertex); R* may not be smaller, and must be within
         // grid resolution above.
@@ -150,8 +147,7 @@ fn runs_are_deterministic_under_fixed_seed() {
     let region = Region::square(1.0).unwrap();
     let run = || {
         let initial = sample_uniform(&region, 20, 77);
-        let mut sim =
-            Laacad::new(standard_config(2, 20, 1.0), region.clone(), initial).unwrap();
+        let mut sim = Laacad::new(standard_config(2, 20, 1.0), region.clone(), initial).unwrap();
         let summary = sim.run();
         let positions: Vec<Point> = sim.network().positions().to_vec();
         (summary, positions)
