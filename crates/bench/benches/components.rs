@@ -42,8 +42,8 @@ fn bench_ring_search(c: &mut Criterion) {
     for k in [1usize, 2, 4] {
         let pts = point_cloud(100, 11);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let mut net = Network::from_positions(0.2, pts.iter().copied());
-            b.iter(|| expanding_ring_search(&mut net, NodeId(50), &region, black_box(k), 3.0))
+            let net = Network::from_positions(0.2, pts.iter().copied());
+            b.iter(|| expanding_ring_search(&net, NodeId(50), &region, black_box(k), 3.0))
         });
     }
     group.finish();

@@ -37,8 +37,8 @@ fn fig2_ring(c: &mut Criterion) {
     let center = central_node(&sites, &region).unwrap();
     for k in [1usize, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let mut net = Network::from_positions(0.3, sites.iter().copied());
-            b.iter(|| expanding_ring_search(&mut net, NodeId(center), &region, black_box(k), 4.0))
+            let net = Network::from_positions(0.3, sites.iter().copied());
+            b.iter(|| expanding_ring_search(&net, NodeId(center), &region, black_box(k), 4.0))
         });
     }
     group.finish();

@@ -1,0 +1,110 @@
+//! End-to-end round-engine benchmark: one synchronous LAACAD round at
+//! N ∈ {1 000, 4 000, 10 000}, k ∈ {1, 3}, serial vs parallel.
+//!
+//! Custom harness (not Criterion): a single round at N = 10⁴ is seconds,
+//! not microseconds, and the result must land in a machine-readable
+//! `BENCH_round_engine.json` at the workspace root to seed the perf
+//! trajectory. `PRE_PR_SERIAL_SECONDS` records the engine *before* the
+//! parallel/incremental rewrite (measured on the same single-core dev
+//! container the committed JSON was produced on); rerunning on other
+//! hardware refreshes the current-engine numbers but keeps that
+//! reference labeled with its origin.
+
+use laacad::{Laacad, LaacadConfig};
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+use std::time::Instant;
+
+/// Serial round times of the pre-rewrite engine (fresh BFS per ring
+/// expansion, `vec![usize::MAX; N]` per query, recursive subdivision),
+/// measured on the reference container before the rewrite landed.
+const PRE_PR_SERIAL_SECONDS: &[(usize, usize, f64)] = &[
+    (1_000, 1, 0.223),
+    (1_000, 3, 0.465),
+    (4_000, 1, 0.829),
+    (4_000, 3, 2.116),
+    (10_000, 1, 2.367),
+    (10_000, 3, 5.637),
+];
+
+const PRE_PR_REFERENCE_HOST: &str = "1-core dev container, 2026-07-29";
+
+fn build(n: usize, k: usize, threads: usize) -> Laacad {
+    let region = Region::square(1.0).expect("unit square");
+    let config = LaacadConfig::builder(k)
+        .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+        .alpha(0.6)
+        .epsilon(2e-3)
+        .max_rounds(1)
+        .threads(threads)
+        .build()
+        .expect("valid config");
+    let initial = sample_uniform(&region, n, 42);
+    Laacad::new(config, region, initial).expect("valid deployment")
+}
+
+/// Times one `step()` (best of `reps` fresh simulations; construction
+/// and spatial-index build are excluded).
+fn time_round(n: usize, k: usize, threads: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut sim = build(n, k, threads);
+        let t = Instant::now();
+        let report = sim.step();
+        let dt = t.elapsed().as_secs_f64();
+        assert!(report.nodes_moved > 0, "a fresh deployment must move");
+        best = best.min(dt);
+    }
+    best
+}
+
+fn main() {
+    // `cargo bench -- --quick` style filtering is not needed; this bench
+    // always runs the full grid.
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for &(n, k, pre_pr) in PRE_PR_SERIAL_SECONDS {
+        let reps = if n <= 1_000 { 3 } else { 1 };
+        let serial = time_round(n, k, 1, reps);
+        let parallel = time_round(n, k, 0, reps);
+        eprintln!(
+            "round_engine N={n} k={k}: serial {serial:.3}s, parallel({workers}) {parallel:.3}s, \
+             pre-PR reference {pre_pr:.3}s"
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"n\": {}, \"k\": {}, \"serial_seconds\": {:.6}, ",
+                "\"parallel_seconds\": {:.6}, ",
+                "\"pre_pr_serial_seconds_reference\": {:.6}, ",
+                "\"speedup_serial_vs_pre_pr\": {:.2}, ",
+                "\"speedup_parallel_vs_pre_pr\": {:.2}}}"
+            ),
+            n,
+            k,
+            serial,
+            parallel,
+            pre_pr,
+            pre_pr / serial,
+            pre_pr / parallel,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"round_engine\",\n",
+            "  \"description\": \"one synchronous LAACAD round (Phase 1 local views + Phase 2 moves)\",\n",
+            "  \"parallel_workers\": {},\n",
+            "  \"pre_pr_reference_host\": \"{}\",\n",
+            "  \"rounds\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        workers,
+        PRE_PR_REFERENCE_HOST,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_round_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_round_engine.json");
+    eprintln!("wrote {path}");
+}

@@ -82,6 +82,12 @@ pub struct LaacadConfig {
     pub snapshot_every: Option<usize>,
     /// Seed for ranging-noise simulation.
     pub seed: u64,
+    /// Worker threads for the synchronous round engine (`0` = all cores,
+    /// `1` = serial — the default). Every node's local view is a pure
+    /// function of the round's shared position snapshot, so results are
+    /// bit-identical for every thread count; sequential (Gauss–Seidel)
+    /// execution is inherently serial and ignores this knob.
+    pub threads: usize,
 }
 
 impl LaacadConfig {
@@ -120,6 +126,7 @@ impl LaacadConfig {
                 execution: ExecutionMode::Synchronous,
                 snapshot_every: None,
                 seed: 0x1AACAD,
+                threads: 1,
             },
         }
     }
@@ -216,6 +223,13 @@ impl LaacadConfigBuilder {
         self
     }
 
+    /// Sets the synchronous-round worker count (`0` = all cores, `1` =
+    /// serial). Results are identical for every value.
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -258,9 +272,11 @@ mod tests {
             .execution(ExecutionMode::Sequential)
             .snapshot_every(10)
             .seed(7)
+            .threads(4)
             .build()
             .unwrap();
         assert_eq!(c.alpha, 1.0);
+        assert_eq!(c.threads, 4);
         assert_eq!(c.max_rho, Some(3.0));
         assert_eq!(c.ring_cap, RingCapPolicy::AlwaysCap);
         assert_eq!(c.cap_vertices, 32);

@@ -49,11 +49,13 @@ pub mod localview;
 pub mod minnode;
 pub mod ring;
 pub mod runner;
+pub mod scratch;
 
 pub use config::{CoordinateMode, ExecutionMode, LaacadConfig, LaacadConfigBuilder, RingCapPolicy};
 pub use error::LaacadError;
 pub use history::{History, RoundReport, RunSummary};
 pub use hooks::{EventOutcome, HookAction, NetworkEvent, RoundHook};
 pub use minnode::{min_node_deployment, MinNodeResult};
-pub use ring::{expanding_ring_search, RingOutcome};
+pub use ring::{expanding_ring_search, expanding_ring_search_scratched, RingOutcome};
 pub use runner::Laacad;
+pub use scratch::RoundScratch;

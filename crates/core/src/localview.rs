@@ -5,12 +5,13 @@
 //! and the chosen coordinate mode.
 
 use crate::config::{CoordinateMode, LaacadConfig, RingCapPolicy};
-use crate::ring::{expanding_ring_search, RingOutcome};
+use crate::ring::{expanding_ring_search_scratched, RingOutcome};
+use crate::scratch::RoundScratch;
 use laacad_geom::{Circle, Point, Polygon};
 use laacad_region::Region;
-use laacad_voronoi::dominating::{dominating_region, DominatingRegion};
+use laacad_voronoi::dominating::{dominating_region_scratched, DominatingRegion};
 use laacad_wsn::localize::LocalFrame;
-use laacad_wsn::{Network, NodeId};
+use laacad_wsn::{Adjacency, Network, NodeId};
 
 /// Everything a node derives about itself in one round.
 #[derive(Debug, Clone)]
@@ -48,30 +49,64 @@ fn cap_polygon(center: Point, radius: f64, vertices: usize) -> Polygon {
 }
 
 /// Computes the local view of `id` under `config`.
+///
+/// Pure read: the network is the shared position snapshot of the round,
+/// which is what lets the synchronous engine evaluate all `N` views
+/// concurrently. This convenience form allocates fresh buffers; the
+/// round engine threads a per-worker [`RoundScratch`] through
+/// [`compute_local_view_scratched`] instead.
 pub fn compute_local_view(
-    net: &mut Network,
+    net: &Network,
     id: NodeId,
     area: &Region,
     config: &LaacadConfig,
     round: usize,
 ) -> LocalView {
-    let max_rho = config.max_rho.unwrap_or(2.0 * area.diameter_bound());
-    let ring = expanding_ring_search(net, id, area, config.k, max_rho);
+    compute_local_view_scratched(net, None, id, area, config, round, &mut RoundScratch::new())
+}
 
-    // Candidate coordinates per the configured mode.
+/// [`compute_local_view`] with reusable per-worker buffers, optionally
+/// against a prebuilt one-hop [`Adjacency`] snapshot of `net` (the
+/// synchronous engine builds one per round and shares it across
+/// workers; pass `None` whenever positions may have changed since the
+/// snapshot, as in sequential mode).
+#[allow(clippy::too_many_arguments)]
+pub fn compute_local_view_scratched(
+    net: &Network,
+    adjacency: Option<&Adjacency>,
+    id: NodeId,
+    area: &Region,
+    config: &LaacadConfig,
+    round: usize,
+    scratch: &mut RoundScratch,
+) -> LocalView {
+    let max_rho = config.max_rho.unwrap_or(2.0 * area.diameter_bound());
+    let ring = expanding_ring_search_scratched(
+        net,
+        adjacency,
+        id,
+        area,
+        config.k,
+        max_rho,
+        &mut scratch.ring,
+        &mut scratch.competitors,
+    );
+
+    // Candidate coordinates per the configured mode, assembled directly
+    // into the reusable site buffer with the node itself at index 0.
     let true_self = net.position(id);
-    let (self_est, candidate_positions, rmse) = match config.coordinates {
-        CoordinateMode::Oracle => (
-            true_self,
-            ring.candidates
-                .iter()
-                .map(|&m| net.position(m))
-                .collect::<Vec<_>>(),
-            0.0,
-        ),
+    let mut rmse = 0.0;
+    scratch.sites.clear();
+    match config.coordinates {
+        CoordinateMode::Oracle => {
+            scratch.sites.push(true_self);
+            scratch
+                .sites
+                .extend(ring.candidates.iter().map(|&m| net.position(m)));
+        }
         CoordinateMode::Ranging(noise) => {
             if ring.candidates.is_empty() {
-                (true_self, Vec::new(), 0.0)
+                scratch.sites.push(true_self);
             } else {
                 let mut members = Vec::with_capacity(ring.candidates.len() + 1);
                 members.push(id);
@@ -85,29 +120,24 @@ pub fn compute_local_view(
                     .wrapping_add(round as u64);
                 match LocalFrame::build(&members, &truth, &noise, seed) {
                     Ok(frame) => {
-                        let est: Vec<Point> = frame
-                            .local_positions()
-                            .iter()
-                            .map(|&p| frame.to_world(p))
-                            .collect();
-                        (est[0], est[1..].to_vec(), frame.alignment_rmse())
+                        scratch
+                            .sites
+                            .extend(frame.local_positions().iter().map(|&p| frame.to_world(p)));
+                        rmse = frame.alignment_rmse();
                     }
                     // Degenerate neighborhoods (all co-located) fall back
                     // to oracle coordinates.
-                    Err(_) => (
-                        true_self,
-                        ring.candidates.iter().map(|&m| net.position(m)).collect(),
-                        0.0,
-                    ),
+                    Err(_) => {
+                        scratch.sites.push(true_self);
+                        scratch
+                            .sites
+                            .extend(ring.candidates.iter().map(|&m| net.position(m)));
+                    }
                 }
             }
         }
-    };
-
-    // Assemble sites with the node itself at index 0.
-    let mut sites = Vec::with_capacity(candidate_positions.len() + 1);
-    sites.push(self_est);
-    sites.extend(candidate_positions);
+    }
+    let self_est = scratch.sites[0];
 
     // Ring-cap policy.
     let apply_cap = match config.ring_cap {
@@ -116,7 +146,7 @@ pub fn compute_local_view(
     };
     let cap = apply_cap.then(|| cap_polygon(self_est, ring.rho / 2.0, config.cap_vertices));
 
-    let mut region = DominatingRegion::default();
+    let mut pieces = Vec::new();
     for piece in area.convex_pieces() {
         let domain = match &cap {
             Some(cap_poly) => match piece.clip_convex(cap_poly) {
@@ -125,8 +155,16 @@ pub fn compute_local_view(
             },
             None => piece.clone(),
         };
-        region.extend(dominating_region(0, &sites, config.k, &domain));
+        dominating_region_scratched(
+            0,
+            &scratch.sites,
+            config.k,
+            &domain,
+            &mut scratch.subdivision,
+            &mut pieces,
+        );
     }
+    let region = DominatingRegion::from_pieces(pieces);
     let chebyshev = region.chebyshev_disk();
     LocalView {
         ring,
@@ -161,9 +199,9 @@ mod tests {
     #[test]
     fn interior_node_gets_nonempty_region_with_center_inside() {
         let area = Region::square(1.0).unwrap();
-        let mut net = grid_net(11, 0.1, 0.15);
+        let net = grid_net(11, 0.1, 0.15);
         for k in 1..=3usize {
-            let view = compute_local_view(&mut net, NodeId(60), &area, &cfg(k), 0);
+            let view = compute_local_view(&net, NodeId(60), &area, &cfg(k), 0);
             assert!(!view.region.is_empty(), "k={k}");
             assert!(view.region.contains(net.position(NodeId(60))), "k={k}");
             let disk = view.chebyshev.expect("non-empty region has a disk");
@@ -176,10 +214,10 @@ mod tests {
         // Lemma 1 in action: the ring-restricted candidate set yields the
         // same dominating region as using every node in the network.
         let area = Region::square(1.0).unwrap();
-        let mut net = grid_net(11, 0.1, 0.15);
+        let net = grid_net(11, 0.1, 0.15);
         let id = NodeId(60);
         for k in 1..=4usize {
-            let view = compute_local_view(&mut net, id, &area, &cfg(k), 0);
+            let view = compute_local_view(&net, id, &area, &cfg(k), 0);
             // Global computation.
             let all: Vec<Point> = net.positions().to_vec();
             let mut reordered = vec![all[id.index()]];
@@ -208,7 +246,7 @@ mod tests {
         // Sparse cluster in a big area: the saturated boundary node's
         // region extends to the area boundary (natural-boundary policy).
         let area = Region::square(2.0).unwrap();
-        let mut net = Network::from_positions(
+        let net = Network::from_positions(
             0.3,
             [
                 Point::new(0.2, 0.2),
@@ -216,14 +254,14 @@ mod tests {
                 Point::new(0.3, 0.4),
             ],
         );
-        let view = compute_local_view(&mut net, NodeId(0), &area, &cfg(1), 0);
+        let view = compute_local_view(&net, NodeId(0), &area, &cfg(1), 0);
         assert!(view.ring.saturated);
         // Some part of the area far from the cluster belongs to node 0's
         // order-1 region? Not necessarily node 0's — but the three regions
         // together must tile the area. Check the union property instead:
         let mut total = view.region.area();
         for i in 1..3 {
-            total += compute_local_view(&mut net, NodeId(i), &area, &cfg(1), 0)
+            total += compute_local_view(&net, NodeId(i), &area, &cfg(1), 0)
                 .region
                 .area();
         }
@@ -245,10 +283,10 @@ mod tests {
         };
         let mut cfg_cap = cfg(1);
         cfg_cap.ring_cap = RingCapPolicy::AlwaysCap;
-        let mut net = make_net();
-        let capped = compute_local_view(&mut net, NodeId(0), &area, &cfg_cap, 0);
-        let mut net2 = make_net();
-        let uncapped = compute_local_view(&mut net2, NodeId(0), &area, &cfg(1), 0);
+        let net = make_net();
+        let capped = compute_local_view(&net, NodeId(0), &area, &cfg_cap, 0);
+        let net2 = make_net();
+        let uncapped = compute_local_view(&net2, NodeId(0), &area, &cfg(1), 0);
         assert!(capped.region.area() <= uncapped.region.area() + 1e-9);
         // The cap really bites for this sparse scenario.
         assert!(capped.region.area() < area.area() / 2.0);
@@ -257,12 +295,12 @@ mod tests {
     #[test]
     fn ranging_mode_approximates_oracle() {
         let area = Region::square(1.0).unwrap();
-        let mut net = grid_net(11, 0.1, 0.15);
+        let net = grid_net(11, 0.1, 0.15);
         let id = NodeId(60);
-        let oracle = compute_local_view(&mut net, id, &area, &cfg(2), 0);
+        let oracle = compute_local_view(&net, id, &area, &cfg(2), 0);
         let mut cfg_rng = cfg(2);
         cfg_rng.coordinates = CoordinateMode::Ranging(RangingNoise::new(0.01, 0.0));
-        let ranged = compute_local_view(&mut net, id, &area, &cfg_rng, 0);
+        let ranged = compute_local_view(&net, id, &area, &cfg_rng, 0);
         assert!(ranged.localization_rmse > 0.0);
         assert!(ranged.localization_rmse < 0.05);
         let (oc, rc) = (oracle.chebyshev.unwrap(), ranged.chebyshev.unwrap());
@@ -277,12 +315,12 @@ mod tests {
     #[test]
     fn noiseless_ranging_matches_oracle_exactly() {
         let area = Region::square(1.0).unwrap();
-        let mut net = grid_net(7, 0.15, 0.2);
+        let net = grid_net(7, 0.15, 0.2);
         let id = NodeId(24); // center of the 7×7 grid
         let mut cfg_rng = cfg(2);
         cfg_rng.coordinates = CoordinateMode::Ranging(RangingNoise::NONE);
-        let oracle = compute_local_view(&mut net, id, &area, &cfg(2), 0);
-        let ranged = compute_local_view(&mut net, id, &area, &cfg_rng, 0);
+        let oracle = compute_local_view(&net, id, &area, &cfg(2), 0);
+        let ranged = compute_local_view(&net, id, &area, &cfg_rng, 0);
         assert!((oracle.region.area() - ranged.region.area()).abs() < 1e-6);
     }
 }

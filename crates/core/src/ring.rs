@@ -17,9 +17,9 @@
 use laacad_geom::{Arc, ArcCover, Circle, HalfPlane, Point};
 use laacad_region::arcs::arcs_inside_region;
 use laacad_region::Region;
-use laacad_wsn::multihop::ring_neighborhood;
+use laacad_wsn::multihop::{hop_budget, RingQuery, RingScratch, DEFAULT_HOP_SLACK};
 use laacad_wsn::radio::MessageStats;
-use laacad_wsn::{Network, NodeId};
+use laacad_wsn::{Adjacency, Network, NodeId};
 
 /// Result of the expanding-ring search for one node.
 #[derive(Debug, Clone)]
@@ -66,32 +66,72 @@ pub fn circle_dominated(
     cover.min_depth_on(&query) >= k
 }
 
-/// Runs the expanding-ring search (Algorithm 2) for `id`.
+/// Runs the expanding-ring search (Algorithm 2) for `id` with one-shot
+/// scratch buffers — see [`expanding_ring_search_scratched`] for the
+/// reusable-buffer form the round engine uses.
 ///
 /// `max_rho` bounds the search; pass the region diameter for the paper's
 /// semantics (the ring can always grow until the area boundary acts as
 /// the natural boundary).
 pub fn expanding_ring_search(
-    net: &mut Network,
+    net: &Network,
     id: NodeId,
     region: &Region,
     k: usize,
     max_rho: f64,
 ) -> RingOutcome {
+    let mut scratch = RingScratch::new();
+    let mut competitors = Vec::new();
+    expanding_ring_search_scratched(
+        net,
+        None,
+        id,
+        region,
+        k,
+        max_rho,
+        &mut scratch,
+        &mut competitors,
+    )
+}
+
+/// [`expanding_ring_search`] over caller-owned buffers, optionally
+/// against a prebuilt one-hop [`Adjacency`] snapshot of `net`.
+///
+/// The search is **incremental**: each `ρ += γ` expansion resumes the
+/// multi-hop BFS frontier where the previous one stopped
+/// ([`RingQuery`]), instead of re-flooding from the center. Members,
+/// final `ρ`, and the per-expansion [`MessageStats`] are identical to
+/// the from-scratch formulation — the message accounting still charges
+/// every expansion as a full re-flood, which is what the radio would do.
+#[allow(clippy::too_many_arguments)]
+pub fn expanding_ring_search_scratched(
+    net: &Network,
+    adjacency: Option<&Adjacency>,
+    id: NodeId,
+    region: &Region,
+    k: usize,
+    max_rho: f64,
+    scratch: &mut RingScratch,
+    competitors: &mut Vec<Point>,
+) -> RingOutcome {
     let gamma = net.gamma();
     let center = net.position(id);
     let mut rho = 0.0;
     let mut messages = MessageStats::default();
-    let mut last_members: Vec<NodeId> = Vec::new();
+    let mut query = match adjacency {
+        Some(adj) => RingQuery::begin_indexed(net, adj, id, scratch),
+        None => RingQuery::begin(net, id, scratch),
+    };
     loop {
         rho += gamma;
-        let ring = ring_neighborhood(net, id, rho);
-        messages.absorb(ring.messages);
+        let step = query.collect(rho, hop_budget(rho, gamma, DEFAULT_HOP_SLACK));
+        messages.absorb(step.messages);
         let circle = Circle::new(center, rho / 2.0);
-        let competitors: Vec<Point> = ring.members.iter().map(|&m| net.position(m)).collect();
-        if circle_dominated(center, &competitors, &circle, region, k) {
+        competitors.clear();
+        competitors.extend(query.members().iter().map(|&m| net.position(NodeId(m))));
+        if circle_dominated(center, competitors, &circle, region, k) {
             return RingOutcome {
-                candidates: ring.members,
+                candidates: query.members_to_vec(),
                 rho,
                 dominated: true,
                 saturated: false,
@@ -101,24 +141,20 @@ pub fn expanding_ring_search(
         // Saturation: the ring already contains the node's whole connected
         // component *and* widening the Euclidean filter cannot add members
         // (everything reachable is inside the ring). Further expansion is
-        // futile — this is the boundary-node case.
-        let farthest = ring
-            .members
-            .iter()
-            .map(|&m| net.position(m).distance(center))
-            .fold(0.0, f64::max);
-        let same_as_before = ring.members == last_members;
-        let euclidean_slack = rho - farthest > gamma;
+        // futile — this is the boundary-node case. Membership is monotone
+        // under expansion, so "no new members" is the old full-comparison
+        // `members == last_members` check without the per-expansion clone.
+        let same_as_before = step.new_members == 0;
+        let euclidean_slack = rho - query.farthest_member_distance() > gamma;
         if (same_as_before && euclidean_slack) || rho >= max_rho {
             return RingOutcome {
-                candidates: ring.members,
+                candidates: query.members_to_vec(),
                 rho,
                 dominated: false,
                 saturated: true,
                 messages,
             };
         }
-        last_members = ring.members;
     }
 }
 
@@ -139,9 +175,9 @@ mod tests {
     fn interior_node_terminates_quickly_for_k1() {
         let region = Region::square(1.0).unwrap();
         // 11×11 grid with 0.1 spacing fills the unit square.
-        let mut net = dense_grid_network(0.1, 11, 0.15);
+        let net = dense_grid_network(0.1, 11, 0.15);
         // Center node (5,5) → id 5*11+5 = 60.
-        let out = expanding_ring_search(&mut net, NodeId(60), &region, 1, 3.0);
+        let out = expanding_ring_search(&net, NodeId(60), &region, 1, 3.0);
         assert!(out.dominated);
         assert!(!out.saturated);
         // k=1 needs only the immediate neighborhood: ρ ≤ a few γ.
@@ -152,9 +188,9 @@ mod tests {
     #[test]
     fn ring_grows_with_k() {
         let region = Region::square(1.0).unwrap();
-        let mut net = dense_grid_network(0.1, 11, 0.15);
+        let net = dense_grid_network(0.1, 11, 0.15);
         let rho_k: Vec<f64> = (1..=4)
-            .map(|k| expanding_ring_search(&mut net, NodeId(60), &region, k, 3.0).rho)
+            .map(|k| expanding_ring_search(&net, NodeId(60), &region, k, 3.0).rho)
             .collect();
         for w in rho_k.windows(2) {
             assert!(w[1] >= w[0], "ρ must not shrink with k: {rho_k:?}");
@@ -167,8 +203,8 @@ mod tests {
         // The corner node of a dense grid: out-of-area arcs are excluded
         // from the check (Fig. 3), so the ring closes.
         let region = Region::square(1.0).unwrap();
-        let mut net = dense_grid_network(0.1, 11, 0.15);
-        let out = expanding_ring_search(&mut net, NodeId(0), &region, 1, 3.0);
+        let net = dense_grid_network(0.1, 11, 0.15);
+        let out = expanding_ring_search(&net, NodeId(0), &region, 1, 3.0);
         assert!(
             out.dominated,
             "ρ = {}, saturated = {}",
@@ -181,7 +217,7 @@ mod tests {
         // Three nodes huddled in a corner of a large area: for k = 2 the
         // far side of the circle is never dominated → boundary case.
         let region = Region::square(10.0).unwrap();
-        let mut net = Network::from_positions(
+        let net = Network::from_positions(
             0.3,
             [
                 Point::new(0.2, 0.2),
@@ -189,7 +225,7 @@ mod tests {
                 Point::new(0.3, 0.4),
             ],
         );
-        let out = expanding_ring_search(&mut net, NodeId(0), &region, 2, 30.0);
+        let out = expanding_ring_search(&net, NodeId(0), &region, 2, 30.0);
         assert!(!out.dominated);
         assert!(out.saturated);
         assert_eq!(out.candidates.len(), 2);
@@ -198,8 +234,8 @@ mod tests {
     #[test]
     fn isolated_node_saturates_immediately() {
         let region = Region::square(1.0).unwrap();
-        let mut net = Network::from_positions(0.1, [Point::new(0.5, 0.5)]);
-        let out = expanding_ring_search(&mut net, NodeId(0), &region, 1, 5.0);
+        let net = Network::from_positions(0.1, [Point::new(0.5, 0.5)]);
+        let out = expanding_ring_search(&net, NodeId(0), &region, 1, 5.0);
         assert!(!out.dominated);
         assert!(out.saturated);
         assert!(out.candidates.is_empty());

@@ -9,12 +9,14 @@ use crate::config::LaacadConfig;
 use crate::error::LaacadError;
 use crate::history::{History, RoundReport, RunSummary};
 use crate::hooks::{EventOutcome, HookAction, NetworkEvent, RoundHook};
-use crate::localview::compute_local_view;
+use crate::localview::compute_local_view_scratched;
+use crate::scratch::RoundScratch;
+use laacad_exec::{parallel_map_scratched, resolve_workers};
 use laacad_geom::Point;
 use laacad_region::Region;
 use laacad_wsn::mobility::step_toward;
 use laacad_wsn::radio::MessageStats;
-use laacad_wsn::{Network, NodeId};
+use laacad_wsn::{Adjacency, Network, NodeId};
 
 /// A LAACAD deployment simulation.
 ///
@@ -42,6 +44,23 @@ pub struct Laacad {
     history: History,
     round: usize,
     converged: bool,
+    /// One [`RoundScratch`] per worker, reused across rounds.
+    scratches: Vec<RoundScratch>,
+    /// Per-round one-hop snapshot shared by every worker (synchronous
+    /// mode), rebuilt in place each round.
+    adjacency: Adjacency,
+}
+
+/// What one node decides from its local view — the pure per-node output
+/// of Phase 1, applied to the network afterwards in id order.
+struct NodeDecision {
+    /// Motion target when `‖u_i − c_i‖ > ε`.
+    target: Option<Point>,
+    /// `(circumradius R_i, reach r_i, displacement ‖u_i − c_i‖)` when the
+    /// node has a non-empty dominating region.
+    disk: Option<(f64, f64, f64)>,
+    /// Ring-search messages.
+    messages: MessageStats,
 }
 
 impl Laacad {
@@ -74,6 +93,8 @@ impl Laacad {
             history: History::default(),
             round: 0,
             converged: false,
+            scratches: Vec::new(),
+            adjacency: Adjacency::default(),
         };
         if sim.config.snapshot_every.is_some() {
             sim.history.push_snapshot(0, sim.net.positions().to_vec());
@@ -111,13 +132,72 @@ impl Laacad {
         self.converged
     }
 
+    /// The worker count for shared-snapshot phases, per the `threads`
+    /// knob (Gauss–Seidel execution is serial by definition).
+    fn workers(&self) -> usize {
+        if self.config.execution == crate::ExecutionMode::Sequential {
+            1
+        } else {
+            resolve_workers(self.config.threads, self.net.len())
+        }
+    }
+
+    /// Sizes the per-worker scratch pool.
+    fn ensure_scratches(&mut self, workers: usize) {
+        if self.scratches.len() < workers {
+            self.scratches.resize_with(workers, RoundScratch::new);
+        }
+        self.scratches.truncate(workers.max(1));
+    }
+
+    /// Computes every node's [`NodeDecision`] from the current position
+    /// snapshot — Phase 1 of a synchronous round, fanned out over the
+    /// scratch pool's workers. Pure per node, so the result is identical
+    /// for every worker count.
+    fn decide_all(&mut self) -> Vec<NodeDecision> {
+        self.adjacency.rebuild(&self.net);
+        let (net, region, config) = (&self.net, &self.region, &self.config);
+        let (round, adjacency) = (self.round, &self.adjacency);
+        parallel_map_scratched(&mut self.scratches, net.len(), |scratch, i| {
+            let id = NodeId(i);
+            let view = compute_local_view_scratched(
+                net,
+                Some(adjacency),
+                id,
+                region,
+                config,
+                round,
+                scratch,
+            );
+            let u = net.position(id);
+            match view.chebyshev {
+                Some(disk) => {
+                    // The node's reach doubles as its working sensing
+                    // range (coverage monitoring mid-run) — computed once.
+                    let reach = view.region.farthest_distance(u);
+                    let d = u.distance(disk.center);
+                    NodeDecision {
+                        target: (d > config.epsilon).then_some(disk.center),
+                        disk: Some((disk.radius, reach, d)),
+                        messages: view.ring.messages,
+                    }
+                }
+                None => NodeDecision {
+                    target: None,
+                    disk: None,
+                    messages: view.ring.messages,
+                },
+            }
+        })
+    }
+
     /// Executes one round of Algorithm 1 and records it.
     ///
     /// Under [`ExecutionMode::Synchronous`] every node computes on the
-    /// same snapshot, then all move (Jacobi); under
-    /// [`ExecutionMode::Sequential`] each node moves immediately after
-    /// computing (Gauss–Seidel), which models unsynchronized periodic
-    /// execution.
+    /// same snapshot — fanned out across `config.threads` workers — then
+    /// all move (Jacobi); under [`ExecutionMode::Sequential`] each node
+    /// moves immediately after computing (Gauss–Seidel), which models
+    /// unsynchronized periodic execution and is serial by definition.
     ///
     /// [`ExecutionMode::Synchronous`]: crate::ExecutionMode::Synchronous
     /// [`ExecutionMode::Sequential`]: crate::ExecutionMode::Sequential
@@ -125,29 +205,39 @@ impl Laacad {
         self.round += 1;
         let n = self.net.len();
         let sequential = self.config.execution == crate::ExecutionMode::Sequential;
-        let mut targets: Vec<Option<Point>> = vec![None; n];
         let mut max_circumradius: f64 = 0.0;
         let mut min_circumradius = f64::INFINITY;
         let mut max_reach: f64 = 0.0;
         let mut max_disp: f64 = 0.0;
         let mut messages = MessageStats::default();
         let mut nodes_moved = 0;
-        // Phase 1: every node computes its view (and, in sequential mode,
-        // acts on it immediately).
-        for (i, target) in targets.iter_mut().enumerate() {
-            let id = NodeId(i);
-            let view =
-                compute_local_view(&mut self.net, id, &self.region, &self.config, self.round);
-            messages.absorb(view.ring.messages);
-            let u = self.net.position(id);
-            if let Some(disk) = view.chebyshev {
-                max_circumradius = max_circumradius.max(disk.radius);
-                min_circumradius = min_circumradius.min(disk.radius);
-                max_reach = max_reach.max(view.region.farthest_distance(u));
-                let d = u.distance(disk.center);
-                max_disp = max_disp.max(d);
-                if d > self.config.epsilon {
-                    if sequential {
+        self.ensure_scratches(self.workers());
+        if sequential {
+            // Gauss–Seidel: each node computes against the live network
+            // (seeing its predecessors' fresh positions) and acts
+            // immediately.
+            for i in 0..n {
+                let id = NodeId(i);
+                // No adjacency snapshot: predecessors have already moved.
+                let view = compute_local_view_scratched(
+                    &self.net,
+                    None,
+                    id,
+                    &self.region,
+                    &self.config,
+                    self.round,
+                    &mut self.scratches[0],
+                );
+                messages.absorb(view.ring.messages);
+                let u = self.net.position(id);
+                if let Some(disk) = view.chebyshev {
+                    let reach = view.region.farthest_distance(u);
+                    max_circumradius = max_circumradius.max(disk.radius);
+                    min_circumradius = min_circumradius.min(disk.radius);
+                    max_reach = max_reach.max(reach);
+                    let d = u.distance(disk.center);
+                    max_disp = max_disp.max(d);
+                    if d > self.config.epsilon {
                         step_toward(
                             &mut self.net,
                             id,
@@ -156,20 +246,30 @@ impl Laacad {
                             Some(&self.region),
                         );
                         nodes_moved += 1;
-                    } else {
-                        *target = Some(disk.center);
                     }
+                    // Keep the node's sensing range able to cover its
+                    // current responsibility.
+                    self.net.set_sensing_radius(id, reach);
                 }
-                // Keep the node's sensing range able to cover its current
-                // responsibility (used by coverage monitoring mid-run).
-                let r = view.region.farthest_distance(u);
-                self.net.set_sensing_radius(id, r);
             }
-        }
-        // Phase 2 (synchronous only): all nodes move together.
-        if !sequential {
-            for (i, target) in targets.iter().enumerate() {
-                if let Some(c) = *target {
+        } else {
+            // Phase 1 (synchronous): every node decides from the same
+            // position snapshot, in parallel.
+            let decisions = self.decide_all();
+            // Reduce stats and apply sensing ranges in id order, then
+            // Phase 2: all nodes move together.
+            for (i, decision) in decisions.iter().enumerate() {
+                messages.absorb(decision.messages);
+                if let Some((radius, reach, d)) = decision.disk {
+                    max_circumradius = max_circumradius.max(radius);
+                    min_circumradius = min_circumradius.min(radius);
+                    max_reach = max_reach.max(reach);
+                    max_disp = max_disp.max(d);
+                    self.net.set_sensing_radius(NodeId(i), reach);
+                }
+            }
+            for (i, decision) in decisions.iter().enumerate() {
+                if let Some(c) = decision.target {
                     step_toward(
                         &mut self.net,
                         NodeId(i),
@@ -331,15 +431,28 @@ impl Laacad {
 
     /// Recomputes every node's dominating region at the final positions
     /// and tunes sensing ranges to the minimum covering value
-    /// (`r*_i = max_{u ∈ V^k_i} ‖u − u_i‖`).
+    /// (`r*_i = max_{u ∈ V^k_i} ‖u − u_i‖`). Positions are fixed here,
+    /// so the per-node computation fans out like a synchronous Phase 1.
     pub fn finalize(&mut self) {
-        let n = self.net.len();
-        for i in 0..n {
+        self.ensure_scratches(self.workers());
+        self.adjacency.rebuild(&self.net);
+        let (net, region, config) = (&self.net, &self.region, &self.config);
+        let (round, adjacency) = (self.round, &self.adjacency);
+        let radii = parallel_map_scratched(&mut self.scratches, net.len(), |scratch, i| {
             let id = NodeId(i);
-            let view =
-                compute_local_view(&mut self.net, id, &self.region, &self.config, self.round);
-            let r = view.region.farthest_distance(self.net.position(id));
-            self.net.set_sensing_radius(id, r);
+            let view = compute_local_view_scratched(
+                net,
+                Some(adjacency),
+                id,
+                region,
+                config,
+                round,
+                scratch,
+            );
+            view.region.farthest_distance(net.position(id))
+        });
+        for (i, r) in radii.into_iter().enumerate() {
+            self.net.set_sensing_radius(NodeId(i), r);
         }
         if self.config.snapshot_every.is_some() {
             self.history

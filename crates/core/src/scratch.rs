@@ -1,0 +1,33 @@
+//! Per-worker scratch for the round engine.
+//!
+//! One LAACAD round issues `N` local-view computations, each of which
+//! runs an expanding-ring BFS and a bisector subdivision. All of the
+//! buffers those need — the epoch-stamped BFS arrays, competitor and
+//! site vectors, the subdivision worklist — live here, so a worker
+//! allocates once and then computes views allocation-free for the rest
+//! of the run. The synchronous engine keeps one [`RoundScratch`] per
+//! worker thread; the sequential engine keeps a single one.
+
+use laacad_geom::Point;
+use laacad_voronoi::dominating::SubdivisionScratch;
+use laacad_wsn::multihop::RingScratch;
+
+/// Reusable buffers for one worker's local-view computations.
+#[derive(Debug, Clone, Default)]
+pub struct RoundScratch {
+    /// Incremental expanding-ring BFS state.
+    pub(crate) ring: RingScratch,
+    /// Competitor positions for the ρ/2-circle domination check.
+    pub(crate) competitors: Vec<Point>,
+    /// Site list (self estimate + candidates) fed to the subdivision.
+    pub(crate) sites: Vec<Point>,
+    /// Bisector-subdivision worklist and competitor arena.
+    pub(crate) subdivision: SubdivisionScratch,
+}
+
+impl RoundScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

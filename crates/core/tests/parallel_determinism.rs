@@ -1,0 +1,73 @@
+//! The synchronous round engine must be bit-identical for every worker
+//! count: Phase 1 is a pure function of the round's position snapshot,
+//! so `threads ∈ {1, 2, 8}` may only change wall-clock, never history.
+
+use laacad::{Laacad, LaacadConfig, NetworkEvent};
+use laacad_geom::Point;
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+use laacad_wsn::NodeId;
+
+/// Runs a 500-node deployment with mid-run dynamic events (failures,
+/// insertion, a k change) and returns every observable artifact as a
+/// byte-comparable string: per-round reports, snapshots, final summary
+/// and final positions.
+fn run_fingerprint(threads: usize) -> String {
+    let region = Region::square(1.0).unwrap();
+    let n = 500;
+    let k = 2;
+    let config = LaacadConfig::builder(k)
+        .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+        .alpha(0.6)
+        .epsilon(2e-3)
+        .max_rounds(12)
+        .snapshot_every(3)
+        .threads(threads)
+        .build()
+        .unwrap();
+    let initial = sample_uniform(&region, n, 2024);
+    let mut sim = Laacad::new(config, region, initial).unwrap();
+    for _ in 0..4 {
+        sim.step();
+    }
+    sim.apply_event(NetworkEvent::FailNodes(
+        (0..40).map(|i| NodeId(i * 7)).collect(),
+    ))
+    .unwrap();
+    for _ in 0..2 {
+        sim.step();
+    }
+    sim.apply_event(NetworkEvent::InsertNodes(vec![
+        Point::new(0.51, 0.49),
+        Point::new(0.12, 0.88),
+        Point::new(0.9, 0.1),
+    ]))
+    .unwrap();
+    sim.apply_event(NetworkEvent::SetK(3)).unwrap();
+    let summary = sim.run();
+    format!(
+        "rounds={:?}\nsnapshots={:?}\nsummary={:?}\npositions={:?}\nradii={:?}",
+        sim.history().rounds(),
+        sim.history().snapshots(),
+        summary,
+        sim.network().positions(),
+        sim.network()
+            .nodes()
+            .iter()
+            .map(|nd| nd.sensing_radius())
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn histories_are_byte_identical_across_thread_counts() {
+    let serial = run_fingerprint(1);
+    assert!(serial.contains("rounds="));
+    for threads in [2usize, 8] {
+        let parallel = run_fingerprint(threads);
+        assert!(
+            serial == parallel,
+            "threads={threads} diverged from serial history"
+        );
+    }
+}

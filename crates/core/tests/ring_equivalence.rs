@@ -1,0 +1,93 @@
+//! Property test: the incremental expanding-ring search must report the
+//! same members, final ρ, termination flags and message accounting as
+//! the from-scratch formulation it replaced (a fresh multi-hop BFS per
+//! ρ += γ expansion).
+
+use laacad::ring::{circle_dominated, expanding_ring_search, RingOutcome};
+use laacad_geom::{Circle, Point};
+use laacad_region::Region;
+use laacad_wsn::multihop::ring_neighborhood;
+use laacad_wsn::radio::MessageStats;
+use laacad_wsn::{Network, NodeId};
+use proptest::prelude::*;
+
+/// The pre-incremental reference: restart the BFS from the center at
+/// every expansion (the engine's original implementation, verbatim).
+fn reference_search(
+    net: &Network,
+    id: NodeId,
+    region: &Region,
+    k: usize,
+    max_rho: f64,
+) -> RingOutcome {
+    let gamma = net.gamma();
+    let center = net.position(id);
+    let mut rho = 0.0;
+    let mut messages = MessageStats::default();
+    let mut last_members: Vec<NodeId> = Vec::new();
+    loop {
+        rho += gamma;
+        let ring = ring_neighborhood(net, id, rho);
+        messages.absorb(ring.messages);
+        let circle = Circle::new(center, rho / 2.0);
+        let competitors: Vec<Point> = ring.members.iter().map(|&m| net.position(m)).collect();
+        if circle_dominated(center, &competitors, &circle, region, k) {
+            return RingOutcome {
+                candidates: ring.members,
+                rho,
+                dominated: true,
+                saturated: false,
+                messages,
+            };
+        }
+        let farthest = ring
+            .members
+            .iter()
+            .map(|&m| net.position(m).distance(center))
+            .fold(0.0, f64::max);
+        let same_as_before = ring.members == last_members;
+        let euclidean_slack = rho - farthest > gamma;
+        if (same_as_before && euclidean_slack) || rho >= max_rho {
+            return RingOutcome {
+                candidates: ring.members,
+                rho,
+                dominated: false,
+                saturated: true,
+                messages,
+            };
+        }
+        last_members = ring.members;
+    }
+}
+
+fn points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y)),
+        min..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_search_equals_from_scratch_search(
+        pts in points(2, 60),
+        gamma in 0.08f64..0.4,
+        k in 1usize..5,
+        center in 0usize..60,
+    ) {
+        prop_assume!(center < pts.len());
+        let region = Region::square(1.0).unwrap();
+        let net = Network::from_positions(gamma, pts.iter().copied());
+        let id = NodeId(center);
+        let max_rho = 2.0 * region.diameter_bound();
+        let incremental = expanding_ring_search(&net, id, &region, k, max_rho);
+        let reference = reference_search(&net, id, &region, k, max_rho);
+        prop_assert_eq!(&incremental.candidates, &reference.candidates);
+        prop_assert_eq!(incremental.rho, reference.rho);
+        prop_assert_eq!(incremental.dominated, reference.dominated);
+        prop_assert_eq!(incremental.saturated, reference.saturated);
+        prop_assert_eq!(incremental.messages, reference.messages);
+    }
+}

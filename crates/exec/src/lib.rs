@@ -1,0 +1,229 @@
+//! # laacad-exec — the workspace's parallel substrate
+//!
+//! One work-stealing-free, dependency-free family of parallel maps built
+//! on `std::thread::scope`: workers claim input indices through an atomic
+//! counter, so results land in input order regardless of scheduling. This
+//! is the single parallel-execution path of the whole workspace — the
+//! synchronous LAACAD round engine (`laacad`), scenario campaigns
+//! (`laacad-scenario`) and experiment sweeps all route here.
+//!
+//! Three entry points, from most to least common:
+//!
+//! * [`parallel_map`] — map over owned inputs with one worker per core;
+//! * [`parallel_map_with`] — the same with an explicit worker count
+//!   (`0` = all cores), for callers that already parallelize at an outer
+//!   level and must bound nesting;
+//! * [`parallel_map_scratched`] — map over the index range `0..len` with
+//!   one caller-owned scratch value per worker, for hot loops whose
+//!   per-item work reuses large buffers (the round engine's
+//!   `RoundScratch`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a `threads` knob (`0` = auto) against the machine and an
+/// upper bound from the workload size.
+pub fn resolve_workers(threads: usize, len: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(4);
+    let chosen = if threads == 0 { hw } else { threads };
+    chosen.min(len).max(1)
+}
+
+/// Maps `f` over `inputs` in parallel, preserving input order.
+///
+/// Spawns up to `available_parallelism()` scoped threads (never more
+/// than there are inputs); with one input or one core it degrades to a
+/// plain sequential map. A panic in `f` propagates to the caller.
+///
+/// # Example
+///
+/// ```
+/// let squares = laacad_exec::parallel_map(vec![1, 2, 3], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(0, inputs, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (`0` = all cores).
+pub fn parallel_map_with<T, R, F>(threads: usize, inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = inputs.len();
+    let workers = resolve_workers(threads, n);
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let inputs: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("input mutex")
+                    .take()
+                    .expect("each index is claimed once");
+                let result = f(item);
+                *slots[i].lock().expect("slot mutex") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex")
+                .expect("every input produces a result")
+        })
+        .collect()
+}
+
+/// Maps `f` over the index range `0..len` with one scratch value per
+/// worker, preserving index order in the output.
+///
+/// `scratches` supplies the per-worker state: one worker is spawned per
+/// element (callers size it with [`resolve_workers`] and keep it across
+/// calls so buffers warm up once). With zero or one scratch the map runs
+/// sequentially on the caller's thread using `scratches[0]`.
+///
+/// Determinism: `f` receives only the claimed index and its worker's
+/// scratch, so as long as `f(_, i)` is a pure function of `i` (scratch
+/// used for buffers, not for cross-item state), the output is identical
+/// for every worker count and schedule.
+///
+/// # Panics
+///
+/// Panics when `len > 0` and `scratches` is empty, and propagates panics
+/// from `f`.
+pub fn parallel_map_scratched<S, R, F>(scratches: &mut [S], len: usize, f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    assert!(!scratches.is_empty(), "need at least one scratch value");
+    if scratches.len() == 1 {
+        let scratch = &mut scratches[0];
+        return (0..len).map(|i| f(scratch, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for scratch in scratches.iter_mut() {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let result = f(scratch, i);
+                *slots[i].lock().expect("slot mutex") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex")
+                .expect("every index produces a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..200).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..200).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<i32> = parallel_map(Vec::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7], |x: u32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn non_copy_payloads() {
+        let out = parallel_map(
+            vec!["a".to_string(), "bb".to_string(), "ccc".to_string()],
+            |s| s.len(),
+        );
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _ = parallel_map(vec![1, 2, 3], |x: i32| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let expect: Vec<i64> = (0..97).map(|x| x * x).collect();
+        for threads in [0usize, 1, 2, 3, 8] {
+            let got = parallel_map_with(threads, (0..97).collect(), |x: i64| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratched_map_is_order_and_threadcount_independent() {
+        let expect: Vec<usize> = (0..321).map(|i| i + 1000).collect();
+        for workers in [1usize, 2, 5, 8] {
+            let mut scratches = vec![0usize; workers];
+            let got = parallel_map_scratched(&mut scratches, 321, |s, i| {
+                *s += 1; // scratch mutation must not affect results
+                i + 1000
+            });
+            assert_eq!(got, expect, "workers = {workers}");
+            // Every item was processed exactly once across workers.
+            assert_eq!(scratches.iter().sum::<usize>(), 321);
+        }
+    }
+
+    #[test]
+    fn scratched_map_empty_len_is_fine_without_scratches() {
+        let out: Vec<u8> = parallel_map_scratched(&mut Vec::<u8>::new(), 0, |_, _| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resolve_workers_bounds() {
+        assert_eq!(resolve_workers(3, 100), 3);
+        assert_eq!(resolve_workers(8, 2), 2);
+        assert_eq!(resolve_workers(5, 0), 1);
+        assert!(resolve_workers(0, 1000) >= 1);
+    }
+}

@@ -30,8 +30,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Csv::with_header(&["k", "rho", "hops", "candidates"]);
     for k in 1..=12usize {
-        let mut net = Network::from_positions(gamma, sites.iter().copied());
-        let out = expanding_ring_search(&mut net, NodeId(center), &region, k, 8.0);
+        let net = Network::from_positions(gamma, sites.iter().copied());
+        let out = expanding_ring_search(&net, NodeId(center), &region, k, 8.0);
         assert!(out.dominated, "central node must be dominated for k={k}");
         let hops = (out.rho / gamma).round() as usize; // ρ is an exact multiple of γ
         rows.push(vec![

@@ -180,19 +180,6 @@ impl ArcCover {
         self.full_count + self.arcs.iter().filter(|a| a.contains(theta)).count()
     }
 
-    /// All arc endpoints, sorted, in `[0, 2π)`.
-    fn breakpoints(&self) -> Vec<f64> {
-        let mut bs: Vec<f64> = Vec::with_capacity(2 * self.arcs.len() + 1);
-        bs.push(0.0);
-        for a in &self.arcs {
-            bs.push(a.start());
-            bs.push(normalize_angle(a.end()));
-        }
-        bs.sort_by(f64::total_cmp);
-        bs.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
-        bs
-    }
-
     /// Exact minimum coverage depth over the whole circle.
     pub fn min_depth(&self) -> usize {
         self.extreme_depth_on(&[Arc::full()], true)
@@ -212,12 +199,32 @@ impl ArcCover {
         self.extreme_depth_on(query, true)
     }
 
+    /// Sweep-line extreme depth: depth is piecewise constant between arc
+    /// endpoints, so one pass over the sorted endpoint events suffices —
+    /// `O(M log M)` where the per-interval `depth_at` scan this replaced
+    /// was `O(M²)` (it dominated every ring-domination check).
     fn extreme_depth_on(&self, query: &[Arc], take_min: bool) -> usize {
         let queries: Vec<&Arc> = query.iter().filter(|a| a.span() > 0.0).collect();
         if queries.is_empty() {
             return if take_min { usize::MAX } else { 0 };
         }
-        let mut bs = self.breakpoints();
+        // Events: +1 where an arc begins, −1 just past its end; arcs that
+        // wrap past 2π already cover angle 0 and seed the running depth.
+        let mut events: Vec<(f64, i32)> = Vec::with_capacity(2 * self.arcs.len());
+        let mut depth = self.full_count as i64;
+        for a in &self.arcs {
+            let s = a.start();
+            let e = normalize_angle(a.end());
+            events.push((s, 1));
+            events.push((e, -1));
+            if e <= s {
+                depth += 1;
+            }
+        }
+        events.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let mut bs: Vec<f64> = Vec::with_capacity(events.len() + 2 * queries.len() + 1);
+        bs.push(0.0);
+        bs.extend(events.iter().map(|&(t, _)| t));
         for q in &queries {
             bs.push(q.start());
             bs.push(normalize_angle(q.end()));
@@ -226,8 +233,15 @@ impl ArcCover {
         bs.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
         let mut best: Option<usize> = None;
         let m = bs.len();
+        let mut next_event = 0;
         for i in 0..m {
             let a = bs[i];
+            // Apply every event at (or dedup-merged into) this breakpoint:
+            // the running depth then holds on the open interval after it.
+            while next_event < events.len() && events[next_event].0 <= a + 1e-15 {
+                depth += i64::from(events[next_event].1);
+                next_event += 1;
+            }
             let b = if i + 1 < m { bs[i + 1] } else { bs[0] + TAU };
             if b - a <= 1e-14 {
                 continue;
@@ -236,7 +250,7 @@ impl ArcCover {
             if !queries.iter().any(|q| q.contains(mid)) {
                 continue;
             }
-            let d = self.depth_at(mid);
+            let d = depth.max(0) as usize;
             best = Some(match best {
                 None => d,
                 Some(x) => {

@@ -1,69 +1,11 @@
 //! The campaign executor's parallel substrate.
 //!
-//! One work-stealing-free, dependency-free parallel map built on
-//! `std::thread::scope`: workers claim input indices through an atomic
-//! counter, so results land in input order regardless of scheduling.
-//! This is the single parallel-execution path of the whole workspace —
-//! `laacad-experiments` sweeps and scenario campaigns both route here.
+//! Re-exported from [`laacad_exec`], the workspace-wide parallel map
+//! (the synchronous round engine and experiment sweeps route through
+//! the same crate). Kept as a module so existing
+//! `laacad_scenario::exec::parallel_map` callers keep working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Maps `f` over `inputs` in parallel, preserving input order.
-///
-/// Spawns up to `available_parallelism()` scoped threads (never more
-/// than there are inputs); with one input or one core it degrades to a
-/// plain sequential map. A panic in `f` propagates to the caller.
-///
-/// # Example
-///
-/// ```
-/// let squares = laacad_scenario::exec::parallel_map(vec![1, 2, 3], |x| x * x);
-/// assert_eq!(squares, vec![1, 4, 9]);
-/// ```
-pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = inputs.len();
-    let workers = std::thread::available_parallelism()
-        .map(|w| w.get())
-        .unwrap_or(4)
-        .min(n);
-    if workers <= 1 {
-        return inputs.into_iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let inputs: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = inputs[i]
-                    .lock()
-                    .expect("input mutex")
-                    .take()
-                    .expect("each index is claimed once");
-                let result = f(item);
-                *slots[i].lock().expect("slot mutex") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot mutex")
-                .expect("every input produces a result")
-        })
-        .collect()
-}
+pub use laacad_exec::{parallel_map, parallel_map_with};
 
 #[cfg(test)]
 mod tests {
@@ -76,29 +18,8 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_singleton() {
-        let empty: Vec<i32> = parallel_map(Vec::new(), |x| x);
-        assert!(empty.is_empty());
-        assert_eq!(parallel_map(vec![7], |x: u32| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn non_copy_payloads() {
-        let out = parallel_map(
-            vec!["a".to_string(), "bb".to_string(), "ccc".to_string()],
-            |s| s.len(),
-        );
-        assert_eq!(out, vec![1, 2, 3]);
-    }
-
-    #[test]
-    #[should_panic]
-    fn worker_panics_propagate() {
-        let _ = parallel_map(vec![1, 2, 3], |x: i32| {
-            if x == 2 {
-                panic!("boom");
-            }
-            x
-        });
+    fn bounded_worker_count_matches() {
+        let out = parallel_map_with(2, vec![1u32, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
     }
 }

@@ -367,6 +367,11 @@ pub struct AlgorithmSpec {
     pub ring_cap: RingCapPolicy,
     /// Snapshot cadence (`None` disables snapshots).
     pub snapshot_every: Option<usize>,
+    /// Worker threads for the synchronous round engine (`Some(0)` = all
+    /// cores). `None` keeps the engine serial — campaigns already run
+    /// one cell per core, so per-cell parallelism would oversubscribe.
+    /// Results are bit-identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for AlgorithmSpec {
@@ -380,6 +385,7 @@ impl Default for AlgorithmSpec {
             execution: ExecutionMode::Synchronous,
             ring_cap: RingCapPolicy::Exact,
             snapshot_every: None,
+            threads: None,
         }
     }
 }
@@ -407,6 +413,9 @@ impl AlgorithmSpec {
             .seed(seed);
         if let Some(every) = self.snapshot_every {
             builder.snapshot_every(every);
+        }
+        if let Some(threads) = self.threads {
+            builder.threads(threads);
         }
         builder.build().map_err(|e| SpecError::Build(e.to_string()))
     }
@@ -450,6 +459,7 @@ impl AlgorithmSpec {
             execution,
             ring_cap,
             snapshot_every: decode::opt_usize(v, "snapshot_every", path)?,
+            threads: decode::opt_usize(v, "threads", path)?,
         })
     }
 
@@ -491,6 +501,9 @@ impl AlgorithmSpec {
         }
         if let Some(every) = self.snapshot_every {
             t.insert("snapshot_every", encode::int(every));
+        }
+        if let Some(threads) = self.threads {
+            t.insert("threads", encode::int(threads));
         }
         t
     }

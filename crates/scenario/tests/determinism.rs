@@ -70,6 +70,23 @@ fn same_campaign_same_bytes() {
 }
 
 #[test]
+fn engine_thread_count_never_changes_results() {
+    // The per-cell `threads` knob parallelizes the synchronous round
+    // engine itself; JSONL stores must stay byte-identical across it.
+    let campaign = CampaignSpec::from_toml(SPEC).expect("spec parses");
+    let serial = to_jsonl(&run_campaign(&campaign).expect("serial run"));
+    for threads in [0usize, 4] {
+        let mut parallel_campaign = campaign.clone();
+        parallel_campaign.scenario.laacad.threads = Some(threads);
+        let parallel = to_jsonl(&run_campaign(&parallel_campaign).expect("parallel run"));
+        assert!(
+            serial == parallel,
+            "threads={threads} changed campaign results"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_different_results() {
     let campaign = CampaignSpec::from_toml(SPEC).expect("spec parses");
     let results = run_campaign(&campaign).expect("run");

@@ -25,19 +25,34 @@ pub fn in_dominating_region(center: usize, sites: &[Point], k: usize, v: Point) 
     strictly_closer_count(center, sites, v) < k
 }
 
-/// The `k` nearest site indices to `v`, ties broken by index (sorted by
-/// `(distance, index)`), as used to seed order-k cell enumeration.
+/// The `k` nearest site indices to `v`, ties broken by index (the unique
+/// `k`-smallest set under `(distance, index)` order, returned sorted by
+/// index), as used to seed order-k cell enumeration.
+///
+/// Selection is `select_nth_unstable_by` + a tail sort of the kept
+/// prefix — `O(N + k log k)` instead of a full `O(N log N)` sort, which
+/// matters to `order_k_diagram`'s 256×256-probe discovery loop.
 pub fn k_nearest(sites: &[Point], k: usize, v: Point) -> Vec<usize> {
     let mut order: Vec<usize> = (0..sites.len()).collect();
-    order.sort_by(|&a, &b| {
+    k_nearest_in_place(sites, k, v, &mut order);
+    order
+}
+
+/// [`k_nearest`] over a caller-owned index buffer: `order` must hold a
+/// permutation of `0..sites.len()` on entry and is truncated to the
+/// result — the allocation-free form used by probe loops.
+pub fn k_nearest_in_place(sites: &[Point], k: usize, v: Point, order: &mut Vec<usize>) {
+    let by_distance_then_index = |&a: &usize, &b: &usize| {
         sites[a]
             .distance_sq(v)
             .total_cmp(&sites[b].distance_sq(v))
             .then(a.cmp(&b))
-    });
+    };
+    if k < order.len() && k > 0 {
+        order.select_nth_unstable_by(k - 1, by_distance_then_index);
+    }
     order.truncate(k);
     order.sort_unstable();
-    order
 }
 
 #[cfg(test)]
@@ -83,5 +98,34 @@ mod tests {
         assert_eq!(k_nearest(&sites, 1, Point::ORIGIN), vec![0]);
         assert_eq!(k_nearest(&sites, 2, Point::ORIGIN), vec![0, 1]);
         assert_eq!(k_nearest(&sites, 3, Point::ORIGIN), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_nearest_selection_matches_full_sort() {
+        // The selection path must return the exact (distance, index)-order
+        // prefix a full sort would.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let sites: Vec<Point> = (0..60).map(|_| Point::new(next(), next())).collect();
+        for trial in 0..20 {
+            let v = Point::new(next(), next());
+            let mut full: Vec<usize> = (0..sites.len()).collect();
+            full.sort_by(|&a, &b| {
+                sites[a]
+                    .distance_sq(v)
+                    .total_cmp(&sites[b].distance_sq(v))
+                    .then(a.cmp(&b))
+            });
+            for k in [1usize, 3, 10, 59, 60] {
+                let mut expect = full[..k].to_vec();
+                expect.sort_unstable();
+                assert_eq!(k_nearest(&sites, k, v), expect, "trial {trial} k {k}");
+            }
+        }
     }
 }

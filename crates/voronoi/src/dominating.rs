@@ -154,46 +154,122 @@ fn classify(face: &Polygon, center: Point, competitor: Point) -> Classification 
     }
 }
 
-fn subdivide(
+/// Reusable buffers for the bisector subdivision.
+///
+/// The subdivision used to be a recursive function that allocated a
+/// fresh `rest`-competitor vector at every tree node; the explicit
+/// worklist below stores all pending faces in one stack and all
+/// competitor sublists in one arena, so consecutive calls (one per
+/// convex domain piece per node per round) reuse the same allocations.
+#[derive(Debug, Clone, Default)]
+pub struct SubdivisionScratch {
+    stack: Vec<WorkItem>,
+    arena: Vec<Point>,
+}
+
+impl SubdivisionScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WorkItem {
     face: Polygon,
-    center: Point,
-    competitors: &[Point],
     budget: usize,
+    /// Competitor sublist, as a range into the call's arena.
+    lo: usize,
+    hi: usize,
+}
+
+fn subdivide(
+    domain: Polygon,
+    center: Point,
+    budget: usize,
+    scratch: &mut SubdivisionScratch,
     out: &mut Vec<Polygon>,
 ) {
-    // Resolve competitors against this face.
-    let mut budget = budget;
-    let mut cutting: Vec<(Point, HalfPlane)> = Vec::new();
-    for &c in competitors {
-        match classify(&face, center, c) {
-            Classification::CenterSide => {}
-            Classification::CompetitorSide => {
-                if budget == 0 {
-                    return; // too many strictly-closer competitors
+    // `scratch.arena[..n]` holds the top-level competitor list (placed
+    // there by the caller); deeper sublists are appended behind it.
+    let stack = &mut scratch.stack;
+    let arena = &mut scratch.arena;
+    stack.clear();
+    stack.push(WorkItem {
+        face: domain,
+        budget,
+        lo: 0,
+        hi: arena.len(),
+    });
+    while let Some(item) = stack.pop() {
+        let WorkItem {
+            face,
+            mut budget,
+            lo,
+            hi,
+        } = item;
+        // Resolve competitors against this face; the cutting ones become
+        // the sublist for this face's children.
+        let cut_lo = arena.len();
+        let mut discard = false;
+        let mut first_cut: Option<HalfPlane> = None;
+        for j in lo..hi {
+            let c = arena[j];
+            match classify(&face, center, c) {
+                Classification::CenterSide => {}
+                Classification::CompetitorSide => {
+                    if budget == 0 {
+                        discard = true; // too many strictly-closer competitors
+                        break;
+                    }
+                    budget -= 1;
                 }
-                budget -= 1;
+                Classification::Cuts(h) => {
+                    if first_cut.is_none() {
+                        first_cut = Some(h);
+                    }
+                    arena.push(c);
+                }
             }
-            Classification::Cuts(h) => cutting.push((c, h)),
         }
-    }
-    if cutting.len() <= budget {
-        // Even if every cutting competitor were closer everywhere, the
-        // budget holds: accept the whole face.
-        out.push(face);
-        return;
-    }
-    // Split along the first cutting bisector.
-    let (_, h) = cutting[0];
-    let rest: Vec<Point> = cutting[1..].iter().map(|&(c, _)| c).collect();
-    // h contains the points closer to the competitor.
-    if let Some(comp_side) = face.clip_halfplane(&h) {
+        let cut_hi = arena.len();
+        if discard {
+            arena.truncate(cut_lo);
+            continue;
+        }
+        if cut_hi - cut_lo <= budget {
+            // Even if every cutting competitor were closer everywhere,
+            // the budget holds: accept the whole face.
+            arena.truncate(cut_lo);
+            out.push(face);
+            continue;
+        }
+        // Split along the first cutting bisector; children resolve the
+        // remaining cutting competitors. (LIFO stack: push the
+        // center-side child first so the competitor side is processed
+        // first, matching the original recursion's piece order.)
+        let h = first_cut.expect("cut_hi > cut_lo implies a cutting bisector");
+        if let Some(center_side) = face.clip_halfplane(&h.complement()) {
+            stack.push(WorkItem {
+                face: center_side,
+                budget,
+                lo: cut_lo + 1,
+                hi: cut_hi,
+            });
+        }
+        // h contains the points closer to the competitor.
         if budget > 0 {
-            subdivide(comp_side, center, &rest, budget - 1, out);
+            if let Some(comp_side) = face.clip_halfplane(&h) {
+                stack.push(WorkItem {
+                    face: comp_side,
+                    budget: budget - 1,
+                    lo: cut_lo + 1,
+                    hi: cut_hi,
+                });
+            }
         }
     }
-    if let Some(center_side) = face.clip_halfplane(&h.complement()) {
-        subdivide(center_side, center, &rest, budget, out);
-    }
+    arena.clear();
 }
 
 /// Computes the dominating region `V^k_i ∩ domain` of `sites[center]`.
@@ -212,17 +288,38 @@ pub fn dominating_region(
     k: usize,
     domain: &Polygon,
 ) -> DominatingRegion {
+    let mut scratch = SubdivisionScratch::new();
+    let mut pieces = Vec::new();
+    dominating_region_scratched(center, sites, k, domain, &mut scratch, &mut pieces);
+    DominatingRegion { pieces }
+}
+
+/// [`dominating_region`] with caller-owned buffers: appends the region's
+/// convex pieces to `out` and reuses `scratch` across calls — the form
+/// the round engine's hot path uses.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `center` is out of bounds.
+pub fn dominating_region_scratched(
+    center: usize,
+    sites: &[Point],
+    k: usize,
+    domain: &Polygon,
+    scratch: &mut SubdivisionScratch,
+    out: &mut Vec<Polygon>,
+) {
     assert!(k >= 1, "coverage degree k must be at least 1");
     let u = sites[center];
-    let competitors: Vec<Point> = sites
-        .iter()
-        .enumerate()
-        .filter(|&(j, _)| j != center)
-        .map(|(_, &s)| s)
-        .collect();
-    let mut pieces = Vec::new();
-    subdivide(domain.clone(), u, &competitors, k - 1, &mut pieces);
-    DominatingRegion { pieces }
+    scratch.arena.clear();
+    scratch.arena.extend(
+        sites
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != center)
+            .map(|(_, &s)| s),
+    );
+    subdivide(domain.clone(), u, k - 1, scratch, out);
 }
 
 /// Computes `V^k_i ∩ A` for a (possibly non-convex, holed) target area by

@@ -1,0 +1,103 @@
+//! One-hop adjacency snapshot in CSR form.
+//!
+//! A synchronous LAACAD round runs `N` multi-hop BFS searches against
+//! the *same* position snapshot; each search visits every ring node and
+//! asks for its one-hop neighbors. Answering those from the hash-grid
+//! costs bucket lookups, distance checks and a sort per visit — building
+//! the whole adjacency once per round (one grid query per node) and
+//! reading slices afterwards is strictly cheaper and trivially
+//! shareable across worker threads.
+//!
+//! Rows are exactly [`Network::one_hop_neighbors`] (ascending ids, node
+//! itself excluded), so a BFS over the snapshot is bit-identical to one
+//! over live grid queries.
+
+use crate::network::Network;
+use crate::node::NodeId;
+
+/// Compressed sparse rows of the one-hop communication graph.
+#[derive(Debug, Clone, Default)]
+pub struct Adjacency {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Adjacency {
+    /// Builds the adjacency of `net`'s current positions.
+    pub fn build(net: &Network) -> Self {
+        let mut adj = Adjacency::default();
+        adj.rebuild(net);
+        adj
+    }
+
+    /// Rebuilds in place, reusing the row storage (the round engine
+    /// refreshes one instance every round).
+    pub fn rebuild(&mut self, net: &Network) {
+        self.offsets.clear();
+        self.neighbors.clear();
+        self.offsets.push(0);
+        let mut row = Vec::new();
+        for i in 0..net.len() {
+            net.one_hop_neighbors_into(NodeId(i), &mut row);
+            self.neighbors.extend(row.iter().map(|&j| j as u32));
+            self.offsets.push(self.neighbors.len() as u32);
+        }
+    }
+
+    /// Number of nodes the snapshot covers.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether the snapshot covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One-hop neighbors of node `i`, ascending, `i` excluded.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_geom::Point;
+
+    #[test]
+    fn rows_match_live_queries() {
+        let net = Network::from_positions(
+            0.25,
+            (0..25).map(|i| Point::new((i % 5) as f64 * 0.2, (i / 5) as f64 * 0.2)),
+        );
+        let adj = Adjacency::build(&net);
+        assert_eq!(adj.len(), 25);
+        for i in 0..net.len() {
+            let live: Vec<u32> = net
+                .one_hop_neighbors(NodeId(i))
+                .into_iter()
+                .map(|n| n.index() as u32)
+                .collect();
+            assert_eq!(adj.neighbors(i), live.as_slice(), "node {i}");
+        }
+    }
+
+    #[test]
+    fn rebuild_reflects_movement() {
+        let mut net = Network::from_positions(0.15, [Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        let mut adj = Adjacency::build(&net);
+        assert!(adj.neighbors(0).is_empty());
+        net.move_node(NodeId(1), Point::new(0.1, 0.0));
+        adj.rebuild(&net);
+        assert_eq!(adj.neighbors(0), &[1]);
+        assert_eq!(adj.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn empty_network() {
+        let adj = Adjacency::build(&Network::new(0.1));
+        assert!(adj.is_empty());
+    }
+}

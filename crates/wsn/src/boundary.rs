@@ -14,7 +14,7 @@ use laacad_geom::{convex_hull, Point};
 pub trait BoundaryDetector {
     /// Returns `true` when `id` should be treated as a network-boundary
     /// node.
-    fn is_boundary(&self, net: &mut Network, id: NodeId) -> bool;
+    fn is_boundary(&self, net: &Network, id: NodeId) -> bool;
 }
 
 /// Angle-gap detector: a node is a boundary node when the directions to
@@ -42,7 +42,7 @@ impl AngleGapDetector {
 }
 
 impl BoundaryDetector for AngleGapDetector {
-    fn is_boundary(&self, net: &mut Network, id: NodeId) -> bool {
+    fn is_boundary(&self, net: &Network, id: NodeId) -> bool {
         let origin = net.position(id);
         let neighbors: Vec<Point> = net
             .nodes_within(origin, self.radius)
@@ -84,7 +84,7 @@ pub struct HullDetector {
 }
 
 impl BoundaryDetector for HullDetector {
-    fn is_boundary(&self, net: &mut Network, id: NodeId) -> bool {
+    fn is_boundary(&self, net: &Network, id: NodeId) -> bool {
         let origin = net.position(id);
         let mut pts: Vec<Point> = net
             .nodes_within(origin, self.radius)
@@ -114,27 +114,27 @@ mod tests {
 
     #[test]
     fn angle_gap_flags_corners_and_edges_not_center() {
-        let mut net = grid_network();
+        let net = grid_network();
         let det = AngleGapDetector::new(0.15);
         // Corner (0,0) = index 0, edge (0, 0.2) = index 2, center (0.2,0.2) = 12.
-        assert!(det.is_boundary(&mut net, NodeId(0)), "corner");
-        assert!(det.is_boundary(&mut net, NodeId(2)), "edge");
-        assert!(!det.is_boundary(&mut net, NodeId(12)), "center");
+        assert!(det.is_boundary(&net, NodeId(0)), "corner");
+        assert!(det.is_boundary(&net, NodeId(2)), "edge");
+        assert!(!det.is_boundary(&net, NodeId(12)), "center");
     }
 
     #[test]
     fn hull_detector_flags_hull_nodes() {
-        let mut net = grid_network();
+        let net = grid_network();
         let det = HullDetector { radius: 0.15 };
-        assert!(det.is_boundary(&mut net, NodeId(0)), "corner");
-        assert!(!det.is_boundary(&mut net, NodeId(12)), "center");
+        assert!(det.is_boundary(&net, NodeId(0)), "corner");
+        assert!(!det.is_boundary(&net, NodeId(12)), "center");
     }
 
     #[test]
     fn isolated_node_is_boundary() {
-        let mut net = Network::from_positions(0.1, [Point::new(0.0, 0.0)]);
-        assert!(AngleGapDetector::new(0.1).is_boundary(&mut net, NodeId(0)));
-        assert!(HullDetector { radius: 0.1 }.is_boundary(&mut net, NodeId(0)));
+        let net = Network::from_positions(0.1, [Point::new(0.0, 0.0)]);
+        assert!(AngleGapDetector::new(0.1).is_boundary(&net, NodeId(0)));
+        assert!(HullDetector { radius: 0.1 }.is_boundary(&net, NodeId(0)));
     }
 
     #[test]
@@ -142,8 +142,8 @@ mod tests {
         // Node with three co-located neighbors: directions undefined for
         // them; the node must count as boundary (no angular coverage).
         let p = Point::new(0.5, 0.5);
-        let mut net = Network::from_positions(0.2, [p, p, p, p]);
+        let net = Network::from_positions(0.2, [p, p, p, p]);
         let det = AngleGapDetector::new(0.2);
-        assert!(det.is_boundary(&mut net, NodeId(0)));
+        assert!(det.is_boundary(&net, NodeId(0)));
     }
 }

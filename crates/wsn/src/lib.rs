@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adjacency;
 pub mod boundary;
 pub mod energy;
 pub mod localize;
@@ -48,5 +49,6 @@ pub mod radio;
 pub mod ranging;
 pub mod spatial;
 
+pub use adjacency::Adjacency;
 pub use network::Network;
 pub use node::{NodeId, SensorNode};

@@ -8,6 +8,13 @@ use laacad_geom::Point;
 /// (paper Sec. III-A: "All nodes have an identical transmission range γ"),
 /// spatially indexed for the radius queries every LAACAD round performs.
 ///
+/// The spatial index is maintained **eagerly** on every mutation, so the
+/// whole query surface ([`Network::nodes_within`],
+/// [`Network::one_hop_neighbors`], the multihop ring machinery) works
+/// through `&Network`. That is what lets the synchronous round engine
+/// compute every node's local view from one shared snapshot across
+/// worker threads.
+///
 /// # Example
 ///
 /// ```
@@ -23,7 +30,7 @@ pub struct Network {
     nodes: Vec<SensorNode>,
     positions: Vec<Point>,
     gamma: f64,
-    grid: Option<SpatialGrid>,
+    grid: SpatialGrid,
     /// Odometry of nodes that have since been removed (kept so that
     /// movement-energy totals survive node failures).
     retired_distance: f64,
@@ -44,7 +51,7 @@ impl Network {
             nodes: Vec::new(),
             positions: Vec::new(),
             gamma,
-            grid: None,
+            grid: SpatialGrid::build(&[], gamma.max(1e-9)),
             retired_distance: 0.0,
         }
     }
@@ -58,13 +65,13 @@ impl Network {
         net
     }
 
-    /// Adds a node, returning its id. Invalidates the spatial index
-    /// (rebuilt lazily).
+    /// Adds a node, returning its id. The spatial index is extended in
+    /// place.
     pub fn add_node(&mut self, position: Point) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(SensorNode::new(id, position));
         self.positions.push(position);
-        self.grid = None;
+        self.grid.insert(id.0, position);
         id
     }
 
@@ -118,9 +125,7 @@ impl Network {
         let old = self.positions[id.0];
         self.nodes[id.0].move_to(target);
         self.positions[id.0] = target;
-        if let Some(grid) = &mut self.grid {
-            grid.relocate(id.0, old, target);
-        }
+        self.grid.relocate(id.0, old, target);
     }
 
     /// Sets a node's sensing range.
@@ -158,7 +163,7 @@ impl Network {
         }
         self.nodes = nodes;
         self.positions = positions;
-        self.grid = None;
+        self.grid = SpatialGrid::build(&self.positions, self.gamma.max(1e-9));
         removing
     }
 
@@ -197,33 +202,37 @@ impl Network {
         self.remove_nodes(&doomed)
     }
 
-    /// Builds the spatial index if it does not exist yet.
-    fn ensure_index(&mut self) {
-        if self.grid.is_none() {
-            self.grid = Some(SpatialGrid::build(&self.positions, self.gamma.max(1e-9)));
-        }
-    }
-
     /// Ids of nodes within Euclidean distance `radius` of `q` (inclusive),
     /// including any node located exactly at `q`.
-    pub fn nodes_within(&mut self, q: Point, radius: f64) -> Vec<NodeId> {
-        self.ensure_index();
-        let grid = self.grid.as_ref().expect("ensured above");
-        grid.within(&self.positions, q, radius)
+    pub fn nodes_within(&self, q: Point, radius: f64) -> Vec<NodeId> {
+        self.grid
+            .within(&self.positions, q, radius)
             .into_iter()
             .map(NodeId)
             .collect()
     }
 
+    /// [`Network::nodes_within`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free form the round engine uses.
+    pub fn nodes_within_into(&self, q: Point, radius: f64, out: &mut Vec<usize>) {
+        self.grid.within_into(&self.positions, q, radius, out);
+    }
+
     /// One-hop neighbors of `id`: nodes within the transmission range `γ`
     /// (the paper's `N(n_i)`), excluding the node itself.
-    pub fn one_hop_neighbors(&mut self, id: NodeId) -> Vec<NodeId> {
-        let q = self.positions[id.0];
-        let g = self.gamma;
-        self.nodes_within(q, g)
+    pub fn one_hop_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes_within(self.positions[id.0], self.gamma)
             .into_iter()
             .filter(|&n| n != id)
             .collect()
+    }
+
+    /// [`Network::one_hop_neighbors`] into a caller-owned buffer (cleared
+    /// first; indices ascending, `id` excluded).
+    pub fn one_hop_neighbors_into(&self, id: NodeId, out: &mut Vec<usize>) {
+        self.grid
+            .within_into(&self.positions, self.positions[id.0], self.gamma, out);
+        out.retain(|&i| i != id.0);
     }
 
     /// Maximum sensing range over the network — the paper's objective `R`.

@@ -43,7 +43,7 @@ impl std::fmt::Display for MessageStats {
 
 /// BFS hop distance from `source` to every node (`usize::MAX` when
 /// unreachable).
-pub fn hop_distances(net: &mut Network, source: NodeId) -> Vec<usize> {
+pub fn hop_distances(net: &Network, source: NodeId) -> Vec<usize> {
     let n = net.len();
     let mut dist = vec![usize::MAX; n];
     dist[source.index()] = 0;
@@ -62,7 +62,7 @@ pub fn hop_distances(net: &mut Network, source: NodeId) -> Vec<usize> {
 
 /// Connected components of the communication graph, as a component id per
 /// node.
-pub fn connected_components(net: &mut Network) -> Vec<usize> {
+pub fn connected_components(net: &Network) -> Vec<usize> {
     let n = net.len();
     let mut comp = vec![usize::MAX; n];
     let mut next = 0;
@@ -90,7 +90,7 @@ pub fn connected_components(net: &mut Network) -> Vec<usize> {
 /// The paper's connectivity discussion (Sec. IV-C) argues k-coverage with
 /// `γ ≥ r_i` implies degree ≥ 6 and hence connectivity; experiments verify
 /// this claim with this function.
-pub fn is_connected(net: &mut Network) -> bool {
+pub fn is_connected(net: &Network) -> bool {
     if net.len() <= 1 {
         return true;
     }
@@ -98,7 +98,7 @@ pub fn is_connected(net: &mut Network) -> bool {
 }
 
 /// Degree statistics of the communication graph: (min, mean, max).
-pub fn degree_stats(net: &mut Network) -> (usize, f64, usize) {
+pub fn degree_stats(net: &Network) -> (usize, f64, usize) {
     let n = net.len();
     if n == 0 {
         return (0, 0.0, 0);
@@ -123,22 +123,22 @@ mod tests {
 
     #[test]
     fn hop_distances_along_a_chain() {
-        let mut net = chain(5, 0.1, 0.12);
-        let d = hop_distances(&mut net, NodeId(0));
+        let net = chain(5, 0.1, 0.12);
+        let d = hop_distances(&net, NodeId(0));
         assert_eq!(d, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn unreachable_nodes_are_max() {
-        let mut net = Network::from_positions(0.1, [Point::new(0.0, 0.0), Point::new(5.0, 5.0)]);
-        let d = hop_distances(&mut net, NodeId(0));
+        let net = Network::from_positions(0.1, [Point::new(0.0, 0.0), Point::new(5.0, 5.0)]);
+        let d = hop_distances(&net, NodeId(0));
         assert_eq!(d[0], 0);
         assert_eq!(d[1], usize::MAX);
     }
 
     #[test]
     fn components_and_connectivity() {
-        let mut net = Network::from_positions(
+        let net = Network::from_positions(
             0.15,
             [
                 Point::new(0.0, 0.0),
@@ -147,19 +147,19 @@ mod tests {
                 Point::new(2.1, 2.0),
             ],
         );
-        let comp = connected_components(&mut net);
+        let comp = connected_components(&net);
         assert_eq!(comp[0], comp[1]);
         assert_eq!(comp[2], comp[3]);
         assert_ne!(comp[0], comp[2]);
-        assert!(!is_connected(&mut net));
-        let mut whole = chain(4, 0.1, 0.15);
-        assert!(is_connected(&mut whole));
+        assert!(!is_connected(&net));
+        let whole = chain(4, 0.1, 0.15);
+        assert!(is_connected(&whole));
     }
 
     #[test]
     fn degree_statistics() {
-        let mut net = chain(3, 0.1, 0.12);
-        let (min, mean, max) = degree_stats(&mut net);
+        let net = chain(3, 0.1, 0.12);
+        let (min, mean, max) = degree_stats(&net);
         assert_eq!(min, 1); // endpoints
         assert_eq!(max, 2); // middle
         assert!((mean - 4.0 / 3.0).abs() < 1e-12);
@@ -181,9 +181,9 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_networks_are_connected() {
-        let mut empty = Network::new(0.1);
-        assert!(is_connected(&mut empty));
-        let mut single = Network::from_positions(0.1, [Point::new(0.0, 0.0)]);
-        assert!(is_connected(&mut single));
+        let empty = Network::new(0.1);
+        assert!(is_connected(&empty));
+        let single = Network::from_positions(0.1, [Point::new(0.0, 0.0)]);
+        assert!(is_connected(&single));
     }
 }

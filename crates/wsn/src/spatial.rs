@@ -37,10 +37,19 @@ impl SpatialGrid {
     /// Indices of all points within Euclidean distance `radius` of `q`
     /// (inclusive), in ascending index order.
     pub fn within(&self, points: &[Point], q: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.within_into(points, q, radius, &mut out);
+        out
+    }
+
+    /// Like [`SpatialGrid::within`], but appends into a caller-owned
+    /// buffer (cleared first) instead of allocating — the form every
+    /// per-round hot query uses.
+    pub fn within_into(&self, points: &[Point], q: Point, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
         let r = radius.max(0.0);
         let lo = Self::key(q - laacad_geom::Vector::new(r, r), self.cell);
         let hi = Self::key(q + laacad_geom::Vector::new(r, r), self.cell);
-        let mut out = Vec::new();
         let r_sq = r * r + 1e-12;
         for gx in lo.0..=hi.0 {
             for gy in lo.1..=hi.1 {
@@ -54,7 +63,14 @@ impl SpatialGrid {
             }
         }
         out.sort_unstable();
-        out
+    }
+
+    /// Adds point `i` located at `p` to the index.
+    pub fn insert(&mut self, i: usize, p: Point) {
+        self.buckets
+            .entry(Self::key(p, self.cell))
+            .or_default()
+            .push(i);
     }
 
     /// Moves point `i` from `old` to `new` within the index.
@@ -139,6 +155,26 @@ mod tests {
         pts[50] = new;
         grid.relocate(50, old, new);
         assert!(grid.within(&pts, new, 0.01).contains(&50));
+    }
+
+    #[test]
+    fn insert_extends_queries() {
+        let mut pts = cloud();
+        let mut grid = SpatialGrid::build(&pts, 0.25);
+        pts.push(Point::new(0.55, 0.55));
+        grid.insert(pts.len() - 1, pts[pts.len() - 1]);
+        assert!(grid
+            .within(&pts, Point::new(0.55, 0.55), 0.01)
+            .contains(&(pts.len() - 1)));
+    }
+
+    #[test]
+    fn within_into_reuses_buffer() {
+        let pts = cloud();
+        let grid = SpatialGrid::build(&pts, 0.25);
+        let mut buf = vec![999usize; 4]; // stale content must be cleared
+        grid.within_into(&pts, Point::new(0.5, 0.5), 0.15, &mut buf);
+        assert_eq!(buf, grid.within(&pts, Point::new(0.5, 0.5), 0.15));
     }
 
     #[test]

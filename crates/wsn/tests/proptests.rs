@@ -57,8 +57,8 @@ proptest! {
 
     #[test]
     fn ring_members_are_euclidean_subset(pts in points(2, 50), rho in 0.05f64..1.0) {
-        let mut net = Network::from_positions(0.2, pts.iter().copied());
-        let ring = ring_neighborhood(&mut net, NodeId(0), rho);
+        let net = Network::from_positions(0.2, pts.iter().copied());
+        let ring = ring_neighborhood(&net, NodeId(0), rho);
         for m in &ring.members {
             prop_assert!(net.position(*m).distance(pts[0]) <= rho + 1e-9);
             prop_assert_ne!(*m, NodeId(0));
@@ -72,9 +72,9 @@ proptest! {
 
     #[test]
     fn ring_grows_monotonically_with_rho(pts in points(2, 40)) {
-        let mut net = Network::from_positions(0.25, pts.iter().copied());
-        let small = ring_neighborhood(&mut net, NodeId(0), 0.2);
-        let large = ring_neighborhood(&mut net, NodeId(0), 0.6);
+        let net = Network::from_positions(0.25, pts.iter().copied());
+        let small = ring_neighborhood(&net, NodeId(0), 0.2);
+        let large = ring_neighborhood(&net, NodeId(0), 0.6);
         for m in &small.members {
             prop_assert!(large.members.contains(m), "member {m} lost on expansion");
         }

@@ -37,8 +37,8 @@ fn localized_equals_global_on_random_networks() {
             let n = 40;
             let gamma = 0.4;
             let positions = sample_uniform(&region, n, seed * 1000 + k as u64);
-            let mut net = Network::from_positions(gamma, positions);
-            if !laacad_wsn::radio::is_connected(&mut net) {
+            let net = Network::from_positions(gamma, positions);
+            if !laacad_wsn::radio::is_connected(&net) {
                 continue;
             }
             let config = LaacadConfig::builder(k)
@@ -48,7 +48,7 @@ fn localized_equals_global_on_random_networks() {
             let mut checked = 0;
             for i in 0..n {
                 let id = NodeId(i);
-                let view = compute_local_view(&mut net, id, &region, &config, 0);
+                let view = compute_local_view(&net, id, &region, &config, 0);
                 if !view.ring.dominated {
                     continue; // boundary node: cap policy intentionally differs
                 }
@@ -84,14 +84,14 @@ fn ring_messages_stay_local() {
     let n = 200;
     let gamma = LaacadConfig::recommended_gamma(1.0, n, 2);
     let positions = sample_uniform(&region, n, 9);
-    let mut net = Network::from_positions(gamma, positions);
+    let net = Network::from_positions(gamma, positions);
     let config = LaacadConfig::builder(2)
         .transmission_range(gamma)
         .build()
         .unwrap();
     let mut counts: Vec<usize> = Vec::new();
     for i in 0..n {
-        let view = compute_local_view(&mut net, NodeId(i), &region, &config, 0);
+        let view = compute_local_view(&net, NodeId(i), &region, &config, 0);
         if view.ring.dominated {
             counts.push(view.ring.candidates.len());
         }
@@ -112,7 +112,7 @@ fn dominating_regions_tile_k_times() {
     let region = Region::square(1.0).unwrap();
     let n = 30;
     let positions = sample_uniform(&region, n, 21);
-    let mut net = Network::from_positions(0.35, positions);
+    let net = Network::from_positions(0.35, positions);
     for k in 1..=3usize {
         let config = LaacadConfig::builder(k)
             .transmission_range(0.35)
@@ -120,7 +120,7 @@ fn dominating_regions_tile_k_times() {
             .unwrap();
         let total: f64 = (0..n)
             .map(|i| {
-                compute_local_view(&mut net, NodeId(i), &region, &config, 0)
+                compute_local_view(&net, NodeId(i), &region, &config, 0)
                     .region
                     .area()
             })

@@ -107,8 +107,8 @@ fn connectivity_follows_coverage_for_k2() {
     let summary = sim.run();
     // γ ≥ r*: the paper's realistic assumption holds here by construction.
     assert!(sim.network().gamma() >= summary.max_sensing_radius);
-    let mut net = sim.network().clone();
-    assert!(laacad_wsn::radio::is_connected(&mut net));
-    let (min_degree, _, _) = laacad_wsn::radio::degree_stats(&mut net);
+    let net = sim.network();
+    assert!(laacad_wsn::radio::is_connected(net));
+    let (min_degree, _, _) = laacad_wsn::radio::degree_stats(net);
     assert!(min_degree >= 3, "min degree {min_degree}");
 }
