@@ -1,23 +1,69 @@
 //! End-to-end round-engine benchmark: one synchronous LAACAD round at
-//! N ∈ {1 000, 4 000, 10 000}, k ∈ {1, 3}, serial vs parallel.
+//! N ∈ {1 000, 4 000, 10 000}, k ∈ {1, 3}, serial vs parallel — plus the
+//! PR-3 section: cached vs uncached steady-state rounds and
+//! allocations-per-round under a counting global allocator.
 //!
 //! Custom harness (not Criterion): a single round at N = 10⁴ is seconds,
 //! not microseconds, and the result must land in a machine-readable
 //! `BENCH_round_engine.json` at the workspace root to seed the perf
 //! trajectory. `PRE_PR_SERIAL_SECONDS` records the engine *before* the
-//! parallel/incremental rewrite (measured on the same single-core dev
-//! container the committed JSON was produced on); rerunning on other
-//! hardware refreshes the current-engine numbers but keeps that
-//! reference labeled with its origin.
+//! parallel/incremental rewrite and `PR2_SERIAL_SECONDS` the engine
+//! before the allocation-free/cached rewrite (both measured on the same
+//! single-core dev container the committed JSON was produced on);
+//! rerunning on other hardware refreshes the current-engine numbers but
+//! keeps those references labeled with their origin.
+//!
+//! Run `cargo bench -p laacad-bench --bench round_engine -- --smoke` for
+//! the CI smoke mode: N = 10³ only, with a generous (3×) wall-clock
+//! regression guard against the committed reference and the
+//! zero-geometry-allocation steady-state assertion.
 
 use laacad::{Laacad, LaacadConfig};
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Global allocator wrapper counting every allocation (alloc, realloc,
+/// alloc_zeroed). Deallocations are passed through uncounted — the
+/// interesting number is how often the hot path asks the heap for
+/// memory at all.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Serial round times of the pre-rewrite engine (fresh BFS per ring
 /// expansion, `vec![usize::MAX; N]` per query, recursive subdivision),
-/// measured on the reference container before the rewrite landed.
+/// measured on the reference container before the PR-2 rewrite landed.
 const PRE_PR_SERIAL_SECONDS: &[(usize, usize, f64)] = &[
     (1_000, 1, 0.223),
     (1_000, 3, 0.465),
@@ -27,16 +73,49 @@ const PRE_PR_SERIAL_SECONDS: &[(usize, usize, f64)] = &[
     (10_000, 3, 5.637),
 ];
 
+/// Serial round times of the PR-2 engine (shared snapshot, incremental
+/// ring search, allocating clips) — the committed `BENCH_round_engine.json`
+/// measured on the reference container before the PR-3
+/// allocation-free/cached rewrite.
+const PR2_SERIAL_SECONDS: &[(usize, usize, f64)] = &[
+    (1_000, 1, 0.087727),
+    (1_000, 3, 0.236937),
+    (4_000, 1, 0.429677),
+    (4_000, 3, 1.048730),
+    (10_000, 1, 0.994706),
+    (10_000, 3, 2.682579),
+];
+
 const PRE_PR_REFERENCE_HOST: &str = "1-core dev container, 2026-07-29";
 
-fn build(n: usize, k: usize, threads: usize) -> Laacad {
+/// Smoke-mode regression guard: fail when the serial N = 10³ round is
+/// more than 3× the committed reference (generous on purpose — CI boxes
+/// vary; a real regression on this path is multiplicative, not 20%).
+const SMOKE_GUARD_FACTOR: f64 = 3.0;
+
+/// Steady-state allocation ceiling. A converged round still builds its
+/// per-round decision vector (O(1) allocations); any polygon-vertex or
+/// ring-check allocation would show up once per node, i.e. ≥ N — so a
+/// small constant bound proves the geometry hot path is allocation-free.
+const STEADY_ALLOC_CEILING: u64 = 16;
+
+fn pr2_reference(n: usize, k: usize) -> f64 {
+    PR2_SERIAL_SECONDS
+        .iter()
+        .find(|&&(rn, rk, _)| rn == n && rk == k)
+        .map(|&(_, _, s)| s)
+        .expect("reference row exists")
+}
+
+fn build(n: usize, k: usize, threads: usize, cache: bool, epsilon: f64) -> Laacad {
     let region = Region::square(1.0).expect("unit square");
     let config = LaacadConfig::builder(k)
         .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
         .alpha(0.6)
-        .epsilon(2e-3)
-        .max_rounds(1)
+        .epsilon(epsilon)
+        .max_rounds(1_000)
         .threads(threads)
+        .cache(cache)
         .build()
         .expect("valid config");
     let initial = sample_uniform(&region, n, 42);
@@ -48,7 +127,7 @@ fn build(n: usize, k: usize, threads: usize) -> Laacad {
 fn time_round(n: usize, k: usize, threads: usize, reps: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let mut sim = build(n, k, threads);
+        let mut sim = build(n, k, threads, true, 2e-3);
         let t = Instant::now();
         let report = sim.step();
         let dt = t.elapsed().as_secs_f64();
@@ -58,20 +137,81 @@ fn time_round(n: usize, k: usize, threads: usize, reps: usize) -> f64 {
     best
 }
 
+/// Steady-state serial round: run with a loose ε until the deployment
+/// converges (movement per round drops below typical displacement almost
+/// immediately on a uniform start), take one extra round so every cache
+/// entry reflects the final positions, then time and alloc-count one
+/// more round.
+fn steady_round(n: usize, k: usize, cache: bool) -> (f64, u64) {
+    let mut sim = build(n, k, 1, cache, 0.05);
+    let mut warm = 0;
+    loop {
+        let report = sim.step();
+        warm += 1;
+        if report.converged || warm >= 12 {
+            break;
+        }
+    }
+    sim.step(); // cache fill / pool high-water pass at the final positions
+    let a0 = allocations();
+    let t = Instant::now();
+    sim.step();
+    let dt = t.elapsed().as_secs_f64();
+    (dt, allocations() - a0)
+}
+
+fn smoke() {
+    let mut failed = false;
+    for &(n, k) in &[(1_000usize, 1usize), (1_000, 3)] {
+        let serial = time_round(n, k, 1, 2);
+        let reference = pr2_reference(n, k);
+        let limit = SMOKE_GUARD_FACTOR * reference;
+        let verdict = if serial <= limit { "ok" } else { "REGRESSION" };
+        eprintln!(
+            "smoke N={n} k={k}: serial {serial:.3}s (limit {limit:.3}s = {SMOKE_GUARD_FACTOR}× \
+             committed {reference:.3}s) {verdict}"
+        );
+        failed |= serial > limit;
+    }
+    for cache in [true, false] {
+        let (dt, allocs) = steady_round(1_000, 3, cache);
+        let verdict = if allocs <= STEADY_ALLOC_CEILING {
+            "ok"
+        } else {
+            "ALLOC REGRESSION"
+        };
+        eprintln!(
+            "smoke steady N=1000 k=3 cache={cache}: {dt:.4}s, {allocs} allocations \
+             (ceiling {STEADY_ALLOC_CEILING}) {verdict}"
+        );
+        failed |= allocs > STEADY_ALLOC_CEILING;
+    }
+    if failed {
+        eprintln!("round_engine smoke FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("round_engine smoke passed");
+}
+
 fn main() {
-    // `cargo bench -- --quick` style filtering is not needed; this bench
-    // always runs the full grid.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let workers = std::thread::available_parallelism()
         .map(|w| w.get())
         .unwrap_or(1);
     let mut rows = Vec::new();
+    let mut serial_by_cell: Vec<(usize, usize, f64)> = Vec::new();
     for &(n, k, pre_pr) in PRE_PR_SERIAL_SECONDS {
         let reps = if n <= 1_000 { 3 } else { 1 };
         let serial = time_round(n, k, 1, reps);
         let parallel = time_round(n, k, 0, reps);
+        let pr2 = pr2_reference(n, k);
+        serial_by_cell.push((n, k, serial));
         eprintln!(
             "round_engine N={n} k={k}: serial {serial:.3}s, parallel({workers}) {parallel:.3}s, \
-             pre-PR reference {pre_pr:.3}s"
+             PR-2 reference {pr2:.3}s, pre-PR reference {pre_pr:.3}s"
         );
         rows.push(format!(
             concat!(
@@ -79,7 +219,9 @@ fn main() {
                 "\"parallel_seconds\": {:.6}, ",
                 "\"pre_pr_serial_seconds_reference\": {:.6}, ",
                 "\"speedup_serial_vs_pre_pr\": {:.2}, ",
-                "\"speedup_parallel_vs_pre_pr\": {:.2}}}"
+                "\"speedup_parallel_vs_pre_pr\": {:.2}, ",
+                "\"pr2_serial_seconds_reference\": {:.6}, ",
+                "\"speedup_serial_vs_pr2\": {:.2}}}"
             ),
             n,
             k,
@@ -88,6 +230,54 @@ fn main() {
             pre_pr,
             pre_pr / serial,
             pre_pr / parallel,
+            pr2,
+            pr2 / serial,
+        ));
+    }
+    // PR-3 section: steady-state rounds, cached vs uncached, with
+    // allocation counts from the counting global allocator.
+    let mut pr3_rows = Vec::new();
+    for &n in &[1_000usize, 4_000, 10_000] {
+        let k = 3;
+        let round1 = serial_by_cell
+            .iter()
+            .find(|&&(rn, rk, _)| rn == n && rk == k)
+            .map(|&(_, _, s)| s)
+            .expect("measured above");
+        let (cached_s, cached_allocs) = steady_round(n, k, true);
+        let (uncached_s, uncached_allocs) = steady_round(n, k, false);
+        let pr2 = pr2_reference(n, k);
+        eprintln!(
+            "round_engine pr3 N={n} k={k}: round1 {round1:.3}s, steady cached {cached_s:.4}s \
+             ({cached_allocs} allocs), steady uncached {uncached_s:.4}s ({uncached_allocs} allocs)"
+        );
+        if n == 1_000 {
+            assert!(
+                cached_allocs <= STEADY_ALLOC_CEILING && uncached_allocs <= STEADY_ALLOC_CEILING,
+                "steady-state round allocated (cached {cached_allocs}, uncached \
+                 {uncached_allocs}) above the O(1) ceiling {STEADY_ALLOC_CEILING}: \
+                 the geometry hot path is no longer allocation-free"
+            );
+        }
+        pr3_rows.push(format!(
+            concat!(
+                "      {{\"n\": {}, \"k\": {}, \"round1_serial_seconds\": {:.6}, ",
+                "\"speedup_round1_vs_pr2\": {:.2}, ",
+                "\"steady_cached_seconds\": {:.6}, ",
+                "\"steady_uncached_seconds\": {:.6}, ",
+                "\"steady_allocs_cached\": {}, ",
+                "\"steady_allocs_uncached\": {}, ",
+                "\"speedup_steady_cached_vs_pr2\": {:.2}}}"
+            ),
+            n,
+            k,
+            round1,
+            pr2 / round1,
+            cached_s,
+            uncached_s,
+            cached_allocs,
+            uncached_allocs,
+            pr2 / cached_s,
         ));
     }
     let json = format!(
@@ -97,12 +287,17 @@ fn main() {
             "  \"description\": \"one synchronous LAACAD round (Phase 1 local views + Phase 2 moves)\",\n",
             "  \"parallel_workers\": {},\n",
             "  \"pre_pr_reference_host\": \"{}\",\n",
-            "  \"rounds\": [\n{}\n  ]\n",
+            "  \"rounds\": [\n{}\n  ],\n",
+            "  \"pr3\": {{\n",
+            "    \"description\": \"allocation-free geometry kernel + cross-round local-view cache: first round (cold cache) and steady-state rounds (converged deployment) vs the PR-2 engine; allocation counts are per serial round under a counting global allocator\",\n",
+            "    \"rows\": [\n{}\n    ]\n",
+            "  }}\n",
             "}}\n"
         ),
         workers,
         PRE_PR_REFERENCE_HOST,
-        rows.join(",\n")
+        rows.join(",\n"),
+        pr3_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_round_engine.json");
     std::fs::write(path, &json).expect("write BENCH_round_engine.json");

@@ -88,6 +88,17 @@ pub struct LaacadConfig {
     /// bit-identical for every thread count; sequential (Gauss–Seidel)
     /// execution is inherently serial and ignores this knob.
     pub threads: usize,
+    /// Cross-round local-view cache (default on). LAACAD moves nodes by
+    /// at most `αγ` per round, and near convergence most nodes — and
+    /// their ring neighborhoods — stop moving entirely; when a node's
+    /// position, ring radius and competitor `(id, position)` set are
+    /// *exactly* unchanged since the node's previous computation, the
+    /// engine reuses the cached Chebyshev disk and farthest distance
+    /// instead of re-subdividing. The key is exact
+    /// equality of every geometric input, so cached and uncached runs
+    /// are bit-identical; only oracle-coordinate runs cache (ranging
+    /// noise is re-drawn per round by design).
+    pub cache: bool,
 }
 
 impl LaacadConfig {
@@ -127,6 +138,7 @@ impl LaacadConfig {
                 snapshot_every: None,
                 seed: 0x1AACAD,
                 threads: 1,
+                cache: true,
             },
         }
     }
@@ -227,6 +239,15 @@ impl LaacadConfigBuilder {
     /// serial). Results are identical for every value.
     pub fn threads(&mut self, threads: usize) -> &mut Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Enables or disables the cross-round local-view cache. Results are
+    /// identical either way (the cache key is exact equality of every
+    /// geometric input); `false` forces a full recomputation per node
+    /// per round.
+    pub fn cache(&mut self, cache: bool) -> &mut Self {
+        self.config.cache = cache;
         self
     }
 

@@ -55,7 +55,11 @@ pub use config::{CoordinateMode, ExecutionMode, LaacadConfig, LaacadConfigBuilde
 pub use error::LaacadError;
 pub use history::{History, RoundReport, RunSummary};
 pub use hooks::{EventOutcome, HookAction, NetworkEvent, RoundHook};
+pub use localview::{compute_local_view, compute_node_view, LocalView, NodeView};
 pub use minnode::{min_node_deployment, MinNodeResult};
-pub use ring::{expanding_ring_search, expanding_ring_search_scratched, RingOutcome};
+pub use ring::{
+    expanding_ring_search, expanding_ring_search_scratched, expanding_ring_search_status,
+    DominationScratch, RingOutcome, RingStatus,
+};
 pub use runner::Laacad;
-pub use scratch::RoundScratch;
+pub use scratch::{LocalViewCache, RoundScratch};

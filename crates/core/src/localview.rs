@@ -3,14 +3,32 @@
 //! Combines the expanding-ring search (Algorithm 2) with the exact
 //! order-k machinery of `laacad-voronoi`, applying the ring-cap policy
 //! and the chosen coordinate mode.
+//!
+//! Two entry points:
+//!
+//! * [`compute_node_view`] — the round engine's hot path: carves the
+//!   region through pooled buffers, computes the Chebyshev disk and the
+//!   farthest distance in one vertex pass, and consults the per-worker
+//!   [`crate::scratch::LocalViewCache`] so that nodes whose exact
+//!   geometric inputs are unchanged since their previous computation
+//!   skip the subdivision entirely. Zero heap allocations in steady
+//!   state (oracle mode).
+//! * [`compute_local_view`] / [`compute_local_view_scratched`] — the
+//!   convenience API returning a full [`LocalView`] with an owned
+//!   [`DominatingRegion`]; same geometry, materialized at the boundary.
 
 use crate::config::{CoordinateMode, LaacadConfig, RingCapPolicy};
-use crate::ring::{expanding_ring_search_scratched, RingOutcome};
+use crate::ring::{
+    expanding_ring_search_scratched, expanding_ring_search_status, RingOutcome, RingStatus,
+};
 use crate::scratch::RoundScratch;
-use laacad_geom::{Circle, Point, Polygon};
+use laacad_geom::{Circle, Point, PolygonBuf};
 use laacad_region::Region;
-use laacad_voronoi::dominating::{dominating_region_scratched, DominatingRegion};
+use laacad_voronoi::dominating::{
+    dominating_region_pooled, DominatingRegion, PieceSet, SubdivisionScratch,
+};
 use laacad_wsn::localize::LocalFrame;
+use laacad_wsn::radio::MessageStats;
 use laacad_wsn::{Adjacency, Network, NodeId};
 
 /// Everything a node derives about itself in one round.
@@ -38,14 +56,27 @@ impl LocalView {
     }
 }
 
-/// Circumscribed regular polygon standing in for the `ρ/2` disk cap.
-///
-/// Circumscribed (not inscribed) so the cap never truncates the true
-/// dominating region — the approximation can only *over*-estimate
-/// (DESIGN.md §3).
-fn cap_polygon(center: Point, radius: f64, vertices: usize) -> Polygon {
-    let r = radius / (std::f64::consts::PI / vertices as f64).cos();
-    Polygon::regular(center, r, vertices, 0.0).expect("cap polygon is valid")
+/// The round engine's per-node result: the ring status plus the two
+/// numbers Algorithm 1 consumes — the Chebyshev disk (motion target and
+/// circumradius `R_i`) and the farthest distance `r_i` from the node's
+/// true position (its required sensing range). The region itself stays
+/// in pooled storage and is never materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView {
+    /// Final ring radius `ρ`.
+    pub rho: f64,
+    /// Whether the ring check succeeded.
+    pub dominated: bool,
+    /// Whether the search saturated (boundary node).
+    pub saturated: bool,
+    /// Messages spent on the ring search.
+    pub messages: MessageStats,
+    /// Chebyshev disk of the dominating region.
+    pub chebyshev: Option<Circle>,
+    /// `max_{v ∈ V^k_i} ‖v − u_i‖` from the node's true position.
+    pub reach: f64,
+    /// Whether the view was served from the cross-round cache.
+    pub cache_hit: bool,
 }
 
 /// Computes the local view of `id` under `config`.
@@ -54,7 +85,7 @@ fn cap_polygon(center: Point, radius: f64, vertices: usize) -> Polygon {
 /// which is what lets the synchronous engine evaluate all `N` views
 /// concurrently. This convenience form allocates fresh buffers; the
 /// round engine threads a per-worker [`RoundScratch`] through
-/// [`compute_local_view_scratched`] instead.
+/// [`compute_node_view`] instead.
 pub fn compute_local_view(
     net: &Network,
     id: NodeId,
@@ -70,6 +101,10 @@ pub fn compute_local_view(
 /// synchronous engine builds one per round and shares it across
 /// workers; pass `None` whenever positions may have changed since the
 /// snapshot, as in sequential mode).
+///
+/// This path never consults the cross-round cache — it returns an owned
+/// [`LocalView`] and is meant for analysis and tests; the engine uses
+/// [`compute_node_view`].
 #[allow(clippy::too_many_arguments)]
 pub fn compute_local_view_scratched(
     net: &Network,
@@ -91,9 +126,196 @@ pub fn compute_local_view_scratched(
         &mut scratch.ring,
         &mut scratch.competitors,
     );
+    let rmse = build_sites(net, id, &ring.candidates, config, round, scratch);
+    let s = &mut *scratch;
+    let self_est = s.sites[0];
+    let (chebyshev, _) = carve_and_measure(
+        area,
+        config,
+        ring.rho,
+        ring.dominated,
+        self_est,
+        &s.sites,
+        &mut s.subdivision,
+        &mut s.cap,
+        &mut s.domain,
+        &mut s.domain_tmp,
+        &mut s.welzl,
+        &mut s.pieces,
+    );
+    let region = s.pieces.to_region();
+    LocalView {
+        ring,
+        region,
+        chebyshev,
+        self_estimate: self_est,
+        localization_rmse: rmse,
+    }
+}
 
-    // Candidate coordinates per the configured mode, assembled directly
-    // into the reusable site buffer with the node itself at index 0.
+/// The round engine's hot path: like [`compute_local_view_scratched`]
+/// but without materializing the region, with the Chebyshev disk and
+/// farthest distance computed in one vertex pass, and — in oracle mode,
+/// when `config.cache` is on — with the whole geometry stage skipped
+/// whenever the node's exact inputs are unchanged since its previous
+/// computation in this worker's [`crate::scratch::LocalViewCache`].
+#[allow(clippy::too_many_arguments)]
+pub fn compute_node_view(
+    net: &Network,
+    adjacency: Option<&Adjacency>,
+    id: NodeId,
+    area: &Region,
+    config: &LaacadConfig,
+    round: usize,
+    scratch: &mut RoundScratch,
+) -> NodeView {
+    let max_rho = config.max_rho.unwrap_or(2.0 * area.diameter_bound());
+    let status = expanding_ring_search_status(
+        net,
+        adjacency,
+        id,
+        area,
+        config.k,
+        max_rho,
+        &mut scratch.ring,
+        &mut scratch.competitors,
+        &mut scratch.domination,
+    );
+    let true_self = net.position(id);
+    if let CoordinateMode::Oracle = config.coordinates {
+        if config.cache {
+            return cached_node_view(id, area, config, status, true_self, scratch);
+        }
+    }
+    // Uncached (ranging mode, or cache disabled): compute into the
+    // scratch's own piece buffer. In oracle mode the member positions
+    // are already in `competitors`; ranging re-derives them from the
+    // member ids (allocating — noise is re-drawn per round by design).
+    {
+        let s = &mut *scratch;
+        s.sites.clear();
+        match config.coordinates {
+            CoordinateMode::Oracle => {
+                s.sites.push(true_self);
+                s.sites.extend_from_slice(&s.competitors);
+            }
+            CoordinateMode::Ranging(_) => {
+                let candidates: Vec<NodeId> =
+                    s.ring.last_members().iter().map(|&m| NodeId(m)).collect();
+                build_sites(net, id, &candidates, config, round, s);
+            }
+        }
+    }
+    let s = &mut *scratch;
+    let (chebyshev, reach) = carve_and_measure(
+        area,
+        config,
+        status.rho,
+        status.dominated,
+        true_self,
+        &s.sites,
+        &mut s.subdivision,
+        &mut s.cap,
+        &mut s.domain,
+        &mut s.domain_tmp,
+        &mut s.welzl,
+        &mut s.pieces,
+    );
+    NodeView {
+        rho: status.rho,
+        dominated: status.dominated,
+        saturated: status.saturated,
+        messages: status.messages,
+        chebyshev,
+        reach,
+        cache_hit: false,
+    }
+}
+
+/// The oracle-mode cached path of [`compute_node_view`].
+fn cached_node_view(
+    id: NodeId,
+    area: &Region,
+    config: &LaacadConfig,
+    status: RingStatus,
+    true_self: Point,
+    scratch: &mut RoundScratch,
+) -> NodeView {
+    debug_assert_eq!(config.coordinates, CoordinateMode::Oracle);
+    let s = &mut *scratch;
+    let members = s.ring.last_members();
+    let entry = s.cache.slot(id.index());
+    if entry.matches(
+        config.k,
+        true_self,
+        status.rho,
+        status.dominated,
+        members,
+        &s.competitors,
+    ) {
+        return NodeView {
+            rho: status.rho,
+            dominated: status.dominated,
+            saturated: status.saturated,
+            messages: status.messages,
+            chebyshev: entry.chebyshev,
+            reach: entry.reach,
+            cache_hit: true,
+        };
+    }
+    // Miss: recompute (through the scratch's piece buffer — only the
+    // disk and reach are worth retaining per node) and refresh the key.
+    // All buffers are reused, so this allocates nothing after warm-up.
+    entry.store_key(
+        config.k,
+        true_self,
+        status.rho,
+        status.dominated,
+        members,
+        &s.competitors,
+    );
+    s.sites.clear();
+    s.sites.push(true_self);
+    s.sites.extend_from_slice(&s.competitors);
+    let (chebyshev, reach) = carve_and_measure(
+        area,
+        config,
+        status.rho,
+        status.dominated,
+        true_self,
+        &s.sites,
+        &mut s.subdivision,
+        &mut s.cap,
+        &mut s.domain,
+        &mut s.domain_tmp,
+        &mut s.welzl,
+        &mut s.pieces,
+    );
+    entry.chebyshev = chebyshev;
+    entry.reach = reach;
+    entry.valid = true;
+    NodeView {
+        rho: status.rho,
+        dominated: status.dominated,
+        saturated: status.saturated,
+        messages: status.messages,
+        chebyshev,
+        reach,
+        cache_hit: false,
+    }
+}
+
+/// Assembles the site list (`sites[0]` = the node's own estimate) into
+/// `scratch.sites` per the configured coordinate mode, returning the
+/// localization RMSE (0 in oracle mode).
+fn build_sites(
+    net: &Network,
+    id: NodeId,
+    candidates: &[NodeId],
+    config: &LaacadConfig,
+    round: usize,
+    scratch: &mut RoundScratch,
+) -> f64 {
     let true_self = net.position(id);
     let mut rmse = 0.0;
     scratch.sites.clear();
@@ -102,15 +324,15 @@ pub fn compute_local_view_scratched(
             scratch.sites.push(true_self);
             scratch
                 .sites
-                .extend(ring.candidates.iter().map(|&m| net.position(m)));
+                .extend(candidates.iter().map(|&m| net.position(m)));
         }
         CoordinateMode::Ranging(noise) => {
-            if ring.candidates.is_empty() {
+            if candidates.is_empty() {
                 scratch.sites.push(true_self);
             } else {
-                let mut members = Vec::with_capacity(ring.candidates.len() + 1);
+                let mut members = Vec::with_capacity(candidates.len() + 1);
                 members.push(id);
-                members.extend(ring.candidates.iter().copied());
+                members.extend(candidates.iter().copied());
                 let truth: Vec<Point> = members.iter().map(|&m| net.position(m)).collect();
                 // Per-node, per-round seed keeps measurements independent.
                 let seed = config
@@ -131,47 +353,92 @@ pub fn compute_local_view_scratched(
                         scratch.sites.push(true_self);
                         scratch
                             .sites
-                            .extend(ring.candidates.iter().map(|&m| net.position(m)));
+                            .extend(candidates.iter().map(|&m| net.position(m)));
                     }
                 }
             }
         }
     }
-    let self_est = scratch.sites[0];
+    rmse
+}
 
-    // Ring-cap policy.
+/// The shared geometry tail of every view computation: carves the
+/// region for the already-assembled site list (`sites[0]` = the node's
+/// own estimate) into `out` (cleared first) and measures the Chebyshev
+/// disk plus the farthest distance from `measure_from` in one vertex
+/// pass. One body serves the cached-miss, uncached and materializing
+/// paths, so the bit-identical cached-vs-uncached invariant cannot
+/// drift between copies.
+#[allow(clippy::too_many_arguments)]
+fn carve_and_measure(
+    area: &Region,
+    config: &LaacadConfig,
+    rho: f64,
+    dominated: bool,
+    measure_from: Point,
+    sites: &[Point],
+    subdivision: &mut SubdivisionScratch,
+    cap: &mut PolygonBuf,
+    domain: &mut PolygonBuf,
+    domain_tmp: &mut PolygonBuf,
+    welzl: &mut Vec<Point>,
+    out: &mut PieceSet,
+) -> (Option<Circle>, f64) {
+    out.clear();
+    carve_region(
+        area,
+        config,
+        sites[0],
+        rho,
+        dominated,
+        sites,
+        subdivision,
+        cap,
+        domain,
+        domain_tmp,
+        out,
+    );
+    out.disk_and_farthest(measure_from, welzl)
+}
+
+/// Carves `V^k_i ∩ A` (∩ the ρ/2 ring cap, per policy) into `out`
+/// through pooled buffers. `sites[0]` must be the node's own estimate.
+#[allow(clippy::too_many_arguments)]
+fn carve_region(
+    area: &Region,
+    config: &LaacadConfig,
+    self_est: Point,
+    rho: f64,
+    dominated: bool,
+    sites: &[Point],
+    subdivision: &mut SubdivisionScratch,
+    cap: &mut PolygonBuf,
+    domain: &mut PolygonBuf,
+    domain_tmp: &mut PolygonBuf,
+    out: &mut PieceSet,
+) {
+    // Ring-cap policy. The cap polygon is circumscribed (not inscribed)
+    // so it never truncates the true dominating region — the
+    // approximation can only *over*-estimate (DESIGN.md §3).
     let apply_cap = match config.ring_cap {
         RingCapPolicy::AlwaysCap => true,
-        RingCapPolicy::Exact => ring.dominated,
+        RingCapPolicy::Exact => dominated,
     };
-    let cap = apply_cap.then(|| cap_polygon(self_est, ring.rho / 2.0, config.cap_vertices));
-
-    let mut pieces = Vec::new();
+    let have_cap = apply_cap && {
+        let r = (rho / 2.0) / (std::f64::consts::PI / config.cap_vertices as f64).cos();
+        let ok = cap.assign_regular(self_est, r, config.cap_vertices, 0.0);
+        debug_assert!(ok, "cap polygon is valid");
+        ok
+    };
     for piece in area.convex_pieces() {
-        let domain = match &cap {
-            Some(cap_poly) => match piece.clip_convex(cap_poly) {
-                Some(d) => d,
-                None => continue,
-            },
-            None => piece.clone(),
-        };
-        dominating_region_scratched(
-            0,
-            &scratch.sites,
-            config.k,
-            &domain,
-            &mut scratch.subdivision,
-            &mut pieces,
-        );
-    }
-    let region = DominatingRegion::from_pieces(pieces);
-    let chebyshev = region.chebyshev_disk();
-    LocalView {
-        ring,
-        region,
-        chebyshev,
-        self_estimate: self_est,
-        localization_rmse: rmse,
+        if have_cap {
+            if !piece.clip_convex_buf_into(cap, domain, domain_tmp) {
+                continue;
+            }
+            dominating_region_pooled(0, sites, config.k, domain.vertices(), subdivision, out);
+        } else {
+            dominating_region_pooled(0, sites, config.k, piece.vertices(), subdivision, out);
+        }
     }
 }
 
@@ -322,5 +589,48 @@ mod tests {
         let oracle = compute_local_view(&net, id, &area, &cfg(2), 0);
         let ranged = compute_local_view(&net, id, &area, &cfg_rng, 0);
         assert!((oracle.region.area() - ranged.region.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_view_matches_local_view_and_caches() {
+        // The lean engine path must agree bit-for-bit with the
+        // materializing convenience path, and a repeated computation on
+        // an unchanged network must hit the cache with identical results.
+        let area = Region::square(1.0).unwrap();
+        let net = grid_net(9, 0.12, 0.18);
+        let config = LaacadConfig::builder(2)
+            .transmission_range(0.18)
+            .build()
+            .unwrap();
+        let mut scratch = RoundScratch::new();
+        for i in [0usize, 4, 40, 44, 80] {
+            let id = NodeId(i);
+            let view = compute_local_view(&net, id, &area, &config, 0);
+            let lean = compute_node_view(&net, None, id, &area, &config, 0, &mut scratch);
+            assert!(!lean.cache_hit, "first computation of node {i}");
+            assert_eq!(view.chebyshev, lean.chebyshev, "node {i}");
+            let reach = view.region.farthest_distance(net.position(id));
+            assert_eq!(reach.to_bits(), lean.reach.to_bits(), "node {i}");
+            assert_eq!(view.ring.messages, lean.messages, "node {i}");
+            // Second pass: identical inputs → cache hit, identical output.
+            let hit = compute_node_view(&net, None, id, &area, &config, 1, &mut scratch);
+            assert!(hit.cache_hit, "node {i}");
+            assert_eq!(lean.chebyshev, hit.chebyshev, "node {i}");
+            assert_eq!(lean.reach.to_bits(), hit.reach.to_bits(), "node {i}");
+        }
+    }
+
+    #[test]
+    fn cache_disabled_never_hits_but_matches() {
+        let area = Region::square(1.0).unwrap();
+        let net = grid_net(7, 0.15, 0.2);
+        let mut config = cfg(2);
+        config.cache = false;
+        let mut scratch = RoundScratch::new();
+        let a = compute_node_view(&net, None, NodeId(24), &area, &config, 0, &mut scratch);
+        let b = compute_node_view(&net, None, NodeId(24), &area, &config, 1, &mut scratch);
+        assert!(!a.cache_hit && !b.cache_hit);
+        assert_eq!(a.chebyshev, b.chebyshev);
+        assert_eq!(a.reach.to_bits(), b.reach.to_bits());
     }
 }

@@ -14,8 +14,8 @@
 //! bounded by the target area itself, and — during the expansion phase —
 //! optionally by the searching ring (see [`crate::RingCapPolicy`]).
 
-use laacad_geom::{Arc, ArcCover, Circle, HalfPlane, Point};
-use laacad_region::arcs::arcs_inside_region;
+use laacad_geom::{Arc, ArcCover, Circle, DepthScratch, HalfPlane, Point};
+use laacad_region::arcs::arcs_inside_region_into;
 use laacad_region::Region;
 use laacad_wsn::multihop::{hop_budget, RingQuery, RingScratch, DEFAULT_HOP_SLACK};
 use laacad_wsn::radio::MessageStats;
@@ -38,6 +38,25 @@ pub struct RingOutcome {
     pub messages: MessageStats,
 }
 
+/// Reusable buffers for the [`circle_dominated_scratched`] check: the
+/// in-area query arcs, the boundary-crossing angle scratch, the
+/// dominance-arc cover and the depth-sweep buffers. One instance per
+/// worker makes every ring-domination check allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DominationScratch {
+    query: Vec<Arc>,
+    cuts: Vec<f64>,
+    cover: ArcCover,
+    depth: DepthScratch,
+}
+
+impl DominationScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Checks whether every in-area point of `circle` has at least `k` of the
 /// `competitors` strictly closer than `center` (an exact arc-depth query).
 ///
@@ -50,20 +69,45 @@ pub fn circle_dominated(
     region: &Region,
     k: usize,
 ) -> bool {
-    let query = arcs_inside_region(circle, region);
-    if query.is_empty() {
+    circle_dominated_scratched(
+        center,
+        competitors,
+        circle,
+        region,
+        k,
+        &mut DominationScratch::new(),
+    )
+}
+
+/// [`circle_dominated`] over reusable buffers — the allocation-free form
+/// the expanding-ring search uses.
+pub fn circle_dominated_scratched(
+    center: Point,
+    competitors: &[Point],
+    circle: &Circle,
+    region: &Region,
+    k: usize,
+    scratch: &mut DominationScratch,
+) -> bool {
+    arcs_inside_region_into(circle, region, &mut scratch.cuts, &mut scratch.query);
+    if scratch.query.is_empty() {
         return true;
     }
-    let mut cover = ArcCover::new();
+    scratch.cover.clear();
     for &c in competitors {
         let Some(h) = HalfPlane::closer_to(c, center) else {
             continue; // co-located: never strictly closer
         };
         // Shrink the dominance region to its open interior: points of the
         // circle exactly equidistant do not count as dominated.
-        cover.add_span(Arc::from_halfplane_on_circle(circle, &h));
+        scratch
+            .cover
+            .add_span(Arc::from_halfplane_on_circle(circle, &h));
     }
-    cover.min_depth_on(&query) >= k
+    scratch
+        .cover
+        .min_depth_on_scratched(&scratch.query, &mut scratch.depth)
+        >= k
 }
 
 /// Runs the expanding-ring search (Algorithm 2) for `id` with one-shot
@@ -114,6 +158,58 @@ pub fn expanding_ring_search_scratched(
     scratch: &mut RingScratch,
     competitors: &mut Vec<Point>,
 ) -> RingOutcome {
+    let status = expanding_ring_search_status(
+        net,
+        adjacency,
+        id,
+        region,
+        k,
+        max_rho,
+        scratch,
+        competitors,
+        &mut DominationScratch::new(),
+    );
+    RingOutcome {
+        candidates: scratch.last_members().iter().map(|&m| NodeId(m)).collect(),
+        rho: status.rho,
+        dominated: status.dominated,
+        saturated: status.saturated,
+        messages: status.messages,
+    }
+}
+
+/// [`RingOutcome`] without the member list — everything the round engine
+/// needs by value; the members stay in the scratch
+/// ([`RingScratch::last_members`]) and their positions in `competitors`,
+/// both in ascending-id order, so the hot path never materializes a
+/// per-node candidate vector.
+#[derive(Debug, Clone, Copy)]
+pub struct RingStatus {
+    /// Final ring radius `ρ`.
+    pub rho: f64,
+    /// Whether the ring check succeeded (Algorithm 2 `out = true`).
+    pub dominated: bool,
+    /// Whether the search saturated the connected component / `max_rho`.
+    pub saturated: bool,
+    /// Messages spent on the search.
+    pub messages: MessageStats,
+}
+
+/// The allocation-free core of [`expanding_ring_search_scratched`]:
+/// identical search, but the member set is left in `scratch` /
+/// `competitors` instead of being copied into an owned vector.
+#[allow(clippy::too_many_arguments)]
+pub fn expanding_ring_search_status(
+    net: &Network,
+    adjacency: Option<&Adjacency>,
+    id: NodeId,
+    region: &Region,
+    k: usize,
+    max_rho: f64,
+    scratch: &mut RingScratch,
+    competitors: &mut Vec<Point>,
+    domination: &mut DominationScratch,
+) -> RingStatus {
     let gamma = net.gamma();
     let center = net.position(id);
     let mut rho = 0.0;
@@ -129,9 +225,8 @@ pub fn expanding_ring_search_scratched(
         let circle = Circle::new(center, rho / 2.0);
         competitors.clear();
         competitors.extend(query.members().iter().map(|&m| net.position(NodeId(m))));
-        if circle_dominated(center, competitors, &circle, region, k) {
-            return RingOutcome {
-                candidates: query.members_to_vec(),
+        if circle_dominated_scratched(center, competitors, &circle, region, k, domination) {
+            return RingStatus {
                 rho,
                 dominated: true,
                 saturated: false,
@@ -147,8 +242,7 @@ pub fn expanding_ring_search_scratched(
         let same_as_before = step.new_members == 0;
         let euclidean_slack = rho - query.farthest_member_distance() > gamma;
         if (same_as_before && euclidean_slack) || rho >= max_rho {
-            return RingOutcome {
-                candidates: query.members_to_vec(),
+            return RingStatus {
                 rho,
                 dominated: false,
                 saturated: true,

@@ -9,7 +9,7 @@ use crate::config::LaacadConfig;
 use crate::error::LaacadError;
 use crate::history::{History, RoundReport, RunSummary};
 use crate::hooks::{EventOutcome, HookAction, NetworkEvent, RoundHook};
-use crate::localview::compute_local_view_scratched;
+use crate::localview::compute_node_view;
 use crate::scratch::RoundScratch;
 use laacad_exec::{parallel_map_scratched, resolve_workers};
 use laacad_geom::Point;
@@ -160,32 +160,24 @@ impl Laacad {
         let (round, adjacency) = (self.round, &self.adjacency);
         parallel_map_scratched(&mut self.scratches, net.len(), |scratch, i| {
             let id = NodeId(i);
-            let view = compute_local_view_scratched(
-                net,
-                Some(adjacency),
-                id,
-                region,
-                config,
-                round,
-                scratch,
-            );
+            let view = compute_node_view(net, Some(adjacency), id, region, config, round, scratch);
             let u = net.position(id);
             match view.chebyshev {
                 Some(disk) => {
                     // The node's reach doubles as its working sensing
-                    // range (coverage monitoring mid-run) — computed once.
-                    let reach = view.region.farthest_distance(u);
+                    // range (coverage monitoring mid-run) — computed in
+                    // the same vertex pass as the disk.
                     let d = u.distance(disk.center);
                     NodeDecision {
                         target: (d > config.epsilon).then_some(disk.center),
-                        disk: Some((disk.radius, reach, d)),
-                        messages: view.ring.messages,
+                        disk: Some((disk.radius, view.reach, d)),
+                        messages: view.messages,
                     }
                 }
                 None => NodeDecision {
                     target: None,
                     disk: None,
-                    messages: view.ring.messages,
+                    messages: view.messages,
                 },
             }
         })
@@ -219,7 +211,7 @@ impl Laacad {
             for i in 0..n {
                 let id = NodeId(i);
                 // No adjacency snapshot: predecessors have already moved.
-                let view = compute_local_view_scratched(
+                let view = compute_node_view(
                     &self.net,
                     None,
                     id,
@@ -228,10 +220,10 @@ impl Laacad {
                     self.round,
                     &mut self.scratches[0],
                 );
-                messages.absorb(view.ring.messages);
+                messages.absorb(view.messages);
                 let u = self.net.position(id);
                 if let Some(disk) = view.chebyshev {
-                    let reach = view.region.farthest_distance(u);
+                    let reach = view.reach;
                     max_circumradius = max_circumradius.max(disk.radius);
                     min_circumradius = min_circumradius.min(disk.radius);
                     max_reach = max_reach.max(reach);
@@ -440,16 +432,7 @@ impl Laacad {
         let (round, adjacency) = (self.round, &self.adjacency);
         let radii = parallel_map_scratched(&mut self.scratches, net.len(), |scratch, i| {
             let id = NodeId(i);
-            let view = compute_local_view_scratched(
-                net,
-                Some(adjacency),
-                id,
-                region,
-                config,
-                round,
-                scratch,
-            );
-            view.region.farthest_distance(net.position(id))
+            compute_node_view(net, Some(adjacency), id, region, config, round, scratch).reach
         });
         for (i, r) in radii.into_iter().enumerate() {
             self.net.set_sensing_radius(NodeId(i), r);

@@ -3,13 +3,21 @@
 //! One LAACAD round issues `N` local-view computations, each of which
 //! runs an expanding-ring BFS and a bisector subdivision. All of the
 //! buffers those need — the epoch-stamped BFS arrays, competitor and
-//! site vectors, the subdivision worklist — live here, so a worker
-//! allocates once and then computes views allocation-free for the rest
-//! of the run. The synchronous engine keeps one [`RoundScratch`] per
-//! worker thread; the sequential engine keeps a single one.
+//! site vectors, the pooled subdivision worklist, the cap / domain clip
+//! buffers, the Welzl scratch — live here, so a worker allocates once
+//! and then computes views allocation-free for the rest of the run. The
+//! synchronous engine keeps one [`RoundScratch`] per worker thread; the
+//! sequential engine keeps a single one.
+//!
+//! The scratch also owns the worker's [`LocalViewCache`]: per-node
+//! entries keyed by the *exact* geometric inputs of the node's previous
+//! computation (position, ring radius, competitor `(id, position)` set,
+//! `k`). A hit skips the subdivision and Welzl entirely; because the key
+//! is exact equality, cached and uncached runs are bit-identical.
 
-use laacad_geom::Point;
-use laacad_voronoi::dominating::SubdivisionScratch;
+use crate::ring::DominationScratch;
+use laacad_geom::{Circle, Point, PolygonBuf};
+use laacad_voronoi::dominating::{PieceSet, SubdivisionScratch};
 use laacad_wsn::multihop::RingScratch;
 
 /// Reusable buffers for one worker's local-view computations.
@@ -17,17 +25,144 @@ use laacad_wsn::multihop::RingScratch;
 pub struct RoundScratch {
     /// Incremental expanding-ring BFS state.
     pub(crate) ring: RingScratch,
-    /// Competitor positions for the ρ/2-circle domination check.
+    /// Ring-domination check buffers (arc query, cover, depth sweep).
+    pub(crate) domination: DominationScratch,
+    /// Competitor positions for the ρ/2-circle domination check (and, in
+    /// oracle mode, the candidate site positions).
     pub(crate) competitors: Vec<Point>,
     /// Site list (self estimate + candidates) fed to the subdivision.
     pub(crate) sites: Vec<Point>,
-    /// Bisector-subdivision worklist and competitor arena.
+    /// Bisector-subdivision worklist, competitor arena and polygon pool.
     pub(crate) subdivision: SubdivisionScratch,
+    /// Region pieces of the current uncached computation.
+    pub(crate) pieces: PieceSet,
+    /// Welzl input scratch (refilled per disk computation).
+    pub(crate) welzl: Vec<Point>,
+    /// The ρ/2 ring-cap polygon of the current node.
+    pub(crate) cap: PolygonBuf,
+    /// Clip output buffer for `piece ∩ cap` domains.
+    pub(crate) domain: PolygonBuf,
+    /// Ping-pong partner of `domain`.
+    pub(crate) domain_tmp: PolygonBuf,
+    /// Cross-round per-node view cache (see [`LocalViewCache`]).
+    pub(crate) cache: LocalViewCache,
 }
 
 impl RoundScratch {
     /// Creates an empty scratch (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Cross-round cache of per-node local views.
+///
+/// Entries are indexed by node id and keyed by the exact inputs of the
+/// dominating-region computation. With multiple workers each worker owns
+/// its own cache and nodes migrate between workers, so hits degrade
+/// gracefully (a miss just recomputes — results never change); with the
+/// serial default every node hits its previous round's entry as soon as
+/// its neighborhood stops moving.
+#[derive(Debug, Clone, Default)]
+pub struct LocalViewCache {
+    entries: Vec<CacheEntry>,
+}
+
+impl LocalViewCache {
+    /// The entry slot for node `i`, growing the table on demand.
+    pub(crate) fn slot(&mut self, i: usize) -> &mut CacheEntry {
+        if self.entries.len() <= i {
+            self.entries.resize_with(i + 1, CacheEntry::default);
+        }
+        &mut self.entries[i]
+    }
+}
+
+/// One node's cached view, together with the exact-equality key that
+/// guards its reuse.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheEntry {
+    /// Whether the entry holds a computed view.
+    pub(crate) valid: bool,
+    // --- key ---------------------------------------------------------
+    /// Coverage degree the view was computed for (`SetK` events change it
+    /// mid-run).
+    pub(crate) k: usize,
+    /// The node's exact position.
+    pub(crate) self_pos: Point,
+    /// Final ring radius (determines the ρ/2 cap).
+    pub(crate) rho: f64,
+    /// Ring-check outcome (determines whether the cap applies under
+    /// [`crate::RingCapPolicy::Exact`]).
+    pub(crate) dominated: bool,
+    /// Competitor ids, ascending (the ring search's member order).
+    pub(crate) member_ids: Vec<usize>,
+    /// Competitor positions, aligned with `member_ids`.
+    pub(crate) member_pos: Vec<Point>,
+    // --- cached view -------------------------------------------------
+    // (The region pieces themselves are not retained: hits only ever
+    // need the disk and the reach, so caching the geometry would hold
+    // per-node vertex buffers per worker with zero readers.)
+    /// Chebyshev disk of the region.
+    pub(crate) chebyshev: Option<Circle>,
+    /// Farthest distance from `self_pos` to the region.
+    pub(crate) reach: f64,
+}
+
+impl Default for CacheEntry {
+    fn default() -> Self {
+        CacheEntry {
+            valid: false,
+            k: 0,
+            self_pos: Point::ORIGIN,
+            rho: 0.0,
+            dominated: false,
+            member_ids: Vec::new(),
+            member_pos: Vec::new(),
+            chebyshev: None,
+            reach: 0.0,
+        }
+    }
+}
+
+impl CacheEntry {
+    /// Whether the entry's key matches the given inputs exactly.
+    pub(crate) fn matches(
+        &self,
+        k: usize,
+        self_pos: Point,
+        rho: f64,
+        dominated: bool,
+        member_ids: &[usize],
+        member_pos: &[Point],
+    ) -> bool {
+        self.valid
+            && self.k == k
+            && self.self_pos == self_pos
+            && self.rho == rho
+            && self.dominated == dominated
+            && self.member_ids == member_ids
+            && self.member_pos == member_pos
+    }
+
+    /// Overwrites the key fields (the caller recomputes the view and
+    /// stores the resulting disk/reach afterwards).
+    pub(crate) fn store_key(
+        &mut self,
+        k: usize,
+        self_pos: Point,
+        rho: f64,
+        dominated: bool,
+        member_ids: &[usize],
+        member_pos: &[Point],
+    ) {
+        self.k = k;
+        self.self_pos = self_pos;
+        self.rho = rho;
+        self.dominated = dominated;
+        self.member_ids.clear();
+        self.member_ids.extend_from_slice(member_ids);
+        self.member_pos.clear();
+        self.member_pos.extend_from_slice(member_pos);
     }
 }

@@ -1,0 +1,78 @@
+//! The cross-round local-view cache must be invisible in the results:
+//! its key is exact equality of every geometric input, so a 300+-round
+//! dynamic-event run must produce byte-identical histories with the
+//! cache on or off, at any worker count.
+
+use laacad::{Laacad, LaacadConfig, NetworkEvent};
+use laacad_geom::Point;
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+use laacad_wsn::NodeId;
+
+/// Runs 310 synchronous rounds (stepping straight through convergence
+/// plateaus) with mid-run failures, insertions and a k change, and
+/// returns every observable artifact as a byte-comparable string.
+fn run_fingerprint(cache: bool, threads: usize) -> String {
+    let region = Region::square(1.0).unwrap();
+    let n = 48;
+    let k = 2;
+    let config = LaacadConfig::builder(k)
+        .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+        .alpha(0.5)
+        .epsilon(1e-5)
+        .max_rounds(400)
+        .snapshot_every(50)
+        .threads(threads)
+        .cache(cache)
+        .build()
+        .unwrap();
+    let initial = sample_uniform(&region, n, 7777);
+    let mut sim = Laacad::new(config, region, initial).unwrap();
+    for round in 1..=310usize {
+        sim.step();
+        // Dynamic events mid-run: each one invalidates a batch of cache
+        // keys and re-excites the deployment.
+        if round == 100 {
+            sim.apply_event(NetworkEvent::FailNodes(
+                (0..8).map(|i| NodeId(i * 5)).collect(),
+            ))
+            .unwrap();
+        }
+        if round == 180 {
+            sim.apply_event(NetworkEvent::InsertNodes(vec![
+                Point::new(0.5, 0.5),
+                Point::new(0.1, 0.9),
+                Point::new(0.92, 0.08),
+            ]))
+            .unwrap();
+        }
+        if round == 240 {
+            sim.apply_event(NetworkEvent::SetK(3)).unwrap();
+        }
+    }
+    sim.finalize();
+    format!(
+        "rounds={:?}\nsnapshots={:?}\npositions={:?}\nradii={:?}",
+        sim.history().rounds(),
+        sim.history().snapshots(),
+        sim.network().positions(),
+        sim.network()
+            .nodes()
+            .iter()
+            .map(|nd| nd.sensing_radius())
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn cached_and_uncached_histories_are_byte_identical_across_threads() {
+    let reference = run_fingerprint(false, 1);
+    assert!(reference.contains("rounds="));
+    for (cache, threads) in [(true, 1), (false, 4), (true, 4)] {
+        let other = run_fingerprint(cache, threads);
+        assert!(
+            reference == other,
+            "cache={cache} threads={threads} diverged from the uncached serial history"
+        );
+    }
+}

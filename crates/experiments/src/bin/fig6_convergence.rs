@@ -1,55 +1,82 @@
 //! Fig. 6 — convergence of LAACAD: maximum and minimum circumradius per
 //! round for k = 1..4, from the Fig. 5 corner start.
 //!
+//! Driven by the declarative spec `scenarios/fig6_convergence.toml`: the
+//! campaign runner executes the k-grid across all cores and this binary
+//! renders the chart and streams the JSONL/CSV results.
+//!
 //! Expected shape: the max circumradius decreases monotonically (exactly
 //! so for α = 1, by Prop. 4), the min circumradius rises, and the two
 //! meet — evidence of load balancing (min ≈ max at convergence,
 //! especially for larger k).
 
-use laacad_experiments::{markdown_table, output, runs, Csv};
-use laacad_geom::Point;
-use laacad_region::Region;
+use laacad_experiments::scenarios::{self, FIG6_CONVERGENCE};
+use laacad_experiments::{markdown_table, output, Csv};
+use laacad_scenario::{run_campaign, ResultStore};
 use laacad_viz::LineChart;
 
 fn main() {
-    let region = Region::square(1.0).expect("1 km² square");
-    let corner = Point::new(0.12, 0.12);
+    let campaign = scenarios::load_campaign("fig6_convergence", FIG6_CONVERGENCE)
+        .expect("fig6_convergence spec parses");
+    let results = run_campaign(&campaign).expect("fig6 grid expands");
+    let store = ResultStore::new(output::out_dir());
+    let (jsonl, csv_path) = store
+        .write(&campaign.name, &results)
+        .expect("result store writes");
+    println!("wrote {}", output::rel(&jsonl));
+    println!("wrote {}", output::rel(&csv_path));
+
     let mut chart = LineChart::new("round", "circumradius (km)");
     let mut csv = Csv::with_header(&["k", "round", "max_circumradius", "min_circumradius"]);
     let mut rows = Vec::new();
-    for k in 1..=4usize {
-        let mut params = runs::StandardRun::new(k, 100, 42);
-        params.cluster = Some((corner, 0.12));
-        params.max_rounds = 250;
-        params.gamma = Some(0.25);
-        let (sim, summary, _) = runs::run_laacad(&region, &params);
-        let series = sim.history().circumradius_series();
-        for &(round, max_r, min_r) in &series {
+    for cell in &results {
+        let outcome = match &cell.outcome {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("cell {} failed: {e}", cell.cell.index);
+                continue;
+            }
+        };
+        let k = cell.cell.k;
+        let series = &outcome.rounds;
+        for r in series {
             csv.row(&[
                 k.to_string(),
-                round.to_string(),
-                format!("{max_r:.6}"),
-                format!("{min_r:.6}"),
+                r.round.to_string(),
+                format!("{:.6}", r.max_circumradius),
+                format!("{:.6}", r.min_circumradius),
             ]);
         }
         chart.add_series(
             format!("k={k} max"),
-            series.iter().map(|&(r, max, _)| (r as f64, max)).collect(),
+            series
+                .iter()
+                .map(|r| (r.round as f64, r.max_circumradius))
+                .collect(),
         );
         chart.add_dashed_series(
             format!("k={k} min"),
-            series.iter().map(|&(r, _, min)| (r as f64, min)).collect(),
+            series
+                .iter()
+                .map(|r| (r.round as f64, r.min_circumradius))
+                .collect(),
         );
         let final_gap = series
             .last()
-            .map(|&(_, max, min)| max - min)
+            .map(|r| r.max_circumradius - r.min_circumradius)
             .unwrap_or(f64::NAN);
         rows.push(vec![
             k.to_string(),
-            summary.rounds.to_string(),
-            summary.converged.to_string(),
-            format!("{:.4}", series.first().map(|&(_, m, _)| m).unwrap_or(0.0)),
-            format!("{:.4}", series.last().map(|&(_, m, _)| m).unwrap_or(0.0)),
+            outcome.summary.rounds.to_string(),
+            outcome.summary.converged.to_string(),
+            format!(
+                "{:.4}",
+                series.first().map(|r| r.max_circumradius).unwrap_or(0.0)
+            ),
+            format!(
+                "{:.4}",
+                series.last().map(|r| r.max_circumradius).unwrap_or(0.0)
+            ),
             format!("{final_gap:.4}"),
         ]);
     }

@@ -12,6 +12,8 @@ use std::path::PathBuf;
 
 /// Embedded copy of `scenarios/fig5_corner.toml`.
 pub const FIG5_CORNER: &str = include_str!("../../../scenarios/fig5_corner.toml");
+/// Embedded copy of `scenarios/fig6_convergence.toml`.
+pub const FIG6_CONVERGENCE: &str = include_str!("../../../scenarios/fig6_convergence.toml");
 /// Embedded copy of `scenarios/table1_minnode.toml`.
 pub const TABLE1_MINNODE: &str = include_str!("../../../scenarios/table1_minnode.toml");
 /// Embedded copy of `scenarios/failure_recovery.toml`.
@@ -57,6 +59,7 @@ mod tests {
     fn embedded_specs_parse() {
         for (name, text) in [
             ("fig5_corner", FIG5_CORNER),
+            ("fig6_convergence", FIG6_CONVERGENCE),
             ("table1_minnode", TABLE1_MINNODE),
             ("failure_recovery", FAILURE_RECOVERY),
         ] {

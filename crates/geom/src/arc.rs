@@ -156,6 +156,12 @@ impl ArcCover {
         Self::default()
     }
 
+    /// Empties the cover for reuse, keeping its arc storage.
+    pub fn clear(&mut self) {
+        self.arcs.clear();
+        self.full_count = 0;
+    }
+
     /// Adds an arc (full-circle arcs are counted separately for exactness).
     pub fn add(&mut self, arc: Arc) {
         if arc.span() >= TAU {
@@ -182,12 +188,12 @@ impl ArcCover {
 
     /// Exact minimum coverage depth over the whole circle.
     pub fn min_depth(&self) -> usize {
-        self.extreme_depth_on(&[Arc::full()], true)
+        self.extreme_depth_on(&[Arc::full()], true, &mut DepthScratch::default())
     }
 
     /// Exact maximum coverage depth over the whole circle.
     pub fn max_depth(&self) -> usize {
-        self.extreme_depth_on(&[Arc::full()], false)
+        self.extreme_depth_on(&[Arc::full()], false, &mut DepthScratch::default())
     }
 
     /// Exact minimum coverage depth over the union of `query` arcs.
@@ -196,21 +202,30 @@ impl ArcCover {
     /// — for the ring check this reads as "nothing left to dominate", which
     /// correctly terminates the expansion.
     pub fn min_depth_on(&self, query: &[Arc]) -> usize {
-        self.extreme_depth_on(query, true)
+        self.extreme_depth_on(query, true, &mut DepthScratch::default())
+    }
+
+    /// [`ArcCover::min_depth_on`] over reusable sweep buffers — the
+    /// allocation-free form the ring-domination hot path uses.
+    pub fn min_depth_on_scratched(&self, query: &[Arc], scratch: &mut DepthScratch) -> usize {
+        self.extreme_depth_on(query, true, scratch)
     }
 
     /// Sweep-line extreme depth: depth is piecewise constant between arc
     /// endpoints, so one pass over the sorted endpoint events suffices —
     /// `O(M log M)` where the per-interval `depth_at` scan this replaced
     /// was `O(M²)` (it dominated every ring-domination check).
-    fn extreme_depth_on(&self, query: &[Arc], take_min: bool) -> usize {
-        let queries: Vec<&Arc> = query.iter().filter(|a| a.span() > 0.0).collect();
-        if queries.is_empty() {
+    fn extreme_depth_on(&self, query: &[Arc], take_min: bool, scratch: &mut DepthScratch) -> usize {
+        let live = |a: &&Arc| a.span() > 0.0;
+        if !query.iter().any(|a| a.span() > 0.0) {
             return if take_min { usize::MAX } else { 0 };
         }
         // Events: +1 where an arc begins, −1 just past its end; arcs that
         // wrap past 2π already cover angle 0 and seed the running depth.
-        let mut events: Vec<(f64, i32)> = Vec::with_capacity(2 * self.arcs.len());
+        let events = &mut scratch.events;
+        let bs = &mut scratch.bs;
+        events.clear();
+        bs.clear();
         let mut depth = self.full_count as i64;
         for a in &self.arcs {
             let s = a.start();
@@ -221,15 +236,18 @@ impl ArcCover {
                 depth += 1;
             }
         }
-        events.sort_by(|x, y| x.0.total_cmp(&y.0));
-        let mut bs: Vec<f64> = Vec::with_capacity(events.len() + 2 * queries.len() + 1);
+        // Unstable sorts: keys are exact angles, and events at equal (or
+        // tolerance-merged) angles are summed before any depth is read,
+        // so relative order of equal keys cannot affect the result — and
+        // the in-place sort keeps the sweep allocation-free.
+        events.sort_unstable_by(|x, y| x.0.total_cmp(&y.0));
         bs.push(0.0);
         bs.extend(events.iter().map(|&(t, _)| t));
-        for q in &queries {
+        for q in query.iter().filter(live) {
             bs.push(q.start());
             bs.push(normalize_angle(q.end()));
         }
-        bs.sort_by(f64::total_cmp);
+        bs.sort_unstable_by(f64::total_cmp);
         bs.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
         let mut best: Option<usize> = None;
         let m = bs.len();
@@ -247,7 +265,7 @@ impl ArcCover {
                 continue;
             }
             let mid = normalize_angle(0.5 * (a + b));
-            if !queries.iter().any(|q| q.contains(mid)) {
+            if !query.iter().filter(live).any(|q| q.contains(mid)) {
                 continue;
             }
             let d = depth.max(0) as usize;
@@ -273,6 +291,22 @@ impl ArcCover {
     /// Returns `true` when no arc has been added at all.
     pub fn is_empty(&self) -> bool {
         self.arcs.is_empty() && self.full_count == 0
+    }
+}
+
+/// Reusable buffers for the [`ArcCover`] depth sweep (endpoint events
+/// and breakpoint angles). One instance per worker makes every
+/// ring-domination check allocation-free after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct DepthScratch {
+    events: Vec<(f64, i32)>,
+    bs: Vec<f64>,
+}
+
+impl DepthScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 

@@ -104,26 +104,35 @@ impl Circle {
     /// Returns 0–2 angles in `[0, 2π)`, the parameters of the crossing
     /// points. Used to clip ring-check circles against region boundaries.
     pub fn intersect_segment_angles(&self, seg: &Segment) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.intersect_segment_angles_into(seg, &mut out);
+        out
+    }
+
+    /// [`Circle::intersect_segment_angles`] appending into a caller
+    /// buffer (nothing is cleared; the tangent-case deduplication only
+    /// considers this segment's own crossings).
+    pub fn intersect_segment_angles_into(&self, seg: &Segment, out: &mut Vec<f64>) {
         let d = seg.direction();
         let f = seg.a - self.center;
         let a = d.norm_sq();
         if a <= EPS * EPS {
-            return Vec::new();
+            return;
         }
         let b = 2.0 * f.dot(d);
         let c = f.norm_sq() - self.radius * self.radius;
         let disc = b * b - 4.0 * a * c;
         if disc < 0.0 {
-            return Vec::new();
+            return;
         }
         let sq = disc.sqrt();
-        let mut out = Vec::new();
+        let base = out.len();
         for t in [(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)] {
             if (-1e-12..=1.0 + 1e-12).contains(&t) {
                 let p = seg.point_at(t.clamp(0.0, 1.0));
                 let theta = crate::angle::normalize_angle((p - self.center).angle());
                 // Deduplicate the tangent case.
-                if !out
+                if !out[base..]
                     .iter()
                     .any(|&o: &f64| crate::angle::angular_distance(o, theta) < 1e-12)
                 {
@@ -131,7 +140,6 @@ impl Circle {
                 }
             }
         }
-        out
     }
 }
 

@@ -48,16 +48,16 @@ pub mod welzl;
 
 pub use aabb::Aabb;
 pub use angle::{normalize_angle, Angle};
-pub use arc::{Arc, ArcCover, ArcSpan};
+pub use arc::{Arc, ArcCover, ArcSpan, DepthScratch};
 pub use circle::Circle;
 pub use halfplane::HalfPlane;
 pub use hull::convex_hull;
 pub use line::Line;
 pub use point::{Point, Vector};
-pub use polygon::Polygon;
+pub use polygon::{Polygon, PolygonBuf, PolygonPool};
 pub use predicates::{orient2d, Orientation};
 pub use segment::Segment;
-pub use welzl::min_enclosing_circle;
+pub use welzl::{min_enclosing_circle, min_enclosing_circle_in_place};
 
 /// Default absolute tolerance used by the geometric predicates in this crate.
 ///

@@ -226,31 +226,22 @@ impl Polygon {
     /// empty or degenerate (zero area). For non-convex subjects the result
     /// may merge components along boundary edges — `laacad-region` avoids
     /// this by convex-decomposing first.
+    ///
+    /// This convenience form allocates the result; the round engine's hot
+    /// path uses [`Polygon::clip_halfplane_into`] over pooled buffers.
     pub fn clip_halfplane(&self, h: &HalfPlane) -> Option<Polygon> {
-        let n = self.vertices.len();
-        let mut out: Vec<Point> = Vec::with_capacity(n + 4);
-        let scale = 1.0 + self.bounding_box().diagonal();
-        let tol = EPS * scale;
-        let dist: Vec<f64> = self
-            .vertices
-            .iter()
-            .map(|&v| h.signed_distance(v))
-            .collect();
-        for i in 0..n {
-            let (a, da) = (self.vertices[i], dist[i]);
-            let (b, db) = (self.vertices[(i + 1) % n], dist[(i + 1) % n]);
-            let a_in = da <= tol;
-            let b_in = db <= tol;
-            if a_in {
-                out.push(a);
-            }
-            if a_in != b_in {
-                // The edge crosses the boundary; da != db by construction.
-                let t = da / (da - db);
-                out.push(a.lerp(b, t.clamp(0.0, 1.0)));
-            }
-        }
-        Polygon::new(out).ok()
+        let mut out = PolygonBuf::new();
+        clip_halfplane_core(&self.vertices, h, &mut out.vertices).then_some(Polygon {
+            vertices: out.vertices,
+        })
+    }
+
+    /// [`Polygon::clip_halfplane`] into a reusable buffer: writes the
+    /// clipped vertex loop into `out` (cleared first) and returns whether
+    /// the intersection is a valid polygon. The result is identical to
+    /// the allocating form, vertex for vertex.
+    pub fn clip_halfplane_into(&self, h: &HalfPlane, out: &mut PolygonBuf) -> bool {
+        clip_halfplane_core(&self.vertices, h, &mut out.vertices)
     }
 
     /// Intersection with a convex polygon: successive half-plane clips by
@@ -258,15 +249,54 @@ impl Polygon {
     ///
     /// Exact when `clip` is convex (callers must guarantee this; debug
     /// builds assert it). Returns `None` for empty/degenerate intersections.
+    ///
+    /// This convenience form allocates per clip edge; the hot path uses
+    /// [`Polygon::clip_convex_into`], which ping-pongs between two
+    /// reusable buffers instead.
     pub fn clip_convex(&self, clip: &Polygon) -> Option<Polygon> {
+        let mut out = PolygonBuf::new();
+        let mut tmp = PolygonBuf::new();
+        self.clip_convex_into(clip, &mut out, &mut tmp)
+            .then_some(Polygon {
+                vertices: out.vertices,
+            })
+    }
+
+    /// [`Polygon::clip_convex`] over caller-owned buffers: the result
+    /// lands in `out` (with `tmp` as the ping-pong partner) and no heap
+    /// allocation happens once the buffers have grown to size.
+    pub fn clip_convex_into(
+        &self,
+        clip: &Polygon,
+        out: &mut PolygonBuf,
+        tmp: &mut PolygonBuf,
+    ) -> bool {
         debug_assert!(clip.is_convex(), "clip polygon must be convex");
-        let mut current = self.clone();
-        let n = clip.vertices.len();
-        for i in 0..n {
-            let h = HalfPlane::left_of(clip.vertices[i], clip.vertices[(i + 1) % n])?;
-            current = current.clip_halfplane(&h)?;
-        }
-        Some(current)
+        clip_convex_core(&self.vertices, &clip.vertices, out, tmp)
+    }
+
+    /// [`Polygon::clip_convex_into`] with the convex clip loop held in a
+    /// [`PolygonBuf`] (e.g. a pooled ring-cap polygon).
+    pub fn clip_convex_buf_into(
+        &self,
+        clip: &PolygonBuf,
+        out: &mut PolygonBuf,
+        tmp: &mut PolygonBuf,
+    ) -> bool {
+        clip_convex_core(&self.vertices, &clip.vertices, out, tmp)
+    }
+
+    /// Builds a polygon from a vertex loop already in normalized form
+    /// (counter-clockwise, consecutive duplicates merged, non-degenerate)
+    /// — e.g. vertices copied out of another polygon or a clip-kernel
+    /// output. Debug builds assert the invariants.
+    pub fn from_normalized(vertices: Vec<Point>) -> Polygon {
+        debug_assert!(vertices.len() >= 3, "normalized loop needs 3+ vertices");
+        debug_assert!(
+            signed_area(&vertices) > EPS,
+            "normalized loop must be CCW with positive area"
+        );
+        Polygon { vertices }
     }
 
     /// The vertex farthest from `p`, with its distance.
@@ -334,6 +364,242 @@ impl std::fmt::Display for Polygon {
             self.area()
         )
     }
+}
+
+/// A reusable polygon vertex buffer.
+///
+/// Holds either nothing (empty) or a *normalized* counter-clockwise
+/// vertex loop — the same invariants as [`Polygon`], maintained by the
+/// clip kernels and [`PolygonBuf::assign`]. The buffer keeps its heap
+/// capacity across reuses, which is what makes the subdivision hot path
+/// allocation-free in steady state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PolygonBuf {
+    vertices: Vec<Point>,
+}
+
+impl PolygonBuf {
+    /// An empty buffer (allocates on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current vertex loop (empty when no polygon is loaded).
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the buffer holds no polygon.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Empties the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.vertices.clear();
+    }
+
+    /// Loads a vertex loop, applying exactly the [`Polygon::new`]
+    /// normalization (duplicate merging, orientation, degeneracy checks).
+    /// Returns `false` — leaving the buffer empty — when the loop does
+    /// not form a valid polygon.
+    pub fn assign(&mut self, vertices: impl IntoIterator<Item = Point>) -> bool {
+        self.vertices.clear();
+        for v in vertices {
+            if !v.is_finite() {
+                self.vertices.clear();
+                return false;
+            }
+            if self
+                .vertices
+                .last()
+                .is_none_or(|last| !last.approx_eq(v, EPS))
+            {
+                self.vertices.push(v);
+            }
+        }
+        normalize_loop(&mut self.vertices)
+    }
+
+    /// Loads a vertex loop that is already normalized (e.g. copied from a
+    /// [`Polygon`] or another buffer) without re-checking.
+    pub fn copy_from(&mut self, vertices: &[Point]) {
+        self.vertices.clear();
+        self.vertices.extend_from_slice(vertices);
+    }
+
+    /// Loads the regular `n`-gon of [`Polygon::regular`], reusing the
+    /// buffer's storage. Returns `false` for invalid parameters.
+    pub fn assign_regular(&mut self, center: Point, r: f64, n: usize, phase: f64) -> bool {
+        if n < 3 || r.is_nan() || r <= 0.0 {
+            self.vertices.clear();
+            return false;
+        }
+        self.assign((0..n).map(|i| {
+            let th = phase + i as f64 / n as f64 * std::f64::consts::TAU;
+            center + Vector::from_angle(th) * r
+        }))
+    }
+
+    /// [`Polygon::clip_halfplane_into`] with a buffer as the subject.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is empty (no polygon loaded).
+    pub fn clip_halfplane_into(&self, h: &HalfPlane, out: &mut PolygonBuf) -> bool {
+        assert!(!self.is_empty(), "clip subject buffer is empty");
+        clip_halfplane_core(&self.vertices, h, &mut out.vertices)
+    }
+
+    /// Materializes the held loop as an owned [`Polygon`].
+    ///
+    /// Returns `None` when the buffer is empty.
+    pub fn to_polygon(&self) -> Option<Polygon> {
+        (!self.is_empty()).then(|| Polygon::from_normalized(self.vertices.clone()))
+    }
+}
+
+/// A free list of [`PolygonBuf`]s.
+///
+/// The bisector subdivision acquires one buffer per live face and
+/// releases it when the face is split, accepted or discarded; after the
+/// first few calls every acquire is served from the free list and the
+/// whole subdivision performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct PolygonPool {
+    free: Vec<PolygonBuf>,
+}
+
+impl PolygonPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer from the pool (or allocates a fresh one).
+    pub fn acquire(&mut self) -> PolygonBuf {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn release(&mut self, mut buf: PolygonBuf) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Buffers currently available for reuse.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// The Sutherland–Hodgman half-plane clip over raw vertex loops, with the
+/// [`Polygon::new`] normalization applied streamingly. Writes into `out`
+/// (cleared first); returns whether the result is a valid polygon.
+///
+/// Byte-compatible with the historical `clip_halfplane` + `Polygon::new`
+/// composition: the same vertices are produced in the same order, each
+/// distance is computed exactly once per vertex, and the same duplicate /
+/// orientation / degeneracy rules apply.
+fn clip_halfplane_core(subject: &[Point], h: &HalfPlane, out: &mut Vec<Point>) -> bool {
+    out.clear();
+    let n = subject.len();
+    if n == 0 {
+        return false;
+    }
+    let scale = 1.0
+        + Aabb::from_points(subject.iter().copied())
+            .expect("clip subject is non-empty")
+            .diagonal();
+    let tol = EPS * scale;
+    // Push with the constructor's finiteness check and duplicate merge.
+    let push = |out: &mut Vec<Point>, v: Point| -> bool {
+        if !v.is_finite() {
+            return false;
+        }
+        if out.last().is_none_or(|last| !last.approx_eq(v, EPS)) {
+            out.push(v);
+        }
+        true
+    };
+    let d0 = h.signed_distance(subject[0]);
+    let mut da = d0;
+    for i in 0..n {
+        let a = subject[i];
+        let b = subject[(i + 1) % n];
+        let db = if i + 1 == n { d0 } else { h.signed_distance(b) };
+        let a_in = da <= tol;
+        let b_in = db <= tol;
+        if a_in && !push(out, a) {
+            out.clear();
+            return false;
+        }
+        if a_in != b_in {
+            // The edge crosses the boundary; da != db by construction.
+            let t = da / (da - db);
+            if !push(out, a.lerp(b, t.clamp(0.0, 1.0))) {
+                out.clear();
+                return false;
+            }
+        }
+        da = db;
+    }
+    normalize_loop(out)
+}
+
+/// Iterated half-plane clips by `clip`'s edges, ping-ponging between
+/// `out` and `tmp`. The result lands in `out`.
+fn clip_convex_core(
+    subject: &[Point],
+    clip: &[Point],
+    out: &mut PolygonBuf,
+    tmp: &mut PolygonBuf,
+) -> bool {
+    out.vertices.clear();
+    out.vertices.extend_from_slice(subject);
+    let n = clip.len();
+    for i in 0..n {
+        let Some(h) = HalfPlane::left_of(clip[i], clip[(i + 1) % n]) else {
+            out.vertices.clear();
+            return false;
+        };
+        if !clip_halfplane_core(&out.vertices, &h, &mut tmp.vertices) {
+            out.vertices.clear();
+            return false;
+        }
+        std::mem::swap(&mut out.vertices, &mut tmp.vertices);
+    }
+    true
+}
+
+/// The tail of the [`Polygon::new`] normalization over an already
+/// duplicate-merged loop: drop the closing duplicate, reject too-few /
+/// zero-area loops, enforce counter-clockwise orientation.
+fn normalize_loop(vs: &mut Vec<Point>) -> bool {
+    while vs.len() >= 2 && vs[0].approx_eq(*vs.last().expect("len checked"), EPS) {
+        vs.pop();
+    }
+    if vs.len() < 3 {
+        vs.clear();
+        return false;
+    }
+    let signed = signed_area(vs);
+    if signed.abs() <= EPS {
+        vs.clear();
+        return false;
+    }
+    if signed < 0.0 {
+        vs.reverse();
+    }
+    true
 }
 
 /// Signed (shoelace) area of a vertex loop; positive for counter-clockwise.

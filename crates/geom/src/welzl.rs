@@ -47,6 +47,20 @@ pub fn min_enclosing_circle(points: &[Point]) -> Circle {
     }
 }
 
+/// [`min_enclosing_circle`] over a caller-owned mutable slice.
+///
+/// The move-to-front heuristic reorders `points` in place, so the caller
+/// avoids the per-call copy of the allocating form — the round engine
+/// refills one scratch vector per worker and passes it here. Results are
+/// identical to [`min_enclosing_circle`] on the same input order.
+pub fn min_enclosing_circle_in_place(points: &mut [Point]) -> Circle {
+    match points.len() {
+        0 => Circle::point(Point::ORIGIN),
+        1 => Circle::point(points[0]),
+        _ => welzl_mtf(points),
+    }
+}
+
 /// Tolerant containment used while growing the disk.
 fn inside(c: &Circle, p: Point, scale: f64) -> bool {
     c.center.distance_sq(p) <= c.radius * c.radius + EPS * (1.0 + scale)

@@ -4,7 +4,8 @@ use laacad_geom::hull::hull_contains;
 use laacad_geom::polygon::signed_area;
 use laacad_geom::welzl::min_enclosing_circle_brute;
 use laacad_geom::{
-    convex_hull, min_enclosing_circle, Arc, ArcCover, HalfPlane, Point, Polygon, Segment, Vector,
+    convex_hull, min_enclosing_circle, min_enclosing_circle_in_place, Arc, ArcCover, HalfPlane,
+    Point, Polygon, PolygonBuf, Segment, Vector,
 };
 use proptest::prelude::*;
 
@@ -99,6 +100,67 @@ proptest! {
     }
 
     #[test]
+    fn clip_halfplane_into_matches_allocating_form(
+        pts in points(3, 20),
+        nx in -1.0f64..1.0,
+        ny in -1.0f64..1.0,
+        off in -500.0f64..500.0,
+    ) {
+        let hull = convex_hull(&pts);
+        prop_assume!(hull.len() >= 3);
+        let poly = Polygon::new(hull).unwrap();
+        let Some(h) = HalfPlane::new(Vector::new(nx, ny), off) else {
+            return Ok(());
+        };
+        let owned = poly.clip_halfplane(&h);
+        let mut buf = PolygonBuf::new();
+        let ok = poly.clip_halfplane_into(&h, &mut buf);
+        match owned {
+            Some(p) => {
+                prop_assert!(ok);
+                // Bit-identical, vertex for vertex.
+                prop_assert_eq!(p.vertices(), buf.vertices());
+            }
+            None => prop_assert!(!ok, "buffer form accepted a degenerate clip"),
+        }
+    }
+
+    #[test]
+    fn clip_convex_into_matches_allocating_form(a_pts in points(3, 15), b_pts in points(3, 15)) {
+        let ha = convex_hull(&a_pts);
+        let hb = convex_hull(&b_pts);
+        prop_assume!(ha.len() >= 3 && hb.len() >= 3);
+        let pa = Polygon::new(ha).unwrap();
+        let pb = Polygon::new(hb).unwrap();
+        let owned = pa.clip_convex(&pb);
+        let mut out = PolygonBuf::new();
+        let mut tmp = PolygonBuf::new();
+        let ok = pa.clip_convex_into(&pb, &mut out, &mut tmp);
+        match owned {
+            Some(p) => {
+                prop_assert!(ok);
+                prop_assert_eq!(p.vertices(), out.vertices());
+                // The buffer-held clip polygon variant agrees too.
+                let mut clip_buf = PolygonBuf::new();
+                clip_buf.copy_from(pb.vertices());
+                let mut out2 = PolygonBuf::new();
+                prop_assert!(pa.clip_convex_buf_into(&clip_buf, &mut out2, &mut tmp));
+                prop_assert_eq!(out.vertices(), out2.vertices());
+            }
+            None => prop_assert!(!ok, "buffer form accepted an empty intersection"),
+        }
+    }
+
+    #[test]
+    fn welzl_in_place_matches_allocating_form(pts in points(0, 40)) {
+        let reference = min_enclosing_circle(&pts);
+        let mut scratch = pts.clone();
+        let in_place = min_enclosing_circle_in_place(&mut scratch);
+        prop_assert_eq!(reference.center, in_place.center);
+        prop_assert_eq!(reference.radius.to_bits(), in_place.radius.to_bits());
+    }
+
+    #[test]
     fn segment_closest_point_is_nearest(a in point(), b in point(), q in point()) {
         let s = Segment::new(a, b);
         let c = s.closest_point(q);
@@ -129,6 +191,41 @@ proptest! {
         // And on a refined grid around breakpoints they agree for the
         // generated (≥0.01-rad) arcs.
         prop_assert!(sampled_min.saturating_sub(cover.min_depth()) <= 1);
+    }
+
+    #[test]
+    fn arc_cover_min_depth_on_query_matches_sampling(
+        raw in prop::collection::vec((0.0f64..std::f64::consts::TAU, 0.01f64..std::f64::consts::TAU), 1..12),
+        raw_query in prop::collection::vec((0.0f64..std::f64::consts::TAU, 0.01f64..std::f64::consts::TAU), 1..6),
+    ) {
+        // Oracle for the query-restricted sweep (the ring-domination hot
+        // path): dense sampling of depth over the query union only.
+        let arcs: Vec<Arc> = raw.iter().map(|&(s, w)| Arc::new(s, w)).collect();
+        let query: Vec<Arc> = raw_query.iter().map(|&(s, w)| Arc::new(s, w)).collect();
+        let mut cover = ArcCover::new();
+        for a in &arcs {
+            cover.add(*a);
+        }
+        let mut sampled_min = usize::MAX;
+        for i in 0..2880 {
+            let th = (i as f64 + 0.5) / 2880.0 * std::f64::consts::TAU;
+            if !query.iter().any(|q| q.contains(th)) {
+                continue;
+            }
+            let d = arcs.iter().filter(|a| a.contains(th)).count();
+            sampled_min = sampled_min.min(d);
+        }
+        let exact = cover.min_depth_on(&query);
+        if sampled_min == usize::MAX {
+            // The (≥0.01-rad) query arcs always catch a sample; guard anyway.
+            prop_assert_eq!(exact, usize::MAX);
+        } else {
+            // Sampling can only miss narrow low-depth gaps, so the exact
+            // sweep may only be ≤ the sampled estimate — and on these
+            // wide-arc inputs they agree to within one boundary sliver.
+            prop_assert!(exact <= sampled_min, "exact {} > sampled {}", exact, sampled_min);
+            prop_assert!(sampled_min - exact <= 1, "exact {} vs sampled {}", exact, sampled_min);
+        }
     }
 
     #[test]

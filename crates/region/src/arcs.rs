@@ -29,43 +29,56 @@ use std::f64::consts::TAU;
 /// assert!((total - std::f64::consts::PI).abs() < 1e-6);
 /// ```
 pub fn arcs_inside_region(circle: &Circle, region: &Region) -> Vec<Arc> {
+    let mut out = Vec::new();
+    arcs_inside_region_into(circle, region, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`arcs_inside_region`] into caller-owned buffers: the result lands in
+/// `out` (cleared first) with `cuts` as crossing-angle scratch — the
+/// allocation-free form the ring-domination hot path uses. Results are
+/// identical to the allocating form.
+pub fn arcs_inside_region_into(
+    circle: &Circle,
+    region: &Region,
+    cuts: &mut Vec<f64>,
+    out: &mut Vec<Arc>,
+) {
+    out.clear();
     if circle.radius <= 0.0 {
-        return if region.contains(circle.center) {
-            vec![Arc::full()]
-        } else {
-            Vec::new()
-        };
+        if region.contains(circle.center) {
+            out.push(Arc::full());
+        }
+        return;
     }
     // Fast path: bounding-box disjointness.
     let bb = region.bounding_box().inflated(circle.radius);
     if !bb.contains(circle.center) {
-        return Vec::new();
+        return;
     }
 
     // Collect crossing angles against every boundary edge (outer + holes).
-    let mut cuts: Vec<f64> = Vec::new();
+    cuts.clear();
     for e in region.outer().edges() {
-        cuts.extend(circle.intersect_segment_angles(&e));
+        circle.intersect_segment_angles_into(&e, cuts);
     }
     for h in region.holes() {
         for e in h.edges() {
-            cuts.extend(circle.intersect_segment_angles(&e));
+            circle.intersect_segment_angles_into(&e, cuts);
         }
     }
 
     if cuts.is_empty() {
         // No boundary crossing: all-in or all-out, decided by any point.
-        return if region.contains(circle.point_at(0.0)) {
-            vec![Arc::full()]
-        } else {
-            Vec::new()
-        };
+        if region.contains(circle.point_at(0.0)) {
+            out.push(Arc::full());
+        }
+        return;
     }
 
-    cuts.sort_by(f64::total_cmp);
+    cuts.sort_unstable_by(f64::total_cmp);
     cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     let n = cuts.len();
-    let mut arcs = Vec::new();
     for i in 0..n {
         let a = cuts[i];
         let b = if i + 1 < n {
@@ -79,10 +92,10 @@ pub fn arcs_inside_region(circle: &Circle, region: &Region) -> Vec<Arc> {
         }
         let mid = normalize_angle(a + 0.5 * span);
         if region.contains(circle.point_at(mid)) {
-            arcs.push(Arc::new(a, span));
+            out.push(Arc::new(a, span));
         }
     }
-    merge_adjacent(arcs)
+    merge_adjacent_in_place(out);
 }
 
 /// Total angular measure (radians) of a set of disjoint arcs.
@@ -90,37 +103,40 @@ pub fn total_span(arcs: &[Arc]) -> f64 {
     arcs.iter().map(|a| a.span()).sum()
 }
 
-/// Merges arcs that touch end-to-start (within tolerance) into single arcs.
-fn merge_adjacent(mut arcs: Vec<Arc>) -> Vec<Arc> {
+/// Merges arcs that touch end-to-start (within tolerance) into single
+/// arcs, in place (no allocation).
+fn merge_adjacent_in_place(arcs: &mut Vec<Arc>) {
     if arcs.len() <= 1 {
-        return arcs;
+        return;
     }
     arcs.sort_by(|x, y| x.start().total_cmp(&y.start()));
-    let mut out: Vec<Arc> = Vec::with_capacity(arcs.len());
-    for a in arcs {
-        if let Some(last) = out.last_mut() {
+    let mut w = 0; // arcs[..w] is the merged prefix
+    for i in 0..arcs.len() {
+        let a = arcs[i];
+        if w > 0 {
+            let last = arcs[w - 1];
             let gap = normalize_angle(a.start() - last.start()) - last.span();
             if gap.abs() < 1e-9 {
                 let combined = (last.span() + a.span()).min(TAU);
-                *last = Arc::new(last.start(), combined);
+                arcs[w - 1] = Arc::new(last.start(), combined);
                 continue;
             }
         }
-        out.push(a);
+        arcs[w] = a;
+        w += 1;
     }
+    arcs.truncate(w);
     // Wrap-around merge: last arc ending at first arc's start.
-    if out.len() >= 2 {
-        let first = out[0];
-        let last = *out.last().unwrap();
+    if arcs.len() >= 2 {
+        let first = arcs[0];
+        let last = *arcs.last().expect("len >= 2");
         let gap = normalize_angle(first.start() - last.start()) - last.span();
         if gap.abs() < 1e-9 {
             let combined = (last.span() + first.span()).min(TAU);
-            let merged = Arc::new(last.start(), combined);
-            out[0] = merged;
-            out.pop();
+            arcs[0] = Arc::new(last.start(), combined);
+            arcs.pop();
         }
     }
-    out
 }
 
 #[cfg(test)]

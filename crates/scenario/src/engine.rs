@@ -3,7 +3,7 @@
 use crate::events::{AppliedEvent, TimelineHook};
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::value::{encode, Value};
-use laacad::{Laacad, RunSummary};
+use laacad::{HookAction, Laacad, RoundHook, RoundReport, RunSummary};
 use laacad_coverage::{evaluate_coverage, CoverageReport};
 use laacad_wsn::energy::EnergyModel;
 
@@ -18,6 +18,88 @@ pub struct RoundMetric {
     pub min_circumradius: f64,
     /// Nodes that moved.
     pub nodes_moved: usize,
+    /// k-covered fraction at the end of the round (present only when
+    /// `evaluation.round_coverage_samples` is non-zero).
+    pub covered_fraction: Option<f64>,
+}
+
+/// Recovery summary for one applied dynamic event, derived from the
+/// stored round series: how deep coverage dipped after the event and how
+/// many rounds the survivors needed to climb back over the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySummary {
+    /// Round the event fired after.
+    pub event_round: usize,
+    /// Short event description (mirrors the event log).
+    pub action: String,
+    /// Covered fraction at the event round, before the event mutated the
+    /// network (`None` for round-0 events — nothing was probed yet).
+    pub coverage_before: Option<f64>,
+    /// `coverage_before − min(covered fraction)` over the rounds from
+    /// the event until recovery (or the end of the run), clamped at 0.
+    pub coverage_dip: Option<f64>,
+    /// Rounds from the event to the first round at or above the
+    /// recovery target (`None` when the run never got back there).
+    pub time_to_recover: Option<usize>,
+}
+
+/// Derives per-event [`RecoverySummary`]s from a stored round series.
+///
+/// Only rounds carrying a `covered_fraction` contribute (i.e. the
+/// scenario must set `evaluation.round_coverage_samples`); skipped
+/// events are ignored.
+pub fn recovery_metrics(
+    rounds: &[RoundMetric],
+    events: &[AppliedEvent],
+    target: f64,
+) -> Vec<RecoverySummary> {
+    events
+        .iter()
+        .filter(|e| e.skipped.is_none())
+        .map(|e| {
+            let coverage_before = rounds
+                .iter()
+                .rev()
+                .find(|r| r.round <= e.round)
+                .and_then(|r| r.covered_fraction);
+            let mut min_after: Option<f64> = None;
+            let mut recovered_round: Option<usize> = None;
+            for r in rounds.iter().filter(|r| r.round > e.round) {
+                let Some(c) = r.covered_fraction else {
+                    continue;
+                };
+                min_after = Some(min_after.map_or(c, |m: f64| m.min(c)));
+                if c >= target {
+                    recovered_round = Some(r.round);
+                    break; // dip is measured up to recovery
+                }
+            }
+            RecoverySummary {
+                event_round: e.round,
+                action: e.action.clone(),
+                coverage_before,
+                coverage_dip: match (coverage_before, min_after) {
+                    (Some(b), Some(m)) => Some((b - m).max(0.0)),
+                    _ => None,
+                },
+                time_to_recover: recovered_round.map(|r| r - e.round),
+            }
+        })
+        .collect()
+}
+
+/// A [`RoundHook`] sampling k-coverage after every round.
+struct CoverageProbe {
+    samples: usize,
+    series: Vec<(usize, f64)>,
+}
+
+impl RoundHook for CoverageProbe {
+    fn after_round(&mut self, sim: &mut Laacad, report: &RoundReport) -> HookAction {
+        let cov = evaluate_coverage(sim.network(), sim.region(), sim.config().k, self.samples);
+        self.series.push((report.round, cov.covered_fraction));
+        HookAction::Default
+    }
 }
 
 /// Everything a finished scenario run reports.
@@ -41,6 +123,9 @@ pub struct ScenarioOutcome {
     pub balance_ratio: f64,
     /// Events applied (or skipped) during the run.
     pub events: Vec<AppliedEvent>,
+    /// Per-event recovery summaries (empty unless the scenario enables
+    /// `evaluation.round_coverage_samples`).
+    pub recovery: Vec<RecoverySummary>,
     /// Per-round series (Fig. 6-style).
     pub rounds: Vec<RoundMetric>,
     /// Final node positions (render-ready).
@@ -145,6 +230,31 @@ impl ScenarioOutcome {
             Value::Array(self.final_radii.iter().map(|&r| Value::Float(r)).collect()),
         );
         t.insert("gamma", Value::Float(self.gamma));
+        if !self.recovery.is_empty() {
+            t.insert(
+                "recovery",
+                Value::Array(
+                    self.recovery
+                        .iter()
+                        .map(|r| {
+                            let mut row = Value::table();
+                            row.insert("event_round", encode::int(r.event_round));
+                            row.insert("action", Value::Str(r.action.clone()));
+                            if let Some(b) = r.coverage_before {
+                                row.insert("coverage_before", Value::Float(b));
+                            }
+                            if let Some(d) = r.coverage_dip {
+                                row.insert("coverage_dip", Value::Float(d));
+                            }
+                            if let Some(tr) = r.time_to_recover {
+                                row.insert("time_to_recover", encode::int(tr));
+                            }
+                            row
+                        })
+                        .collect(),
+                ),
+            );
+        }
         t.insert(
             "round_series",
             Value::Array(
@@ -156,6 +266,9 @@ impl ScenarioOutcome {
                         row.insert("max_circumradius", Value::Float(r.max_circumradius));
                         row.insert("min_circumradius", Value::Float(r.min_circumradius));
                         row.insert("nodes_moved", encode::int(r.nodes_moved));
+                        if let Some(c) = r.covered_fraction {
+                            row.insert("covered_fraction", Value::Float(c));
+                        }
                         row
                     })
                     .collect(),
@@ -180,7 +293,17 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
     let (mut sim, mut hook) = build_scenario(spec, seed)?;
     // Round-0 events act on the initial deployment, before any movement.
     hook.fire_due(&mut sim, 0);
-    let summary = sim.run_with_hooks(&mut [&mut hook]);
+    let mut probe = CoverageProbe {
+        samples: spec.evaluation.round_coverage_samples,
+        series: Vec::new(),
+    };
+    let summary = if probe.samples > 0 {
+        // Probe first: the event-round sample must see the pre-event
+        // network (the timeline hook mutates it afterwards).
+        sim.run_with_hooks(&mut [&mut probe, &mut hook])
+    } else {
+        sim.run_with_hooks(&mut [&mut hook])
+    };
     // Timeline entries beyond the executed rounds must still show up in
     // the outcome (as skipped), or the results would silently describe a
     // different scenario than the one specified.
@@ -189,7 +312,8 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
     let k = sim.config().k;
     let coverage = evaluate_coverage(sim.network(), &region, k, spec.evaluation.coverage_samples);
     let model = EnergyModel::new(std::f64::consts::PI, spec.evaluation.energy_exponent);
-    let rounds = sim
+    let mut probed = probe.series.iter().copied().peekable();
+    let rounds: Vec<RoundMetric> = sim
         .history()
         .rounds()
         .iter()
@@ -198,8 +322,23 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
             max_circumradius: r.max_circumradius,
             min_circumradius: r.min_circumradius,
             nodes_moved: r.nodes_moved,
+            covered_fraction: match probed.peek() {
+                Some(&(round, c)) if round == r.round => {
+                    probed.next();
+                    Some(c)
+                }
+                _ => None,
+            },
         })
         .collect();
+    // Without per-round probes every summary field would be None — keep
+    // the documented "empty unless probing is enabled" contract instead
+    // of emitting data-free rows.
+    let recovery = if spec.evaluation.round_coverage_samples > 0 {
+        recovery_metrics(&rounds, hook.log(), spec.evaluation.recovery_target)
+    } else {
+        Vec::new()
+    };
     Ok(ScenarioOutcome {
         scenario: spec.name.clone(),
         seed,
@@ -223,6 +362,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
         summary,
         coverage,
         events: hook.into_log(),
+        recovery,
         rounds,
     })
 }

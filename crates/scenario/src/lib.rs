@@ -70,7 +70,9 @@ pub mod toml;
 pub mod value;
 
 pub use campaign::{run_campaign, CampaignCell, CampaignSpec, CellInfo, CellResult, ParamGrid};
-pub use engine::{build_scenario, run_scenario, RoundMetric, ScenarioOutcome};
+pub use engine::{
+    build_scenario, recovery_metrics, run_scenario, RecoverySummary, RoundMetric, ScenarioOutcome,
+};
 pub use events::{AppliedEvent, TimelineHook};
 pub use results::{to_csv, to_jsonl, ResultStore};
 pub use spec::{

@@ -37,7 +37,8 @@ pub fn to_csv(results: &[CellResult]) -> String {
     let mut out = String::from(
         "index,scenario,seed,n,k,alpha,final_n,rounds,converged,\
          max_sensing_radius,min_sensing_radius,covered_fraction,min_degree,\
-         balance_ratio,total_distance_moved,events_applied,error\n",
+         balance_ratio,total_distance_moved,events_applied,\
+         time_to_recover,coverage_dip,error\n",
     );
     for r in results {
         let c = &r.cell;
@@ -46,8 +47,23 @@ pub fn to_csv(results: &[CellResult]) -> String {
         let name = c.scenario.replace([',', '\n'], ";");
         match &r.outcome {
             Ok(o) => {
+                // Recovery columns summarize ONE event — the first with
+                // any recovery data — so the pair always describes the
+                // same event (full per-event detail is in the JSONL).
+                let rec = o
+                    .recovery
+                    .iter()
+                    .find(|rec| rec.coverage_dip.is_some() || rec.time_to_recover.is_some());
+                let ttr = rec
+                    .and_then(|rec| rec.time_to_recover)
+                    .map(|t| t.to_string())
+                    .unwrap_or_default();
+                let dip = rec
+                    .and_then(|rec| rec.coverage_dip)
+                    .map(|d| d.to_string())
+                    .unwrap_or_default();
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
                     c.index,
                     name,
                     c.seed,
@@ -64,12 +80,14 @@ pub fn to_csv(results: &[CellResult]) -> String {
                     o.balance_ratio,
                     o.summary.total_distance_moved,
                     o.events.len(),
+                    ttr,
+                    dip,
                 ));
             }
             Err(e) => {
                 let msg = e.to_string().replace([',', '\n'], ";");
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},,,,,,,,,,,{}\n",
+                    "{},{},{},{},{},{},,,,,,,,,,,,,{}\n",
                     c.index, name, c.seed, c.n, c.k, c.alpha, msg
                 ));
             }

@@ -372,6 +372,10 @@ pub struct AlgorithmSpec {
     /// one cell per core, so per-cell parallelism would oversubscribe.
     /// Results are bit-identical for every value.
     pub threads: Option<usize>,
+    /// Cross-round local-view cache (default on). Results are
+    /// bit-identical with the cache off; the knob exists so ablations
+    /// and tests can diff cached vs. uncached histories.
+    pub cache: bool,
 }
 
 impl Default for AlgorithmSpec {
@@ -386,6 +390,7 @@ impl Default for AlgorithmSpec {
             ring_cap: RingCapPolicy::Exact,
             snapshot_every: None,
             threads: None,
+            cache: true,
         }
     }
 }
@@ -417,6 +422,7 @@ impl AlgorithmSpec {
         if let Some(threads) = self.threads {
             builder.threads(threads);
         }
+        builder.cache(self.cache);
         builder.build().map_err(|e| SpecError::Build(e.to_string()))
     }
 
@@ -460,6 +466,7 @@ impl AlgorithmSpec {
             ring_cap,
             snapshot_every: decode::opt_usize(v, "snapshot_every", path)?,
             threads: decode::opt_usize(v, "threads", path)?,
+            cache: decode::opt_bool(v, "cache", path)?.unwrap_or(d.cache),
         })
     }
 
@@ -504,6 +511,9 @@ impl AlgorithmSpec {
         }
         if let Some(threads) = self.threads {
             t.insert("threads", encode::int(threads));
+        }
+        if self.cache != d.cache {
+            t.insert("cache", Value::Bool(self.cache));
         }
         t
     }
@@ -682,6 +692,15 @@ pub struct EvaluationSpec {
     pub coverage_samples: usize,
     /// Energy-model exponent used for the load metrics.
     pub energy_exponent: f64,
+    /// When non-zero, evaluate k-coverage with this many samples after
+    /// **every** round and store the fraction in the round series —
+    /// required for the recovery metrics (`time_to_recover`,
+    /// `coverage_dip`) and off by default because it costs a coverage
+    /// sweep per round.
+    pub round_coverage_samples: usize,
+    /// Covered-fraction threshold at which a post-event deployment
+    /// counts as recovered (used by `time_to_recover`).
+    pub recovery_target: f64,
 }
 
 impl Default for EvaluationSpec {
@@ -689,6 +708,8 @@ impl Default for EvaluationSpec {
         EvaluationSpec {
             coverage_samples: 4000,
             energy_exponent: 2.0,
+            round_coverage_samples: 0,
+            recovery_target: 0.95,
         }
     }
 }
@@ -701,13 +722,27 @@ impl EvaluationSpec {
                 .unwrap_or(d.coverage_samples),
             energy_exponent: decode::opt_f64(v, "energy_exponent", path)?
                 .unwrap_or(d.energy_exponent),
+            round_coverage_samples: decode::opt_usize(v, "round_coverage_samples", path)?
+                .unwrap_or(d.round_coverage_samples),
+            recovery_target: decode::opt_f64(v, "recovery_target", path)?
+                .unwrap_or(d.recovery_target),
         })
     }
 
     fn to_value(&self) -> Value {
+        let d = EvaluationSpec::default();
         let mut t = Value::table();
         t.insert("coverage_samples", encode::int(self.coverage_samples));
         t.insert("energy_exponent", Value::Float(self.energy_exponent));
+        if self.round_coverage_samples != d.round_coverage_samples {
+            t.insert(
+                "round_coverage_samples",
+                encode::int(self.round_coverage_samples),
+            );
+        }
+        if self.recovery_target != d.recovery_target {
+            t.insert("recovery_target", Value::Float(self.recovery_target));
+        }
         t
     }
 }

@@ -193,6 +193,17 @@ pub mod decode {
         }
     }
 
+    /// Optional boolean field.
+    pub fn opt_bool(table: &Value, key: &str, path: &str) -> Result<Option<bool>, DecodeError> {
+        match table.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_bool()
+                .map(Some)
+                .ok_or_else(|| wrong(&format!("{path}.{key}"), "bool", v)),
+        }
+    }
+
     /// Required non-negative integer.
     pub fn req_usize(table: &Value, key: &str, path: &str) -> Result<usize, DecodeError> {
         let p = format!("{path}.{key}");

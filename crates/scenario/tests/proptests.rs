@@ -122,6 +122,7 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
                 evaluation: EvaluationSpec {
                     coverage_samples: samples,
                     energy_exponent: 2.0,
+                    ..EvaluationSpec::default()
                 },
             },
         )

@@ -16,7 +16,11 @@
 //! whose vertices feed Welzl's algorithm directly — which is exactly what
 //! Algorithm 1 needs (Chebyshev center + circumradius).
 
-use laacad_geom::{min_enclosing_circle, Circle, HalfPlane, Point, Polygon};
+use laacad_geom::polygon::signed_area;
+use laacad_geom::{
+    min_enclosing_circle, min_enclosing_circle_in_place, Aabb, Circle, HalfPlane, Point, Polygon,
+    PolygonBuf, PolygonPool,
+};
 use laacad_region::Region;
 
 /// A node's dominating region: a set of convex polygons whose union is
@@ -104,6 +108,135 @@ impl DominatingRegion {
     pub fn extend(&mut self, other: DominatingRegion) {
         self.pieces.extend(other.pieces);
     }
+
+    /// The Chebyshev disk and the farthest distance from `p`, computed in
+    /// one pass over the piece vertices (the round engine needs both; the
+    /// separate [`DominatingRegion::chebyshev_disk`] +
+    /// [`DominatingRegion::farthest_distance`] calls each re-walked every
+    /// vertex). One shared implementation with
+    /// [`PieceSet::disk_and_farthest`].
+    pub fn disk_and_farthest(&self, p: Point) -> (Option<Circle>, f64) {
+        let mut welzl = Vec::new();
+        disk_and_farthest_over(
+            self.pieces
+                .iter()
+                .flat_map(|piece| piece.vertices())
+                .copied(),
+            p,
+            &mut welzl,
+        )
+    }
+}
+
+/// Shared one-pass disk + farthest-distance kernel: fills `welzl` from
+/// `vertices` while tracking the maximum squared distance to `p`, then
+/// runs Welzl in place. Returns `(None, 0.0)` for an empty input.
+fn disk_and_farthest_over(
+    vertices: impl Iterator<Item = Point>,
+    p: Point,
+    welzl: &mut Vec<Point>,
+) -> (Option<Circle>, f64) {
+    welzl.clear();
+    let mut far_sq: f64 = 0.0;
+    for v in vertices {
+        far_sq = far_sq.max(v.distance_sq(p));
+        welzl.push(v);
+    }
+    if welzl.is_empty() {
+        return (None, 0.0);
+    }
+    (Some(min_enclosing_circle_in_place(welzl)), far_sq.sqrt())
+}
+
+/// Flat arena of convex pieces: every vertex in one buffer, pieces as
+/// ranges into it.
+///
+/// This is the pooled counterpart of [`DominatingRegion`]: the
+/// subdivision appends accepted faces here without materializing owned
+/// [`Polygon`]s, so consecutive region computations reuse one allocation.
+/// Pieces appear in exactly the order (and with exactly the vertices)
+/// the owned form would produce.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PieceSet {
+    verts: Vec<Point>,
+    /// End offset of each piece in `verts` (piece `i` spans
+    /// `ends[i-1]..ends[i]`, with an implicit 0 start).
+    ends: Vec<usize>,
+}
+
+impl PieceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the set, keeping capacity.
+    pub fn clear(&mut self) {
+        self.verts.clear();
+        self.ends.clear();
+    }
+
+    /// Number of pieces.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the set holds no pieces.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// The `i`-th piece's vertex loop.
+    #[inline]
+    pub fn piece(&self, i: usize) -> &[Point] {
+        let lo = if i == 0 { 0 } else { self.ends[i - 1] };
+        &self.verts[lo..self.ends[i]]
+    }
+
+    /// Iterator over the piece vertex loops, in insertion order.
+    pub fn pieces(&self) -> impl Iterator<Item = &[Point]> + '_ {
+        (0..self.len()).map(|i| self.piece(i))
+    }
+
+    /// All piece vertices, flattened in piece order (the extreme points
+    /// of the region — Welzl's input).
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.verts
+    }
+
+    /// Appends a normalized convex loop as a new piece.
+    pub fn push_piece(&mut self, vertices: &[Point]) {
+        self.verts.extend_from_slice(vertices);
+        self.ends.push(self.verts.len());
+    }
+
+    /// Total area of the pieces.
+    pub fn area(&self) -> f64 {
+        self.pieces().map(signed_area).sum()
+    }
+
+    /// The Chebyshev disk and the farthest distance from `p`, in one pass.
+    ///
+    /// `welzl` is a reusable scratch vector (cleared and refilled here) —
+    /// after warm-up the computation allocates nothing. Results are
+    /// bit-identical to [`DominatingRegion::chebyshev_disk`] /
+    /// [`DominatingRegion::farthest_distance`] on the materialized region.
+    pub fn disk_and_farthest(&self, p: Point, welzl: &mut Vec<Point>) -> (Option<Circle>, f64) {
+        disk_and_farthest_over(self.verts.iter().copied(), p, welzl)
+    }
+
+    /// Materializes the pieces as an owned [`DominatingRegion`].
+    pub fn to_region(&self) -> DominatingRegion {
+        DominatingRegion {
+            pieces: self
+                .pieces()
+                .map(|vs| Polygon::from_normalized(vs.to_vec()))
+                .collect(),
+        }
+    }
 }
 
 impl std::fmt::Display for DominatingRegion {
@@ -127,16 +260,15 @@ enum Classification {
     Cuts(HalfPlane),
 }
 
-fn classify(face: &Polygon, center: Point, competitor: Point) -> Classification {
+fn classify(face: &[Point], tol: f64, center: Point, competitor: Point) -> Classification {
     // Half-plane of points at least as close to the *competitor*.
     let Some(h) = HalfPlane::closer_to(competitor, center) else {
         // Co-located: never strictly closer anywhere.
         return Classification::CenterSide;
     };
-    let tol = 1e-12 * (1.0 + face.bounding_box().diagonal());
     let mut any_comp = false;
     let mut any_center = false;
-    for &v in face.vertices() {
+    for &v in face {
         let d = h.signed_distance(v);
         if d < -tol {
             any_comp = true;
@@ -154,17 +286,33 @@ fn classify(face: &Polygon, center: Point, competitor: Point) -> Classification 
     }
 }
 
+/// The face-classification tolerance: a fixed fraction of the face's
+/// bounding-box diagonal, computed once per face (every competitor of a
+/// face sees the same value, so hoisting it out of [`classify`] changes
+/// nothing but the work).
+fn classify_tol(face: &[Point]) -> f64 {
+    let diag = Aabb::from_points(face.iter().copied())
+        .expect("faces are non-empty")
+        .diagonal();
+    1e-12 * (1.0 + diag)
+}
+
 /// Reusable buffers for the bisector subdivision.
 ///
 /// The subdivision used to be a recursive function that allocated a
 /// fresh `rest`-competitor vector at every tree node; the explicit
 /// worklist below stores all pending faces in one stack and all
-/// competitor sublists in one arena, so consecutive calls (one per
-/// convex domain piece per node per round) reuse the same allocations.
+/// competitor sublists in one arena. Faces live in pooled
+/// [`PolygonBuf`]s ([`PolygonPool`]) and are clipped in place, so after
+/// warm-up a full subdivision performs **zero** heap allocations — the
+/// form the round engine's hot path relies on.
 #[derive(Debug, Clone, Default)]
 pub struct SubdivisionScratch {
     stack: Vec<WorkItem>,
     arena: Vec<Point>,
+    pool: PolygonPool,
+    /// Spare buffer for the legacy owned-output API.
+    tmp_pieces: PieceSet,
 }
 
 impl SubdivisionScratch {
@@ -176,7 +324,7 @@ impl SubdivisionScratch {
 
 #[derive(Debug, Clone)]
 struct WorkItem {
-    face: Polygon,
+    face: PolygonBuf,
     budget: usize,
     /// Competitor sublist, as a range into the call's arena.
     lo: usize,
@@ -184,17 +332,17 @@ struct WorkItem {
 }
 
 fn subdivide(
-    domain: Polygon,
+    domain: PolygonBuf,
     center: Point,
     budget: usize,
     scratch: &mut SubdivisionScratch,
-    out: &mut Vec<Polygon>,
+    out: &mut PieceSet,
 ) {
     // `scratch.arena[..n]` holds the top-level competitor list (placed
     // there by the caller); deeper sublists are appended behind it.
     let stack = &mut scratch.stack;
     let arena = &mut scratch.arena;
-    stack.clear();
+    let pool = &mut scratch.pool;
     stack.push(WorkItem {
         face: domain,
         budget,
@@ -213,9 +361,10 @@ fn subdivide(
         let cut_lo = arena.len();
         let mut discard = false;
         let mut first_cut: Option<HalfPlane> = None;
+        let tol = classify_tol(face.vertices());
         for j in lo..hi {
             let c = arena[j];
-            match classify(&face, center, c) {
+            match classify(face.vertices(), tol, center, c) {
                 Classification::CenterSide => {}
                 Classification::CompetitorSide => {
                     if budget == 0 {
@@ -235,13 +384,15 @@ fn subdivide(
         let cut_hi = arena.len();
         if discard {
             arena.truncate(cut_lo);
+            pool.release(face);
             continue;
         }
         if cut_hi - cut_lo <= budget {
             // Even if every cutting competitor were closer everywhere,
             // the budget holds: accept the whole face.
             arena.truncate(cut_lo);
-            out.push(face);
+            out.push_piece(face.vertices());
+            pool.release(face);
             continue;
         }
         // Split along the first cutting bisector; children resolve the
@@ -249,25 +400,32 @@ fn subdivide(
         // center-side child first so the competitor side is processed
         // first, matching the original recursion's piece order.)
         let h = first_cut.expect("cut_hi > cut_lo implies a cutting bisector");
-        if let Some(center_side) = face.clip_halfplane(&h.complement()) {
+        let mut center_side = pool.acquire();
+        if face.clip_halfplane_into(&h.complement(), &mut center_side) {
             stack.push(WorkItem {
                 face: center_side,
                 budget,
                 lo: cut_lo + 1,
                 hi: cut_hi,
             });
+        } else {
+            pool.release(center_side);
         }
         // h contains the points closer to the competitor.
         if budget > 0 {
-            if let Some(comp_side) = face.clip_halfplane(&h) {
+            let mut comp_side = pool.acquire();
+            if face.clip_halfplane_into(&h, &mut comp_side) {
                 stack.push(WorkItem {
                     face: comp_side,
                     budget: budget - 1,
                     lo: cut_lo + 1,
                     hi: cut_hi,
                 });
+            } else {
+                pool.release(comp_side);
             }
         }
+        pool.release(face);
     }
     arena.clear();
 }
@@ -295,8 +453,9 @@ pub fn dominating_region(
 }
 
 /// [`dominating_region`] with caller-owned buffers: appends the region's
-/// convex pieces to `out` and reuses `scratch` across calls — the form
-/// the round engine's hot path uses.
+/// convex pieces to `out` (as owned [`Polygon`]s) and reuses `scratch`
+/// across calls. Implemented over [`dominating_region_pooled`]; the
+/// materialization is the only allocating step.
 ///
 /// # Panics
 ///
@@ -309,6 +468,37 @@ pub fn dominating_region_scratched(
     scratch: &mut SubdivisionScratch,
     out: &mut Vec<Polygon>,
 ) {
+    let mut pieces = std::mem::take(&mut scratch.tmp_pieces);
+    pieces.clear();
+    dominating_region_pooled(center, sites, k, domain.vertices(), scratch, &mut pieces);
+    out.extend(
+        pieces
+            .pieces()
+            .map(|vs| Polygon::from_normalized(vs.to_vec())),
+    );
+    scratch.tmp_pieces = pieces;
+}
+
+/// The allocation-free core of [`dominating_region`]: carves
+/// `V^k_i ∩ domain` through pooled polygon buffers and **appends** the
+/// resulting convex pieces to `out` without materializing owned
+/// polygons. `domain` is a normalized convex CCW vertex loop (e.g.
+/// [`Polygon::vertices`] or a clip-kernel output). After warm-up the
+/// whole computation performs zero heap allocations.
+///
+/// Piece order and vertex values are identical to the owned forms.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `center` is out of bounds.
+pub fn dominating_region_pooled(
+    center: usize,
+    sites: &[Point],
+    k: usize,
+    domain: &[Point],
+    scratch: &mut SubdivisionScratch,
+    out: &mut PieceSet,
+) {
     assert!(k >= 1, "coverage degree k must be at least 1");
     let u = sites[center];
     scratch.arena.clear();
@@ -319,7 +509,9 @@ pub fn dominating_region_scratched(
             .filter(|&(j, _)| j != center)
             .map(|(_, &s)| s),
     );
-    subdivide(domain.clone(), u, k - 1, scratch, out);
+    let mut root = scratch.pool.acquire();
+    root.copy_from(domain);
+    subdivide(root, u, k - 1, scratch, out);
 }
 
 /// Computes `V^k_i ∩ A` for a (possibly non-convex, holed) target area by

@@ -48,4 +48,7 @@ pub mod dominating;
 pub mod korder;
 
 pub use cell::voronoi_cell;
-pub use dominating::{dominating_region, dominating_region_in_region, DominatingRegion};
+pub use dominating::{
+    dominating_region, dominating_region_in_region, dominating_region_pooled, DominatingRegion,
+    PieceSet, SubdivisionScratch,
+};

@@ -3,7 +3,9 @@
 
 use laacad_geom::{Point, Polygon};
 use laacad_voronoi::brute::{in_dominating_region, strictly_closer_count};
-use laacad_voronoi::dominating::dominating_region;
+use laacad_voronoi::dominating::{
+    dominating_region, dominating_region_pooled, PieceSet, SubdivisionScratch,
+};
 use proptest::prelude::*;
 
 fn site() -> impl Strategy<Value = Point> {
@@ -99,5 +101,40 @@ proptest! {
     fn closer_count_sane(pts in sites(2, 10)) {
         // At the center's own position, nothing is strictly closer.
         prop_assert_eq!(strictly_closer_count(0, &pts, pts[0]), 0);
+    }
+
+    /// The pooled subdivision is the owned subdivision, bit for bit:
+    /// same piece count, same piece order, same vertices — and reusing
+    /// one scratch across many calls never leaks state between them.
+    #[test]
+    fn pooled_subdivision_matches_owned(pts in sites(2, 10), ks in prop::collection::vec(1usize..5, 3)) {
+        let domain = unit_domain();
+        let mut scratch = SubdivisionScratch::new();
+        let mut pooled = PieceSet::new();
+        for k in ks {
+            let k = k.min(pts.len());
+            for center in 0..pts.len() {
+                let owned = dominating_region(center, &pts, k, &domain);
+                pooled.clear();
+                dominating_region_pooled(
+                    center, &pts, k, domain.vertices(), &mut scratch, &mut pooled,
+                );
+                prop_assert_eq!(owned.pieces().len(), pooled.len(), "k={} c={}", k, center);
+                for (i, piece) in owned.pieces().iter().enumerate() {
+                    prop_assert_eq!(piece.vertices(), pooled.piece(i), "k={} c={} piece {}", k, center, i);
+                }
+                // The one-pass disk/farthest agrees with the two-walk API.
+                let mut welzl = Vec::new();
+                let (disk, far) = pooled.disk_and_farthest(pts[center], &mut welzl);
+                prop_assert_eq!(owned.chebyshev_disk(), disk);
+                prop_assert_eq!(
+                    owned.farthest_distance(pts[center]).to_bits(),
+                    far.to_bits()
+                );
+                let (disk2, far2) = owned.disk_and_farthest(pts[center]);
+                prop_assert_eq!(disk, disk2);
+                prop_assert_eq!(far.to_bits(), far2.to_bits());
+            }
+        }
     }
 }

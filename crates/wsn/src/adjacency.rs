@@ -20,6 +20,8 @@ use crate::node::NodeId;
 pub struct Adjacency {
     offsets: Vec<u32>,
     neighbors: Vec<u32>,
+    /// Per-node query scratch reused across rebuilds.
+    row: Vec<usize>,
 }
 
 impl Adjacency {
@@ -36,12 +38,13 @@ impl Adjacency {
         self.offsets.clear();
         self.neighbors.clear();
         self.offsets.push(0);
-        let mut row = Vec::new();
+        let mut row = std::mem::take(&mut self.row);
         for i in 0..net.len() {
             net.one_hop_neighbors_into(NodeId(i), &mut row);
             self.neighbors.extend(row.iter().map(|&j| j as u32));
             self.offsets.push(self.neighbors.len() as u32);
         }
+        self.row = row;
     }
 
     /// Number of nodes the snapshot covers.

@@ -149,6 +149,14 @@ impl RingScratch {
         Self::default()
     }
 
+    /// Members of the most recent search (ascending ids, center
+    /// excluded). Valid until the next [`RingQuery::begin`] on this
+    /// scratch — lets callers consume the member set without
+    /// materializing an owned vector.
+    pub fn last_members(&self) -> &[usize] {
+        &self.members
+    }
+
     /// Starts a new search: bumps the epoch and sizes the arrays to `n`.
     fn reset(&mut self, n: usize) {
         self.epoch += 1;

@@ -44,6 +44,47 @@ fn failure_recovery_scenario_end_to_end() {
 }
 
 #[test]
+fn failure_recovery_metrics_are_summarized() {
+    // The shipped spec probes coverage every round, so the stored round
+    // series carries covered fractions and the outcome summarizes the
+    // recovery of each applied event.
+    let results = results();
+    for cell in &results {
+        let outcome = cell.outcome.as_ref().expect("cell runs");
+        let probed = outcome
+            .rounds
+            .iter()
+            .filter(|r| r.covered_fraction.is_some())
+            .count();
+        assert_eq!(
+            probed,
+            outcome.rounds.len(),
+            "seed {}: every round is probed",
+            cell.cell.seed
+        );
+        assert_eq!(outcome.recovery.len(), 1, "one applied event");
+        let rec = &outcome.recovery[0];
+        assert_eq!(rec.event_round, 40);
+        let before = rec.coverage_before.expect("round-40 probe exists");
+        assert!(
+            before >= 0.9,
+            "seed {}: pre-event coverage {before}",
+            cell.cell.seed
+        );
+        let dip = rec.coverage_dip.expect("post-event rounds probed");
+        assert!((0.0..=1.0).contains(&dip), "dip {dip}");
+        let ttr = rec
+            .time_to_recover
+            .expect("survivors re-achieve the 0.9 target");
+        assert!(ttr >= 1, "recovery takes at least one round");
+        assert!(
+            ttr + 40 <= outcome.summary.rounds,
+            "recovery round within the run"
+        );
+    }
+}
+
+#[test]
 fn failure_recovery_jsonl_is_stored_and_parseable() {
     let results = results();
     let dir = std::env::temp_dir().join("laacad-failure-recovery-test");
