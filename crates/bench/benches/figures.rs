@@ -97,7 +97,11 @@ fn fig8_obstacle_step(c: &mut Criterion) {
             .build()
             .unwrap();
         let initial = laacad_region::sampling::sample_uniform(&region, 30, 5);
-        let mut sim = laacad::Laacad::new(config, region, initial).unwrap();
+        let mut sim = laacad::Session::builder(config)
+            .region(region)
+            .positions(initial)
+            .build()
+            .unwrap();
         b.iter(|| black_box(sim.step()))
     });
     group.finish();

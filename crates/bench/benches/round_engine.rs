@@ -1,7 +1,9 @@
 //! End-to-end round-engine benchmark: one synchronous LAACAD round at
 //! N ∈ {1 000, 4 000, 10 000}, k ∈ {1, 3}, serial vs parallel — plus the
-//! PR-3 section: cached vs uncached steady-state rounds and
-//! allocations-per-round under a counting global allocator.
+//! PR-3 section (cached vs uncached steady-state rounds and
+//! allocations-per-round under a counting global allocator) and the
+//! PR-4 section: quiescent steady-state rounds under the dirty-node
+//! index, which skips every ring search once nothing moves.
 //!
 //! Custom harness (not Criterion): a single round at N = 10⁴ is seconds,
 //! not microseconds, and the result must land in a machine-readable
@@ -18,7 +20,7 @@
 //! regression guard against the committed reference and the
 //! zero-geometry-allocation steady-state assertion.
 
-use laacad::{Laacad, LaacadConfig};
+use laacad::{LaacadConfig, Session};
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -88,6 +90,16 @@ const PR2_SERIAL_SECONDS: &[(usize, usize, f64)] = &[
 
 const PRE_PR_REFERENCE_HOST: &str = "1-core dev container, 2026-07-29";
 
+/// Steady-state cached round times of the PR-3 engine (ring search per
+/// node per round, geometry served from the view cache) — the committed
+/// `BENCH_round_engine.json` measured on the reference container before
+/// the PR-4 dirty-node index landed.
+const PR3_STEADY_CACHED_SECONDS: &[(usize, usize, f64)] = &[
+    (1_000, 3, 0.028551),
+    (4_000, 3, 0.121520),
+    (10_000, 3, 0.331936),
+];
+
 /// Smoke-mode regression guard: fail when the serial N = 10³ round is
 /// more than 3× the committed reference (generous on purpose — CI boxes
 /// vary; a real regression on this path is multiplicative, not 20%).
@@ -107,7 +119,26 @@ fn pr2_reference(n: usize, k: usize) -> f64 {
         .expect("reference row exists")
 }
 
-fn build(n: usize, k: usize, threads: usize, cache: bool, epsilon: f64) -> Laacad {
+fn pr3_steady_reference(n: usize, k: usize) -> f64 {
+    PR3_STEADY_CACHED_SECONDS
+        .iter()
+        .find(|&&(rn, rk, _)| rn == n && rk == k)
+        .map(|&(_, _, s)| s)
+        .expect("reference row exists")
+}
+
+fn build(n: usize, k: usize, threads: usize, cache: bool, epsilon: f64) -> Session {
+    build_with_dirty(n, k, threads, cache, true, epsilon)
+}
+
+fn build_with_dirty(
+    n: usize,
+    k: usize,
+    threads: usize,
+    cache: bool,
+    dirty_skip: bool,
+    epsilon: f64,
+) -> Session {
     let region = Region::square(1.0).expect("unit square");
     let config = LaacadConfig::builder(k)
         .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
@@ -116,10 +147,15 @@ fn build(n: usize, k: usize, threads: usize, cache: bool, epsilon: f64) -> Laaca
         .max_rounds(1_000)
         .threads(threads)
         .cache(cache)
+        .dirty_skip(dirty_skip)
         .build()
         .expect("valid config");
     let initial = sample_uniform(&region, n, 42);
-    Laacad::new(config, region, initial).expect("valid deployment")
+    Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .expect("valid deployment")
 }
 
 /// Times one `step()` (best of `reps` fresh simulations; construction
@@ -129,9 +165,9 @@ fn time_round(n: usize, k: usize, threads: usize, reps: usize) -> f64 {
     for _ in 0..reps {
         let mut sim = build(n, k, threads, true, 2e-3);
         let t = Instant::now();
-        let report = sim.step();
+        let delta = sim.step();
         let dt = t.elapsed().as_secs_f64();
-        assert!(report.nodes_moved > 0, "a fresh deployment must move");
+        assert!(delta.report.nodes_moved > 0, "a fresh deployment must move");
         best = best.min(dt);
     }
     best
@@ -143,21 +179,36 @@ fn time_round(n: usize, k: usize, threads: usize, reps: usize) -> f64 {
 /// entry reflects the final positions, then time and alloc-count one
 /// more round.
 fn steady_round(n: usize, k: usize, cache: bool) -> (f64, u64) {
-    let mut sim = build(n, k, 1, cache, 0.05);
-    let mut warm = 0;
-    loop {
-        let report = sim.step();
-        warm += 1;
-        if report.converged || warm >= 12 {
+    // The PR-3 measurement: dirty tracking off, so every round still
+    // runs its ring searches and hits the per-worker view cache.
+    steady_round_with(n, k, cache, false).0
+}
+
+/// Converges a deployment, then times one more round. Returns
+/// `((seconds, allocations), ring searches in the timed round)`.
+fn steady_round_with(n: usize, k: usize, cache: bool, dirty_skip: bool) -> ((f64, u64), usize) {
+    let mut sim = build_with_dirty(n, k, 1, cache, dirty_skip, 0.05);
+    let mut converged = false;
+    for _ in 0..40 {
+        let delta = sim.step();
+        if delta.report.converged {
+            converged = true;
             break;
         }
     }
+    // The zero-ring-search assertions downstream only hold for a truly
+    // quiescent deployment — an unconverged warm-up must fail loudly
+    // here, not masquerade as a dirty-index regression.
+    assert!(
+        converged,
+        "steady-state warm-up did not converge (N={n}, k={k}): measurement invalid"
+    );
     sim.step(); // cache fill / pool high-water pass at the final positions
     let a0 = allocations();
     let t = Instant::now();
-    sim.step();
+    let delta = sim.step();
     let dt = t.elapsed().as_secs_f64();
-    (dt, allocations() - a0)
+    ((dt, allocations() - a0), delta.ring_searches)
 }
 
 fn smoke() {
@@ -186,6 +237,19 @@ fn smoke() {
         );
         failed |= allocs > STEADY_ALLOC_CEILING;
     }
+    // PR-4: a quiescent round under the dirty-node index performs zero
+    // ring searches and must beat the PR-3 cached steady round.
+    let ((dirty_s, dirty_allocs), searches) = steady_round_with(1_000, 3, true, true);
+    let verdict = if searches == 0 && dirty_allocs <= STEADY_ALLOC_CEILING {
+        "ok"
+    } else {
+        "DIRTY-SKIP REGRESSION"
+    };
+    eprintln!(
+        "smoke steady N=1000 k=3 dirty-skip: {dirty_s:.5}s, {searches} ring searches, \
+         {dirty_allocs} allocations {verdict}"
+    );
+    failed |= searches != 0 || dirty_allocs > STEADY_ALLOC_CEILING;
     if failed {
         eprintln!("round_engine smoke FAILED");
         std::process::exit(1);
@@ -280,6 +344,35 @@ fn main() {
             pr2 / cached_s,
         ));
     }
+    // PR-4 section: quiescent steady-state rounds under the dirty-node
+    // index — zero ring searches, O(N) replay of the stored views.
+    let mut pr4_rows = Vec::new();
+    for &n in &[1_000usize, 4_000, 10_000] {
+        let k = 3;
+        let ((dirty_s, dirty_allocs), searches) = steady_round_with(n, k, true, true);
+        assert_eq!(
+            searches, 0,
+            "N={n}: a quiescent round under the dirty index still ran ring searches"
+        );
+        let pr3_steady = pr3_steady_reference(n, k);
+        let speedup = pr3_steady / dirty_s;
+        eprintln!(
+            "round_engine pr4 N={n} k={k}: steady dirty-skip {dirty_s:.6}s \
+             ({dirty_allocs} allocs, {searches} ring searches), PR-3 cached steady \
+             reference {pr3_steady:.4}s, speedup {speedup:.1}x"
+        );
+        pr4_rows.push(format!(
+            concat!(
+                "      {{\"n\": {}, \"k\": {}, ",
+                "\"steady_dirty_skip_seconds\": {:.6}, ",
+                "\"steady_ring_searches\": {}, ",
+                "\"steady_allocs\": {}, ",
+                "\"pr3_steady_cached_seconds_reference\": {:.6}, ",
+                "\"speedup_steady_vs_pr3_cached\": {:.2}}}"
+            ),
+            n, k, dirty_s, searches, dirty_allocs, pr3_steady, speedup,
+        ));
+    }
     let json = format!(
         concat!(
             "{{\n",
@@ -291,13 +384,18 @@ fn main() {
             "  \"pr3\": {{\n",
             "    \"description\": \"allocation-free geometry kernel + cross-round local-view cache: first round (cold cache) and steady-state rounds (converged deployment) vs the PR-2 engine; allocation counts are per serial round under a counting global allocator\",\n",
             "    \"rows\": [\n{}\n    ]\n",
+            "  }},\n",
+            "  \"pr4\": {{\n",
+            "    \"description\": \"dirty-node index (session engine): fully quiescent steady-state rounds skip every ring search and replay stored views in O(N) — vs the PR-3 cached steady round, which still searched per node per round\",\n",
+            "    \"rows\": [\n{}\n    ]\n",
             "  }}\n",
             "}}\n"
         ),
         workers,
         PRE_PR_REFERENCE_HOST,
         rows.join(",\n"),
-        pr3_rows.join(",\n")
+        pr3_rows.join(",\n"),
+        pr4_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_round_engine.json");
     std::fs::write(path, &json).expect("write BENCH_round_engine.json");

@@ -8,7 +8,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use laacad::Laacad;
+use laacad::Session;
 use laacad_geom::Point;
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
@@ -28,7 +28,7 @@ fn bench_algorithm(k: usize, max_rounds: usize) -> AlgorithmSpec {
 /// A deterministic uniform scenario: `n` nodes in the unit square,
 /// expressed as a declarative [`ScenarioSpec`] and built through the
 /// scenario engine.
-pub fn uniform_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Laacad {
+pub fn uniform_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Session {
     let spec = ScenarioSpec {
         laacad: bench_algorithm(k, max_rounds),
         ..ScenarioSpec::uniform("bench-uniform", n, k)
@@ -37,7 +37,7 @@ pub fn uniform_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Laa
 }
 
 /// The Fig. 5 corner-start scenario at reduced scale.
-pub fn corner_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Laacad {
+pub fn corner_scenario(n: usize, k: usize, max_rounds: usize, seed: u64) -> Session {
     let spec = ScenarioSpec {
         placement: PlacementSpec::Clustered {
             n,

@@ -99,6 +99,18 @@ pub struct LaacadConfig {
     /// are bit-identical; only oracle-coordinate runs cache (ranging
     /// noise is re-drawn per round by design).
     pub cache: bool,
+    /// Dirty-node index (default on). The session engine records which
+    /// nodes moved each round; a node whose entire previous search
+    /// neighborhood (its final ρ plus the multi-hop slack margin) saw no
+    /// movement skips the expanding-ring search *and* the domination
+    /// sweep entirely, replaying its stored view. The skip criterion
+    /// covers every node the previous search could have contacted, so
+    /// results are bit-identical with the index on or off, at any
+    /// worker count; fully quiescent rounds run zero ring searches.
+    /// Active only for synchronous oracle-coordinate runs (Gauss–Seidel
+    /// nodes see fresh predecessor positions; ranging noise is re-drawn
+    /// per round).
+    pub dirty_skip: bool,
 }
 
 impl LaacadConfig {
@@ -139,6 +151,7 @@ impl LaacadConfig {
                 seed: 0x1AACAD,
                 threads: 1,
                 cache: true,
+                dirty_skip: true,
             },
         }
     }
@@ -248,6 +261,14 @@ impl LaacadConfigBuilder {
     /// per round.
     pub fn cache(&mut self, cache: bool) -> &mut Self {
         self.config.cache = cache;
+        self
+    }
+
+    /// Enables or disables the dirty-node index. Results are identical
+    /// either way (the skip criterion is conservative and exact);
+    /// `false` forces a ring search per node per round.
+    pub fn dirty_skip(&mut self, dirty_skip: bool) -> &mut Self {
+        self.config.dirty_skip = dirty_skip;
         self
     }
 

@@ -23,6 +23,12 @@ pub enum LaacadError {
         /// Index of the offending node.
         index: usize,
     },
+    /// A [`crate::SessionBuilder`] was finalized before a required
+    /// component was provided.
+    IncompleteSession {
+        /// The missing component (e.g. `"region"`).
+        missing: &'static str,
+    },
 }
 
 impl std::fmt::Display for LaacadError {
@@ -46,6 +52,9 @@ impl std::fmt::Display for LaacadError {
                     f,
                     "initial position of node {index} lies outside the target area"
                 )
+            }
+            LaacadError::IncompleteSession { missing } => {
+                write!(f, "session builder is missing its {missing}")
             }
         }
     }

@@ -6,14 +6,18 @@
 //! requirement change mid-mission. This module lets external drivers —
 //! most prominently the `laacad-scenario` engine — mutate the network
 //! *between* rounds through a typed event API, without forking the
-//! algorithm: [`Laacad::apply_event`] performs the mutation and resets
-//! the convergence latch, and [`Laacad::run_with_hooks`] threads a
-//! [`RoundHook`] through the round loop so events fire at the right time.
+//! algorithm: [`Session::apply_event`] performs the mutation and resets
+//! the convergence latch, and [`Session::run_with_observers`] dispatches
+//! the [`crate::Observer`] callbacks so events fire at the right time.
 //!
-//! [`Laacad::apply_event`]: crate::Laacad::apply_event
-//! [`Laacad::run_with_hooks`]: crate::Laacad::run_with_hooks
+//! The legacy [`RoundHook`] trait lives here too, deprecated in favor of
+//! [`crate::Observer`] (run legacy hooks through
+//! [`crate::HookObserver`]).
+//!
+//! [`Session::apply_event`]: crate::Session::apply_event
+//! [`Session::run_with_observers`]: crate::Session::run_with_observers
 
-use crate::runner::Laacad;
+use crate::session::Session;
 use crate::RoundReport;
 use laacad_geom::Point;
 use laacad_wsn::NodeId;
@@ -53,235 +57,23 @@ pub enum HookAction {
     Stop,
 }
 
-/// Observer/mutator invoked after every round of
-/// [`Laacad::run_with_hooks`].
+/// Legacy observer/mutator invoked after every round.
 ///
-/// [`Laacad::run_with_hooks`]: crate::Laacad::run_with_hooks
-///
-/// # Example
-///
-/// ```
-/// use laacad::{HookAction, Laacad, LaacadConfig, NetworkEvent, RoundHook, RoundReport};
-/// use laacad_region::{sampling::sample_uniform, Region};
-/// use laacad_wsn::NodeId;
-///
-/// /// Kills node 0 after round 3.
-/// struct KillOne { done: bool }
-/// impl RoundHook for KillOne {
-///     fn after_round(&mut self, sim: &mut Laacad, report: &RoundReport) -> HookAction {
-///         if !self.done && report.round == 3 {
-///             sim.apply_event(NetworkEvent::FailNodes(vec![NodeId(0)])).unwrap();
-///             self.done = true;
-///         }
-///         if self.done { HookAction::Default } else { HookAction::KeepRunning }
-///     }
-/// }
-///
-/// let region = Region::square(1.0)?;
-/// let config = LaacadConfig::builder(1)
-///     .transmission_range(0.35)
-///     .max_rounds(60)
-///     .build()?;
-/// let initial = sample_uniform(&region, 14, 9);
-/// let mut sim = Laacad::new(config, region, initial)?;
-/// let mut hook = KillOne { done: false };
-/// let summary = sim.run_with_hooks(&mut [&mut hook]);
-/// assert_eq!(sim.network().len(), 13);
-/// assert!(summary.rounds > 3);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
+/// Superseded by [`crate::Observer`], whose `on_round_end` callback
+/// receives the full [`crate::RoundDelta`]. Existing hook *logic* runs
+/// unchanged through the [`crate::HookObserver`] adapter (the
+/// deprecated `Laacad::run_with_hooks` shim wraps them automatically),
+/// but implementations must retarget `after_round`'s receiver from the
+/// old `&mut Laacad` to `&mut Session` — the one source edit this
+/// migration requires.
+#[deprecated(
+    since = "0.4.0",
+    note = "implement laacad::Observer instead (see laacad::HookObserver for an adapter)"
+)]
 pub trait RoundHook {
     /// Called after each executed round with the fresh report. The hook
-    /// may mutate the simulation through [`Laacad::apply_event`].
+    /// may mutate the simulation through [`Session::apply_event`].
     ///
-    /// [`Laacad::apply_event`]: crate::Laacad::apply_event
-    fn after_round(&mut self, sim: &mut Laacad, report: &RoundReport) -> HookAction;
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::LaacadConfig;
-    use laacad_coverage::evaluate_coverage;
-    use laacad_region::sampling::sample_uniform;
-    use laacad_region::Region;
-
-    fn config(k: usize, rounds: usize) -> LaacadConfig {
-        LaacadConfig::builder(k)
-            .transmission_range(0.35)
-            .alpha(0.6)
-            .epsilon(2e-3)
-            .max_rounds(rounds)
-            .build()
-            .unwrap()
-    }
-
-    struct Recorder {
-        rounds_seen: Vec<usize>,
-    }
-
-    impl RoundHook for Recorder {
-        fn after_round(&mut self, _sim: &mut Laacad, report: &RoundReport) -> HookAction {
-            self.rounds_seen.push(report.round);
-            HookAction::Default
-        }
-    }
-
-    #[test]
-    fn hooks_observe_every_round() {
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_uniform(&region, 12, 5);
-        let mut sim = Laacad::new(config(1, 50), region, initial).unwrap();
-        let mut rec = Recorder {
-            rounds_seen: vec![],
-        };
-        let summary = sim.run_with_hooks(&mut [&mut rec]);
-        assert_eq!(rec.rounds_seen.len(), summary.rounds);
-        assert_eq!(rec.rounds_seen.last().copied(), Some(summary.rounds));
-    }
-
-    struct StopAt(usize);
-
-    impl RoundHook for StopAt {
-        fn after_round(&mut self, _sim: &mut Laacad, report: &RoundReport) -> HookAction {
-            if report.round >= self.0 {
-                HookAction::Stop
-            } else {
-                HookAction::Default
-            }
-        }
-    }
-
-    #[test]
-    fn stop_action_terminates_early() {
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_uniform(&region, 12, 6);
-        let mut sim = Laacad::new(config(1, 200), region, initial).unwrap();
-        let summary = sim.run_with_hooks(&mut [&mut StopAt(4)]);
-        assert_eq!(summary.rounds, 4);
-    }
-
-    struct FailMidRun {
-        at: usize,
-        fired: bool,
-    }
-
-    impl RoundHook for FailMidRun {
-        fn after_round(&mut self, sim: &mut Laacad, report: &RoundReport) -> HookAction {
-            if !self.fired && report.round == self.at {
-                let doomed: Vec<NodeId> = (0..sim.network().len() / 5).map(NodeId).collect();
-                sim.apply_event(NetworkEvent::FailNodes(doomed)).unwrap();
-                self.fired = true;
-            }
-            if self.fired {
-                HookAction::Default
-            } else {
-                HookAction::KeepRunning
-            }
-        }
-    }
-
-    #[test]
-    fn failure_mid_run_recovers_coverage() {
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_uniform(&region, 25, 77);
-        let mut sim = Laacad::new(config(1, 150), region.clone(), initial).unwrap();
-        let mut hook = FailMidRun {
-            at: 12,
-            fired: false,
-        };
-        let summary = sim.run_with_hooks(&mut [&mut hook]);
-        assert!(hook.fired);
-        assert_eq!(sim.network().len(), 20);
-        assert!(summary.rounds > 12);
-        let report = evaluate_coverage(sim.network(), &region, 1, 3000);
-        assert!(report.covered_fraction > 0.99, "{report}");
-    }
-
-    #[test]
-    fn insert_and_set_k_events() {
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_uniform(&region, 10, 3);
-        let mut sim = Laacad::new(config(1, 30), region.clone(), initial).unwrap();
-        sim.step();
-        let outcome = sim
-            .apply_event(NetworkEvent::InsertNodes(sample_uniform(&region, 5, 4)))
-            .unwrap();
-        assert_eq!(outcome.inserted, 5);
-        assert_eq!(sim.network().len(), 15);
-        sim.apply_event(NetworkEvent::SetK(2)).unwrap();
-        assert_eq!(sim.config().k, 2);
-        sim.apply_event(NetworkEvent::SetAlpha(1.0)).unwrap();
-        assert_eq!(sim.config().alpha, 1.0);
-        let summary = sim.run();
-        let report = evaluate_coverage(sim.network(), &region, 2, 3000);
-        assert!(report.covered_fraction > 0.99, "{report} ({summary})");
-    }
-
-    #[test]
-    fn invalid_events_are_rejected() {
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_uniform(&region, 6, 1);
-        let mut sim = Laacad::new(config(1, 10), region, initial).unwrap();
-        // Killing everything is rejected.
-        let all: Vec<NodeId> = (0..6).map(NodeId).collect();
-        assert!(sim.apply_event(NetworkEvent::FailNodes(all)).is_err());
-        // k > N is rejected.
-        assert!(sim.apply_event(NetworkEvent::SetK(7)).is_err());
-        // α outside (0, 1] is rejected.
-        assert!(sim.apply_event(NetworkEvent::SetAlpha(0.0)).is_err());
-        // Out-of-region insertion is rejected and atomic (nothing added).
-        let err = sim.apply_event(NetworkEvent::InsertNodes(vec![
-            Point::new(0.5, 0.5),
-            Point::new(9.0, 9.0),
-        ]));
-        assert!(err.is_err());
-        assert_eq!(sim.network().len(), 6);
-    }
-
-    struct KeepAliveUntil(usize);
-
-    impl RoundHook for KeepAliveUntil {
-        fn after_round(&mut self, _sim: &mut Laacad, report: &RoundReport) -> HookAction {
-            if report.round < self.0 {
-                HookAction::KeepRunning
-            } else {
-                HookAction::Default
-            }
-        }
-    }
-
-    #[test]
-    fn idle_converged_rounds_do_not_spam_snapshots() {
-        let region = Region::square(1.0).unwrap();
-        let mut cfg = config(1, 200);
-        cfg.alpha = 1.0; // converge fast, leaving a long idle tail
-        cfg.epsilon = 1e-2;
-        cfg.snapshot_every = Some(1000); // cadence never fires on its own
-        let initial = sample_uniform(&region, 8, 2);
-        let mut sim = Laacad::new(cfg, region, initial).unwrap();
-        let summary = sim.run_with_hooks(&mut [&mut KeepAliveUntil(120)]);
-        assert!(summary.converged);
-        assert!(summary.rounds >= 120, "hook kept the run alive");
-        // Round 0 + finalize + the single converged-transition snapshot —
-        // not one per idle round.
-        assert!(
-            sim.history().snapshots().len() <= 3,
-            "snapshots: {}",
-            sim.history().snapshots().len()
-        );
-    }
-
-    #[test]
-    fn events_reset_convergence() {
-        let region = Region::square(1.0).unwrap();
-        let mut cfg = config(1, 200);
-        cfg.alpha = 1.0;
-        let mut sim = Laacad::new(cfg, region.clone(), sample_uniform(&region, 8, 2)).unwrap();
-        sim.run();
-        assert!(sim.is_converged());
-        sim.apply_event(NetworkEvent::FailNodes(vec![NodeId(0)]))
-            .unwrap();
-        assert!(!sim.is_converged());
-    }
+    /// [`Session::apply_event`]: crate::Session::apply_event
+    fn after_round(&mut self, sim: &mut Session, report: &RoundReport) -> HookAction;
 }

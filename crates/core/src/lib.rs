@@ -17,7 +17,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use laacad::{Laacad, LaacadConfig};
+//! use laacad::{LaacadConfig, Session};
 //! use laacad_region::{sampling::sample_uniform, Region};
 //!
 //! let region = Region::square(1.0)?;
@@ -26,12 +26,18 @@
 //!     .transmission_range(0.25)
 //!     .max_rounds(60)
 //!     .build()?;
-//! let mut sim = Laacad::new(config, region, initial)?;
-//! let summary = sim.run();
+//! let mut session = Session::builder(config)
+//!     .region(region)
+//!     .positions(initial)
+//!     .build()?;
+//! // Drive round by round: every step reports exactly what changed.
+//! let delta = session.step();
+//! assert!(!delta.moved.is_empty(), "a fresh deployment moves");
+//! let summary = session.run(); // continue to convergence
 //! assert!(summary.rounds > 0);
 //! // Every node now sits (near) the Chebyshev center of its dominating
 //! // region; sensing ranges are set to the per-node circumradii.
-//! assert!(sim.network().max_sensing_radius() > 0.0);
+//! assert!(session.network().max_sensing_radius() > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -47,19 +53,26 @@ pub mod history;
 pub mod hooks;
 pub mod localview;
 pub mod minnode;
+pub mod observer;
 pub mod ring;
 pub mod runner;
 pub mod scratch;
+pub mod session;
 
 pub use config::{CoordinateMode, ExecutionMode, LaacadConfig, LaacadConfigBuilder, RingCapPolicy};
 pub use error::LaacadError;
 pub use history::{History, RoundReport, RunSummary};
-pub use hooks::{EventOutcome, HookAction, NetworkEvent, RoundHook};
+#[allow(deprecated)]
+pub use hooks::RoundHook;
+pub use hooks::{EventOutcome, HookAction, NetworkEvent};
 pub use localview::{compute_local_view, compute_node_view, LocalView, NodeView};
 pub use minnode::{min_node_deployment, MinNodeResult};
+pub use observer::{HookObserver, Observer};
 pub use ring::{
     expanding_ring_search, expanding_ring_search_scratched, expanding_ring_search_status,
     DominationScratch, RingOutcome, RingStatus,
 };
+#[allow(deprecated)]
 pub use runner::Laacad;
 pub use scratch::{LocalViewCache, RoundScratch};
+pub use session::{MovedNode, RoundDelta, Session, SessionBuilder, SessionCounters};

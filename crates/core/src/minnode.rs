@@ -10,7 +10,7 @@
 
 use crate::config::LaacadConfig;
 use crate::error::LaacadError;
-use crate::runner::Laacad;
+use crate::session::Session;
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
 
@@ -45,7 +45,10 @@ fn evaluate(
     seed: u64,
 ) -> Result<f64, LaacadError> {
     let initial = sample_uniform(region, n, seed);
-    let mut sim = Laacad::new(config.clone(), region.clone(), initial)?;
+    let mut sim = Session::builder(config.clone())
+        .region(region.clone())
+        .positions(initial)
+        .build()?;
     Ok(sim.run().max_sensing_radius)
 }
 

@@ -1,28 +1,36 @@
-//! Algorithm 1 — the LAACAD simulation runner.
+//! The deprecated [`Laacad`] compatibility shim.
 //!
-//! Rounds are synchronous: every node computes its dominating region and
-//! Chebyshev center from the same position snapshot, then all nodes move.
-//! This matches the paper's periodic (`every τ ms`) execution in the
-//! regime where motion per round is small relative to `τ`.
+//! [`Laacad`] was the original monolithic driver; PR 4 replaced it with
+//! the typed session API ([`crate::Session`] built through
+//! [`crate::SessionBuilder`], stepping in [`crate::RoundDelta`]s and
+//! observed through [`crate::Observer`]). The shim keeps the old
+//! *driver* surface for one release: every method delegates to an inner
+//! [`Session`], and `run_with_hooks` wraps each legacy [`RoundHook`] in
+//! a [`crate::HookObserver`]. One breaking edge remains: `RoundHook`
+//! implementations must change their `after_round` receiver from
+//! `&mut Laacad` to `&mut Session` (a one-line edit; the shim cannot
+//! lend out a `&mut Laacad` it is not wrapped in). Migration table in
+//! the repository README ("API" section).
+
+#![allow(deprecated)]
 
 use crate::config::LaacadConfig;
 use crate::error::LaacadError;
 use crate::history::{History, RoundReport, RunSummary};
-use crate::hooks::{EventOutcome, HookAction, NetworkEvent, RoundHook};
-use crate::localview::compute_node_view;
-use crate::scratch::RoundScratch;
-use laacad_exec::{parallel_map_scratched, resolve_workers};
+use crate::hooks::{EventOutcome, NetworkEvent, RoundHook};
+use crate::observer::{HookObserver, Observer};
+use crate::session::Session;
 use laacad_geom::Point;
 use laacad_region::Region;
-use laacad_wsn::mobility::step_toward;
-use laacad_wsn::radio::MessageStats;
-use laacad_wsn::{Adjacency, Network, NodeId};
+use laacad_wsn::Network;
 
-/// A LAACAD deployment simulation.
+/// Deprecated monolithic driver — a thin wrapper around
+/// [`crate::Session`].
 ///
-/// # Example
+/// # Example (legacy surface)
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use laacad::{Laacad, LaacadConfig};
 /// use laacad_region::{sampling::sample_uniform, Region};
 ///
@@ -36,36 +44,19 @@ use laacad_wsn::{Adjacency, Network, NodeId};
 /// assert!(summary.max_sensing_radius > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[deprecated(
+    since = "0.4.0",
+    note = "use laacad::Session (built via Session::builder) — see the README migration table"
+)]
 #[derive(Debug)]
 pub struct Laacad {
-    config: LaacadConfig,
-    region: Region,
-    net: Network,
-    history: History,
-    round: usize,
-    converged: bool,
-    /// One [`RoundScratch`] per worker, reused across rounds.
-    scratches: Vec<RoundScratch>,
-    /// Per-round one-hop snapshot shared by every worker (synchronous
-    /// mode), rebuilt in place each round.
-    adjacency: Adjacency,
-}
-
-/// What one node decides from its local view — the pure per-node output
-/// of Phase 1, applied to the network afterwards in id order.
-struct NodeDecision {
-    /// Motion target when `‖u_i − c_i‖ > ε`.
-    target: Option<Point>,
-    /// `(circumradius R_i, reach r_i, displacement ‖u_i − c_i‖)` when the
-    /// node has a non-empty dominating region.
-    disk: Option<(f64, f64, f64)>,
-    /// Ring-search messages.
-    messages: MessageStats,
+    session: Session,
 }
 
 impl Laacad {
     /// Builds a simulation from a config, target area and initial node
-    /// positions.
+    /// positions (the positional form [`crate::SessionBuilder`]
+    /// replaces).
     ///
     /// # Errors
     ///
@@ -76,550 +67,97 @@ impl Laacad {
         region: Region,
         initial_positions: Vec<Point>,
     ) -> Result<Self, LaacadError> {
-        if initial_positions.is_empty() {
-            return Err(LaacadError::EmptyDeployment);
-        }
-        config.validate(initial_positions.len())?;
-        for (i, p) in initial_positions.iter().enumerate() {
-            if !region.contains(*p) {
-                return Err(LaacadError::NodeOutsideRegion { index: i });
-            }
-        }
-        let net = Network::from_positions(config.gamma, initial_positions.iter().copied());
-        let mut sim = Laacad {
-            config,
-            region,
-            net,
-            history: History::default(),
-            round: 0,
-            converged: false,
-            scratches: Vec::new(),
-            adjacency: Adjacency::default(),
-        };
-        if sim.config.snapshot_every.is_some() {
-            sim.history.push_snapshot(0, sim.net.positions().to_vec());
-        }
-        Ok(sim)
+        let session = Session::builder(config)
+            .region(region)
+            .positions(initial_positions)
+            .build()?;
+        Ok(Laacad { session })
+    }
+
+    /// The wrapped session (escape hatch for incremental migration).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the wrapped session.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Consumes the shim, returning the session.
+    pub fn into_session(self) -> Session {
+        self.session
     }
 
     /// The live network (positions, sensing ranges, odometry).
     pub fn network(&self) -> &Network {
-        &self.net
+        self.session.network()
     }
 
     /// The target area.
     pub fn region(&self) -> &Region {
-        &self.region
+        self.session.region()
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &LaacadConfig {
-        &self.config
+        self.session.config()
     }
 
     /// Recorded history (Fig. 6 series, snapshots).
     pub fn history(&self) -> &History {
-        &self.history
+        self.session.history()
     }
 
     /// Rounds executed so far.
     pub fn rounds_executed(&self) -> usize {
-        self.round
+        self.session.rounds_executed()
     }
 
     /// Whether the ε-termination condition has been observed.
     pub fn is_converged(&self) -> bool {
-        self.converged
+        self.session.is_converged()
     }
 
-    /// The worker count for shared-snapshot phases, per the `threads`
-    /// knob (Gauss–Seidel execution is serial by definition).
-    fn workers(&self) -> usize {
-        if self.config.execution == crate::ExecutionMode::Sequential {
-            1
-        } else {
-            resolve_workers(self.config.threads, self.net.len())
-        }
-    }
-
-    /// Sizes the per-worker scratch pool.
-    fn ensure_scratches(&mut self, workers: usize) {
-        if self.scratches.len() < workers {
-            self.scratches.resize_with(workers, RoundScratch::new);
-        }
-        self.scratches.truncate(workers.max(1));
-    }
-
-    /// Computes every node's [`NodeDecision`] from the current position
-    /// snapshot — Phase 1 of a synchronous round, fanned out over the
-    /// scratch pool's workers. Pure per node, so the result is identical
-    /// for every worker count.
-    fn decide_all(&mut self) -> Vec<NodeDecision> {
-        self.adjacency.rebuild(&self.net);
-        let (net, region, config) = (&self.net, &self.region, &self.config);
-        let (round, adjacency) = (self.round, &self.adjacency);
-        parallel_map_scratched(&mut self.scratches, net.len(), |scratch, i| {
-            let id = NodeId(i);
-            let view = compute_node_view(net, Some(adjacency), id, region, config, round, scratch);
-            let u = net.position(id);
-            match view.chebyshev {
-                Some(disk) => {
-                    // The node's reach doubles as its working sensing
-                    // range (coverage monitoring mid-run) — computed in
-                    // the same vertex pass as the disk.
-                    let d = u.distance(disk.center);
-                    NodeDecision {
-                        target: (d > config.epsilon).then_some(disk.center),
-                        disk: Some((disk.radius, view.reach, d)),
-                        messages: view.messages,
-                    }
-                }
-                None => NodeDecision {
-                    target: None,
-                    disk: None,
-                    messages: view.messages,
-                },
-            }
-        })
-    }
-
-    /// Executes one round of Algorithm 1 and records it.
-    ///
-    /// Under [`ExecutionMode::Synchronous`] every node computes on the
-    /// same snapshot — fanned out across `config.threads` workers — then
-    /// all move (Jacobi); under [`ExecutionMode::Sequential`] each node
-    /// moves immediately after computing (Gauss–Seidel), which models
-    /// unsynchronized periodic execution and is serial by definition.
-    ///
-    /// [`ExecutionMode::Synchronous`]: crate::ExecutionMode::Synchronous
-    /// [`ExecutionMode::Sequential`]: crate::ExecutionMode::Sequential
+    /// Executes one round and returns the legacy per-round report (the
+    /// session's [`crate::RoundDelta`] carries strictly more).
     pub fn step(&mut self) -> RoundReport {
-        self.round += 1;
-        let n = self.net.len();
-        let sequential = self.config.execution == crate::ExecutionMode::Sequential;
-        let mut max_circumradius: f64 = 0.0;
-        let mut min_circumradius = f64::INFINITY;
-        let mut max_reach: f64 = 0.0;
-        let mut max_disp: f64 = 0.0;
-        let mut messages = MessageStats::default();
-        let mut nodes_moved = 0;
-        self.ensure_scratches(self.workers());
-        if sequential {
-            // Gauss–Seidel: each node computes against the live network
-            // (seeing its predecessors' fresh positions) and acts
-            // immediately.
-            for i in 0..n {
-                let id = NodeId(i);
-                // No adjacency snapshot: predecessors have already moved.
-                let view = compute_node_view(
-                    &self.net,
-                    None,
-                    id,
-                    &self.region,
-                    &self.config,
-                    self.round,
-                    &mut self.scratches[0],
-                );
-                messages.absorb(view.messages);
-                let u = self.net.position(id);
-                if let Some(disk) = view.chebyshev {
-                    let reach = view.reach;
-                    max_circumradius = max_circumradius.max(disk.radius);
-                    min_circumradius = min_circumradius.min(disk.radius);
-                    max_reach = max_reach.max(reach);
-                    let d = u.distance(disk.center);
-                    max_disp = max_disp.max(d);
-                    if d > self.config.epsilon {
-                        step_toward(
-                            &mut self.net,
-                            id,
-                            disk.center,
-                            self.config.alpha,
-                            Some(&self.region),
-                        );
-                        nodes_moved += 1;
-                    }
-                    // Keep the node's sensing range able to cover its
-                    // current responsibility.
-                    self.net.set_sensing_radius(id, reach);
-                }
-            }
-        } else {
-            // Phase 1 (synchronous): every node decides from the same
-            // position snapshot, in parallel.
-            let decisions = self.decide_all();
-            // Reduce stats and apply sensing ranges in id order, then
-            // Phase 2: all nodes move together.
-            for (i, decision) in decisions.iter().enumerate() {
-                messages.absorb(decision.messages);
-                if let Some((radius, reach, d)) = decision.disk {
-                    max_circumradius = max_circumradius.max(radius);
-                    min_circumradius = min_circumradius.min(radius);
-                    max_reach = max_reach.max(reach);
-                    max_disp = max_disp.max(d);
-                    self.net.set_sensing_radius(NodeId(i), reach);
-                }
-            }
-            for (i, decision) in decisions.iter().enumerate() {
-                if let Some(c) = decision.target {
-                    step_toward(
-                        &mut self.net,
-                        NodeId(i),
-                        c,
-                        self.config.alpha,
-                        Some(&self.region),
-                    );
-                    nodes_moved += 1;
-                }
-            }
-        }
-        let converged = nodes_moved == 0;
-        // A hook may keep a converged run alive for pending events; only
-        // the transition into convergence earns an off-cadence snapshot,
-        // or idle rounds would each push a full position copy.
-        let newly_converged = converged && !self.converged;
-        self.converged = converged;
-        if min_circumradius == f64::INFINITY {
-            min_circumradius = 0.0;
-        }
-        let report = RoundReport {
-            round: self.round,
-            max_circumradius,
-            min_circumradius,
-            max_reach,
-            max_displacement_to_target: max_disp,
-            nodes_moved,
-            messages,
-            converged,
-        };
-        self.history.push_round(report.clone());
-        if let Some(every) = self.config.snapshot_every {
-            if self.round.is_multiple_of(every) || newly_converged {
-                self.history
-                    .push_snapshot(self.round, self.net.positions().to_vec());
-            }
-        }
-        report
+        self.session.step().report
     }
 
     /// Runs until the ε-termination condition or the round limit, then
-    /// finalizes sensing ranges (Algorithm 1 line 7).
+    /// finalizes sensing ranges.
     pub fn run(&mut self) -> RunSummary {
-        self.run_with_hooks(&mut [])
+        self.session.run()
     }
 
-    /// Like [`Laacad::run`], but invokes every hook after each round.
-    ///
-    /// Hooks observe the fresh [`RoundReport`] and may mutate the
-    /// simulation through [`Laacad::apply_event`]; their verdicts combine
-    /// as: any [`HookAction::Stop`] stops the run, else any
-    /// [`HookAction::KeepRunning`] overrides the convergence stop (used
-    /// while scenario events are still pending), else the default
-    /// ε-termination rule applies.
+    /// Like [`Laacad::run`], but invokes every legacy hook after each
+    /// round (each wrapped in a [`crate::HookObserver`]).
     pub fn run_with_hooks(&mut self, hooks: &mut [&mut dyn RoundHook]) -> RunSummary {
-        while self.round < self.config.max_rounds {
-            let report = self.step();
-            let mut stop = false;
-            let mut keep_running = false;
-            for hook in hooks.iter_mut() {
-                match hook.after_round(self, &report) {
-                    HookAction::Stop => stop = true,
-                    HookAction::KeepRunning => keep_running = true,
-                    HookAction::Default => {}
-                }
-            }
-            if stop {
-                break;
-            }
-            // `self.converged`, not `report.converged`: an event applied
-            // by a hook this round resets the latch.
-            if self.converged && !keep_running {
-                break;
-            }
-        }
-        self.finalize();
-        RunSummary {
-            rounds: self.round,
-            converged: self.converged,
-            max_sensing_radius: self.net.max_sensing_radius(),
-            min_sensing_radius: self.net.min_sensing_radius(),
-            messages: self
-                .history
-                .rounds()
-                .iter()
-                .fold(MessageStats::default(), |mut acc, r| {
-                    acc.absorb(r.messages);
-                    acc
-                }),
-            total_distance_moved: self.net.total_distance_moved(),
-        }
+        let mut adapters: Vec<HookObserver> = hooks
+            .iter_mut()
+            .map(|hook| HookObserver::new(&mut **hook))
+            .collect();
+        let mut refs: Vec<&mut dyn Observer> = adapters
+            .iter_mut()
+            .map(|adapter| adapter as &mut dyn Observer)
+            .collect();
+        self.session.run_with_observers(&mut refs)
     }
 
-    /// Applies a dynamic [`NetworkEvent`] between rounds.
-    ///
-    /// Validation happens up front and failures leave the simulation
-    /// untouched; a successful event resets the convergence latch (the
-    /// deployment must re-balance) and records a position snapshot when
-    /// snapshots are enabled.
+    /// Applies a dynamic [`NetworkEvent`] between rounds (see
+    /// [`Session::apply_event`]).
     ///
     /// # Errors
     ///
-    /// * [`LaacadError::EmptyDeployment`] — the event would remove every node;
-    /// * [`LaacadError::InvalidK`] — fewer survivors than `k`, or `SetK`
-    ///   out of `1..=N`;
-    /// * [`LaacadError::NodeOutsideRegion`] — an inserted position lies
-    ///   outside the target area;
-    /// * [`LaacadError::InvalidAlpha`] — `SetAlpha` outside `(0, 1]`.
+    /// Same contract as [`Session::apply_event`].
     pub fn apply_event(&mut self, event: NetworkEvent) -> Result<EventOutcome, LaacadError> {
-        let mut outcome = EventOutcome::default();
-        match event {
-            NetworkEvent::FailNodes(ids) => {
-                let survivors = self.net.len() - self.net.count_present(&ids);
-                if survivors == 0 {
-                    return Err(LaacadError::EmptyDeployment);
-                }
-                if survivors < self.config.k {
-                    return Err(LaacadError::InvalidK {
-                        k: self.config.k,
-                        n: survivors,
-                    });
-                }
-                outcome.removed = self.net.remove_nodes(&ids);
-            }
-            NetworkEvent::InsertNodes(points) => {
-                for (i, p) in points.iter().enumerate() {
-                    if !self.region.contains(*p) {
-                        return Err(LaacadError::NodeOutsideRegion { index: i });
-                    }
-                }
-                for p in points {
-                    self.net.add_node(p);
-                    outcome.inserted += 1;
-                }
-            }
-            NetworkEvent::SetK(k) => {
-                if k < 1 || k > self.net.len() {
-                    return Err(LaacadError::InvalidK {
-                        k,
-                        n: self.net.len(),
-                    });
-                }
-                self.config.k = k;
-            }
-            NetworkEvent::SetAlpha(alpha) => {
-                if !(alpha > 0.0 && alpha <= 1.0) {
-                    return Err(LaacadError::InvalidAlpha(alpha));
-                }
-                self.config.alpha = alpha;
-            }
-        }
-        self.converged = false;
-        if self.config.snapshot_every.is_some() {
-            self.history
-                .push_snapshot(self.round, self.net.positions().to_vec());
-        }
-        Ok(outcome)
+        self.session.apply_event(event)
     }
 
     /// Recomputes every node's dominating region at the final positions
-    /// and tunes sensing ranges to the minimum covering value
-    /// (`r*_i = max_{u ∈ V^k_i} ‖u − u_i‖`). Positions are fixed here,
-    /// so the per-node computation fans out like a synchronous Phase 1.
+    /// and tunes sensing ranges to the minimum covering value.
     pub fn finalize(&mut self) {
-        self.ensure_scratches(self.workers());
-        self.adjacency.rebuild(&self.net);
-        let (net, region, config) = (&self.net, &self.region, &self.config);
-        let (round, adjacency) = (self.round, &self.adjacency);
-        let radii = parallel_map_scratched(&mut self.scratches, net.len(), |scratch, i| {
-            let id = NodeId(i);
-            compute_node_view(net, Some(adjacency), id, region, config, round, scratch).reach
-        });
-        for (i, r) in radii.into_iter().enumerate() {
-            self.net.set_sensing_radius(NodeId(i), r);
-        }
-        if self.config.snapshot_every.is_some() {
-            self.history
-                .push_snapshot(self.round, self.net.positions().to_vec());
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use laacad_coverage::evaluate_coverage;
-    use laacad_region::sampling::{sample_clustered, sample_uniform};
-
-    fn quick_config(k: usize, rounds: usize) -> LaacadConfig {
-        LaacadConfig::builder(k)
-            .transmission_range(0.25)
-            .alpha(0.5)
-            .epsilon(1e-3)
-            .max_rounds(rounds)
-            .build()
-            .unwrap()
-    }
-
-    #[test]
-    fn run_produces_k_coverage_from_uniform_start() {
-        let region = Region::square(1.0).unwrap();
-        for k in 1..=2usize {
-            let initial = sample_uniform(&region, 20, 99);
-            let mut sim = Laacad::new(quick_config(k, 80), region.clone(), initial).unwrap();
-            let summary = sim.run();
-            assert!(summary.max_sensing_radius > 0.0);
-            let report = evaluate_coverage(sim.network(), &region, k, 2000);
-            assert!(
-                report.covered_fraction > 0.999,
-                "k={k}: {report} (summary {summary})"
-            );
-        }
-    }
-
-    #[test]
-    fn corner_start_spreads_out() {
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_clustered(&region, 16, Point::new(0.1, 0.1), 0.1, 5);
-        let mut sim = Laacad::new(quick_config(1, 100), region.clone(), initial).unwrap();
-        sim.run();
-        // The deployment must have expanded well beyond the corner.
-        let far = sim
-            .network()
-            .positions()
-            .iter()
-            .filter(|p| p.x > 0.5 || p.y > 0.5)
-            .count();
-        assert!(far >= 6, "only {far} nodes left the corner");
-        let report = evaluate_coverage(sim.network(), &region, 1, 2000);
-        assert!(report.covered_fraction > 0.999, "{report}");
-    }
-
-    #[test]
-    fn max_circumradius_non_increasing_for_alpha_one() {
-        // Paper Prop. 4 byproduct: R^l is non-increasing when α = 1.
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_uniform(&region, 15, 3);
-        let mut config = quick_config(2, 60);
-        config.alpha = 1.0;
-        // Prop. 4 assumes exact dominating regions: use a radio range that
-        // keeps every ring search fully informed.
-        config.gamma = 1.0;
-        let mut sim = Laacad::new(config, region, initial).unwrap();
-        sim.run();
-        let series = sim.history().circumradius_series();
-        for w in series.windows(2) {
-            assert!(
-                w[1].1 <= w[0].1 + 1e-6,
-                "R increased: {} -> {} at round {}",
-                w[0].1,
-                w[1].1,
-                w[1].0
-            );
-        }
-    }
-
-    #[test]
-    fn radii_balance_out() {
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_uniform(&region, 24, 11);
-        // γ must exceed the converged sensing range (paper Sec. IV-C
-        // assumes γ ≥ r_i), or the k-clusters disconnect the radio graph.
-        let mut config = quick_config(3, 120);
-        config.gamma = LaacadConfig::recommended_gamma(1.0, 24, 3);
-        let mut sim = Laacad::new(config, region, initial).unwrap();
-        let summary = sim.run();
-        // Sec. V-A: min and max sensing ranges end up close for k > 2.
-        assert!(
-            summary.min_sensing_radius > 0.8 * summary.max_sensing_radius,
-            "{summary}"
-        );
-    }
-
-    #[test]
-    fn construction_validation() {
-        let region = Region::square(1.0).unwrap();
-        assert!(matches!(
-            Laacad::new(quick_config(1, 10), region.clone(), vec![]),
-            Err(LaacadError::EmptyDeployment)
-        ));
-        assert!(matches!(
-            Laacad::new(
-                quick_config(5, 10),
-                region.clone(),
-                vec![Point::new(0.5, 0.5); 3]
-            ),
-            Err(LaacadError::InvalidK { .. })
-        ));
-        assert!(matches!(
-            Laacad::new(quick_config(1, 10), region, vec![Point::new(5.0, 5.0)]),
-            Err(LaacadError::NodeOutsideRegion { index: 0 })
-        ));
-    }
-
-    #[test]
-    fn snapshots_recorded_when_enabled() {
-        let region = Region::square(1.0).unwrap();
-        let mut config = quick_config(1, 10);
-        config.snapshot_every = Some(2);
-        let initial = sample_uniform(&region, 8, 1);
-        let mut sim = Laacad::new(config, region, initial).unwrap();
-        sim.run();
-        assert!(sim.history().snapshots().len() >= 2);
-        assert_eq!(sim.history().snapshots()[0].0, 0);
-    }
-
-    #[test]
-    fn sequential_mode_converges_and_covers() {
-        let region = Region::square(1.0).unwrap();
-        let initial = sample_uniform(&region, 20, 99);
-        let mut config = quick_config(2, 120);
-        config.execution = crate::ExecutionMode::Sequential;
-        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
-        let summary = sim.run();
-        let report = evaluate_coverage(sim.network(), &region, 2, 2000);
-        assert!(report.covered_fraction > 0.999, "{report} ({summary})");
-    }
-
-    #[test]
-    fn sequential_mode_needs_no_more_rounds_than_synchronous() {
-        // Gauss–Seidel sweeps use fresher information; they should not be
-        // dramatically slower than Jacobi on the same workload.
-        let region = Region::square(1.0).unwrap();
-        let run = |mode: crate::ExecutionMode| {
-            let initial = sample_uniform(&region, 15, 5);
-            let mut config = quick_config(1, 400);
-            config.execution = mode;
-            config.epsilon = 2e-3;
-            // Keep the radio graph connected for 15 sparse nodes.
-            config.gamma = LaacadConfig::recommended_gamma(1.0, 15, 1);
-            let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
-            sim.run()
-        };
-        let sync = run(crate::ExecutionMode::Synchronous);
-        let seq = run(crate::ExecutionMode::Sequential);
-        assert!(sync.converged && seq.converged, "{sync} / {seq}");
-        assert!(
-            seq.rounds <= 2 * sync.rounds,
-            "sequential {} vs synchronous {}",
-            seq.rounds,
-            sync.rounds
-        );
-    }
-
-    #[test]
-    fn single_node_k1_centers_itself() {
-        // One node must move to the Chebyshev center of the whole square
-        // (its dominating region) — the square's center.
-        let region = Region::square(1.0).unwrap();
-        let mut config = quick_config(1, 100);
-        config.alpha = 1.0;
-        config.epsilon = 1e-6;
-        let mut sim = Laacad::new(config, region, vec![Point::new(0.1, 0.2)]).unwrap();
-        let summary = sim.run();
-        assert!(summary.converged);
-        let p = sim.network().position(NodeId(0));
-        assert!(p.approx_eq(Point::new(0.5, 0.5), 1e-3), "ended at {p}");
-        // r* = half diagonal.
-        assert!((summary.max_sensing_radius - (0.5f64).hypot(0.5)).abs() < 1e-3);
+        self.session.finalize()
     }
 }

@@ -1,0 +1,1136 @@
+//! The typed session API — Algorithm 1 as an inspectable engine.
+//!
+//! A [`Session`] is one LAACAD deployment run. It is built through
+//! [`SessionBuilder`] (replacing the positional `Laacad::new` arguments)
+//! and driven round by round: every [`Session::step`] returns a
+//! [`RoundDelta`] describing *what changed* — which nodes moved (with
+//! their old and new positions), how many ring radii changed, whether
+//! the run crossed into convergence, and how much work the engine
+//! actually performed (ring searches run, nodes skipped as quiescent,
+//! cache hits/misses).
+//!
+//! The delta is not just reporting: the engine feeds it back into a
+//! **dirty-node index**. LAACAD moves nodes by at most `αγ` per round
+//! and most nodes stop moving long before the last one does; a node
+//! whose entire ρ-neighborhood (plus the multi-hop slack margin) saw no
+//! movement since its previous computation would re-derive exactly the
+//! same local view, so the engine skips its expanding-ring search and
+//! domination sweep entirely and replays the stored view. The skip
+//! criterion is conservative and exact — it covers every node the
+//! previous search could possibly have contacted — so results are
+//! bit-identical with the feature on or off, at any worker count
+//! (pinned by `tests/dirty_equivalence.rs`). A fully quiescent network
+//! steps in `O(N)` time with **zero** ring searches.
+//!
+//! Rounds are synchronous by default: every node computes its dominating
+//! region and Chebyshev center from the same position snapshot, then all
+//! nodes move. This matches the paper's periodic (`every τ ms`)
+//! execution in the regime where motion per round is small relative to
+//! `τ`. [`ExecutionMode::Sequential`] models unsynchronized periodic
+//! execution instead (Gauss–Seidel; the dirty index is inert there,
+//! since every node may see fresh predecessor positions).
+//!
+//! [`ExecutionMode::Sequential`]: crate::ExecutionMode::Sequential
+
+use crate::config::{CoordinateMode, ExecutionMode, LaacadConfig};
+use crate::error::LaacadError;
+use crate::history::{History, RoundReport, RunSummary};
+use crate::hooks::{EventOutcome, HookAction, NetworkEvent};
+use crate::localview::{compute_node_view, NodeView};
+use crate::observer::Observer;
+use crate::scratch::RoundScratch;
+use laacad_exec::{parallel_map_scratched, resolve_workers};
+use laacad_geom::Point;
+use laacad_region::Region;
+use laacad_wsn::mobility::step_toward;
+use laacad_wsn::multihop::DEFAULT_HOP_SLACK;
+use laacad_wsn::radio::MessageStats;
+use laacad_wsn::{Adjacency, Network, NodeId};
+
+/// One node's movement during a round: id plus the exact positions
+/// before and after the vertex step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovedNode {
+    /// The node that moved.
+    pub id: NodeId,
+    /// Position at the start of the round.
+    pub from: Point,
+    /// Position after the step toward the Chebyshev center.
+    pub to: Point,
+}
+
+/// Everything one [`Session::step`] changed and cost.
+///
+/// The per-round record the paper plots lives in [`RoundDelta::report`];
+/// the remaining fields surface the engine's change tracking: the exact
+/// movement set, how many ring radii changed, the convergence
+/// transition, and the work accounting behind the dirty-node index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundDelta {
+    /// The classic per-round record (circumradii, messages, convergence
+    /// flag) — what [`crate::History`] stores.
+    pub report: RoundReport,
+    /// Every node that moved this round, with old and new positions
+    /// (empty once the deployment is quiescent).
+    pub moved: Vec<MovedNode>,
+    /// Nodes whose final ring radius ρ differs from the previous round
+    /// (every node counts on the first round).
+    pub rho_changed: usize,
+    /// `true` exactly when this round entered convergence (the previous
+    /// round had movement, this one had none). Dynamic events leave
+    /// convergence; rounds never do.
+    pub newly_converged: bool,
+    /// Expanding-ring searches actually executed this round.
+    pub ring_searches: usize,
+    /// Nodes served from the dirty-node index without any search or
+    /// geometry (their ρ-neighborhood saw no movement).
+    pub skipped_quiescent: usize,
+    /// Among the executed searches, nodes whose geometry stage was
+    /// answered by the per-worker cross-round cache.
+    pub cache_hits: usize,
+    /// Executed searches that recomputed the geometry.
+    pub cache_misses: usize,
+}
+
+/// Cumulative work counters over a session's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionCounters {
+    /// Total expanding-ring searches executed.
+    pub ring_searches: u64,
+    /// Total nodes skipped by the dirty-node index.
+    pub skipped_quiescent: u64,
+    /// Total cross-round cache hits (among executed searches).
+    pub cache_hits: u64,
+    /// Total cross-round cache misses.
+    pub cache_misses: u64,
+}
+
+/// Builder for a [`Session`] — the target area and initial deployment
+/// are named, not positional.
+///
+/// # Example
+///
+/// ```
+/// use laacad::{LaacadConfig, Session};
+/// use laacad_region::{sampling::sample_uniform, Region};
+///
+/// let region = Region::square(1.0)?;
+/// let config = LaacadConfig::builder(1)
+///     .transmission_range(0.3)
+///     .max_rounds(40)
+///     .build()?;
+/// let mut session = Session::builder(config)
+///     .positions(sample_uniform(&region, 12, 7))
+///     .region(region)
+///     .build()?;
+/// let summary = session.run();
+/// assert!(summary.max_sensing_radius > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    config: LaacadConfig,
+    region: Option<Region>,
+    positions: Vec<Point>,
+}
+
+impl SessionBuilder {
+    /// Sets the target area.
+    pub fn region(mut self, region: Region) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// Sets the initial node positions.
+    pub fn positions(mut self, positions: impl IntoIterator<Item = Point>) -> Self {
+        self.positions = positions.into_iter().collect();
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// [`LaacadError::IncompleteSession`] when the region was never set;
+    /// otherwise the same validation as the legacy constructor — invalid
+    /// parameters, empty deployments, and initial positions outside the
+    /// target area are rejected.
+    pub fn build(self) -> Result<Session, LaacadError> {
+        let SessionBuilder {
+            config,
+            region,
+            positions,
+        } = self;
+        let region = region.ok_or(LaacadError::IncompleteSession { missing: "region" })?;
+        if positions.is_empty() {
+            return Err(LaacadError::EmptyDeployment);
+        }
+        config.validate(positions.len())?;
+        for (i, p) in positions.iter().enumerate() {
+            if !region.contains(*p) {
+                return Err(LaacadError::NodeOutsideRegion { index: i });
+            }
+        }
+        let net = Network::from_positions(config.gamma, positions.iter().copied());
+        let mut session = Session {
+            config,
+            region,
+            net,
+            history: History::default(),
+            round: 0,
+            converged: false,
+            scratches: Vec::new(),
+            adjacency: Adjacency::default(),
+            adjacency_fresh: false,
+            views: Vec::new(),
+            views_valid: false,
+            last_movers: Vec::new(),
+            counters: SessionCounters::default(),
+            event_log: Vec::new(),
+        };
+        if session.config.snapshot_every.is_some() {
+            session
+                .history
+                .push_snapshot(0, session.net.positions().to_vec());
+        }
+        Ok(session)
+    }
+}
+
+/// A LAACAD deployment session (see the [module docs](self)).
+#[derive(Debug)]
+pub struct Session {
+    config: LaacadConfig,
+    region: Region,
+    net: Network,
+    history: History,
+    round: usize,
+    converged: bool,
+    /// One [`RoundScratch`] per worker, reused across rounds.
+    scratches: Vec<RoundScratch>,
+    /// Per-round one-hop snapshot shared by every worker (synchronous
+    /// mode), rebuilt in place when positions changed.
+    adjacency: Adjacency,
+    /// Whether `adjacency` still describes the current positions.
+    adjacency_fresh: bool,
+    /// Every node's view from the most recent Phase 1 (the dirty-node
+    /// index replays these for quiescent nodes).
+    views: Vec<NodeView>,
+    /// Whether `views` may be replayed (synchronous + oracle +
+    /// `dirty_skip`, and no event since they were computed).
+    views_valid: bool,
+    /// The previous round's movement set — the changed-positions input
+    /// of the dirty classification.
+    last_movers: Vec<MovedNode>,
+    counters: SessionCounters,
+    /// Events applied since the last observer dispatch (drained by
+    /// [`Session::run_with_observers`]).
+    event_log: Vec<(NetworkEvent, EventOutcome)>,
+}
+
+impl Session {
+    /// Starts a builder from a finished configuration.
+    pub fn builder(config: LaacadConfig) -> SessionBuilder {
+        SessionBuilder {
+            config,
+            region: None,
+            positions: Vec::new(),
+        }
+    }
+
+    /// The live network (positions, sensing ranges, odometry).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The target area.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LaacadConfig {
+        &self.config
+    }
+
+    /// Recorded history (Fig. 6 series, snapshots).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_executed(&self) -> usize {
+        self.round
+    }
+
+    /// Whether the ε-termination condition has been observed.
+    pub fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Cumulative work counters (ring searches, quiescent skips, cache
+    /// hits/misses).
+    pub fn counters(&self) -> SessionCounters {
+        self.counters
+    }
+
+    /// Whether the dirty-node index may skip work in this configuration:
+    /// synchronous execution with oracle coordinates and the
+    /// `dirty_skip` knob on (ranging noise is re-drawn per round by
+    /// design, and Gauss–Seidel nodes see fresh predecessor positions).
+    fn dirty_skip_active(&self) -> bool {
+        self.config.dirty_skip
+            && self.config.execution == ExecutionMode::Synchronous
+            && self.config.coordinates == CoordinateMode::Oracle
+    }
+
+    /// The worker count for shared-snapshot phases, per the `threads`
+    /// knob (Gauss–Seidel execution is serial by definition).
+    fn workers(&self) -> usize {
+        if self.config.execution == ExecutionMode::Sequential {
+            1
+        } else {
+            resolve_workers(self.config.threads, self.net.len())
+        }
+    }
+
+    /// Sizes the per-worker scratch pool.
+    fn ensure_scratches(&mut self, workers: usize) {
+        if self.scratches.len() < workers {
+            self.scratches.resize_with(workers, RoundScratch::new);
+        }
+        self.scratches.truncate(workers.max(1));
+    }
+
+    /// Classifies this round's work for the dirty-node index.
+    ///
+    /// A stored view may be replayed only if *no* node that the previous
+    /// search could have contacted has moved. The search's multi-hop BFS
+    /// grants `⌈ρ/γ⌉ + slack` hops of at most `γ` each, so everything it
+    /// ever contacted — members, relays, and the broadcast accounting —
+    /// lies within `ρ + (slack + 1)·γ` of the node; a mover is relevant
+    /// if its old *or* new position falls inside that ball (leaving
+    /// changes membership as surely as arriving). The classification
+    /// runs serially before the parallel fan-out, so it is identical for
+    /// every worker count.
+    fn classify_dirty(&self) -> DirtyClass {
+        let n = self.net.len();
+        if !self.dirty_skip_active() || !self.views_valid || self.views.len() != n {
+            return DirtyClass::AllDirty;
+        }
+        if self.last_movers.is_empty() {
+            return DirtyClass::AllClean;
+        }
+        // With a large mover set nearly everything is dirty anyway;
+        // skip the O(N·M) classification. Purely a work heuristic —
+        // recomputing a clean node reproduces its stored view exactly.
+        if self.last_movers.len() * 4 >= n {
+            return DirtyClass::AllDirty;
+        }
+        let pad = (DEFAULT_HOP_SLACK + 1) as f64 * self.config.gamma + 1e-9;
+        let mut dirty = vec![false; n];
+        for m in &self.last_movers {
+            dirty[m.id.index()] = true;
+        }
+        for (i, flag) in dirty.iter_mut().enumerate() {
+            if *flag {
+                continue;
+            }
+            let p = self.net.position(NodeId(i));
+            let safe = self.views[i].rho + pad;
+            if self
+                .last_movers
+                .iter()
+                .any(|m| m.from.distance(p) <= safe || m.to.distance(p) <= safe)
+            {
+                *flag = true;
+            }
+        }
+        DirtyClass::Partial(dirty)
+    }
+
+    /// Executes one round of Algorithm 1, records it, and returns the
+    /// full change set.
+    pub fn step(&mut self) -> RoundDelta {
+        // Notifications are only consumed by `run_with_observers`, which
+        // drains them every iteration before stepping again; anything
+        // still here was applied with nobody listening — drop it rather
+        // than accumulate across a manually-stepped session's lifetime.
+        self.event_log.clear();
+        self.round += 1;
+        if self.config.execution == ExecutionMode::Sequential {
+            self.step_sequential()
+        } else {
+            self.step_synchronous()
+        }
+    }
+
+    /// Synchronous (Jacobi) round: every node decides from the same
+    /// position snapshot — quiescent nodes replayed from the dirty-node
+    /// index, the rest fanned out across `config.threads` workers — then
+    /// all move.
+    fn step_synchronous(&mut self) -> RoundDelta {
+        let n = self.net.len();
+        let dirty = self.classify_dirty();
+        let views: Vec<NodeView>;
+        let rho_changed;
+        let mut ring_searches = 0usize;
+        let mut cache_hits = 0usize;
+        if matches!(dirty, DirtyClass::AllClean) {
+            // Fully quiescent round: no movement anywhere since the
+            // stored views were computed — replay them wholesale. No
+            // adjacency rebuild, no searches, no geometry.
+            views = std::mem::take(&mut self.views);
+            rho_changed = 0;
+        } else {
+            self.ensure_scratches(self.workers());
+            if !self.adjacency_fresh {
+                self.adjacency.rebuild(&self.net);
+                self.adjacency_fresh = true;
+            }
+            let (net, region, config) = (&self.net, &self.region, &self.config);
+            let (round, adjacency) = (self.round, &self.adjacency);
+            let old_views = &self.views;
+            let mask = match &dirty {
+                DirtyClass::Partial(mask) => Some(mask.as_slice()),
+                _ => None,
+            };
+            views = parallel_map_scratched(&mut self.scratches, n, |scratch, i| {
+                if let Some(mask) = mask {
+                    if !mask[i] {
+                        return old_views[i];
+                    }
+                }
+                compute_node_view(
+                    net,
+                    Some(adjacency),
+                    NodeId(i),
+                    region,
+                    config,
+                    round,
+                    scratch,
+                )
+            });
+            rho_changed = if self.views.len() == n {
+                views
+                    .iter()
+                    .zip(&self.views)
+                    .filter(|(new, old)| new.rho != old.rho)
+                    .count()
+            } else {
+                n
+            };
+            // Work accounting: skipped nodes replayed a stored view; the
+            // rest ran a ring search and either hit or missed the cache.
+            for (i, view) in views.iter().enumerate() {
+                let computed = match &dirty {
+                    DirtyClass::Partial(mask) => mask[i],
+                    _ => true,
+                };
+                if computed {
+                    ring_searches += 1;
+                    if view.cache_hit {
+                        cache_hits += 1;
+                    }
+                }
+            }
+        }
+        let skipped_quiescent = n - ring_searches;
+        let cache_misses = ring_searches - cache_hits;
+        // Reduce stats and apply sensing ranges in id order, then
+        // Phase 2: all nodes move together.
+        let mut agg = RoundAggregate::default();
+        for (i, view) in views.iter().enumerate() {
+            agg.messages.absorb(view.messages);
+            if let Some(disk) = view.chebyshev {
+                let d = self.net.position(NodeId(i)).distance(disk.center);
+                agg.absorb_disk(disk.radius, view.reach, d);
+                self.net.set_sensing_radius(NodeId(i), view.reach);
+            }
+        }
+        let mut moved = Vec::new();
+        for (i, view) in views.iter().enumerate() {
+            if let Some(disk) = view.chebyshev {
+                let id = NodeId(i);
+                let from = self.net.position(id);
+                if from.distance(disk.center) > self.config.epsilon {
+                    step_toward(
+                        &mut self.net,
+                        id,
+                        disk.center,
+                        self.config.alpha,
+                        Some(&self.region),
+                    );
+                    moved.push(MovedNode {
+                        id,
+                        from,
+                        to: self.net.position(id),
+                    });
+                }
+            }
+        }
+        if !moved.is_empty() {
+            self.adjacency_fresh = false;
+        }
+        self.views = views;
+        self.views_valid = self.dirty_skip_active();
+        self.last_movers.clear();
+        self.last_movers.extend_from_slice(&moved);
+        self.finish_round(
+            agg,
+            moved,
+            rho_changed,
+            RoundWork {
+                ring_searches,
+                skipped_quiescent,
+                cache_hits,
+                cache_misses,
+            },
+        )
+    }
+
+    /// Sequential (Gauss–Seidel) round: each node computes against the
+    /// live network (seeing its predecessors' fresh positions) and acts
+    /// immediately. Serial by definition; the dirty-node index is inert.
+    fn step_sequential(&mut self) -> RoundDelta {
+        let n = self.net.len();
+        self.ensure_scratches(1);
+        let mut agg = RoundAggregate::default();
+        let mut moved = Vec::new();
+        let mut views = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId(i);
+            // No adjacency snapshot: predecessors have already moved.
+            let view = compute_node_view(
+                &self.net,
+                None,
+                id,
+                &self.region,
+                &self.config,
+                self.round,
+                &mut self.scratches[0],
+            );
+            agg.messages.absorb(view.messages);
+            let u = self.net.position(id);
+            if let Some(disk) = view.chebyshev {
+                let d = u.distance(disk.center);
+                agg.absorb_disk(disk.radius, view.reach, d);
+                if d > self.config.epsilon {
+                    step_toward(
+                        &mut self.net,
+                        id,
+                        disk.center,
+                        self.config.alpha,
+                        Some(&self.region),
+                    );
+                    moved.push(MovedNode {
+                        id,
+                        from: u,
+                        to: self.net.position(id),
+                    });
+                }
+                // Keep the node's sensing range able to cover its
+                // current responsibility.
+                self.net.set_sensing_radius(id, view.reach);
+            }
+            views.push(view);
+        }
+        let cache_hits = views.iter().filter(|v| v.cache_hit).count();
+        let rho_changed = if self.views.len() == n {
+            views
+                .iter()
+                .zip(&self.views)
+                .filter(|(new, old)| new.rho != old.rho)
+                .count()
+        } else {
+            n
+        };
+        if !moved.is_empty() {
+            self.adjacency_fresh = false;
+        }
+        self.views = views;
+        self.views_valid = false;
+        self.last_movers.clear();
+        self.finish_round(
+            agg,
+            moved,
+            rho_changed,
+            RoundWork {
+                ring_searches: n,
+                skipped_quiescent: 0,
+                cache_hits,
+                cache_misses: n - cache_hits,
+            },
+        )
+    }
+
+    /// Shared round epilogue: convergence latch, history, snapshots,
+    /// counters, and the assembled [`RoundDelta`].
+    fn finish_round(
+        &mut self,
+        agg: RoundAggregate,
+        moved: Vec<MovedNode>,
+        rho_changed: usize,
+        work: RoundWork,
+    ) -> RoundDelta {
+        let converged = moved.is_empty();
+        // An observer may keep a converged run alive for pending events;
+        // only the transition into convergence earns an off-cadence
+        // snapshot, or idle rounds would each push a full position copy.
+        let newly_converged = converged && !self.converged;
+        self.converged = converged;
+        let report = RoundReport {
+            round: self.round,
+            max_circumradius: agg.max_circumradius,
+            min_circumradius: if agg.min_circumradius == f64::INFINITY {
+                0.0
+            } else {
+                agg.min_circumradius
+            },
+            max_reach: agg.max_reach,
+            max_displacement_to_target: agg.max_disp,
+            nodes_moved: moved.len(),
+            messages: agg.messages,
+            converged,
+        };
+        self.history.push_round(report.clone());
+        if let Some(every) = self.config.snapshot_every {
+            if self.round.is_multiple_of(every) || newly_converged {
+                self.history
+                    .push_snapshot(self.round, self.net.positions().to_vec());
+            }
+        }
+        self.counters.ring_searches += work.ring_searches as u64;
+        self.counters.skipped_quiescent += work.skipped_quiescent as u64;
+        self.counters.cache_hits += work.cache_hits as u64;
+        self.counters.cache_misses += work.cache_misses as u64;
+        RoundDelta {
+            report,
+            moved,
+            rho_changed,
+            newly_converged,
+            ring_searches: work.ring_searches,
+            skipped_quiescent: work.skipped_quiescent,
+            cache_hits: work.cache_hits,
+            cache_misses: work.cache_misses,
+        }
+    }
+
+    /// Runs until the ε-termination condition or the round limit, then
+    /// finalizes sensing ranges (Algorithm 1 line 7).
+    pub fn run(&mut self) -> RunSummary {
+        self.run_with_observers(&mut [])
+    }
+
+    /// Like [`Session::run`], but dispatches every [`Observer`] callback
+    /// around each round.
+    ///
+    /// Per round the observers see, in order: `on_round_start`, one
+    /// `on_node_moved` per mover, `on_round_end` (which may mutate the
+    /// session through [`Session::apply_event`]), and one
+    /// `on_event_applied` per event any observer applied. The
+    /// `on_round_end` verdicts combine as: any [`HookAction::Stop`]
+    /// stops the run, else any [`HookAction::KeepRunning`] overrides the
+    /// convergence stop (used while scenario events are still pending),
+    /// else the default ε-termination rule applies.
+    pub fn run_with_observers(&mut self, observers: &mut [&mut dyn Observer]) -> RunSummary {
+        // Events applied before the run (e.g. round-0 scenario events)
+        // predate the observers' attachment.
+        self.event_log.clear();
+        while self.round < self.config.max_rounds {
+            for obs in observers.iter_mut() {
+                obs.on_round_start(self, self.round + 1);
+            }
+            let delta = self.step();
+            for obs in observers.iter_mut() {
+                for m in &delta.moved {
+                    obs.on_node_moved(self, m);
+                }
+            }
+            let mut stop = false;
+            let mut keep_running = false;
+            for obs in observers.iter_mut() {
+                match obs.on_round_end(self, &delta) {
+                    HookAction::Stop => stop = true,
+                    HookAction::KeepRunning => keep_running = true,
+                    HookAction::Default => {}
+                }
+            }
+            let fired = std::mem::take(&mut self.event_log);
+            for (event, outcome) in &fired {
+                for obs in observers.iter_mut() {
+                    obs.on_event_applied(self, event, outcome);
+                }
+            }
+            if stop {
+                break;
+            }
+            // `self.converged`, not `delta.report.converged`: an event
+            // applied by an observer this round resets the latch.
+            if self.converged && !keep_running {
+                break;
+            }
+        }
+        self.finalize();
+        RunSummary {
+            rounds: self.round,
+            converged: self.converged,
+            max_sensing_radius: self.net.max_sensing_radius(),
+            min_sensing_radius: self.net.min_sensing_radius(),
+            messages: self
+                .history
+                .rounds()
+                .iter()
+                .fold(MessageStats::default(), |mut acc, r| {
+                    acc.absorb(r.messages);
+                    acc
+                }),
+            total_distance_moved: self.net.total_distance_moved(),
+        }
+    }
+
+    /// Applies a dynamic [`NetworkEvent`] between rounds.
+    ///
+    /// Validation happens up front and failures leave the session
+    /// untouched; a successful event resets the convergence latch (the
+    /// deployment must re-balance), invalidates the dirty-node index,
+    /// and records a position snapshot when snapshots are enabled.
+    ///
+    /// # Errors
+    ///
+    /// * [`LaacadError::EmptyDeployment`] — the event would remove every node;
+    /// * [`LaacadError::InvalidK`] — fewer survivors than `k`, or `SetK`
+    ///   out of `1..=N`;
+    /// * [`LaacadError::NodeOutsideRegion`] — an inserted position lies
+    ///   outside the target area;
+    /// * [`LaacadError::InvalidAlpha`] — `SetAlpha` outside `(0, 1]`.
+    pub fn apply_event(&mut self, event: NetworkEvent) -> Result<EventOutcome, LaacadError> {
+        let mut outcome = EventOutcome::default();
+        let record = event.clone();
+        match event {
+            NetworkEvent::FailNodes(ids) => {
+                let survivors = self.net.len() - self.net.count_present(&ids);
+                if survivors == 0 {
+                    return Err(LaacadError::EmptyDeployment);
+                }
+                if survivors < self.config.k {
+                    return Err(LaacadError::InvalidK {
+                        k: self.config.k,
+                        n: survivors,
+                    });
+                }
+                outcome.removed = self.net.remove_nodes(&ids);
+            }
+            NetworkEvent::InsertNodes(points) => {
+                for (i, p) in points.iter().enumerate() {
+                    if !self.region.contains(*p) {
+                        return Err(LaacadError::NodeOutsideRegion { index: i });
+                    }
+                }
+                for p in points {
+                    self.net.add_node(p);
+                    outcome.inserted += 1;
+                }
+            }
+            NetworkEvent::SetK(k) => {
+                if k < 1 || k > self.net.len() {
+                    return Err(LaacadError::InvalidK {
+                        k,
+                        n: self.net.len(),
+                    });
+                }
+                self.config.k = k;
+            }
+            NetworkEvent::SetAlpha(alpha) => {
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return Err(LaacadError::InvalidAlpha(alpha));
+                }
+                self.config.alpha = alpha;
+            }
+        }
+        self.converged = false;
+        // Any event invalidates the stored views (populations re-index,
+        // `k` re-keys every search) and the shared adjacency snapshot.
+        self.views.clear();
+        self.views_valid = false;
+        self.last_movers.clear();
+        self.adjacency_fresh = false;
+        self.event_log.push((record, outcome));
+        if self.config.snapshot_every.is_some() {
+            self.history
+                .push_snapshot(self.round, self.net.positions().to_vec());
+        }
+        Ok(outcome)
+    }
+
+    /// Recomputes every node's dominating region at the final positions
+    /// and tunes sensing ranges to the minimum covering value
+    /// (`r*_i = max_{u ∈ V^k_i} ‖u − u_i‖`). Positions are fixed here,
+    /// so the per-node computation fans out like a synchronous Phase 1 —
+    /// or, when the network is quiescent and the stored views already
+    /// describe the final positions, replays their reaches directly.
+    pub fn finalize(&mut self) {
+        let n = self.net.len();
+        if self.dirty_skip_active()
+            && self.views_valid
+            && self.last_movers.is_empty()
+            && self.views.len() == n
+        {
+            for i in 0..n {
+                self.net.set_sensing_radius(NodeId(i), self.views[i].reach);
+            }
+        } else {
+            self.ensure_scratches(self.workers());
+            if !self.adjacency_fresh {
+                self.adjacency.rebuild(&self.net);
+                self.adjacency_fresh = true;
+            }
+            let (net, region, config) = (&self.net, &self.region, &self.config);
+            let (round, adjacency) = (self.round, &self.adjacency);
+            let radii = parallel_map_scratched(&mut self.scratches, n, |scratch, i| {
+                let id = NodeId(i);
+                compute_node_view(net, Some(adjacency), id, region, config, round, scratch).reach
+            });
+            for (i, r) in radii.into_iter().enumerate() {
+                self.net.set_sensing_radius(NodeId(i), r);
+            }
+        }
+        if self.config.snapshot_every.is_some() {
+            self.history
+                .push_snapshot(self.round, self.net.positions().to_vec());
+        }
+    }
+}
+
+/// Per-round stat accumulator shared by both execution modes.
+#[derive(Debug)]
+struct RoundAggregate {
+    max_circumradius: f64,
+    min_circumradius: f64,
+    max_reach: f64,
+    max_disp: f64,
+    messages: MessageStats,
+}
+
+impl Default for RoundAggregate {
+    fn default() -> Self {
+        RoundAggregate {
+            max_circumradius: 0.0,
+            min_circumradius: f64::INFINITY,
+            max_reach: 0.0,
+            max_disp: 0.0,
+            messages: MessageStats::default(),
+        }
+    }
+}
+
+impl RoundAggregate {
+    fn absorb_disk(&mut self, radius: f64, reach: f64, displacement: f64) {
+        self.max_circumradius = self.max_circumradius.max(radius);
+        self.min_circumradius = self.min_circumradius.min(radius);
+        self.max_reach = self.max_reach.max(reach);
+        self.max_disp = self.max_disp.max(displacement);
+    }
+}
+
+/// The dirty-node index's verdict for one round.
+#[derive(Debug, Clone)]
+enum DirtyClass {
+    /// No stored views (first round, post-event, feature off): every
+    /// node recomputes.
+    AllDirty,
+    /// No movement since the stored views were computed: every node
+    /// replays its view.
+    AllClean,
+    /// Per-node flags (`true` = recompute).
+    Partial(Vec<bool>),
+}
+
+/// Per-round work accounting handed to [`Session::finish_round`].
+#[derive(Debug, Clone, Copy)]
+struct RoundWork {
+    ring_searches: usize,
+    skipped_quiescent: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laacad_coverage::evaluate_coverage;
+    use laacad_region::sampling::{sample_clustered, sample_uniform};
+
+    fn quick_config(k: usize, rounds: usize) -> LaacadConfig {
+        LaacadConfig::builder(k)
+            .transmission_range(0.25)
+            .alpha(0.5)
+            .epsilon(1e-3)
+            .max_rounds(rounds)
+            .build()
+            .unwrap()
+    }
+
+    fn session(config: LaacadConfig, region: Region, initial: Vec<Point>) -> Session {
+        Session::builder(config)
+            .region(region)
+            .positions(initial)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_produces_k_coverage_from_uniform_start() {
+        let region = Region::square(1.0).unwrap();
+        for k in 1..=2usize {
+            let initial = sample_uniform(&region, 20, 99);
+            let mut sim = session(quick_config(k, 80), region.clone(), initial);
+            let summary = sim.run();
+            assert!(summary.max_sensing_radius > 0.0);
+            let report = evaluate_coverage(sim.network(), &region, k, 2000);
+            assert!(
+                report.covered_fraction > 0.999,
+                "k={k}: {report} (summary {summary})"
+            );
+        }
+    }
+
+    #[test]
+    fn corner_start_spreads_out() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_clustered(&region, 16, Point::new(0.1, 0.1), 0.1, 5);
+        let mut sim = session(quick_config(1, 100), region.clone(), initial);
+        sim.run();
+        // The deployment must have expanded well beyond the corner.
+        let far = sim
+            .network()
+            .positions()
+            .iter()
+            .filter(|p| p.x > 0.5 || p.y > 0.5)
+            .count();
+        assert!(far >= 6, "only {far} nodes left the corner");
+        let report = evaluate_coverage(sim.network(), &region, 1, 2000);
+        assert!(report.covered_fraction > 0.999, "{report}");
+    }
+
+    #[test]
+    fn max_circumradius_non_increasing_for_alpha_one() {
+        // Paper Prop. 4 byproduct: R^l is non-increasing when α = 1.
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 15, 3);
+        let mut config = quick_config(2, 60);
+        config.alpha = 1.0;
+        // Prop. 4 assumes exact dominating regions: use a radio range that
+        // keeps every ring search fully informed.
+        config.gamma = 1.0;
+        let mut sim = session(config, region, initial);
+        sim.run();
+        let series = sim.history().circumradius_series();
+        for w in series.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-6,
+                "R increased: {} -> {} at round {}",
+                w[0].1,
+                w[1].1,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn radii_balance_out() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 24, 11);
+        // γ must exceed the converged sensing range (paper Sec. IV-C
+        // assumes γ ≥ r_i), or the k-clusters disconnect the radio graph.
+        let mut config = quick_config(3, 120);
+        config.gamma = LaacadConfig::recommended_gamma(1.0, 24, 3);
+        let mut sim = session(config, region, initial);
+        let summary = sim.run();
+        // Sec. V-A: min and max sensing ranges end up close for k > 2.
+        assert!(
+            summary.min_sensing_radius > 0.8 * summary.max_sensing_radius,
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn construction_validation() {
+        let region = Region::square(1.0).unwrap();
+        assert!(matches!(
+            Session::builder(quick_config(1, 10))
+                .region(region.clone())
+                .build(),
+            Err(LaacadError::EmptyDeployment)
+        ));
+        assert!(matches!(
+            Session::builder(quick_config(1, 10))
+                .positions([Point::new(0.5, 0.5)])
+                .build(),
+            Err(LaacadError::IncompleteSession { missing: "region" })
+        ));
+        assert!(matches!(
+            Session::builder(quick_config(5, 10))
+                .region(region.clone())
+                .positions(vec![Point::new(0.5, 0.5); 3])
+                .build(),
+            Err(LaacadError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            Session::builder(quick_config(1, 10))
+                .region(region)
+                .positions([Point::new(5.0, 5.0)])
+                .build(),
+            Err(LaacadError::NodeOutsideRegion { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn snapshots_recorded_when_enabled() {
+        let region = Region::square(1.0).unwrap();
+        let mut config = quick_config(1, 10);
+        config.snapshot_every = Some(2);
+        let initial = sample_uniform(&region, 8, 1);
+        let mut sim = session(config, region, initial);
+        sim.run();
+        assert!(sim.history().snapshots().len() >= 2);
+        assert_eq!(sim.history().snapshots()[0].0, 0);
+    }
+
+    #[test]
+    fn sequential_mode_converges_and_covers() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 20, 99);
+        let mut config = quick_config(2, 120);
+        config.execution = ExecutionMode::Sequential;
+        let mut sim = session(config, region.clone(), initial);
+        let summary = sim.run();
+        let report = evaluate_coverage(sim.network(), &region, 2, 2000);
+        assert!(report.covered_fraction > 0.999, "{report} ({summary})");
+    }
+
+    #[test]
+    fn sequential_mode_needs_no_more_rounds_than_synchronous() {
+        // Gauss–Seidel sweeps use fresher information; they should not be
+        // dramatically slower than Jacobi on the same workload.
+        let region = Region::square(1.0).unwrap();
+        let run = |mode: ExecutionMode| {
+            let initial = sample_uniform(&region, 15, 5);
+            let mut config = quick_config(1, 400);
+            config.execution = mode;
+            config.epsilon = 2e-3;
+            // Keep the radio graph connected for 15 sparse nodes.
+            config.gamma = LaacadConfig::recommended_gamma(1.0, 15, 1);
+            let mut sim = session(config, region.clone(), initial);
+            sim.run()
+        };
+        let sync = run(ExecutionMode::Synchronous);
+        let seq = run(ExecutionMode::Sequential);
+        assert!(sync.converged && seq.converged, "{sync} / {seq}");
+        assert!(
+            seq.rounds <= 2 * sync.rounds,
+            "sequential {} vs synchronous {}",
+            seq.rounds,
+            sync.rounds
+        );
+    }
+
+    #[test]
+    fn single_node_k1_centers_itself() {
+        // One node must move to the Chebyshev center of the whole square
+        // (its dominating region) — the square's center.
+        let region = Region::square(1.0).unwrap();
+        let mut config = quick_config(1, 100);
+        config.alpha = 1.0;
+        config.epsilon = 1e-6;
+        let mut sim = session(config, region, vec![Point::new(0.1, 0.2)]);
+        let summary = sim.run();
+        assert!(summary.converged);
+        let p = sim.network().position(NodeId(0));
+        assert!(p.approx_eq(Point::new(0.5, 0.5), 1e-3), "ended at {p}");
+        // r* = half diagonal.
+        assert!((summary.max_sensing_radius - (0.5f64).hypot(0.5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn delta_reports_movement_and_convergence_transition() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 12, 21);
+        let mut config = quick_config(1, 200);
+        config.gamma = LaacadConfig::recommended_gamma(1.0, 12, 1);
+        let mut sim = session(config, region, initial);
+        let first = sim.step();
+        assert!(!first.moved.is_empty(), "a fresh deployment must move");
+        assert_eq!(first.moved.len(), first.report.nodes_moved);
+        assert_eq!(first.rho_changed, 12, "every ρ counts on round 1");
+        for m in &first.moved {
+            assert_ne!(m.from, m.to, "mover {:?} did not move", m.id);
+            assert_eq!(sim.network().position(m.id), m.to);
+        }
+        // Step to convergence; exactly one delta reports the transition.
+        let mut transitions = 0;
+        loop {
+            let delta = sim.step();
+            transitions += usize::from(delta.newly_converged);
+            if delta.report.converged {
+                break;
+            }
+        }
+        assert_eq!(transitions, 1);
+        assert!(sim.is_converged());
+    }
+
+    #[test]
+    fn quiescent_rounds_run_zero_ring_searches() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 18, 4);
+        let mut config = quick_config(1, 400);
+        config.gamma = LaacadConfig::recommended_gamma(1.0, 18, 1);
+        let mut sim = session(config, region, initial);
+        while !sim.step().report.converged {}
+        // The first converged round may still have executed searches
+        // (it proves nothing moved); every round after it is quiescent.
+        for _ in 0..5 {
+            let delta = sim.step();
+            assert_eq!(delta.ring_searches, 0, "quiescent round searched");
+            assert_eq!(delta.skipped_quiescent, sim.network().len());
+            assert_eq!(delta.rho_changed, 0);
+            assert!(delta.moved.is_empty());
+        }
+        assert!(sim.counters().skipped_quiescent >= 5 * 18);
+    }
+
+    #[test]
+    fn dirty_skip_disabled_always_searches() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 14, 9);
+        let mut config = quick_config(1, 400);
+        config.gamma = LaacadConfig::recommended_gamma(1.0, 14, 1);
+        config.dirty_skip = false;
+        let mut sim = session(config, region, initial);
+        while !sim.step().report.converged {}
+        let delta = sim.step();
+        assert_eq!(delta.ring_searches, 14);
+        assert_eq!(delta.skipped_quiescent, 0);
+    }
+
+    #[test]
+    fn events_reset_the_dirty_index() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 16, 2);
+        let mut config = quick_config(1, 400);
+        config.gamma = LaacadConfig::recommended_gamma(1.0, 16, 1);
+        let mut sim = session(config, region, initial);
+        while !sim.step().report.converged {}
+        sim.step();
+        sim.apply_event(NetworkEvent::FailNodes(vec![NodeId(0)]))
+            .unwrap();
+        assert!(!sim.is_converged());
+        let delta = sim.step();
+        assert_eq!(
+            delta.ring_searches,
+            sim.network().len(),
+            "post-event round must recompute everyone"
+        );
+    }
+}

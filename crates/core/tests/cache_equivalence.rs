@@ -1,9 +1,11 @@
-//! The cross-round local-view cache must be invisible in the results:
-//! its key is exact equality of every geometric input, so a 300+-round
-//! dynamic-event run must produce byte-identical histories with the
-//! cache on or off, at any worker count.
+//! The cross-round local-view cache and the dirty-node index must be
+//! invisible in the results: the cache key is exact equality of every
+//! geometric input, and the dirty-skip criterion covers every node the
+//! previous search could have contacted — so a 300+-round dynamic-event
+//! run must produce byte-identical histories with either feature on or
+//! off, at any worker count.
 
-use laacad::{Laacad, LaacadConfig, NetworkEvent};
+use laacad::{LaacadConfig, NetworkEvent, Session};
 use laacad_geom::Point;
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
@@ -12,7 +14,7 @@ use laacad_wsn::NodeId;
 /// Runs 310 synchronous rounds (stepping straight through convergence
 /// plateaus) with mid-run failures, insertions and a k change, and
 /// returns every observable artifact as a byte-comparable string.
-fn run_fingerprint(cache: bool, threads: usize) -> String {
+fn run_fingerprint(cache: bool, dirty_skip: bool, threads: usize) -> String {
     let region = Region::square(1.0).unwrap();
     let n = 48;
     let k = 2;
@@ -24,10 +26,15 @@ fn run_fingerprint(cache: bool, threads: usize) -> String {
         .snapshot_every(50)
         .threads(threads)
         .cache(cache)
+        .dirty_skip(dirty_skip)
         .build()
         .unwrap();
     let initial = sample_uniform(&region, n, 7777);
-    let mut sim = Laacad::new(config, region, initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .unwrap();
     for round in 1..=310usize {
         sim.step();
         // Dynamic events mid-run: each one invalidates a batch of cache
@@ -66,13 +73,21 @@ fn run_fingerprint(cache: bool, threads: usize) -> String {
 
 #[test]
 fn cached_and_uncached_histories_are_byte_identical_across_threads() {
-    let reference = run_fingerprint(false, 1);
+    let reference = run_fingerprint(false, false, 1);
     assert!(reference.contains("rounds="));
-    for (cache, threads) in [(true, 1), (false, 4), (true, 4)] {
-        let other = run_fingerprint(cache, threads);
+    for (cache, dirty, threads) in [
+        (true, false, 1),
+        (false, false, 4),
+        (true, false, 4),
+        (true, true, 1),
+        (false, true, 1),
+        (true, true, 4),
+    ] {
+        let other = run_fingerprint(cache, dirty, threads);
         assert!(
             reference == other,
-            "cache={cache} threads={threads} diverged from the uncached serial history"
+            "cache={cache} dirty_skip={dirty} threads={threads} diverged from the \
+             uncached serial history"
         );
     }
 }

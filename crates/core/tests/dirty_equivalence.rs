@@ -1,0 +1,186 @@
+//! The dirty-node index must be invisible in the results: a node is
+//! skipped only when nothing its previous search could have contacted
+//! moved, so a dynamic-event run (failures + churn) must produce
+//! byte-identical histories with dirty tracking on or off, at any
+//! worker count — while quiescent rounds demonstrably perform **zero**
+//! ring searches when the index is on.
+
+use laacad::{LaacadConfig, NetworkEvent, Session};
+use laacad_geom::Point;
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+use laacad_wsn::NodeId;
+
+fn build(n: usize, k: usize, dirty_skip: bool, threads: usize) -> Session {
+    let region = Region::square(1.0).unwrap();
+    let config = LaacadConfig::builder(k)
+        .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+        .alpha(0.5)
+        .epsilon(1e-5)
+        .max_rounds(500)
+        .snapshot_every(40)
+        .threads(threads)
+        .dirty_skip(dirty_skip)
+        .build()
+        .unwrap();
+    let initial = sample_uniform(&region, n, 31337);
+    Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .unwrap()
+}
+
+/// Steps a 300-round dynamic run — a mid-run failure batch, churn
+/// (insertions), and a localized failure late — and fingerprints every
+/// observable artifact.
+fn run_fingerprint(dirty_skip: bool, threads: usize) -> String {
+    let mut sim = build(40, 2, dirty_skip, threads);
+    for round in 1..=300usize {
+        sim.step();
+        if round == 80 {
+            sim.apply_event(NetworkEvent::FailNodes(
+                (0..7).map(|i| NodeId(i * 5)).collect(),
+            ))
+            .unwrap();
+        }
+        if round == 150 {
+            sim.apply_event(NetworkEvent::InsertNodes(vec![
+                Point::new(0.48, 0.52),
+                Point::new(0.05, 0.95),
+                Point::new(0.9, 0.12),
+                Point::new(0.33, 0.66),
+            ]))
+            .unwrap();
+        }
+        if round == 220 {
+            sim.apply_event(NetworkEvent::FailNodes(vec![NodeId(3), NodeId(11)]))
+                .unwrap();
+        }
+    }
+    sim.finalize();
+    format!(
+        "rounds={:?}\nsnapshots={:?}\npositions={:?}\nradii={:?}",
+        sim.history().rounds(),
+        sim.history().snapshots(),
+        sim.network().positions(),
+        sim.network()
+            .nodes()
+            .iter()
+            .map(|nd| nd.sensing_radius())
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn dynamic_event_run_is_byte_identical_with_dirty_tracking_on_or_off() {
+    let reference = run_fingerprint(false, 1);
+    assert!(reference.contains("positions="));
+    for (dirty_skip, threads) in [(true, 1), (false, 4), (true, 4)] {
+        let other = run_fingerprint(dirty_skip, threads);
+        assert!(
+            reference == other,
+            "dirty_skip={dirty_skip} threads={threads} diverged from the \
+             tracking-off serial history"
+        );
+    }
+}
+
+#[test]
+fn quiescent_rounds_perform_zero_ring_searches_at_any_thread_count() {
+    for threads in [1usize, 4] {
+        let mut sim = build(30, 2, true, threads);
+        // Converge, then take one extra round so the stored views
+        // describe the final positions.
+        while !sim.step().report.converged {}
+        sim.step();
+        let before = sim.counters();
+        for _ in 0..10 {
+            let delta = sim.step();
+            assert_eq!(
+                delta.ring_searches, 0,
+                "threads={threads}: quiescent round ran a ring search"
+            );
+            assert_eq!(delta.skipped_quiescent, sim.network().len());
+            assert!(delta.moved.is_empty());
+        }
+        let after = sim.counters();
+        assert_eq!(
+            after.ring_searches, before.ring_searches,
+            "threads={threads}: cumulative searches grew during quiescence"
+        );
+        assert_eq!(
+            after.skipped_quiescent - before.skipped_quiescent,
+            10 * sim.network().len() as u64,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn partial_quiescence_skips_far_nodes_only() {
+    // A dense deployment with a small explicit γ keeps the dirty safety
+    // radius (ρ + slack·γ) well below the region diameter. After a
+    // localized corner failure, the first round recomputes everyone
+    // (events invalidate the index wholesale); once the response
+    // localizes, nodes far from every mover must be skipped while the
+    // corner keeps searching.
+    let region = Region::square(1.0).unwrap();
+    let config = LaacadConfig::builder(1)
+        .transmission_range(0.12)
+        .alpha(0.6)
+        .epsilon(1e-3)
+        .max_rounds(600)
+        .build()
+        .unwrap();
+    let initial = sample_uniform(&region, 200, 77);
+    let mut sim = Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .unwrap();
+    for _ in 0..600 {
+        if sim.step().report.converged {
+            break;
+        }
+    }
+    assert!(sim.is_converged(), "dense 200-node run converges");
+    sim.step();
+    // Kill everything in the bottom-left corner disk.
+    let corner = Point::new(0.1, 0.1);
+    let doomed: Vec<NodeId> = sim
+        .network()
+        .positions()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.distance(corner) <= 0.15)
+        .map(|(i, _)| NodeId(i))
+        .collect();
+    assert!(!doomed.is_empty(), "the corner holds victims");
+    sim.apply_event(NetworkEvent::FailNodes(doomed)).unwrap();
+    let post_event = sim.step();
+    assert_eq!(
+        post_event.ring_searches,
+        sim.network().len(),
+        "the round after an event recomputes everyone"
+    );
+    let mut partial = false;
+    for _ in 0..200 {
+        let delta = sim.step();
+        assert_eq!(
+            delta.skipped_quiescent + delta.ring_searches,
+            sim.network().len()
+        );
+        if delta.skipped_quiescent > 0 && delta.ring_searches > 0 {
+            partial = true;
+            break;
+        }
+        if delta.report.converged && delta.ring_searches == 0 {
+            break;
+        }
+    }
+    assert!(
+        partial,
+        "recovery never reached a partially-quiescent round (skips alongside searches)"
+    );
+}

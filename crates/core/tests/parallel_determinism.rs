@@ -2,7 +2,7 @@
 //! count: Phase 1 is a pure function of the round's position snapshot,
 //! so `threads ∈ {1, 2, 8}` may only change wall-clock, never history.
 
-use laacad::{Laacad, LaacadConfig, NetworkEvent};
+use laacad::{LaacadConfig, NetworkEvent, Session};
 use laacad_geom::Point;
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
@@ -26,7 +26,11 @@ fn run_fingerprint(threads: usize) -> String {
         .build()
         .unwrap();
     let initial = sample_uniform(&region, n, 2024);
-    let mut sim = Laacad::new(config, region, initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .unwrap();
     for _ in 0..4 {
         sim.step();
     }

@@ -1,0 +1,95 @@
+//! Compile-and-run check for the deprecated `Laacad` shim: code written
+//! against the pre-session API (positional `Laacad::new`, `step()` →
+//! `RoundReport`, `run_with_hooks` with legacy `RoundHook`s) must keep
+//! working for one release, delegating to the session engine underneath.
+//! CI runs this test as the deprecation-shim check.
+
+#![allow(deprecated)]
+
+use laacad::{HookAction, Laacad, LaacadConfig, NetworkEvent, RoundHook, RoundReport, Session};
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+use laacad_wsn::NodeId;
+
+fn config(k: usize, rounds: usize) -> LaacadConfig {
+    LaacadConfig::builder(k)
+        .transmission_range(0.35)
+        .alpha(0.6)
+        .epsilon(2e-3)
+        .max_rounds(rounds)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn legacy_surface_still_runs() {
+    let region = Region::square(1.0).unwrap();
+    let initial = sample_uniform(&region, 14, 9);
+    let mut sim = Laacad::new(config(1, 60), region, initial).unwrap();
+    let report = sim.step();
+    assert_eq!(report.round, 1);
+    assert!(report.nodes_moved > 0);
+    sim.apply_event(NetworkEvent::FailNodes(vec![NodeId(0)]))
+        .unwrap();
+    assert_eq!(sim.network().len(), 13);
+    let summary = sim.run();
+    assert!(summary.rounds > 1);
+    assert_eq!(sim.rounds_executed(), summary.rounds);
+    assert!(sim.network().max_sensing_radius() > 0.0);
+    assert!(!sim.history().rounds().is_empty());
+}
+
+/// A hook written against the legacy trait (now taking the session the
+/// shim wraps).
+struct StopAt(usize);
+
+impl RoundHook for StopAt {
+    fn after_round(&mut self, _sim: &mut Session, report: &RoundReport) -> HookAction {
+        if report.round >= self.0 {
+            HookAction::Stop
+        } else {
+            HookAction::KeepRunning
+        }
+    }
+}
+
+struct FailOnce {
+    fired: bool,
+}
+
+impl RoundHook for FailOnce {
+    fn after_round(&mut self, sim: &mut Session, report: &RoundReport) -> HookAction {
+        if !self.fired && report.round == 2 {
+            sim.apply_event(NetworkEvent::FailNodes(vec![NodeId(1)]))
+                .unwrap();
+            self.fired = true;
+        }
+        HookAction::Default
+    }
+}
+
+#[test]
+fn legacy_hooks_run_through_the_observer_adapter() {
+    let region = Region::square(1.0).unwrap();
+    let initial = sample_uniform(&region, 12, 4);
+    let mut sim = Laacad::new(config(1, 200), region, initial).unwrap();
+    let mut stop = StopAt(5);
+    let mut fail = FailOnce { fired: false };
+    let summary = sim.run_with_hooks(&mut [&mut fail, &mut stop]);
+    assert_eq!(summary.rounds, 5, "legacy Stop verdict still honored");
+    assert!(fail.fired, "legacy hook mutated the run via apply_event");
+    assert_eq!(sim.network().len(), 11);
+}
+
+#[test]
+fn shim_exposes_the_session_for_incremental_migration() {
+    let region = Region::square(1.0).unwrap();
+    let initial = sample_uniform(&region, 10, 1);
+    let mut sim = Laacad::new(config(1, 30), region, initial).unwrap();
+    sim.step();
+    assert_eq!(sim.session().rounds_executed(), 1);
+    let delta = sim.session_mut().step();
+    assert_eq!(delta.report.round, 2);
+    let session: Session = sim.into_session();
+    assert_eq!(session.rounds_executed(), 2);
+}

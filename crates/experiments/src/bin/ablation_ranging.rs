@@ -3,7 +3,7 @@
 //! not essential" (Sec. III-A): this run quantifies the cost of living
 //! without it.
 
-use laacad::{CoordinateMode, Laacad, LaacadConfig};
+use laacad::{CoordinateMode, LaacadConfig, Session};
 use laacad_coverage::evaluate_coverage;
 use laacad_experiments::{markdown_table, output, Csv};
 use laacad_region::sampling::sample_uniform;
@@ -38,7 +38,11 @@ fn main() {
             .build()
             .expect("valid config");
         let initial = sample_uniform(&region, n, 31_337);
-        let mut sim = Laacad::new(config, region.clone(), initial).expect("valid run");
+        let mut sim = Session::builder(config)
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .expect("valid run");
         let summary = sim.run();
         let coverage = evaluate_coverage(sim.network(), &region, k, 10_000);
         rows.push(vec![

@@ -6,7 +6,7 @@
 //! the schedule changes *which* local optimum the deployment reaches —
 //! e.g. the paper's "even clustering" into groups of k (Fig. 5).
 
-use laacad::{ExecutionMode, Laacad, LaacadConfig};
+use laacad::{ExecutionMode, LaacadConfig, Session};
 use laacad_coverage::evaluate_coverage;
 use laacad_coverage::metrics::cluster_histogram;
 use laacad_experiments::{markdown_table, output, Csv};
@@ -43,7 +43,11 @@ fn main() {
                 .expect("valid config");
             let initial =
                 sample_clustered(&region, n, Point::new(0.12, 0.12), 0.12, 2024 + k as u64);
-            let mut sim = Laacad::new(config, region.clone(), initial).expect("valid run");
+            let mut sim = Session::builder(config)
+                .region(region.clone())
+                .positions(initial)
+                .build()
+                .expect("valid run");
             let summary = sim.run();
             let coverage = evaluate_coverage(sim.network(), &region, k, 10_000);
             let hist = cluster_histogram(sim.network(), summary.max_sensing_radius * 0.2);

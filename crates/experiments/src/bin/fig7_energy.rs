@@ -3,67 +3,70 @@
 //! `Σ_i E(r_i)`, with `E(r) = π r²`, for N ∈ {20, 60, 100, 140, 180} and
 //! k = 1..4.
 //!
+//! Driven by the declarative spec `scenarios/fig7_energy.toml`: the
+//! campaign runner executes the N × k grid across all cores and this
+//! binary renders the charts and streams the JSONL/CSV results.
+//!
 //! Expected shapes: max load decreases with N and increases with k, with
 //! `maxload(k₁)/maxload(k₂) ≈ k₁/k₂` at equal N (every node covers about
 //! `k|A|/N`); total load *decreases* with N (bigger disks overlap more).
 
-use laacad_experiments::sweep::parallel_map;
-use laacad_experiments::{markdown_table, output, runs, Csv};
-use laacad_region::Region;
+use laacad_experiments::scenarios::{self, FIG7_ENERGY};
+use laacad_experiments::{markdown_table, output, Csv};
+use laacad_scenario::{run_campaign, ResultStore};
 use laacad_viz::LineChart;
-use laacad_wsn::energy::EnergyModel;
 
 fn main() {
-    let ns = [20usize, 60, 100, 140, 180];
-    let ks = [1usize, 2, 3, 4];
-    let jobs: Vec<(usize, usize)> = ks
-        .iter()
-        .flat_map(|&k| ns.iter().map(move |&n| (k, n)))
-        .collect();
-    let results = parallel_map(jobs.clone(), |(k, n)| {
-        let region = Region::square(1.0).expect("1 km² square");
-        let mut params = runs::StandardRun::new(k, n, 7_000 + (k * 1000 + n) as u64);
-        params.max_rounds = 200;
-        let (sim, summary, coverage) = runs::run_laacad(&region, &params);
-        let model = EnergyModel::DISK_AREA;
-        (
-            k,
-            n,
-            model.max_load(sim.network()),
-            model.total_load(sim.network()),
-            summary.max_sensing_radius,
-            coverage.covered_fraction,
-        )
-    });
+    let campaign =
+        scenarios::load_campaign("fig7_energy", FIG7_ENERGY).expect("fig7_energy spec parses");
+    let results = run_campaign(&campaign).expect("fig7 grid expands");
+    let store = ResultStore::new(output::out_dir());
+    let (jsonl, csv_path) = store
+        .write(&campaign.name, &results)
+        .expect("result store writes");
+    println!("wrote {}", output::rel(&jsonl));
+    println!("wrote {}", output::rel(&csv_path));
 
+    let ks = [1usize, 2, 3, 4];
     let mut csv = Csv::with_header(&["k", "n", "max_load", "total_load", "r_star", "covered"]);
     let mut chart_max = LineChart::new("# of nodes", "maximum sensing load");
     let mut chart_total = LineChart::new("# of nodes", "total sensing load");
     let mut rows = Vec::new();
+    // (k, n) → (max load, total load) for the ratio check below.
+    let mut loads = Vec::new();
     for &k in &ks {
         let mut max_series = Vec::new();
         let mut total_series = Vec::new();
-        for &(rk, n, max_load, total_load, r_star, covered) in &results {
-            if rk != k {
+        for cell in &results {
+            if cell.cell.k != k {
                 continue;
             }
+            let outcome = match &cell.outcome {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("cell {} failed: {e}", cell.cell.index);
+                    continue;
+                }
+            };
+            let n = cell.cell.n;
             csv.row(&[
                 k.to_string(),
                 n.to_string(),
-                format!("{max_load:.5}"),
-                format!("{total_load:.4}"),
-                format!("{r_star:.4}"),
-                format!("{covered:.4}"),
+                format!("{:.5}", outcome.max_load),
+                format!("{:.4}", outcome.total_load),
+                format!("{:.4}", outcome.summary.max_sensing_radius),
+                format!("{:.4}", outcome.coverage.covered_fraction),
             ]);
-            max_series.push((n as f64, max_load));
-            total_series.push((n as f64, total_load));
+            max_series.push((n as f64, outcome.max_load));
+            total_series.push((n as f64, outcome.total_load));
             rows.push(vec![
                 k.to_string(),
                 n.to_string(),
-                format!("{max_load:.4}"),
-                format!("{total_load:.3}"),
-                format!("{:.1}%", covered * 100.0),
+                format!("{:.4}", outcome.max_load),
+                format!("{:.3}", outcome.total_load),
+                format!("{:.1}%", outcome.coverage.covered_fraction * 100.0),
             ]);
+            loads.push((k, n, outcome.max_load));
         }
         chart_max.add_series(format!("{k}-coverage"), max_series);
         chart_total.add_series(format!("{k}-coverage"), total_series);
@@ -85,10 +88,10 @@ fn main() {
     );
     // The k-ratio check the paper calls out: max-load ratio ≈ k₁/k₂.
     let load_of = |k: usize, n: usize| {
-        results
+        loads
             .iter()
-            .find(|r| r.0 == k && r.1 == n)
-            .map(|r| r.2)
+            .find(|&&(lk, ln, _)| lk == k && ln == n)
+            .map(|&(_, _, load)| load)
             .unwrap_or(f64::NAN)
     };
     println!("\nmax-load ratios at N = 100 (paper: ≈ k₁/k₂):");

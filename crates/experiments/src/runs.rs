@@ -1,6 +1,6 @@
 //! Standardized LAACAD runs shared by the experiment binaries.
 
-use laacad::{Laacad, LaacadConfig, RunSummary};
+use laacad::{LaacadConfig, RunSummary, Session};
 use laacad_coverage::{evaluate_coverage, CoverageReport};
 use laacad_geom::Point;
 use laacad_region::sampling::{sample_clustered, sample_uniform};
@@ -44,9 +44,9 @@ impl StandardRun {
     }
 }
 
-/// Executes a standard run, returning the simulator, its summary, and a
+/// Executes a standard run, returning the session, its summary, and a
 /// k-coverage verification report.
-pub fn run_laacad(region: &Region, params: &StandardRun) -> (Laacad, RunSummary, CoverageReport) {
+pub fn run_laacad(region: &Region, params: &StandardRun) -> (Session, RunSummary, CoverageReport) {
     let gamma = params
         .gamma
         .unwrap_or_else(|| LaacadConfig::recommended_gamma(region.area(), params.n, params.k));
@@ -70,8 +70,11 @@ pub fn run_laacad(region: &Region, params: &StandardRun) -> (Laacad, RunSummary,
         Some((center, radius)) => sample_clustered(region, params.n, center, radius, params.seed),
         None => sample_uniform(region, params.n, params.seed),
     };
-    let mut sim =
-        Laacad::new(config, region.clone(), initial).expect("standard runs construct cleanly");
+    let mut sim = Session::builder(config)
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .expect("standard runs construct cleanly");
     let summary = sim.run();
     let report = evaluate_coverage(sim.network(), region, params.k, 10_000);
     (sim, summary, report)

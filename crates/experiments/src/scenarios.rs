@@ -14,6 +14,8 @@ use std::path::PathBuf;
 pub const FIG5_CORNER: &str = include_str!("../../../scenarios/fig5_corner.toml");
 /// Embedded copy of `scenarios/fig6_convergence.toml`.
 pub const FIG6_CONVERGENCE: &str = include_str!("../../../scenarios/fig6_convergence.toml");
+/// Embedded copy of `scenarios/fig7_energy.toml`.
+pub const FIG7_ENERGY: &str = include_str!("../../../scenarios/fig7_energy.toml");
 /// Embedded copy of `scenarios/table1_minnode.toml`.
 pub const TABLE1_MINNODE: &str = include_str!("../../../scenarios/table1_minnode.toml");
 /// Embedded copy of `scenarios/failure_recovery.toml`.
@@ -60,6 +62,7 @@ mod tests {
         for (name, text) in [
             ("fig5_corner", FIG5_CORNER),
             ("fig6_convergence", FIG6_CONVERGENCE),
+            ("fig7_energy", FIG7_ENERGY),
             ("table1_minnode", TABLE1_MINNODE),
             ("failure_recovery", FAILURE_RECOVERY),
         ] {

@@ -1,11 +1,13 @@
 //! Campaigns: seed × parameter grids over a scenario, run in parallel.
 //!
 //! A [`CampaignSpec`] pairs one [`ScenarioSpec`] with a [`ParamGrid`]
-//! sweeping seeds and (optionally) `n`, `k` and `α`. [`expand`] unrolls
-//! the grid into an ordered list of [`CampaignCell`]s — the order is a
-//! pure function of the spec, which is what makes campaign reruns
-//! byte-identical — and [`run_campaign`] executes the cells across all
-//! cores via [`crate::exec::parallel_map`].
+//! sweeping seeds and (optionally) `n`, `k`, `α` and `γ` — either as the
+//! full cross product (the default) or zipped position-by-position
+//! (`zip = true`, for sweeps whose axes move together, e.g. `n` with a
+//! matched `γ`). [`expand`] unrolls the grid into an ordered list of
+//! [`CampaignCell`]s — the order is a pure function of the spec, which
+//! is what makes campaign reruns byte-identical — and [`run_campaign`]
+//! executes the cells across all cores via [`crate::exec::parallel_map`].
 //!
 //! [`expand`]: CampaignSpec::expand
 
@@ -26,6 +28,14 @@ pub struct ParamGrid {
     pub k: Vec<usize>,
     /// Step-size overrides.
     pub alpha: Vec<f64>,
+    /// Transmission-range overrides (an explicit `γ` per cell; the
+    /// scenario's own value — or the derived recommendation — applies
+    /// where empty).
+    pub gamma: Vec<f64>,
+    /// `false` (default): sweep the full cross product of the non-empty
+    /// axes. `true`: zip the non-empty parameter axes position by
+    /// position (they must share one length); seeds still cross.
+    pub zip: bool,
 }
 
 impl ParamGrid {
@@ -95,6 +105,8 @@ impl ParamGrid {
             n: list_usize("n")?,
             k: list_usize("k")?,
             alpha: list_f64("alpha")?,
+            gamma: list_f64("gamma")?,
+            zip: decode::opt_bool(v, "zip", path)?.unwrap_or(false),
         })
     }
 
@@ -124,9 +136,21 @@ impl ParamGrid {
                 Value::Array(self.alpha.iter().map(|&x| Value::Float(x)).collect()),
             );
         }
+        if !self.gamma.is_empty() {
+            t.insert(
+                "gamma",
+                Value::Array(self.gamma.iter().map(|&x| Value::Float(x)).collect()),
+            );
+        }
+        if self.zip {
+            t.insert("zip", Value::Bool(true));
+        }
         t
     }
 }
+
+/// One resolved parameter tuple of the sweep: `(n, k, α, γ override)`.
+type ParamTuple = (usize, usize, f64, Option<f64>);
 
 /// A scenario plus the grid to sweep it over.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +178,8 @@ pub struct CampaignCell {
     pub k: usize,
     /// Effective step size.
     pub alpha: f64,
+    /// Explicit transmission-range override, when the grid swept one.
+    pub gamma: Option<f64>,
 }
 
 /// Outcome of one cell: the resolved parameters plus the run result (a
@@ -183,6 +209,8 @@ pub struct CellInfo {
     pub k: usize,
     /// Step size.
     pub alpha: f64,
+    /// Explicit transmission-range override, when the grid swept one.
+    pub gamma: Option<f64>,
 }
 
 impl CampaignSpec {
@@ -198,14 +226,17 @@ impl CampaignSpec {
         }
     }
 
-    /// Unrolls the grid into cells, in deterministic order:
-    /// `n` (outer) × `k` × `alpha` × `seeds` (inner).
+    /// Unrolls the grid into cells, in deterministic order. With the
+    /// default cross product: `n` (outer) × `k` × `alpha` × `gamma` ×
+    /// `seeds` (inner); with `zip = true`: one tuple per position of the
+    /// zipped axes (outer) × `seeds` (inner).
     ///
     /// # Errors
     ///
-    /// Fails only when an override cannot be expressed at all (e.g. a
-    /// node-count sweep over a custom placement); per-cell *run* failures
-    /// are reported in the cell's [`CellResult`] instead.
+    /// Fails only when an override cannot be expressed at all — a
+    /// node-count sweep over a custom placement, or zipped axes of
+    /// unequal lengths; per-cell *run* failures are reported in the
+    /// cell's [`CellResult`] instead.
     pub fn expand(&self) -> Result<Vec<CampaignCell>, SpecError> {
         let seeds: &[u64] = if self.grid.seeds.is_empty() {
             &[0]
@@ -213,6 +244,40 @@ impl CampaignSpec {
             &self.grid.seeds
         };
         let base_n = self.scenario.placement.node_count();
+        let tuples = if self.grid.zip {
+            self.zipped_tuples(base_n)?
+        } else {
+            self.crossed_tuples(base_n)
+        };
+        let mut cells = Vec::with_capacity(tuples.len() * seeds.len());
+        for (n, k, alpha, gamma) in tuples {
+            for &seed in seeds {
+                let mut scenario = self.scenario.clone();
+                if n != base_n {
+                    scenario.placement = scenario.placement.with_node_count(n)?;
+                }
+                scenario.laacad.k = k;
+                scenario.laacad.alpha = alpha;
+                if let Some(g) = gamma {
+                    scenario.laacad.gamma = Some(g);
+                }
+                cells.push(CampaignCell {
+                    index: cells.len(),
+                    scenario,
+                    seed,
+                    n,
+                    k,
+                    alpha,
+                    gamma,
+                });
+            }
+        }
+        Ok(cells)
+    }
+
+    /// The cross product of the non-empty parameter axes (defaults fill
+    /// in for empty ones).
+    fn crossed_tuples(&self, base_n: usize) -> Vec<ParamTuple> {
         let ns: Vec<usize> = if self.grid.n.is_empty() {
             vec![base_n]
         } else {
@@ -228,30 +293,72 @@ impl CampaignSpec {
         } else {
             self.grid.alpha.clone()
         };
-        let mut cells = Vec::with_capacity(ns.len() * ks.len() * alphas.len() * seeds.len());
+        let gammas: Vec<Option<f64>> = if self.grid.gamma.is_empty() {
+            vec![None]
+        } else {
+            self.grid.gamma.iter().map(|&g| Some(g)).collect()
+        };
+        let mut tuples = Vec::new();
         for &n in &ns {
             for &k in &ks {
                 for &alpha in &alphas {
-                    for &seed in seeds {
-                        let mut scenario = self.scenario.clone();
-                        if n != base_n {
-                            scenario.placement = scenario.placement.with_node_count(n)?;
-                        }
-                        scenario.laacad.k = k;
-                        scenario.laacad.alpha = alpha;
-                        cells.push(CampaignCell {
-                            index: cells.len(),
-                            scenario,
-                            seed,
-                            n,
-                            k,
-                            alpha,
-                        });
+                    for &gamma in &gammas {
+                        tuples.push((n, k, alpha, gamma));
                     }
                 }
             }
         }
-        Ok(cells)
+        tuples
+    }
+
+    /// Position-by-position tuples of the non-empty parameter axes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the non-empty axes disagree on length.
+    fn zipped_tuples(&self, base_n: usize) -> Result<Vec<ParamTuple>, SpecError> {
+        let lengths: Vec<(&str, usize)> = [
+            ("n", self.grid.n.len()),
+            ("k", self.grid.k.len()),
+            ("alpha", self.grid.alpha.len()),
+            ("gamma", self.grid.gamma.len()),
+        ]
+        .into_iter()
+        .filter(|&(_, len)| len > 0)
+        .collect();
+        let Some(&(_, len)) = lengths.first() else {
+            // No parameter axes at all: one default tuple.
+            return Ok(vec![(
+                base_n,
+                self.scenario.laacad.k,
+                self.scenario.laacad.alpha,
+                None,
+            )]);
+        };
+        if let Some(&(axis, other)) = lengths.iter().find(|&&(_, l)| l != len) {
+            return Err(SpecError::Build(format!(
+                "zip grid axes disagree on length: `{}` has {} entries but `{axis}` has {other}",
+                lengths[0].0, len
+            )));
+        }
+        Ok((0..len)
+            .map(|i| {
+                (
+                    self.grid.n.get(i).copied().unwrap_or(base_n),
+                    self.grid
+                        .k
+                        .get(i)
+                        .copied()
+                        .unwrap_or(self.scenario.laacad.k),
+                    self.grid
+                        .alpha
+                        .get(i)
+                        .copied()
+                        .unwrap_or(self.scenario.laacad.alpha),
+                    self.grid.gamma.get(i).copied(),
+                )
+            })
+            .collect())
     }
 
     /// Decodes a campaign document (`name`, `[scenario]`, `[grid]`).
@@ -338,6 +445,7 @@ pub fn run_campaign(campaign: &CampaignSpec) -> Result<Vec<CellResult>, SpecErro
                 n: cell.n,
                 k: cell.k,
                 alpha: cell.alpha,
+                gamma: cell.gamma,
             },
             outcome,
         }
@@ -407,8 +515,67 @@ mod tests {
     fn campaign_toml_round_trip() {
         let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("rt", 10, 2), [3, 4]);
         campaign.grid.alpha = vec![0.5, 1.0];
+        campaign.grid.gamma = vec![0.3, 0.4];
+        campaign.grid.zip = true;
         let text = campaign.to_toml();
         let back = CampaignSpec::from_toml(&text).unwrap();
         assert_eq!(campaign, back, "TOML:\n{text}");
+    }
+
+    #[test]
+    fn gamma_axis_crosses_and_overrides() {
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("g", 10, 1), [1]);
+        campaign.grid.k = vec![1, 2];
+        campaign.grid.gamma = vec![0.3, 0.5];
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        let params: Vec<(usize, Option<f64>)> = cells.iter().map(|c| (c.k, c.gamma)).collect();
+        assert_eq!(
+            params,
+            vec![
+                (1, Some(0.3)),
+                (1, Some(0.5)),
+                (2, Some(0.3)),
+                (2, Some(0.5)),
+            ]
+        );
+        for c in &cells {
+            assert_eq!(c.scenario.laacad.gamma, c.gamma, "override applied");
+        }
+    }
+
+    #[test]
+    fn zip_grid_pairs_axes_position_by_position() {
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("z", 10, 1), [1, 2]);
+        campaign.grid.zip = true;
+        campaign.grid.n = vec![10, 40, 90];
+        campaign.grid.gamma = vec![0.5, 0.3, 0.2];
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 6, "3 zipped tuples × 2 seeds");
+        let params: Vec<(usize, Option<f64>, u64)> =
+            cells.iter().map(|c| (c.n, c.gamma, c.seed)).collect();
+        assert_eq!(
+            params,
+            vec![
+                (10, Some(0.5), 1),
+                (10, Some(0.5), 2),
+                (40, Some(0.3), 1),
+                (40, Some(0.3), 2),
+                (90, Some(0.2), 1),
+                (90, Some(0.2), 2),
+            ]
+        );
+        // Unmentioned axes keep the scenario's own values.
+        assert!(cells.iter().all(|c| c.k == 1));
+    }
+
+    #[test]
+    fn zip_grid_rejects_unequal_axis_lengths() {
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("bad-zip", 10, 1), [1]);
+        campaign.grid.zip = true;
+        campaign.grid.n = vec![10, 20];
+        campaign.grid.k = vec![1, 2, 3];
+        let err = campaign.expand().unwrap_err();
+        assert!(err.to_string().contains("zip"), "{err}");
     }
 }

@@ -3,7 +3,7 @@
 use crate::events::{AppliedEvent, TimelineHook};
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::value::{encode, Value};
-use laacad::{HookAction, Laacad, RoundHook, RoundReport, RunSummary};
+use laacad::{HookAction, Observer, RoundDelta, RunSummary, Session};
 use laacad_coverage::{evaluate_coverage, CoverageReport};
 use laacad_wsn::energy::EnergyModel;
 
@@ -88,16 +88,16 @@ pub fn recovery_metrics(
         .collect()
 }
 
-/// A [`RoundHook`] sampling k-coverage after every round.
+/// An [`Observer`] sampling k-coverage after every round.
 struct CoverageProbe {
     samples: usize,
     series: Vec<(usize, f64)>,
 }
 
-impl RoundHook for CoverageProbe {
-    fn after_round(&mut self, sim: &mut Laacad, report: &RoundReport) -> HookAction {
+impl Observer for CoverageProbe {
+    fn on_round_end(&mut self, sim: &mut Session, delta: &RoundDelta) -> HookAction {
         let cov = evaluate_coverage(sim.network(), sim.region(), sim.config().k, self.samples);
-        self.series.push((report.round, cov.covered_fraction));
+        self.series.push((delta.report.round, cov.covered_fraction));
         HookAction::Default
     }
 }
@@ -278,13 +278,21 @@ impl ScenarioOutcome {
     }
 }
 
-/// Builds the simulation and timeline hook for `spec` at `seed` without
-/// running it (the bench fixtures use this to construct workloads).
-pub fn build_scenario(spec: &ScenarioSpec, seed: u64) -> Result<(Laacad, TimelineHook), SpecError> {
+/// Builds the session and timeline observer for `spec` at `seed`
+/// without running it (the bench fixtures use this to construct
+/// workloads).
+pub fn build_scenario(
+    spec: &ScenarioSpec,
+    seed: u64,
+) -> Result<(Session, TimelineHook), SpecError> {
     let region = spec.region.build()?;
     let initial = spec.placement.build(&region, seed)?;
     let config = spec.laacad.build(&region, initial.len(), seed)?;
-    let sim = Laacad::new(config, region, initial).map_err(|e| SpecError::Build(e.to_string()))?;
+    let sim = Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .map_err(|e| SpecError::Build(e.to_string()))?;
     Ok((sim, TimelineHook::new(&spec.events, seed)))
 }
 
@@ -299,10 +307,10 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
     };
     let summary = if probe.samples > 0 {
         // Probe first: the event-round sample must see the pre-event
-        // network (the timeline hook mutates it afterwards).
-        sim.run_with_hooks(&mut [&mut probe, &mut hook])
+        // network (the timeline observer mutates it afterwards).
+        sim.run_with_observers(&mut [&mut probe, &mut hook])
     } else {
-        sim.run_with_hooks(&mut [&mut hook])
+        sim.run_with_observers(&mut [&mut hook])
     };
     // Timeline entries beyond the executed rounds must still show up in
     // the outcome (as skipped), or the results would silently describe a

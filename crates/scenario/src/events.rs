@@ -1,14 +1,14 @@
-//! Compiling the declarative event timeline into runtime hooks.
+//! Compiling the declarative event timeline into a runtime observer.
 //!
-//! [`TimelineHook`] implements [`laacad::RoundHook`]: after every round
+//! [`TimelineHook`] implements [`laacad::Observer`]: after every round
 //! it fires all due [`EventSpec`]s by translating them into concrete
-//! [`laacad::NetworkEvent`]s against the live simulation. Randomized
+//! [`laacad::NetworkEvent`]s against the live session. Randomized
 //! events (`fail_fraction`, `insert` placements) draw from a dedicated
 //! SplitMix64 stream seeded from the run seed, so a scenario replays
 //! identically for identical seeds regardless of thread scheduling.
 
 use crate::spec::{EventAction, EventSpec};
-use laacad::{HookAction, Laacad, NetworkEvent, RoundHook, RoundReport};
+use laacad::{HookAction, NetworkEvent, Observer, RoundDelta, Session};
 use laacad_geom::Point;
 use laacad_region::sampling::SplitMix64;
 use laacad_wsn::energy::EnergyModel;
@@ -30,7 +30,7 @@ pub struct AppliedEvent {
     pub skipped: Option<String>,
 }
 
-/// A [`RoundHook`] executing a scenario's event timeline.
+/// An [`Observer`] executing a scenario's event timeline.
 #[derive(Debug)]
 pub struct TimelineHook {
     /// Events sorted by round (stable, preserving spec order within a
@@ -123,7 +123,7 @@ impl TimelineHook {
         victims.into_iter().map(NodeId).collect()
     }
 
-    fn fire(&mut self, sim: &mut Laacad, spec_round: usize, action: EventAction) {
+    fn fire(&mut self, sim: &mut Session, spec_round: usize, action: EventAction) {
         let mut entry = AppliedEvent {
             round: spec_round,
             action: Self::describe(&action),
@@ -210,7 +210,7 @@ impl TimelineHook {
     /// The engine calls this with `round = 0` before the first step so
     /// that round-0 events (dead-on-arrival failures, pre-run parameter
     /// changes) act before any movement.
-    pub fn fire_due(&mut self, sim: &mut Laacad, round: usize) {
+    pub fn fire_due(&mut self, sim: &mut Session, round: usize) {
         while self.next < self.events.len() && self.events[self.next].round <= round {
             let spec = self.events[self.next].clone();
             self.next += 1;
@@ -219,9 +219,9 @@ impl TimelineHook {
     }
 }
 
-impl RoundHook for TimelineHook {
-    fn after_round(&mut self, sim: &mut Laacad, report: &RoundReport) -> HookAction {
-        self.fire_due(sim, report.round);
+impl Observer for TimelineHook {
+    fn on_round_end(&mut self, sim: &mut Session, delta: &RoundDelta) -> HookAction {
+        self.fire_due(sim, delta.report.round);
         if self.exhausted() {
             HookAction::Default
         } else {
@@ -235,7 +235,7 @@ mod tests {
     use super::*;
     use crate::spec::{AlgorithmSpec, ScenarioSpec};
 
-    fn sim(n: usize, k: usize) -> Laacad {
+    fn sim(n: usize, k: usize) -> Session {
         let spec = ScenarioSpec::uniform("t", n, k);
         let region = spec.region.build().unwrap();
         let initial = spec.placement.build(&region, 11).unwrap();
@@ -246,7 +246,11 @@ mod tests {
         }
         .build(&region, n, 11)
         .unwrap();
-        Laacad::new(config, region, initial).unwrap()
+        Session::builder(config)
+            .region(region)
+            .positions(initial)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -257,7 +261,7 @@ mod tests {
             action: EventAction::FailFraction { fraction: 0.2 },
         }];
         let mut hook = TimelineHook::new(&events, 5);
-        sim.run_with_hooks(&mut [&mut hook]);
+        sim.run_with_observers(&mut [&mut hook]);
         assert_eq!(sim.network().len(), 24);
         let log = hook.into_log();
         assert_eq!(log.len(), 1);
@@ -291,7 +295,7 @@ mod tests {
             },
         ];
         let mut hook = TimelineHook::new(&events, 1);
-        s.run_with_hooks(&mut [&mut hook]);
+        s.run_with_observers(&mut [&mut hook]);
         // Both events fired even though the run would have converged
         // before round 90 without the KeepRunning override.
         assert!(hook.exhausted());
@@ -310,7 +314,7 @@ mod tests {
             action: EventAction::SetK { k: 99 },
         }];
         let mut hook = TimelineHook::new(&events, 1);
-        s.run_with_hooks(&mut [&mut hook]);
+        s.run_with_observers(&mut [&mut hook]);
         let log = hook.log();
         assert_eq!(log.len(), 1);
         assert!(log[0].skipped.is_some());
@@ -331,7 +335,7 @@ mod tests {
             },
         ];
         let mut hook = TimelineHook::new(&events, 3);
-        let summary = s.run_with_hooks(&mut [&mut hook]);
+        let summary = s.run_with_observers(&mut [&mut hook]);
         assert!(!hook.exhausted());
         hook.mark_unfired(summary.rounds);
         assert!(hook.exhausted());
@@ -355,7 +359,7 @@ mod tests {
             },
         }];
         let mut hook = TimelineHook::new(&events, 1);
-        s.run_with_hooks(&mut [&mut hook]);
+        s.run_with_observers(&mut [&mut hook]);
         assert_eq!(s.network().len(), 15, "huge capacity kills nobody");
         assert_eq!(hook.log().len(), 1);
         assert_eq!(hook.log()[0].removed, 0);

@@ -22,6 +22,9 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
         line.insert("n", Value::Int(r.cell.n as i64));
         line.insert("k", Value::Int(r.cell.k as i64));
         line.insert("alpha", Value::Float(r.cell.alpha));
+        if let Some(g) = r.cell.gamma {
+            line.insert("gamma", Value::Float(g));
+        }
         match &r.outcome {
             Ok(outcome) => line.insert("outcome", outcome.to_value()),
             Err(e) => line.insert("error", Value::Str(e.to_string())),
@@ -35,7 +38,7 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
 /// Summary CSV: one row per cell with the headline metrics.
 pub fn to_csv(results: &[CellResult]) -> String {
     let mut out = String::from(
-        "index,scenario,seed,n,k,alpha,final_n,rounds,converged,\
+        "index,scenario,seed,n,k,alpha,gamma,final_n,rounds,converged,\
          max_sensing_radius,min_sensing_radius,covered_fraction,min_degree,\
          balance_ratio,total_distance_moved,events_applied,\
          time_to_recover,coverage_dip,error\n",
@@ -63,13 +66,14 @@ pub fn to_csv(results: &[CellResult]) -> String {
                     .map(|d| d.to_string())
                     .unwrap_or_default();
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
                     c.index,
                     name,
                     c.seed,
                     c.n,
                     c.k,
                     c.alpha,
+                    o.gamma,
                     o.final_n,
                     o.summary.rounds,
                     o.summary.converged,
@@ -87,7 +91,7 @@ pub fn to_csv(results: &[CellResult]) -> String {
             Err(e) => {
                 let msg = e.to_string().replace([',', '\n'], ";");
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},,,,,,,,,,,,,{}\n",
+                    "{},{},{},{},{},{},,,,,,,,,,,,,,{}\n",
                     c.index, name, c.seed, c.n, c.k, c.alpha, msg
                 ));
             }

@@ -376,6 +376,10 @@ pub struct AlgorithmSpec {
     /// bit-identical with the cache off; the knob exists so ablations
     /// and tests can diff cached vs. uncached histories.
     pub cache: bool,
+    /// Dirty-node index (default on): skip the expanding-ring search
+    /// for nodes whose ρ-neighborhood saw no movement. Results are
+    /// bit-identical with the index off.
+    pub dirty_skip: bool,
 }
 
 impl Default for AlgorithmSpec {
@@ -391,6 +395,7 @@ impl Default for AlgorithmSpec {
             snapshot_every: None,
             threads: None,
             cache: true,
+            dirty_skip: true,
         }
     }
 }
@@ -423,6 +428,7 @@ impl AlgorithmSpec {
             builder.threads(threads);
         }
         builder.cache(self.cache);
+        builder.dirty_skip(self.dirty_skip);
         builder.build().map_err(|e| SpecError::Build(e.to_string()))
     }
 
@@ -467,6 +473,7 @@ impl AlgorithmSpec {
             snapshot_every: decode::opt_usize(v, "snapshot_every", path)?,
             threads: decode::opt_usize(v, "threads", path)?,
             cache: decode::opt_bool(v, "cache", path)?.unwrap_or(d.cache),
+            dirty_skip: decode::opt_bool(v, "dirty_skip", path)?.unwrap_or(d.dirty_skip),
         })
     }
 
@@ -514,6 +521,9 @@ impl AlgorithmSpec {
         }
         if self.cache != d.cache {
             t.insert("cache", Value::Bool(self.cache));
+        }
+        if self.dirty_skip != d.dirty_skip {
+            t.insert("dirty_skip", Value::Bool(self.dirty_skip));
         }
         t
     }

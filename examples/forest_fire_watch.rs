@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .epsilon(5e-4)
         .max_rounds(300)
         .build()?;
-    let mut sim = Laacad::new(config, forest.clone(), initial)?;
+    let mut sim = Session::builder(config)
+        .region(forest.clone())
+        .positions(initial)
+        .build()?;
     let summary = sim.run();
     println!("deployment:   {summary}");
 

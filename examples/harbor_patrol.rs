@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // 2% relative ranging noise — typical for acoustic ranging.
         .coordinates(CoordinateMode::Ranging(RangingNoise::new(0.02, 0.0)))
         .build()?;
-    let mut sim = Laacad::new(config, channel.clone(), initial)?;
+    let mut sim = Session::builder(config)
+        .region(channel.clone())
+        .positions(initial)
+        .build()?;
     let summary = sim.run();
     println!("deployment: {summary}");
 

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_rounds(200)
         .build()?;
 
-    let mut sim = Laacad::new(config, region.clone(), initial)?;
+    let mut sim = Session::builder(config)
+        .region(region.clone())
+        .positions(initial)
+        .build()?;
     let summary = sim.run();
     println!("LAACAD finished: {summary}");
 

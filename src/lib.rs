@@ -28,7 +28,10 @@
 //!     .max_rounds(30)
 //!     .build()?;
 //! let initial = sample_uniform(&region, 16, 7);
-//! let mut sim = Laacad::new(config, region.clone(), initial)?;
+//! let mut sim = Session::builder(config)
+//!     .region(region.clone())
+//!     .positions(initial)
+//!     .build()?;
 //! let summary = sim.run();
 //! let report = evaluate_coverage(sim.network(), &region, 2, 2000);
 //! assert!(report.covered_fraction > 0.9);
@@ -51,9 +54,11 @@ pub use laacad_wsn;
 /// The convenient flat import surface.
 pub mod prelude {
     pub use laacad::{
-        min_node_deployment, CoordinateMode, HookAction, Laacad, LaacadConfig, LaacadError,
-        NetworkEvent, RingCapPolicy, RoundHook, RunSummary,
+        min_node_deployment, CoordinateMode, HookAction, LaacadConfig, LaacadError, MovedNode,
+        NetworkEvent, Observer, RingCapPolicy, RoundDelta, RunSummary, Session, SessionBuilder,
     };
+    #[allow(deprecated)]
+    pub use laacad::{Laacad, RoundHook};
     pub use laacad_coverage::{evaluate_coverage, CoverageReport};
     pub use laacad_geom::{Circle, Point, Polygon, Vector};
     pub use laacad_region::sampling::{sample_clustered, sample_uniform};

@@ -21,7 +21,11 @@ fn table1_shape_laacad_close_to_bai_bound() {
         .build()
         .unwrap();
     let initial = sample_uniform(&region, n, 1234);
-    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     let summary = sim.run();
     let n_star = bai_min_nodes(region.area(), summary.max_sensing_radius);
     let ratio = n as f64 / n_star;
@@ -50,7 +54,11 @@ fn table2_shape_laacad_beats_ammari_lenses() {
             .build()
             .unwrap();
         let initial = sample_uniform(&region, n, 900 + k as u64);
-        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let mut sim = Session::builder(config)
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .unwrap();
         let summary = sim.run();
         let n_star = ammari_min_nodes(region.area(), summary.max_sensing_radius, k);
         assert!(
@@ -99,7 +107,11 @@ fn lloyd_never_beats_laacad_minimax_on_asymmetric_region() {
         .max_rounds(300)
         .build()
         .unwrap();
-    let mut sim = Laacad::new(config, region.clone(), initial.clone()).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region.clone())
+        .positions(initial.clone())
+        .build()
+        .unwrap();
     let laacad_summary = sim.run();
 
     let mut net = Network::from_positions(1.5, initial);

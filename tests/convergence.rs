@@ -21,7 +21,11 @@ fn max_circumradius_monotone_for_alpha_one() {
             .build()
             .unwrap();
         let initial = sample_uniform(&region, n, seed);
-        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let mut sim = Session::builder(config)
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .unwrap();
         sim.run();
         let series = sim.history().circumradius_series();
         for w in series.windows(2) {
@@ -55,7 +59,11 @@ fn three_nodes_three_coverage_colocate() {
         Point::new(0.8, 0.3),
         Point::new(0.4, 0.9),
     ];
-    let mut sim = Laacad::new(config, region, initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .unwrap();
     let summary = sim.run();
     assert!(summary.converged, "{summary}");
     let center = Point::new(0.5, 0.5);
@@ -81,7 +89,11 @@ fn min_max_gap_shrinks_with_k() {
             .build()
             .unwrap();
         let initial = sample_uniform(&region, n, 31);
-        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let mut sim = Session::builder(config)
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .unwrap();
         let summary = sim.run();
         (summary.max_sensing_radius - summary.min_sensing_radius) / summary.max_sensing_radius
     };
@@ -106,12 +118,17 @@ fn converged_state_is_a_fixed_point() {
         .build()
         .unwrap();
     let initial = sample_uniform(&region, 8, 55);
-    let mut sim = Laacad::new(config, region, initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .unwrap();
     let summary = sim.run();
     assert!(summary.converged, "{summary}");
     let before: Vec<Point> = sim.network().positions().to_vec();
-    let report = sim.step();
-    assert_eq!(report.nodes_moved, 0);
+    let delta = sim.step();
+    assert_eq!(delta.report.nodes_moved, 0);
+    assert!(delta.moved.is_empty());
     assert_eq!(sim.network().positions(), &before[..]);
 }
 
@@ -130,7 +147,11 @@ fn movement_energy_decreases_with_alpha() {
             .build()
             .unwrap();
         let initial = sample_uniform(&region, 10, 42);
-        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let mut sim = Session::builder(config)
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .unwrap();
         let summary = sim.run();
         assert!(summary.converged, "α={alpha}: {summary}");
         (summary.rounds, summary.total_distance_moved)

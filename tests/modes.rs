@@ -24,7 +24,11 @@ fn ranging_mode_full_pipeline_covers() {
         .build()
         .unwrap();
     let initial = sample_uniform(&region, n, 404);
-    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     let summary = sim.run();
     let report = evaluate_coverage(sim.network(), &region, 2, 10_000);
     assert!(report.covered_fraction > 0.99, "{report} ({summary})");
@@ -40,7 +44,11 @@ fn noiseless_ranging_equals_oracle_trajectories() {
     let run = |mode: CoordinateMode| {
         let config = base_config(1, n).coordinates(mode).build().unwrap();
         let initial = sample_uniform(&region, n, 11);
-        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let mut sim = Session::builder(config)
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .unwrap();
         sim.run()
     };
     let oracle = run(CoordinateMode::Oracle);
@@ -65,7 +73,11 @@ fn always_cap_policy_still_reaches_coverage() {
         .build()
         .unwrap();
     let initial = sample_clustered(&region, n, Point::new(0.2, 0.2), 0.1, 3);
-    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     sim.run();
     let report = evaluate_coverage(sim.network(), &region, 1, 10_000);
     assert!(report.covered_fraction > 0.995, "{report}");
@@ -84,7 +96,11 @@ fn sequential_schedule_full_pipeline() {
         .build()
         .unwrap();
     let initial = sample_uniform(&region, n, 21);
-    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     sim.run();
     let report = evaluate_coverage(sim.network(), &region, 2, 10_000);
     assert!(report.covered_fraction > 0.995, "{report}");
@@ -103,7 +119,11 @@ fn connectivity_follows_coverage_for_k2() {
     let n = 40;
     let config = base_config(2, n).build().unwrap();
     let initial = sample_uniform(&region, n, 77);
-    let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+    let mut sim = Session::builder(config)
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     let summary = sim.run();
     // γ ≥ r*: the paper's realistic assumption holds here by construction.
     assert!(sim.network().gamma() >= summary.max_sensing_radius);

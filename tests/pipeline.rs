@@ -19,7 +19,11 @@ fn square_region_k1_through_k3() {
     for k in 1..=3usize {
         let n = 12 * k + 8;
         let initial = sample_uniform(&region, n, 100 + k as u64);
-        let mut sim = Laacad::new(standard_config(k, n, 1.0), region.clone(), initial).unwrap();
+        let mut sim = Session::builder(standard_config(k, n, 1.0))
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .unwrap();
         let summary = sim.run();
         let report = evaluate_coverage(sim.network(), &region, k, 10_000);
         assert!(
@@ -39,12 +43,11 @@ fn irregular_coast_region_2coverage() {
     let region = gallery::irregular_coast();
     let n = 40;
     let initial = sample_uniform(&region, n, 7);
-    let mut sim = Laacad::new(
-        standard_config(2, n, region.area()),
-        region.clone(),
-        initial,
-    )
-    .unwrap();
+    let mut sim = Session::builder(standard_config(2, n, region.area()))
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     sim.run();
     let report = evaluate_coverage(sim.network(), &region, 2, 10_000);
     assert!(report.covered_fraction > 0.995, "{report}");
@@ -61,12 +64,11 @@ fn obstacle_region_keeps_nodes_out_of_lakes() {
     let region = gallery::square_with_lakes();
     let n = 50;
     let initial = sample_uniform(&region, n, 3);
-    let mut sim = Laacad::new(
-        standard_config(2, n, region.area()),
-        region.clone(),
-        initial,
-    )
-    .unwrap();
+    let mut sim = Session::builder(standard_config(2, n, region.area()))
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     sim.run();
     for &p in sim.network().positions() {
         assert!(region.contains(p), "node parked at {p} inside an obstacle");
@@ -83,7 +85,11 @@ fn corridor_region_spreads_along_axis() {
     let mut cfg = standard_config(1, n, region.area());
     cfg.gamma = 1.2;
     cfg.max_rounds = 250;
-    let mut sim = Laacad::new(cfg, region.clone(), initial).unwrap();
+    let mut sim = Session::builder(cfg)
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     sim.run();
     let max_x = sim
         .network()
@@ -107,7 +113,11 @@ fn final_r_star_matches_prop2_optimal_assignment() {
     for k in [1usize, 2, 3] {
         let n = 24;
         let initial = sample_uniform(&region, n, 60 + k as u64);
-        let mut sim = Laacad::new(standard_config(k, n, 1.0), region.clone(), initial).unwrap();
+        let mut sim = Session::builder(standard_config(k, n, 1.0))
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .unwrap();
         let summary = sim.run();
         let bound = laacad_coverage::optimal_range_bound(sim.network(), &region, k, 40_000);
         // The grid bound slightly underestimates (it can miss the exact
@@ -133,7 +143,11 @@ fn k_coverage_buys_fault_tolerance() {
     let region = Region::square(1.0).unwrap();
     let n = 36;
     let initial = sample_uniform(&region, n, 8);
-    let mut sim = Laacad::new(standard_config(3, n, 1.0), region.clone(), initial).unwrap();
+    let mut sim = Session::builder(standard_config(3, n, 1.0))
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     sim.run();
     let residual = laacad_coverage::fault_tolerance(sim.network(), &region, 1, 2, 10_000);
     assert!(
@@ -147,7 +161,11 @@ fn runs_are_deterministic_under_fixed_seed() {
     let region = Region::square(1.0).unwrap();
     let run = || {
         let initial = sample_uniform(&region, 20, 77);
-        let mut sim = Laacad::new(standard_config(2, 20, 1.0), region.clone(), initial).unwrap();
+        let mut sim = Session::builder(standard_config(2, 20, 1.0))
+            .region(region.clone())
+            .positions(initial)
+            .build()
+            .unwrap();
         let summary = sim.run();
         let positions: Vec<Point> = sim.network().positions().to_vec();
         (summary, positions)
@@ -166,7 +184,11 @@ fn sensing_ranges_cover_dominating_regions_at_the_end() {
     // the finalized deployment.
     let region = Region::square(1.0).unwrap();
     let initial = sample_uniform(&region, 25, 13);
-    let mut sim = Laacad::new(standard_config(2, 25, 1.0), region.clone(), initial).unwrap();
+    let mut sim = Session::builder(standard_config(2, 25, 1.0))
+        .region(region.clone())
+        .positions(initial)
+        .build()
+        .unwrap();
     sim.run();
     let report = evaluate_coverage(sim.network(), &region, 2, 20_000);
     assert_eq!(report.min_degree >= 2, report.is_k_covered());

@@ -24,7 +24,10 @@ proptest! {
             .build()
             .unwrap();
         let initial = sample_uniform(&region, n, seed);
-        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let mut sim = Session::builder(config)
+            .region(region.clone())
+            .positions(initial)
+            .build().unwrap();
         let summary = sim.run();
         let report = evaluate_coverage(sim.network(), &region, k, 4000);
         prop_assert!(
@@ -55,7 +58,10 @@ proptest! {
             .build()
             .unwrap();
         let initial = sample_clustered(&region, n, Point::new(cx, cy), 0.08, seed);
-        let mut sim = Laacad::new(config, region.clone(), initial).unwrap();
+        let mut sim = Session::builder(config)
+            .region(region.clone())
+            .positions(initial)
+            .build().unwrap();
         sim.run();
         let report = evaluate_coverage(sim.network(), &region, 1, 4000);
         prop_assert!(
