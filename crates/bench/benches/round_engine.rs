@@ -100,10 +100,29 @@ const PR3_STEADY_CACHED_SECONDS: &[(usize, usize, f64)] = &[
     (10_000, 3, 0.331936),
 ];
 
+/// Partial-activity rounds of the PR-4 engine — one round reacting to a
+/// localized displacement of `fraction·N` nodes (corner disk, quarter-γ
+/// nudges) on a converged deployment, measured on the reference
+/// container at the commit before the PR-5 active-set engine landed
+/// (exact reach radii + ρ warm start + incremental adjacency + the
+/// subdivision/sweep kernel work). Rows are `(n, k, fraction, secs)`.
+const PR4_PARTIAL_SECONDS: &[(usize, usize, f64, f64)] = &[
+    (10_000, 3, 0.01, 0.078188),
+    (10_000, 3, 0.10, 0.381183),
+    (10_000, 3, 0.50, 1.105094),
+    (4_000, 3, 0.10, 0.129466),
+];
+
 /// Smoke-mode regression guard: fail when the serial N = 10³ round is
 /// more than 3× the committed reference (generous on purpose — CI boxes
 /// vary; a real regression on this path is multiplicative, not 20%).
 const SMOKE_GUARD_FACTOR: f64 = 3.0;
+
+/// Smoke-mode partial-activity guard: a round with 10% localized movers
+/// must re-activate well under this fraction of the deployment — the
+/// classifier's work has to stay proportional to the perturbed set, not
+/// to `N`.
+const SMOKE_PARTIAL_SEARCH_FRACTION: f64 = 0.30;
 
 /// Steady-state allocation ceiling. A converged round still builds its
 /// per-round decision vector (O(1) allocations); any polygon-vertex or
@@ -211,6 +230,79 @@ fn steady_round_with(n: usize, k: usize, cache: bool, dirty_skip: bool) -> ((f64
     ((dt, allocations() - a0), delta.ring_searches)
 }
 
+/// One partial-activity cell: converge a deployment, displace the
+/// `fraction` of nodes nearest the region corner toward the center by a
+/// quarter transmission range (a localized external disturbance), then
+/// time the single round that reacts to it. Returns
+/// `(seconds, ring searches, movers)`; `reps` fresh simulations are
+/// measured and the best wall-clock kept (work counters are
+/// deterministic across reps).
+fn partial_round(n: usize, k: usize, fraction: f64, reps: usize) -> (f64, usize, usize) {
+    let mut best = (f64::INFINITY, 0, 0);
+    for rep in 0..reps {
+        let (dt, searches, movers) = partial_round_once(n, k, fraction);
+        if rep > 0 {
+            assert_eq!(best.1, searches, "work counters must be deterministic");
+        }
+        if dt < best.0 || rep == 0 {
+            best = (dt, searches, movers);
+        }
+    }
+    best
+}
+
+fn partial_round_once(n: usize, k: usize, fraction: f64) -> (f64, usize, usize) {
+    let mut sim = build_with_dirty(n, k, 1, true, true, 0.05);
+    let mut converged = false;
+    for _ in 0..60 {
+        if sim.step().report.converged {
+            converged = true;
+            break;
+        }
+    }
+    assert!(
+        converged,
+        "partial-activity warm-up did not converge (N={n})"
+    );
+    sim.step(); // stored views now describe the final positions
+    let gamma = sim.config().gamma;
+    let center = laacad_geom::Point::new(0.5, 0.5);
+    // The `fraction·n` nodes nearest the (0,0) corner form the perturbed
+    // neighborhood — a localized disturbance, the regime the dirty-node
+    // classifier is built for.
+    let corner = laacad_geom::Point::new(0.0, 0.0);
+    let mut order: Vec<usize> = (0..sim.network().len()).collect();
+    let positions = sim.network().positions().to_vec();
+    order.sort_by(|&a, &b| {
+        positions[a]
+            .distance_sq(corner)
+            .total_cmp(&positions[b].distance_sq(corner))
+            .then(a.cmp(&b))
+    });
+    let movers = ((n as f64 * fraction).round() as usize).max(1);
+    let moves: Vec<(laacad_wsn::NodeId, laacad_geom::Point)> = order[..movers]
+        .iter()
+        .map(|&i| {
+            let p = positions[i];
+            let d = p.distance(center);
+            let step = (0.25 * gamma).min(d);
+            (laacad_wsn::NodeId(i), p.lerp(center, step / d.max(1e-12)))
+        })
+        .collect();
+    let displaced = sim.displace_nodes(&moves).expect("displacement valid");
+    assert_eq!(displaced, movers, "every picked node must actually move");
+    let t = Instant::now();
+    let delta = sim.step();
+    let dt = t.elapsed().as_secs_f64();
+    if std::env::var_os("PARTIAL_VERBOSE").is_some() {
+        eprintln!(
+            "  [N={n} f={fraction}] searches={} hits={} misses={}",
+            delta.ring_searches, delta.cache_hits, delta.cache_misses
+        );
+    }
+    (dt, delta.ring_searches, movers)
+}
+
 fn smoke() {
     let mut failed = false;
     for &(n, k) in &[(1_000usize, 1usize), (1_000, 3)] {
@@ -250,6 +342,58 @@ fn smoke() {
          {dirty_allocs} allocations {verdict}"
     );
     failed |= searches != 0 || dirty_allocs > STEADY_ALLOC_CEILING;
+    // PR-5: quiescent rounds must leave the spatial/adjacency index
+    // completely untouched — no rebuild, no incremental update.
+    {
+        let mut sim = build(1_000, 3, 1, true, 0.05);
+        let mut converged = false;
+        for _ in 0..40 {
+            if sim.step().report.converged {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "smoke zero-rebuild warm-up did not converge");
+        sim.step();
+        let before = sim.counters();
+        for _ in 0..5 {
+            sim.step();
+        }
+        let after = sim.counters();
+        let untouched = after.adjacency_rebuilds == before.adjacency_rebuilds
+            && after.adjacency_incremental_updates == before.adjacency_incremental_updates
+            && after.ring_searches == before.ring_searches;
+        let verdict = if untouched { "ok" } else { "INDEX REGRESSION" };
+        eprintln!(
+            "smoke quiescent index N=1000 k=3: rebuilds {}→{}, incremental {}→{} {verdict}",
+            before.adjacency_rebuilds,
+            after.adjacency_rebuilds,
+            before.adjacency_incremental_updates,
+            after.adjacency_incremental_updates,
+        );
+        failed |= !untouched;
+    }
+    // PR-5: a round with 10% localized movers must re-activate only the
+    // perturbed neighborhood — ring searches stay proportional to the
+    // perturbed set, not N.
+    {
+        let n = 4_000;
+        let (dt, searches, movers) = partial_round(n, 3, 0.10, 1);
+        let fraction = searches as f64 / n as f64;
+        let ok = fraction < SMOKE_PARTIAL_SEARCH_FRACTION;
+        let verdict = if ok {
+            "ok"
+        } else {
+            "PARTIAL-ACTIVITY REGRESSION"
+        };
+        eprintln!(
+            "smoke partial N={n} k=3 movers={movers}: {dt:.4}s, {searches} ring searches \
+             ({:.1}% of N, limit {:.0}%) {verdict}",
+            fraction * 100.0,
+            SMOKE_PARTIAL_SEARCH_FRACTION * 100.0,
+        );
+        failed |= !ok;
+    }
     if failed {
         eprintln!("round_engine smoke FAILED");
         std::process::exit(1);
@@ -373,6 +517,36 @@ fn main() {
             n, k, dirty_s, searches, dirty_allocs, pr3_steady, speedup,
         ));
     }
+    // PR-5 section: partial-activity rounds — a converged deployment,
+    // a localized corner displacement of 1% / 10% / 50% of the nodes,
+    // and the single round that reacts to it, vs the PR-4 engine's
+    // committed reference on the same workload.
+    let mut pr5_rows = Vec::new();
+    for &(n, k, fraction, pr4_ref) in PR4_PARTIAL_SECONDS {
+        let reps = 4;
+        let (dt, searches, movers) = partial_round(n, k, fraction, reps);
+        let speedup = pr4_ref / dt;
+        let searched_fraction = searches as f64 / n as f64;
+        eprintln!(
+            "round_engine pr5 N={n} k={k} movers={movers} ({:.0}%): {dt:.4}s, \
+             {searches} ring searches ({:.1}% of N), PR-4 reference {pr4_ref:.4}s, \
+             speedup {speedup:.2}x",
+            fraction * 100.0,
+            searched_fraction * 100.0,
+        );
+        pr5_rows.push(format!(
+            concat!(
+                "      {{\"n\": {}, \"k\": {}, \"mover_fraction\": {}, ",
+                "\"movers\": {}, ",
+                "\"partial_round_seconds\": {:.6}, ",
+                "\"ring_searches\": {}, ",
+                "\"ring_search_fraction\": {:.4}, ",
+                "\"pr4_partial_seconds_reference\": {:.6}, ",
+                "\"speedup_vs_pr4\": {:.2}}}"
+            ),
+            n, k, fraction, movers, dt, searches, searched_fraction, pr4_ref, speedup,
+        ));
+    }
     let json = format!(
         concat!(
             "{{\n",
@@ -388,6 +562,10 @@ fn main() {
             "  \"pr4\": {{\n",
             "    \"description\": \"dirty-node index (session engine): fully quiescent steady-state rounds skip every ring search and replay stored views in O(N) — vs the PR-3 cached steady round, which still searched per node per round\",\n",
             "    \"rows\": [\n{}\n    ]\n",
+            "  }},\n",
+            "  \"pr5\": {{\n",
+            "    \"description\": \"active-set round engine: partially-active rounds (a converged deployment, a localized corner displacement of mover_fraction·N nodes, and the single round reacting to it) under exact reach radii, the rho warm start, the incremental adjacency index and the subdivision/sweep kernel work — vs the committed PR-4 engine reference on the identical workload; ring searches stay proportional to the perturbed set, not N\",\n",
+            "    \"rows\": [\n{}\n    ]\n",
             "  }}\n",
             "}}\n"
         ),
@@ -395,7 +573,8 @@ fn main() {
         PRE_PR_REFERENCE_HOST,
         rows.join(",\n"),
         pr3_rows.join(",\n"),
-        pr4_rows.join(",\n")
+        pr4_rows.join(",\n"),
+        pr5_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_round_engine.json");
     std::fs::write(path, &json).expect("write BENCH_round_engine.json");

@@ -111,6 +111,33 @@ pub struct LaacadConfig {
     /// nodes see fresh predecessor positions; ranging noise is re-drawn
     /// per round).
     pub dirty_skip: bool,
+    /// Exact reach radii for the dirty-node classifier (default on;
+    /// sync+oracle only, meaningful only with `dirty_skip`). Each ring
+    /// search records the true maximal contact distance its BFS ever
+    /// explored; the classifier then re-activates a node only when a
+    /// mover falls within `max(contact_radius, ρ) + γ` of it, instead of
+    /// the blanket hop-path worst case `ρ + (slack+1)γ`. Every node the
+    /// search could have heard from lies within the recorded radius, so
+    /// results are bit-identical on or off — partially-active rounds
+    /// just re-activate fewer untouched nodes.
+    pub exact_reach: bool,
+    /// ρ warm start for re-activated nodes (default on; sync+oracle
+    /// only, meaningful only with `dirty_skip`). A re-activated node
+    /// whose stored search is invalidated by movers at distance `d`
+    /// skips the domination checks of every expansion stage whose entire
+    /// sphere of influence provably lies inside `d` — those checks
+    /// failed last time on identical inputs — and effectively resumes
+    /// the ring search near its previous ρ. Members, ρ and message
+    /// accounting stay byte-identical to the from-scratch search.
+    pub warm_start: bool,
+    /// Incremental spatial index maintenance (default on; synchronous
+    /// rounds only — Gauss–Seidel sweeps never share a snapshot).
+    /// Partially-active rounds patch the shared CSR adjacency snapshot
+    /// from the round's movement delta — only the movers' grid cells and
+    /// the adjacency rows they touch are rewritten — instead of
+    /// rebuilding the whole snapshot. Rows are bit-identical to a full
+    /// rebuild.
+    pub incremental_index: bool,
 }
 
 impl LaacadConfig {
@@ -152,6 +179,9 @@ impl LaacadConfig {
                 threads: 1,
                 cache: true,
                 dirty_skip: true,
+                exact_reach: true,
+                warm_start: true,
+                incremental_index: true,
             },
         }
     }
@@ -269,6 +299,30 @@ impl LaacadConfigBuilder {
     /// `false` forces a ring search per node per round.
     pub fn dirty_skip(&mut self, dirty_skip: bool) -> &mut Self {
         self.config.dirty_skip = dirty_skip;
+        self
+    }
+
+    /// Enables or disables exact reach radii in the dirty-node
+    /// classifier. Results are identical either way; `false` falls back
+    /// to the blanket `ρ + (slack+1)γ` safe radius.
+    pub fn exact_reach(&mut self, exact_reach: bool) -> &mut Self {
+        self.config.exact_reach = exact_reach;
+        self
+    }
+
+    /// Enables or disables the ρ warm start for re-activated nodes.
+    /// Results are identical either way; `false` restarts every ring
+    /// search from the first expansion's domination check.
+    pub fn warm_start(&mut self, warm_start: bool) -> &mut Self {
+        self.config.warm_start = warm_start;
+        self
+    }
+
+    /// Enables or disables incremental maintenance of the shared
+    /// adjacency snapshot. Results are identical either way; `false`
+    /// rebuilds the snapshot from scratch whenever positions changed.
+    pub fn incremental_index(&mut self, incremental_index: bool) -> &mut Self {
+        self.config.incremental_index = incremental_index;
         self
     }
 

@@ -29,6 +29,13 @@ pub enum LaacadError {
         /// The missing component (e.g. `"region"`).
         missing: &'static str,
     },
+    /// An operation referenced a node id outside the live population.
+    UnknownNode {
+        /// The offending node id.
+        id: usize,
+        /// The current population size.
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for LaacadError {
@@ -55,6 +62,9 @@ impl std::fmt::Display for LaacadError {
             }
             LaacadError::IncompleteSession { missing } => {
                 write!(f, "session builder is missing its {missing}")
+            }
+            LaacadError::UnknownNode { id, n } => {
+                write!(f, "node id {id} is outside the live population 0..{n}")
             }
         }
     }

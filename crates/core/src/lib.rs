@@ -65,12 +65,14 @@ pub use history::{History, RoundReport, RunSummary};
 #[allow(deprecated)]
 pub use hooks::RoundHook;
 pub use hooks::{EventOutcome, HookAction, NetworkEvent};
-pub use localview::{compute_local_view, compute_node_view, LocalView, NodeView};
+pub use localview::{
+    compute_local_view, compute_node_view, compute_node_view_warm, LocalView, NodeView,
+};
 pub use minnode::{min_node_deployment, MinNodeResult};
 pub use observer::{HookObserver, Observer};
 pub use ring::{
     expanding_ring_search, expanding_ring_search_scratched, expanding_ring_search_status,
-    DominationScratch, RingOutcome, RingStatus,
+    expanding_ring_search_status_warm, DominationScratch, RingOutcome, RingStatus,
 };
 #[allow(deprecated)]
 pub use runner::Laacad;

@@ -19,7 +19,7 @@
 
 use crate::config::{CoordinateMode, LaacadConfig, RingCapPolicy};
 use crate::ring::{
-    expanding_ring_search_scratched, expanding_ring_search_status, RingOutcome, RingStatus,
+    expanding_ring_search_scratched, expanding_ring_search_status_warm, RingOutcome, RingStatus,
 };
 use crate::scratch::RoundScratch;
 use laacad_geom::{Circle, Point, PolygonBuf};
@@ -65,6 +65,8 @@ impl LocalView {
 pub struct NodeView {
     /// Final ring radius `ρ`.
     pub rho: f64,
+    /// Number of `ρ += γ` expansions the ring search ran.
+    pub rho_stages: usize,
     /// Whether the ring check succeeded.
     pub dominated: bool,
     /// Whether the search saturated (boundary node).
@@ -75,6 +77,11 @@ pub struct NodeView {
     pub chebyshev: Option<Circle>,
     /// `max_{v ∈ V^k_i} ‖v − u_i‖` from the node's true position.
     pub reach: f64,
+    /// Exact maximal contact distance of the ring search — the farthest
+    /// node the multi-hop BFS ever explored (see
+    /// [`crate::RingStatus::contact_radius`]). The dirty-node classifier
+    /// uses it as the node's true sphere of influence.
+    pub contact_radius: f64,
     /// Whether the view was served from the cross-round cache.
     pub cache_hit: bool,
 }
@@ -159,7 +166,6 @@ pub fn compute_local_view_scratched(
 /// when `config.cache` is on — with the whole geometry stage skipped
 /// whenever the node's exact inputs are unchanged since its previous
 /// computation in this worker's [`crate::scratch::LocalViewCache`].
-#[allow(clippy::too_many_arguments)]
 pub fn compute_node_view(
     net: &Network,
     adjacency: Option<&Adjacency>,
@@ -169,14 +175,34 @@ pub fn compute_node_view(
     round: usize,
     scratch: &mut RoundScratch,
 ) -> NodeView {
+    compute_node_view_warm(net, adjacency, id, area, config, round, 0, scratch)
+}
+
+/// [`compute_node_view`] with a ρ-warm-started ring search: the first
+/// `warm_skip` expansions skip their (known-to-fail) domination checks —
+/// see [`crate::ring::expanding_ring_search_status_warm`] for the
+/// contract. `warm_skip = 0` is the plain hot path; for any valid value
+/// the view is byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_node_view_warm(
+    net: &Network,
+    adjacency: Option<&Adjacency>,
+    id: NodeId,
+    area: &Region,
+    config: &LaacadConfig,
+    round: usize,
+    warm_skip: usize,
+    scratch: &mut RoundScratch,
+) -> NodeView {
     let max_rho = config.max_rho.unwrap_or(2.0 * area.diameter_bound());
-    let status = expanding_ring_search_status(
+    let status = expanding_ring_search_status_warm(
         net,
         adjacency,
         id,
         area,
         config.k,
         max_rho,
+        warm_skip,
         &mut scratch.ring,
         &mut scratch.competitors,
         &mut scratch.domination,
@@ -223,11 +249,13 @@ pub fn compute_node_view(
     );
     NodeView {
         rho: status.rho,
+        rho_stages: status.stages,
         dominated: status.dominated,
         saturated: status.saturated,
         messages: status.messages,
         chebyshev,
         reach,
+        contact_radius: status.contact_radius,
         cache_hit: false,
     }
 }
@@ -255,11 +283,13 @@ fn cached_node_view(
     ) {
         return NodeView {
             rho: status.rho,
+            rho_stages: status.stages,
             dominated: status.dominated,
             saturated: status.saturated,
             messages: status.messages,
             chebyshev: entry.chebyshev,
             reach: entry.reach,
+            contact_radius: status.contact_radius,
             cache_hit: true,
         };
     }
@@ -296,11 +326,13 @@ fn cached_node_view(
     entry.valid = true;
     NodeView {
         rho: status.rho,
+        rho_stages: status.stages,
         dominated: status.dominated,
         saturated: status.saturated,
         messages: status.messages,
         chebyshev,
         reach,
+        contact_radius: status.contact_radius,
         cache_hit: false,
     }
 }
@@ -424,14 +456,40 @@ fn carve_region(
         RingCapPolicy::AlwaysCap => true,
         RingCapPolicy::Exact => dominated,
     };
+    // When the ring check succeeded, Prop. 1 puts the region *strictly*
+    // inside the open ρ/2 disk, so any circumscribed polygon of that
+    // disk yields the identical intersection — the cap exists only to
+    // focus the subdivision's work near the node. A coarse circumscribed
+    // cap is then strictly cheaper (shorter vertex walks, cheaper
+    // clips) with the same output region; the configured resolution
+    // only matters when the cap actually bounds the region (saturated
+    // nodes under `AlwaysCap`, where it approximates the searching
+    // ring).
+    let cap_vertices = if dominated {
+        config.cap_vertices.min(8)
+    } else {
+        config.cap_vertices
+    };
+    let cap_radius = (rho / 2.0) / (std::f64::consts::PI / cap_vertices as f64).cos();
     let have_cap = apply_cap && {
-        let r = (rho / 2.0) / (std::f64::consts::PI / config.cap_vertices as f64).cos();
-        let ok = cap.assign_regular(self_est, r, config.cap_vertices, 0.0);
+        let ok = cap.assign_regular(self_est, cap_radius, cap_vertices, 0.0);
         debug_assert!(ok, "cap polygon is valid");
         ok
     };
     for piece in area.convex_pieces() {
         if have_cap {
+            // Interior fast path: when the cap's circumscribed disk lies
+            // strictly inside this convex piece, `piece ∩ cap = cap` and
+            // the cap can stand in for the clipped domain directly —
+            // skipping the 64-halfplane convex clip that would otherwise
+            // run per node per piece. (The cap then also misses every
+            // other piece, whose clips come back empty as before.)
+            if piece.contains(self_est)
+                && piece.closest_boundary_point(self_est).distance(self_est) >= cap_radius + 1e-12
+            {
+                dominating_region_pooled(0, sites, config.k, cap.vertices(), subdivision, out);
+                continue;
+            }
             if !piece.clip_convex_buf_into(cap, domain, domain_tmp) {
                 continue;
             }

@@ -93,6 +93,43 @@ pub fn circle_dominated_scratched(
     if scratch.query.is_empty() {
         return true;
     }
+    // Depth is bounded by the competitor count, so fewer than `k`
+    // competitors can never dominate a non-vacuous circle.
+    if competitors.len() < k {
+        return false;
+    }
+    // Cheap disproof before the exact sweep: probe a few points inside
+    // the in-area arcs; a probe with fewer than `k` competitors closer —
+    // counted *generously*, so no competitor the sweep would credit is
+    // missed — is an exact witness that the check fails. Early
+    // expansions almost always fail this way, skipping their arc sweeps.
+    let mut probes = 0;
+    for arc in scratch.query.iter() {
+        if arc.span() <= 0.0 {
+            continue;
+        }
+        for frac in [0.5, 0.125, 0.875] {
+            if probes >= 6 {
+                break;
+            }
+            probes += 1;
+            let v = circle.point_at(arc.start() + arc.span() * frac);
+            let d_sq = center.distance_sq(v);
+            let guard = 1e-9 * (1.0 + d_sq);
+            let mut closer = 0usize;
+            for c in competitors {
+                if c.distance_sq(v) < d_sq + guard {
+                    closer += 1;
+                    if closer >= k {
+                        break;
+                    }
+                }
+            }
+            if closer < k {
+                return false;
+            }
+        }
+    }
     scratch.cover.clear();
     for &c in competitors {
         let Some(h) = HalfPlane::closer_to(c, center) else {
@@ -187,12 +224,25 @@ pub fn expanding_ring_search_scratched(
 pub struct RingStatus {
     /// Final ring radius `ρ`.
     pub rho: f64,
+    /// Number of `ρ += γ` expansions the search ran (`rho` is the
+    /// `stages`-fold accumulation of `γ`).
+    pub stages: usize,
     /// Whether the ring check succeeded (Algorithm 2 `out = true`).
     pub dominated: bool,
     /// Whether the search saturated the connected component / `max_rho`.
     pub saturated: bool,
     /// Messages spent on the search.
     pub messages: MessageStats,
+    /// Exact maximal contact distance of the whole search: the farthest
+    /// node the multi-hop BFS ever explored (members, relays, broadcast
+    /// accounting — see [`RingQuery::contact_radius`]). Any node beyond
+    /// this distance had no influence on the outcome, which is what lets
+    /// the dirty-node classifier bound re-activation by what the search
+    /// *actually* touched instead of the `ρ + (slack+1)γ` hop-path
+    /// worst case.
+    ///
+    /// [`RingQuery::contact_radius`]: laacad_wsn::multihop::RingQuery::contact_radius
+    pub contact_radius: f64,
 }
 
 /// The allocation-free core of [`expanding_ring_search_scratched`]:
@@ -210,28 +260,76 @@ pub fn expanding_ring_search_status(
     competitors: &mut Vec<Point>,
     domination: &mut DominationScratch,
 ) -> RingStatus {
+    expanding_ring_search_status_warm(
+        net,
+        adjacency,
+        id,
+        region,
+        k,
+        max_rho,
+        0,
+        scratch,
+        competitors,
+        domination,
+    )
+}
+
+/// [`expanding_ring_search_status`] with a **ρ warm start**: the caller
+/// asserts — from its own change tracking — that the domination checks
+/// of the first `skip_checks` expansions are already known to fail (they
+/// failed in a previous search whose per-stage inputs are provably
+/// unchanged), so those expansions run their BFS collection and message
+/// accounting but skip the member-copy and the exact arc-depth check.
+///
+/// With `skip_checks = 0` this *is* the from-scratch search. For any
+/// valid `skip_checks` the returned [`RingStatus`], the member set, the
+/// `competitors` buffer and the per-expansion [`MessageStats`] are
+/// byte-identical to the from-scratch search — the skipped work is
+/// exactly the work whose outcome is already known. Callers must ensure
+/// `skip_checks` is strictly smaller than the stage count at which the
+/// previous search terminated (a terminating stage is never skippable).
+#[allow(clippy::too_many_arguments)]
+pub fn expanding_ring_search_status_warm(
+    net: &Network,
+    adjacency: Option<&Adjacency>,
+    id: NodeId,
+    region: &Region,
+    k: usize,
+    max_rho: f64,
+    skip_checks: usize,
+    scratch: &mut RingScratch,
+    competitors: &mut Vec<Point>,
+    domination: &mut DominationScratch,
+) -> RingStatus {
     let gamma = net.gamma();
     let center = net.position(id);
     let mut rho = 0.0;
+    let mut stages = 0usize;
     let mut messages = MessageStats::default();
     let mut query = match adjacency {
         Some(adj) => RingQuery::begin_indexed(net, adj, id, scratch),
         None => RingQuery::begin(net, id, scratch),
     };
     loop {
+        stages += 1;
         rho += gamma;
         let step = query.collect(rho, hop_budget(rho, gamma, DEFAULT_HOP_SLACK));
         messages.absorb(step.messages);
-        let circle = Circle::new(center, rho / 2.0);
-        competitors.clear();
-        competitors.extend(query.members().iter().map(|&m| net.position(NodeId(m))));
-        if circle_dominated_scratched(center, competitors, &circle, region, k, domination) {
-            return RingStatus {
-                rho,
-                dominated: true,
-                saturated: false,
-                messages,
-            };
+        if stages > skip_checks {
+            let circle = Circle::new(center, rho / 2.0);
+            competitors.clear();
+            competitors.extend(query.members().iter().map(|&m| net.position(NodeId(m))));
+            if circle_dominated_scratched(center, competitors, &circle, region, k, domination) {
+                let contact_radius = query.contact_radius();
+                return RingStatus {
+                    rho,
+                    stages,
+                    dominated: true,
+                    saturated: false,
+                    messages,
+                    contact_radius,
+                };
+            }
         }
         // Saturation: the ring already contains the node's whole connected
         // component *and* widening the Euclidean filter cannot add members
@@ -242,11 +340,26 @@ pub fn expanding_ring_search_status(
         let same_as_before = step.new_members == 0;
         let euclidean_slack = rho - query.farthest_member_distance() > gamma;
         if (same_as_before && euclidean_slack) || rho >= max_rho {
+            if stages <= skip_checks {
+                // A valid warm start never terminates inside the skipped
+                // prefix; fill the competitor buffer anyway so a caller
+                // bug degrades to stale-but-consistent geometry inputs
+                // instead of reading the previous node's buffer.
+                debug_assert!(
+                    false,
+                    "warm-started search terminated in its skipped prefix"
+                );
+                competitors.clear();
+                competitors.extend(query.members().iter().map(|&m| net.position(NodeId(m))));
+            }
+            let contact_radius = query.contact_radius();
             return RingStatus {
                 rho,
+                stages,
                 dominated: false,
                 saturated: true,
                 messages,
+                contact_radius,
             };
         }
     }
@@ -367,6 +480,69 @@ mod tests {
                     }
                 }
                 assert_eq!(exact, brute, "k={k} ρ/2={rho_half}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_search_is_byte_identical_for_every_valid_skip() {
+        // The warm start's mechanical contract, pinned the same way the
+        // incremental frontier was in PR 2: for any skip strictly below
+        // the cold search's stage count, the outcome — ρ, verdicts,
+        // messages, contact radius, members, competitor buffer — is
+        // byte-identical to the cold search.
+        let region = Region::square(1.0).unwrap();
+        let net = dense_grid_network(0.1, 11, 0.15);
+        for id in [0usize, 27, 60] {
+            for k in 1..=4usize {
+                let mut scratch = RingScratch::new();
+                let mut competitors = Vec::new();
+                let mut dom = DominationScratch::new();
+                let cold = expanding_ring_search_status(
+                    &net,
+                    None,
+                    NodeId(id),
+                    &region,
+                    k,
+                    3.0,
+                    &mut scratch,
+                    &mut competitors,
+                    &mut dom,
+                );
+                let cold_members = scratch.last_members().to_vec();
+                let cold_competitors = competitors.clone();
+                for skip in 0..cold.stages {
+                    let mut scratch2 = RingScratch::new();
+                    let mut competitors2 = Vec::new();
+                    let warm = expanding_ring_search_status_warm(
+                        &net,
+                        None,
+                        NodeId(id),
+                        &region,
+                        k,
+                        3.0,
+                        skip,
+                        &mut scratch2,
+                        &mut competitors2,
+                        &mut dom,
+                    );
+                    assert_eq!(
+                        warm.rho.to_bits(),
+                        cold.rho.to_bits(),
+                        "id={id} k={k} skip={skip}"
+                    );
+                    assert_eq!(warm.stages, cold.stages, "id={id} k={k} skip={skip}");
+                    assert_eq!(warm.dominated, cold.dominated, "id={id} k={k} skip={skip}");
+                    assert_eq!(warm.saturated, cold.saturated, "id={id} k={k} skip={skip}");
+                    assert_eq!(warm.messages, cold.messages, "id={id} k={k} skip={skip}");
+                    assert_eq!(
+                        warm.contact_radius.to_bits(),
+                        cold.contact_radius.to_bits(),
+                        "id={id} k={k} skip={skip}"
+                    );
+                    assert_eq!(scratch2.last_members(), cold_members.as_slice());
+                    assert_eq!(competitors2, cold_competitors, "id={id} k={k} skip={skip}");
+                }
             }
         }
     }

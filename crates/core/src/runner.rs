@@ -145,6 +145,20 @@ impl Laacad {
         self.session.run_with_observers(&mut refs)
     }
 
+    /// Displaces nodes between rounds (see [`Session::displace_nodes`]):
+    /// legacy drivers observe the resulting movement sets through their
+    /// [`RoundHook`]s exactly as session observers do.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::displace_nodes`].
+    pub fn displace_nodes(
+        &mut self,
+        moves: &[(laacad_wsn::NodeId, Point)],
+    ) -> Result<usize, LaacadError> {
+        self.session.displace_nodes(moves)
+    }
+
     /// Applies a dynamic [`NetworkEvent`] between rounds (see
     /// [`Session::apply_event`]).
     ///

@@ -36,15 +36,16 @@ use crate::config::{CoordinateMode, ExecutionMode, LaacadConfig};
 use crate::error::LaacadError;
 use crate::history::{History, RoundReport, RunSummary};
 use crate::hooks::{EventOutcome, HookAction, NetworkEvent};
-use crate::localview::{compute_node_view, NodeView};
+use crate::localview::{compute_node_view, compute_node_view_warm, NodeView};
 use crate::observer::Observer;
 use crate::scratch::RoundScratch;
 use laacad_exec::{parallel_map_scratched, resolve_workers};
 use laacad_geom::Point;
 use laacad_region::Region;
 use laacad_wsn::mobility::step_toward;
-use laacad_wsn::multihop::DEFAULT_HOP_SLACK;
+use laacad_wsn::multihop::{hop_budget, DEFAULT_HOP_SLACK};
 use laacad_wsn::radio::MessageStats;
+use laacad_wsn::spatial::SpatialGrid;
 use laacad_wsn::{Adjacency, Network, NodeId};
 
 /// One node's movement during a round: id plus the exact positions
@@ -103,6 +104,15 @@ pub struct SessionCounters {
     pub cache_hits: u64,
     /// Total cross-round cache misses.
     pub cache_misses: u64,
+    /// Full rebuilds of the shared adjacency snapshot.
+    pub adjacency_rebuilds: u64,
+    /// Incremental move-delta updates of the adjacency snapshot
+    /// ([`laacad_wsn::Adjacency::apply_moves`]); fully quiescent rounds
+    /// perform neither a rebuild nor an update.
+    pub adjacency_incremental_updates: u64,
+    /// Ring searches that were ρ-warm-started (at least one expansion's
+    /// domination check skipped as known-to-fail).
+    pub warm_started: u64,
 }
 
 /// Builder for a [`Session`] — the target area and initial deployment
@@ -181,7 +191,7 @@ impl SessionBuilder {
             converged: false,
             scratches: Vec::new(),
             adjacency: Adjacency::default(),
-            adjacency_fresh: false,
+            adjacency_state: AdjacencyState::StaleFull,
             views: Vec::new(),
             views_valid: false,
             last_movers: Vec::new(),
@@ -209,10 +219,10 @@ pub struct Session {
     /// One [`RoundScratch`] per worker, reused across rounds.
     scratches: Vec<RoundScratch>,
     /// Per-round one-hop snapshot shared by every worker (synchronous
-    /// mode), rebuilt in place when positions changed.
+    /// mode), refreshed in place when positions changed.
     adjacency: Adjacency,
-    /// Whether `adjacency` still describes the current positions.
-    adjacency_fresh: bool,
+    /// How `adjacency` relates to the current positions.
+    adjacency_state: AdjacencyState,
     /// Every node's view from the most recent Phase 1 (the dirty-node
     /// index replays these for quiescent nodes).
     views: Vec<NodeView>,
@@ -302,17 +312,62 @@ impl Session {
         self.scratches.truncate(workers.max(1));
     }
 
+    /// The safe re-activation radius of a stored view: a mover outside
+    /// this ball of the node cannot have influenced — and cannot now
+    /// influence — the node's search or geometry.
+    ///
+    /// With `exact_reach` the bound is what the search *actually*
+    /// touched: every contacted node (members, relays, broadcast
+    /// accounting) lies within the recorded `contact_radius`, every
+    /// Euclidean-filter candidate within `ρ`, and an arriving node can
+    /// only join the flood by coming within one `γ` of a contacted node
+    /// — hence `max(contact_radius, ρ) + γ`. Without it, the blanket
+    /// hop-path worst case `ρ + (slack + 1)·γ` applies (the search's
+    /// `⌈ρ/γ⌉ + slack` hops of at most `γ` each).
+    fn safe_radius(&self, view: &NodeView) -> f64 {
+        if self.config.exact_reach {
+            view.contact_radius.max(view.rho) + self.config.gamma + 1e-9
+        } else {
+            view.rho + (DEFAULT_HOP_SLACK + 1) as f64 * self.config.gamma + 1e-9
+        }
+    }
+
+    /// How many leading ring-search expansions of a re-activated node
+    /// may skip their domination checks: stage `j` explores at most
+    /// `hop_budget(ρ_j)·γ` from the node (one extra `γ` of margin is
+    /// granted for arrivals), so while that sphere stays strictly inside
+    /// the distance to the nearest mover, the stage's inputs are exactly
+    /// what they were when the stored search evaluated it — and its
+    /// check failed then. The terminating stage is never skipped.
+    fn warm_skip_for(&self, view: &NodeView, clearance: f64) -> u32 {
+        let gamma = self.config.gamma;
+        let max_skip = view.rho_stages.saturating_sub(1);
+        let mut skip = 0usize;
+        let mut rho = 0.0;
+        while skip < max_skip {
+            rho += gamma;
+            let hops = hop_budget(rho, gamma, DEFAULT_HOP_SLACK);
+            if (hops as f64 + 1.0) * gamma + 1e-9 >= clearance {
+                break;
+            }
+            skip += 1;
+        }
+        skip as u32
+    }
+
     /// Classifies this round's work for the dirty-node index.
     ///
     /// A stored view may be replayed only if *no* node that the previous
-    /// search could have contacted has moved. The search's multi-hop BFS
-    /// grants `⌈ρ/γ⌉ + slack` hops of at most `γ` each, so everything it
-    /// ever contacted — members, relays, and the broadcast accounting —
-    /// lies within `ρ + (slack + 1)·γ` of the node; a mover is relevant
-    /// if its old *or* new position falls inside that ball (leaving
-    /// changes membership as surely as arriving). The classification
-    /// runs serially before the parallel fan-out, so it is identical for
-    /// every worker count.
+    /// search could have contacted has moved; [`Session::safe_radius`]
+    /// bounds that sphere of influence per node, and a mover is relevant
+    /// if its old *or* new position falls inside it (leaving changes
+    /// membership as surely as arriving). Movers are probed through a
+    /// spatial index over the round's movement endpoints, so the
+    /// classification costs `O(N + M)` plus the local candidates rather
+    /// than `O(N·M)`. For each re-activated node the distance to its
+    /// nearest mover is also recorded — the clearance the ρ warm start
+    /// feeds on. The classification runs serially before the parallel
+    /// fan-out, so it is identical for every worker count.
     fn classify_dirty(&self) -> DirtyClass {
         let n = self.net.len();
         if !self.dirty_skip_active() || !self.views_valid || self.views.len() != n {
@@ -322,31 +377,93 @@ impl Session {
             return DirtyClass::AllClean;
         }
         // With a large mover set nearly everything is dirty anyway;
-        // skip the O(N·M) classification. Purely a work heuristic —
-        // recomputing a clean node reproduces its stored view exactly.
+        // skip the classification. Purely a work heuristic — recomputing
+        // a clean node reproduces its stored view exactly.
         if self.last_movers.len() * 4 >= n {
             return DirtyClass::AllDirty;
         }
-        let pad = (DEFAULT_HOP_SLACK + 1) as f64 * self.config.gamma + 1e-9;
-        let mut dirty = vec![false; n];
-        for m in &self.last_movers {
-            dirty[m.id.index()] = true;
+        let warm_on = self.config.warm_start;
+        let endpoints: Vec<Point> = self
+            .last_movers
+            .iter()
+            .flat_map(|m| [m.from, m.to])
+            .collect();
+        // One grid over the movement endpoints, celled at the largest
+        // safe radius so every per-node probe touches at most 9 cells.
+        let mut max_safe = self.config.gamma;
+        for view in &self.views {
+            max_safe = max_safe.max(self.safe_radius(view));
         }
-        for (i, flag) in dirty.iter_mut().enumerate() {
-            if *flag {
-                continue;
+        let grid = SpatialGrid::build(&endpoints, max_safe);
+        let mut mask = vec![false; n];
+        let mut warm = vec![0u32; n];
+        for m in &self.last_movers {
+            mask[m.id.index()] = true;
+        }
+        // A clearance at or below the first expansion's sphere of
+        // influence can never earn a warm skip, so the nearest-mover
+        // probe may stop refining there (or anywhere, with the warm
+        // start off) — the verdicts are identical to an exact scan of
+        // every mover.
+        let gamma = self.config.gamma;
+        let stage1_ball = (hop_budget(gamma, gamma, DEFAULT_HOP_SLACK) as f64 + 1.0) * gamma + 1e-9;
+        // Bounding box of the endpoint cloud: a node farther from the box
+        // than its safe radius provably has no mover in range — the
+        // common case under a localized disturbance — and skips the grid
+        // probe entirely.
+        let bb = laacad_geom::Aabb::from_points(endpoints.iter().copied())
+            .expect("movement set is non-empty");
+        let (bb_min, bb_max) = (bb.min(), bb.max());
+        for i in 0..n {
+            if mask[i] {
+                continue; // movers always recompute, cold
             }
             let p = self.net.position(NodeId(i));
-            let safe = self.views[i].rho + pad;
-            if self
-                .last_movers
-                .iter()
-                .any(|m| m.from.distance(p) <= safe || m.to.distance(p) <= safe)
-            {
-                *flag = true;
+            let safe = self.safe_radius(&self.views[i]);
+            let dx = (bb_min.x - p.x).max(p.x - bb_max.x).max(0.0);
+            let dy = (bb_min.y - p.y).max(p.y - bb_max.y).max(0.0);
+            if dx * dx + dy * dy > safe * safe {
+                continue;
+            }
+            let stop_below = if warm_on { stage1_ball.min(safe) } else { safe };
+            let clearance = grid.min_distance_within(&endpoints, p, safe, stop_below);
+            if clearance <= safe {
+                mask[i] = true;
+                if warm_on {
+                    warm[i] = self.warm_skip_for(&self.views[i], clearance);
+                }
             }
         }
-        DirtyClass::Partial(dirty)
+        DirtyClass::Partial(PartialDirty { mask, warm })
+    }
+
+    /// Brings the shared adjacency snapshot up to date with the current
+    /// positions: a no-op when fresh, a move-delta patch when the exact
+    /// movement set since it was fresh is known (and small enough to be
+    /// worth it), a full rebuild otherwise.
+    fn refresh_adjacency(&mut self) {
+        let n = self.net.len();
+        match self.adjacency_state {
+            AdjacencyState::Fresh => return,
+            AdjacencyState::StaleMoves
+                if self.config.incremental_index
+                    && self.adjacency.len() == n
+                    && self.last_movers.len() * 4 < n =>
+            {
+                self.adjacency.apply_moves(
+                    &self.net,
+                    self.last_movers
+                        .iter()
+                        .map(|m| (m.id.index(), m.from, m.to)),
+                );
+                self.counters.adjacency_incremental_updates += 1;
+            }
+            _ => {
+                self.adjacency.rebuild(&self.net);
+                self.counters.adjacency_rebuilds += 1;
+            }
+        }
+        self.adjacency_state = AdjacencyState::Fresh;
     }
 
     /// Executes one round of Algorithm 1, records it, and returns the
@@ -376,38 +493,39 @@ impl Session {
         let rho_changed;
         let mut ring_searches = 0usize;
         let mut cache_hits = 0usize;
+        let mut warm_started = 0u64;
         if matches!(dirty, DirtyClass::AllClean) {
             // Fully quiescent round: no movement anywhere since the
             // stored views were computed — replay them wholesale. No
-            // adjacency rebuild, no searches, no geometry.
+            // adjacency refresh, no searches, no geometry.
             views = std::mem::take(&mut self.views);
             rho_changed = 0;
         } else {
             self.ensure_scratches(self.workers());
-            if !self.adjacency_fresh {
-                self.adjacency.rebuild(&self.net);
-                self.adjacency_fresh = true;
-            }
+            self.refresh_adjacency();
             let (net, region, config) = (&self.net, &self.region, &self.config);
             let (round, adjacency) = (self.round, &self.adjacency);
             let old_views = &self.views;
-            let mask = match &dirty {
-                DirtyClass::Partial(mask) => Some(mask.as_slice()),
+            let partial = match &dirty {
+                DirtyClass::Partial(partial) => Some(partial),
                 _ => None,
             };
             views = parallel_map_scratched(&mut self.scratches, n, |scratch, i| {
-                if let Some(mask) = mask {
-                    if !mask[i] {
+                let mut warm_skip = 0usize;
+                if let Some(partial) = partial {
+                    if !partial.mask[i] {
                         return old_views[i];
                     }
+                    warm_skip = partial.warm[i] as usize;
                 }
-                compute_node_view(
+                compute_node_view_warm(
                     net,
                     Some(adjacency),
                     NodeId(i),
                     region,
                     config,
                     round,
+                    warm_skip,
                     scratch,
                 )
             });
@@ -423,14 +541,17 @@ impl Session {
             // Work accounting: skipped nodes replayed a stored view; the
             // rest ran a ring search and either hit or missed the cache.
             for (i, view) in views.iter().enumerate() {
-                let computed = match &dirty {
-                    DirtyClass::Partial(mask) => mask[i],
-                    _ => true,
+                let computed = match partial {
+                    Some(partial) => partial.mask[i],
+                    None => true,
                 };
                 if computed {
                     ring_searches += 1;
                     if view.cache_hit {
                         cache_hits += 1;
+                    }
+                    if partial.is_some_and(|partial| partial.warm[i] > 0) {
+                        warm_started += 1;
                     }
                 }
             }
@@ -470,8 +591,13 @@ impl Session {
             }
         }
         if !moved.is_empty() {
-            self.adjacency_fresh = false;
+            // The snapshot was fresh for this round's Phase 1 (or the
+            // round was quiescent, in which case `moved` is empty), so
+            // the round's movement set is the exact delta to patch it
+            // with next round.
+            self.adjacency_state = AdjacencyState::StaleMoves;
         }
+        self.counters.warm_started += warm_started;
         self.views = views;
         self.views_valid = self.dirty_skip_active();
         self.last_movers.clear();
@@ -546,7 +672,9 @@ impl Session {
             n
         };
         if !moved.is_empty() {
-            self.adjacency_fresh = false;
+            // Gauss–Seidel rounds never refresh the snapshot mid-sweep,
+            // so no recorded delta relates it to the final positions.
+            self.adjacency_state = AdjacencyState::StaleFull;
         }
         self.views = views;
         self.views_valid = false;
@@ -754,13 +882,74 @@ impl Session {
         self.views.clear();
         self.views_valid = false;
         self.last_movers.clear();
-        self.adjacency_fresh = false;
+        self.adjacency_state = AdjacencyState::StaleFull;
         self.event_log.push((record, outcome));
         if self.config.snapshot_every.is_some() {
             self.history
                 .push_snapshot(self.round, self.net.positions().to_vec());
         }
         Ok(outcome)
+    }
+
+    /// Displaces the listed nodes to explicit in-region positions between
+    /// rounds — external disturbance (wind, collisions, a robot nudging
+    /// sensors) as opposed to the algorithm's own Phase-2 motion.
+    ///
+    /// Unlike [`Session::apply_event`], a displacement does **not**
+    /// invalidate the engine's stored per-node views wholesale: the moved
+    /// nodes enter the next round's movement set exactly like Phase-2
+    /// movers, so the dirty-node classifier re-activates only the
+    /// perturbed neighborhood and the rest of the deployment keeps its
+    /// fast path. Odometry is charged like any other movement, and the
+    /// convergence latch resets when anything actually moved.
+    ///
+    /// Returns the number of nodes whose position changed (entries whose
+    /// target equals the current position are no-ops).
+    ///
+    /// # Errors
+    ///
+    /// * [`LaacadError::UnknownNode`] — an id outside the population;
+    /// * [`LaacadError::NodeOutsideRegion`] — a target outside the area
+    ///   (indexed by position in `moves`).
+    ///
+    /// Validation happens up front; failures leave the session untouched.
+    pub fn displace_nodes(&mut self, moves: &[(NodeId, Point)]) -> Result<usize, LaacadError> {
+        let n = self.net.len();
+        for (i, &(id, target)) in moves.iter().enumerate() {
+            if id.index() >= n {
+                return Err(LaacadError::UnknownNode { id: id.index(), n });
+            }
+            if !self.region.contains(target) {
+                return Err(LaacadError::NodeOutsideRegion { index: i });
+            }
+        }
+        let mut displaced = 0;
+        for &(id, target) in moves {
+            let from = self.net.position(id);
+            if from == target {
+                continue;
+            }
+            // Appending (not replacing) keeps `last_movers` the exact
+            // movement set since the stored views were computed, which is
+            // what the dirty classifier replays against.
+            self.last_movers.push(MovedNode {
+                id,
+                from,
+                to: target,
+            });
+            displaced += 1;
+        }
+        if displaced > 0 {
+            self.net.apply_displacements(moves);
+            // A fresh (or move-delta-patchable) snapshot stays patchable:
+            // the displacements were appended to `last_movers`, keeping
+            // it the exact delta since the snapshot was fresh.
+            if self.adjacency_state == AdjacencyState::Fresh {
+                self.adjacency_state = AdjacencyState::StaleMoves;
+            }
+            self.converged = false;
+        }
+        Ok(displaced)
     }
 
     /// Recomputes every node's dominating region at the final positions
@@ -781,10 +970,7 @@ impl Session {
             }
         } else {
             self.ensure_scratches(self.workers());
-            if !self.adjacency_fresh {
-                self.adjacency.rebuild(&self.net);
-                self.adjacency_fresh = true;
-            }
+            self.refresh_adjacency();
             let (net, region, config) = (&self.net, &self.region, &self.config);
             let (round, adjacency) = (self.round, &self.adjacency);
             let radii = parallel_map_scratched(&mut self.scratches, n, |scratch, i| {
@@ -842,8 +1028,31 @@ enum DirtyClass {
     /// No movement since the stored views were computed: every node
     /// replays its view.
     AllClean,
-    /// Per-node flags (`true` = recompute).
-    Partial(Vec<bool>),
+    /// Per-node verdicts.
+    Partial(PartialDirty),
+}
+
+/// The per-node verdicts of a partially-active round.
+#[derive(Debug, Clone)]
+struct PartialDirty {
+    /// `true` = recompute, `false` = replay the stored view.
+    mask: Vec<bool>,
+    /// Warm-start stage skips for re-activated nodes (0 = cold search;
+    /// always 0 for movers and with `warm_start` off).
+    warm: Vec<u32>,
+}
+
+/// How the shared adjacency snapshot relates to the current positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdjacencyState {
+    /// Describes the current positions.
+    Fresh,
+    /// Stale, but `Session::last_movers` is the exact movement set since
+    /// it was fresh — patchable via [`Adjacency::apply_moves`].
+    StaleMoves,
+    /// Stale beyond patching (construction, events, Gauss–Seidel
+    /// sweeps): only a full rebuild helps.
+    StaleFull,
 }
 
 /// Per-round work accounting handed to [`Session::finish_round`].
@@ -1112,6 +1321,78 @@ mod tests {
         let delta = sim.step();
         assert_eq!(delta.ring_searches, 14);
         assert_eq!(delta.skipped_quiescent, 0);
+    }
+
+    #[test]
+    fn displacement_reactivates_locally_without_invalidating_views() {
+        let region = Region::square(1.0).unwrap();
+        let config = LaacadConfig::builder(1)
+            .transmission_range(0.12)
+            .alpha(0.6)
+            .epsilon(1e-3)
+            .max_rounds(600)
+            .build()
+            .unwrap();
+        let initial = sample_uniform(&region, 200, 77);
+        let mut sim = Session::builder(config)
+            .region(region)
+            .positions(initial)
+            .build()
+            .unwrap();
+        while !sim.step().report.converged {}
+        sim.step();
+        let mover = NodeId(7);
+        let from = sim.network().position(mover);
+        let target = Point::new(from.x * 0.97 + 0.015, from.y * 0.97 + 0.015);
+        assert_eq!(sim.displace_nodes(&[(mover, target)]).unwrap(), 1);
+        assert_eq!(sim.network().position(mover), target);
+        assert!(!sim.is_converged(), "displacement resets the latch");
+        let before = sim.counters();
+        let delta = sim.step();
+        // Only the perturbed neighborhood re-activates — not everyone —
+        // and the adjacency snapshot is patched, not rebuilt.
+        assert!(delta.ring_searches > 0);
+        assert!(
+            delta.ring_searches < sim.network().len() / 2,
+            "a single nudge re-activated {} of {} nodes",
+            delta.ring_searches,
+            sim.network().len()
+        );
+        let after = sim.counters();
+        assert_eq!(after.adjacency_rebuilds, before.adjacency_rebuilds);
+        assert_eq!(
+            after.adjacency_incremental_updates,
+            before.adjacency_incremental_updates + 1
+        );
+    }
+
+    #[test]
+    fn displacement_validation_is_atomic() {
+        let region = Region::square(1.0).unwrap();
+        let mut sim = session(
+            quick_config(1, 10),
+            region,
+            vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)],
+        );
+        assert!(matches!(
+            sim.displace_nodes(&[(NodeId(5), Point::new(0.5, 0.5))]),
+            Err(LaacadError::UnknownNode { id: 5, n: 2 })
+        ));
+        assert!(matches!(
+            sim.displace_nodes(&[
+                (NodeId(0), Point::new(0.4, 0.4)),
+                (NodeId(1), Point::new(5.0, 5.0)),
+            ]),
+            Err(LaacadError::NodeOutsideRegion { index: 1 })
+        ));
+        // Nothing moved.
+        assert_eq!(sim.network().position(NodeId(0)), Point::new(0.2, 0.2));
+        // A no-op displacement (target == current) moves nothing.
+        assert_eq!(
+            sim.displace_nodes(&[(NodeId(0), Point::new(0.2, 0.2))])
+                .unwrap(),
+            0
+        );
     }
 
     #[test]

@@ -12,9 +12,11 @@ use laacad_region::Region;
 use laacad_wsn::NodeId;
 
 /// Runs 310 synchronous rounds (stepping straight through convergence
-/// plateaus) with mid-run failures, insertions and a k change, and
-/// returns every observable artifact as a byte-comparable string.
-fn run_fingerprint(cache: bool, dirty_skip: bool, threads: usize) -> String {
+/// plateaus) with mid-run failures, insertions, displacements and a k
+/// change, and returns every observable artifact as a byte-comparable
+/// string. `active_set` toggles the PR-5 trio (exact reach, warm start,
+/// incremental adjacency) as one axis.
+fn run_fingerprint(cache: bool, dirty_skip: bool, active_set: bool, threads: usize) -> String {
     let region = Region::square(1.0).unwrap();
     let n = 48;
     let k = 2;
@@ -27,6 +29,9 @@ fn run_fingerprint(cache: bool, dirty_skip: bool, threads: usize) -> String {
         .threads(threads)
         .cache(cache)
         .dirty_skip(dirty_skip)
+        .exact_reach(active_set)
+        .warm_start(active_set)
+        .incremental_index(active_set)
         .build()
         .unwrap();
     let initial = sample_uniform(&region, n, 7777);
@@ -44,6 +49,11 @@ fn run_fingerprint(cache: bool, dirty_skip: bool, threads: usize) -> String {
                 (0..8).map(|i| NodeId(i * 5)).collect(),
             ))
             .unwrap();
+        }
+        if round == 140 {
+            let p = sim.network().position(NodeId(2));
+            sim.displace_nodes(&[(NodeId(2), Point::new(p.x * 0.9 + 0.05, p.y * 0.9 + 0.05))])
+                .unwrap();
         }
         if round == 180 {
             sim.apply_event(NetworkEvent::InsertNodes(vec![
@@ -73,21 +83,25 @@ fn run_fingerprint(cache: bool, dirty_skip: bool, threads: usize) -> String {
 
 #[test]
 fn cached_and_uncached_histories_are_byte_identical_across_threads() {
-    let reference = run_fingerprint(false, false, 1);
+    let reference = run_fingerprint(false, false, false, 1);
     assert!(reference.contains("rounds="));
-    for (cache, dirty, threads) in [
-        (true, false, 1),
-        (false, false, 4),
-        (true, false, 4),
-        (true, true, 1),
-        (false, true, 1),
-        (true, true, 4),
+    for (cache, dirty, active_set, threads) in [
+        (true, false, false, 1),
+        (false, false, false, 4),
+        (true, false, false, 4),
+        (true, true, false, 1),
+        (false, true, false, 1),
+        (true, true, false, 4),
+        (true, true, true, 1),
+        (false, true, true, 1),
+        (true, true, true, 4),
+        (true, false, true, 4),
     ] {
-        let other = run_fingerprint(cache, dirty, threads);
+        let other = run_fingerprint(cache, dirty, active_set, threads);
         assert!(
             reference == other,
-            "cache={cache} dirty_skip={dirty} threads={threads} diverged from the \
-             uncached serial history"
+            "cache={cache} dirty_skip={dirty} active_set={active_set} threads={threads} \
+             diverged from the uncached serial history"
         );
     }
 }

@@ -1,9 +1,13 @@
-//! The dirty-node index must be invisible in the results: a node is
-//! skipped only when nothing its previous search could have contacted
-//! moved, so a dynamic-event run (failures + churn) must produce
-//! byte-identical histories with dirty tracking on or off, at any
-//! worker count — while quiescent rounds demonstrably perform **zero**
-//! ring searches when the index is on.
+//! The dirty-node index — and the PR-5 active-set machinery layered on
+//! it (exact reach radii, ρ warm start, incremental adjacency) — must be
+//! invisible in the results: a node is skipped only when nothing its
+//! previous search could have contacted moved, a warm-started search
+//! skips only checks whose inputs are provably unchanged, and the
+//! patched adjacency snapshot is bit-identical to a rebuilt one. A
+//! dynamic-event run (failures + churn + displacements) must therefore
+//! produce byte-identical histories with any combination of the knobs on
+//! or off, at any worker count — while quiescent rounds demonstrably
+//! perform **zero** ring searches when the index is on.
 
 use laacad::{LaacadConfig, NetworkEvent, Session};
 use laacad_geom::Point;
@@ -11,7 +15,16 @@ use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
 use laacad_wsn::NodeId;
 
-fn build(n: usize, k: usize, dirty_skip: bool, threads: usize) -> Session {
+/// The PR-5 knob triple `(exact_reach, warm_start, incremental_index)`.
+type ActiveSetKnobs = (bool, bool, bool);
+
+fn build_with(
+    n: usize,
+    k: usize,
+    dirty_skip: bool,
+    threads: usize,
+    knobs: ActiveSetKnobs,
+) -> Session {
     let region = Region::square(1.0).unwrap();
     let config = LaacadConfig::builder(k)
         .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
@@ -21,6 +34,9 @@ fn build(n: usize, k: usize, dirty_skip: bool, threads: usize) -> Session {
         .snapshot_every(40)
         .threads(threads)
         .dirty_skip(dirty_skip)
+        .exact_reach(knobs.0)
+        .warm_start(knobs.1)
+        .incremental_index(knobs.2)
         .build()
         .unwrap();
     let initial = sample_uniform(&region, n, 31337);
@@ -31,11 +47,16 @@ fn build(n: usize, k: usize, dirty_skip: bool, threads: usize) -> Session {
         .unwrap()
 }
 
+fn build(n: usize, k: usize, dirty_skip: bool, threads: usize) -> Session {
+    build_with(n, k, dirty_skip, threads, (true, true, true))
+}
+
 /// Steps a 300-round dynamic run — a mid-run failure batch, churn
-/// (insertions), and a localized failure late — and fingerprints every
-/// observable artifact.
-fn run_fingerprint(dirty_skip: bool, threads: usize) -> String {
-    let mut sim = build(40, 2, dirty_skip, threads);
+/// (insertions), localized displacements (the partial-activity path the
+/// PR-5 knobs exist for), and a localized failure late — and
+/// fingerprints every observable artifact.
+fn run_fingerprint(dirty_skip: bool, threads: usize, knobs: ActiveSetKnobs) -> String {
+    let mut sim = build_with(40, 2, dirty_skip, threads, knobs);
     for round in 1..=300usize {
         sim.step();
         if round == 80 {
@@ -43,6 +64,20 @@ fn run_fingerprint(dirty_skip: bool, threads: usize) -> String {
                 (0..7).map(|i| NodeId(i * 5)).collect(),
             ))
             .unwrap();
+        }
+        if round == 120 || round == 250 {
+            // External disturbance: nudge a handful of nodes without
+            // invalidating the stored views — the round after this is a
+            // genuinely partially-active round.
+            let nudged: Vec<(NodeId, Point)> = [1usize, 8, 15]
+                .iter()
+                .filter(|&&i| i < sim.network().len())
+                .map(|&i| {
+                    let p = sim.network().position(NodeId(i));
+                    (NodeId(i), Point::new(p.x * 0.95 + 0.02, p.y * 0.95 + 0.02))
+                })
+                .collect();
+            sim.displace_nodes(&nudged).unwrap();
         }
         if round == 150 {
             sim.apply_event(NetworkEvent::InsertNodes(vec![
@@ -74,16 +109,91 @@ fn run_fingerprint(dirty_skip: bool, threads: usize) -> String {
 
 #[test]
 fn dynamic_event_run_is_byte_identical_with_dirty_tracking_on_or_off() {
-    let reference = run_fingerprint(false, 1);
+    // Reference: every optimization off, serial.
+    let reference = run_fingerprint(false, 1, (false, false, false));
     assert!(reference.contains("positions="));
-    for (dirty_skip, threads) in [(true, 1), (false, 4), (true, 4)] {
-        let other = run_fingerprint(dirty_skip, threads);
+    for (dirty_skip, threads, knobs) in [
+        (true, 1, (false, false, false)),
+        (false, 4, (false, false, false)),
+        (true, 4, (false, false, false)),
+        // PR-5 knobs, individually and together, serial and parallel.
+        (true, 1, (true, false, false)),
+        (true, 1, (false, true, false)),
+        (true, 1, (false, false, true)),
+        (true, 1, (true, true, true)),
+        (true, 4, (true, true, true)),
+        // Knobs without the dirty index (incremental adjacency still
+        // bites; exact reach and warm start are inert).
+        (false, 1, (true, true, true)),
+    ] {
+        let other = run_fingerprint(dirty_skip, threads, knobs);
         assert!(
             reference == other,
-            "dirty_skip={dirty_skip} threads={threads} diverged from the \
-             tracking-off serial history"
+            "dirty_skip={dirty_skip} threads={threads} knobs={knobs:?} diverged \
+             from the everything-off serial history"
         );
     }
+}
+
+#[test]
+fn single_mover_reactivates_a_strict_subset_under_exact_reach() {
+    // One displaced node after convergence: the exact-reach classifier
+    // must re-activate strictly fewer nodes than the blanket
+    // `ρ + (slack+1)γ` radius — its per-node radius is never larger —
+    // while the deployment output stays byte-identical.
+    let run = |exact_reach: bool| {
+        let region = Region::square(1.0).unwrap();
+        let config = LaacadConfig::builder(1)
+            .transmission_range(0.12)
+            .alpha(0.6)
+            .epsilon(1e-3)
+            .max_rounds(600)
+            .exact_reach(exact_reach)
+            .warm_start(false)
+            .incremental_index(false)
+            .build()
+            .unwrap();
+        let initial = sample_uniform(&region, 200, 77);
+        let mut sim = Session::builder(config)
+            .region(region)
+            .positions(initial)
+            .build()
+            .unwrap();
+        for _ in 0..600 {
+            if sim.step().report.converged {
+                break;
+            }
+        }
+        assert!(sim.is_converged(), "dense 200-node run converges");
+        sim.step(); // stored views now describe the final positions
+        let mover = NodeId(42);
+        let p = sim.network().position(mover);
+        let target = Point::new(p.x * 0.98 + 0.01, p.y * 0.98 + 0.01);
+        assert_eq!(sim.displace_nodes(&[(mover, target)]).unwrap(), 1);
+        let delta = sim.step();
+        let n = sim.network().len();
+        let fingerprint = format!(
+            "{:?}|{:?}",
+            sim.network().positions(),
+            sim.network()
+                .nodes()
+                .iter()
+                .map(|nd| nd.sensing_radius())
+                .collect::<Vec<_>>()
+        );
+        (delta.ring_searches, n, fingerprint)
+    };
+    let (searches_exact, n, fp_exact) = run(true);
+    let (searches_blanket, _, fp_blanket) = run(false);
+    assert_eq!(fp_exact, fp_blanket, "deployments diverged");
+    assert!(
+        searches_exact < searches_blanket,
+        "exact reach must re-activate a strict subset: {searches_exact} vs {searches_blanket}"
+    );
+    assert!(
+        searches_blanket < n,
+        "a single mover must not re-activate the whole deployment"
+    );
 }
 
 #[test]

@@ -81,6 +81,81 @@ fn legacy_hooks_run_through_the_observer_adapter() {
     assert_eq!(sim.network().len(), 11);
 }
 
+/// A legacy hook that tallies the movement counters it observes.
+struct MoveTally {
+    rounds: usize,
+    nodes_moved: usize,
+}
+
+impl RoundHook for MoveTally {
+    fn after_round(&mut self, _sim: &mut Session, report: &RoundReport) -> HookAction {
+        self.rounds += 1;
+        self.nodes_moved += report.nodes_moved;
+        HookAction::Default
+    }
+}
+
+#[test]
+fn legacy_hooks_observe_incremental_index_movement_sets() {
+    // The active-set engine (incremental adjacency, dirty classifier)
+    // must not change what legacy observers see: the movement counters a
+    // `RoundHook` tallies through the shim must match both the recorded
+    // history and an identical run with the whole active-set machinery
+    // disabled.
+    let run = |active: bool| {
+        let region = Region::square(1.0).unwrap();
+        let mut config = LaacadConfig::builder(1)
+            .transmission_range(0.35)
+            .alpha(0.6)
+            .epsilon(2e-3)
+            .max_rounds(120)
+            .build()
+            .unwrap();
+        config.exact_reach = active;
+        config.warm_start = active;
+        config.incremental_index = active;
+        config.dirty_skip = active;
+        let initial = sample_uniform(&region, 20, 12);
+        let mut sim = Laacad::new(config, region, initial).unwrap();
+        // An external displacement mid-run makes the engine exercise the
+        // move-delta index path while the legacy hook watches.
+        struct NudgeOnce(bool);
+        impl RoundHook for NudgeOnce {
+            fn after_round(&mut self, sim: &mut Session, report: &RoundReport) -> HookAction {
+                if !self.0 && report.round == 4 {
+                    let p = sim.network().position(NodeId(2));
+                    sim.displace_nodes(&[(
+                        NodeId(2),
+                        laacad_geom::Point::new(p.x * 0.9 + 0.05, p.y * 0.9 + 0.05),
+                    )])
+                    .unwrap();
+                    self.0 = true;
+                }
+                HookAction::Default
+            }
+        }
+        let mut tally = MoveTally {
+            rounds: 0,
+            nodes_moved: 0,
+        };
+        let mut nudge = NudgeOnce(false);
+        sim.run_with_hooks(&mut [&mut nudge, &mut tally]);
+        assert!(nudge.0, "the displacement fired");
+        let from_history: usize = sim.history().rounds().iter().map(|r| r.nodes_moved).sum();
+        assert_eq!(
+            tally.nodes_moved, from_history,
+            "hook-observed movement diverged from the recorded history"
+        );
+        (tally.rounds, tally.nodes_moved)
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "legacy hooks must observe identical movement sets with the \
+         active-set engine on or off"
+    );
+}
+
 #[test]
 fn shim_exposes_the_session_for_incremental_migration() {
     let region = Region::square(1.0).unwrap();

@@ -22,7 +22,7 @@
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Resolves a `threads` knob (`0` = auto) against the machine and an
 /// upper bound from the workload size.
@@ -62,39 +62,111 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    // One scheduler serves both entry points: this is the visiting map
+    // with a no-op sink.
+    parallel_map_visit(threads, inputs, f, |_, _| {})
+}
+
+/// [`parallel_map_with`] that additionally **visits every result in
+/// input order as soon as its ordered prefix completes** — the substrate
+/// for streaming consumers (e.g. a campaign runner flushing result rows
+/// to disk while later cells are still running).
+///
+/// Workers claim inputs exactly as in [`parallel_map_with`]; the calling
+/// thread drains finished results in input order and hands each to
+/// `visit(index, &result)` before the full map is done. `visit` runs on
+/// the calling thread, outside any lock, strictly in input order — so a
+/// sequential sink (a file writer) needs no synchronization of its own.
+/// The returned vector is identical to [`parallel_map_with`]'s.
+pub fn parallel_map_visit<T, R, F, V>(threads: usize, inputs: Vec<T>, f: F, mut visit: V) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    V: FnMut(usize, &R),
+{
     let n = inputs.len();
     let workers = resolve_workers(threads, n);
     if workers <= 1 {
-        return inputs.into_iter().map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in inputs.into_iter().enumerate() {
+            let result = f(item);
+            visit(i, &result);
+            out.push(result);
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let live = AtomicUsize::new(workers);
     let inputs: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let ready = Condvar::new();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                // Wake the draining thread when this worker exits for
+                // *any* reason — a panic in `f` included — so it can
+                // notice the missing result instead of waiting forever
+                // (the scope join then propagates the panic). Taking the
+                // slot lock before notifying closes the race against a
+                // drainer that just checked `live` and is about to wait.
+                struct ExitSignal<'a, R> {
+                    live: &'a AtomicUsize,
+                    slots: &'a Mutex<Vec<Option<R>>>,
+                    ready: &'a Condvar,
                 }
-                let item = inputs[i]
-                    .lock()
-                    .expect("input mutex")
-                    .take()
-                    .expect("each index is claimed once");
-                let result = f(item);
-                *slots[i].lock().expect("slot mutex") = Some(result);
+                impl<R> Drop for ExitSignal<'_, R> {
+                    fn drop(&mut self) {
+                        self.live.fetch_sub(1, Ordering::Release);
+                        drop(self.slots.lock());
+                        self.ready.notify_all();
+                    }
+                }
+                let _exit = ExitSignal {
+                    live: &live,
+                    slots: &slots,
+                    ready: &ready,
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i]
+                        .lock()
+                        .expect("input mutex")
+                        .take()
+                        .expect("each index is claimed once");
+                    let result = f(item);
+                    slots.lock().expect("slot mutex")[i] = Some(result);
+                    ready.notify_one();
+                }
             });
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot mutex")
-                .expect("every input produces a result")
-        })
-        .collect()
+        // Drain the ordered prefix on the calling thread.
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        let mut guard = slots.lock().expect("slot mutex");
+        'drain: for i in 0..n {
+            loop {
+                if let Some(result) = guard[i].take() {
+                    drop(guard);
+                    visit(i, &result);
+                    out.push(result);
+                    guard = slots.lock().expect("slot mutex");
+                    break;
+                }
+                if live.load(Ordering::Acquire) == 0 {
+                    // Every worker exited yet slot `i` is empty: a worker
+                    // panicked before producing it. Stop draining; the
+                    // scope join below re-raises the panic.
+                    break 'drain;
+                }
+                guard = ready.wait(guard).expect("slot mutex");
+            }
+        }
+        drop(guard);
+        out
+    })
 }
 
 /// Maps `f` over the index range `0..len` with one scratch value per
@@ -217,6 +289,41 @@ mod tests {
     fn scratched_map_empty_len_is_fine_without_scratches() {
         let out: Vec<u8> = parallel_map_scratched(&mut Vec::<u8>::new(), 0, |_, _| 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn visit_map_streams_in_input_order() {
+        for threads in [0usize, 1, 2, 7] {
+            let mut seen = Vec::new();
+            let out = parallel_map_visit(
+                threads,
+                (0..137).collect(),
+                |x: i64| x * 3,
+                |i, &r| {
+                    assert_eq!(r, i as i64 * 3);
+                    seen.push(i);
+                },
+            );
+            assert_eq!(out, (0..137).map(|x| x * 3).collect::<Vec<_>>());
+            assert_eq!(seen, (0..137).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    // (The scope join re-raises with its own payload, so no `expected`.)
+    #[test]
+    #[should_panic]
+    fn visit_map_propagates_worker_panics_instead_of_hanging() {
+        let _ = parallel_map_visit(
+            4,
+            (0..64).collect(),
+            |x: i32| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                x
+            },
+            |_, _| {},
+        );
     }
 
     #[test]

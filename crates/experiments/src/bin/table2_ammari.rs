@@ -6,46 +6,57 @@
 //! read off `R*_k`, and compute the lens deployment's node count
 //! `N*_k = 6k|A| / ((4π − 3√3) R*_k²)`. The paper's headline: the lens
 //! strategy needs ~318 nodes to match what LAACAD does with 180.
+//!
+//! Driven by the declarative spec `scenarios/table2_ammari.toml`; the
+//! campaign runner sweeps the k-grid across all cores and this thin
+//! wrapper renders the comparison table from the streamed results.
 
 use laacad_baselines::ammari::ammari_min_nodes;
-use laacad_experiments::sweep::parallel_map;
-use laacad_experiments::{markdown_table, output, runs, Csv};
-use laacad_region::Region;
+use laacad_experiments::scenarios::{self, TABLE2_AMMARI};
+use laacad_experiments::{markdown_table, output};
+use laacad_scenario::{run_campaign, RegionSpec, ResultStore};
 
 fn main() {
-    let side = 100.0;
+    let campaign = scenarios::load_campaign("table2_ammari", TABLE2_AMMARI)
+        .expect("table2_ammari spec parses");
+    let side = match &campaign.scenario.region {
+        RegionSpec::Square { side } => *side,
+        _ => panic!("table2 spec uses a square region"),
+    };
     let area = side * side;
-    let n = 180usize;
-    let ks: Vec<usize> = (3..=8).collect();
-    let results = parallel_map(ks, |k| {
-        let region = Region::square(side).expect("square area");
-        let mut params = runs::StandardRun::new(k, n, 88_000 + k as u64);
-        params.max_rounds = 300;
-        params.alpha = 0.8;
-        let (_, summary, coverage) = runs::run_laacad(&region, &params);
-        (k, summary.max_sensing_radius, coverage.covered_fraction)
-    });
+    let n = campaign.scenario.placement.node_count();
+
+    let results = run_campaign(&campaign).expect("table2 grid expands");
+    let store = ResultStore::new(output::out_dir());
+    let (jsonl, csv_path) = store
+        .write(&campaign.name, &results)
+        .expect("result store writes");
+    println!("wrote {}", output::rel(&jsonl));
+    println!("wrote {}", output::rel(&csv_path));
 
     let mut rows = Vec::new();
-    let mut csv = Csv::with_header(&["k", "r_star_m", "n_star_ammari", "covered"]);
-    for (k, r_star, covered) in results {
+    for cell in &results {
+        let outcome = match &cell.outcome {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("cell {} (k={}) failed: {e}", cell.cell.index, cell.cell.k);
+                continue;
+            }
+        };
+        let k = cell.cell.k;
+        let r_star = outcome.summary.max_sensing_radius;
         let n_star = ammari_min_nodes(area, r_star, k);
         rows.push(vec![
             k.to_string(),
             format!("{r_star:.2}"),
             format!("{n_star:.0}"),
             format!("{:.2}", n_star / n as f64),
-            format!("{:.1}%", covered * 100.0),
-        ]);
-        csv.row(&[
-            k.to_string(),
-            format!("{r_star:.4}"),
-            format!("{n_star:.1}"),
-            format!("{covered:.4}"),
+            format!("{:.1}%", outcome.coverage.covered_fraction * 100.0),
         ]);
     }
-    println!("wrote {}", output::rel(&csv.save("table2_ammari.csv")));
-    println!("\nTable II — k-coverage with 180 LAACAD nodes vs Ammari–Das lenses (100×100 m)");
+    println!(
+        "\nTable II — k-coverage with {n} LAACAD nodes vs Ammari–Das lenses ({side}×{side} m)"
+    );
     println!(
         "{}",
         markdown_table(

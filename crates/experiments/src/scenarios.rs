@@ -18,6 +18,8 @@ pub const FIG6_CONVERGENCE: &str = include_str!("../../../scenarios/fig6_converg
 pub const FIG7_ENERGY: &str = include_str!("../../../scenarios/fig7_energy.toml");
 /// Embedded copy of `scenarios/table1_minnode.toml`.
 pub const TABLE1_MINNODE: &str = include_str!("../../../scenarios/table1_minnode.toml");
+/// Embedded copy of `scenarios/table2_ammari.toml`.
+pub const TABLE2_AMMARI: &str = include_str!("../../../scenarios/table2_ammari.toml");
 /// Embedded copy of `scenarios/failure_recovery.toml`.
 pub const FAILURE_RECOVERY: &str = include_str!("../../../scenarios/failure_recovery.toml");
 
@@ -64,6 +66,7 @@ mod tests {
             ("fig6_convergence", FIG6_CONVERGENCE),
             ("fig7_energy", FIG7_ENERGY),
             ("table1_minnode", TABLE1_MINNODE),
+            ("table2_ammari", TABLE2_AMMARI),
             ("failure_recovery", FAILURE_RECOVERY),
         ] {
             let campaign = CampaignSpec::from_toml(text)

@@ -101,6 +101,26 @@ impl HalfPlane {
         self.signed_distance(p) <= EPS
     }
 
+    /// The extremes of [`HalfPlane::signed_distance`] over an
+    /// axis-aligned box: the signed distance is linear, so its minimum
+    /// and maximum are attained at the two corners selected by the
+    /// normal's component signs. Lets callers resolve a whole convex set
+    /// against the half-plane with two evaluations (any polygon inside
+    /// `bb` has every signed distance within the returned `(min, max)`).
+    #[inline]
+    pub fn signed_distance_extremes(&self, bb: &crate::Aabb) -> (f64, f64) {
+        let (lo, hi) = (bb.min(), bb.max());
+        let at_min = Point::new(
+            if self.normal.x >= 0.0 { lo.x } else { hi.x },
+            if self.normal.y >= 0.0 { lo.y } else { hi.y },
+        );
+        let at_max = Point::new(
+            if self.normal.x >= 0.0 { hi.x } else { lo.x },
+            if self.normal.y >= 0.0 { hi.y } else { lo.y },
+        );
+        (self.signed_distance(at_min), self.signed_distance(at_max))
+    }
+
     /// The boundary line, oriented with the half-plane on its left.
     pub fn boundary(&self) -> Line {
         let dir = self.normal.perp();

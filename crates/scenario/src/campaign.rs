@@ -13,8 +13,11 @@
 
 use crate::engine::{run_scenario, ScenarioOutcome};
 use crate::exec::parallel_map;
+use crate::results::ResultStore;
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::value::{decode, encode, DecodeError, Value};
+use laacad_exec::parallel_map_visit;
+use std::path::PathBuf;
 
 /// The sweep axes. Empty vectors mean "use the scenario's own value".
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -435,21 +438,61 @@ impl CampaignSpec {
 /// failures are embedded in the returned [`CellResult`]s.
 pub fn run_campaign(campaign: &CampaignSpec) -> Result<Vec<CellResult>, SpecError> {
     let cells = campaign.expand()?;
-    Ok(parallel_map(cells, |cell| {
-        let outcome = run_scenario(&cell.scenario, cell.seed);
-        CellResult {
-            cell: CellInfo {
-                index: cell.index,
-                scenario: cell.scenario.name.clone(),
-                seed: cell.seed,
-                n: cell.n,
-                k: cell.k,
-                alpha: cell.alpha,
-                gamma: cell.gamma,
-            },
-            outcome,
+    Ok(parallel_map(cells, run_cell))
+}
+
+fn run_cell(cell: CampaignCell) -> CellResult {
+    let outcome = run_scenario(&cell.scenario, cell.seed);
+    CellResult {
+        cell: CellInfo {
+            index: cell.index,
+            scenario: cell.scenario.name.clone(),
+            seed: cell.seed,
+            n: cell.n,
+            k: cell.k,
+            alpha: cell.alpha,
+            gamma: cell.gamma,
+        },
+        outcome,
+    }
+}
+
+/// [`run_campaign`] with **streaming result persistence**: every cell's
+/// JSONL line and CSV row are appended to `store`'s files — and flushed —
+/// the moment the cell (and every cell before it, to keep expansion
+/// order) completes, instead of buffering the whole grid in memory until
+/// the end. A campaign killed halfway leaves every finished row on disk;
+/// a completed one produces files **byte-identical** to
+/// [`ResultStore::write`] on the same results (pinned by the
+/// `streaming` integration test). Returns the two file paths and the
+/// full in-memory results for downstream rendering.
+///
+/// # Errors
+///
+/// Fails when the grid cannot be expanded ([`SpecError::Build`]) or a
+/// file operation fails ([`SpecError::Io`]); per-cell *run* failures are
+/// embedded in the returned [`CellResult`]s as with [`run_campaign`].
+pub fn run_campaign_streamed(
+    campaign: &CampaignSpec,
+    store: &ResultStore,
+) -> Result<(PathBuf, PathBuf, Vec<CellResult>), SpecError> {
+    let cells = campaign.expand()?;
+    let mut files = store
+        .open_stream(&campaign.name)
+        .map_err(|e| SpecError::Io(e.to_string()))?;
+    let mut write_err: Option<std::io::Error> = None;
+    let results = parallel_map_visit(0, cells, run_cell, |_, result| {
+        if write_err.is_none() {
+            if let Err(e) = files.append(result) {
+                write_err = Some(e);
+            }
         }
-    }))
+    });
+    if let Some(e) = write_err {
+        return Err(SpecError::Io(e.to_string()));
+    }
+    let (jsonl, csv) = files.into_paths();
+    Ok((jsonl, csv, results))
 }
 
 #[cfg(test)]

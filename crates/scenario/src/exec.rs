@@ -5,7 +5,7 @@
 //! the same crate). Kept as a module so existing
 //! `laacad_scenario::exec::parallel_map` callers keep working.
 
-pub use laacad_exec::{parallel_map, parallel_map_with};
+pub use laacad_exec::{parallel_map, parallel_map_visit, parallel_map_with};
 
 #[cfg(test)]
 mod tests {

@@ -69,12 +69,15 @@ pub mod spec;
 pub mod toml;
 pub mod value;
 
-pub use campaign::{run_campaign, CampaignCell, CampaignSpec, CellInfo, CellResult, ParamGrid};
+pub use campaign::{
+    run_campaign, run_campaign_streamed, CampaignCell, CampaignSpec, CellInfo, CellResult,
+    ParamGrid,
+};
 pub use engine::{
     build_scenario, recovery_metrics, run_scenario, RecoverySummary, RoundMetric, ScenarioOutcome,
 };
 pub use events::{AppliedEvent, TimelineHook};
-pub use results::{to_csv, to_jsonl, ResultStore};
+pub use results::{to_csv, to_jsonl, ResultStore, StreamingResultFiles};
 pub use spec::{
     AlgorithmSpec, EvaluationSpec, EventAction, EventSpec, PlacementSpec, RegionSpec, ScenarioSpec,
     SpecError,

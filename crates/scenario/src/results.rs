@@ -10,92 +10,103 @@ use crate::json;
 use crate::value::Value;
 use std::path::{Path, PathBuf};
 
-/// One JSONL line per cell: the cell parameters plus either the full
-/// outcome or the error that prevented it.
-pub fn to_jsonl(results: &[CellResult]) -> String {
-    let mut out = String::new();
-    for r in results {
-        let mut line = Value::table();
-        line.insert("index", Value::Int(r.cell.index as i64));
-        line.insert("scenario", Value::Str(r.cell.scenario.clone()));
-        line.insert("seed", Value::Int(r.cell.seed as i64));
-        line.insert("n", Value::Int(r.cell.n as i64));
-        line.insert("k", Value::Int(r.cell.k as i64));
-        line.insert("alpha", Value::Float(r.cell.alpha));
-        if let Some(g) = r.cell.gamma {
-            line.insert("gamma", Value::Float(g));
-        }
-        match &r.outcome {
-            Ok(outcome) => line.insert("outcome", outcome.to_value()),
-            Err(e) => line.insert("error", Value::Str(e.to_string())),
-        }
-        out.push_str(&json::to_string(&line));
-        out.push('\n');
+/// The CSV header row (including the trailing newline).
+pub const CSV_HEADER: &str = "index,scenario,seed,n,k,alpha,gamma,final_n,rounds,converged,\
+     max_sensing_radius,min_sensing_radius,covered_fraction,min_degree,\
+     balance_ratio,total_distance_moved,events_applied,\
+     time_to_recover,coverage_dip,error\n";
+
+/// One cell's JSONL line (including the trailing newline): the cell
+/// parameters plus either the full outcome or the error that prevented
+/// it. [`to_jsonl`] is exactly these lines concatenated, which is what
+/// lets the streaming store flush rows as cells complete and still
+/// produce byte-identical files.
+pub fn jsonl_line(r: &CellResult) -> String {
+    let mut line = Value::table();
+    line.insert("index", Value::Int(r.cell.index as i64));
+    line.insert("scenario", Value::Str(r.cell.scenario.clone()));
+    line.insert("seed", Value::Int(r.cell.seed as i64));
+    line.insert("n", Value::Int(r.cell.n as i64));
+    line.insert("k", Value::Int(r.cell.k as i64));
+    line.insert("alpha", Value::Float(r.cell.alpha));
+    if let Some(g) = r.cell.gamma {
+        line.insert("gamma", Value::Float(g));
     }
+    match &r.outcome {
+        Ok(outcome) => line.insert("outcome", outcome.to_value()),
+        Err(e) => line.insert("error", Value::Str(e.to_string())),
+    }
+    let mut out = json::to_string(&line);
+    out.push('\n');
     out
 }
 
-/// Summary CSV: one row per cell with the headline metrics.
-pub fn to_csv(results: &[CellResult]) -> String {
-    let mut out = String::from(
-        "index,scenario,seed,n,k,alpha,gamma,final_n,rounds,converged,\
-         max_sensing_radius,min_sensing_radius,covered_fraction,min_degree,\
-         balance_ratio,total_distance_moved,events_applied,\
-         time_to_recover,coverage_dip,error\n",
-    );
-    for r in results {
-        let c = &r.cell;
-        // Scenario names come straight from user specs; keep the CSV
-        // grid intact whatever they contain.
-        let name = c.scenario.replace([',', '\n'], ";");
-        match &r.outcome {
-            Ok(o) => {
-                // Recovery columns summarize ONE event — the first with
-                // any recovery data — so the pair always describes the
-                // same event (full per-event detail is in the JSONL).
-                let rec = o
-                    .recovery
-                    .iter()
-                    .find(|rec| rec.coverage_dip.is_some() || rec.time_to_recover.is_some());
-                let ttr = rec
-                    .and_then(|rec| rec.time_to_recover)
-                    .map(|t| t.to_string())
-                    .unwrap_or_default();
-                let dip = rec
-                    .and_then(|rec| rec.coverage_dip)
-                    .map(|d| d.to_string())
-                    .unwrap_or_default();
-                out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
-                    c.index,
-                    name,
-                    c.seed,
-                    c.n,
-                    c.k,
-                    c.alpha,
-                    o.gamma,
-                    o.final_n,
-                    o.summary.rounds,
-                    o.summary.converged,
-                    o.summary.max_sensing_radius,
-                    o.summary.min_sensing_radius,
-                    o.coverage.covered_fraction,
-                    o.coverage.min_degree,
-                    o.balance_ratio,
-                    o.summary.total_distance_moved,
-                    o.events.len(),
-                    ttr,
-                    dip,
-                ));
-            }
-            Err(e) => {
-                let msg = e.to_string().replace([',', '\n'], ";");
-                out.push_str(&format!(
-                    "{},{},{},{},{},{},,,,,,,,,,,,,,{}\n",
-                    c.index, name, c.seed, c.n, c.k, c.alpha, msg
-                ));
-            }
+/// One JSONL line per cell — [`jsonl_line`] over every result.
+pub fn to_jsonl(results: &[CellResult]) -> String {
+    results.iter().map(jsonl_line).collect()
+}
+
+/// One cell's summary-CSV row (including the trailing newline).
+pub fn csv_row(r: &CellResult) -> String {
+    let c = &r.cell;
+    // Scenario names come straight from user specs; keep the CSV
+    // grid intact whatever they contain.
+    let name = c.scenario.replace([',', '\n'], ";");
+    match &r.outcome {
+        Ok(o) => {
+            // Recovery columns summarize ONE event — the first with
+            // any recovery data — so the pair always describes the
+            // same event (full per-event detail is in the JSONL).
+            let rec = o
+                .recovery
+                .iter()
+                .find(|rec| rec.coverage_dip.is_some() || rec.time_to_recover.is_some());
+            let ttr = rec
+                .and_then(|rec| rec.time_to_recover)
+                .map(|t| t.to_string())
+                .unwrap_or_default();
+            let dip = rec
+                .and_then(|rec| rec.coverage_dip)
+                .map(|d| d.to_string())
+                .unwrap_or_default();
+            format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                c.index,
+                name,
+                c.seed,
+                c.n,
+                c.k,
+                c.alpha,
+                o.gamma,
+                o.final_n,
+                o.summary.rounds,
+                o.summary.converged,
+                o.summary.max_sensing_radius,
+                o.summary.min_sensing_radius,
+                o.coverage.covered_fraction,
+                o.coverage.min_degree,
+                o.balance_ratio,
+                o.summary.total_distance_moved,
+                o.events.len(),
+                ttr,
+                dip,
+            )
         }
+        Err(e) => {
+            let msg = e.to_string().replace([',', '\n'], ";");
+            format!(
+                "{},{},{},{},{},{},,,,,,,,,,,,,,{}\n",
+                c.index, name, c.seed, c.n, c.k, c.alpha, msg
+            )
+        }
+    }
+}
+
+/// Summary CSV: the header plus [`csv_row`] for every cell.
+pub fn to_csv(results: &[CellResult]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    for r in results {
+        out.push_str(&csv_row(r));
     }
     out
 }
@@ -130,6 +141,63 @@ impl ResultStore {
         let csv = self.dir.join(format!("{name}.csv"));
         std::fs::write(&csv, to_csv(results))?;
         Ok((jsonl, csv))
+    }
+
+    /// Opens both result files for **streaming**: rows are appended (and
+    /// flushed) one cell at a time as the campaign completes them, so a
+    /// long grid's results reach disk while later cells are still
+    /// running — and a killed campaign leaves every finished row behind.
+    /// The finished files are byte-identical to [`ResultStore::write`]
+    /// on the same results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_stream(&self, name: &str) -> std::io::Result<StreamingResultFiles> {
+        std::fs::create_dir_all(&self.dir)?;
+        let jsonl_path = self.dir.join(format!("{name}.jsonl"));
+        let csv_path = self.dir.join(format!("{name}.csv"));
+        let jsonl = std::fs::File::create(&jsonl_path)?;
+        let mut csv = std::fs::File::create(&csv_path)?;
+        std::io::Write::write_all(&mut csv, CSV_HEADER.as_bytes())?;
+        std::io::Write::flush(&mut csv)?;
+        Ok(StreamingResultFiles {
+            jsonl,
+            csv,
+            jsonl_path,
+            csv_path,
+        })
+    }
+}
+
+/// An open JSONL + CSV pair that [`ResultStore::open_stream`] hands out;
+/// one [`StreamingResultFiles::append`] per completed cell, flushed so
+/// the rows are durable immediately.
+#[derive(Debug)]
+pub struct StreamingResultFiles {
+    jsonl: std::fs::File,
+    csv: std::fs::File,
+    jsonl_path: PathBuf,
+    csv_path: PathBuf,
+}
+
+impl StreamingResultFiles {
+    /// Appends (and flushes) one cell's JSONL line and CSV row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, result: &CellResult) -> std::io::Result<()> {
+        use std::io::Write;
+        self.jsonl.write_all(jsonl_line(result).as_bytes())?;
+        self.jsonl.flush()?;
+        self.csv.write_all(csv_row(result).as_bytes())?;
+        self.csv.flush()
+    }
+
+    /// Closes the stream, returning `(jsonl_path, csv_path)`.
+    pub fn into_paths(self) -> (PathBuf, PathBuf) {
+        (self.jsonl_path, self.csv_path)
     }
 }
 

@@ -26,6 +26,8 @@ pub enum SpecError {
     Decode(DecodeError),
     /// The spec decoded but describes an unbuildable scenario.
     Build(String),
+    /// A result store operation failed (streaming campaign runs).
+    Io(String),
 }
 
 impl fmt::Display for SpecError {
@@ -35,6 +37,7 @@ impl fmt::Display for SpecError {
             SpecError::Json(e) => write!(f, "{e}"),
             SpecError::Decode(e) => write!(f, "{e}"),
             SpecError::Build(m) => write!(f, "cannot build scenario: {m}"),
+            SpecError::Io(m) => write!(f, "result store I/O failed: {m}"),
         }
     }
 }
@@ -380,6 +383,15 @@ pub struct AlgorithmSpec {
     /// for nodes whose ρ-neighborhood saw no movement. Results are
     /// bit-identical with the index off.
     pub dirty_skip: bool,
+    /// Exact reach radii for the dirty classifier (default on). Results
+    /// are bit-identical with the knob off.
+    pub exact_reach: bool,
+    /// ρ warm start for re-activated ring searches (default on).
+    /// Results are bit-identical with the knob off.
+    pub warm_start: bool,
+    /// Incremental adjacency-snapshot maintenance (default on). Results
+    /// are bit-identical with the knob off.
+    pub incremental_index: bool,
 }
 
 impl Default for AlgorithmSpec {
@@ -396,6 +408,9 @@ impl Default for AlgorithmSpec {
             threads: None,
             cache: true,
             dirty_skip: true,
+            exact_reach: true,
+            warm_start: true,
+            incremental_index: true,
         }
     }
 }
@@ -429,6 +444,9 @@ impl AlgorithmSpec {
         }
         builder.cache(self.cache);
         builder.dirty_skip(self.dirty_skip);
+        builder.exact_reach(self.exact_reach);
+        builder.warm_start(self.warm_start);
+        builder.incremental_index(self.incremental_index);
         builder.build().map_err(|e| SpecError::Build(e.to_string()))
     }
 
@@ -474,6 +492,10 @@ impl AlgorithmSpec {
             threads: decode::opt_usize(v, "threads", path)?,
             cache: decode::opt_bool(v, "cache", path)?.unwrap_or(d.cache),
             dirty_skip: decode::opt_bool(v, "dirty_skip", path)?.unwrap_or(d.dirty_skip),
+            exact_reach: decode::opt_bool(v, "exact_reach", path)?.unwrap_or(d.exact_reach),
+            warm_start: decode::opt_bool(v, "warm_start", path)?.unwrap_or(d.warm_start),
+            incremental_index: decode::opt_bool(v, "incremental_index", path)?
+                .unwrap_or(d.incremental_index),
         })
     }
 
@@ -524,6 +546,15 @@ impl AlgorithmSpec {
         }
         if self.dirty_skip != d.dirty_skip {
             t.insert("dirty_skip", Value::Bool(self.dirty_skip));
+        }
+        if self.exact_reach != d.exact_reach {
+            t.insert("exact_reach", Value::Bool(self.exact_reach));
+        }
+        if self.warm_start != d.warm_start {
+            t.insert("warm_start", Value::Bool(self.warm_start));
+        }
+        if self.incremental_index != d.incremental_index {
+            t.insert("incremental_index", Value::Bool(self.incremental_index));
         }
         t
     }

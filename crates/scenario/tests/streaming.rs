@@ -1,0 +1,64 @@
+//! The streaming result store must be invisible in the artifacts: a
+//! campaign streamed row-by-row to disk (flush per completed cell)
+//! produces **byte-identical** JSONL and CSV files to the buffered
+//! [`ResultStore::write`] path on the same results — and the in-memory
+//! results it returns match [`run_campaign`]'s exactly.
+
+use laacad_scenario::{
+    run_campaign, run_campaign_streamed, CampaignSpec, ResultStore, ScenarioSpec,
+};
+
+fn campaign() -> CampaignSpec {
+    let mut spec = ScenarioSpec::uniform("stream", 10, 1);
+    spec.laacad.max_rounds = 30;
+    let mut campaign = CampaignSpec::over_seeds(spec, [1, 2, 3]);
+    campaign.grid.k = vec![1, 2];
+    campaign
+}
+
+#[test]
+fn streamed_files_are_byte_identical_to_buffered_files() {
+    let campaign = campaign();
+    let buffered_dir = std::env::temp_dir().join("laacad-stream-test-buffered");
+    let streamed_dir = std::env::temp_dir().join("laacad-stream-test-streamed");
+    let _ = std::fs::remove_dir_all(&buffered_dir);
+    let _ = std::fs::remove_dir_all(&streamed_dir);
+
+    let results = run_campaign(&campaign).unwrap();
+    let (bj, bc) = ResultStore::new(&buffered_dir)
+        .write(&campaign.name, &results)
+        .unwrap();
+
+    let (sj, sc, streamed_results) =
+        run_campaign_streamed(&campaign, &ResultStore::new(&streamed_dir)).unwrap();
+
+    assert_eq!(results, streamed_results, "in-memory results diverged");
+    assert_eq!(
+        std::fs::read(&bj).unwrap(),
+        std::fs::read(&sj).unwrap(),
+        "JSONL files diverged"
+    );
+    assert_eq!(
+        std::fs::read(&bc).unwrap(),
+        std::fs::read(&sc).unwrap(),
+        "CSV files diverged"
+    );
+    let _ = std::fs::remove_dir_all(&buffered_dir);
+    let _ = std::fs::remove_dir_all(&streamed_dir);
+}
+
+#[test]
+fn streamed_rows_include_failed_cells() {
+    // A cell whose overrides cannot build reports its error through the
+    // stream exactly like the buffered path.
+    let mut campaign = campaign();
+    campaign.scenario.laacad.gamma = Some(-1.0); // invalid: every cell fails
+    let dir = std::env::temp_dir().join("laacad-stream-test-errors");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (jsonl, _, results) = run_campaign_streamed(&campaign, &ResultStore::new(&dir)).unwrap();
+    assert!(results.iter().all(|r| r.outcome.is_err()));
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    assert_eq!(text.lines().count(), results.len());
+    assert!(text.lines().all(|l| l.contains("\"error\"")));
+    let _ = std::fs::remove_dir_all(&dir);
+}

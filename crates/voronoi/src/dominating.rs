@@ -260,12 +260,19 @@ enum Classification {
     Cuts(HalfPlane),
 }
 
-fn classify(face: &[Point], tol: f64, center: Point, competitor: Point) -> Classification {
-    // Half-plane of points at least as close to the *competitor*.
-    let Some(h) = HalfPlane::closer_to(competitor, center) else {
-        // Co-located: never strictly closer anywhere.
+fn classify(face: &[Point], bb: &Aabb, tol: f64, h: &HalfPlane) -> Classification {
+    // Fast reject on the face's bounding box: the signed distance is
+    // linear, so two corner evaluations bound it over the whole face.
+    // Competitors whose bisector clearly misses the box — the common
+    // case deep in the subdivision tree — resolve without walking the
+    // vertex loop.
+    let (lo, hi) = h.signed_distance_extremes(bb);
+    if lo > tol {
         return Classification::CenterSide;
-    };
+    }
+    if hi < -tol {
+        return Classification::CompetitorSide;
+    }
     let mut any_comp = false;
     let mut any_center = false;
     for &v in face {
@@ -276,7 +283,7 @@ fn classify(face: &[Point], tol: f64, center: Point, competitor: Point) -> Class
             any_center = true;
         }
         if any_comp && any_center {
-            return Classification::Cuts(h);
+            return Classification::Cuts(*h);
         }
     }
     if any_comp {
@@ -290,11 +297,8 @@ fn classify(face: &[Point], tol: f64, center: Point, competitor: Point) -> Class
 /// bounding-box diagonal, computed once per face (every competitor of a
 /// face sees the same value, so hoisting it out of [`classify`] changes
 /// nothing but the work).
-fn classify_tol(face: &[Point]) -> f64 {
-    let diag = Aabb::from_points(face.iter().copied())
-        .expect("faces are non-empty")
-        .diagonal();
-    1e-12 * (1.0 + diag)
+fn classify_tol(bb: &Aabb) -> f64 {
+    1e-12 * (1.0 + bb.diagonal())
 }
 
 /// Reusable buffers for the bisector subdivision.
@@ -309,7 +313,12 @@ fn classify_tol(face: &[Point]) -> f64 {
 #[derive(Debug, Clone, Default)]
 pub struct SubdivisionScratch {
     stack: Vec<WorkItem>,
-    arena: Vec<Point>,
+    /// Competitor bisectors (`closer_to(competitor, center)`), computed
+    /// **once** per region computation: the bisector depends only on the
+    /// competitor and the center, so recomputing it at every tree node —
+    /// a normalization (square root) per classification — would repeat
+    /// identical work thousands of times per node view.
+    arena: Vec<HalfPlane>,
     pool: PolygonPool,
     /// Spare buffer for the legacy owned-output API.
     tmp_pieces: PieceSet,
@@ -333,7 +342,6 @@ struct WorkItem {
 
 fn subdivide(
     domain: PolygonBuf,
-    center: Point,
     budget: usize,
     scratch: &mut SubdivisionScratch,
     out: &mut PieceSet,
@@ -356,15 +364,23 @@ fn subdivide(
             lo,
             hi,
         } = item;
+        // A face with no competitors left to resolve is accepted as-is —
+        // no bounding box, no classification pass.
+        if hi == lo {
+            out.push_piece(face.vertices());
+            pool.release(face);
+            continue;
+        }
         // Resolve competitors against this face; the cutting ones become
         // the sublist for this face's children.
         let cut_lo = arena.len();
         let mut discard = false;
         let mut first_cut: Option<HalfPlane> = None;
-        let tol = classify_tol(face.vertices());
+        let bb = Aabb::from_points(face.vertices().iter().copied()).expect("faces are non-empty");
+        let tol = classify_tol(&bb);
         for j in lo..hi {
             let c = arena[j];
-            match classify(face.vertices(), tol, center, c) {
+            match classify(face.vertices(), &bb, tol, &c) {
                 Classification::CenterSide => {}
                 Classification::CompetitorSide => {
                     if budget == 0 {
@@ -502,16 +518,33 @@ pub fn dominating_region_pooled(
     assert!(k >= 1, "coverage degree k must be at least 1");
     let u = sites[center];
     scratch.arena.clear();
+    // Precompute every competitor's bisector once. Co-located sites have
+    // no bisector (`closer_to` returns `None`) and are never strictly
+    // closer anywhere — exactly the `CenterSide` verdict the per-face
+    // classification used to give them — so they are dropped up front.
     scratch.arena.extend(
         sites
             .iter()
             .enumerate()
             .filter(|&(j, _)| j != center)
-            .map(|(_, &s)| s),
+            .filter_map(|(_, &s)| HalfPlane::closer_to(s, u)),
     );
+    // Far-first split order: the signed distance of a bisector at the
+    // center is −d/2, so ascending order puts the farthest competitors
+    // first. A far bisector only shaves a rim sliver off the current
+    // face — the sliver immediately burns budget and dies, while the
+    // surviving face shrinks toward the center and lets the bounding-box
+    // fast reject retire the remaining far competitors without vertex
+    // walks. Empirically this roughly halves the subdivision tree versus
+    // input order (near-first is far worse: central bisectors cut every
+    // descendant face). Ordering affects only the work and the piece
+    // decomposition, never the region itself.
+    scratch
+        .arena
+        .sort_unstable_by(|a, b| a.signed_distance(u).total_cmp(&b.signed_distance(u)));
     let mut root = scratch.pool.acquire();
     root.copy_from(domain);
-    subdivide(root, u, k - 1, scratch, out);
+    subdivide(root, k - 1, scratch, out);
 }
 
 /// Computes `V^k_i ∩ A` for a (possibly non-convex, holed) target area by

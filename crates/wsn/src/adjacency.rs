@@ -11,9 +11,15 @@
 //! Rows are exactly [`Network::one_hop_neighbors`] (ascending ids, node
 //! itself excluded), so a BFS over the snapshot is bit-identical to one
 //! over live grid queries.
+//!
+//! Partially-active rounds need not rebuild: [`Adjacency::apply_moves`]
+//! patches the snapshot from the round's movement delta, re-querying
+//! only the rows a mover could have touched and copying every other row
+//! verbatim — bit-identical to a full [`Adjacency::rebuild`].
 
 use crate::network::Network;
 use crate::node::NodeId;
+use laacad_geom::Point;
 
 /// Compressed sparse rows of the one-hop communication graph.
 #[derive(Debug, Clone, Default)]
@@ -22,6 +28,12 @@ pub struct Adjacency {
     neighbors: Vec<u32>,
     /// Per-node query scratch reused across rebuilds.
     row: Vec<usize>,
+    /// Double-buffer spares for [`Adjacency::apply_moves`].
+    spare_offsets: Vec<u32>,
+    spare_neighbors: Vec<u32>,
+    /// Epoch-stamped affected-row marks (no `O(N)` clear per update).
+    stamp: Vec<u64>,
+    epoch: u64,
 }
 
 impl Adjacency {
@@ -45,6 +57,76 @@ impl Adjacency {
             self.offsets.push(self.neighbors.len() as u32);
         }
         self.row = row;
+    }
+
+    /// Patches the snapshot for a batch of moves `(index, old, new)` —
+    /// the move-delta update path of partially-active rounds. `net` must
+    /// hold the post-move positions and the same population the snapshot
+    /// was built for.
+    ///
+    /// A row can only change when its node moved or when a mover's old
+    /// or new position lies within one hop of it, so exactly those rows
+    /// are re-queried; every other row is copied verbatim from the
+    /// previous snapshot. The result is bit-identical to a full
+    /// [`Adjacency::rebuild`] at the same positions. Returns the number
+    /// of rows re-queried.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the snapshot's population differs from
+    /// `net`'s — incremental updates cannot span insertions or removals.
+    pub fn apply_moves(
+        &mut self,
+        net: &Network,
+        moves: impl IntoIterator<Item = (usize, Point, Point)>,
+    ) -> usize {
+        let n = net.len();
+        debug_assert_eq!(
+            self.len(),
+            n,
+            "incremental adjacency update across a population change"
+        );
+        let gamma = net.gamma();
+        self.epoch += 1;
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        let mut row = std::mem::take(&mut self.row);
+        for (i, from, to) in moves {
+            self.stamp[i] = self.epoch;
+            // The affected-row queries use the same spatial predicate as
+            // the one-hop rows themselves, so they find exactly the
+            // nodes whose row could have listed the mover (old position)
+            // or must list it now (new position).
+            for q in [from, to] {
+                net.nodes_within_into(q, gamma, &mut row);
+                for &j in &row {
+                    self.stamp[j] = self.epoch;
+                }
+            }
+        }
+        let mut offsets = std::mem::take(&mut self.spare_offsets);
+        let mut neighbors = std::mem::take(&mut self.spare_neighbors);
+        offsets.clear();
+        neighbors.clear();
+        offsets.push(0);
+        let mut requeried = 0;
+        for i in 0..n {
+            if self.stamp[i] == self.epoch {
+                requeried += 1;
+                net.one_hop_neighbors_into(NodeId(i), &mut row);
+                neighbors.extend(row.iter().map(|&j| j as u32));
+            } else {
+                neighbors.extend_from_slice(
+                    &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+                );
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        self.spare_offsets = std::mem::replace(&mut self.offsets, offsets);
+        self.spare_neighbors = std::mem::replace(&mut self.neighbors, neighbors);
+        self.row = row;
+        requeried
     }
 
     /// Number of nodes the snapshot covers.
@@ -102,5 +184,50 @@ mod tests {
     fn empty_network() {
         let adj = Adjacency::build(&Network::new(0.1));
         assert!(adj.is_empty());
+    }
+
+    #[test]
+    fn apply_moves_matches_full_rebuild() {
+        // A 7×7 grid; move a few nodes (short nudges and a long jump),
+        // patch incrementally, and compare every row with a from-scratch
+        // rebuild at the same positions.
+        let mut net = Network::from_positions(
+            0.22,
+            (0..49).map(|i| Point::new((i % 7) as f64 * 0.15, (i / 7) as f64 * 0.15)),
+        );
+        let mut adj = Adjacency::build(&net);
+        let moves = [
+            (8usize, Point::new(0.31, 0.02)), // short nudge
+            (24, Point::new(0.9, 0.9)),       // long jump across the grid
+            (40, Point::new(0.001, 0.001)),   // into the corner
+        ];
+        let mut deltas = Vec::new();
+        for &(i, target) in &moves {
+            let from = net.position(NodeId(i));
+            net.move_node(NodeId(i), target);
+            deltas.push((i, from, target));
+        }
+        let requeried = adj.apply_moves(&net, deltas.iter().copied());
+        assert!(requeried >= moves.len(), "movers themselves re-query");
+        assert!(
+            requeried < net.len(),
+            "far rows must be copied, not re-queried"
+        );
+        let fresh = Adjacency::build(&net);
+        for i in 0..net.len() {
+            assert_eq!(adj.neighbors(i), fresh.neighbors(i), "row {i}");
+        }
+        // A second batch over the patched snapshot stays exact.
+        let from = net.position(NodeId(24));
+        net.move_node(NodeId(24), Point::new(0.45, 0.47));
+        adj.apply_moves(&net, [(24, from, Point::new(0.45, 0.47))]);
+        let fresh = Adjacency::build(&net);
+        for i in 0..net.len() {
+            assert_eq!(
+                adj.neighbors(i),
+                fresh.neighbors(i),
+                "row {i} after second batch"
+            );
+        }
     }
 }

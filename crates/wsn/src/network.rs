@@ -128,6 +128,21 @@ impl Network {
         self.grid.relocate(id.0, old, target);
     }
 
+    /// Moves a batch of nodes at once, maintaining odometry and feeding
+    /// the spatial index one move-delta batch
+    /// ([`SpatialGrid::apply_moves`]) instead of per-node calls. Results
+    /// are identical to calling [`Network::move_node`] per entry.
+    pub fn apply_displacements(&mut self, moves: &[(NodeId, Point)]) {
+        let nodes = &mut self.nodes;
+        let positions = &mut self.positions;
+        self.grid.apply_moves(moves.iter().map(|&(id, target)| {
+            let old = positions[id.0];
+            nodes[id.0].move_to(target);
+            positions[id.0] = target;
+            (id.0, old, target)
+        }));
+    }
+
     /// Sets a node's sensing range.
     pub fn set_sensing_radius(&mut self, id: NodeId, r: f64) {
         self.nodes[id.0].set_sensing_radius(r);

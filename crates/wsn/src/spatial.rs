@@ -73,6 +73,58 @@ impl SpatialGrid {
             .push(i);
     }
 
+    /// Distance from `q` to the nearest indexed point within `radius`
+    /// (`f64::INFINITY` when none), with an early-exit threshold: as
+    /// soon as a point at distance `≤ stop_below` is seen, its distance
+    /// is returned without refining further.
+    ///
+    /// The contract callers may rely on: a return value `> stop_below`
+    /// is the *exact* minimum over every point within `radius`; a value
+    /// `≤ stop_below` witnesses some point at that distance (not
+    /// necessarily the closest). Unlike [`SpatialGrid::within_into`],
+    /// nothing is materialized or sorted — this is the form a
+    /// tight classification loop probes per node.
+    pub fn min_distance_within(
+        &self,
+        points: &[Point],
+        q: Point,
+        radius: f64,
+        stop_below: f64,
+    ) -> f64 {
+        let r = radius.max(0.0);
+        let lo = Self::key(q - laacad_geom::Vector::new(r, r), self.cell);
+        let hi = Self::key(q + laacad_geom::Vector::new(r, r), self.cell);
+        let r_sq = r * r + 1e-12;
+        let mut best_sq = f64::INFINITY;
+        let stop_sq = stop_below * stop_below;
+        for gx in lo.0..=hi.0 {
+            for gy in lo.1..=hi.1 {
+                if let Some(bucket) = self.buckets.get(&(gx, gy)) {
+                    for &i in bucket {
+                        let d_sq = points[i].distance_sq(q);
+                        if d_sq <= r_sq && d_sq < best_sq {
+                            best_sq = d_sq;
+                            if best_sq <= stop_sq {
+                                return best_sq.sqrt();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        best_sq.sqrt()
+    }
+
+    /// Applies a batch of moves `(index, old, new)` to the index — the
+    /// move-delta update path of partially-active rounds: only the
+    /// movers' grid cells are touched, everything else stays in place.
+    /// Equivalent to calling [`SpatialGrid::relocate`] per move.
+    pub fn apply_moves(&mut self, moves: impl IntoIterator<Item = (usize, Point, Point)>) {
+        for (i, old, new) in moves {
+            self.relocate(i, old, new);
+        }
+    }
+
     /// Moves point `i` from `old` to `new` within the index.
     pub fn relocate(&mut self, i: usize, old: Point, new: Point) {
         let ko = Self::key(old, self.cell);
@@ -175,6 +227,56 @@ mod tests {
         let mut buf = vec![999usize; 4]; // stale content must be cleared
         grid.within_into(&pts, Point::new(0.5, 0.5), 0.15, &mut buf);
         assert_eq!(buf, grid.within(&pts, Point::new(0.5, 0.5), 0.15));
+    }
+
+    #[test]
+    fn apply_moves_matches_individual_relocates() {
+        let mut pts = cloud();
+        let mut batch = SpatialGrid::build(&pts, 0.25);
+        let mut single = SpatialGrid::build(&pts, 0.25);
+        let moves = [
+            (3usize, pts[3], Point::new(0.91, 0.13)),
+            (50, pts[50], Point::new(0.05, 0.95)),
+            (99, pts[99], Point::new(0.5, 0.5)),
+        ];
+        for &(i, _, new) in &moves {
+            pts[i] = new;
+        }
+        batch.apply_moves(moves.iter().copied());
+        for &(i, old, new) in &moves {
+            single.relocate(i, old, new);
+        }
+        for &(qx, qy, r) in &[(0.5, 0.5, 0.3), (0.9, 0.1, 0.2), (0.0, 1.0, 0.4)] {
+            let q = Point::new(qx, qy);
+            assert_eq!(
+                batch.within(&pts, q, r),
+                single.within(&pts, q, r),
+                "query ({qx},{qy}) r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_distance_within_matches_brute_force() {
+        let pts = cloud();
+        let grid = SpatialGrid::build(&pts, 0.25);
+        for &(qx, qy, r) in &[(0.52, 0.47, 0.2), (1.4, 1.4, 0.3), (1.45, 0.5, 0.6)] {
+            let q = Point::new(qx, qy);
+            let got = grid.min_distance_within(&pts, q, r, 0.0);
+            let expect = pts
+                .iter()
+                .filter(|p| p.distance(q) <= r + 1e-9)
+                .map(|p| p.distance(q))
+                .fold(f64::INFINITY, f64::min);
+            if expect.is_infinite() {
+                assert!(got.is_infinite(), "({qx},{qy}) r={r}: got {got}");
+            } else {
+                assert!((got - expect).abs() < 1e-12, "({qx},{qy}) r={r}");
+            }
+        }
+        // Early exit returns a witness within the threshold.
+        let witnessed = grid.min_distance_within(&pts, Point::new(0.5, 0.5), 0.5, 0.2);
+        assert!(witnessed <= 0.2);
     }
 
     #[test]
