@@ -3,7 +3,12 @@
 //! PR-3 section (cached vs uncached steady-state rounds and
 //! allocations-per-round under a counting global allocator) and the
 //! PR-4 section: quiescent steady-state rounds under the dirty-node
-//! index, which skips every ring search once nothing moves.
+//! index, which skips every ring search once nothing moves. The PR-6
+//! section records one cold / steady / partial round at N = 10⁴ through
+//! the telemetry registry and reports the per-stage wall-clock split
+//! (classify / adjacency / ring search / geometry / move apply); smoke
+//! mode additionally guards that an installed-but-disabled
+//! [`laacad::NoopRecorder`] costs < 2% on steady-state rounds.
 //!
 //! Custom harness (not Criterion): a single round at N = 10⁴ is seconds,
 //! not microseconds, and the result must land in a machine-readable
@@ -20,7 +25,7 @@
 //! regression guard against the committed reference and the
 //! zero-geometry-allocation steady-state assertion.
 
-use laacad::{LaacadConfig, Session};
+use laacad::{LaacadConfig, NoopRecorder, Session, Stage, TelemetryRegistry};
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -129,6 +134,13 @@ const SMOKE_PARTIAL_SEARCH_FRACTION: f64 = 0.30;
 /// ring-check allocation would show up once per node, i.e. ≥ N — so a
 /// small constant bound proves the geometry hot path is allocation-free.
 const STEADY_ALLOC_CEILING: u64 = 16;
+
+/// Telemetry-overhead guard: an installed [`NoopRecorder`] must cost
+/// less than 2% wall-clock on steady-state rounds (plus a fixed timer
+/// slack so near-zero baselines don't turn jitter into failures) — the
+/// off path is one `enabled()` branch per stage, not per node.
+const TELEMETRY_OVERHEAD_FACTOR: f64 = 1.02;
+const TELEMETRY_OVERHEAD_SLACK_SECONDS: f64 = 0.01;
 
 fn pr2_reference(n: usize, k: usize) -> f64 {
     PR2_SERIAL_SECONDS
@@ -240,7 +252,7 @@ fn steady_round_with(n: usize, k: usize, cache: bool, dirty_skip: bool) -> ((f64
 fn partial_round(n: usize, k: usize, fraction: f64, reps: usize) -> (f64, usize, usize) {
     let mut best = (f64::INFINITY, 0, 0);
     for rep in 0..reps {
-        let (dt, searches, movers) = partial_round_once(n, k, fraction);
+        let (dt, searches, movers, _) = partial_round_once(n, k, fraction, false);
         if rep > 0 {
             assert_eq!(best.1, searches, "work counters must be deterministic");
         }
@@ -251,7 +263,15 @@ fn partial_round(n: usize, k: usize, fraction: f64, reps: usize) -> (f64, usize,
     best
 }
 
-fn partial_round_once(n: usize, k: usize, fraction: f64) -> (f64, usize, usize) {
+/// With `record`, the reacting round runs under a [`TelemetryRegistry`]
+/// recorder and its per-stage accumulators ride back in the fourth
+/// element (the warm-up rounds are not recorded).
+fn partial_round_once(
+    n: usize,
+    k: usize,
+    fraction: f64,
+    record: bool,
+) -> (f64, usize, usize, Option<TelemetryRegistry>) {
     let mut sim = build_with_dirty(n, k, 1, true, true, 0.05);
     let mut converged = false;
     for _ in 0..60 {
@@ -291,6 +311,9 @@ fn partial_round_once(n: usize, k: usize, fraction: f64) -> (f64, usize, usize) 
         .collect();
     let displaced = sim.displace_nodes(&moves).expect("displacement valid");
     assert_eq!(displaced, movers, "every picked node must actually move");
+    if record {
+        sim.set_recorder(Box::new(TelemetryRegistry::new()));
+    }
     let t = Instant::now();
     let delta = sim.step();
     let dt = t.elapsed().as_secs_f64();
@@ -300,7 +323,68 @@ fn partial_round_once(n: usize, k: usize, fraction: f64) -> (f64, usize, usize) 
             delta.ring_searches, delta.cache_hits, delta.cache_misses
         );
     }
-    (dt, delta.ring_searches, movers)
+    let registry = record.then(|| take_registry(&mut sim));
+    (dt, delta.ring_searches, movers, registry)
+}
+
+/// Pulls the [`TelemetryRegistry`] recorder back out of a session.
+fn take_registry(sim: &mut Session) -> TelemetryRegistry {
+    sim.take_recorder()
+        .expect("recorder installed")
+        .as_any()
+        .downcast_ref::<TelemetryRegistry>()
+        .cloned()
+        .expect("TelemetryRegistry recorder")
+}
+
+/// One PR-6 JSON row: the per-stage wall-clock totals a recorded round
+/// (or rounds) accumulated in `reg`.
+fn stage_row(phase: &str, reg: &TelemetryRegistry) -> String {
+    format!(
+        concat!(
+            "      {{\"phase\": \"{}\", \"round_seconds\": {:.6}, ",
+            "\"classify_seconds\": {:.6}, \"adjacency_seconds\": {:.6}, ",
+            "\"ring_search_seconds\": {:.6}, \"geometry_seconds\": {:.6}, ",
+            "\"move_apply_seconds\": {:.6}, \"ring_searches\": {}}}"
+        ),
+        phase,
+        reg.stage(Stage::Round).total_seconds(),
+        reg.stage(Stage::Classify).total_seconds(),
+        reg.stage(Stage::Adjacency).total_seconds(),
+        reg.stage(Stage::RingSearch).total_seconds(),
+        reg.stage(Stage::Geometry).total_seconds(),
+        reg.stage(Stage::MoveApply).total_seconds(),
+        reg.stage(Stage::RingSearch).count,
+    )
+}
+
+/// Times `rounds` steady-state rounds (N = 10³, k = 3, cache on, dirty
+/// tracking **off** so every round does full ring-search work), best of
+/// `reps` fresh deployments — optionally with a [`NoopRecorder`]
+/// installed, for the telemetry-overhead guard.
+fn steady_block_seconds(noop_recorder: bool, reps: usize, rounds: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut sim = build_with_dirty(1_000, 3, 1, true, false, 0.05);
+        let mut converged = false;
+        for _ in 0..40 {
+            if sim.step().report.converged {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "telemetry-overhead warm-up did not converge");
+        sim.step();
+        if noop_recorder {
+            sim.set_recorder(Box::new(NoopRecorder));
+        }
+        let t = Instant::now();
+        for _ in 0..rounds {
+            sim.step();
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
 }
 
 fn smoke() {
@@ -391,6 +475,24 @@ fn smoke() {
              ({:.1}% of N, limit {:.0}%) {verdict}",
             fraction * 100.0,
             SMOKE_PARTIAL_SEARCH_FRACTION * 100.0,
+        );
+        failed |= !ok;
+    }
+    // PR-6: an installed noop recorder must be free on the hot path —
+    // 10 full-work steady rounds with and without it, best of 3.
+    {
+        let base = steady_block_seconds(false, 3, 10);
+        let noop = steady_block_seconds(true, 3, 10);
+        let limit = base * TELEMETRY_OVERHEAD_FACTOR + TELEMETRY_OVERHEAD_SLACK_SECONDS;
+        let ok = noop <= limit;
+        let verdict = if ok {
+            "ok"
+        } else {
+            "TELEMETRY-OVERHEAD REGRESSION"
+        };
+        eprintln!(
+            "smoke telemetry-overhead N=1000 k=3 (10 steady rounds): base {base:.4}s, \
+             noop recorder {noop:.4}s (limit {limit:.4}s) {verdict}"
         );
         failed |= !ok;
     }
@@ -547,6 +649,53 @@ fn main() {
             n, k, fraction, movers, dt, searches, searched_fraction, pr4_ref, speedup,
         ));
     }
+    // PR-6 section: where does a round's time actually go? One recorded
+    // round per regime at N = 10⁴, k = 3 — cold (first round, every
+    // node searches), steady (quiescent under the dirty index: the
+    // classifier is the round), partial (reacting to a localized 10%
+    // corner displacement) — through the telemetry registry.
+    let mut pr6_rows = Vec::new();
+    {
+        let n = 10_000;
+        let k = 3;
+        let mut sim = build(n, k, 1, true, 2e-3);
+        sim.set_recorder(Box::new(TelemetryRegistry::new()));
+        sim.step();
+        let cold = take_registry(&mut sim);
+
+        let mut sim = build_with_dirty(n, k, 1, true, true, 0.05);
+        let mut converged = false;
+        for _ in 0..40 {
+            if sim.step().report.converged {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "pr6 steady warm-up did not converge");
+        sim.step();
+        sim.set_recorder(Box::new(TelemetryRegistry::new()));
+        sim.step();
+        let steady = take_registry(&mut sim);
+
+        let (_, _, _, partial) = partial_round_once(n, k, 0.10, true);
+        let partial = partial.expect("recorded partial round");
+
+        for (phase, reg) in [("cold", &cold), ("steady", &steady), ("partial", &partial)] {
+            eprintln!(
+                "round_engine pr6 N={n} k={k} {phase}: round {:.4}s = classify {:.4}s + \
+                 adjacency {:.4}s + ring search {:.4}s + geometry {:.4}s + move apply {:.4}s \
+                 ({} searches)",
+                reg.stage(Stage::Round).total_seconds(),
+                reg.stage(Stage::Classify).total_seconds(),
+                reg.stage(Stage::Adjacency).total_seconds(),
+                reg.stage(Stage::RingSearch).total_seconds(),
+                reg.stage(Stage::Geometry).total_seconds(),
+                reg.stage(Stage::MoveApply).total_seconds(),
+                reg.stage(Stage::RingSearch).count,
+            );
+            pr6_rows.push(stage_row(phase, reg));
+        }
+    }
     let json = format!(
         concat!(
             "{{\n",
@@ -566,6 +715,10 @@ fn main() {
             "  \"pr5\": {{\n",
             "    \"description\": \"active-set round engine: partially-active rounds (a converged deployment, a localized corner displacement of mover_fraction·N nodes, and the single round reacting to it) under exact reach radii, the rho warm start, the incremental adjacency index and the subdivision/sweep kernel work — vs the committed PR-4 engine reference on the identical workload; ring searches stay proportional to the perturbed set, not N\",\n",
             "    \"rows\": [\n{}\n    ]\n",
+            "  }},\n",
+            "  \"pr6\": {{\n",
+            "    \"description\": \"telemetry stage breakdown: per-stage wall-clock totals of one round recorded through the laacad-telemetry registry at N = 10^4, k = 3 — cold (first round, every node searches), steady (quiescent round under the dirty index: classification is the round), partial (reacting to a localized 10% corner displacement). Stage seconds include the recorder's own per-node timestamping, so the rows describe where time goes rather than serving as a regression reference; the noop-recorder <2% overhead guard runs in smoke mode\",\n",
+            "    \"rows\": [\n{}\n    ]\n",
             "  }}\n",
             "}}\n"
         ),
@@ -574,7 +727,8 @@ fn main() {
         rows.join(",\n"),
         pr3_rows.join(",\n"),
         pr4_rows.join(",\n"),
-        pr5_rows.join(",\n")
+        pr5_rows.join(",\n"),
+        pr6_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_round_engine.json");
     std::fs::write(path, &json).expect("write BENCH_round_engine.json");

@@ -69,7 +69,7 @@ pub use localview::{
     compute_local_view, compute_node_view, compute_node_view_warm, LocalView, NodeView,
 };
 pub use minnode::{min_node_deployment, MinNodeResult};
-pub use observer::{HookObserver, Observer};
+pub use observer::{HookObserver, Observer, TelemetryObserver};
 pub use ring::{
     expanding_ring_search, expanding_ring_search_scratched, expanding_ring_search_status,
     expanding_ring_search_status_warm, DominationScratch, RingOutcome, RingStatus,
@@ -78,3 +78,12 @@ pub use ring::{
 pub use runner::Laacad;
 pub use scratch::{LocalViewCache, RoundScratch};
 pub use session::{MovedNode, RoundDelta, Session, SessionBuilder, SessionCounters};
+
+/// The telemetry layer (re-exported `laacad-telemetry`): [`Recorder`]
+/// implementations plug into [`Session::set_recorder`], sinks export
+/// JSONL metric streams and Chrome trace-event files. See the README's
+/// "Observability" section for wiring.
+pub use laacad_telemetry as telemetry;
+pub use laacad_telemetry::{
+    ChromeTraceSink, JsonlSink, NoopRecorder, Recorder, SessionTelemetry, Stage, TelemetryRegistry,
+};

@@ -195,6 +195,11 @@ pub fn compute_node_view_warm(
     scratch: &mut RoundScratch,
 ) -> NodeView {
     let max_rho = config.max_rho.unwrap_or(2.0 * area.diameter_bound());
+    // Kernel timing is armed per fan-out by the session; off, each
+    // stage costs one branch. The buffer only observes — the view is
+    // bit-identical either way.
+    let timing = scratch.telemetry.enabled;
+    let started = timing.then(std::time::Instant::now);
     let status = expanding_ring_search_status_warm(
         net,
         adjacency,
@@ -207,7 +212,38 @@ pub fn compute_node_view_warm(
         &mut scratch.competitors,
         &mut scratch.domination,
     );
+    if let Some(started) = started {
+        scratch
+            .telemetry
+            .ring_search
+            .record(started.elapsed().as_nanos() as u64);
+    }
     let true_self = net.position(id);
+    let started = timing.then(std::time::Instant::now);
+    let view = geometry_stage(net, id, area, config, round, status, true_self, scratch);
+    if let Some(started) = started {
+        scratch
+            .telemetry
+            .geometry
+            .record(started.elapsed().as_nanos() as u64);
+    }
+    view
+}
+
+/// The geometry stage of [`compute_node_view_warm`] — everything after
+/// the ring search: the cached oracle-mode lookup, or site assembly
+/// plus the subdivision/clip/Chebyshev kernel.
+#[allow(clippy::too_many_arguments)]
+fn geometry_stage(
+    net: &Network,
+    id: NodeId,
+    area: &Region,
+    config: &LaacadConfig,
+    round: usize,
+    status: RingStatus,
+    true_self: Point,
+    scratch: &mut RoundScratch,
+) -> NodeView {
     if let CoordinateMode::Oracle = config.coordinates {
         if config.cache {
             return cached_node_view(id, area, config, status, true_self, scratch);

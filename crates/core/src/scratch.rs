@@ -46,6 +46,11 @@ pub struct RoundScratch {
     pub(crate) domain_tmp: PolygonBuf,
     /// Cross-round per-node view cache (see [`LocalViewCache`]).
     pub(crate) cache: LocalViewCache,
+    /// Per-worker kernel timing buffer. Armed by the session only when
+    /// an enabled recorder is installed (its `enabled` flag is the
+    /// single branch the kernels pay with telemetry off); drained in
+    /// worker-index order after each fan-out.
+    pub(crate) telemetry: laacad_telemetry::WorkerBuffer,
 }
 
 impl RoundScratch {

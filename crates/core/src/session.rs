@@ -39,9 +39,10 @@ use crate::hooks::{EventOutcome, HookAction, NetworkEvent};
 use crate::localview::{compute_node_view, compute_node_view_warm, NodeView};
 use crate::observer::Observer;
 use crate::scratch::RoundScratch;
-use laacad_exec::{parallel_map_scratched, resolve_workers};
+use laacad_exec::{merge_worker_telemetry, parallel_map_scratched, resolve_workers};
 use laacad_geom::Point;
 use laacad_region::Region;
+use laacad_telemetry::{Recorder, Stage};
 use laacad_wsn::mobility::step_toward;
 use laacad_wsn::multihop::{hop_budget, DEFAULT_HOP_SLACK};
 use laacad_wsn::radio::MessageStats;
@@ -93,7 +94,13 @@ pub struct RoundDelta {
     pub cache_misses: usize,
 }
 
-/// Cumulative work counters over a session's lifetime.
+/// **Cumulative** work counters over a session's lifetime: every field
+/// is a running total that [`Session::finish_round`] adds to after each
+/// round and that nothing resets implicitly — they are *not* per-round
+/// values (per-round deltas live on [`RoundDelta`]). Observers that
+/// want per-round numbers for metrics the delta does not carry can call
+/// [`Session::take_counters`] each round and treat the returned struct
+/// as the diff since the previous take.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SessionCounters {
     /// Total expanding-ring searches executed.
@@ -197,6 +204,7 @@ impl SessionBuilder {
             last_movers: Vec::new(),
             counters: SessionCounters::default(),
             event_log: Vec::new(),
+            recorder: None,
         };
         if session.config.snapshot_every.is_some() {
             session
@@ -236,6 +244,13 @@ pub struct Session {
     /// Events applied since the last observer dispatch (drained by
     /// [`Session::run_with_observers`]).
     event_log: Vec<(NetworkEvent, EventOutcome)>,
+    /// Installed telemetry recorder, if any. Purely observational: the
+    /// engine reports spans/counters/kernel timings into it but never
+    /// reads back, so results are bit-identical with or without one
+    /// (pinned by `tests/telemetry_equivalence.rs`). `None` — or a
+    /// recorder whose `enabled()` is `false` — reduces the
+    /// instrumentation to one branch per stage.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Session {
@@ -279,9 +294,70 @@ impl Session {
     }
 
     /// Cumulative work counters (ring searches, quiescent skips, cache
-    /// hits/misses).
+    /// hits/misses) — running totals since construction or the last
+    /// [`Session::take_counters`], never reset by rounds or events.
     pub fn counters(&self) -> SessionCounters {
         self.counters
+    }
+
+    /// Returns the cumulative counters and resets them to zero, so an
+    /// observer can call this once per round and read each result as
+    /// the per-round diff without keeping a previous copy around.
+    /// Orthogonal to telemetry: an installed [`Recorder`] receives its
+    /// own per-round deltas and is unaffected by takes.
+    pub fn take_counters(&mut self) -> SessionCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Installs a telemetry [`Recorder`], replacing any existing one.
+    /// The engine reports per-stage spans, per-round work counters, and
+    /// per-node kernel histograms into it; install before stepping to
+    /// capture the whole run. Wire a
+    /// [`NoopRecorder`](laacad_telemetry::NoopRecorder) to express
+    /// "telemetry off" explicitly at (guarded) zero cost.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Removes and returns the installed recorder — e.g. to read a
+    /// [`TelemetryRegistry`](laacad_telemetry::TelemetryRegistry)'s
+    /// totals or write a sink's files after the run.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Whether stages should measure themselves this round.
+    fn telemetry_on(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Reports a completed span when both telemetry and the stage timer
+    /// are live (the timer is `None` whenever telemetry is off).
+    fn record_span(&mut self, stage: Stage, started: Option<std::time::Instant>) {
+        if let (Some(recorder), Some(started)) = (self.recorder.as_mut(), started) {
+            recorder.span(stage, self.round, started.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// After a fan-out: merges the per-worker kernel timing buffers in
+    /// worker-index order and reports the ring-search and geometry
+    /// aggregates. No-op (armed-off buffers are empty) with telemetry
+    /// off.
+    fn drain_kernel_telemetry(&mut self) {
+        if !self.telemetry_on() {
+            return;
+        }
+        let merged = merge_worker_telemetry(self.scratches.iter_mut().map(|s| &mut s.telemetry));
+        let round = self.round;
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.kernel(Stage::RingSearch, round, &merged.ring_search);
+            recorder.kernel(Stage::Geometry, round, &merged.geometry);
+        }
     }
 
     /// Whether the dirty-node index may skip work in this configuration:
@@ -475,11 +551,59 @@ impl Session {
         // than accumulate across a manually-stepped session's lifetime.
         self.event_log.clear();
         self.round += 1;
-        if self.config.execution == ExecutionMode::Sequential {
+        let counters_before = self.counters;
+        let round_started = self.telemetry_on().then(std::time::Instant::now);
+        let delta = if self.config.execution == ExecutionMode::Sequential {
             self.step_sequential()
         } else {
             self.step_synchronous()
+        };
+        if let Some(started) = round_started {
+            self.emit_round_telemetry(&delta, counters_before, started);
         }
+        delta
+    }
+
+    /// Per-round telemetry epilogue: the deterministic work counters
+    /// (per-round deltas — from the [`RoundDelta`] where it carries
+    /// them, diffed from [`SessionCounters`] otherwise), the whole-round
+    /// span, and the round boundary. Only called with telemetry on.
+    fn emit_round_telemetry(
+        &mut self,
+        delta: &RoundDelta,
+        before: SessionCounters,
+        started: std::time::Instant,
+    ) {
+        let after = self.counters;
+        let round = self.round;
+        let Some(recorder) = self.recorder.as_mut() else {
+            return;
+        };
+        recorder.counter("ring_searches", round, delta.ring_searches as u64);
+        recorder.counter("skipped_quiescent", round, delta.skipped_quiescent as u64);
+        recorder.counter("cache_hits", round, delta.cache_hits as u64);
+        recorder.counter("cache_misses", round, delta.cache_misses as u64);
+        recorder.counter("nodes_moved", round, delta.moved.len() as u64);
+        recorder.counter("rho_changed", round, delta.rho_changed as u64);
+        recorder.counter("messages_unicast", round, delta.report.messages.unicast);
+        recorder.counter("messages_broadcast", round, delta.report.messages.broadcast);
+        recorder.counter(
+            "warm_started",
+            round,
+            after.warm_started - before.warm_started,
+        );
+        recorder.counter(
+            "adjacency_rebuilds",
+            round,
+            after.adjacency_rebuilds - before.adjacency_rebuilds,
+        );
+        recorder.counter(
+            "adjacency_incremental_updates",
+            round,
+            after.adjacency_incremental_updates - before.adjacency_incremental_updates,
+        );
+        recorder.span(Stage::Round, round, started.elapsed().as_nanos() as u64);
+        recorder.round_end(round);
     }
 
     /// Synchronous (Jacobi) round: every node decides from the same
@@ -488,7 +612,10 @@ impl Session {
     /// all move.
     fn step_synchronous(&mut self) -> RoundDelta {
         let n = self.net.len();
+        let telemetry = self.telemetry_on();
+        let stage_started = telemetry.then(std::time::Instant::now);
         let dirty = self.classify_dirty();
+        self.record_span(Stage::Classify, stage_started);
         let views: Vec<NodeView>;
         let rho_changed;
         let mut ring_searches = 0usize;
@@ -502,7 +629,12 @@ impl Session {
             rho_changed = 0;
         } else {
             self.ensure_scratches(self.workers());
+            let stage_started = telemetry.then(std::time::Instant::now);
             self.refresh_adjacency();
+            self.record_span(Stage::Adjacency, stage_started);
+            for scratch in &mut self.scratches {
+                scratch.telemetry.arm(telemetry);
+            }
             let (net, region, config) = (&self.net, &self.region, &self.config);
             let (round, adjacency) = (self.round, &self.adjacency);
             let old_views = &self.views;
@@ -529,6 +661,7 @@ impl Session {
                     scratch,
                 )
             });
+            self.drain_kernel_telemetry();
             rho_changed = if self.views.len() == n {
                 views
                     .iter()
@@ -560,6 +693,7 @@ impl Session {
         let cache_misses = ring_searches - cache_hits;
         // Reduce stats and apply sensing ranges in id order, then
         // Phase 2: all nodes move together.
+        let stage_started = telemetry.then(std::time::Instant::now);
         let mut agg = RoundAggregate::default();
         for (i, view) in views.iter().enumerate() {
             agg.messages.absorb(view.messages);
@@ -590,6 +724,7 @@ impl Session {
                 }
             }
         }
+        self.record_span(Stage::MoveApply, stage_started);
         if !moved.is_empty() {
             // The snapshot was fresh for this round's Phase 1 (or the
             // round was quiescent, in which case `moved` is empty), so
@@ -621,6 +756,12 @@ impl Session {
     fn step_sequential(&mut self) -> RoundDelta {
         let n = self.net.len();
         self.ensure_scratches(1);
+        // Per-node kernel timings still accumulate (one serial worker);
+        // compute and movement interleave here, so the serial stages
+        // (classify/adjacency/move-apply) have no spans — the Round
+        // span from `step` covers the sweep.
+        let telemetry = self.telemetry_on();
+        self.scratches[0].telemetry.arm(telemetry);
         let mut agg = RoundAggregate::default();
         let mut moved = Vec::new();
         let mut views = Vec::with_capacity(n);
@@ -661,6 +802,7 @@ impl Session {
             }
             views.push(view);
         }
+        self.drain_kernel_telemetry();
         let cache_hits = views.iter().filter(|v| v.cache_hit).count();
         let rho_changed = if self.views.len() == n {
             views
@@ -960,6 +1102,8 @@ impl Session {
     /// describe the final positions, replays their reaches directly.
     pub fn finalize(&mut self) {
         let n = self.net.len();
+        let telemetry = self.telemetry_on();
+        let stage_started = telemetry.then(std::time::Instant::now);
         if self.dirty_skip_active()
             && self.views_valid
             && self.last_movers.is_empty()
@@ -971,16 +1115,21 @@ impl Session {
         } else {
             self.ensure_scratches(self.workers());
             self.refresh_adjacency();
+            for scratch in &mut self.scratches {
+                scratch.telemetry.arm(telemetry);
+            }
             let (net, region, config) = (&self.net, &self.region, &self.config);
             let (round, adjacency) = (self.round, &self.adjacency);
             let radii = parallel_map_scratched(&mut self.scratches, n, |scratch, i| {
                 let id = NodeId(i);
                 compute_node_view(net, Some(adjacency), id, region, config, round, scratch).reach
             });
+            self.drain_kernel_telemetry();
             for (i, r) in radii.into_iter().enumerate() {
                 self.net.set_sensing_radius(NodeId(i), r);
             }
         }
+        self.record_span(Stage::Finalize, stage_started);
         if self.config.snapshot_every.is_some() {
             self.history
                 .push_snapshot(self.round, self.net.positions().to_vec());
@@ -1086,6 +1235,37 @@ mod tests {
             .positions(initial)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn counters_are_cumulative_and_take_resets() {
+        let region = Region::square(1.0).unwrap();
+        let initial = sample_uniform(&region, 14, 21);
+        let mut sim = session(quick_config(1, 50), region, initial);
+        let d1 = sim.step();
+        assert_eq!(sim.counters().ring_searches, d1.ring_searches as u64);
+        let d2 = sim.step();
+        // Cumulative: the session total is the sum of the per-round
+        // deltas, not the last round's value.
+        assert_eq!(
+            sim.counters().ring_searches,
+            (d1.ring_searches + d2.ring_searches) as u64
+        );
+        assert_eq!(
+            sim.counters().cache_misses,
+            (d1.cache_misses + d2.cache_misses) as u64
+        );
+        let taken = sim.take_counters();
+        assert_eq!(
+            taken.ring_searches,
+            (d1.ring_searches + d2.ring_searches) as u64
+        );
+        assert_eq!(sim.counters(), SessionCounters::default());
+        // After a take, the totals restart from zero — so taking once
+        // per round yields per-round diffs directly.
+        let d3 = sim.step();
+        assert_eq!(sim.take_counters().ring_searches, d3.ring_searches as u64);
+        assert_eq!(sim.take_counters(), SessionCounters::default());
     }
 
     #[test]

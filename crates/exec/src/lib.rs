@@ -224,6 +224,27 @@ where
         .collect()
 }
 
+/// Merges (and drains) per-worker telemetry buffers into one aggregate,
+/// visiting them in worker-index order. Lives here because the buffers
+/// are the telemetry face of [`parallel_map_scratched`]'s per-worker
+/// scratches: workers record into their own buffer without
+/// synchronization, and this single-threaded fold after the fan-out is
+/// what makes the aggregate independent of thread scheduling (the
+/// accumulator's sums and min/max are order-independent, and the
+/// traversal order is fixed besides).
+///
+/// Each source buffer is cleared as it is absorbed, so the scratches
+/// are ready for the next round's [`laacad_telemetry::WorkerBuffer::arm`].
+pub fn merge_worker_telemetry<'a>(
+    buffers: impl Iterator<Item = &'a mut laacad_telemetry::WorkerBuffer>,
+) -> laacad_telemetry::WorkerBuffer {
+    let mut merged = laacad_telemetry::WorkerBuffer::default();
+    for buffer in buffers {
+        merged.absorb(buffer);
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +260,27 @@ mod tests {
         let empty: Vec<i32> = parallel_map(Vec::new(), |x| x);
         assert!(empty.is_empty());
         assert_eq!(parallel_map(vec![7], |x: u32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn merge_worker_telemetry_aggregates_and_drains() {
+        let mut buffers: Vec<laacad_telemetry::WorkerBuffer> = (0..4)
+            .map(|worker| {
+                let mut b = laacad_telemetry::WorkerBuffer::default();
+                b.arm(true);
+                b.ring_search.record(100 * (worker + 1));
+                b.geometry.record(10 * (worker + 1));
+                b
+            })
+            .collect();
+        let merged = merge_worker_telemetry(buffers.iter_mut());
+        assert_eq!(merged.ring_search.count, 4);
+        assert_eq!(merged.ring_search.total_nanos, 100 + 200 + 300 + 400);
+        assert_eq!(merged.geometry.min_nanos, 10);
+        assert_eq!(merged.geometry.max_nanos, 40);
+        for buffer in &buffers {
+            assert!(buffer.ring_search.is_empty() && buffer.geometry.is_empty());
+        }
     }
 
     #[test]

@@ -10,13 +10,20 @@
 //! Driven by the declarative spec `scenarios/table2_ammari.toml`; the
 //! campaign runner sweeps the k-grid across all cores and this thin
 //! wrapper renders the comparison table from the streamed results.
+//! Pass `--telemetry` to also record per-cell telemetry (a JSONL metric
+//! stream plus a Chrome trace per cell, beside the result files) with a
+//! live cells/minute progress feed on stderr — the table and result
+//! files are byte-identical either way.
 
 use laacad_baselines::ammari::ammari_min_nodes;
 use laacad_experiments::scenarios::{self, TABLE2_AMMARI};
 use laacad_experiments::{markdown_table, output};
-use laacad_scenario::{run_campaign, RegionSpec, ResultStore};
+use laacad_scenario::{
+    run_campaign_observed, CampaignProgress, CampaignRunOptions, RegionSpec, ResultStore,
+};
 
 fn main() {
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
     let campaign = scenarios::load_campaign("table2_ammari", TABLE2_AMMARI)
         .expect("table2_ammari spec parses");
     let side = match &campaign.scenario.region {
@@ -26,13 +33,35 @@ fn main() {
     let area = side * side;
     let n = campaign.scenario.placement.node_count();
 
-    let results = run_campaign(&campaign).expect("table2 grid expands");
     let store = ResultStore::new(output::out_dir());
-    let (jsonl, csv_path) = store
-        .write(&campaign.name, &results)
-        .expect("result store writes");
+    let mut on_progress = |p: &CampaignProgress| {
+        let eta = p
+            .eta_secs
+            .map(|s| format!("{s:.0}s"))
+            .unwrap_or_else(|| "?".into());
+        eprintln!(
+            "[{}/{}] {:.1} cells/min, eta {eta}",
+            p.completed, p.total, p.cells_per_minute
+        );
+    };
+    let (jsonl, csv_path, results) = run_campaign_observed(
+        &campaign,
+        &store,
+        CampaignRunOptions {
+            telemetry,
+            progress: telemetry.then_some(&mut on_progress as &mut dyn FnMut(&CampaignProgress)),
+        },
+    )
+    .expect("table2 grid expands");
     println!("wrote {}", output::rel(&jsonl));
     println!("wrote {}", output::rel(&csv_path));
+    if telemetry {
+        println!(
+            "wrote {} per-cell telemetry pairs ({}.cell<i>.telemetry.jsonl / .trace.json)",
+            results.len(),
+            campaign.name
+        );
+    }
 
     let mut rows = Vec::new();
     for cell in &results {

@@ -1,23 +1,30 @@
 //! Campaigns: seed × parameter grids over a scenario, run in parallel.
 //!
 //! A [`CampaignSpec`] pairs one [`ScenarioSpec`] with a [`ParamGrid`]
-//! sweeping seeds and (optionally) `n`, `k`, `α` and `γ` — either as the
-//! full cross product (the default) or zipped position-by-position
-//! (`zip = true`, for sweeps whose axes move together, e.g. `n` with a
-//! matched `γ`). [`expand`] unrolls the grid into an ordered list of
+//! sweeping seeds and (optionally) `n`, `k`, `α` and `γ` — as the full
+//! cross product (the default), zipped position-by-position (`zip =
+//! true`, for sweeps whose axes all move together), or **mixed**: a
+//! [`ZipSpec::Axes`] group (`zip = ["n", "gamma"]`) fuses the named
+//! axes into one position-by-position slot while the remaining axes
+//! still cross — e.g. `n` with a matched `γ`, swept against every `k`.
+//! [`expand`] unrolls the grid into an ordered list of
 //! [`CampaignCell`]s — the order is a pure function of the spec, which
 //! is what makes campaign reruns byte-identical — and [`run_campaign`]
 //! executes the cells across all cores via [`crate::exec::parallel_map`].
+//! [`run_campaign_observed`] adds streaming persistence, per-cell
+//! telemetry files, and a live progress callback.
 //!
 //! [`expand`]: CampaignSpec::expand
 
-use crate::engine::{run_scenario, ScenarioOutcome};
+use crate::engine::{run_scenario, run_scenario_recorded, ScenarioOutcome};
 use crate::exec::parallel_map;
 use crate::results::ResultStore;
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::value::{decode, encode, DecodeError, Value};
+use laacad::SessionTelemetry;
 use laacad_exec::parallel_map_visit;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// The sweep axes. Empty vectors mean "use the scenario's own value".
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -35,10 +42,28 @@ pub struct ParamGrid {
     /// scenario's own value — or the derived recommendation — applies
     /// where empty).
     pub gamma: Vec<f64>,
-    /// `false` (default): sweep the full cross product of the non-empty
-    /// axes. `true`: zip the non-empty parameter axes position by
-    /// position (they must share one length); seeds still cross.
-    pub zip: bool,
+    /// How the parameter axes combine (seeds always cross): full cross
+    /// product, all axes zipped, or a named zip group alongside crossed
+    /// axes. See [`ZipSpec`].
+    pub zip: ZipSpec,
+}
+
+/// How a [`ParamGrid`]'s parameter axes combine into tuples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ZipSpec {
+    /// Full cross product of the non-empty axes (the default; TOML
+    /// `zip = false` or absent).
+    #[default]
+    None,
+    /// Zip **every** non-empty parameter axis position by position —
+    /// they must share one length (TOML `zip = true`).
+    All,
+    /// Zip exactly the named axes (`"n"`, `"k"`, `"alpha"`, `"gamma"`)
+    /// as one fused group of equal-length lists; the remaining
+    /// non-empty axes still cross against it (TOML `zip = ["n",
+    /// "gamma"]`). The group occupies its first member's position in
+    /// the canonical `n` × `k` × `alpha` × `gamma` expansion order.
+    Axes(Vec<String>),
 }
 
 impl ParamGrid {
@@ -103,13 +128,42 @@ impl ParamGrid {
                 seeds = (0..count as u64).map(|i| start as u64 + i).collect();
             }
         }
+        let zip = match v.get("zip") {
+            None => ZipSpec::None,
+            Some(Value::Bool(true)) => ZipSpec::All,
+            Some(Value::Bool(false)) => ZipSpec::None,
+            Some(Value::Array(items)) => {
+                let p = format!("{path}.zip");
+                ZipSpec::Axes(
+                    items
+                        .iter()
+                        .enumerate()
+                        .map(|(i, x)| {
+                            x.as_str().map(str::to_owned).ok_or_else(|| {
+                                SpecError::from(DecodeError::new(
+                                    format!("{p}[{i}]"),
+                                    "expected axis name string",
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            Some(_) => {
+                return Err(DecodeError::new(
+                    format!("{path}.zip"),
+                    "expected bool or array of axis names",
+                )
+                .into())
+            }
+        };
         Ok(ParamGrid {
             seeds,
             n: list_usize("n")?,
             k: list_usize("k")?,
             alpha: list_f64("alpha")?,
             gamma: list_f64("gamma")?,
-            zip: decode::opt_bool(v, "zip", path)?.unwrap_or(false),
+            zip,
         })
     }
 
@@ -145,8 +199,13 @@ impl ParamGrid {
                 Value::Array(self.gamma.iter().map(|&x| Value::Float(x)).collect()),
             );
         }
-        if self.zip {
-            t.insert("zip", Value::Bool(true));
+        match &self.zip {
+            ZipSpec::None => {}
+            ZipSpec::All => t.insert("zip", Value::Bool(true)),
+            ZipSpec::Axes(axes) => t.insert(
+                "zip",
+                Value::Array(axes.iter().map(|a| Value::Str(a.clone())).collect()),
+            ),
         }
         t
     }
@@ -232,14 +291,17 @@ impl CampaignSpec {
     /// Unrolls the grid into cells, in deterministic order. With the
     /// default cross product: `n` (outer) × `k` × `alpha` × `gamma` ×
     /// `seeds` (inner); with `zip = true`: one tuple per position of the
-    /// zipped axes (outer) × `seeds` (inner).
+    /// zipped axes (outer) × `seeds` (inner); with a `zip = [...]`
+    /// group: the fused group replaces its first member's slot in the
+    /// cross product, the other axes cross as usual.
     ///
     /// # Errors
     ///
     /// Fails only when an override cannot be expressed at all — a
-    /// node-count sweep over a custom placement, or zipped axes of
-    /// unequal lengths; per-cell *run* failures are reported in the
-    /// cell's [`CellResult`] instead.
+    /// node-count sweep over a custom placement, zipped axes of unequal
+    /// lengths, or a zip group naming an unknown or empty axis;
+    /// per-cell *run* failures are reported in the cell's
+    /// [`CellResult`] instead.
     pub fn expand(&self) -> Result<Vec<CampaignCell>, SpecError> {
         let seeds: &[u64] = if self.grid.seeds.is_empty() {
             &[0]
@@ -247,10 +309,10 @@ impl CampaignSpec {
             &self.grid.seeds
         };
         let base_n = self.scenario.placement.node_count();
-        let tuples = if self.grid.zip {
-            self.zipped_tuples(base_n)?
-        } else {
-            self.crossed_tuples(base_n)
+        let tuples = match &self.grid.zip {
+            ZipSpec::None => self.crossed_tuples(base_n),
+            ZipSpec::All => self.zipped_tuples(base_n)?,
+            ZipSpec::Axes(group) => self.grouped_tuples(base_n, group)?,
         };
         let mut cells = Vec::with_capacity(tuples.len() * seeds.len());
         for (n, k, alpha, gamma) in tuples {
@@ -364,6 +426,140 @@ impl CampaignSpec {
             .collect())
     }
 
+    /// Tuples for a **mixed** grid: the axes named in `group` fuse into
+    /// one position-by-position slot — placed where the group's first
+    /// axis sits in the canonical `n`, `k`, `alpha`, `gamma` order —
+    /// and every other non-empty axis crosses against it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown or duplicate axis names, a zip axis with no
+    /// values, and group members of unequal lengths.
+    fn grouped_tuples(
+        &self,
+        base_n: usize,
+        group: &[String],
+    ) -> Result<Vec<ParamTuple>, SpecError> {
+        const AXES: [&str; 4] = ["n", "k", "alpha", "gamma"];
+        if group.is_empty() {
+            // An empty group zips nothing: plain cross product.
+            return Ok(self.crossed_tuples(base_n));
+        }
+        for (i, axis) in group.iter().enumerate() {
+            if !AXES.contains(&axis.as_str()) {
+                return Err(SpecError::Build(format!(
+                    "unknown zip axis `{axis}` (expected one of n, k, alpha, gamma)"
+                )));
+            }
+            if group[..i].contains(axis) {
+                return Err(SpecError::Build(format!("duplicate zip axis `{axis}`")));
+            }
+        }
+        let axis_len = |name: &str| match name {
+            "n" => self.grid.n.len(),
+            "k" => self.grid.k.len(),
+            "alpha" => self.grid.alpha.len(),
+            _ => self.grid.gamma.len(),
+        };
+        let group_len = axis_len(&group[0]);
+        for axis in group {
+            let len = axis_len(axis);
+            if len == 0 {
+                return Err(SpecError::Build(format!(
+                    "zip axis `{axis}` has no values to pair"
+                )));
+            }
+            if len != group_len {
+                return Err(SpecError::Build(format!(
+                    "zip grid axes disagree on length: `{}` has {group_len} entries \
+                     but `{axis}` has {len}",
+                    group[0]
+                )));
+            }
+        }
+        let ns: Vec<usize> = if self.grid.n.is_empty() {
+            vec![base_n]
+        } else {
+            self.grid.n.clone()
+        };
+        let ks: Vec<usize> = if self.grid.k.is_empty() {
+            vec![self.scenario.laacad.k]
+        } else {
+            self.grid.k.clone()
+        };
+        let alphas: Vec<f64> = if self.grid.alpha.is_empty() {
+            vec![self.scenario.laacad.alpha]
+        } else {
+            self.grid.alpha.clone()
+        };
+        let gammas: Vec<Option<f64>> = if self.grid.gamma.is_empty() {
+            vec![None]
+        } else {
+            self.grid.gamma.iter().map(|&g| Some(g)).collect()
+        };
+        #[derive(Clone, Copy)]
+        enum Slot {
+            Group,
+            N,
+            K,
+            Alpha,
+            Gamma,
+        }
+        let in_group = |name: &str| group.iter().any(|a| a == name);
+        let mut slots: Vec<(Slot, usize)> = Vec::new();
+        for axis in AXES {
+            if in_group(axis) {
+                if !slots.iter().any(|&(s, _)| matches!(s, Slot::Group)) {
+                    slots.push((Slot::Group, group_len));
+                }
+            } else {
+                slots.push(match axis {
+                    "n" => (Slot::N, ns.len()),
+                    "k" => (Slot::K, ks.len()),
+                    "alpha" => (Slot::Alpha, alphas.len()),
+                    _ => (Slot::Gamma, gammas.len()),
+                });
+            }
+        }
+        // Row-major odometer over the slots (last slot fastest), so a
+        // group behaves exactly like one ordinary axis at its position.
+        let total: usize = slots.iter().map(|&(_, len)| len).product();
+        let mut tuples = Vec::with_capacity(total);
+        let mut picks = vec![0usize; slots.len()];
+        for mut index in 0..total {
+            for (s, &(_, len)) in slots.iter().enumerate().rev() {
+                picks[s] = index % len;
+                index /= len;
+            }
+            let (mut n, mut k, mut alpha, mut gamma) = (ns[0], ks[0], alphas[0], gammas[0]);
+            for (s, &(slot, _)) in slots.iter().enumerate() {
+                let p = picks[s];
+                match slot {
+                    Slot::Group => {
+                        if in_group("n") {
+                            n = ns[p];
+                        }
+                        if in_group("k") {
+                            k = ks[p];
+                        }
+                        if in_group("alpha") {
+                            alpha = alphas[p];
+                        }
+                        if in_group("gamma") {
+                            gamma = gammas[p];
+                        }
+                    }
+                    Slot::N => n = ns[p],
+                    Slot::K => k = ks[p],
+                    Slot::Alpha => alpha = alphas[p],
+                    Slot::Gamma => gamma = gammas[p],
+                }
+            }
+            tuples.push((n, k, alpha, gamma));
+        }
+        Ok(tuples)
+    }
+
     /// Decodes a campaign document (`name`, `[scenario]`, `[grid]`).
     pub fn from_value(v: &Value) -> Result<Self, SpecError> {
         let scenario = ScenarioSpec::from_value(
@@ -441,20 +637,73 @@ pub fn run_campaign(campaign: &CampaignSpec) -> Result<Vec<CellResult>, SpecErro
     Ok(parallel_map(cells, run_cell))
 }
 
-fn run_cell(cell: CampaignCell) -> CellResult {
-    let outcome = run_scenario(&cell.scenario, cell.seed);
-    CellResult {
-        cell: CellInfo {
-            index: cell.index,
-            scenario: cell.scenario.name.clone(),
-            seed: cell.seed,
-            n: cell.n,
-            k: cell.k,
-            alpha: cell.alpha,
-            gamma: cell.gamma,
-        },
-        outcome,
+fn cell_info(cell: &CampaignCell) -> CellInfo {
+    CellInfo {
+        index: cell.index,
+        scenario: cell.scenario.name.clone(),
+        seed: cell.seed,
+        n: cell.n,
+        k: cell.k,
+        alpha: cell.alpha,
+        gamma: cell.gamma,
     }
+}
+
+fn run_cell(cell: CampaignCell) -> CellResult {
+    let info = cell_info(&cell);
+    CellResult {
+        cell: info,
+        outcome: run_scenario(&cell.scenario, cell.seed),
+    }
+}
+
+/// [`run_cell`] with an optional [`SessionTelemetry`] recorder riding
+/// along. Telemetry is observational only, so the [`CellResult`] is
+/// identical either way.
+fn run_cell_recorded(cell: CampaignCell, record: bool) -> (CellResult, Option<SessionTelemetry>) {
+    if !record {
+        return (run_cell(cell), None);
+    }
+    let info = cell_info(&cell);
+    match run_scenario_recorded(&cell.scenario, cell.seed, Box::new(SessionTelemetry::new())) {
+        Ok((outcome, recorder)) => {
+            let telemetry = recorder
+                .as_any()
+                .downcast_ref::<SessionTelemetry>()
+                .cloned();
+            (
+                CellResult {
+                    cell: info,
+                    outcome: Ok(outcome),
+                },
+                telemetry,
+            )
+        }
+        Err(e) => (
+            CellResult {
+                cell: info,
+                outcome: Err(e),
+            },
+            None,
+        ),
+    }
+}
+
+/// Writes one cell's telemetry pair beside the campaign result files.
+fn write_cell_telemetry(
+    dir: &Path,
+    name: &str,
+    index: usize,
+    telemetry: &SessionTelemetry,
+) -> std::io::Result<()> {
+    std::fs::write(
+        dir.join(format!("{name}.cell{index}.telemetry.jsonl")),
+        telemetry.jsonl.finish(),
+    )?;
+    std::fs::write(
+        dir.join(format!("{name}.cell{index}.trace.json")),
+        telemetry.trace.finish(),
+    )
 }
 
 /// [`run_campaign`] with **streaming result persistence**: every cell's
@@ -476,23 +725,119 @@ pub fn run_campaign_streamed(
     campaign: &CampaignSpec,
     store: &ResultStore,
 ) -> Result<(PathBuf, PathBuf, Vec<CellResult>), SpecError> {
+    run_campaign_observed(campaign, store, CampaignRunOptions::default())
+}
+
+/// Live progress of an observed campaign run, handed to the
+/// [`CampaignRunOptions::progress`] callback after every completed cell
+/// (cells complete in expansion order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignProgress {
+    /// Cells finished so far (≥ 1 whenever the callback fires).
+    pub completed: usize,
+    /// Total cells in the expansion.
+    pub total: usize,
+    /// Wall-clock seconds since the campaign started executing.
+    pub elapsed_secs: f64,
+    /// Throughput so far, in cells per minute.
+    pub cells_per_minute: f64,
+    /// Estimated seconds until the last cell lands (`None` until any
+    /// throughput has been observed).
+    pub eta_secs: Option<f64>,
+}
+
+/// Options for [`run_campaign_observed`].
+#[derive(Default)]
+pub struct CampaignRunOptions<'a> {
+    /// Record telemetry for **every** cell. Cells whose scenario sets
+    /// `laacad.telemetry = true` are recorded regardless.
+    pub telemetry: bool,
+    /// Called after each completed cell with the live progress.
+    pub progress: Option<&'a mut dyn FnMut(&CampaignProgress)>,
+}
+
+/// [`run_campaign_streamed`] with **observability**: per-cell telemetry
+/// files and a live progress callback.
+///
+/// Every cell whose scenario enables `laacad.telemetry` — or every
+/// cell, with [`CampaignRunOptions::telemetry`] — runs with a
+/// [`SessionTelemetry`] recorder installed and leaves two files beside
+/// the streamed results in `store`:
+///
+/// * `<name>.cell<index>.telemetry.jsonl` — the deterministic work
+///   metrics (counter deltas per round, no timestamps), byte-stable
+///   across reruns and worker counts;
+/// * `<name>.cell<index>.trace.json` — a Chrome trace-event file of
+///   wall-clock stage spans (open in Perfetto or `chrome://tracing`).
+///
+/// Telemetry never feeds back into the algorithm, so the JSONL/CSV
+/// result files stay byte-identical to a telemetry-free run (pinned by
+/// the `telemetry_campaign` integration test).
+///
+/// # Errors
+///
+/// As [`run_campaign_streamed`]: grid expansion
+/// ([`SpecError::Build`]) or file I/O ([`SpecError::Io`]); per-cell
+/// run failures ride in the returned [`CellResult`]s.
+pub fn run_campaign_observed(
+    campaign: &CampaignSpec,
+    store: &ResultStore,
+    options: CampaignRunOptions<'_>,
+) -> Result<(PathBuf, PathBuf, Vec<CellResult>), SpecError> {
     let cells = campaign.expand()?;
+    let total = cells.len();
+    let record_all = options.telemetry;
+    let mut progress = options.progress;
     let mut files = store
         .open_stream(&campaign.name)
         .map_err(|e| SpecError::Io(e.to_string()))?;
+    let started = Instant::now();
+    let mut completed = 0usize;
     let mut write_err: Option<std::io::Error> = None;
-    let results = parallel_map_visit(0, cells, run_cell, |_, result| {
-        if write_err.is_none() {
-            if let Err(e) = files.append(result) {
-                write_err = Some(e);
+    let outputs = parallel_map_visit(
+        0,
+        cells,
+        |cell| {
+            let record = record_all || cell.scenario.laacad.telemetry;
+            run_cell_recorded(cell, record)
+        },
+        |_, (result, telemetry)| {
+            if write_err.is_none() {
+                if let Err(e) = files.append(result) {
+                    write_err = Some(e);
+                } else if let Some(t) = telemetry {
+                    if let Err(e) =
+                        write_cell_telemetry(store.dir(), &campaign.name, result.cell.index, t)
+                    {
+                        write_err = Some(e);
+                    }
+                }
             }
-        }
-    });
+            completed += 1;
+            if let Some(cb) = progress.as_deref_mut() {
+                let elapsed_secs = started.elapsed().as_secs_f64();
+                let cells_per_minute = if elapsed_secs > 0.0 {
+                    completed as f64 / elapsed_secs * 60.0
+                } else {
+                    0.0
+                };
+                let eta_secs = (cells_per_minute > 0.0)
+                    .then(|| (total - completed) as f64 * elapsed_secs / completed as f64);
+                cb(&CampaignProgress {
+                    completed,
+                    total,
+                    elapsed_secs,
+                    cells_per_minute,
+                    eta_secs,
+                });
+            }
+        },
+    );
     if let Some(e) = write_err {
         return Err(SpecError::Io(e.to_string()));
     }
     let (jsonl, csv) = files.into_paths();
-    Ok((jsonl, csv, results))
+    Ok((jsonl, csv, outputs.into_iter().map(|(r, _)| r).collect()))
 }
 
 #[cfg(test)]
@@ -559,7 +904,7 @@ mod tests {
         let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("rt", 10, 2), [3, 4]);
         campaign.grid.alpha = vec![0.5, 1.0];
         campaign.grid.gamma = vec![0.3, 0.4];
-        campaign.grid.zip = true;
+        campaign.grid.zip = ZipSpec::All;
         let text = campaign.to_toml();
         let back = CampaignSpec::from_toml(&text).unwrap();
         assert_eq!(campaign, back, "TOML:\n{text}");
@@ -590,7 +935,7 @@ mod tests {
     #[test]
     fn zip_grid_pairs_axes_position_by_position() {
         let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("z", 10, 1), [1, 2]);
-        campaign.grid.zip = true;
+        campaign.grid.zip = ZipSpec::All;
         campaign.grid.n = vec![10, 40, 90];
         campaign.grid.gamma = vec![0.5, 0.3, 0.2];
         let cells = campaign.expand().unwrap();
@@ -615,10 +960,107 @@ mod tests {
     #[test]
     fn zip_grid_rejects_unequal_axis_lengths() {
         let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("bad-zip", 10, 1), [1]);
-        campaign.grid.zip = true;
+        campaign.grid.zip = ZipSpec::All;
         campaign.grid.n = vec![10, 20];
         campaign.grid.k = vec![1, 2, 3];
         let err = campaign.expand().unwrap_err();
         assert!(err.to_string().contains("zip"), "{err}");
+    }
+
+    #[test]
+    fn zip_group_crosses_against_remaining_axes() {
+        // (n, gamma) move together; k crosses against the fused pair.
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("mix", 10, 1), [1, 2]);
+        campaign.grid.zip = ZipSpec::Axes(vec!["n".into(), "gamma".into()]);
+        campaign.grid.n = vec![40, 90];
+        campaign.grid.gamma = vec![0.3, 0.2];
+        campaign.grid.k = vec![1, 2];
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 8, "2 fused tuples × 2 k × 2 seeds");
+        let params: Vec<(usize, usize, Option<f64>, u64)> =
+            cells.iter().map(|c| (c.n, c.k, c.gamma, c.seed)).collect();
+        // The group sits in `n`'s slot of the canonical order, so it is
+        // outermost, k next, seeds innermost.
+        assert_eq!(
+            params,
+            vec![
+                (40, 1, Some(0.3), 1),
+                (40, 1, Some(0.3), 2),
+                (40, 2, Some(0.3), 1),
+                (40, 2, Some(0.3), 2),
+                (90, 1, Some(0.2), 1),
+                (90, 1, Some(0.2), 2),
+                (90, 2, Some(0.2), 1),
+                (90, 2, Some(0.2), 2),
+            ]
+        );
+        for c in &cells {
+            assert_eq!(c.scenario.placement.node_count(), c.n);
+            assert_eq!(c.scenario.laacad.gamma, c.gamma);
+        }
+    }
+
+    #[test]
+    fn zip_group_takes_its_first_members_slot() {
+        // Group (k, gamma): n crosses OUTSIDE the group because the
+        // group occupies k's position in the canonical order.
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("slot", 10, 1), [7]);
+        campaign.grid.zip = ZipSpec::Axes(vec!["k".into(), "gamma".into()]);
+        campaign.grid.k = vec![1, 2];
+        campaign.grid.gamma = vec![0.4, 0.3];
+        campaign.grid.alpha = vec![0.5, 0.9];
+        let cells = campaign.expand().unwrap();
+        let params: Vec<(usize, f64, Option<f64>)> =
+            cells.iter().map(|c| (c.k, c.alpha, c.gamma)).collect();
+        assert_eq!(
+            params,
+            vec![
+                (1, 0.5, Some(0.4)),
+                (1, 0.9, Some(0.4)),
+                (2, 0.5, Some(0.3)),
+                (2, 0.9, Some(0.3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn zip_group_toml_round_trips() {
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("rt-mix", 10, 1), [1]);
+        campaign.grid.zip = ZipSpec::Axes(vec!["n".into(), "gamma".into()]);
+        campaign.grid.n = vec![40, 90];
+        campaign.grid.gamma = vec![0.3, 0.2];
+        campaign.grid.k = vec![1, 2];
+        let text = campaign.to_toml();
+        let back = CampaignSpec::from_toml(&text).unwrap();
+        assert_eq!(campaign, back, "TOML:\n{text}");
+    }
+
+    #[test]
+    fn zip_group_validates_axis_names_and_lengths() {
+        let base = || CampaignSpec::over_seeds(ScenarioSpec::uniform("bad-mix", 10, 1), [1]);
+
+        let mut campaign = base();
+        campaign.grid.zip = ZipSpec::Axes(vec!["rho".into()]);
+        let err = campaign.expand().unwrap_err();
+        assert!(err.to_string().contains("unknown zip axis"), "{err}");
+
+        let mut campaign = base();
+        campaign.grid.zip = ZipSpec::Axes(vec!["n".into(), "n".into()]);
+        campaign.grid.n = vec![10, 20];
+        let err = campaign.expand().unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+
+        let mut campaign = base();
+        campaign.grid.zip = ZipSpec::Axes(vec!["n".into(), "gamma".into()]);
+        campaign.grid.n = vec![10, 20];
+        let err = campaign.expand().unwrap_err();
+        assert!(err.to_string().contains("no values"), "{err}");
+
+        let mut campaign = base();
+        campaign.grid.zip = ZipSpec::Axes(vec!["n".into(), "gamma".into()]);
+        campaign.grid.n = vec![10, 20];
+        campaign.grid.gamma = vec![0.3];
+        let err = campaign.expand().unwrap_err();
+        assert!(err.to_string().contains("disagree on length"), "{err}");
     }
 }

@@ -3,7 +3,7 @@
 use crate::events::{AppliedEvent, TimelineHook};
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::value::{encode, Value};
-use laacad::{HookAction, Observer, RoundDelta, RunSummary, Session};
+use laacad::{HookAction, Observer, Recorder, RoundDelta, RunSummary, Session};
 use laacad_coverage::{evaluate_coverage, CoverageReport};
 use laacad_wsn::energy::EnergyModel;
 
@@ -298,7 +298,40 @@ pub fn build_scenario(
 
 /// Runs `spec` at `seed` to completion and evaluates the outcome.
 pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, SpecError> {
+    run_scenario_impl(spec, seed, None).map(|(outcome, _)| outcome)
+}
+
+/// [`run_scenario`] with a telemetry [`Recorder`] installed on the
+/// session for the whole run; returns the outcome together with the
+/// recorder (carrying whatever it accumulated). Telemetry is purely
+/// observational — the outcome is bit-identical to [`run_scenario`] on
+/// the same spec and seed.
+///
+/// # Errors
+///
+/// Exactly as [`run_scenario`]; the recorder is dropped with the
+/// session when the scenario cannot be built.
+pub fn run_scenario_recorded(
+    spec: &ScenarioSpec,
+    seed: u64,
+    recorder: Box<dyn Recorder>,
+) -> Result<(ScenarioOutcome, Box<dyn Recorder>), SpecError> {
+    let (outcome, recorder) = run_scenario_impl(spec, seed, Some(recorder))?;
+    Ok((
+        outcome,
+        recorder.expect("session hands back the installed recorder"),
+    ))
+}
+
+fn run_scenario_impl(
+    spec: &ScenarioSpec,
+    seed: u64,
+    recorder: Option<Box<dyn Recorder>>,
+) -> Result<(ScenarioOutcome, Option<Box<dyn Recorder>>), SpecError> {
     let (mut sim, mut hook) = build_scenario(spec, seed)?;
+    if let Some(r) = recorder {
+        sim.set_recorder(r);
+    }
     // Round-0 events act on the initial deployment, before any movement.
     hook.fire_due(&mut sim, 0);
     let mut probe = CoverageProbe {
@@ -347,7 +380,8 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
     } else {
         Vec::new()
     };
-    Ok(ScenarioOutcome {
+    let recorder = sim.take_recorder();
+    let outcome = ScenarioOutcome {
         scenario: spec.name.clone(),
         seed,
         final_n: sim.network().len(),
@@ -372,7 +406,8 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
         events: hook.into_log(),
         recovery,
         rounds,
-    })
+    };
+    Ok((outcome, recorder))
 }
 
 #[cfg(test)]

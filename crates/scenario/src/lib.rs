@@ -70,11 +70,12 @@ pub mod toml;
 pub mod value;
 
 pub use campaign::{
-    run_campaign, run_campaign_streamed, CampaignCell, CampaignSpec, CellInfo, CellResult,
-    ParamGrid,
+    run_campaign, run_campaign_observed, run_campaign_streamed, CampaignCell, CampaignProgress,
+    CampaignRunOptions, CampaignSpec, CellInfo, CellResult, ParamGrid, ZipSpec,
 };
 pub use engine::{
-    build_scenario, recovery_metrics, run_scenario, RecoverySummary, RoundMetric, ScenarioOutcome,
+    build_scenario, recovery_metrics, run_scenario, run_scenario_recorded, RecoverySummary,
+    RoundMetric, ScenarioOutcome,
 };
 pub use events::{AppliedEvent, TimelineHook};
 pub use results::{to_csv, to_jsonl, ResultStore, StreamingResultFiles};

@@ -392,6 +392,14 @@ pub struct AlgorithmSpec {
     /// Incremental adjacency-snapshot maintenance (default on). Results
     /// are bit-identical with the knob off.
     pub incremental_index: bool,
+    /// Per-cell telemetry recording (default off). Honored by the
+    /// campaign runner — not by [`LaacadConfig`], which telemetry never
+    /// touches: when set, [`crate::campaign::run_campaign_observed`]
+    /// installs a [`laacad::SessionTelemetry`] recorder on the cell's
+    /// session and writes a JSONL metric stream plus a Chrome trace
+    /// file beside the result store. Purely observational — results are
+    /// byte-identical either way.
+    pub telemetry: bool,
 }
 
 impl Default for AlgorithmSpec {
@@ -411,6 +419,7 @@ impl Default for AlgorithmSpec {
             exact_reach: true,
             warm_start: true,
             incremental_index: true,
+            telemetry: false,
         }
     }
 }
@@ -496,6 +505,7 @@ impl AlgorithmSpec {
             warm_start: decode::opt_bool(v, "warm_start", path)?.unwrap_or(d.warm_start),
             incremental_index: decode::opt_bool(v, "incremental_index", path)?
                 .unwrap_or(d.incremental_index),
+            telemetry: decode::opt_bool(v, "telemetry", path)?.unwrap_or(d.telemetry),
         })
     }
 
@@ -555,6 +565,9 @@ impl AlgorithmSpec {
         }
         if self.incremental_index != d.incremental_index {
             t.insert("incremental_index", Value::Bool(self.incremental_index));
+        }
+        if self.telemetry != d.telemetry {
+            t.insert("telemetry", Value::Bool(self.telemetry));
         }
         t
     }

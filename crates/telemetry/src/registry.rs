@@ -1,0 +1,128 @@
+//! The aggregating recorder: per-stage stats/histograms plus the
+//! engine's work counters, re-exported as queryable totals.
+
+use crate::{Recorder, Stage, StageAccum};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// A [`Recorder`] that aggregates in memory: one [`StageAccum`] per
+/// [`Stage`] (count / total / min / max / log₂ histogram) and a running
+/// total per work counter — the `SessionCounters` fields re-exported
+/// through telemetry, plus per-round-only metrics like `nodes_moved`.
+///
+/// Registries [`merge`](TelemetryRegistry::merge) deterministically
+/// (everything is a sum or min/max), so per-worker or per-cell
+/// registries can be folded into one aggregate in any order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryRegistry {
+    stages: [StageAccum; Stage::COUNT],
+    counters: BTreeMap<&'static str, u64>,
+    rounds: u64,
+}
+
+impl TelemetryRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Aggregated timings for one stage.
+    pub fn stage(&self, stage: Stage) -> &StageAccum {
+        &self.stages[stage.index()]
+    }
+
+    /// Running total for a work counter (0 if never reported).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counter totals, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&name, &total)| (name, total))
+    }
+
+    /// Number of completed rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Folds another registry into this one. Order-independent.
+    pub fn merge(&mut self, other: &TelemetryRegistry) {
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            mine.merge(theirs);
+        }
+        for (&name, &total) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += total;
+        }
+        self.rounds += other.rounds;
+    }
+}
+
+impl Recorder for TelemetryRegistry {
+    fn span(&mut self, stage: Stage, _round: usize, nanos: u64) {
+        self.stages[stage.index()].record(nanos);
+    }
+
+    fn counter(&mut self, name: &'static str, _round: usize, value: u64) {
+        *self.counters.entry(name).or_insert(0) += value;
+    }
+
+    fn kernel(&mut self, stage: Stage, _round: usize, accum: &StageAccum) {
+        self.stages[stage.index()].merge(accum);
+    }
+
+    fn round_end(&mut self, _round: usize) {
+        self.rounds += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_aggregates_spans_counters_and_kernels() {
+        let mut reg = TelemetryRegistry::new();
+        reg.span(Stage::Classify, 1, 100);
+        reg.span(Stage::Classify, 2, 300);
+        reg.counter("ring_searches", 1, 7);
+        reg.counter("ring_searches", 2, 5);
+        let mut accum = StageAccum::default();
+        accum.record(40);
+        accum.record(60);
+        reg.kernel(Stage::RingSearch, 1, &accum);
+        reg.round_end(1);
+        reg.round_end(2);
+
+        assert_eq!(reg.stage(Stage::Classify).count, 2);
+        assert_eq!(reg.stage(Stage::Classify).total_nanos, 400);
+        assert_eq!(reg.stage(Stage::RingSearch).count, 2);
+        assert_eq!(reg.stage(Stage::RingSearch).total_nanos, 100);
+        assert_eq!(reg.counter_total("ring_searches"), 12);
+        assert_eq!(reg.counter_total("unknown"), 0);
+        assert_eq!(reg.rounds(), 2);
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent() {
+        let mut a = TelemetryRegistry::new();
+        a.span(Stage::Round, 1, 10);
+        a.counter("cache_hits", 1, 3);
+        let mut b = TelemetryRegistry::new();
+        b.span(Stage::Round, 1, 30);
+        b.counter("cache_hits", 1, 4);
+        b.counter("cache_misses", 1, 1);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter_total("cache_hits"), 7);
+        assert_eq!(ab.stage(Stage::Round).total_nanos, 40);
+    }
+}

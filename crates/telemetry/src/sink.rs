@@ -1,0 +1,324 @@
+//! Export sinks: a deterministic JSONL metric stream and a Chrome
+//! trace-event (`chrome://tracing` / Perfetto) exporter, plus the
+//! [`SessionTelemetry`] bundle that drives registry + both sinks from
+//! one recorder slot.
+
+use crate::{Recorder, Stage, StageAccum, TelemetryRegistry};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag on the first line of every JSONL metric file; bump when
+/// the line format changes. [`crate::validate`] checks against this.
+pub const JSONL_SCHEMA: &str = "laacad-telemetry-jsonl/1";
+
+/// A [`Recorder`] that produces one JSON line per round containing only
+/// the round's **deterministic work metrics** — per-round counter
+/// deltas, no timestamps, no durations. Spans and kernel timings are
+/// deliberately dropped: that is what makes the output byte-stable
+/// across reruns and thread counts (the engine's work counters are part
+/// of its bit-identical state). Wall-clock data belongs to
+/// [`ChromeTraceSink`].
+///
+/// Output shape (one JSON object per line):
+///
+/// ```text
+/// {"type":"meta","schema":"laacad-telemetry-jsonl/1"}
+/// {"type":"round","round":1,"counters":{"cache_hits":0,...}}
+/// ...
+/// {"type":"summary","rounds":120,"counters":{...running totals...}}
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonlSink {
+    pending: BTreeMap<&'static str, u64>,
+    totals: BTreeMap<&'static str, u64>,
+    rounds: u64,
+    lines: String,
+}
+
+impl JsonlSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The complete JSONL document: meta line, per-round lines, summary.
+    pub fn finish(&self) -> String {
+        let mut out = format!("{{\"type\":\"meta\",\"schema\":\"{JSONL_SCHEMA}\"}}\n");
+        out.push_str(&self.lines);
+        out.push_str(&format!(
+            "{{\"type\":\"summary\",\"rounds\":{},\"counters\":{}}}\n",
+            self.rounds,
+            counters_json(&self.totals)
+        ));
+        out
+    }
+}
+
+fn counters_json(counters: &BTreeMap<&'static str, u64>) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{value}");
+    }
+    out.push('}');
+    out
+}
+
+impl Recorder for JsonlSink {
+    fn span(&mut self, _stage: Stage, _round: usize, _nanos: u64) {}
+
+    fn counter(&mut self, name: &'static str, _round: usize, value: u64) {
+        *self.pending.entry(name).or_insert(0) += value;
+    }
+
+    fn kernel(&mut self, _stage: Stage, _round: usize, _accum: &StageAccum) {}
+
+    fn round_end(&mut self, round: usize) {
+        let pending = std::mem::take(&mut self.pending);
+        let _ = writeln!(
+            self.lines,
+            "{{\"type\":\"round\",\"round\":{round},\"counters\":{}}}",
+            counters_json(&pending)
+        );
+        for (name, value) in pending {
+            *self.totals.entry(name).or_insert(0) += value;
+        }
+        self.rounds += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A [`Recorder`] that builds a Chrome trace-event file — open the
+/// result in <https://ui.perfetto.dev> or `chrome://tracing` to see the
+/// per-round stage timeline plus counter tracks.
+///
+/// Spans carry real measured durations, but the engine reports a span
+/// only *after* it completes, so the sink lays spans out on a
+/// **synthesized timeline**: each span starts where the previous one
+/// ended, and the enclosing [`Stage::Round`] span stretches over its
+/// children. Gaps between instrumented stages are therefore folded
+/// away; durations, not absolute timestamps, are the signal. Output is
+/// not byte-stable across runs (durations never are) — only the JSONL
+/// sink promises that.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceSink {
+    events: Vec<String>,
+    cursor_ns: u64,
+    round_start_ns: u64,
+}
+
+impl ChromeTraceSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The complete trace-event JSON document.
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(event);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Number of buffered trace events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push_span(&mut self, name: &str, start_ns: u64, dur_ns: u64, args: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{{args}}}}}",
+            start_ns as f64 / 1e3,
+            dur_ns as f64 / 1e3,
+        ));
+    }
+}
+
+impl Recorder for ChromeTraceSink {
+    fn span(&mut self, stage: Stage, round: usize, nanos: u64) {
+        if stage == Stage::Round {
+            // The round span arrives last and must enclose the child
+            // spans already laid out since the previous round ended.
+            let children_ns = self.cursor_ns - self.round_start_ns;
+            let dur = nanos.max(children_ns);
+            let start = self.round_start_ns;
+            self.push_span("round", start, dur, &format!("\"round\":{round}"));
+            self.cursor_ns = start + dur;
+        } else {
+            let start = self.cursor_ns;
+            self.push_span(stage.name(), start, nanos, &format!("\"round\":{round}"));
+            self.cursor_ns = start + nanos;
+        }
+    }
+
+    fn counter(&mut self, name: &'static str, _round: usize, value: u64) {
+        self.events.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":0,\"ts\":{:.3},\
+             \"args\":{{\"value\":{value}}}}}",
+            self.cursor_ns as f64 / 1e3,
+        ));
+    }
+
+    fn kernel(&mut self, stage: Stage, round: usize, accum: &StageAccum) {
+        if accum.is_empty() {
+            return;
+        }
+        let start = self.cursor_ns;
+        let args = format!(
+            "\"round\":{round},\"nodes\":{},\"mean_ns\":{},\"max_ns\":{}",
+            accum.count,
+            accum.mean_nanos(),
+            accum.max_nanos,
+        );
+        self.push_span(stage.name(), start, accum.total_nanos, &args);
+        self.cursor_ns = start + accum.total_nanos;
+    }
+
+    fn round_end(&mut self, _round: usize) {
+        self.round_start_ns = self.cursor_ns;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The full per-session bundle: an aggregating [`TelemetryRegistry`]
+/// plus both sinks, driven from a single `Session::set_recorder` slot.
+/// This is what the campaign runner installs per cell; after the run it
+/// writes `jsonl.finish()` and `trace.finish()` beside the result
+/// store and reads totals from `registry`.
+#[derive(Debug, Clone, Default)]
+pub struct SessionTelemetry {
+    /// In-memory aggregate (per-stage stats + counter totals).
+    pub registry: TelemetryRegistry,
+    /// Deterministic per-round work-metric stream.
+    pub jsonl: JsonlSink,
+    /// Chrome trace-event timeline.
+    pub trace: ChromeTraceSink,
+}
+
+impl SessionTelemetry {
+    /// A fresh bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Recorder for SessionTelemetry {
+    fn span(&mut self, stage: Stage, round: usize, nanos: u64) {
+        self.registry.span(stage, round, nanos);
+        self.jsonl.span(stage, round, nanos);
+        self.trace.span(stage, round, nanos);
+    }
+
+    fn counter(&mut self, name: &'static str, round: usize, value: u64) {
+        self.registry.counter(name, round, value);
+        self.jsonl.counter(name, round, value);
+        self.trace.counter(name, round, value);
+    }
+
+    fn kernel(&mut self, stage: Stage, round: usize, accum: &StageAccum) {
+        self.registry.kernel(stage, round, accum);
+        self.jsonl.kernel(stage, round, accum);
+        self.trace.kernel(stage, round, accum);
+    }
+
+    fn round_end(&mut self, round: usize) {
+        self.registry.round_end(round);
+        self.jsonl.round_end(round);
+        self.trace.round_end(round);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(rec: &mut dyn Recorder) {
+        for round in 1..=2 {
+            rec.span(Stage::Classify, round, 500);
+            let mut accum = StageAccum::default();
+            accum.record(100);
+            accum.record(300);
+            rec.kernel(Stage::RingSearch, round, &accum);
+            rec.counter("ring_searches", round, 2);
+            rec.counter("nodes_moved", round, 1);
+            rec.span(Stage::Round, round, 2_000);
+            rec.round_end(round);
+        }
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_validates() {
+        let mut a = JsonlSink::new();
+        let mut b = JsonlSink::new();
+        drive(&mut a);
+        drive(&mut b);
+        assert_eq!(a.finish(), b.finish());
+        let summary = crate::validate::validate_metrics_jsonl(&a.finish()).unwrap();
+        assert_eq!(summary.rounds, 2);
+        assert_eq!(summary.counter_total("ring_searches"), 4);
+    }
+
+    #[test]
+    fn jsonl_ignores_wall_clock_data() {
+        let mut with_spans = JsonlSink::new();
+        drive(&mut with_spans);
+        let mut without = JsonlSink::new();
+        for round in 1..=2 {
+            without.counter("ring_searches", round, 2);
+            without.counter("nodes_moved", round, 1);
+            without.round_end(round);
+        }
+        assert_eq!(with_spans.finish(), without.finish());
+    }
+
+    #[test]
+    fn chrome_trace_nests_round_over_children() {
+        let mut sink = ChromeTraceSink::new();
+        drive(&mut sink);
+        let doc = sink.finish();
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.contains("\"name\":\"round\""));
+        assert!(doc.contains("\"name\":\"ring_search\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        // Round 1 children: classify 500ns + ring kernel 400ns = 900ns,
+        // but the measured round span (2000ns) dominates, so round 2
+        // starts at 2µs on the synthesized timeline.
+        assert!(doc.contains("\"ts\":2.000,\"dur\":0.500"));
+    }
+
+    #[test]
+    fn session_telemetry_feeds_all_three() {
+        let mut bundle = SessionTelemetry::new();
+        drive(&mut bundle);
+        assert_eq!(bundle.registry.rounds(), 2);
+        assert_eq!(bundle.registry.counter_total("ring_searches"), 4);
+        assert!(!bundle.trace.is_empty());
+        assert!(bundle.jsonl.finish().contains("\"type\":\"round\""));
+    }
+}

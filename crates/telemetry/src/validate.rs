@@ -1,0 +1,370 @@
+//! Schema validation for the JSONL metric stream — used by the CI
+//! campaign smoke to check that emitted telemetry files are well-formed
+//! and internally consistent.
+//!
+//! Carries its own minimal JSON reader so the crate stays
+//! dependency-free; it accepts exactly the subset the sinks emit
+//! (objects, strings, numbers, plus arrays/bools/null for
+//! completeness).
+
+use crate::sink::JSONL_SCHEMA;
+use std::collections::BTreeMap;
+
+/// What a valid metric stream contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Number of per-round lines.
+    pub rounds: u64,
+    /// Counter totals summed over all round lines (cross-checked
+    /// against the stream's own summary line).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl MetricsSummary {
+    /// Total for one counter (0 if absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Validates a complete JSONL metric document against the
+/// `laacad-telemetry-jsonl/1` schema: a meta line, per-round lines with
+/// strictly increasing round numbers and non-negative integer counters,
+/// and a summary line whose totals match the sum of the round lines.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line and the violated rule.
+pub fn validate_metrics_jsonl(text: &str) -> Result<MetricsSummary, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() < 2 {
+        return Err(format!(
+            "expected at least a meta and a summary line, got {} lines",
+            lines.len()
+        ));
+    }
+
+    let meta = parse_object(lines[0], 1)?;
+    expect_str(&meta, "type", "meta", 1)?;
+    expect_str(&meta, "schema", JSONL_SCHEMA, 1)?;
+
+    let mut summary = MetricsSummary::default();
+    let mut last_round: Option<u64> = None;
+    for (i, line) in lines[1..lines.len() - 1].iter().enumerate() {
+        let lineno = i + 2;
+        let obj = parse_object(line, lineno)?;
+        expect_str(&obj, "type", "round", lineno)?;
+        let round = expect_u64(&obj, "round", lineno)?;
+        if let Some(prev) = last_round {
+            if round <= prev {
+                return Err(format!(
+                    "line {lineno}: round {round} does not increase past {prev}"
+                ));
+            }
+        }
+        last_round = Some(round);
+        for (name, value) in expect_counters(&obj, lineno)? {
+            *summary.counters.entry(name).or_insert(0) += value;
+        }
+        summary.rounds += 1;
+    }
+
+    let lineno = lines.len();
+    let tail = parse_object(lines[lineno - 1], lineno)?;
+    expect_str(&tail, "type", "summary", lineno)?;
+    let declared_rounds = expect_u64(&tail, "rounds", lineno)?;
+    if declared_rounds != summary.rounds {
+        return Err(format!(
+            "summary declares {declared_rounds} rounds but the stream has {}",
+            summary.rounds
+        ));
+    }
+    let declared = expect_counters(&tail, lineno)?;
+    if declared != summary.counters {
+        return Err("summary counter totals disagree with the per-round lines".to_string());
+    }
+    Ok(summary)
+}
+
+type Object = BTreeMap<String, Json>;
+
+fn expect_str(obj: &Object, key: &str, want: &str, lineno: usize) -> Result<(), String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) if s == want => Ok(()),
+        Some(other) => Err(format!(
+            "line {lineno}: expected \"{key}\":\"{want}\", got {other:?}"
+        )),
+        None => Err(format!("line {lineno}: missing \"{key}\"")),
+    }
+}
+
+fn expect_u64(obj: &Object, key: &str, lineno: usize) -> Result<u64, String> {
+    match obj.get(key) {
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as u64),
+        Some(other) => Err(format!(
+            "line {lineno}: \"{key}\" must be a non-negative integer, got {other:?}"
+        )),
+        None => Err(format!("line {lineno}: missing \"{key}\"")),
+    }
+}
+
+fn expect_counters(obj: &Object, lineno: usize) -> Result<BTreeMap<String, u64>, String> {
+    let Some(Json::Obj(counters)) = obj.get("counters") else {
+        return Err(format!("line {lineno}: missing \"counters\" object"));
+    };
+    let mut out = BTreeMap::new();
+    for (name, value) in counters {
+        match value {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => {
+                out.insert(name.clone(), *n as u64);
+            }
+            other => {
+                return Err(format!(
+                    "line {lineno}: counter \"{name}\" must be a non-negative integer, \
+                     got {other:?}"
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Minimal JSON value for validation purposes.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Object),
+}
+
+fn parse_object(line: &str, lineno: usize) -> Result<Object, String> {
+    let mut parser = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let value = parser
+        .parse_value()
+        .map_err(|e| format!("line {lineno}: {e}"))?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("line {lineno}: trailing data after JSON value"));
+    }
+    match value {
+        Json::Obj(obj) => Ok(obj),
+        other => Err(format!("line {lineno}: expected an object, got {other:?}")),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_obj(),
+            Some(b'[') => self.parse_arr(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_num(),
+            other => Err(format!("unexpected byte {other:?} at {}", self.pos)),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        // The sinks never emit other escapes; reject
+                        // rather than silently mangle.
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through byte-wise; find
+                    // the char boundary via the original str slice.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut obj = Object::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(obj));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            obj.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(obj));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_doc() -> String {
+        format!(
+            "{{\"type\":\"meta\",\"schema\":\"{JSONL_SCHEMA}\"}}\n\
+             {{\"type\":\"round\",\"round\":1,\"counters\":{{\"cache_hits\":2,\"nodes_moved\":5}}}}\n\
+             {{\"type\":\"round\",\"round\":2,\"counters\":{{\"cache_hits\":1,\"nodes_moved\":3}}}}\n\
+             {{\"type\":\"summary\",\"rounds\":2,\"counters\":{{\"cache_hits\":3,\"nodes_moved\":8}}}}\n"
+        )
+    }
+
+    #[test]
+    fn accepts_a_valid_stream() {
+        let summary = validate_metrics_jsonl(&valid_doc()).unwrap();
+        assert_eq!(summary.rounds, 2);
+        assert_eq!(summary.counter_total("nodes_moved"), 8);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_tag() {
+        let doc = valid_doc().replace("jsonl/1", "jsonl/9");
+        assert!(validate_metrics_jsonl(&doc).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn rejects_non_increasing_rounds() {
+        let doc = valid_doc().replace("\"round\":2", "\"round\":1");
+        let err = validate_metrics_jsonl(&doc).unwrap_err();
+        assert!(err.contains("does not increase"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_summary_totals() {
+        let doc = valid_doc().replace("\"cache_hits\":3", "\"cache_hits\":4");
+        let err = validate_metrics_jsonl(&doc).unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        let doc = valid_doc().replace("\"counters\":{", "\"counters\":[");
+        assert!(validate_metrics_jsonl(&doc).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_or_float_counters() {
+        let doc = valid_doc()
+            .replace("\"cache_hits\":2", "\"cache_hits\":2.5")
+            .replace("\"cache_hits\":3", "\"cache_hits\":3.5");
+        let err = validate_metrics_jsonl(&doc).unwrap_err();
+        assert!(err.contains("non-negative integer"), "{err}");
+    }
+}
