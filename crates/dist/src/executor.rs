@@ -1,0 +1,907 @@
+//! The asynchronous message-driven LAACAD executor.
+//!
+//! Every node runs its own copy of the LAACAD state machine and talks to
+//! its radio neighbors through explicit messages routed by a seeded
+//! discrete-event queue. The protocol per node round:
+//!
+//! 1. **Hello** — broadcast a neighbor probe to the current one-hop
+//!    neighborhood (ground truth at send time) and arm a compute check.
+//! 2. **Ack** — every node acks any hello it hears, idempotently.
+//! 3. **Compute** — when all acks are in (or after `max_retries`
+//!    timeouts, whichever comes first) the node runs the LAACAD local
+//!    view: expanding-ring search, order-k subdivision, Chebyshev
+//!    center — the same kernel the synchronous engine calls.
+//! 4. **Move** — if the target is further than `ε`, step toward it
+//!    (`α`-lerp, projected into the region) one tick later, then start
+//!    the next round.
+//!
+//! In the zero-delay/zero-loss limit the slots above put every node's
+//! compute for round `r` on the same tick, reading the same position
+//! snapshot the synchronous engine would — the final deployment is
+//! bit-identical to [`laacad::Session::run`] at any thread count (see
+//! `tests/sync_equivalence.rs`). Under faults, lost probes cost retry
+//! latency, not correctness: a node eventually computes with whatever
+//! neighborhood information the ground-truth network gives it.
+//!
+//! **Determinism.** The executor owns a single
+//! [`SplitMix64`](laacad_region::sampling::SplitMix64) stream consumed
+//! in event-processing order; ties in the event queue break by send
+//! sequence number. There is no wall-clock or OS randomness anywhere, so
+//! `(seed, FaultPlan)` replays byte-identically.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use laacad::{compute_node_view, LaacadConfig, LaacadError, RoundReport, RoundScratch, RunSummary};
+use laacad_geom::Point;
+use laacad_region::sampling::SplitMix64;
+use laacad_region::Region;
+use laacad_telemetry::Recorder;
+use laacad_wsn::mobility::step_toward;
+use laacad_wsn::radio::MessageStats;
+use laacad_wsn::{Network, NodeId};
+
+use crate::fault::FaultPlan;
+
+/// Ticks from a round's hello broadcast to its first compute check: one
+/// tick hello flight, one tick ack flight, one tick of slack so acks
+/// landing on the check's own tick are already counted.
+const COMPUTE_SLOT: u64 = 3;
+
+/// Protocol and budget knobs of the asynchronous executor (everything
+/// that is *not* part of the fault model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncConfig {
+    /// Ticks between compute checks while acks are missing (the
+    /// retransmission timeout; clamped to ≥ 1).
+    pub ack_timeout: u64,
+    /// Hello retransmission rounds before a node computes with a
+    /// partial neighborhood anyway.
+    pub max_retries: u32,
+    /// Virtual-time budget: events past this tick are not processed and
+    /// the run reports [`Termination::TickBudget`] with the partial
+    /// deployment.
+    pub max_ticks: u64,
+    /// Processed-event budget backstopping runaway fault plans
+    /// ([`Termination::EventBudget`]).
+    pub max_events: u64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            ack_timeout: 4,
+            max_retries: 3,
+            max_ticks: 1_000_000,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// Why an asynchronous run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Global quiescence: every live node completed a round, with no
+    /// movement, computed strictly after the last movement anywhere —
+    /// the configuration is a fixed point of the local rule.
+    Converged,
+    /// Every live node reached the `max_rounds` limit without global
+    /// quiescence.
+    RoundLimit,
+    /// The event queue drained while nodes were still mid-protocol —
+    /// e.g. every remaining participant crashed with no recovery
+    /// scheduled.
+    Deadlock,
+    /// The virtual-time budget ([`AsyncConfig::max_ticks`]) ran out.
+    TickBudget,
+    /// The processed-event budget ([`AsyncConfig::max_events`]) ran out.
+    EventBudget,
+}
+
+impl Termination {
+    /// Stable lowercase tag (used by scenario outcomes and JSONL).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Termination::Converged => "converged",
+            Termination::RoundLimit => "round_limit",
+            Termination::Deadlock => "deadlock",
+            Termination::TickBudget => "tick_budget",
+            Termination::EventBudget => "event_budget",
+        }
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Coordination-plane message accounting, kept strictly separate from
+/// the algorithm's ring-search [`MessageStats`] (which must match the
+/// synchronous engine exactly in the zero-fault limit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolStats {
+    /// Hello broadcasts initiated (one per node round).
+    pub hellos: u64,
+    /// Ack replies sent.
+    pub acks: u64,
+    /// Hello unicasts re-sent after an ack timeout.
+    pub retransmissions: u64,
+    /// Point-to-point message copies handed to the channel.
+    pub sent: u64,
+    /// Copies delivered to a live node.
+    pub delivered: u64,
+    /// Copies dropped by the loss knob.
+    pub lost: u64,
+    /// Extra copies injected by the duplication knob.
+    pub duplicated: u64,
+    /// Copies that arrived at a crashed node.
+    pub dropped_to_crashed: u64,
+    /// Rounds computed with a partial neighborhood after exhausting
+    /// retries.
+    pub timeouts: u64,
+    /// LAACAD local-view computations executed.
+    pub computes: u64,
+    /// Crash events applied.
+    pub crashes: u64,
+    /// Recover events applied.
+    pub recoveries: u64,
+}
+
+/// Outcome of one [`AsyncExecutor::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncRunReport {
+    /// Why the run stopped.
+    pub termination: Termination,
+    /// Sync-engine-shaped run summary (rounds, convergence flag, final
+    /// sensing radii, algorithm messages, distance moved) — directly
+    /// comparable with [`laacad::Session::run`]'s.
+    pub summary: RunSummary,
+    /// Per-round records, directly comparable with the synchronous
+    /// engine's [`laacad::History`].
+    pub rounds: Vec<RoundReport>,
+    /// Coordination-plane counters.
+    pub protocol: ProtocolStats,
+    /// Virtual time consumed (last processed tick).
+    pub ticks: u64,
+    /// Events processed.
+    pub events_processed: u64,
+    /// Final searching-ring radius `ρ` per node, recomputed at the final
+    /// positions during finalization (the ρ-equivalence handle).
+    pub final_rhos: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MsgKind {
+    Hello { round: usize },
+    Ack { round: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    RoundStart {
+        node: usize,
+        epoch: u32,
+    },
+    Deliver {
+        to: usize,
+        from: usize,
+        msg: MsgKind,
+    },
+    ComputeCheck {
+        node: usize,
+        round: usize,
+        attempt: u32,
+        epoch: u32,
+    },
+    ApplyMove {
+        node: usize,
+        target: Point,
+        epoch: u32,
+    },
+    Crash {
+        node: usize,
+    },
+    Recover {
+        node: usize,
+    },
+}
+
+/// Queue entry ordered by `(tick, seq)` — `seq` is assigned at push
+/// time, so same-tick events process in scheduling order and the order
+/// is total (no two events share a `seq`).
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    tick: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.tick, self.seq) == (other.tick, other.seq)
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Between rounds: a `RoundStart` is queued (or the node crashed).
+    Idle,
+    /// Hello sent; collecting acks until the compute check fires.
+    Waiting,
+    /// Computed and decided to move; the `ApplyMove` is in flight.
+    Moving,
+    /// Hit the round limit; the node participates passively (acks,
+    /// senses) but runs no further rounds.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct NodeMachine {
+    /// Round currently executing (1-based; 0 before the first).
+    round: usize,
+    phase: Phase,
+    /// Bumped on every crash/recover; events carrying a stale epoch are
+    /// ignored, which cleanly cancels a crashed node's in-flight
+    /// schedule.
+    epoch: u32,
+    crashed: bool,
+    /// Neighbor indices awaited this round, with received flags.
+    expected: Vec<usize>,
+    got: Vec<bool>,
+    missing: usize,
+    /// Highest round this node finished a compute for.
+    completed: usize,
+    /// Tick of that compute.
+    completed_tick: u64,
+    /// Whether that round decided to move (pessimistically `true` after
+    /// a recovery, until the node completes a fresh round).
+    moved_last: bool,
+    /// ρ of the most recent compute.
+    rho: f64,
+}
+
+impl NodeMachine {
+    fn new() -> Self {
+        NodeMachine {
+            round: 0,
+            phase: Phase::Idle,
+            epoch: 0,
+            crashed: false,
+            expected: Vec::new(),
+            got: Vec::new(),
+            missing: 0,
+            completed: 0,
+            completed_tick: 0,
+            moved_last: false,
+            rho: 0.0,
+        }
+    }
+}
+
+/// Per-round aggregation mirroring the synchronous engine's
+/// `RoundAggregate`, plus completion accounting.
+#[derive(Debug, Clone)]
+struct RoundAccum {
+    max_circumradius: f64,
+    min_circumradius: f64,
+    max_reach: f64,
+    max_disp: f64,
+    messages: MessageStats,
+    completed: usize,
+    moved: usize,
+}
+
+impl Default for RoundAccum {
+    fn default() -> Self {
+        RoundAccum {
+            max_circumradius: 0.0,
+            min_circumradius: f64::INFINITY,
+            max_reach: 0.0,
+            max_disp: 0.0,
+            messages: MessageStats::default(),
+            completed: 0,
+            moved: 0,
+        }
+    }
+}
+
+/// The message-driven executor. Construct with [`AsyncExecutor::new`],
+/// then [`AsyncExecutor::run`] once.
+#[derive(Debug)]
+pub struct AsyncExecutor {
+    config: LaacadConfig,
+    region: Region,
+    net: Network,
+    plan: FaultPlan,
+    proto: AsyncConfig,
+    rng: SplitMix64,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: u64,
+    nodes: Vec<NodeMachine>,
+    scratch: RoundScratch,
+    rounds: Vec<RoundAccum>,
+    stats: ProtocolStats,
+    recorder: Option<Box<dyn Recorder>>,
+    /// Tick of the most recent applied movement anywhere (the
+    /// quiescence watermark).
+    last_move_tick: u64,
+    live: usize,
+    events_processed: u64,
+    stopped: Option<Termination>,
+    final_rhos: Vec<f64>,
+}
+
+impl AsyncExecutor {
+    /// Builds an executor over `positions` (validated against `region`)
+    /// with the given fault plan and protocol knobs.
+    ///
+    /// The kernel-level local-view cache is disabled internally: node
+    /// rounds interleave arbitrarily under faults, outside the cadence
+    /// the cache's invalidation reasoning assumes — and cache on/off is
+    /// bit-identical anyway, so nothing is lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LaacadConfig::validate`] failures,
+    /// [`LaacadError::NodeOutsideRegion`] for positions outside the
+    /// region, and [`LaacadError::UnknownNode`] for crash events naming
+    /// node indices that do not exist.
+    pub fn new(
+        config: LaacadConfig,
+        region: Region,
+        positions: Vec<Point>,
+        plan: FaultPlan,
+        proto: AsyncConfig,
+    ) -> Result<Self, LaacadError> {
+        let n = positions.len();
+        config.validate(n)?;
+        for (index, p) in positions.iter().enumerate() {
+            if !region.contains(*p) {
+                return Err(LaacadError::NodeOutsideRegion { index });
+            }
+        }
+        for crash in &plan.crashes {
+            if crash.node >= n {
+                return Err(LaacadError::UnknownNode { id: crash.node, n });
+            }
+        }
+        let mut config = config;
+        config.cache = false;
+        let net = Network::from_positions(config.gamma, positions);
+        let seed = config.seed;
+        Ok(AsyncExecutor {
+            config,
+            region,
+            net,
+            plan,
+            proto: AsyncConfig {
+                ack_timeout: proto.ack_timeout.max(1),
+                ..proto
+            },
+            rng: SplitMix64::new(seed ^ 0xA57C_0FAA_17ED_D15F),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            nodes: (0..n).map(|_| NodeMachine::new()).collect(),
+            scratch: RoundScratch::new(),
+            rounds: Vec::new(),
+            stats: ProtocolStats::default(),
+            recorder: None,
+            last_move_tick: 0,
+            live: n,
+            events_processed: 0,
+            stopped: None,
+            final_rhos: Vec::new(),
+        })
+    }
+
+    /// Installs a telemetry recorder; per-round compute/movement
+    /// counters and the protocol totals are emitted through it when the
+    /// run finishes.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Removes and returns the installed recorder.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// The ground-truth network (final positions and sensing radii after
+    /// [`AsyncExecutor::run`]).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn schedule(&mut self, tick: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { tick, seq, kind }));
+    }
+
+    fn ensure_round(&mut self, round: usize) {
+        while self.rounds.len() < round {
+            self.rounds.push(RoundAccum::default());
+        }
+    }
+
+    /// One extra-latency draw for a message copy (delay model plus
+    /// reordering jitter). Guarded so a fault-free plan never touches
+    /// the random stream.
+    fn link_delay(&mut self) -> u64 {
+        let mut extra = self.plan.delay.sample(&mut self.rng);
+        if self.plan.jitter > 0.0 && self.rng.next_f64() < self.plan.jitter {
+            extra += 1 + self.rng.next_u64() % 3;
+        }
+        extra
+    }
+
+    /// Hands one message copy to the channel: loss, delay/jitter and
+    /// duplication draws happen here, in deterministic order.
+    fn transmit(&mut self, from: usize, to: usize, msg: MsgKind) {
+        self.stats.sent += 1;
+        if self.plan.loss > 0.0 && self.rng.next_f64() < self.plan.loss {
+            self.stats.lost += 1;
+        } else {
+            let extra = self.link_delay();
+            self.schedule(self.now + 1 + extra, EventKind::Deliver { to, from, msg });
+        }
+        if self.plan.duplicate > 0.0 && self.rng.next_f64() < self.plan.duplicate {
+            self.stats.duplicated += 1;
+            let extra = self.link_delay();
+            self.schedule(self.now + 1 + extra, EventKind::Deliver { to, from, msg });
+        }
+    }
+
+    /// Runs the protocol to termination and finalizes sensing ranges.
+    /// Budget exhaustion and deadlock are reported, never panicked: the
+    /// partial deployment is finalized and summarized the same way a
+    /// converged one is.
+    pub fn run(&mut self) -> AsyncRunReport {
+        // Fault-plan timeline first (lower seq than the tick-0 round
+        // starts, so a tick-0 crash beats the first hello), then every
+        // node's first round, in id order.
+        for crash in self.plan.crashes.clone() {
+            self.schedule(crash.at, EventKind::Crash { node: crash.node });
+            if let Some(at) = crash.recover_at {
+                self.schedule(at, EventKind::Recover { node: crash.node });
+            }
+        }
+        for i in 0..self.nodes.len() {
+            self.schedule(0, EventKind::RoundStart { node: i, epoch: 0 });
+        }
+        let termination = self.event_loop();
+        let rounds_executed = self.rounds_executed();
+        self.finalize(rounds_executed);
+        self.assemble(termination, rounds_executed)
+    }
+
+    fn event_loop(&mut self) -> Termination {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if ev.tick > self.proto.max_ticks {
+                return Termination::TickBudget;
+            }
+            if self.events_processed >= self.proto.max_events {
+                return Termination::EventBudget;
+            }
+            self.events_processed += 1;
+            self.now = ev.tick;
+            self.process(ev.kind);
+            if let Some(t) = self.stopped {
+                return t;
+            }
+        }
+        // Queue drained without global quiescence: either an orderly
+        // round-limit stop or a genuine deadlock (no live node has any
+        // way to make progress).
+        let all_done = self
+            .nodes
+            .iter()
+            .all(|m| m.crashed || m.phase == Phase::Done);
+        if self.live > 0 && all_done {
+            Termination::RoundLimit
+        } else {
+            Termination::Deadlock
+        }
+    }
+
+    fn process(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::RoundStart { node, epoch } => self.on_round_start(node, epoch),
+            EventKind::Deliver { to, from, msg } => self.on_deliver(to, from, msg),
+            EventKind::ComputeCheck {
+                node,
+                round,
+                attempt,
+                epoch,
+            } => self.on_compute_check(node, round, attempt, epoch),
+            EventKind::ApplyMove {
+                node,
+                target,
+                epoch,
+            } => self.on_apply_move(node, target, epoch),
+            EventKind::Crash { node } => self.on_crash(node),
+            EventKind::Recover { node } => self.on_recover(node),
+        }
+    }
+
+    fn on_round_start(&mut self, i: usize, epoch: u32) {
+        {
+            let m = &self.nodes[i];
+            if m.crashed || m.epoch != epoch || m.phase == Phase::Done {
+                return;
+            }
+        }
+        let next_round = self.nodes[i].round + 1;
+        if next_round > self.config.max_rounds {
+            self.nodes[i].phase = Phase::Done;
+            return;
+        }
+        self.ensure_round(next_round);
+        let expected: Vec<usize> = self
+            .net
+            .one_hop_neighbors(NodeId(i))
+            .into_iter()
+            .map(NodeId::index)
+            .collect();
+        {
+            let m = &mut self.nodes[i];
+            m.round = next_round;
+            m.phase = Phase::Waiting;
+            m.missing = expected.len();
+            m.got = vec![false; expected.len()];
+            m.expected = expected.clone();
+        }
+        self.stats.hellos += 1;
+        for j in expected {
+            self.transmit(i, j, MsgKind::Hello { round: next_round });
+        }
+        self.schedule(
+            self.now + COMPUTE_SLOT,
+            EventKind::ComputeCheck {
+                node: i,
+                round: next_round,
+                attempt: 0,
+                epoch,
+            },
+        );
+    }
+
+    fn on_deliver(&mut self, to: usize, from: usize, msg: MsgKind) {
+        if self.nodes[to].crashed {
+            self.stats.dropped_to_crashed += 1;
+            return;
+        }
+        self.stats.delivered += 1;
+        match msg {
+            MsgKind::Hello { round } => {
+                // Always ack, idempotently — duplicated hellos produce
+                // duplicated (harmless) acks.
+                self.stats.acks += 1;
+                self.transmit(to, from, MsgKind::Ack { round });
+            }
+            MsgKind::Ack { round } => {
+                let m = &mut self.nodes[to];
+                if m.phase == Phase::Waiting && m.round == round {
+                    if let Some(pos) = m.expected.iter().position(|&x| x == from) {
+                        if !m.got[pos] {
+                            m.got[pos] = true;
+                            m.missing -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_compute_check(&mut self, i: usize, round: usize, attempt: u32, epoch: u32) {
+        {
+            let m = &self.nodes[i];
+            if m.crashed || m.epoch != epoch || m.phase != Phase::Waiting || m.round != round {
+                return;
+            }
+        }
+        if self.nodes[i].missing > 0 && attempt < self.proto.max_retries {
+            let missing: Vec<usize> = {
+                let m = &self.nodes[i];
+                m.expected
+                    .iter()
+                    .zip(&m.got)
+                    .filter(|(_, &got)| !got)
+                    .map(|(&j, _)| j)
+                    .collect()
+            };
+            self.stats.retransmissions += missing.len() as u64;
+            for j in missing {
+                self.transmit(i, j, MsgKind::Hello { round });
+            }
+            self.schedule(
+                self.now + self.proto.ack_timeout,
+                EventKind::ComputeCheck {
+                    node: i,
+                    round,
+                    attempt: attempt + 1,
+                    epoch,
+                },
+            );
+            return;
+        }
+        if self.nodes[i].missing > 0 {
+            self.stats.timeouts += 1;
+        }
+        self.compute(i, round);
+    }
+
+    fn compute(&mut self, i: usize, round: usize) {
+        let id = NodeId(i);
+        let view = compute_node_view(
+            &self.net,
+            None,
+            id,
+            &self.region,
+            &self.config,
+            round,
+            &mut self.scratch,
+        );
+        self.stats.computes += 1;
+        let position = self.net.position(id);
+        let mut target = None;
+        {
+            let acc = &mut self.rounds[round - 1];
+            acc.messages.absorb(view.messages);
+            acc.completed += 1;
+            if let Some(disk) = view.chebyshev {
+                let d = position.distance(disk.center);
+                acc.max_circumradius = acc.max_circumradius.max(disk.radius);
+                acc.min_circumradius = acc.min_circumradius.min(disk.radius);
+                acc.max_reach = acc.max_reach.max(view.reach);
+                acc.max_disp = acc.max_disp.max(d);
+                if d > self.config.epsilon {
+                    target = Some(disk.center);
+                    acc.moved += 1;
+                }
+            }
+        }
+        if view.chebyshev.is_some() {
+            self.net.set_sensing_radius(id, view.reach);
+        }
+        let epoch = {
+            let m = &mut self.nodes[i];
+            m.rho = view.rho;
+            m.completed = round;
+            m.completed_tick = self.now;
+            m.moved_last = target.is_some();
+            m.phase = if target.is_some() {
+                Phase::Moving
+            } else {
+                Phase::Idle
+            };
+            m.epoch
+        };
+        match target {
+            Some(target) => {
+                self.schedule(
+                    self.now + 1,
+                    EventKind::ApplyMove {
+                        node: i,
+                        target,
+                        epoch,
+                    },
+                );
+            }
+            None => {
+                self.schedule(self.now + 2, EventKind::RoundStart { node: i, epoch });
+                self.check_quiescence();
+            }
+        }
+    }
+
+    fn on_apply_move(&mut self, i: usize, target: Point, epoch: u32) {
+        {
+            let m = &self.nodes[i];
+            if m.crashed || m.epoch != epoch || m.phase != Phase::Moving {
+                return;
+            }
+        }
+        step_toward(
+            &mut self.net,
+            NodeId(i),
+            target,
+            self.config.alpha,
+            Some(&self.region),
+        );
+        self.last_move_tick = self.now;
+        self.nodes[i].phase = Phase::Idle;
+        self.schedule(self.now + 1, EventKind::RoundStart { node: i, epoch });
+    }
+
+    fn on_crash(&mut self, i: usize) {
+        let m = &mut self.nodes[i];
+        if m.crashed {
+            return;
+        }
+        m.crashed = true;
+        m.epoch += 1;
+        if m.phase != Phase::Done {
+            m.phase = Phase::Idle;
+        }
+        m.expected.clear();
+        m.got.clear();
+        m.missing = 0;
+        self.live -= 1;
+        self.stats.crashes += 1;
+        // The survivors may already be a fixed point.
+        self.check_quiescence();
+    }
+
+    fn on_recover(&mut self, i: usize) {
+        let m = &mut self.nodes[i];
+        if !m.crashed {
+            return;
+        }
+        m.crashed = false;
+        m.epoch += 1;
+        // Pessimistic until it completes a fresh round: a recovered node
+        // must not count as quiescent on stale information.
+        m.moved_last = true;
+        let epoch = m.epoch;
+        let done = m.phase == Phase::Done;
+        self.live += 1;
+        self.stats.recoveries += 1;
+        if !done {
+            self.schedule(self.now, EventKind::RoundStart { node: i, epoch });
+        }
+    }
+
+    /// Global quiescence test: every live node's most recent completed
+    /// round decided not to move *and* was computed strictly after the
+    /// last applied movement anywhere — i.e. every node has re-examined
+    /// the final configuration and stayed put. In the zero-fault limit
+    /// this fires exactly when the synchronous engine's
+    /// "no node moved this round" latch would.
+    fn check_quiescence(&mut self) {
+        if self.live == 0 {
+            return;
+        }
+        for m in &self.nodes {
+            if m.crashed {
+                continue;
+            }
+            if m.completed == 0 || m.moved_last || m.completed_tick <= self.last_move_tick {
+                return;
+            }
+        }
+        self.stopped = Some(Termination::Converged);
+    }
+
+    /// Highest round any node completed a compute for (0 when the run
+    /// was cut before the first compute).
+    fn rounds_executed(&self) -> usize {
+        self.rounds
+            .iter()
+            .rposition(|acc| acc.completed > 0)
+            .map_or(0, |idx| idx + 1)
+    }
+
+    /// Mirrors [`laacad::Session::finalize`]: recompute every node's
+    /// view at the final positions, in id order, and set sensing ranges
+    /// to the minimum covering value. Also captures the final ρ per
+    /// node.
+    fn finalize(&mut self, rounds_executed: usize) {
+        let n = self.net.len();
+        self.final_rhos = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId(i);
+            let view = compute_node_view(
+                &self.net,
+                None,
+                id,
+                &self.region,
+                &self.config,
+                rounds_executed,
+                &mut self.scratch,
+            );
+            self.net.set_sensing_radius(id, view.reach);
+            self.final_rhos.push(view.rho);
+        }
+    }
+
+    fn assemble(&mut self, termination: Termination, rounds_executed: usize) -> AsyncRunReport {
+        let reports: Vec<RoundReport> = self.rounds[..rounds_executed]
+            .iter()
+            .enumerate()
+            .map(|(idx, acc)| RoundReport {
+                round: idx + 1,
+                max_circumradius: acc.max_circumradius,
+                min_circumradius: if acc.min_circumradius == f64::INFINITY {
+                    0.0
+                } else {
+                    acc.min_circumradius
+                },
+                max_reach: acc.max_reach,
+                max_displacement_to_target: acc.max_disp,
+                nodes_moved: acc.moved,
+                messages: acc.messages,
+                converged: acc.moved == 0,
+            })
+            .collect();
+        let summary = RunSummary {
+            rounds: rounds_executed,
+            converged: termination == Termination::Converged,
+            max_sensing_radius: self.net.max_sensing_radius(),
+            min_sensing_radius: self.net.min_sensing_radius(),
+            messages: reports.iter().fold(MessageStats::default(), |mut acc, r| {
+                acc.absorb(r.messages);
+                acc
+            }),
+            total_distance_moved: self.net.total_distance_moved(),
+        };
+        self.emit_telemetry(&reports, rounds_executed);
+        AsyncRunReport {
+            termination,
+            summary,
+            rounds: reports,
+            protocol: self.stats,
+            ticks: self.now,
+            events_processed: self.events_processed,
+            final_rhos: std::mem::take(&mut self.final_rhos),
+        }
+    }
+
+    /// Emits per-round work counters and (in the final round) the
+    /// protocol totals through the installed [`Recorder`]. All values
+    /// are deterministic work counts, never wall clock.
+    fn emit_telemetry(&mut self, reports: &[RoundReport], rounds_executed: usize) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        if !rec.enabled() {
+            return;
+        }
+        for (idx, (acc, report)) in self.rounds[..rounds_executed]
+            .iter()
+            .zip(reports)
+            .enumerate()
+        {
+            let round = idx + 1;
+            rec.counter("async_computes", round, acc.completed as u64);
+            rec.counter("async_nodes_moved", round, report.nodes_moved as u64);
+            if round == rounds_executed {
+                rec.counter("async_hellos", round, self.stats.hellos);
+                rec.counter("async_acks", round, self.stats.acks);
+                rec.counter("async_retransmissions", round, self.stats.retransmissions);
+                rec.counter("async_messages_sent", round, self.stats.sent);
+                rec.counter("async_messages_delivered", round, self.stats.delivered);
+                rec.counter("async_messages_lost", round, self.stats.lost);
+                rec.counter("async_messages_duplicated", round, self.stats.duplicated);
+                rec.counter(
+                    "async_dropped_to_crashed",
+                    round,
+                    self.stats.dropped_to_crashed,
+                );
+                rec.counter("async_timeouts", round, self.stats.timeouts);
+                rec.counter("async_crashes", round, self.stats.crashes);
+                rec.counter("async_recoveries", round, self.stats.recoveries);
+                rec.counter("async_ticks", round, self.now);
+            }
+            rec.round_end(round);
+        }
+    }
+}

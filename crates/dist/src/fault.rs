@@ -1,0 +1,176 @@
+//! The pluggable fault model: per-link delay distributions, message
+//! loss/duplication, reordering jitter, and node crash/recover
+//! schedules.
+//!
+//! A [`FaultPlan`] plus the executor seed fully determines a run — every
+//! random draw comes from one [`SplitMix64`](laacad_region::sampling::SplitMix64)
+//! stream consumed in deterministic event-processing order, so the same
+//! `(seed, plan)` pair replays byte-identically.
+
+use laacad_region::sampling::SplitMix64;
+
+/// Per-hop message delay distribution, in whole scheduler ticks on top
+/// of the protocol's one-tick base latency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DelayModel {
+    /// No extra delay: every message arrives one tick after it is sent
+    /// (the synchronous limit).
+    #[default]
+    None,
+    /// A constant extra delay of the given number of ticks.
+    Fixed(u64),
+    /// Uniform extra delay in `lo..=hi` ticks.
+    Uniform {
+        /// Minimum extra delay (ticks).
+        lo: u64,
+        /// Maximum extra delay (ticks, inclusive).
+        hi: u64,
+    },
+    /// Geometric stand-in for an exponential delay with the given mean
+    /// (ticks), sampled by inverse CDF and rounded down to whole ticks.
+    Exp {
+        /// Mean extra delay in ticks (must be positive to have effect).
+        mean: f64,
+    },
+}
+
+impl DelayModel {
+    /// Samples one extra delay. Draws from `rng` only when the model can
+    /// actually produce a non-zero delay, so a `None` model leaves the
+    /// random stream untouched (keeping the zero-fault limit free of
+    /// spurious draws).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        match *self {
+            DelayModel::None => 0,
+            DelayModel::Fixed(ticks) => ticks,
+            DelayModel::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    lo + rng.next_u64() % (hi - lo + 1)
+                }
+            }
+            DelayModel::Exp { mean } => {
+                if mean <= 0.0 {
+                    0
+                } else {
+                    // Inverse CDF of Exp(1/mean); 1 - u avoids ln(0).
+                    let u = 1.0 - rng.next_f64();
+                    (-mean * u.ln()).floor().max(0.0) as u64
+                }
+            }
+        }
+    }
+
+    /// Whether the model never adds delay.
+    pub fn is_zero(&self) -> bool {
+        match *self {
+            DelayModel::None => true,
+            DelayModel::Fixed(ticks) => ticks == 0,
+            DelayModel::Uniform { lo, hi } => lo == 0 && hi == 0,
+            DelayModel::Exp { mean } => mean <= 0.0,
+        }
+    }
+}
+
+/// One scheduled fail-stop event: the node's coordination plane goes
+/// silent at tick `at` (it stops acking, computing and moving — but
+/// stays physically deployed and keeps sensing, so neighbors' ring
+/// searches still see it), and optionally comes back at `recover_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Index of the node to crash.
+    pub node: usize,
+    /// Tick at which the crash takes effect.
+    pub at: u64,
+    /// Tick at which the node recovers (`None` = permanent).
+    pub recover_at: Option<u64>,
+}
+
+/// A complete fault-injection plan for one asynchronous run.
+///
+/// All probabilities are per message copy in `[0, 1]`. The default plan
+/// is fault-free, which is exactly the regime in which the executor is
+/// bit-identical to the synchronous [`laacad::Session`] engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability that a sent message copy is silently dropped.
+    pub loss: f64,
+    /// Probability that a sent message is delivered twice (the second
+    /// copy gets independent delay draws).
+    pub duplicate: f64,
+    /// Extra per-hop delay distribution.
+    pub delay: DelayModel,
+    /// Probability that a message copy gets an additional 1–3 ticks of
+    /// random latency — the reordering knob: jittered copies overtake
+    /// or fall behind their neighbors in the delivery order.
+    pub jitter: f64,
+    /// Scheduled crash/recover events.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan (all knobs zero, no crashes).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan can never perturb a message or a node — the
+    /// regime the sync-equivalence guarantee covers.
+    pub fn is_fault_free(&self) -> bool {
+        self.loss <= 0.0
+            && self.duplicate <= 0.0
+            && self.jitter <= 0.0
+            && self.delay.is_zero()
+            && self.crashes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        assert!(FaultPlan::none().is_fault_free());
+        assert!(FaultPlan::default().is_fault_free());
+    }
+
+    #[test]
+    fn crash_schedule_disqualifies_fault_free() {
+        let plan = FaultPlan {
+            crashes: vec![CrashEvent {
+                node: 0,
+                at: 10,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_fault_free());
+    }
+
+    #[test]
+    fn delay_models_sample_deterministically() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let model = DelayModel::Exp { mean: 3.0 };
+        let xs: Vec<u64> = (0..32).map(|_| model.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| model.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().any(|&x| x > 0));
+    }
+
+    #[test]
+    fn zero_delay_models_draw_nothing() {
+        let mut rng = SplitMix64::new(1);
+        let before = rng.next_u64();
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(DelayModel::None.sample(&mut rng), 0);
+        assert_eq!(DelayModel::Fixed(0).sample(&mut rng), 0);
+        // None and Fixed never touch the stream.
+        assert_eq!(rng.next_u64(), before);
+        assert!(DelayModel::Uniform { lo: 0, hi: 0 }.is_zero());
+        assert!(DelayModel::Exp { mean: 0.0 }.is_zero());
+        assert!(!DelayModel::Exp { mean: 1.5 }.is_zero());
+    }
+}

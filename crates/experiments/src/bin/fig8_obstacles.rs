@@ -1,46 +1,78 @@
 //! Fig. 8 — adaptability to arbitrarily shaped areas and obstacles:
 //! LAACAD on a concave "coast" region (deployment I) and a square with
 //! two obstacle "lakes" (deployment II), k ∈ {2, 4, 6, 8}.
+//!
+//! Driven by the declarative specs `scenarios/fig8_coast.toml` and
+//! `scenarios/fig8_lakes.toml`; the campaign runner sweeps each k-grid
+//! across all cores and this thin wrapper renders the deployment SVGs
+//! and the summary table from the streamed results. Pass `--telemetry`
+//! to also record per-cell telemetry (a JSONL metric stream plus a
+//! Chrome trace per cell, beside the result files) — the table and
+//! result files are byte-identical either way.
 
-use laacad_experiments::{markdown_table, output, runs, write_artifact};
-use laacad_geom::Point;
-use laacad_region::{gallery, Region};
+use laacad_experiments::scenarios::{self, FIG8_COAST, FIG8_LAKES};
+use laacad_experiments::{markdown_table, output, write_artifact};
+use laacad_scenario::{
+    run_campaign_observed, CampaignRunOptions, CampaignSpec, CellResult, ResultStore,
+};
 use laacad_viz::DeploymentPlot;
 
-fn run_scenario(name: &str, region: &Region, rows: &mut Vec<Vec<String>>) {
-    for k in [2usize, 4, 6, 8] {
-        let mut params = runs::StandardRun::new(k, 120, 55_000 + k as u64);
-        params.cluster = Some((
-            Point::new(
-                region.bounding_box().min().x + 0.15 * region.bounding_box().width(),
-                region.bounding_box().min().y + 0.15 * region.bounding_box().height(),
-            ),
-            0.1 * region.diameter_bound(),
-        ));
-        params.max_rounds = 250;
-        let (sim, summary, coverage) = runs::run_laacad(region, &params);
-        let svg = DeploymentPlot::new(region)
-            .title(format!("Fig. 8 — {name}, {k}-coverage"))
-            .render(sim.network());
-        let path = write_artifact(&format!("fig8_{name}_k{k}.svg"), &svg);
+fn run_deployment(
+    label: &str,
+    campaign: &CampaignSpec,
+    telemetry: bool,
+    rows: &mut Vec<Vec<String>>,
+) -> Vec<CellResult> {
+    let store = ResultStore::new(output::out_dir());
+    let (jsonl, csv, results) = run_campaign_observed(
+        campaign,
+        &store,
+        CampaignRunOptions {
+            telemetry,
+            progress: None,
+        },
+    )
+    .expect("fig8 grid expands");
+    println!("wrote {}", output::rel(&jsonl));
+    println!("wrote {}", output::rel(&csv));
+    for cell in &results {
+        let outcome = match &cell.outcome {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("cell {} (k={}) failed: {e}", cell.cell.index, cell.cell.k);
+                continue;
+            }
+        };
+        let k = cell.cell.k;
+        let region = campaign
+            .scenario
+            .region
+            .build()
+            .expect("shipped fig8 region builds");
+        let svg = DeploymentPlot::new(&region)
+            .title(format!("Fig. 8 — {label}, {k}-coverage"))
+            .render(&outcome.final_network());
+        let path = write_artifact(&format!("fig8_{label}_k{k}.svg"), &svg);
         println!("wrote {}", output::rel(&path));
         rows.push(vec![
-            name.to_string(),
+            label.to_string(),
             k.to_string(),
-            summary.rounds.to_string(),
-            format!("{:.4}", summary.max_sensing_radius),
-            format!("{:.1}%", 100.0 * coverage.covered_fraction),
+            outcome.summary.rounds.to_string(),
+            format!("{:.4}", outcome.summary.max_sensing_radius),
+            format!("{:.1}%", 100.0 * outcome.coverage.covered_fraction),
         ]);
     }
+    results
 }
 
 fn main() {
-    let coast = gallery::irregular_coast();
-    let lakes = gallery::square_with_lakes();
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
+    let coast = scenarios::load_campaign("fig8_coast", FIG8_COAST).expect("fig8_coast spec parses");
+    let lakes = scenarios::load_campaign("fig8_lakes", FIG8_LAKES).expect("fig8_lakes spec parses");
     let mut rows = Vec::new();
-    run_scenario("coast", &coast, &mut rows);
-    run_scenario("lakes", &lakes, &mut rows);
-    println!("\nFig. 8 — irregular areas and obstacles (120 nodes, corner start)");
+    run_deployment("coast", &coast, telemetry, &mut rows);
+    run_deployment("lakes", &lakes, telemetry, &mut rows);
+    println!("\nFig. 8 — irregular areas and obstacles (120 nodes, clustered start)");
     println!(
         "{}",
         markdown_table(&["area", "k", "rounds", "R* (km)", "k-covered"], &rows)

@@ -22,6 +22,12 @@ pub const TABLE1_MINNODE: &str = include_str!("../../../scenarios/table1_minnode
 pub const TABLE2_AMMARI: &str = include_str!("../../../scenarios/table2_ammari.toml");
 /// Embedded copy of `scenarios/failure_recovery.toml`.
 pub const FAILURE_RECOVERY: &str = include_str!("../../../scenarios/failure_recovery.toml");
+/// Embedded copy of `scenarios/fig8_coast.toml`.
+pub const FIG8_COAST: &str = include_str!("../../../scenarios/fig8_coast.toml");
+/// Embedded copy of `scenarios/fig8_lakes.toml`.
+pub const FIG8_LAKES: &str = include_str!("../../../scenarios/fig8_lakes.toml");
+/// Embedded copy of `scenarios/async_faults.toml`.
+pub const ASYNC_FAULTS: &str = include_str!("../../../scenarios/async_faults.toml");
 
 /// Candidate directories that may hold an editable `scenarios/` tree.
 fn candidate_dirs() -> Vec<PathBuf> {
@@ -68,6 +74,9 @@ mod tests {
             ("table1_minnode", TABLE1_MINNODE),
             ("table2_ammari", TABLE2_AMMARI),
             ("failure_recovery", FAILURE_RECOVERY),
+            ("fig8_coast", FIG8_COAST),
+            ("fig8_lakes", FIG8_LAKES),
+            ("async_faults", ASYNC_FAULTS),
         ] {
             let campaign = CampaignSpec::from_toml(text)
                 .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));

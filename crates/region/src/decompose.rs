@@ -8,7 +8,7 @@
 
 use crate::triangulate::Triangle;
 use laacad_geom::{Point, Polygon};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Key for matching shared edges between pieces: quantized endpoint pair,
 /// order-normalized.
@@ -84,14 +84,16 @@ pub fn convex_decomposition(triangles: &[Triangle]) -> Vec<Polygon> {
     let mut pieces: Vec<Option<Vec<Point>>> = triangles.iter().map(|t| Some(t.to_vec())).collect();
 
     /// Quantized directed edge -> every (piece, edge index) that uses it.
-    type EdgeMap = HashMap<((i64, i64), (i64, i64)), Vec<(usize, usize)>>;
+    /// Ordered map: the greedy merge is order-sensitive, so iteration must
+    /// be deterministic for runs to be byte-reproducible.
+    type EdgeMap = BTreeMap<((i64, i64), (i64, i64)), Vec<(usize, usize)>>;
 
     let mut merged_any = true;
     while merged_any {
         merged_any = false;
         // Rebuild the edge → (piece, edge index) map each pass; pass count
         // is small (each merge shrinks the piece count).
-        let mut edges: EdgeMap = HashMap::new();
+        let mut edges: EdgeMap = EdgeMap::new();
         for (pi, piece) in pieces.iter().enumerate() {
             let Some(vs) = piece else { continue };
             let n = vs.len();

@@ -1,7 +1,9 @@
 //! Campaigns: seed × parameter grids over a scenario, run in parallel.
 //!
 //! A [`CampaignSpec`] pairs one [`ScenarioSpec`] with a [`ParamGrid`]
-//! sweeping seeds and (optionally) `n`, `k`, `α` and `γ` — as the full
+//! sweeping seeds and (optionally) `n`, `k`, `α`, `γ` and — for
+//! `[faults]`-bearing scenarios — message `loss` and mean link
+//! `delay` — as the full
 //! cross product (the default), zipped position-by-position (`zip =
 //! true`, for sweeps whose axes all move together), or **mixed**: a
 //! [`ZipSpec::Axes`] group (`zip = ["n", "gamma"]`) fuses the named
@@ -19,7 +21,7 @@
 use crate::engine::{run_scenario, run_scenario_recorded, ScenarioOutcome};
 use crate::exec::parallel_map;
 use crate::results::ResultStore;
-use crate::spec::{ScenarioSpec, SpecError};
+use crate::spec::{DelaySpec, ScenarioSpec, SpecError};
 use crate::value::{decode, encode, DecodeError, Value};
 use laacad::SessionTelemetry;
 use laacad_exec::parallel_map_visit;
@@ -42,6 +44,13 @@ pub struct ParamGrid {
     /// scenario's own value — or the derived recommendation — applies
     /// where empty).
     pub gamma: Vec<f64>,
+    /// Message-loss probability overrides (requires the scenario to
+    /// carry a `[faults]` section).
+    pub loss: Vec<f64>,
+    /// Mean link-delay overrides, in ticks: `0` means no delay, any
+    /// other value an exponential distribution with that mean (requires
+    /// a `[faults]` section).
+    pub delay: Vec<f64>,
     /// How the parameter axes combine (seeds always cross): full cross
     /// product, all axes zipped, or a named zip group alongside crossed
     /// axes. See [`ZipSpec`].
@@ -58,11 +67,12 @@ pub enum ZipSpec {
     /// Zip **every** non-empty parameter axis position by position —
     /// they must share one length (TOML `zip = true`).
     All,
-    /// Zip exactly the named axes (`"n"`, `"k"`, `"alpha"`, `"gamma"`)
-    /// as one fused group of equal-length lists; the remaining
-    /// non-empty axes still cross against it (TOML `zip = ["n",
-    /// "gamma"]`). The group occupies its first member's position in
-    /// the canonical `n` × `k` × `alpha` × `gamma` expansion order.
+    /// Zip exactly the named axes (`"n"`, `"k"`, `"alpha"`, `"gamma"`,
+    /// `"loss"`, `"delay"`) as one fused group of equal-length lists;
+    /// the remaining non-empty axes still cross against it (TOML `zip =
+    /// ["n", "gamma"]`). The group occupies its first member's position
+    /// in the canonical `n` × `k` × `alpha` × `gamma` × `loss` ×
+    /// `delay` expansion order.
     Axes(Vec<String>),
 }
 
@@ -163,6 +173,8 @@ impl ParamGrid {
             k: list_usize("k")?,
             alpha: list_f64("alpha")?,
             gamma: list_f64("gamma")?,
+            loss: list_f64("loss")?,
+            delay: list_f64("delay")?,
             zip,
         })
     }
@@ -199,6 +211,18 @@ impl ParamGrid {
                 Value::Array(self.gamma.iter().map(|&x| Value::Float(x)).collect()),
             );
         }
+        if !self.loss.is_empty() {
+            t.insert(
+                "loss",
+                Value::Array(self.loss.iter().map(|&x| Value::Float(x)).collect()),
+            );
+        }
+        if !self.delay.is_empty() {
+            t.insert(
+                "delay",
+                Value::Array(self.delay.iter().map(|&x| Value::Float(x)).collect()),
+            );
+        }
         match &self.zip {
             ZipSpec::None => {}
             ZipSpec::All => t.insert("zip", Value::Bool(true)),
@@ -211,8 +235,9 @@ impl ParamGrid {
     }
 }
 
-/// One resolved parameter tuple of the sweep: `(n, k, α, γ override)`.
-type ParamTuple = (usize, usize, f64, Option<f64>);
+/// One resolved parameter tuple of the sweep:
+/// `(n, k, α, γ override, loss override, delay override)`.
+type ParamTuple = (usize, usize, f64, Option<f64>, Option<f64>, Option<f64>);
 
 /// A scenario plus the grid to sweep it over.
 #[derive(Debug, Clone, PartialEq)]
@@ -242,6 +267,10 @@ pub struct CampaignCell {
     pub alpha: f64,
     /// Explicit transmission-range override, when the grid swept one.
     pub gamma: Option<f64>,
+    /// Message-loss override, when the grid swept one.
+    pub loss: Option<f64>,
+    /// Mean link-delay override (in ticks), when the grid swept one.
+    pub delay: Option<f64>,
 }
 
 /// Outcome of one cell: the resolved parameters plus the run result (a
@@ -273,6 +302,10 @@ pub struct CellInfo {
     pub alpha: f64,
     /// Explicit transmission-range override, when the grid swept one.
     pub gamma: Option<f64>,
+    /// Message-loss override, when the grid swept one.
+    pub loss: Option<f64>,
+    /// Mean link-delay override (in ticks), when the grid swept one.
+    pub delay: Option<f64>,
 }
 
 impl CampaignSpec {
@@ -314,8 +347,17 @@ impl CampaignSpec {
             ZipSpec::All => self.zipped_tuples(base_n)?,
             ZipSpec::Axes(group) => self.grouped_tuples(base_n, group)?,
         };
+        if (!self.grid.loss.is_empty() || !self.grid.delay.is_empty())
+            && self.scenario.laacad.faults.is_none()
+        {
+            return Err(SpecError::Build(
+                "the grid sweeps `loss`/`delay` but the scenario has no [faults] \
+                 section to override"
+                    .into(),
+            ));
+        }
         let mut cells = Vec::with_capacity(tuples.len() * seeds.len());
-        for (n, k, alpha, gamma) in tuples {
+        for (n, k, alpha, gamma, loss, delay) in tuples {
             for &seed in seeds {
                 let mut scenario = self.scenario.clone();
                 if n != base_n {
@@ -326,6 +368,23 @@ impl CampaignSpec {
                 if let Some(g) = gamma {
                     scenario.laacad.gamma = Some(g);
                 }
+                if loss.is_some() || delay.is_some() {
+                    let faults = scenario
+                        .laacad
+                        .faults
+                        .as_mut()
+                        .expect("checked above: fault axes require a [faults] section");
+                    if let Some(l) = loss {
+                        faults.loss = l;
+                    }
+                    if let Some(d) = delay {
+                        faults.delay = if d == 0.0 {
+                            DelaySpec::None
+                        } else {
+                            DelaySpec::Exp { mean: d }
+                        };
+                    }
+                }
                 cells.push(CampaignCell {
                     index: cells.len(),
                     scenario,
@@ -334,6 +393,8 @@ impl CampaignSpec {
                     k,
                     alpha,
                     gamma,
+                    loss,
+                    delay,
                 });
             }
         }
@@ -363,12 +424,26 @@ impl CampaignSpec {
         } else {
             self.grid.gamma.iter().map(|&g| Some(g)).collect()
         };
+        let losses: Vec<Option<f64>> = if self.grid.loss.is_empty() {
+            vec![None]
+        } else {
+            self.grid.loss.iter().map(|&x| Some(x)).collect()
+        };
+        let delays: Vec<Option<f64>> = if self.grid.delay.is_empty() {
+            vec![None]
+        } else {
+            self.grid.delay.iter().map(|&x| Some(x)).collect()
+        };
         let mut tuples = Vec::new();
         for &n in &ns {
             for &k in &ks {
                 for &alpha in &alphas {
                     for &gamma in &gammas {
-                        tuples.push((n, k, alpha, gamma));
+                        for &loss in &losses {
+                            for &delay in &delays {
+                                tuples.push((n, k, alpha, gamma, loss, delay));
+                            }
+                        }
                     }
                 }
             }
@@ -387,6 +462,8 @@ impl CampaignSpec {
             ("k", self.grid.k.len()),
             ("alpha", self.grid.alpha.len()),
             ("gamma", self.grid.gamma.len()),
+            ("loss", self.grid.loss.len()),
+            ("delay", self.grid.delay.len()),
         ]
         .into_iter()
         .filter(|&(_, len)| len > 0)
@@ -397,6 +474,8 @@ impl CampaignSpec {
                 base_n,
                 self.scenario.laacad.k,
                 self.scenario.laacad.alpha,
+                None,
+                None,
                 None,
             )]);
         };
@@ -421,6 +500,8 @@ impl CampaignSpec {
                         .copied()
                         .unwrap_or(self.scenario.laacad.alpha),
                     self.grid.gamma.get(i).copied(),
+                    self.grid.loss.get(i).copied(),
+                    self.grid.delay.get(i).copied(),
                 )
             })
             .collect())
@@ -440,7 +521,7 @@ impl CampaignSpec {
         base_n: usize,
         group: &[String],
     ) -> Result<Vec<ParamTuple>, SpecError> {
-        const AXES: [&str; 4] = ["n", "k", "alpha", "gamma"];
+        const AXES: [&str; 6] = ["n", "k", "alpha", "gamma", "loss", "delay"];
         if group.is_empty() {
             // An empty group zips nothing: plain cross product.
             return Ok(self.crossed_tuples(base_n));
@@ -448,7 +529,7 @@ impl CampaignSpec {
         for (i, axis) in group.iter().enumerate() {
             if !AXES.contains(&axis.as_str()) {
                 return Err(SpecError::Build(format!(
-                    "unknown zip axis `{axis}` (expected one of n, k, alpha, gamma)"
+                    "unknown zip axis `{axis}` (expected one of n, k, alpha, gamma, loss, delay)"
                 )));
             }
             if group[..i].contains(axis) {
@@ -459,7 +540,9 @@ impl CampaignSpec {
             "n" => self.grid.n.len(),
             "k" => self.grid.k.len(),
             "alpha" => self.grid.alpha.len(),
-            _ => self.grid.gamma.len(),
+            "gamma" => self.grid.gamma.len(),
+            "loss" => self.grid.loss.len(),
+            _ => self.grid.delay.len(),
         };
         let group_len = axis_len(&group[0]);
         for axis in group {
@@ -497,6 +580,16 @@ impl CampaignSpec {
         } else {
             self.grid.gamma.iter().map(|&g| Some(g)).collect()
         };
+        let losses: Vec<Option<f64>> = if self.grid.loss.is_empty() {
+            vec![None]
+        } else {
+            self.grid.loss.iter().map(|&x| Some(x)).collect()
+        };
+        let delays: Vec<Option<f64>> = if self.grid.delay.is_empty() {
+            vec![None]
+        } else {
+            self.grid.delay.iter().map(|&x| Some(x)).collect()
+        };
         #[derive(Clone, Copy)]
         enum Slot {
             Group,
@@ -504,6 +597,8 @@ impl CampaignSpec {
             K,
             Alpha,
             Gamma,
+            Loss,
+            Delay,
         }
         let in_group = |name: &str| group.iter().any(|a| a == name);
         let mut slots: Vec<(Slot, usize)> = Vec::new();
@@ -517,7 +612,9 @@ impl CampaignSpec {
                     "n" => (Slot::N, ns.len()),
                     "k" => (Slot::K, ks.len()),
                     "alpha" => (Slot::Alpha, alphas.len()),
-                    _ => (Slot::Gamma, gammas.len()),
+                    "gamma" => (Slot::Gamma, gammas.len()),
+                    "loss" => (Slot::Loss, losses.len()),
+                    _ => (Slot::Delay, delays.len()),
                 });
             }
         }
@@ -531,7 +628,8 @@ impl CampaignSpec {
                 picks[s] = index % len;
                 index /= len;
             }
-            let (mut n, mut k, mut alpha, mut gamma) = (ns[0], ks[0], alphas[0], gammas[0]);
+            let (mut n, mut k, mut alpha, mut gamma, mut loss, mut delay) =
+                (ns[0], ks[0], alphas[0], gammas[0], losses[0], delays[0]);
             for (s, &(slot, _)) in slots.iter().enumerate() {
                 let p = picks[s];
                 match slot {
@@ -548,14 +646,22 @@ impl CampaignSpec {
                         if in_group("gamma") {
                             gamma = gammas[p];
                         }
+                        if in_group("loss") {
+                            loss = losses[p];
+                        }
+                        if in_group("delay") {
+                            delay = delays[p];
+                        }
                     }
                     Slot::N => n = ns[p],
                     Slot::K => k = ks[p],
                     Slot::Alpha => alpha = alphas[p],
                     Slot::Gamma => gamma = gammas[p],
+                    Slot::Loss => loss = losses[p],
+                    Slot::Delay => delay = delays[p],
                 }
             }
-            tuples.push((n, k, alpha, gamma));
+            tuples.push((n, k, alpha, gamma, loss, delay));
         }
         Ok(tuples)
     }
@@ -646,6 +752,8 @@ fn cell_info(cell: &CampaignCell) -> CellInfo {
         k: cell.k,
         alpha: cell.alpha,
         gamma: cell.gamma,
+        loss: cell.loss,
+        delay: cell.delay,
     }
 }
 

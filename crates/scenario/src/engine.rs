@@ -5,6 +5,7 @@ use crate::spec::{ScenarioSpec, SpecError};
 use crate::value::{encode, Value};
 use laacad::{HookAction, Observer, Recorder, RoundDelta, RunSummary, Session};
 use laacad_coverage::{evaluate_coverage, CoverageReport};
+use laacad_dist::{AsyncExecutor, ProtocolStats, Termination};
 use laacad_wsn::energy::EnergyModel;
 
 /// Compact per-round metric row streamed into result files.
@@ -102,6 +103,33 @@ impl Observer for CoverageProbe {
     }
 }
 
+/// Convergence-under-faults metrics for a scenario that ran on the
+/// asynchronous executor (i.e. carried a `[faults]` section), compared
+/// against a fault-free synchronous run of the same cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOutcome {
+    /// How the asynchronous run terminated
+    /// ([`Termination::as_str`]).
+    pub termination: String,
+    /// Rounds the faulted run needed (the round limit when it never
+    /// quiesced).
+    pub rounds: usize,
+    /// Rounds the fault-free synchronous baseline needed.
+    pub baseline_rounds: usize,
+    /// Virtual ticks the faulted run consumed.
+    pub ticks: u64,
+    /// Algorithm (ring-search) messages of the faulted run over the
+    /// baseline's — >1 means faults cost extra search traffic.
+    pub message_overhead: f64,
+    /// k-covered fraction of the fault-free baseline deployment.
+    pub baseline_coverage: f64,
+    /// `baseline_coverage − covered_fraction` of the faulted run,
+    /// clamped at 0 — how much coverage the faults cost.
+    pub coverage_dip: f64,
+    /// Coordination-plane message accounting.
+    pub protocol: ProtocolStats,
+}
+
 /// Everything a finished scenario run reports.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
@@ -134,6 +162,12 @@ pub struct ScenarioOutcome {
     pub final_radii: Vec<f64>,
     /// The transmission range the run used.
     pub gamma: f64,
+    /// Non-fatal anomalies: timeline events that never fired, fault
+    /// budgets that ran out. Empty on a clean run.
+    pub warnings: Vec<String>,
+    /// Convergence-under-faults metrics (present only when the spec
+    /// carries a `[faults]` section).
+    pub faults: Option<FaultOutcome>,
 }
 
 impl ScenarioOutcome {
@@ -230,6 +264,48 @@ impl ScenarioOutcome {
             Value::Array(self.final_radii.iter().map(|&r| Value::Float(r)).collect()),
         );
         t.insert("gamma", Value::Float(self.gamma));
+        if !self.warnings.is_empty() {
+            t.insert(
+                "warnings",
+                Value::Array(
+                    self.warnings
+                        .iter()
+                        .map(|w| Value::Str(w.clone()))
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(f) = &self.faults {
+            let mut ft = Value::table();
+            ft.insert("termination", Value::Str(f.termination.clone()));
+            ft.insert("rounds", encode::int(f.rounds));
+            ft.insert("baseline_rounds", encode::int(f.baseline_rounds));
+            ft.insert("ticks", Value::Int(f.ticks as i64));
+            ft.insert("message_overhead", Value::Float(f.message_overhead));
+            ft.insert("baseline_coverage", Value::Float(f.baseline_coverage));
+            ft.insert("coverage_dip", Value::Float(f.coverage_dip));
+            let mut p = Value::table();
+            p.insert("hellos", Value::Int(f.protocol.hellos as i64));
+            p.insert("acks", Value::Int(f.protocol.acks as i64));
+            p.insert(
+                "retransmissions",
+                Value::Int(f.protocol.retransmissions as i64),
+            );
+            p.insert("sent", Value::Int(f.protocol.sent as i64));
+            p.insert("delivered", Value::Int(f.protocol.delivered as i64));
+            p.insert("lost", Value::Int(f.protocol.lost as i64));
+            p.insert("duplicated", Value::Int(f.protocol.duplicated as i64));
+            p.insert(
+                "dropped_to_crashed",
+                Value::Int(f.protocol.dropped_to_crashed as i64),
+            );
+            p.insert("timeouts", Value::Int(f.protocol.timeouts as i64));
+            p.insert("computes", Value::Int(f.protocol.computes as i64));
+            p.insert("crashes", Value::Int(f.protocol.crashes as i64));
+            p.insert("recoveries", Value::Int(f.protocol.recoveries as i64));
+            ft.insert("protocol", p);
+            t.insert("faults", ft);
+        }
         if !self.recovery.is_empty() {
             t.insert(
                 "recovery",
@@ -328,6 +404,9 @@ fn run_scenario_impl(
     seed: u64,
     recorder: Option<Box<dyn Recorder>>,
 ) -> Result<(ScenarioOutcome, Option<Box<dyn Recorder>>), SpecError> {
+    if spec.laacad.faults.is_some() {
+        return run_async_impl(spec, seed, recorder);
+    }
     let (mut sim, mut hook) = build_scenario(spec, seed)?;
     if let Some(r) = recorder {
         sim.set_recorder(r);
@@ -348,7 +427,7 @@ fn run_scenario_impl(
     // Timeline entries beyond the executed rounds must still show up in
     // the outcome (as skipped), or the results would silently describe a
     // different scenario than the one specified.
-    hook.mark_unfired(summary.rounds);
+    let warnings = hook.mark_unfired(summary.rounds);
     let region = sim.region().clone();
     let k = sim.config().k;
     let coverage = evaluate_coverage(sim.network(), &region, k, spec.evaluation.coverage_samples);
@@ -406,6 +485,129 @@ fn run_scenario_impl(
         events: hook.into_log(),
         recovery,
         rounds,
+        warnings,
+        faults: None,
+    };
+    Ok((outcome, recorder))
+}
+
+/// Runs a `[faults]`-bearing scenario on the asynchronous executor and
+/// pairs it with a fault-free synchronous baseline of the same cell.
+fn run_async_impl(
+    spec: &ScenarioSpec,
+    seed: u64,
+    recorder: Option<Box<dyn Recorder>>,
+) -> Result<(ScenarioOutcome, Option<Box<dyn Recorder>>), SpecError> {
+    let fault_spec = spec
+        .laacad
+        .faults
+        .as_ref()
+        .expect("run_async_impl is only entered when [faults] is present");
+    if !spec.events.is_empty() {
+        return Err(SpecError::Build(
+            "scenarios with a [faults] section run on the asynchronous executor, \
+             which does not support timeline [[events]]; drop one or the other"
+                .into(),
+        ));
+    }
+    let region = spec.region.build()?;
+    let initial = spec.placement.build(&region, seed)?;
+    let config = spec.laacad.build(&region, initial.len(), seed)?;
+    let gamma = config.gamma;
+    let k = config.k;
+
+    // Fault-free synchronous baseline: same region, placement and
+    // config, so every gap between it and the faulted run is caused by
+    // the fault plan alone.
+    let mut baseline = Session::builder(config.clone())
+        .region(region.clone())
+        .positions(initial.clone())
+        .build()
+        .map_err(|e| SpecError::Build(e.to_string()))?;
+    let baseline_summary = baseline.run();
+    let baseline_coverage = evaluate_coverage(
+        baseline.network(),
+        &region,
+        k,
+        spec.evaluation.coverage_samples,
+    );
+
+    let (plan, proto) = fault_spec.to_plan();
+    let mut exec = AsyncExecutor::new(config, region.clone(), initial, plan, proto)
+        .map_err(|e| SpecError::Build(e.to_string()))?;
+    if let Some(r) = recorder {
+        exec.set_recorder(r);
+    }
+    let report = exec.run();
+    let recorder = exec.take_recorder();
+
+    let coverage = evaluate_coverage(exec.network(), &region, k, spec.evaluation.coverage_samples);
+    let model = EnergyModel::new(std::f64::consts::PI, spec.evaluation.energy_exponent);
+    let rounds: Vec<RoundMetric> = report
+        .rounds
+        .iter()
+        .map(|r| RoundMetric {
+            round: r.round,
+            max_circumradius: r.max_circumradius,
+            min_circumradius: r.min_circumradius,
+            nodes_moved: r.nodes_moved,
+            covered_fraction: None,
+        })
+        .collect();
+    let mut warnings = Vec::new();
+    if report.termination != Termination::Converged {
+        warnings.push(format!(
+            "async run terminated by {} after {} ticks without quiescing; \
+             the reported deployment is partial",
+            report.termination.as_str(),
+            report.ticks
+        ));
+    }
+    let baseline_messages =
+        (baseline_summary.messages.unicast + baseline_summary.messages.broadcast) as f64;
+    let async_messages =
+        (report.summary.messages.unicast + report.summary.messages.broadcast) as f64;
+    let faults = FaultOutcome {
+        termination: report.termination.as_str().to_string(),
+        rounds: report.summary.rounds,
+        baseline_rounds: baseline_summary.rounds,
+        ticks: report.ticks,
+        message_overhead: if baseline_messages > 0.0 {
+            async_messages / baseline_messages
+        } else {
+            1.0
+        },
+        baseline_coverage: baseline_coverage.covered_fraction,
+        coverage_dip: (baseline_coverage.covered_fraction - coverage.covered_fraction).max(0.0),
+        protocol: report.protocol,
+    };
+    let outcome = ScenarioOutcome {
+        scenario: spec.name.clone(),
+        seed,
+        final_n: exec.network().len(),
+        max_load: model.max_load(exec.network()),
+        total_load: model.total_load(exec.network()),
+        balance_ratio: model.balance_ratio(exec.network()),
+        final_positions: exec
+            .network()
+            .positions()
+            .iter()
+            .map(|p| (p.x, p.y))
+            .collect(),
+        final_radii: exec
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| n.sensing_radius())
+            .collect(),
+        gamma,
+        summary: report.summary,
+        coverage,
+        events: Vec::new(),
+        recovery: Vec::new(),
+        rounds,
+        warnings,
+        faults: Some(faults),
     };
     Ok((outcome, recorder))
 }

@@ -73,14 +73,22 @@ impl TimelineHook {
 
     /// Logs every entry that never fired (the run hit its round limit or
     /// was stopped first) as skipped, so the outcome's event log always
-    /// accounts for the whole timeline.
-    pub fn mark_unfired(&mut self, final_round: usize) {
+    /// accounts for the whole timeline. Returns one human-readable
+    /// warning per unfired entry; the scenario engine surfaces these in
+    /// [`crate::ScenarioOutcome::warnings`] instead of dropping them.
+    pub fn mark_unfired(&mut self, final_round: usize) -> Vec<String> {
+        let mut warnings = Vec::new();
         while self.next < self.events.len() {
             let spec = &self.events[self.next];
             self.next += 1;
+            let action = Self::describe(&spec.action);
+            warnings.push(format!(
+                "event `{action}` at round {} never fired: run ended at round {final_round}",
+                spec.round
+            ));
             self.log.push(AppliedEvent {
                 round: spec.round,
-                action: Self::describe(&spec.action),
+                action,
                 removed: 0,
                 inserted: 0,
                 skipped: Some(format!(
@@ -89,6 +97,7 @@ impl TimelineHook {
                 )),
             });
         }
+        warnings
     }
 
     fn describe(action: &EventAction) -> String {
@@ -337,8 +346,10 @@ mod tests {
         let mut hook = TimelineHook::new(&events, 3);
         let summary = s.run_with_observers(&mut [&mut hook]);
         assert!(!hook.exhausted());
-        hook.mark_unfired(summary.rounds);
+        let warnings = hook.mark_unfired(summary.rounds);
         assert!(hook.exhausted());
+        assert_eq!(warnings.len(), 1, "one warning per unfired event");
+        assert!(warnings[0].contains("never fired"), "{}", warnings[0]);
         let log = hook.log();
         assert_eq!(log.len(), 2);
         assert!(log[0].skipped.is_none());

@@ -15,6 +15,11 @@
 //!   [`laacad_wsn::energy`] model, node insertion, and mid-run `k`/`α`
 //!   changes — compiled onto the runner through the
 //!   [`laacad::RoundHook`] API,
+//! * an optional **fault model** (`[faults]`: message loss, duplication,
+//!   per-link delay distributions, crash/recover) that routes the run
+//!   through the asynchronous message-driven executor in `laacad-dist`
+//!   and reports convergence-under-faults metrics next to a fault-free
+//!   baseline,
 //! * and **evaluation** settings (coverage sampling, energy exponent).
 //!
 //! A [`CampaignSpec`] sweeps a scenario over a seed × parameter grid and
@@ -74,13 +79,13 @@ pub use campaign::{
     CampaignRunOptions, CampaignSpec, CellInfo, CellResult, ParamGrid, ZipSpec,
 };
 pub use engine::{
-    build_scenario, recovery_metrics, run_scenario, run_scenario_recorded, RecoverySummary,
-    RoundMetric, ScenarioOutcome,
+    build_scenario, recovery_metrics, run_scenario, run_scenario_recorded, FaultOutcome,
+    RecoverySummary, RoundMetric, ScenarioOutcome,
 };
 pub use events::{AppliedEvent, TimelineHook};
 pub use results::{to_csv, to_jsonl, ResultStore, StreamingResultFiles};
 pub use spec::{
-    AlgorithmSpec, EvaluationSpec, EventAction, EventSpec, PlacementSpec, RegionSpec, ScenarioSpec,
-    SpecError,
+    AlgorithmSpec, CrashSpec, DelaySpec, EvaluationSpec, EventAction, EventSpec, FaultSpec,
+    PlacementSpec, RegionSpec, ScenarioSpec, SpecError,
 };
 pub use value::Value;

@@ -11,7 +11,8 @@ use crate::value::Value;
 use std::path::{Path, PathBuf};
 
 /// The CSV header row (including the trailing newline).
-pub const CSV_HEADER: &str = "index,scenario,seed,n,k,alpha,gamma,final_n,rounds,converged,\
+pub const CSV_HEADER: &str = "index,scenario,seed,n,k,alpha,gamma,loss,delay,\
+     final_n,rounds,converged,\
      max_sensing_radius,min_sensing_radius,covered_fraction,min_degree,\
      balance_ratio,total_distance_moved,events_applied,\
      time_to_recover,coverage_dip,error\n";
@@ -31,6 +32,12 @@ pub fn jsonl_line(r: &CellResult) -> String {
     line.insert("alpha", Value::Float(r.cell.alpha));
     if let Some(g) = r.cell.gamma {
         line.insert("gamma", Value::Float(g));
+    }
+    if let Some(l) = r.cell.loss {
+        line.insert("loss", Value::Float(l));
+    }
+    if let Some(d) = r.cell.delay {
+        line.insert("delay", Value::Float(d));
     }
     match &r.outcome {
         Ok(outcome) => line.insert("outcome", outcome.to_value()),
@@ -70,7 +77,7 @@ pub fn csv_row(r: &CellResult) -> String {
                 .map(|d| d.to_string())
                 .unwrap_or_default();
             format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
                 c.index,
                 name,
                 c.seed,
@@ -78,6 +85,8 @@ pub fn csv_row(r: &CellResult) -> String {
                 c.k,
                 c.alpha,
                 o.gamma,
+                c.loss.map(|x| x.to_string()).unwrap_or_default(),
+                c.delay.map(|x| x.to_string()).unwrap_or_default(),
                 o.final_n,
                 o.summary.rounds,
                 o.summary.converged,
@@ -95,7 +104,7 @@ pub fn csv_row(r: &CellResult) -> String {
         Err(e) => {
             let msg = e.to_string().replace([',', '\n'], ";");
             format!(
-                "{},{},{},{},{},{},,,,,,,,,,,,,,{}\n",
+                "{},{},{},{},{},{},,,,,,,,,,,,,,,,{}\n",
                 c.index, name, c.seed, c.n, c.k, c.alpha, msg
             )
         }

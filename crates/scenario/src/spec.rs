@@ -10,6 +10,7 @@
 
 use crate::value::{decode, encode, DecodeError, Value};
 use laacad::{ExecutionMode, LaacadConfig, RingCapPolicy};
+use laacad_dist::{AsyncConfig, CrashEvent, DelayModel, FaultPlan};
 use laacad_geom::{Point, Polygon};
 use laacad_region::sampling::{sample_clustered, sample_uniform};
 use laacad_region::{gallery, Region};
@@ -400,6 +401,12 @@ pub struct AlgorithmSpec {
     /// file beside the result store. Purely observational — results are
     /// byte-identical either way.
     pub telemetry: bool,
+    /// Fault-injection plan (the top-level `[faults]` TOML section).
+    /// When present the scenario runs on the asynchronous
+    /// message-driven [`laacad_dist::AsyncExecutor`] instead of the
+    /// synchronous round engine, and the outcome gains
+    /// convergence-under-faults metrics.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for AlgorithmSpec {
@@ -420,6 +427,7 @@ impl Default for AlgorithmSpec {
             warm_start: true,
             incremental_index: true,
             telemetry: false,
+            faults: None,
         }
     }
 }
@@ -506,6 +514,9 @@ impl AlgorithmSpec {
             incremental_index: decode::opt_bool(v, "incremental_index", path)?
                 .unwrap_or(d.incremental_index),
             telemetry: decode::opt_bool(v, "telemetry", path)?.unwrap_or(d.telemetry),
+            // Decoded from the document's top-level `faults` table by
+            // `ScenarioSpec::from_value`, not from the laacad table.
+            faults: None,
         })
     }
 
@@ -568,6 +579,253 @@ impl AlgorithmSpec {
         }
         if self.telemetry != d.telemetry {
             t.insert("telemetry", Value::Bool(self.telemetry));
+        }
+        t
+    }
+}
+
+/// Declarative message-delay distribution (the `delay` knob of
+/// [`FaultSpec`]). Extra per-hop ticks on top of the protocol's
+/// one-tick base latency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DelaySpec {
+    /// No extra delay (`delay = "none"`, the default).
+    #[default]
+    None,
+    /// Constant extra delay (`delay = "fixed"`, `delay_ticks = t`).
+    Fixed(u64),
+    /// Uniform extra delay (`delay = "uniform"`, `delay_lo`/`delay_hi`).
+    Uniform {
+        /// Minimum extra delay in ticks.
+        lo: u64,
+        /// Maximum extra delay in ticks (inclusive).
+        hi: u64,
+    },
+    /// Exponential extra delay (`delay = "exp"`, `delay_mean = m`).
+    Exp {
+        /// Mean extra delay in ticks.
+        mean: f64,
+    },
+}
+
+impl DelaySpec {
+    fn to_model(self) -> DelayModel {
+        match self {
+            DelaySpec::None => DelayModel::None,
+            DelaySpec::Fixed(ticks) => DelayModel::Fixed(ticks),
+            DelaySpec::Uniform { lo, hi } => DelayModel::Uniform { lo, hi },
+            DelaySpec::Exp { mean } => DelayModel::Exp { mean },
+        }
+    }
+}
+
+/// One scheduled crash (and optional recovery) in the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Node index to crash.
+    pub node: usize,
+    /// Tick at which the crash takes effect.
+    pub at: u64,
+    /// Tick of recovery (`None` = permanent).
+    pub recover_at: Option<u64>,
+}
+
+/// Declarative fault-injection knobs (the top-level `[faults]` TOML
+/// section). Presence of the section switches the scenario onto the
+/// asynchronous message-driven executor; every knob defaults to the
+/// fault-free value, so an empty `[faults]` table runs the async
+/// executor in its sync-equivalent regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Per-copy message-loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Per-message duplication probability in `[0, 1]`.
+    pub duplicate: f64,
+    /// Extra per-hop delay distribution.
+    pub delay: DelaySpec,
+    /// Reordering-jitter probability in `[0, 1]` (jittered copies gain
+    /// 1–3 extra ticks and overtake or fall behind their neighbors).
+    pub jitter: f64,
+    /// Ticks between hello retransmissions while acks are missing.
+    pub ack_timeout: u64,
+    /// Retransmission rounds before computing with a partial
+    /// neighborhood.
+    pub max_retries: u32,
+    /// Virtual-time budget before graceful termination.
+    pub max_ticks: u64,
+    /// Scheduled crash/recover events.
+    pub crash: Vec<CrashSpec>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        let proto = AsyncConfig::default();
+        FaultSpec {
+            loss: 0.0,
+            duplicate: 0.0,
+            delay: DelaySpec::None,
+            jitter: 0.0,
+            ack_timeout: proto.ack_timeout,
+            max_retries: proto.max_retries,
+            max_ticks: proto.max_ticks,
+            crash: Vec::new(),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Builds the concrete executor inputs: the [`FaultPlan`] and the
+    /// protocol/budget knobs.
+    pub fn to_plan(&self) -> (FaultPlan, AsyncConfig) {
+        let plan = FaultPlan {
+            loss: self.loss,
+            duplicate: self.duplicate,
+            delay: self.delay.to_model(),
+            jitter: self.jitter,
+            crashes: self
+                .crash
+                .iter()
+                .map(|c| CrashEvent {
+                    node: c.node,
+                    at: c.at,
+                    recover_at: c.recover_at,
+                })
+                .collect(),
+        };
+        let proto = AsyncConfig {
+            ack_timeout: self.ack_timeout,
+            max_retries: self.max_retries,
+            max_ticks: self.max_ticks,
+            ..AsyncConfig::default()
+        };
+        (plan, proto)
+    }
+
+    fn from_value(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let d = FaultSpec::default();
+        let delay = match decode::opt_str(v, "delay", path)? {
+            None => d.delay,
+            Some(s) => match s.as_str() {
+                "none" => DelaySpec::None,
+                "fixed" => {
+                    DelaySpec::Fixed(decode::opt_usize(v, "delay_ticks", path)?.unwrap_or(1) as u64)
+                }
+                "uniform" => DelaySpec::Uniform {
+                    lo: decode::opt_usize(v, "delay_lo", path)?.unwrap_or(0) as u64,
+                    hi: decode::opt_usize(v, "delay_hi", path)?.unwrap_or(1) as u64,
+                },
+                "exp" => DelaySpec::Exp {
+                    mean: decode::opt_f64(v, "delay_mean", path)?.unwrap_or(1.0),
+                },
+                other => {
+                    return Err(DecodeError::new(
+                        format!("{path}.delay"),
+                        format!("unknown delay model `{other}` (none|fixed|uniform|exp)"),
+                    )
+                    .into())
+                }
+            },
+        };
+        let crash = match v.get("crash") {
+            None => Vec::new(),
+            Some(cs) => {
+                let p = format!("{path}.crash");
+                cs.as_array()
+                    .ok_or_else(|| DecodeError::new(&p, "expected array of crash tables"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let cp = format!("{p}[{i}]");
+                        Ok(CrashSpec {
+                            node: decode::req_usize(c, "node", &cp)?,
+                            at: decode::req_usize(c, "at", &cp)? as u64,
+                            recover_at: decode::opt_usize(c, "recover_at", &cp)?.map(|t| t as u64),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?
+            }
+        };
+        let spec = FaultSpec {
+            loss: decode::opt_f64(v, "loss", path)?.unwrap_or(d.loss),
+            duplicate: decode::opt_f64(v, "duplicate", path)?.unwrap_or(d.duplicate),
+            delay,
+            jitter: decode::opt_f64(v, "jitter", path)?.unwrap_or(d.jitter),
+            ack_timeout: decode::opt_usize(v, "ack_timeout", path)?
+                .map_or(d.ack_timeout, |t| t as u64),
+            max_retries: decode::opt_usize(v, "max_retries", path)?
+                .map_or(d.max_retries, |r| r as u32),
+            max_ticks: decode::opt_usize(v, "max_ticks", path)?.map_or(d.max_ticks, |t| t as u64),
+            crash,
+        };
+        for (name, p) in [
+            ("loss", spec.loss),
+            ("duplicate", spec.duplicate),
+            ("jitter", spec.jitter),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(SpecError::Build(format!(
+                    "faults.{name} must be a probability in [0, 1], got {p}"
+                )));
+            }
+        }
+        Ok(spec)
+    }
+
+    fn to_value(&self) -> Value {
+        let d = FaultSpec::default();
+        let mut t = Value::table();
+        if self.loss != d.loss {
+            t.insert("loss", Value::Float(self.loss));
+        }
+        if self.duplicate != d.duplicate {
+            t.insert("duplicate", Value::Float(self.duplicate));
+        }
+        match self.delay {
+            DelaySpec::None => {}
+            DelaySpec::Fixed(ticks) => {
+                t.insert("delay", Value::Str("fixed".into()));
+                t.insert("delay_ticks", encode::int(ticks as usize));
+            }
+            DelaySpec::Uniform { lo, hi } => {
+                t.insert("delay", Value::Str("uniform".into()));
+                t.insert("delay_lo", encode::int(lo as usize));
+                t.insert("delay_hi", encode::int(hi as usize));
+            }
+            DelaySpec::Exp { mean } => {
+                t.insert("delay", Value::Str("exp".into()));
+                t.insert("delay_mean", Value::Float(mean));
+            }
+        }
+        if self.jitter != d.jitter {
+            t.insert("jitter", Value::Float(self.jitter));
+        }
+        if self.ack_timeout != d.ack_timeout {
+            t.insert("ack_timeout", encode::int(self.ack_timeout as usize));
+        }
+        if self.max_retries != d.max_retries {
+            t.insert("max_retries", encode::int(self.max_retries as usize));
+        }
+        if self.max_ticks != d.max_ticks {
+            t.insert("max_ticks", encode::int(self.max_ticks as usize));
+        }
+        if !self.crash.is_empty() {
+            t.insert(
+                "crash",
+                Value::Array(
+                    self.crash
+                        .iter()
+                        .map(|c| {
+                            let mut ct = Value::table();
+                            ct.insert("node", encode::int(c.node));
+                            ct.insert("at", encode::int(c.at as usize));
+                            if let Some(r) = c.recover_at {
+                                ct.insert("recover_at", encode::int(r as usize));
+                            }
+                            ct
+                        })
+                        .collect(),
+                ),
+            );
         }
         t
     }
@@ -857,25 +1115,30 @@ impl ScenarioSpec {
             None => EvaluationSpec::default(),
             Some(e) => EvaluationSpec::from_value(e, &format!("{path}.evaluation"))?,
         };
+        let region = RegionSpec::from_value(
+            v.get("region")
+                .ok_or_else(|| DecodeError::new("scenario.region", "missing required field"))?,
+            &format!("{path}.region"),
+        )?;
+        let placement = PlacementSpec::from_value(
+            v.get("placement")
+                .ok_or_else(|| DecodeError::new("scenario.placement", "missing required field"))?,
+            &format!("{path}.placement"),
+        )?;
+        let mut laacad = AlgorithmSpec::from_value(
+            v.get("laacad")
+                .ok_or_else(|| DecodeError::new("scenario.laacad", "missing required field"))?,
+            &format!("{path}.laacad"),
+        )?;
+        if let Some(f) = v.get("faults") {
+            laacad.faults = Some(FaultSpec::from_value(f, "faults")?);
+        }
         Ok(ScenarioSpec {
             name: decode::req_str(v, "name", path)?,
             description: decode::opt_str(v, "description", path)?.unwrap_or_default(),
-            region: RegionSpec::from_value(
-                v.get("region")
-                    .ok_or_else(|| DecodeError::new("scenario.region", "missing required field"))?,
-                &format!("{path}.region"),
-            )?,
-            placement: PlacementSpec::from_value(
-                v.get("placement").ok_or_else(|| {
-                    DecodeError::new("scenario.placement", "missing required field")
-                })?,
-                &format!("{path}.placement"),
-            )?,
-            laacad: AlgorithmSpec::from_value(
-                v.get("laacad")
-                    .ok_or_else(|| DecodeError::new("scenario.laacad", "missing required field"))?,
-                &format!("{path}.laacad"),
-            )?,
+            region,
+            placement,
+            laacad,
             events,
             evaluation,
         })
@@ -891,6 +1154,9 @@ impl ScenarioSpec {
         t.insert("region", self.region.to_value());
         t.insert("placement", self.placement.to_value());
         t.insert("laacad", self.laacad.to_value());
+        if let Some(f) = &self.laacad.faults {
+            t.insert("faults", f.to_value());
+        }
         if !self.events.is_empty() {
             t.insert(
                 "events",

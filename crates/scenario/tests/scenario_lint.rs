@@ -1,0 +1,73 @@
+//! Lints every shipped scenario/campaign document under `scenarios/`:
+//! each file must parse, expand its grid, and build every cell's
+//! region + placement + config. Run by CI so a broken TOML is caught
+//! at review time, not when someone finally runs the campaign.
+
+use laacad_scenario::CampaignSpec;
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn every_shipped_scenario_parses_and_builds() {
+    let dir = scenarios_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("toml") | Some("json")
+            )
+        })
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "no scenario documents found in {}",
+        dir.display()
+    );
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let campaign =
+            CampaignSpec::from_path(path).unwrap_or_else(|e| panic!("{name}: does not parse: {e}"));
+        let cells = campaign
+            .expand()
+            .unwrap_or_else(|e| panic!("{name}: grid does not expand: {e}"));
+        assert!(!cells.is_empty(), "{name}: grid expands to zero cells");
+        for cell in &cells {
+            // Build (don't run) every cell: region, placement and
+            // config validation all happen here.
+            let spec = &cell.scenario;
+            let region = spec
+                .region
+                .build()
+                .unwrap_or_else(|e| panic!("{name} cell {}: bad region: {e}", cell.index));
+            let positions = spec
+                .placement
+                .build(&region, cell.seed)
+                .unwrap_or_else(|e| panic!("{name} cell {}: bad placement: {e}", cell.index));
+            spec.laacad
+                .build(&region, positions.len(), cell.seed)
+                .unwrap_or_else(|e| panic!("{name} cell {}: bad config: {e}", cell.index));
+        }
+    }
+}
+
+/// The shipped fault sweep keeps its anchor shape: a (loss = 0,
+/// delay = 0) cell must be present so every regeneration re-checks the
+/// async-vs-sync bit-identity corner.
+#[test]
+fn async_faults_sweep_includes_the_fault_free_anchor_cell() {
+    let campaign = CampaignSpec::from_path(&scenarios_dir().join("async_faults.toml")).unwrap();
+    let cells = campaign.expand().unwrap();
+    assert!(
+        cells
+            .iter()
+            .any(|c| c.loss == Some(0.0) && c.delay == Some(0.0)),
+        "the loss=0, delay=0 anchor cell is missing"
+    );
+    assert!(cells.iter().all(|c| c.scenario.laacad.faults.is_some()));
+}
