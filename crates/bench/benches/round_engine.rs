@@ -20,10 +20,19 @@
 //! rerunning on other hardware refreshes the current-engine numbers but
 //! keeps those references labeled with their origin.
 //!
+//! The PR-8 section sweeps the memory-layout rewrite (struct-of-arrays
+//! network, flat dense grid, per-worker arenas) at N ∈ {10⁵, 10⁶},
+//! k = 1: cold round (flat vs hash grid, serial and parallel), steady
+//! quiescent round, and the 1%-movers partial-activity round with its
+//! per-stage telemetry breakdown.
+//!
 //! Run `cargo bench -p laacad-bench --bench round_engine -- --smoke` for
-//! the CI smoke mode: N = 10³ only, with a generous (3×) wall-clock
-//! regression guard against the committed reference and the
-//! zero-geometry-allocation steady-state assertion.
+//! the CI smoke mode: N = 10³ plus the N = 10⁵ layout guard, with a
+//! generous (3×) wall-clock regression guard against the committed
+//! reference and the zero-geometry-allocation steady-state assertion.
+//! `--n <N>` (or `LAACAD_BENCH_N=<N>`) caps the sweep — cells above the
+//! cap are skipped, and a capped full run prints measurements without
+//! rewriting the committed JSON.
 
 use laacad::{LaacadConfig, NoopRecorder, Session, Stage, TelemetryRegistry};
 use laacad_region::sampling::sample_uniform;
@@ -142,6 +151,46 @@ const STEADY_ALLOC_CEILING: u64 = 16;
 const TELEMETRY_OVERHEAD_FACTOR: f64 = 1.02;
 const TELEMETRY_OVERHEAD_SLACK_SECONDS: f64 = 0.01;
 
+/// Smoke-mode layout guard size: one steady quiescent round at this N
+/// must finish under [`SMOKE_LARGE_N_STEADY_SECONDS`] with O(1)
+/// allocations — a memory-layout regression (hash-grid fallback on a
+/// dense cloud, arena losing its high-water buffers) shows up here as a
+/// multiplicative slowdown or an O(N) allocation count.
+const SMOKE_LARGE_N: usize = 100_000;
+
+/// Generous wall-clock bound for the smoke layout guard: a quiescent
+/// round at N = 10⁵ is an O(N) stored-view replay (milliseconds on the
+/// dev container), so a one-second ceiling only trips on structural
+/// regressions, not CI jitter.
+const SMOKE_LARGE_N_STEADY_SECONDS: f64 = 1.0;
+
+/// The PR-8 sweep sizes (k = 1 throughout: at 10⁶ nodes the point of
+/// the exercise is the layout, and k = 1 keeps the per-node search
+/// small enough that grid traversal dominates).
+const PR8_SWEEP: &[usize] = &[100_000, 1_000_000];
+
+/// Acceptance bar for the flagship cell: the single round reacting to a
+/// localized 1% displacement at N = 10⁶ must complete in at most this
+/// many seconds on the dev container.
+const PR8_PARTIAL_1M_CEILING_SECONDS: f64 = 5.0;
+
+/// The `--n <N>` / `LAACAD_BENCH_N=<N>` sweep cap: cells above the cap
+/// are skipped everywhere (main table, PR sections, the smoke layout
+/// guard), so CI and quick local runs stay small while the full
+/// 10⁵/10⁶ table runs uncapped.
+fn bench_n_cap() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--n" {
+            let v = args.next().expect("--n requires a value");
+            return Some(v.parse().expect("--n takes a node count"));
+        }
+    }
+    std::env::var("LAACAD_BENCH_N")
+        .ok()
+        .map(|v| v.parse().expect("LAACAD_BENCH_N takes a node count"))
+}
+
 fn pr2_reference(n: usize, k: usize) -> f64 {
     PR2_SERIAL_SECONDS
         .iter()
@@ -170,6 +219,19 @@ fn build_with_dirty(
     dirty_skip: bool,
     epsilon: f64,
 ) -> Session {
+    build_layout(n, k, threads, cache, dirty_skip, epsilon, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_layout(
+    n: usize,
+    k: usize,
+    threads: usize,
+    cache: bool,
+    dirty_skip: bool,
+    epsilon: f64,
+    flat_grid: bool,
+) -> Session {
     let region = Region::square(1.0).expect("unit square");
     let config = LaacadConfig::builder(k)
         .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
@@ -179,6 +241,7 @@ fn build_with_dirty(
         .threads(threads)
         .cache(cache)
         .dirty_skip(dirty_skip)
+        .flat_grid(flat_grid)
         .build()
         .expect("valid config");
     let initial = sample_uniform(&region, n, 42);
@@ -187,6 +250,25 @@ fn build_with_dirty(
         .positions(initial)
         .build()
         .expect("valid deployment")
+}
+
+/// Times one cold `step()` under an explicit grid layout (best of
+/// `reps`; construction and index build excluded, as in [`time_round`]).
+/// ε scales with the expected sensing range `√(k/πN)` — at N = 10⁶ the
+/// fixed 2·10⁻³ used by the small-N cells exceeds the inter-node
+/// spacing, and a fresh deployment would count as already-at-target.
+fn time_cold_layout(n: usize, k: usize, threads: usize, flat_grid: bool, reps: usize) -> f64 {
+    let epsilon = 5e-3 * (k as f64 / (std::f64::consts::PI * n as f64)).sqrt();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut sim = build_layout(n, k, threads, true, true, epsilon, flat_grid);
+        let t = Instant::now();
+        let delta = sim.step();
+        let dt = t.elapsed().as_secs_f64();
+        assert!(delta.report.nodes_moved > 0, "a fresh deployment must move");
+        best = best.min(dt);
+    }
+    best
 }
 
 /// Times one `step()` (best of `reps` fresh simulations; construction
@@ -496,6 +578,22 @@ fn smoke() {
         );
         failed |= !ok;
     }
+    // PR-8: the memory-layout guard. One steady quiescent round at
+    // N = 10⁵ (or the `--n` cap, if smaller) must stay an O(N) replay —
+    // generous wall-clock bound, O(1) allocations, zero ring searches.
+    {
+        let n = bench_n_cap().map_or(SMOKE_LARGE_N, |c| c.min(SMOKE_LARGE_N));
+        let ((dt, allocs), searches) = steady_round_with(n, 1, true, true);
+        let ok =
+            searches == 0 && allocs <= STEADY_ALLOC_CEILING && dt <= SMOKE_LARGE_N_STEADY_SECONDS;
+        let verdict = if ok { "ok" } else { "LAYOUT REGRESSION" };
+        eprintln!(
+            "smoke layout N={n} k=1 steady: {dt:.4}s (limit {SMOKE_LARGE_N_STEADY_SECONDS}s), \
+             {searches} ring searches, {allocs} allocations (ceiling {STEADY_ALLOC_CEILING}) \
+             {verdict}"
+        );
+        failed |= !ok;
+    }
     if failed {
         eprintln!("round_engine smoke FAILED");
         std::process::exit(1);
@@ -511,9 +609,14 @@ fn main() {
     let workers = std::thread::available_parallelism()
         .map(|w| w.get())
         .unwrap_or(1);
+    let cap = bench_n_cap();
+    let skip = |n: usize| cap.is_some_and(|c| n > c);
     let mut rows = Vec::new();
     let mut serial_by_cell: Vec<(usize, usize, f64)> = Vec::new();
     for &(n, k, pre_pr) in PRE_PR_SERIAL_SECONDS {
+        if skip(n) {
+            continue;
+        }
         let reps = if n <= 1_000 { 3 } else { 1 };
         let serial = time_round(n, k, 1, reps);
         let parallel = time_round(n, k, 0, reps);
@@ -548,6 +651,9 @@ fn main() {
     // allocation counts from the counting global allocator.
     let mut pr3_rows = Vec::new();
     for &n in &[1_000usize, 4_000, 10_000] {
+        if skip(n) {
+            continue;
+        }
         let k = 3;
         let round1 = serial_by_cell
             .iter()
@@ -594,6 +700,9 @@ fn main() {
     // index — zero ring searches, O(N) replay of the stored views.
     let mut pr4_rows = Vec::new();
     for &n in &[1_000usize, 4_000, 10_000] {
+        if skip(n) {
+            continue;
+        }
         let k = 3;
         let ((dirty_s, dirty_allocs), searches) = steady_round_with(n, k, true, true);
         assert_eq!(
@@ -625,6 +734,9 @@ fn main() {
     // committed reference on the same workload.
     let mut pr5_rows = Vec::new();
     for &(n, k, fraction, pr4_ref) in PR4_PARTIAL_SECONDS {
+        if skip(n) {
+            continue;
+        }
         let reps = 4;
         let (dt, searches, movers) = partial_round(n, k, fraction, reps);
         let speedup = pr4_ref / dt;
@@ -655,7 +767,7 @@ fn main() {
     // classifier is the round), partial (reacting to a localized 10%
     // corner displacement) — through the telemetry registry.
     let mut pr6_rows = Vec::new();
-    {
+    if !skip(10_000) {
         let n = 10_000;
         let k = 3;
         let mut sim = build(n, k, 1, true, 2e-3);
@@ -696,6 +808,67 @@ fn main() {
             pr6_rows.push(stage_row(phase, reg));
         }
     }
+    // PR-8 section: the memory-layout sweep. N ∈ {10⁵, 10⁶} at k = 1 —
+    // cold round under the flat vs the hash grid (serial, plus parallel
+    // under the flat layout), one steady quiescent round, and the
+    // flagship cell: the single round reacting to a localized 1%
+    // displacement, recorded through the telemetry registry so the JSON
+    // carries its per-stage breakdown.
+    let mut pr8_rows = Vec::new();
+    let mut pr8_stage_rows = Vec::new();
+    for &n in PR8_SWEEP {
+        if skip(n) {
+            continue;
+        }
+        let k = 1;
+        let cold_flat = time_cold_layout(n, k, 1, true, 1);
+        let cold_hash = time_cold_layout(n, k, 1, false, 1);
+        let cold_parallel = time_cold_layout(n, k, 0, true, 1);
+        let ((steady_s, steady_allocs), steady_searches) = steady_round_with(n, k, true, true);
+        assert_eq!(
+            steady_searches, 0,
+            "N={n}: a quiescent round under the dirty index still ran ring searches"
+        );
+        let (partial_s, partial_searches, movers, reg) = partial_round_once(n, k, 0.01, true);
+        let reg = reg.expect("recorded partial round");
+        if n == 1_000_000 {
+            assert!(
+                partial_s <= PR8_PARTIAL_1M_CEILING_SECONDS,
+                "N=10^6 1%-movers round took {partial_s:.2}s, above the \
+                 {PR8_PARTIAL_1M_CEILING_SECONDS}s acceptance ceiling"
+            );
+        }
+        eprintln!(
+            "round_engine pr8 N={n} k={k}: cold flat {cold_flat:.3}s / hash {cold_hash:.3}s \
+             / parallel({workers}) {cold_parallel:.3}s, steady {steady_s:.4}s \
+             ({steady_allocs} allocs), partial 1% ({movers} movers) {partial_s:.4}s \
+             ({partial_searches} ring searches)"
+        );
+        pr8_rows.push(format!(
+            concat!(
+                "      {{\"n\": {}, \"k\": {}, ",
+                "\"cold_serial_seconds\": {:.6}, ",
+                "\"cold_serial_hash_grid_seconds\": {:.6}, ",
+                "\"cold_parallel_seconds\": {:.6}, ",
+                "\"steady_seconds\": {:.6}, ",
+                "\"steady_allocs\": {}, ",
+                "\"partial_movers\": {}, ",
+                "\"partial_round_seconds\": {:.6}, ",
+                "\"partial_ring_searches\": {}}}"
+            ),
+            n,
+            k,
+            cold_flat,
+            cold_hash,
+            cold_parallel,
+            steady_s,
+            steady_allocs,
+            movers,
+            partial_s,
+            partial_searches,
+        ));
+        pr8_stage_rows.push(stage_row(&format!("partial_n{n}"), &reg));
+    }
     let json = format!(
         concat!(
             "{{\n",
@@ -719,6 +892,11 @@ fn main() {
             "  \"pr6\": {{\n",
             "    \"description\": \"telemetry stage breakdown: per-stage wall-clock totals of one round recorded through the laacad-telemetry registry at N = 10^4, k = 3 — cold (first round, every node searches), steady (quiescent round under the dirty index: classification is the round), partial (reacting to a localized 10% corner displacement). Stage seconds include the recorder's own per-node timestamping, so the rows describe where time goes rather than serving as a regression reference; the noop-recorder <2% overhead guard runs in smoke mode\",\n",
             "    \"rows\": [\n{}\n    ]\n",
+            "  }},\n",
+            "  \"pr8\": {{\n",
+            "    \"description\": \"memory-layout sweep (struct-of-arrays network, flat dense CSR grid, per-worker arenas) at N in {{10^5, 10^6}}, k = 1: cold first round under the flat vs the hash grid (serial; parallel under flat), one steady quiescent round (O(N) stored-view replay, O(1) allocations), and the single serial round reacting to a localized 1% corner displacement. stage_rows carries the partial round's per-stage telemetry split (classification + replay dominate; ring search and geometry stay proportional to the perturbed set), recorded the same way as the pr6 rows\",\n",
+            "    \"rows\": [\n{}\n    ],\n",
+            "    \"stage_rows\": [\n{}\n    ]\n",
             "  }}\n",
             "}}\n"
         ),
@@ -728,8 +906,14 @@ fn main() {
         pr3_rows.join(",\n"),
         pr4_rows.join(",\n"),
         pr5_rows.join(",\n"),
-        pr6_rows.join(",\n")
+        pr6_rows.join(",\n"),
+        pr8_rows.join(",\n"),
+        pr8_stage_rows.join(",\n")
     );
+    if cap.is_some() {
+        eprintln!("--n cap active: measurements above; committed JSON left untouched");
+        return;
+    }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_round_engine.json");
     std::fs::write(path, &json).expect("write BENCH_round_engine.json");
     eprintln!("wrote {path}");

@@ -138,6 +138,23 @@ pub struct LaacadConfig {
     /// rebuilding the whole snapshot. Rows are bit-identical to a full
     /// rebuild.
     pub incremental_index: bool,
+    /// Flat dense spatial grid (default on). Stores the network's
+    /// spatial index — and the classifier's movement-endpoint index — as
+    /// one row-major cell array (CSR `starts`/`entries`, counting-sort
+    /// build, O(movers) move patching) instead of hash buckets, so
+    /// radius queries walk contiguous memory. Falls back to the hash
+    /// grid per index when the point cloud's bounding box is too sparse
+    /// for a dense array. Purely a memory-layout knob: query results —
+    /// and therefore rounds — are bit-identical on or off.
+    pub flat_grid: bool,
+    /// Per-session arenas for round-transient buffers (default on). The
+    /// dirty-node classifier's endpoint/mask/warm-skip buffers are
+    /// pooled on the session and reset per round instead of freshly
+    /// allocated, and the per-worker scratches are pre-sized from `N` at
+    /// first fan-out rather than grown on demand. Purely an allocation
+    /// knob: every buffer is fully reset before reuse, so results are
+    /// bit-identical on or off.
+    pub arena: bool,
 }
 
 impl LaacadConfig {
@@ -182,6 +199,8 @@ impl LaacadConfig {
                 exact_reach: true,
                 warm_start: true,
                 incremental_index: true,
+                flat_grid: true,
+                arena: true,
             },
         }
     }
@@ -323,6 +342,22 @@ impl LaacadConfigBuilder {
     /// rebuilds the snapshot from scratch whenever positions changed.
     pub fn incremental_index(&mut self, incremental_index: bool) -> &mut Self {
         self.config.incremental_index = incremental_index;
+        self
+    }
+
+    /// Enables or disables the flat dense spatial-grid layout. Results
+    /// are identical either way; `false` uses hash-bucket grids
+    /// unconditionally.
+    pub fn flat_grid(&mut self, flat_grid: bool) -> &mut Self {
+        self.config.flat_grid = flat_grid;
+        self
+    }
+
+    /// Enables or disables the per-session arenas for round-transient
+    /// buffers. Results are identical either way; `false` allocates the
+    /// classifier's buffers fresh each round.
+    pub fn arena(&mut self, arena: bool) -> &mut Self {
+        self.config.arena = arena;
         self
     }
 

@@ -58,6 +58,15 @@ impl RoundScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Pre-sizes the `N`-proportional buffers (the ring BFS arrays) so
+    /// the first fan-out of a round never grows them mid-computation —
+    /// the session's arena sizing, applied once per worker when the
+    /// `arena` knob is on. Purely an allocation hint; contents are
+    /// untouched.
+    pub fn reserve(&mut self, n: usize) {
+        self.ring.reserve(n);
+    }
 }
 
 /// Cross-round cache of per-node local views.

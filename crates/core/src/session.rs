@@ -46,8 +46,7 @@ use laacad_telemetry::{Recorder, Stage};
 use laacad_wsn::mobility::step_toward;
 use laacad_wsn::multihop::{hop_budget, DEFAULT_HOP_SLACK};
 use laacad_wsn::radio::MessageStats;
-use laacad_wsn::spatial::SpatialGrid;
-use laacad_wsn::{Adjacency, Network, NodeId};
+use laacad_wsn::{Adjacency, GridIndex, Network, NodeId};
 
 /// One node's movement during a round: id plus the exact positions
 /// before and after the vertex step.
@@ -188,7 +187,8 @@ impl SessionBuilder {
                 return Err(LaacadError::NodeOutsideRegion { index: i });
             }
         }
-        let net = Network::from_positions(config.gamma, positions.iter().copied());
+        let mut net = Network::from_positions(config.gamma, positions.iter().copied());
+        net.set_flat_grid(config.flat_grid);
         let mut session = Session {
             config,
             region,
@@ -205,6 +205,7 @@ impl SessionBuilder {
             counters: SessionCounters::default(),
             event_log: Vec::new(),
             recorder: None,
+            pool: ClassifyPool::default(),
         };
         if session.config.snapshot_every.is_some() {
             session
@@ -251,6 +252,25 @@ pub struct Session {
     /// recorder whose `enabled()` is `false` — reduces the
     /// instrumentation to one branch per stage.
     recorder: Option<Box<dyn Recorder>>,
+    /// Arena for the classifier's round-transient buffers (active with
+    /// `config.arena`; see [`ClassifyPool`]).
+    pool: ClassifyPool,
+}
+
+/// Session-owned arena recycling the dirty-node classifier's per-round
+/// buffers — the movement-endpoint cloud, the dirty mask and the
+/// warm-skip table. With the `arena` knob on they are taken at
+/// classification, fully reset to their fresh-allocation state, and
+/// returned at the end of the round, so a steady stream of
+/// partially-active rounds re-uses one high-water allocation instead of
+/// allocating (and zeroing the heap for) three `O(N)` vectors per
+/// round. With the knob off the classifier allocates fresh vectors —
+/// bit-identical results either way.
+#[derive(Debug, Default)]
+struct ClassifyPool {
+    endpoints: Vec<Point>,
+    mask: Vec<bool>,
+    warm: Vec<u32>,
 }
 
 impl Session {
@@ -380,12 +400,20 @@ impl Session {
         }
     }
 
-    /// Sizes the per-worker scratch pool.
+    /// Sizes the per-worker scratch pool. With the `arena` knob on, each
+    /// worker's `N`-proportional buffers are also pre-sized once so the
+    /// first fan-out never grows them mid-computation.
     fn ensure_scratches(&mut self, workers: usize) {
         if self.scratches.len() < workers {
             self.scratches.resize_with(workers, RoundScratch::new);
         }
         self.scratches.truncate(workers.max(1));
+        if self.config.arena {
+            let n = self.net.len();
+            for scratch in &mut self.scratches {
+                scratch.reserve(n);
+            }
+        }
     }
 
     /// The safe re-activation radius of a stored view: a mover outside
@@ -444,7 +472,7 @@ impl Session {
     /// nearest mover is also recorded — the clearance the ρ warm start
     /// feeds on. The classification runs serially before the parallel
     /// fan-out, so it is identical for every worker count.
-    fn classify_dirty(&self) -> DirtyClass {
+    fn classify_dirty(&mut self) -> DirtyClass {
         let n = self.net.len();
         if !self.dirty_skip_active() || !self.views_valid || self.views.len() != n {
             return DirtyClass::AllDirty;
@@ -459,20 +487,38 @@ impl Session {
             return DirtyClass::AllDirty;
         }
         let warm_on = self.config.warm_start;
-        let endpoints: Vec<Point> = self
-            .last_movers
-            .iter()
-            .flat_map(|m| [m.from, m.to])
-            .collect();
+        // With the arena knob on, the round-transient buffers come out
+        // of the session pool; every one is reset to exactly its
+        // fresh-allocation state before use, so the knob is invisible to
+        // the results.
+        let mut endpoints = if self.config.arena {
+            std::mem::take(&mut self.pool.endpoints)
+        } else {
+            Vec::new()
+        };
+        endpoints.clear();
+        endpoints.extend(self.last_movers.iter().flat_map(|m| [m.from, m.to]));
         // One grid over the movement endpoints, celled at the largest
         // safe radius so every per-node probe touches at most 9 cells.
         let mut max_safe = self.config.gamma;
         for view in &self.views {
             max_safe = max_safe.max(self.safe_radius(view));
         }
-        let grid = SpatialGrid::build(&endpoints, max_safe);
-        let mut mask = vec![false; n];
-        let mut warm = vec![0u32; n];
+        let grid = GridIndex::build(&endpoints, max_safe, self.config.flat_grid);
+        let mut mask = if self.config.arena {
+            std::mem::take(&mut self.pool.mask)
+        } else {
+            Vec::new()
+        };
+        mask.clear();
+        mask.resize(n, false);
+        let mut warm = if self.config.arena {
+            std::mem::take(&mut self.pool.warm)
+        } else {
+            Vec::new()
+        };
+        warm.clear();
+        warm.resize(n, 0u32);
         for m in &self.last_movers {
             mask[m.id.index()] = true;
         }
@@ -509,6 +555,9 @@ impl Session {
                     warm[i] = self.warm_skip_for(&self.views[i], clearance);
                 }
             }
+        }
+        if self.config.arena {
+            self.pool.endpoints = endpoints;
         }
         DirtyClass::Partial(PartialDirty { mask, warm })
     }
@@ -731,6 +780,14 @@ impl Session {
             // the round's movement set is the exact delta to patch it
             // with next round.
             self.adjacency_state = AdjacencyState::StaleMoves;
+        }
+        // Recycle the classifier's O(N) buffers into the session pool so
+        // the next partially-active round reuses their allocations.
+        if self.config.arena {
+            if let DirtyClass::Partial(PartialDirty { mask, warm }) = dirty {
+                self.pool.mask = mask;
+                self.pool.warm = warm;
+            }
         }
         self.counters.warm_started += warm_started;
         self.views = views;

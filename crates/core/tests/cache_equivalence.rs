@@ -73,11 +73,7 @@ fn run_fingerprint(cache: bool, dirty_skip: bool, active_set: bool, threads: usi
         sim.history().rounds(),
         sim.history().snapshots(),
         sim.network().positions(),
-        sim.network()
-            .nodes()
-            .iter()
-            .map(|nd| nd.sensing_radius())
-            .collect::<Vec<_>>(),
+        sim.network().sensing_radii().to_vec(),
     )
 }
 

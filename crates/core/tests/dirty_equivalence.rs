@@ -1,12 +1,15 @@
 //! The dirty-node index — and the PR-5 active-set machinery layered on
-//! it (exact reach radii, ρ warm start, incremental adjacency) — must be
-//! invisible in the results: a node is skipped only when nothing its
-//! previous search could have contacted moved, a warm-started search
-//! skips only checks whose inputs are provably unchanged, and the
-//! patched adjacency snapshot is bit-identical to a rebuilt one. A
-//! dynamic-event run (failures + churn + displacements) must therefore
-//! produce byte-identical histories with any combination of the knobs on
-//! or off, at any worker count — while quiescent rounds demonstrably
+//! it (exact reach radii, ρ warm start, incremental adjacency), plus the
+//! PR-8 memory-layout knobs (flat dense spatial grid, per-worker arenas)
+//! — must be invisible in the results: a node is skipped only when
+//! nothing its previous search could have contacted moved, a
+//! warm-started search skips only checks whose inputs are provably
+//! unchanged, the patched adjacency snapshot is bit-identical to a
+//! rebuilt one, and the flat grid and pooled buffers reproduce the hash
+//! grid and fresh allocations byte for byte. A dynamic-event run
+//! (failures + churn + displacements) must therefore produce
+//! byte-identical histories with any combination of the knobs on or
+//! off, at any worker count — while quiescent rounds demonstrably
 //! perform **zero** ring searches when the index is on.
 
 use laacad::{LaacadConfig, NetworkEvent, Session};
@@ -15,8 +18,9 @@ use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
 use laacad_wsn::NodeId;
 
-/// The PR-5 knob triple `(exact_reach, warm_start, incremental_index)`.
-type ActiveSetKnobs = (bool, bool, bool);
+/// The optimization knobs
+/// `(exact_reach, warm_start, incremental_index, flat_grid, arena)`.
+type ActiveSetKnobs = (bool, bool, bool, bool, bool);
 
 fn build_with(
     n: usize,
@@ -37,6 +41,8 @@ fn build_with(
         .exact_reach(knobs.0)
         .warm_start(knobs.1)
         .incremental_index(knobs.2)
+        .flat_grid(knobs.3)
+        .arena(knobs.4)
         .build()
         .unwrap();
     let initial = sample_uniform(&region, n, 31337);
@@ -48,7 +54,7 @@ fn build_with(
 }
 
 fn build(n: usize, k: usize, dirty_skip: bool, threads: usize) -> Session {
-    build_with(n, k, dirty_skip, threads, (true, true, true))
+    build_with(n, k, dirty_skip, threads, (true, true, true, true, true))
 }
 
 /// Steps a 300-round dynamic run — a mid-run failure batch, churn
@@ -99,32 +105,37 @@ fn run_fingerprint(dirty_skip: bool, threads: usize, knobs: ActiveSetKnobs) -> S
         sim.history().rounds(),
         sim.history().snapshots(),
         sim.network().positions(),
-        sim.network()
-            .nodes()
-            .iter()
-            .map(|nd| nd.sensing_radius())
-            .collect::<Vec<_>>(),
+        sim.network().sensing_radii().to_vec(),
     )
 }
 
 #[test]
 fn dynamic_event_run_is_byte_identical_with_dirty_tracking_on_or_off() {
     // Reference: every optimization off, serial.
-    let reference = run_fingerprint(false, 1, (false, false, false));
+    let reference = run_fingerprint(false, 1, (false, false, false, false, false));
     assert!(reference.contains("positions="));
     for (dirty_skip, threads, knobs) in [
-        (true, 1, (false, false, false)),
-        (false, 4, (false, false, false)),
-        (true, 4, (false, false, false)),
+        (true, 1, (false, false, false, false, false)),
+        (false, 4, (false, false, false, false, false)),
+        (true, 4, (false, false, false, false, false)),
         // PR-5 knobs, individually and together, serial and parallel.
-        (true, 1, (true, false, false)),
-        (true, 1, (false, true, false)),
-        (true, 1, (false, false, true)),
-        (true, 1, (true, true, true)),
-        (true, 4, (true, true, true)),
+        (true, 1, (true, false, false, false, false)),
+        (true, 1, (false, true, false, false, false)),
+        (true, 1, (false, false, true, false, false)),
+        (true, 1, (true, true, true, false, false)),
+        (true, 4, (true, true, true, false, false)),
         // Knobs without the dirty index (incremental adjacency still
         // bites; exact reach and warm start are inert).
-        (false, 1, (true, true, true)),
+        (false, 1, (true, true, true, false, false)),
+        // PR-8 memory-layout knobs, individually and together, serial
+        // and parallel.
+        (true, 1, (true, true, true, true, false)),
+        (true, 1, (true, true, true, false, true)),
+        (true, 1, (true, true, true, true, true)),
+        (true, 4, (true, true, true, true, true)),
+        // Flat grid + arena without the dirty index (the network-side
+        // flat grid still bites; the classifier arena is inert).
+        (false, 4, (false, false, false, true, true)),
     ] {
         let other = run_fingerprint(dirty_skip, threads, knobs);
         assert!(
@@ -175,11 +186,7 @@ fn single_mover_reactivates_a_strict_subset_under_exact_reach() {
         let fingerprint = format!(
             "{:?}|{:?}",
             sim.network().positions(),
-            sim.network()
-                .nodes()
-                .iter()
-                .map(|nd| nd.sensing_radius())
-                .collect::<Vec<_>>()
+            sim.network().sensing_radii().to_vec()
         );
         (delta.ring_searches, n, fingerprint)
     };

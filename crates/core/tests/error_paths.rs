@@ -31,7 +31,6 @@ fn session(n: usize, k: usize, seed: u64) -> Session {
 fn state_bits(sim: &Session) -> Vec<(u64, u64, u64)> {
     sim.network()
         .nodes()
-        .iter()
         .enumerate()
         .map(|(i, node)| {
             let p = sim.network().position(NodeId(i));

@@ -55,11 +55,7 @@ fn run_fingerprint(threads: usize) -> String {
         sim.history().snapshots(),
         summary,
         sim.network().positions(),
-        sim.network()
-            .nodes()
-            .iter()
-            .map(|nd| nd.sensing_radius())
-            .collect::<Vec<_>>(),
+        sim.network().sensing_radii().to_vec(),
     )
 }
 

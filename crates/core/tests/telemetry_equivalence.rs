@@ -95,11 +95,7 @@ fn run_fingerprint(threads: usize, wiring: Wiring) -> (String, Option<Box<dyn Re
         sim.history().rounds(),
         sim.history().snapshots(),
         sim.network().positions(),
-        sim.network()
-            .nodes()
-            .iter()
-            .map(|nd| nd.sensing_radius())
-            .collect::<Vec<_>>(),
+        sim.network().sensing_radii().to_vec(),
     );
     (fingerprint, sim.take_recorder())
 }

@@ -61,7 +61,7 @@ pub fn evaluate_coverage(
     let mut total_degree = 0usize;
     let mut holes = Vec::new();
     for &p in &samples {
-        let degree = net.nodes().iter().filter(|n| n.covers(p)).count();
+        let degree = net.nodes().filter(|n| n.covers(p)).count();
         min_degree = min_degree.min(degree);
         total_degree += degree;
         if degree >= k {
@@ -83,7 +83,7 @@ pub fn evaluate_coverage(
 
 /// Coverage degree at a single point.
 pub fn degree_at(net: &Network, p: Point) -> usize {
-    net.nodes().iter().filter(|n| n.covers(p)).count()
+    net.nodes().filter(|n| n.covers(p)).count()
 }
 
 #[cfg(test)]

@@ -36,7 +36,7 @@ pub fn radius_stats(net: &Network) -> RadiusStats {
             std_dev: 0.0,
         };
     }
-    let radii: Vec<f64> = net.nodes().iter().map(|x| x.sensing_radius()).collect();
+    let radii = net.sensing_radii();
     let min = radii.iter().copied().fold(f64::INFINITY, f64::min);
     let max = radii.iter().copied().fold(0.0, f64::max);
     let mean = radii.iter().sum::<f64>() / n as f64;
@@ -55,9 +55,9 @@ pub fn radius_stats(net: &Network) -> RadiusStats {
 pub fn redundancy(net: &Network, area: f64, k: usize) -> f64 {
     assert!(area > 0.0 && k >= 1, "need positive area and k ≥ 1");
     let total: f64 = net
-        .nodes()
+        .sensing_radii()
         .iter()
-        .map(|n| std::f64::consts::PI * n.sensing_radius() * n.sensing_radius())
+        .map(|&r| std::f64::consts::PI * r * r)
         .sum();
     total / (k as f64 * area)
 }

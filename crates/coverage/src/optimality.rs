@@ -84,29 +84,25 @@ pub fn fault_tolerance(
     let n = net.len();
     assert!(failures < n, "cannot fail {failures} of {n} nodes");
     // Rank nodes by sensing load, kill the busiest.
+    let radii = net.sensing_radii();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        net.nodes()[b]
-            .sensing_radius()
-            .total_cmp(&net.nodes()[a].sensing_radius())
-    });
+    order.sort_by(|&a, &b| radii[b].total_cmp(&radii[a]));
     let dead: std::collections::HashSet<usize> = order[..failures].iter().copied().collect();
     let mut survivor = Network::from_positions(
         net.gamma(),
-        net.nodes()
+        net.positions()
             .iter()
             .enumerate()
             .filter(|(i, _)| !dead.contains(i))
-            .map(|(_, node)| node.position()),
+            .map(|(_, &p)| p),
     );
-    for (new_idx, (_, node)) in net
-        .nodes()
+    for (new_idx, (_, &r)) in radii
         .iter()
         .enumerate()
         .filter(|(i, _)| !dead.contains(i))
         .enumerate()
     {
-        survivor.set_sensing_radius(laacad_wsn::NodeId(new_idx), node.sensing_radius());
+        survivor.set_sensing_radius(laacad_wsn::NodeId(new_idx), r);
     }
     let report = crate::grid::evaluate_coverage(&survivor, region, residual_k, samples);
     FaultToleranceReport {

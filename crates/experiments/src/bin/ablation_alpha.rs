@@ -1,28 +1,34 @@
 //! Ablation — step size α (paper Sec. IV-B: "smaller α leads to slower
 //! convergence but smoother motion trace"; convergence holds for any
 //! α ∈ (0, 1], Prop. 4).
+//!
+//! Driven by the declarative spec `scenarios/ablation_alpha.toml`; the
+//! campaign runner sweeps the α-grid across all cores and this thin
+//! wrapper renders the summary table from the streamed results. Pass
+//! `--telemetry` to also record per-cell telemetry (a JSONL metric
+//! stream plus a Chrome trace per cell, beside the result files) — the
+//! table and result files are byte-identical either way.
 
-use laacad_experiments::sweep::parallel_map;
-use laacad_experiments::{markdown_table, output, runs, Csv};
-use laacad_region::Region;
+use laacad_experiments::scenarios::{self, ABLATION_ALPHA};
+use laacad_experiments::{markdown_table, output, Csv};
+use laacad_scenario::{run_campaign_observed, CampaignRunOptions, ResultStore};
 
 fn main() {
-    let alphas = [0.25f64, 0.5, 0.75, 1.0];
-    let results = parallel_map(alphas.to_vec(), |alpha| {
-        let region = Region::square(1.0).expect("unit square");
-        let mut params = runs::StandardRun::new(2, 40, 4242);
-        params.alpha = alpha;
-        params.max_rounds = 400;
-        let (sim, summary, coverage) = runs::run_laacad(&region, &params);
-        (
-            alpha,
-            summary.rounds,
-            summary.converged,
-            summary.max_sensing_radius,
-            sim.network().total_distance_moved(),
-            coverage.covered_fraction,
-        )
-    });
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
+    let campaign = scenarios::load_campaign("ablation_alpha", ABLATION_ALPHA)
+        .expect("ablation_alpha spec parses");
+    let store = ResultStore::new(output::out_dir());
+    let (jsonl, csv_path, results) = run_campaign_observed(
+        &campaign,
+        &store,
+        CampaignRunOptions {
+            telemetry,
+            progress: None,
+        },
+    )
+    .expect("alpha grid expands");
+    println!("wrote {}", output::rel(&jsonl));
+    println!("wrote {}", output::rel(&csv_path));
     let mut rows = Vec::new();
     let mut csv = Csv::with_header(&[
         "alpha",
@@ -32,21 +38,34 @@ fn main() {
         "distance",
         "covered",
     ]);
-    for (alpha, rounds, converged, r_star, distance, covered) in results {
+    for cell in &results {
+        let outcome = match &cell.outcome {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!(
+                    "cell {} (alpha={}) failed: {e}",
+                    cell.cell.index, cell.cell.alpha
+                );
+                continue;
+            }
+        };
+        let alpha = cell.cell.alpha;
+        let summary = &outcome.summary;
+        let covered = outcome.coverage.covered_fraction;
         rows.push(vec![
             format!("{alpha:.2}"),
-            rounds.to_string(),
-            converged.to_string(),
-            format!("{r_star:.4}"),
-            format!("{distance:.2}"),
+            summary.rounds.to_string(),
+            summary.converged.to_string(),
+            format!("{:.4}", summary.max_sensing_radius),
+            format!("{:.2}", summary.total_distance_moved),
             format!("{:.1}%", covered * 100.0),
         ]);
         csv.row(&[
             format!("{alpha}"),
-            rounds.to_string(),
-            converged.to_string(),
-            format!("{r_star:.5}"),
-            format!("{distance:.3}"),
+            summary.rounds.to_string(),
+            summary.converged.to_string(),
+            format!("{:.5}", summary.max_sensing_radius),
+            format!("{:.3}", summary.total_distance_moved),
             format!("{covered:.4}"),
         ]);
     }

@@ -28,6 +28,8 @@ pub const FIG8_COAST: &str = include_str!("../../../scenarios/fig8_coast.toml");
 pub const FIG8_LAKES: &str = include_str!("../../../scenarios/fig8_lakes.toml");
 /// Embedded copy of `scenarios/async_faults.toml`.
 pub const ASYNC_FAULTS: &str = include_str!("../../../scenarios/async_faults.toml");
+/// Embedded copy of `scenarios/ablation_alpha.toml`.
+pub const ABLATION_ALPHA: &str = include_str!("../../../scenarios/ablation_alpha.toml");
 
 /// Candidate directories that may hold an editable `scenarios/` tree.
 fn candidate_dirs() -> Vec<PathBuf> {
@@ -77,6 +79,7 @@ mod tests {
             ("fig8_coast", FIG8_COAST),
             ("fig8_lakes", FIG8_LAKES),
             ("async_faults", ASYNC_FAULTS),
+            ("ablation_alpha", ABLATION_ALPHA),
         ] {
             let campaign = CampaignSpec::from_toml(text)
                 .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));

@@ -473,12 +473,7 @@ fn run_scenario_impl(
             .iter()
             .map(|p| (p.x, p.y))
             .collect(),
-        final_radii: sim
-            .network()
-            .nodes()
-            .iter()
-            .map(|n| n.sensing_radius())
-            .collect(),
+        final_radii: sim.network().sensing_radii().to_vec(),
         gamma: sim.config().gamma,
         summary,
         coverage,
@@ -594,12 +589,7 @@ fn run_async_impl(
             .iter()
             .map(|p| (p.x, p.y))
             .collect(),
-        final_radii: exec
-            .network()
-            .nodes()
-            .iter()
-            .map(|n| n.sensing_radius())
-            .collect(),
+        final_radii: exec.network().sensing_radii().to_vec(),
         gamma,
         summary: report.summary,
         coverage,

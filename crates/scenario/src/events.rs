@@ -176,7 +176,6 @@ impl TimelineHook {
                 let doomed: Vec<NodeId> = sim
                     .network()
                     .nodes()
-                    .iter()
                     .filter(|node| {
                         let spent = move_cost * node.distance_moved()
                             + sense_cost * rounds * model.energy(node.sensing_radius());

@@ -393,6 +393,15 @@ pub struct AlgorithmSpec {
     /// Incremental adjacency-snapshot maintenance (default on). Results
     /// are bit-identical with the knob off.
     pub incremental_index: bool,
+    /// Flat dense spatial grid for the network and classifier indexes
+    /// (default on; falls back to the hash grid per-build when the point
+    /// cloud is too sparse). Results are bit-identical with the knob
+    /// off.
+    pub flat_grid: bool,
+    /// Per-worker arena reuse of the round engine's `O(N)` transient
+    /// buffers (default on). Results are bit-identical with the knob
+    /// off.
+    pub arena: bool,
     /// Per-cell telemetry recording (default off). Honored by the
     /// campaign runner — not by [`LaacadConfig`], which telemetry never
     /// touches: when set, [`crate::campaign::run_campaign_observed`]
@@ -426,6 +435,8 @@ impl Default for AlgorithmSpec {
             exact_reach: true,
             warm_start: true,
             incremental_index: true,
+            flat_grid: true,
+            arena: true,
             telemetry: false,
             faults: None,
         }
@@ -464,6 +475,8 @@ impl AlgorithmSpec {
         builder.exact_reach(self.exact_reach);
         builder.warm_start(self.warm_start);
         builder.incremental_index(self.incremental_index);
+        builder.flat_grid(self.flat_grid);
+        builder.arena(self.arena);
         builder.build().map_err(|e| SpecError::Build(e.to_string()))
     }
 
@@ -513,6 +526,8 @@ impl AlgorithmSpec {
             warm_start: decode::opt_bool(v, "warm_start", path)?.unwrap_or(d.warm_start),
             incremental_index: decode::opt_bool(v, "incremental_index", path)?
                 .unwrap_or(d.incremental_index),
+            flat_grid: decode::opt_bool(v, "flat_grid", path)?.unwrap_or(d.flat_grid),
+            arena: decode::opt_bool(v, "arena", path)?.unwrap_or(d.arena),
             telemetry: decode::opt_bool(v, "telemetry", path)?.unwrap_or(d.telemetry),
             // Decoded from the document's top-level `faults` table by
             // `ScenarioSpec::from_value`, not from the laacad table.
@@ -576,6 +591,12 @@ impl AlgorithmSpec {
         }
         if self.incremental_index != d.incremental_index {
             t.insert("incremental_index", Value::Bool(self.incremental_index));
+        }
+        if self.flat_grid != d.flat_grid {
+            t.insert("flat_grid", Value::Bool(self.flat_grid));
+        }
+        if self.arena != d.arena {
+            t.insert("arena", Value::Bool(self.arena));
         }
         if self.telemetry != d.telemetry {
             t.insert("telemetry", Value::Bool(self.telemetry));

@@ -48,18 +48,15 @@ impl EnergyModel {
 
     /// Maximum per-node sensing load `max_i E(r_i)` (Fig. 7a).
     pub fn max_load(&self, net: &Network) -> f64 {
-        net.nodes()
+        net.sensing_radii()
             .iter()
-            .map(|n| self.energy(n.sensing_radius()))
+            .map(|&r| self.energy(r))
             .fold(0.0, f64::max)
     }
 
     /// Total sensing load `Σ_i E(r_i)` (Fig. 7b).
     pub fn total_load(&self, net: &Network) -> f64 {
-        net.nodes()
-            .iter()
-            .map(|n| self.energy(n.sensing_radius()))
-            .sum()
+        net.sensing_radii().iter().map(|&r| self.energy(r)).sum()
     }
 
     /// Load-balance ratio `min_i E(r_i) / max_i E(r_i)` — approaches 1 as
@@ -70,9 +67,9 @@ impl EnergyModel {
             return 1.0;
         }
         let min = net
-            .nodes()
+            .sensing_radii()
             .iter()
-            .map(|n| self.energy(n.sensing_radius()))
+            .map(|&r| self.energy(r))
             .fold(f64::INFINITY, f64::min);
         min / max
     }

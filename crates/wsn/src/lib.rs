@@ -4,8 +4,10 @@
 //! a simulation substrate:
 //!
 //! * [`node::SensorNode`] / [`Network`] — mobile nodes with tunable
-//!   sensing ranges and an identical transmission range `γ`, indexed by a
-//!   uniform [`spatial::SpatialGrid`] for O(1)-ish range queries;
+//!   sensing ranges and an identical transmission range `γ`, stored
+//!   struct-of-arrays and indexed by a uniform grid ([`flat::GridIndex`]:
+//!   the dense [`flat::FlatGrid`] or the hash
+//!   [`spatial::SpatialGrid`]) for O(1)-ish range queries;
 //! * [`radio`] — the unit-disk communication graph, hop distances,
 //!   connected components, and message accounting;
 //! * [`multihop`] — the `N(n_i, ρ)` neighborhoods of Algorithm 2 (nodes
@@ -39,6 +41,7 @@
 pub mod adjacency;
 pub mod boundary;
 pub mod energy;
+pub mod flat;
 pub mod localize;
 pub mod mds;
 pub mod mobility;
@@ -50,5 +53,6 @@ pub mod ranging;
 pub mod spatial;
 
 pub use adjacency::Adjacency;
+pub use flat::{FlatGrid, GridIndex};
 pub use network::Network;
 pub use node::{NodeId, SensorNode};

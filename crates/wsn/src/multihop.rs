@@ -161,6 +161,16 @@ impl RingScratch {
         &self.members
     }
 
+    /// Pre-sizes the BFS arrays for searches over `n` nodes, so the
+    /// first search of a round does not grow them mid-flight (the round
+    /// engine's arena pre-sizing calls this once per worker from `N`).
+    pub fn reserve(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0);
+        }
+    }
+
     /// Starts a new search: bumps the epoch and sizes the arrays to `n`.
     fn reset(&mut self, n: usize) {
         self.epoch += 1;

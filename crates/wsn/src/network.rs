@@ -1,19 +1,29 @@
 //! The sensor network container.
 
+use crate::flat::GridIndex;
 use crate::node::{NodeId, SensorNode};
-use crate::spatial::SpatialGrid;
 use laacad_geom::Point;
 
-/// A WSN: a set of [`SensorNode`]s with one shared transmission range `γ`
+/// A WSN: a set of sensor nodes with one shared transmission range `γ`
 /// (paper Sec. III-A: "All nodes have an identical transmission range γ"),
 /// spatially indexed for the radius queries every LAACAD round performs.
+///
+/// Node state is stored **struct-of-arrays**: parallel `positions` /
+/// `sensing_radius` / `distance_moved` vectors indexed by [`NodeId`], so
+/// the round engine's sweeps (position snapshots, radius reductions,
+/// odometry totals) stream over dense homogeneous memory instead of
+/// striding through per-node structs. [`SensorNode`] survives only as a
+/// by-value view at the API boundary ([`Network::node`] /
+/// [`Network::nodes`]).
 ///
 /// The spatial index is maintained **eagerly** on every mutation, so the
 /// whole query surface ([`Network::nodes_within`],
 /// [`Network::one_hop_neighbors`], the multihop ring machinery) works
 /// through `&Network`. That is what lets the synchronous round engine
 /// compute every node's local view from one shared snapshot across
-/// worker threads.
+/// worker threads. The index layout is a [`GridIndex`]: the dense flat
+/// grid when enabled and the cloud is dense enough, the hash grid
+/// otherwise — query results are bit-identical either way.
 ///
 /// # Example
 ///
@@ -27,10 +37,13 @@ use laacad_geom::Point;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Network {
-    nodes: Vec<SensorNode>,
     positions: Vec<Point>,
+    sensing_radius: Vec<f64>,
+    distance_moved: Vec<f64>,
     gamma: f64,
-    grid: SpatialGrid,
+    grid: GridIndex,
+    /// Whether rebuilds should attempt the flat dense layout.
+    prefer_flat: bool,
     /// Odometry of nodes that have since been removed (kept so that
     /// movement-energy totals survive node failures).
     retired_distance: f64,
@@ -48,10 +61,12 @@ impl Network {
             "transmission range must be positive, got {gamma}"
         );
         Network {
-            nodes: Vec::new(),
             positions: Vec::new(),
+            sensing_radius: Vec::new(),
+            distance_moved: Vec::new(),
             gamma,
-            grid: SpatialGrid::build(&[], gamma.max(1e-9)),
+            grid: GridIndex::build(&[], gamma.max(1e-9), false),
+            prefer_flat: false,
             retired_distance: 0.0,
         }
     }
@@ -59,32 +74,60 @@ impl Network {
     /// Creates a network from initial node positions.
     pub fn from_positions(gamma: f64, positions: impl IntoIterator<Item = Point>) -> Self {
         let mut net = Network::new(gamma);
-        for p in positions {
-            net.add_node(p);
-        }
+        net.positions = positions.into_iter().collect();
+        net.sensing_radius = vec![0.0; net.positions.len()];
+        net.distance_moved = vec![0.0; net.positions.len()];
+        net.rebuild_grid();
         net
     }
 
+    /// Selects the spatial-index layout: with `true`, rebuilds prefer
+    /// the flat dense grid (falling back to the hash grid when the point
+    /// cloud is too sparse for it); with `false`, the hash grid is used
+    /// unconditionally. Queries are bit-identical either way — this is a
+    /// memory-layout knob, not a semantic one.
+    pub fn set_flat_grid(&mut self, prefer_flat: bool) {
+        if self.prefer_flat != prefer_flat {
+            self.prefer_flat = prefer_flat;
+            self.rebuild_grid();
+        }
+    }
+
+    /// Whether the flat dense grid layout is currently active.
+    pub fn uses_flat_grid(&self) -> bool {
+        self.grid.is_flat()
+    }
+
+    /// Rebuilds the spatial index from the current positions — the O(N)
+    /// recovery path the flat layout falls back on when a mutation
+    /// escapes its bounding box or overflows a cell.
+    fn rebuild_grid(&mut self) {
+        self.grid = GridIndex::build(&self.positions, self.gamma.max(1e-9), self.prefer_flat);
+    }
+
     /// Adds a node, returning its id. The spatial index is extended in
-    /// place.
+    /// place when it can be, rebuilt when the new point does not fit.
     pub fn add_node(&mut self, position: Point) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(SensorNode::new(id, position));
+        let id = NodeId(self.positions.len());
         self.positions.push(position);
-        self.grid.insert(id.0, position);
+        self.sensing_radius.push(0.0);
+        self.distance_moved.push(0.0);
+        if !self.grid.insert(id.0, position) {
+            self.rebuild_grid();
+        }
         id
     }
 
     /// Number of nodes `N`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.positions.len()
     }
 
     /// Whether the network has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.positions.is_empty()
     }
 
     /// The shared transmission range `γ`.
@@ -95,17 +138,23 @@ impl Network {
 
     /// All node ids.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.nodes.len()).map(NodeId)
+        (0..self.positions.len()).map(NodeId)
     }
 
-    /// Immutable node access.
-    pub fn node(&self, id: NodeId) -> &SensorNode {
-        &self.nodes[id.0]
+    /// A by-value view of one node (see [`SensorNode`]).
+    #[inline]
+    pub fn node(&self, id: NodeId) -> SensorNode {
+        SensorNode::view(
+            id,
+            self.positions[id.0],
+            self.sensing_radius[id.0],
+            self.distance_moved[id.0],
+        )
     }
 
-    /// All nodes.
-    pub fn nodes(&self) -> &[SensorNode] {
-        &self.nodes
+    /// Views of all nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = SensorNode> + '_ {
+        (0..self.len()).map(move |i| self.node(NodeId(i)))
     }
 
     /// Position of a node.
@@ -120,32 +169,48 @@ impl Network {
         &self.positions
     }
 
+    /// All sensing ranges, indexed by node id.
+    #[inline]
+    pub fn sensing_radii(&self) -> &[f64] {
+        &self.sensing_radius
+    }
+
     /// Moves a node, maintaining odometry and the spatial index.
     pub fn move_node(&mut self, id: NodeId, target: Point) {
         let old = self.positions[id.0];
-        self.nodes[id.0].move_to(target);
+        self.distance_moved[id.0] += old.distance(target);
         self.positions[id.0] = target;
-        self.grid.relocate(id.0, old, target);
+        if !self.grid.relocate(id.0, old, target) {
+            self.rebuild_grid();
+        }
     }
 
     /// Moves a batch of nodes at once, maintaining odometry and feeding
-    /// the spatial index one move-delta batch
-    /// ([`SpatialGrid::apply_moves`]) instead of per-node calls. Results
-    /// are identical to calling [`Network::move_node`] per entry.
+    /// the spatial index one move-delta batch ([`GridIndex::apply_moves`])
+    /// instead of per-node calls. Results are identical to calling
+    /// [`Network::move_node`] per entry.
     pub fn apply_displacements(&mut self, moves: &[(NodeId, Point)]) {
-        let nodes = &mut self.nodes;
         let positions = &mut self.positions;
-        self.grid.apply_moves(moves.iter().map(|&(id, target)| {
+        let distance_moved = &mut self.distance_moved;
+        let ok = self.grid.apply_moves(moves.iter().map(|&(id, target)| {
             let old = positions[id.0];
-            nodes[id.0].move_to(target);
+            distance_moved[id.0] += old.distance(target);
             positions[id.0] = target;
             (id.0, old, target)
         }));
+        if !ok {
+            self.rebuild_grid();
+        }
     }
 
     /// Sets a node's sensing range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite ranges.
     pub fn set_sensing_radius(&mut self, id: NodeId, r: f64) {
-        self.nodes[id.0].set_sensing_radius(r);
+        assert!(r.is_finite() && r >= 0.0, "invalid sensing radius {r}");
+        self.sensing_radius[id.0] = r;
     }
 
     /// Removes the given nodes (duplicates and out-of-range ids ignored),
@@ -163,29 +228,28 @@ impl Network {
         if removing == 0 {
             return 0;
         }
-        let n = self.nodes.len();
-        let mut nodes = Vec::with_capacity(n - removing);
-        let mut positions = Vec::with_capacity(n - removing);
-        for (i, node) in self.nodes.drain(..).enumerate() {
-            if doomed[i] {
-                self.retired_distance += node.distance_moved();
+        let mut w = 0;
+        for (i, &dead) in doomed.iter().enumerate() {
+            if dead {
+                self.retired_distance += self.distance_moved[i];
             } else {
-                let mut node = node;
-                node.reassign_id(NodeId(nodes.len()));
-                positions.push(node.position());
-                nodes.push(node);
+                self.positions[w] = self.positions[i];
+                self.sensing_radius[w] = self.sensing_radius[i];
+                self.distance_moved[w] = self.distance_moved[i];
+                w += 1;
             }
         }
-        self.nodes = nodes;
-        self.positions = positions;
-        self.grid = SpatialGrid::build(&self.positions, self.gamma.max(1e-9));
+        self.positions.truncate(w);
+        self.sensing_radius.truncate(w);
+        self.distance_moved.truncate(w);
+        self.rebuild_grid();
         removing
     }
 
     /// Marks the distinct, in-range ids among `ids`; the count is exactly
     /// what [`Network::remove_nodes`] would remove.
     fn doomed_bitmap(&self, ids: &[NodeId]) -> (Vec<bool>, usize) {
-        let n = self.nodes.len();
+        let n = self.positions.len();
         let mut doomed = vec![false; n];
         for id in ids {
             if id.0 < n {
@@ -208,11 +272,9 @@ impl Network {
     /// reassignment and odometry semantics as [`Network::remove_nodes`].
     /// Returns the number of nodes removed.
     pub fn retain_nodes(&mut self, mut keep: impl FnMut(&SensorNode) -> bool) -> usize {
-        let doomed: Vec<NodeId> = self
-            .nodes
-            .iter()
-            .filter(|node| !keep(node))
-            .map(|node| node.id())
+        let doomed: Vec<NodeId> = (0..self.len())
+            .map(NodeId)
+            .filter(|&id| !keep(&self.node(id)))
             .collect();
         self.remove_nodes(&doomed)
     }
@@ -220,11 +282,9 @@ impl Network {
     /// Ids of nodes within Euclidean distance `radius` of `q` (inclusive),
     /// including any node located exactly at `q`.
     pub fn nodes_within(&self, q: Point, radius: f64) -> Vec<NodeId> {
-        self.grid
-            .within(&self.positions, q, radius)
-            .into_iter()
-            .map(NodeId)
-            .collect()
+        let mut out = Vec::new();
+        self.grid.within_into(&self.positions, q, radius, &mut out);
+        out.into_iter().map(NodeId).collect()
     }
 
     /// [`Network::nodes_within`] into a caller-owned buffer (cleared
@@ -252,25 +312,22 @@ impl Network {
 
     /// Maximum sensing range over the network — the paper's objective `R`.
     pub fn max_sensing_radius(&self) -> f64 {
-        self.nodes
-            .iter()
-            .map(|n| n.sensing_radius())
-            .fold(0.0, f64::max)
+        self.sensing_radius.iter().copied().fold(0.0, f64::max)
     }
 
     /// Minimum sensing range over the network (reported alongside `R` in
     /// Fig. 6 to show load balance).
     pub fn min_sensing_radius(&self) -> f64 {
-        self.nodes
+        self.sensing_radius
             .iter()
-            .map(|n| n.sensing_radius())
+            .copied()
             .fold(f64::INFINITY, f64::min)
     }
 
     /// Total distance moved by all nodes, including nodes that have since
     /// been removed (movement-energy reporting).
     pub fn total_distance_moved(&self) -> f64 {
-        self.retired_distance + self.nodes.iter().map(|n| n.distance_moved()).sum::<f64>()
+        self.retired_distance + self.distance_moved.iter().sum::<f64>()
     }
 }
 
@@ -320,6 +377,7 @@ mod tests {
         net.set_sensing_radius(b, 0.7);
         assert_eq!(net.max_sensing_radius(), 0.7);
         assert_eq!(net.min_sensing_radius(), 0.3);
+        assert_eq!(net.sensing_radii(), &[0.3, 0.7]);
     }
 
     #[test]
@@ -333,6 +391,13 @@ mod tests {
     #[should_panic(expected = "transmission range")]
     fn invalid_gamma_panics() {
         let _ = Network::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sensing radius")]
+    fn invalid_sensing_radius_panics() {
+        let mut net = Network::from_positions(0.1, [Point::ORIGIN]);
+        net.set_sensing_radius(NodeId(0), f64::NAN);
     }
 
     #[test]
@@ -355,7 +420,7 @@ mod tests {
         assert_eq!(net.position(NodeId(0)), Point::new(0.0, 0.0));
         assert_eq!(net.position(NodeId(1)), Point::new(2.0, 0.0));
         assert_eq!(net.position(NodeId(2)), Point::new(3.0, 2.0));
-        for (i, node) in net.nodes().iter().enumerate() {
+        for (i, node) in net.nodes().enumerate() {
             assert_eq!(node.id(), NodeId(i));
         }
         // The removed node's odometry is retained in the total.
@@ -381,5 +446,30 @@ mod tests {
         assert_eq!(removed, 1);
         assert_eq!(net.len(), 2);
         assert!(net.positions().iter().all(|p| p.x < 1.5));
+    }
+
+    #[test]
+    fn flat_grid_layout_is_equivalent() {
+        let positions: Vec<Point> = (0..50)
+            .map(|i| Point::new((i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1))
+            .collect();
+        let mut flat = Network::from_positions(0.15, positions.iter().copied());
+        flat.set_flat_grid(true);
+        assert!(flat.uses_flat_grid());
+        let hash = Network::from_positions(0.15, positions.iter().copied());
+        assert!(!hash.uses_flat_grid());
+        for i in 0..flat.len() {
+            assert_eq!(
+                flat.one_hop_neighbors(NodeId(i)),
+                hash.one_hop_neighbors(NodeId(i))
+            );
+        }
+        // A move that escapes the flat bounding box transparently
+        // rebuilds; queries stay correct.
+        flat.move_node(NodeId(0), Point::new(4.0, 4.0));
+        assert_eq!(
+            flat.nodes_within(Point::new(4.0, 4.0), 0.1),
+            vec![NodeId(0)]
+        );
     }
 }

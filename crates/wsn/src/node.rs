@@ -34,7 +34,13 @@ impl From<usize> for NodeId {
 /// cumulative movement odometry (movement energy is a "one-time
 /// investment" in the paper's model, but we account for it anyway so the
 /// trade-off can be reported).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Inside a [`crate::Network`] the per-node fields live in parallel
+/// struct-of-arrays vectors; `SensorNode` is the by-value **view** the
+/// API hands out ([`crate::Network::node`] / [`crate::Network::nodes`]).
+/// It is `Copy` — a snapshot, not a handle: mutating a view does not
+/// write back into the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorNode {
     id: NodeId,
     position: Point,
@@ -77,10 +83,19 @@ impl SensorNode {
         self.distance_moved
     }
 
-    /// Rebinds the node to a new id (used when the network compacts after
-    /// node removal).
-    pub(crate) fn reassign_id(&mut self, id: NodeId) {
-        self.id = id;
+    /// Assembles a view over a network's struct-of-arrays fields.
+    pub(crate) fn view(
+        id: NodeId,
+        position: Point,
+        sensing_radius: f64,
+        distance_moved: f64,
+    ) -> Self {
+        SensorNode {
+            id,
+            position,
+            sensing_radius,
+            distance_moved,
+        }
     }
 
     /// Moves the node to `target`, updating the odometer.

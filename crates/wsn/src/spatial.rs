@@ -36,6 +36,10 @@ impl SpatialGrid {
 
     /// Indices of all points within Euclidean distance `radius` of `q`
     /// (inclusive), in ascending index order.
+    ///
+    /// **Test-only convenience**: allocates a fresh `Vec` per call, so
+    /// no hot path uses it — per-round queries go through
+    /// [`SpatialGrid::within_into`] with a reused buffer.
     pub fn within(&self, points: &[Point], q: Point, radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
         self.within_into(points, q, radius, &mut out);

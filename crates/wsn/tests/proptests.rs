@@ -5,7 +5,7 @@ use laacad_geom::Point;
 use laacad_wsn::mds::classical_mds;
 use laacad_wsn::multihop::ring_neighborhood;
 use laacad_wsn::spatial::SpatialGrid;
-use laacad_wsn::{Network, NodeId};
+use laacad_wsn::{FlatGrid, Network, NodeId};
 use proptest::prelude::*;
 
 fn points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
@@ -32,6 +32,56 @@ proptest! {
             .filter(|&i| pts[i].distance(q) <= r + 1e-9)
             .collect();
         prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn flat_grid_matches_hash_grid(
+        pts in points(1, 80),
+        moves in prop::collection::vec(
+            (0usize..80, 0.0f64..1.0, 0.0f64..1.0),
+            0..12,
+        ),
+        queries in prop::collection::vec(
+            (-0.2f64..1.2, -0.2f64..1.2, 0.0f64..0.8),
+            1..8,
+        ),
+        cell in 0.05f64..0.5,
+    ) {
+        // The flat layout must be observationally identical to the hash
+        // layout under any interleaving of batched moves and queries:
+        // `within` returns byte-identical sorted index lists throughout.
+        let mut pts_flat = pts.clone();
+        let mut pts_hash = pts;
+        let flat = FlatGrid::try_build(&pts_flat, cell);
+        prop_assume!(flat.is_some()); // sparse clouds fall back to hash
+        let mut flat = flat.unwrap();
+        let mut hash = SpatialGrid::build(&pts_hash, cell);
+        for (chunk, &(qx, qy, r)) in queries.iter().enumerate() {
+            // Interleave: apply a slice of the move batch before each query.
+            let lo = chunk * moves.len() / queries.len();
+            let hi = (chunk + 1) * moves.len() / queries.len();
+            // Dedup per batch: `from` positions are captured eagerly, so a
+            // node may move at most once per `apply_moves` call (as in the
+            // round engine, where each node displaces once per round).
+            let mut seen = std::collections::HashSet::new();
+            let batch: Vec<(usize, Point, Point)> = moves[lo..hi]
+                .iter()
+                .filter(|(i, _, _)| *i < pts_flat.len() && seen.insert(*i))
+                .map(|&(i, x, y)| (i, pts_flat[i], Point::new(x, y)))
+                .collect();
+            let ok = flat.apply_moves(batch.iter().copied().inspect(|&(i, _, new)| {
+                pts_flat[i] = new;
+            }));
+            hash.apply_moves(batch.iter().copied().inspect(|&(i, _, new)| {
+                pts_hash[i] = new;
+            }));
+            prop_assume!(ok); // a move out of the flat bbox forces a rebuild
+            prop_assert_eq!(&pts_flat, &pts_hash);
+            let q = Point::new(qx, qy);
+            let got = flat.within(&pts_flat, q, r);
+            let expect = hash.within(&pts_hash, q, r);
+            prop_assert_eq!(got, expect);
+        }
     }
 
     #[test]

@@ -41,7 +41,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let victim = sim
         .network()
         .nodes()
-        .iter()
         .max_by(|a, b| a.sensing_radius().total_cmp(&b.sensing_radius()))
         .map(|n| n.id())
         .expect("non-empty network");
@@ -49,14 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.network().gamma(),
         sim.network()
             .nodes()
-            .iter()
             .filter(|n| n.id() != victim)
             .map(|n| n.position()),
     );
     for (new_idx, node) in sim
         .network()
         .nodes()
-        .iter()
         .filter(|n| n.id() != victim)
         .enumerate()
     {
