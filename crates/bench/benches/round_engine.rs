@@ -34,9 +34,10 @@
 //! cap are skipped, and a capped full run prints measurements without
 //! rewriting the committed JSON.
 
-use laacad::{LaacadConfig, NoopRecorder, Session, Stage, TelemetryRegistry};
+use laacad::{LaacadConfig, NoopRecorder, Session, SessionBuilder, Stage, TelemetryRegistry};
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
+use laacad_serve::{Command, HostConfig, QueuePolicy, SessionHost};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -269,6 +270,68 @@ fn time_cold_layout(n: usize, k: usize, threads: usize, flat_grid: bool, reps: u
         best = best.min(dt);
     }
     best
+}
+
+/// PR-9: `laacad-snapshot/1` serialize/deserialize latency and buffer
+/// size after one cold round (so views, caches, adjacency and history
+/// all carry real content).
+fn snapshot_roundtrip(n: usize, k: usize) -> (f64, f64, usize) {
+    let epsilon = 5e-3 * (k as f64 / (std::f64::consts::PI * n as f64)).sqrt();
+    let mut sim = build(n, k, 1, true, epsilon);
+    sim.step();
+    let t = Instant::now();
+    let bytes = sim.snapshot();
+    let snapshot_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let restored = SessionBuilder::restore(&bytes).expect("snapshot restores");
+    let restore_s = t.elapsed().as_secs_f64();
+    assert_eq!(restored.rounds_executed(), sim.rounds_executed());
+    (snapshot_s, restore_s, bytes.len())
+}
+
+/// PR-9: host throughput — `sessions` independent 64-node deployments
+/// stepped `rounds` times each through the scheduler's tick fan-out
+/// (queues preloaded so the measurement is pure scheduling + engine).
+/// Returns executed session-rounds per second.
+fn host_throughput(sessions: usize, rounds: usize) -> f64 {
+    let region = Region::square(1.0).expect("unit square");
+    let (n, k) = (64, 1);
+    let mut host = SessionHost::new(HostConfig {
+        queue_capacity: rounds,
+        policy: QueuePolicy::Reject,
+        tick_budget: 1,
+        threads: 0,
+    });
+    let mut ids = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let config = LaacadConfig::builder(k)
+            .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+            .alpha(0.6)
+            .epsilon(1e-6)
+            .max_rounds(10_000)
+            .seed(i as u64)
+            .build()
+            .expect("valid config");
+        let session = Session::builder(config)
+            .region(region.clone())
+            .positions(sample_uniform(&region, n, 1_000 + i as u64))
+            .build()
+            .expect("valid deployment");
+        ids.push(host.admit(session));
+    }
+    for &id in &ids {
+        for _ in 0..rounds {
+            host.submit(id, Command::Step)
+                .expect("queue sized for the whole run");
+        }
+    }
+    let t = Instant::now();
+    for _ in 0..rounds {
+        host.tick();
+    }
+    let dt = t.elapsed().as_secs_f64();
+    assert_eq!(host.stats().executed, (sessions * rounds) as u64);
+    (sessions * rounds) as f64 / dt
 }
 
 /// Times one `step()` (best of `reps` fresh simulations; construction
@@ -869,6 +932,50 @@ fn main() {
         ));
         pr8_stage_rows.push(stage_row(&format!("partial_n{n}"), &reg));
     }
+    // PR-9 section: the serve layer. Snapshot/restore latency across
+    // the N sweep, and scheduler throughput at fleet sizes.
+    let mut pr9_snapshot_rows = Vec::new();
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        if skip(n) {
+            continue;
+        }
+        let k = 1;
+        let (snapshot_s, restore_s, bytes) = snapshot_roundtrip(n, k);
+        eprintln!(
+            "round_engine pr9 N={n} k={k}: snapshot {snapshot_s:.4}s, restore {restore_s:.4}s, \
+             {bytes} bytes ({:.1} MB)",
+            bytes as f64 / 1e6
+        );
+        pr9_snapshot_rows.push(format!(
+            concat!(
+                "      {{\"n\": {}, \"k\": {}, ",
+                "\"snapshot_seconds\": {:.6}, ",
+                "\"restore_seconds\": {:.6}, ",
+                "\"snapshot_bytes\": {}}}"
+            ),
+            n, k, snapshot_s, restore_s, bytes,
+        ));
+    }
+    let mut pr9_host_rows = Vec::new();
+    for &sessions in &[64usize, 512] {
+        if skip(sessions * 64) {
+            continue;
+        }
+        let rounds = 50;
+        let throughput = host_throughput(sessions, rounds);
+        eprintln!(
+            "round_engine pr9 host: {sessions} sessions x {rounds} rounds, \
+             {throughput:.0} session-rounds/s over {workers} workers"
+        );
+        pr9_host_rows.push(format!(
+            concat!(
+                "      {{\"sessions\": {}, \"rounds_per_session\": {}, ",
+                "\"nodes_per_session\": 64, ",
+                "\"session_rounds_per_second\": {:.1}}}"
+            ),
+            sessions, rounds, throughput,
+        ));
+    }
     let json = format!(
         concat!(
             "{{\n",
@@ -897,6 +1004,11 @@ fn main() {
             "    \"description\": \"memory-layout sweep (struct-of-arrays network, flat dense CSR grid, per-worker arenas) at N in {{10^5, 10^6}}, k = 1: cold first round under the flat vs the hash grid (serial; parallel under flat), one steady quiescent round (O(N) stored-view replay, O(1) allocations), and the single serial round reacting to a localized 1% corner displacement. stage_rows carries the partial round's per-stage telemetry split (classification + replay dominate; ring search and geometry stay proportional to the perturbed set), recorded the same way as the pr6 rows\",\n",
             "    \"rows\": [\n{}\n    ],\n",
             "    \"stage_rows\": [\n{}\n    ]\n",
+            "  }},\n",
+            "  \"pr9\": {{\n",
+            "    \"description\": \"coverage-as-a-service serve layer: laacad-snapshot/1 serialize/restore wall-clock and buffer size after one cold round at N in {{10^4, 10^5, 10^6}}, k = 1 (restored sessions are bit-identical going forward — pinned by tests, not timed here), and SessionHost scheduler throughput: 64 and 512 independent 64-node sessions stepped 50 rounds each through preloaded bounded queues (tick budget 1, reject policy), reported as executed session-rounds per second over the tick fan-out\",\n",
+            "    \"snapshot_rows\": [\n{}\n    ],\n",
+            "    \"host_rows\": [\n{}\n    ]\n",
             "  }}\n",
             "}}\n"
         ),
@@ -908,7 +1020,9 @@ fn main() {
         pr5_rows.join(",\n"),
         pr6_rows.join(",\n"),
         pr8_rows.join(",\n"),
-        pr8_stage_rows.join(",\n")
+        pr8_stage_rows.join(",\n"),
+        pr9_snapshot_rows.join(",\n"),
+        pr9_host_rows.join(",\n")
     );
     if cap.is_some() {
         eprintln!("--n cap active: measurements above; committed JSON left untouched");

@@ -58,6 +58,7 @@ pub mod ring;
 pub mod runner;
 pub mod scratch;
 pub mod session;
+pub mod snapshot;
 
 pub use config::{CoordinateMode, ExecutionMode, LaacadConfig, LaacadConfigBuilder, RingCapPolicy};
 pub use error::LaacadError;
@@ -77,7 +78,8 @@ pub use ring::{
 #[allow(deprecated)]
 pub use runner::Laacad;
 pub use scratch::{LocalViewCache, RoundScratch};
-pub use session::{MovedNode, RoundDelta, Session, SessionBuilder, SessionCounters};
+pub use session::{MovedNode, ObservedRound, RoundDelta, Session, SessionBuilder, SessionCounters};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC};
 
 /// The telemetry layer (re-exported `laacad-telemetry`): [`Recorder`]
 /// implementations plug into [`Session::set_recorder`], sinks export

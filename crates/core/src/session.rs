@@ -93,6 +93,21 @@ pub struct RoundDelta {
     pub cache_misses: usize,
 }
 
+/// Verdict of one observed round ([`Session::step_observed`]): the
+/// round's change set plus the combined observer [`HookAction`]s, so an
+/// external run-loop driver can apply exactly the break rules of
+/// [`Session::run_with_observers`].
+#[derive(Debug)]
+pub struct ObservedRound {
+    /// What the round changed ([`Session::step`]'s return value).
+    pub delta: RoundDelta,
+    /// Some observer returned [`HookAction::Stop`] — the run must end.
+    pub stop: bool,
+    /// Some observer returned [`HookAction::KeepRunning`] — the
+    /// convergence stop is overridden this round.
+    pub keep_running: bool,
+}
+
 /// **Cumulative** work counters over a session's lifetime: every field
 /// is a running total that [`Session::finish_round`] adds to after each
 /// round and that nothing resets implicitly — they are *not* per-round
@@ -217,44 +232,48 @@ impl SessionBuilder {
 }
 
 /// A LAACAD deployment session (see the [module docs](self)).
+///
+/// Fields are `pub(crate)` so [`crate::snapshot`] can serialize and
+/// reconstruct the full engine state without a parallel accessor
+/// surface.
 #[derive(Debug)]
 pub struct Session {
-    config: LaacadConfig,
-    region: Region,
-    net: Network,
-    history: History,
-    round: usize,
-    converged: bool,
+    pub(crate) config: LaacadConfig,
+    pub(crate) region: Region,
+    pub(crate) net: Network,
+    pub(crate) history: History,
+    pub(crate) round: usize,
+    pub(crate) converged: bool,
     /// One [`RoundScratch`] per worker, reused across rounds.
-    scratches: Vec<RoundScratch>,
+    pub(crate) scratches: Vec<RoundScratch>,
     /// Per-round one-hop snapshot shared by every worker (synchronous
     /// mode), refreshed in place when positions changed.
-    adjacency: Adjacency,
+    pub(crate) adjacency: Adjacency,
     /// How `adjacency` relates to the current positions.
-    adjacency_state: AdjacencyState,
+    pub(crate) adjacency_state: AdjacencyState,
     /// Every node's view from the most recent Phase 1 (the dirty-node
     /// index replays these for quiescent nodes).
-    views: Vec<NodeView>,
+    pub(crate) views: Vec<NodeView>,
     /// Whether `views` may be replayed (synchronous + oracle +
     /// `dirty_skip`, and no event since they were computed).
-    views_valid: bool,
+    pub(crate) views_valid: bool,
     /// The previous round's movement set — the changed-positions input
     /// of the dirty classification.
-    last_movers: Vec<MovedNode>,
-    counters: SessionCounters,
+    pub(crate) last_movers: Vec<MovedNode>,
+    pub(crate) counters: SessionCounters,
     /// Events applied since the last observer dispatch (drained by
     /// [`Session::run_with_observers`]).
-    event_log: Vec<(NetworkEvent, EventOutcome)>,
+    pub(crate) event_log: Vec<(NetworkEvent, EventOutcome)>,
     /// Installed telemetry recorder, if any. Purely observational: the
     /// engine reports spans/counters/kernel timings into it but never
     /// reads back, so results are bit-identical with or without one
     /// (pinned by `tests/telemetry_equivalence.rs`). `None` — or a
     /// recorder whose `enabled()` is `false` — reduces the
     /// instrumentation to one branch per stage.
-    recorder: Option<Box<dyn Recorder>>,
+    pub(crate) recorder: Option<Box<dyn Recorder>>,
     /// Arena for the classifier's round-transient buffers (active with
     /// `config.arena`; see [`ClassifyPool`]).
-    pool: ClassifyPool,
+    pub(crate) pool: ClassifyPool,
 }
 
 /// Session-owned arena recycling the dirty-node classifier's per-round
@@ -267,7 +286,7 @@ pub struct Session {
 /// round. With the knob off the classifier allocates fresh vectors —
 /// bit-identical results either way.
 #[derive(Debug, Default)]
-struct ClassifyPool {
+pub(crate) struct ClassifyPool {
     endpoints: Vec<Point>,
     mask: Vec<bool>,
     warm: Vec<u32>,
@@ -965,40 +984,70 @@ impl Session {
         // predate the observers' attachment.
         self.event_log.clear();
         while self.round < self.config.max_rounds {
-            for obs in observers.iter_mut() {
-                obs.on_round_start(self, self.round + 1);
-            }
-            let delta = self.step();
-            for obs in observers.iter_mut() {
-                for m in &delta.moved {
-                    obs.on_node_moved(self, m);
-                }
-            }
-            let mut stop = false;
-            let mut keep_running = false;
-            for obs in observers.iter_mut() {
-                match obs.on_round_end(self, &delta) {
-                    HookAction::Stop => stop = true,
-                    HookAction::KeepRunning => keep_running = true,
-                    HookAction::Default => {}
-                }
-            }
-            let fired = std::mem::take(&mut self.event_log);
-            for (event, outcome) in &fired {
-                for obs in observers.iter_mut() {
-                    obs.on_event_applied(self, event, outcome);
-                }
-            }
-            if stop {
+            let verdict = self.step_observed(observers);
+            if verdict.stop {
                 break;
             }
             // `self.converged`, not `delta.report.converged`: an event
             // applied by an observer this round resets the latch.
-            if self.converged && !keep_running {
+            if self.converged && !verdict.keep_running {
                 break;
             }
         }
         self.finalize();
+        self.summarize()
+    }
+
+    /// One round of the [`Session::run_with_observers`] loop, exposed so
+    /// external drivers (checkpointed scenario runs, hosting layers) can
+    /// interleave their own work between rounds while staying
+    /// **bit-identical** to an uninterrupted run: the observer dispatch,
+    /// verdict combination and convergence semantics are exactly those of
+    /// the run loop, and neither [`Session::finalize`] nor summary
+    /// construction happens here.
+    ///
+    /// Callers reproduce `run_with_observers` as: loop while
+    /// [`Session::rounds_executed`] `< max_rounds`, break on
+    /// `verdict.stop` or on [`Session::is_converged`] unless
+    /// `verdict.keep_running`; then call [`Session::finalize`] once and
+    /// [`Session::summarize`].
+    pub fn step_observed(&mut self, observers: &mut [&mut dyn Observer]) -> ObservedRound {
+        for obs in observers.iter_mut() {
+            obs.on_round_start(self, self.round + 1);
+        }
+        let delta = self.step();
+        for obs in observers.iter_mut() {
+            for m in &delta.moved {
+                obs.on_node_moved(self, m);
+            }
+        }
+        let mut stop = false;
+        let mut keep_running = false;
+        for obs in observers.iter_mut() {
+            match obs.on_round_end(self, &delta) {
+                HookAction::Stop => stop = true,
+                HookAction::KeepRunning => keep_running = true,
+                HookAction::Default => {}
+            }
+        }
+        let fired = std::mem::take(&mut self.event_log);
+        for (event, outcome) in &fired {
+            for obs in observers.iter_mut() {
+                obs.on_event_applied(self, event, outcome);
+            }
+        }
+        ObservedRound {
+            delta,
+            stop,
+            keep_running,
+        }
+    }
+
+    /// The [`RunSummary`] describing the rounds executed so far — what
+    /// [`Session::run`] returns after its loop. Message totals fold over
+    /// the full round history, so a session restored from a snapshot
+    /// summarizes the *whole* run, not just the rounds since restore.
+    pub fn summarize(&self) -> RunSummary {
         RunSummary {
             rounds: self.round,
             converged: self.converged,
@@ -1250,7 +1299,7 @@ struct PartialDirty {
 
 /// How the shared adjacency snapshot relates to the current positions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AdjacencyState {
+pub(crate) enum AdjacencyState {
     /// Describes the current positions.
     Fresh,
     /// Stale, but `Session::last_movers` is the exact movement set since

@@ -1,0 +1,136 @@
+//! Property test: `laacad-snapshot/1` round-trips are invisible.
+//!
+//! For random knob combinations (engine caches/indexes on or off,
+//! synchronous vs sequential schedule, 1 or 4 worker threads), random
+//! populations and a random checkpoint offset, a session snapshotted
+//! mid-run and restored must (a) re-serialize to the identical bytes and
+//! (b) step forward bit-identically to the uninterrupted original —
+//! positions, per-round reports, convergence state.
+//!
+//! At `threads = 4` the cross-round cache *statistics* depend on atomic
+//! work claiming and are excluded (the positions and reports stay exact;
+//! that is the engine's documented determinism discipline).
+
+use laacad::{ExecutionMode, LaacadConfig, Session, SessionBuilder};
+use laacad_region::sampling::sample_uniform;
+use laacad_region::Region;
+use proptest::prelude::*;
+
+struct Knobs {
+    cache: bool,
+    dirty_skip: bool,
+    exact_reach: bool,
+    warm_start: bool,
+    incremental_index: bool,
+    flat_grid: bool,
+    arena: bool,
+    execution: ExecutionMode,
+    threads: usize,
+}
+
+impl Knobs {
+    /// Unpacks a 10-bit mask into a knob combination, so one integer
+    /// strategy explores the full cube.
+    fn from_mask(mask: u16) -> Knobs {
+        Knobs {
+            cache: mask & 1 != 0,
+            dirty_skip: mask & 2 != 0,
+            exact_reach: mask & 4 != 0,
+            warm_start: mask & 8 != 0,
+            incremental_index: mask & 16 != 0,
+            flat_grid: mask & 32 != 0,
+            arena: mask & 64 != 0,
+            execution: if mask & 128 != 0 {
+                ExecutionMode::Sequential
+            } else {
+                ExecutionMode::Synchronous
+            },
+            threads: if mask & 256 != 0 { 4 } else { 1 },
+        }
+    }
+}
+
+fn session(n: usize, k: usize, seed: u64, knobs: &Knobs) -> Session {
+    let region = Region::square(1.0).unwrap();
+    let mut builder = LaacadConfig::builder(k);
+    builder
+        .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+        .alpha(0.6)
+        .epsilon(1e-3)
+        .max_rounds(60)
+        .execution(knobs.execution)
+        .threads(knobs.threads)
+        .cache(knobs.cache)
+        .dirty_skip(knobs.dirty_skip)
+        .exact_reach(knobs.exact_reach)
+        .warm_start(knobs.warm_start)
+        .incremental_index(knobs.incremental_index)
+        .flat_grid(knobs.flat_grid)
+        .arena(knobs.arena)
+        .seed(seed);
+    let config = builder.build().unwrap();
+    let initial = sample_uniform(&region, n, seed);
+    Session::builder(config)
+        .region(region)
+        .positions(initial)
+        .build()
+        .unwrap()
+}
+
+fn position_bits(sim: &Session) -> Vec<(u64, u64)> {
+    sim.network()
+        .positions()
+        .iter()
+        .map(|p| (p.x.to_bits(), p.y.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn restored_sessions_step_bit_identically(
+        mask in 0u16..512,
+        n in 10usize..28,
+        k in 1usize..4,
+        seed in 0u64..1_000_000,
+        offset in 0usize..12,
+        extra in 1usize..10,
+    ) {
+        let knobs = Knobs::from_mask(mask);
+        let mut original = session(n, k, seed, &knobs);
+        for _ in 0..offset {
+            if original.is_converged() {
+                break;
+            }
+            original.step();
+        }
+
+        let snap = original.snapshot();
+        let mut restored = SessionBuilder::restore(&snap).unwrap();
+        prop_assert_eq!(
+            &snap,
+            &restored.snapshot(),
+            "restore → snapshot must reproduce the buffer verbatim"
+        );
+
+        for _ in 0..extra {
+            if original.is_converged() {
+                break;
+            }
+            let da = original.step();
+            let db = restored.step();
+            prop_assert_eq!(&da.report, &db.report);
+        }
+
+        prop_assert_eq!(position_bits(&original), position_bits(&restored));
+        prop_assert_eq!(original.rounds_executed(), restored.rounds_executed());
+        prop_assert_eq!(original.is_converged(), restored.is_converged());
+        prop_assert_eq!(original.history().rounds(), restored.history().rounds());
+        if knobs.threads == 1 {
+            // With one worker even the cache statistics and per-worker
+            // cache contents are deterministic: full byte-identity.
+            prop_assert_eq!(original.snapshot(), restored.snapshot());
+        }
+    }
+}

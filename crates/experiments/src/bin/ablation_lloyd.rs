@@ -3,15 +3,28 @@
 //! order-k regions). Same initial deployments, same round budget; the
 //! comparison isolates the motion rule's effect on the minimax sensing
 //! range (k-CSDP's objective).
+//!
+//! Driven by the declarative spec `scenarios/ablation_lloyd.toml`: the
+//! campaign runner executes the zipped (n, k) grid across all cores and
+//! this binary reruns Lloyd from each cell's identical start.
 
 use laacad_baselines::lloyd::lloyd_run;
-use laacad_experiments::{markdown_table, output, runs, Csv};
-use laacad_region::sampling::sample_uniform;
-use laacad_region::Region;
+use laacad_experiments::scenarios::{self, ABLATION_LLOYD};
+use laacad_experiments::{markdown_table, output, Csv};
+use laacad_scenario::{run_campaign, ResultStore};
 use laacad_wsn::Network;
 
 fn main() {
-    let region = Region::square(1.0).expect("unit square");
+    let campaign =
+        scenarios::load_campaign("ablation_lloyd", ABLATION_LLOYD).expect("ablation_lloyd parses");
+    let region = campaign.scenario.region.build().expect("region builds");
+    let results = run_campaign(&campaign).expect("grid expands");
+    let store = ResultStore::new(output::out_dir());
+    let (jsonl, _) = store
+        .write(&campaign.name, &results)
+        .expect("result store writes");
+    println!("wrote {}", output::rel(&jsonl));
+
     let mut rows = Vec::new();
     let mut csv = Csv::with_header(&[
         "k",
@@ -20,28 +33,45 @@ fn main() {
         "lloyd_r_star",
         "lloyd_over_laacad",
     ]);
-    for (k, n) in [(1usize, 30usize), (2, 40), (3, 45)] {
-        let seed = 9_000 + (10 * k + n) as u64;
-        // LAACAD.
-        let mut params = runs::StandardRun::new(k, n, seed);
-        params.max_rounds = 150;
-        let (_, summary, _) = runs::run_laacad(&region, &params);
-        // Lloyd from the identical start.
-        let initial = sample_uniform(&region, n, seed);
+    for cell in &results {
+        let outcome = match &cell.outcome {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("cell {} failed: {e}", cell.cell.index);
+                continue;
+            }
+        };
+        let (k, n) = (cell.cell.k, cell.cell.n);
+        // Lloyd from the identical start: rebuild the cell's initial
+        // deployment from the spec's placement and the cell's seed.
+        let initial = campaign
+            .scenario
+            .placement
+            .with_node_count(n)
+            .expect("uniform placement resizes")
+            .build(&region, cell.cell.seed)
+            .expect("placement builds");
         let mut net = Network::from_positions(0.5, initial);
-        let lloyd = lloyd_run(&mut net, &region, k, params.alpha, 1e-4, 150);
-        let ratio = lloyd.max_sensing_radius / summary.max_sensing_radius;
+        let lloyd = lloyd_run(
+            &mut net,
+            &region,
+            k,
+            cell.cell.alpha,
+            1e-4,
+            campaign.scenario.laacad.max_rounds,
+        );
+        let ratio = lloyd.max_sensing_radius / outcome.summary.max_sensing_radius;
         rows.push(vec![
             k.to_string(),
             n.to_string(),
-            format!("{:.4}", summary.max_sensing_radius),
+            format!("{:.4}", outcome.summary.max_sensing_radius),
             format!("{:.4}", lloyd.max_sensing_radius),
             format!("{ratio:.3}"),
         ]);
         csv.row(&[
             k.to_string(),
             n.to_string(),
-            format!("{:.5}", summary.max_sensing_radius),
+            format!("{:.5}", outcome.summary.max_sensing_radius),
             format!("{:.5}", lloyd.max_sensing_radius),
             format!("{ratio:.4}"),
         ]);

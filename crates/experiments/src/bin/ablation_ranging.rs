@@ -2,18 +2,21 @@
 //! ranging (Algorithm 2 line 4, paper ref \[28\]). Location information "is
 //! not essential" (Sec. III-A): this run quantifies the cost of living
 //! without it.
+//!
+//! Driven by the declarative spec `scenarios/ablation_ranging.toml` (the
+//! oracle baseline); this binary clones the scenario per coordinate mode
+//! via the spec's `coordinates` / `ranging_rel` knobs.
 
-use laacad::{CoordinateMode, LaacadConfig, Session};
-use laacad_coverage::evaluate_coverage;
+use laacad::CoordinateMode;
+use laacad_experiments::scenarios::{self, ABLATION_RANGING};
 use laacad_experiments::{markdown_table, output, Csv};
-use laacad_region::sampling::sample_uniform;
-use laacad_region::Region;
+use laacad_scenario::run_scenario;
 use laacad_wsn::ranging::RangingNoise;
 
 fn main() {
-    let region = Region::square(1.0).expect("unit square");
-    let n = 30usize;
-    let k = 2usize;
+    let campaign = scenarios::load_campaign("ablation_ranging", ABLATION_RANGING)
+        .expect("ablation_ranging parses");
+    let seed = *campaign.grid.seeds.first().expect("spec pins a seed");
     let cases: Vec<(&str, CoordinateMode)> = vec![
         ("oracle", CoordinateMode::Oracle),
         ("ranging σ=0", CoordinateMode::Ranging(RangingNoise::NONE)),
@@ -29,37 +32,28 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Csv::with_header(&["mode", "rounds", "r_star", "covered"]);
     for (name, mode) in cases {
-        let config = LaacadConfig::builder(k)
-            .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
-            .alpha(0.5)
-            .epsilon(1e-3)
-            .max_rounds(150)
-            .coordinates(mode)
-            .build()
-            .expect("valid config");
-        let initial = sample_uniform(&region, n, 31_337);
-        let mut sim = Session::builder(config)
-            .region(region.clone())
-            .positions(initial)
-            .build()
-            .expect("valid run");
-        let summary = sim.run();
-        let coverage = evaluate_coverage(sim.network(), &region, k, 10_000);
+        let mut spec = campaign.scenario.clone();
+        spec.laacad.coordinates = mode;
+        let outcome = run_scenario(&spec, seed).expect("scenario runs");
         rows.push(vec![
             name.to_string(),
-            summary.rounds.to_string(),
-            format!("{:.4}", summary.max_sensing_radius),
-            format!("{:.2}%", 100.0 * coverage.covered_fraction),
+            outcome.summary.rounds.to_string(),
+            format!("{:.4}", outcome.summary.max_sensing_radius),
+            format!("{:.2}%", 100.0 * outcome.coverage.covered_fraction),
         ]);
         csv.row(&[
             name.to_string(),
-            summary.rounds.to_string(),
-            format!("{:.5}", summary.max_sensing_radius),
-            format!("{:.4}", coverage.covered_fraction),
+            outcome.summary.rounds.to_string(),
+            format!("{:.5}", outcome.summary.max_sensing_radius),
+            format!("{:.4}", outcome.coverage.covered_fraction),
         ]);
     }
     println!("wrote {}", output::rel(&csv.save("ablation_ranging.csv")));
-    println!("\nAblation — coordinate source (k=2, 30 nodes, unit square)");
+    println!(
+        "\nAblation — coordinate source (k={}, {} nodes, unit square)",
+        campaign.scenario.laacad.k,
+        campaign.scenario.placement.node_count()
+    );
     println!(
         "{}",
         markdown_table(&["coordinates", "rounds", "R*", "2-covered"], &rows)

@@ -5,17 +5,25 @@
 //! schedules bracket that behaviour. Of particular interest is whether
 //! the schedule changes *which* local optimum the deployment reaches —
 //! e.g. the paper's "even clustering" into groups of k (Fig. 5).
+//!
+//! Driven by the declarative spec `scenarios/ablation_schedule.toml`
+//! (the synchronous baseline over the k-grid); this binary clones the
+//! campaign with `execution = "sequential"` and compares the two.
 
-use laacad::{ExecutionMode, LaacadConfig, Session};
-use laacad_coverage::evaluate_coverage;
+use laacad::ExecutionMode;
 use laacad_coverage::metrics::cluster_histogram;
+use laacad_experiments::scenarios::{self, ABLATION_SCHEDULE};
 use laacad_experiments::{markdown_table, output, Csv};
-use laacad_geom::Point;
-use laacad_region::sampling::sample_clustered;
-use laacad_region::Region;
+use laacad_scenario::{run_campaign, CellResult, ResultStore};
 
 fn main() {
-    let region = Region::square(1.0).expect("unit square");
+    let sync_campaign = scenarios::load_campaign("ablation_schedule", ABLATION_SCHEDULE)
+        .expect("ablation_schedule parses");
+    let mut seq_campaign = sync_campaign.clone();
+    seq_campaign.name = format!("{}-seq", sync_campaign.name);
+    seq_campaign.scenario.laacad.execution = ExecutionMode::Sequential;
+
+    let store = ResultStore::new(output::out_dir());
     let mut rows = Vec::new();
     let mut csv = Csv::with_header(&[
         "mode",
@@ -27,48 +35,52 @@ fn main() {
         "covered",
         "clusters",
     ]);
-    for k in [1usize, 2, 3] {
-        for (name, mode) in [
-            ("synchronous", ExecutionMode::Synchronous),
-            ("sequential", ExecutionMode::Sequential),
-        ] {
-            let n = 60;
-            let config = LaacadConfig::builder(k)
-                .transmission_range(0.25)
-                .alpha(0.6)
-                .epsilon(5e-4)
-                .max_rounds(300)
-                .execution(mode)
-                .build()
-                .expect("valid config");
-            let initial =
-                sample_clustered(&region, n, Point::new(0.12, 0.12), 0.12, 2024 + k as u64);
-            let mut sim = Session::builder(config)
-                .region(region.clone())
-                .positions(initial)
-                .build()
-                .expect("valid run");
-            let summary = sim.run();
-            let coverage = evaluate_coverage(sim.network(), &region, k, 10_000);
-            let hist = cluster_histogram(sim.network(), summary.max_sensing_radius * 0.2);
+    let mut runs: Vec<(&str, Vec<CellResult>)> = Vec::new();
+    for (name, campaign) in [
+        ("synchronous", &sync_campaign),
+        ("sequential", &seq_campaign),
+    ] {
+        let results = run_campaign(campaign).expect("grid expands");
+        let (jsonl, _) = store
+            .write(&campaign.name, &results)
+            .expect("result store writes");
+        println!("wrote {}", output::rel(&jsonl));
+        runs.push((name, results));
+    }
+    // Interleave the two schedules per k, as the legacy harness printed.
+    let cells = runs[0].1.len();
+    for i in 0..cells {
+        for (name, results) in &runs {
+            let cell = &results[i];
+            let outcome = match &cell.outcome {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("cell {} ({name}) failed: {e}", cell.cell.index);
+                    continue;
+                }
+            };
+            let hist = cluster_histogram(
+                &outcome.final_network(),
+                outcome.summary.max_sensing_radius * 0.2,
+            );
             rows.push(vec![
                 name.to_string(),
-                k.to_string(),
-                summary.rounds.to_string(),
-                summary.converged.to_string(),
-                format!("{:.4}", summary.max_sensing_radius),
-                format!("{:.4}", summary.min_sensing_radius),
-                format!("{:.1}%", coverage.covered_fraction * 100.0),
+                cell.cell.k.to_string(),
+                outcome.summary.rounds.to_string(),
+                outcome.summary.converged.to_string(),
+                format!("{:.4}", outcome.summary.max_sensing_radius),
+                format!("{:.4}", outcome.summary.min_sensing_radius),
+                format!("{:.1}%", outcome.coverage.covered_fraction * 100.0),
                 format!("{hist:?}"),
             ]);
             csv.row(&[
                 name.to_string(),
-                k.to_string(),
-                summary.rounds.to_string(),
-                summary.converged.to_string(),
-                format!("{:.5}", summary.max_sensing_radius),
-                format!("{:.5}", summary.min_sensing_radius),
-                format!("{:.4}", coverage.covered_fraction),
+                cell.cell.k.to_string(),
+                outcome.summary.rounds.to_string(),
+                outcome.summary.converged.to_string(),
+                format!("{:.5}", outcome.summary.max_sensing_radius),
+                format!("{:.5}", outcome.summary.min_sensing_radius),
+                format!("{:.4}", outcome.coverage.covered_fraction),
                 format!("\"{hist:?}\""),
             ]);
         }

@@ -30,6 +30,12 @@ pub const FIG8_LAKES: &str = include_str!("../../../scenarios/fig8_lakes.toml");
 pub const ASYNC_FAULTS: &str = include_str!("../../../scenarios/async_faults.toml");
 /// Embedded copy of `scenarios/ablation_alpha.toml`.
 pub const ABLATION_ALPHA: &str = include_str!("../../../scenarios/ablation_alpha.toml");
+/// Embedded copy of `scenarios/ablation_lloyd.toml`.
+pub const ABLATION_LLOYD: &str = include_str!("../../../scenarios/ablation_lloyd.toml");
+/// Embedded copy of `scenarios/ablation_ranging.toml`.
+pub const ABLATION_RANGING: &str = include_str!("../../../scenarios/ablation_ranging.toml");
+/// Embedded copy of `scenarios/ablation_schedule.toml`.
+pub const ABLATION_SCHEDULE: &str = include_str!("../../../scenarios/ablation_schedule.toml");
 
 /// Candidate directories that may hold an editable `scenarios/` tree.
 fn candidate_dirs() -> Vec<PathBuf> {
@@ -80,6 +86,9 @@ mod tests {
             ("fig8_lakes", FIG8_LAKES),
             ("async_faults", ASYNC_FAULTS),
             ("ablation_alpha", ABLATION_ALPHA),
+            ("ablation_lloyd", ABLATION_LLOYD),
+            ("ablation_ranging", ABLATION_RANGING),
+            ("ablation_schedule", ABLATION_SCHEDULE),
         ] {
             let campaign = CampaignSpec::from_toml(text)
                 .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));

@@ -21,6 +21,13 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state — checkpoint serialization. Feeding it
+    /// back through [`SplitMix64::new`] resumes the stream exactly where
+    /// it left off.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);

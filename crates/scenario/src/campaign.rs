@@ -18,12 +18,13 @@
 //!
 //! [`expand`]: CampaignSpec::expand
 
+use crate::checkpoint::{run_checkpointed_impl, ScenarioCheckpoint};
 use crate::engine::{run_scenario, run_scenario_recorded, ScenarioOutcome};
 use crate::exec::parallel_map;
 use crate::results::ResultStore;
 use crate::spec::{DelaySpec, ScenarioSpec, SpecError};
 use crate::value::{decode, encode, DecodeError, Value};
-use laacad::SessionTelemetry;
+use laacad::{Recorder, SessionTelemetry};
 use laacad_exec::parallel_map_visit;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -248,6 +249,16 @@ pub struct CampaignSpec {
     pub scenario: ScenarioSpec,
     /// The sweep.
     pub grid: ParamGrid,
+    /// Checkpoint cadence in rounds (`0` = off, the default). When set,
+    /// [`run_campaign_observed`] writes a `<name>.cell<index>.checkpoint`
+    /// file (the `laacad-checkpoint/1` format of [`crate::checkpoint`])
+    /// beside the result store every `checkpoint_every` rounds of each
+    /// synchronous cell, removes it when the cell completes, and
+    /// **resumes from it** when a killed campaign is rerun — with
+    /// results bit-identical to an uninterrupted run. Cells carrying a
+    /// `[faults]` section run on the asynchronous executor and are
+    /// executed without checkpointing.
+    pub checkpoint_every: usize,
 }
 
 /// One fully resolved unit of campaign work.
@@ -318,6 +329,7 @@ impl CampaignSpec {
                 seeds: seeds.into_iter().collect(),
                 ..ParamGrid::default()
             },
+            checkpoint_every: 0,
         }
     }
 
@@ -680,10 +692,12 @@ impl CampaignSpec {
             Some(n) => n,
             None => scenario.name.clone(),
         };
+        let checkpoint_every = decode::opt_usize(v, "checkpoint_every", "campaign")?.unwrap_or(0);
         Ok(CampaignSpec {
             name,
             scenario,
             grid,
+            checkpoint_every,
         })
     }
 
@@ -691,6 +705,9 @@ impl CampaignSpec {
     pub fn to_value(&self) -> Value {
         let mut t = Value::table();
         t.insert("name", Value::Str(self.name.clone()));
+        if self.checkpoint_every > 0 {
+            t.insert("checkpoint_every", encode::int(self.checkpoint_every));
+        }
         t.insert("scenario", self.scenario.to_value());
         t.insert("grid", self.grid.to_value());
         t
@@ -724,6 +741,7 @@ impl CampaignSpec {
                 name: scenario.name.clone(),
                 scenario,
                 grid: ParamGrid::default(),
+                checkpoint_every: 0,
             })
         }
     }
@@ -779,6 +797,65 @@ fn run_cell_recorded(cell: CampaignCell, record: bool) -> (CellResult, Option<Se
                 .as_any()
                 .downcast_ref::<SessionTelemetry>()
                 .cloned();
+            (
+                CellResult {
+                    cell: info,
+                    outcome: Ok(outcome),
+                },
+                telemetry,
+            )
+        }
+        Err(e) => (
+            CellResult {
+                cell: info,
+                outcome: Err(e),
+            },
+            None,
+        ),
+    }
+}
+
+/// [`run_cell_recorded`] with campaign-level checkpointing: writes the
+/// cell's `laacad-checkpoint/1` file beside the result store every
+/// `every` rounds, **resumes** from an existing file (a killed campaign
+/// rerun), and removes the file once the cell completes — so a resumed
+/// campaign produces results bit-identical to an uninterrupted one.
+/// `[faults]` cells run on the asynchronous executor, which has no
+/// snapshot support, and fall back to the plain runner.
+fn run_cell_checkpointed(
+    cell: CampaignCell,
+    record: bool,
+    every: usize,
+    dir: &Path,
+    name: &str,
+) -> (CellResult, Option<SessionTelemetry>) {
+    if every == 0 || cell.scenario.laacad.faults.is_some() {
+        return run_cell_recorded(cell, record);
+    }
+    let info = cell_info(&cell);
+    let path = dir.join(format!("{name}.cell{}.checkpoint", cell.index));
+    // An unreadable or corrupt checkpoint file must not wedge the
+    // campaign — start the cell over instead of failing it.
+    let resume = std::fs::read(&path)
+        .ok()
+        .and_then(|bytes| ScenarioCheckpoint::from_bytes(&bytes).ok());
+    let mut sink = |ckpt: &ScenarioCheckpoint| {
+        std::fs::write(&path, ckpt.to_bytes()).map_err(|e| SpecError::Io(e.to_string()))
+    };
+    let recorder: Option<Box<dyn Recorder>> =
+        record.then(|| Box::new(SessionTelemetry::new()) as Box<dyn Recorder>);
+    match run_checkpointed_impl(
+        &cell.scenario,
+        cell.seed,
+        every,
+        resume.as_ref(),
+        &mut sink,
+        recorder,
+    ) {
+        Ok((outcome, recorder)) => {
+            let _ = std::fs::remove_file(&path);
+            let telemetry =
+                recorder.and_then(|r| r.as_any().downcast_ref::<SessionTelemetry>().cloned());
             (
                 CellResult {
                     cell: info,
@@ -895,6 +972,8 @@ pub fn run_campaign_observed(
     let cells = campaign.expand()?;
     let total = cells.len();
     let record_all = options.telemetry;
+    let every = campaign.checkpoint_every;
+    let dir = store.dir();
     let mut progress = options.progress;
     let mut files = store
         .open_stream(&campaign.name)
@@ -907,7 +986,7 @@ pub fn run_campaign_observed(
         cells,
         |cell| {
             let record = record_all || cell.scenario.laacad.telemetry;
-            run_cell_recorded(cell, record)
+            run_cell_checkpointed(cell, record, every, dir, &campaign.name)
         },
         |_, (result, telemetry)| {
             if write_err.is_none() {

@@ -1,0 +1,465 @@
+//! Mid-run checkpointing of synchronous scenario runs.
+//!
+//! A [`ScenarioCheckpoint`] captures **everything** a running scenario
+//! needs to continue: the engine state as a `laacad-snapshot/1` buffer
+//! ([`laacad::Session::snapshot`]), the timeline hook's resumable state
+//! (next event index, victim/placement RNG state, applied-event log),
+//! the per-round coverage-probe series, and the loop verdict of the
+//! checkpointed round. Resuming from a checkpoint and running to
+//! completion produces a [`crate::ScenarioOutcome`] **bit-identical**
+//! to the uninterrupted run — pinned by this module's tests and the
+//! `checkpoint_resume` integration test.
+//!
+//! The wire format is `laacad-checkpoint/1`: the magic line, then the
+//! length-prefixed session snapshot, then the hook and probe sections,
+//! all integers little-endian u64 and floats as IEEE-754 bit patterns
+//! (the same conventions as the session snapshot it embeds).
+//!
+//! Campaigns opt in with `checkpoint_every = <rounds>` at the top level
+//! of the campaign document; the runner then writes
+//! `<name>.cell<index>.checkpoint` beside the result files and resumes
+//! from it when a killed campaign is rerun (see
+//! [`crate::run_campaign_observed`]).
+
+use crate::engine::{assemble_sync_outcome, build_scenario, drive_rounds, CoverageProbe};
+use crate::events::{AppliedEvent, TimelineHook};
+use crate::spec::{ScenarioSpec, SpecError};
+use crate::ScenarioOutcome;
+use laacad::{ObservedRound, Recorder, Session, SessionBuilder};
+
+/// First bytes of every serialized checkpoint; the trailing newline
+/// makes `head -1` on a checkpoint file print the version.
+pub const CHECKPOINT_MAGIC: &[u8] = b"laacad-checkpoint/1\n";
+
+/// The resumable state of a synchronous scenario run, captured after a
+/// completed round (events fired, probe sampled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCheckpoint {
+    /// Round the checkpoint was taken after (1-based).
+    round: usize,
+    /// `laacad-snapshot/1` bytes of the session.
+    session: Vec<u8>,
+    /// Loop verdict of the checkpointed round: an observer demanded a
+    /// stop. Needed so resume does not step past a round the
+    /// uninterrupted run ended on.
+    stop: bool,
+    /// Loop verdict: an observer overrode the convergence stop.
+    keep_running: bool,
+    /// Timeline hook: index of the next unfired event.
+    hook_next: usize,
+    /// Timeline hook: SplitMix64 state of the victim/placement stream.
+    hook_rng: u64,
+    /// Timeline hook: events applied (or skipped) so far.
+    hook_log: Vec<AppliedEvent>,
+    /// Coverage-probe series `(round, covered_fraction)` so far.
+    probe: Vec<(usize, f64)>,
+}
+
+impl ScenarioCheckpoint {
+    /// The round this checkpoint was taken after.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    fn capture(
+        sim: &Session,
+        probe: &CoverageProbe,
+        hook: &TimelineHook,
+        verdict: &ObservedRound,
+    ) -> Self {
+        let (hook_next, hook_rng, log) = hook.checkpoint();
+        ScenarioCheckpoint {
+            round: verdict.delta.report.round,
+            session: sim.snapshot(),
+            stop: verdict.stop,
+            keep_running: verdict.keep_running,
+            hook_next,
+            hook_rng,
+            hook_log: log.to_vec(),
+            probe: probe.series.clone(),
+        }
+    }
+
+    /// Serializes as a `laacad-checkpoint/1` buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CHECKPOINT_MAGIC.len() + 64 + self.session.len());
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        put_u64(&mut out, self.round as u64);
+        put_u64(&mut out, self.session.len() as u64);
+        out.extend_from_slice(&self.session);
+        out.push(self.stop as u8);
+        out.push(self.keep_running as u8);
+        put_u64(&mut out, self.hook_next as u64);
+        put_u64(&mut out, self.hook_rng);
+        put_u64(&mut out, self.hook_log.len() as u64);
+        for e in &self.hook_log {
+            put_u64(&mut out, e.round as u64);
+            put_str(&mut out, &e.action);
+            put_u64(&mut out, e.removed as u64);
+            put_u64(&mut out, e.inserted as u64);
+            match &e.skipped {
+                None => out.push(0),
+                Some(reason) => {
+                    out.push(1);
+                    put_str(&mut out, reason);
+                }
+            }
+        }
+        put_u64(&mut out, self.probe.len() as u64);
+        for &(round, fraction) in &self.probe {
+            put_u64(&mut out, round as u64);
+            put_u64(&mut out, fraction.to_bits());
+        }
+        out
+    }
+
+    /// Deserializes a `laacad-checkpoint/1` buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Build`] on a wrong magic line, truncation, trailing
+    /// bytes, or malformed sections. The embedded session snapshot is
+    /// *not* validated here — [`resume_scenario`] does that when it
+    /// restores the session.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SpecError> {
+        let corrupt = |m: &str| SpecError::Build(format!("checkpoint: {m}"));
+        if bytes.len() < CHECKPOINT_MAGIC.len()
+            || &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
+        {
+            return Err(corrupt("not a laacad-checkpoint/1 buffer"));
+        }
+        let mut r = Cursor {
+            bytes,
+            at: CHECKPOINT_MAGIC.len(),
+        };
+        let round = r.take_u64()? as usize;
+        let session_len = r.take_u64()? as usize;
+        let session = r.take_bytes(session_len)?.to_vec();
+        let stop = r.take_bool()?;
+        let keep_running = r.take_bool()?;
+        let hook_next = r.take_u64()? as usize;
+        let hook_rng = r.take_u64()?;
+        let log_len = r.take_count(8)?;
+        let mut hook_log = Vec::with_capacity(log_len);
+        for _ in 0..log_len {
+            let round = r.take_u64()? as usize;
+            let action = r.take_str()?;
+            let removed = r.take_u64()? as usize;
+            let inserted = r.take_u64()? as usize;
+            let skipped = if r.take_bool()? {
+                Some(r.take_str()?)
+            } else {
+                None
+            };
+            hook_log.push(AppliedEvent {
+                round,
+                action,
+                removed,
+                inserted,
+                skipped,
+            });
+        }
+        let probe_len = r.take_count(16)?;
+        let mut probe = Vec::with_capacity(probe_len);
+        for _ in 0..probe_len {
+            let round = r.take_u64()? as usize;
+            let fraction = f64::from_bits(r.take_u64()?);
+            probe.push((round, fraction));
+        }
+        if r.at != bytes.len() {
+            return Err(corrupt("trailing bytes after the probe section"));
+        }
+        Ok(ScenarioCheckpoint {
+            round,
+            session,
+            stop,
+            keep_running,
+            hook_next,
+            hook_rng,
+            hook_log,
+            probe,
+        })
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn take_bytes(&mut self, len: usize) -> Result<&[u8], SpecError> {
+        if self.bytes.len() - self.at < len {
+            return Err(SpecError::Build("checkpoint: truncated buffer".into()));
+        }
+        let slice = &self.bytes[self.at..self.at + len];
+        self.at += len;
+        Ok(slice)
+    }
+
+    fn take_u64(&mut self) -> Result<u64, SpecError> {
+        let b = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn take_bool(&mut self) -> Result<bool, SpecError> {
+        match self.take_bytes(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SpecError::Build(format!(
+                "checkpoint: invalid bool byte {other}"
+            ))),
+        }
+    }
+
+    /// An element count, bounded by the bytes actually remaining so a
+    /// corrupt length cannot drive a huge allocation.
+    fn take_count(&mut self, elem_bytes: usize) -> Result<usize, SpecError> {
+        let count = self.take_u64()? as usize;
+        if count > (self.bytes.len() - self.at) / elem_bytes.max(1) {
+            return Err(SpecError::Build(
+                "checkpoint: section count exceeds the remaining bytes".into(),
+            ));
+        }
+        Ok(count)
+    }
+
+    fn take_str(&mut self) -> Result<String, SpecError> {
+        let len = self.take_count(1)?;
+        let bytes = self.take_bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SpecError::Build("checkpoint: invalid UTF-8 string".into()))
+    }
+}
+
+fn reject_faults(spec: &ScenarioSpec) -> Result<(), SpecError> {
+    if spec.laacad.faults.is_some() {
+        return Err(SpecError::Build(
+            "scenarios with a [faults] section run on the asynchronous \
+             executor, which does not support checkpointing"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs `spec` at `seed` exactly like [`crate::run_scenario`], handing a
+/// [`ScenarioCheckpoint`] to `sink` after every `every`-th round
+/// (`every = 0` never checkpoints). The outcome is bit-identical to the
+/// plain runner — checkpoint capture only reads state.
+///
+/// # Errors
+///
+/// As [`crate::run_scenario`], plus [`SpecError::Build`] for
+/// `[faults]`-bearing specs (the asynchronous executor has no
+/// snapshot support) and whatever `sink` returns.
+pub fn run_scenario_checkpointed(
+    spec: &ScenarioSpec,
+    seed: u64,
+    every: usize,
+    sink: &mut dyn FnMut(&ScenarioCheckpoint) -> Result<(), SpecError>,
+) -> Result<ScenarioOutcome, SpecError> {
+    run_checkpointed_impl(spec, seed, every, None, sink, None).map(|(outcome, _)| outcome)
+}
+
+/// Continues a run from `checkpoint` to completion, checkpointing
+/// onwards with the same cadence. The outcome — rounds, events,
+/// summary, warnings, everything — is **bit-identical** to the run that
+/// produced the checkpoint had it never been interrupted.
+///
+/// # Errors
+///
+/// As [`run_scenario_checkpointed`], plus [`SpecError::Build`] when the
+/// embedded session snapshot fails validation (corrupt or
+/// version-mismatched checkpoint files).
+pub fn resume_scenario(
+    spec: &ScenarioSpec,
+    seed: u64,
+    checkpoint: &ScenarioCheckpoint,
+    every: usize,
+    sink: &mut dyn FnMut(&ScenarioCheckpoint) -> Result<(), SpecError>,
+) -> Result<ScenarioOutcome, SpecError> {
+    run_checkpointed_impl(spec, seed, every, Some(checkpoint), sink, None)
+        .map(|(outcome, _)| outcome)
+}
+
+/// The shared checkpointed runner: fresh start or resume, with an
+/// optional telemetry recorder riding along (the campaign runner uses
+/// it so `checkpoint_every` composes with `laacad.telemetry`).
+pub(crate) fn run_checkpointed_impl(
+    spec: &ScenarioSpec,
+    seed: u64,
+    every: usize,
+    resume: Option<&ScenarioCheckpoint>,
+    sink: &mut dyn FnMut(&ScenarioCheckpoint) -> Result<(), SpecError>,
+    recorder: Option<Box<dyn Recorder>>,
+) -> Result<(ScenarioOutcome, Option<Box<dyn Recorder>>), SpecError> {
+    reject_faults(spec)?;
+    let (mut sim, mut hook, mut probe, resumed_done) = match resume {
+        None => {
+            let (mut sim, mut hook) = build_scenario(spec, seed)?;
+            // Round-0 events act on the initial deployment, before any
+            // movement.
+            hook.fire_due(&mut sim, 0);
+            let probe = CoverageProbe {
+                samples: spec.evaluation.round_coverage_samples,
+                series: Vec::new(),
+            };
+            (sim, hook, probe, false)
+        }
+        Some(ckpt) => {
+            let sim = SessionBuilder::restore(&ckpt.session).map_err(|e| {
+                SpecError::Build(format!("cannot restore the checkpointed session: {e}"))
+            })?;
+            let hook = TimelineHook::restore(
+                &spec.events,
+                ckpt.hook_next,
+                ckpt.hook_rng,
+                ckpt.hook_log.clone(),
+            );
+            let probe = CoverageProbe {
+                samples: spec.evaluation.round_coverage_samples,
+                series: ckpt.probe.clone(),
+            };
+            // The interrupted run may have ended on the checkpointed
+            // round; re-applying its loop verdict here keeps resume from
+            // stepping one round further than the uninterrupted run.
+            let done = ckpt.stop || (sim.is_converged() && !ckpt.keep_running);
+            (sim, hook, probe, done)
+        }
+    };
+    if let Some(r) = recorder {
+        sim.set_recorder(r);
+    }
+    let summary = if resumed_done {
+        sim.finalize();
+        sim.summarize()
+    } else {
+        drive_rounds(
+            &mut sim,
+            &mut probe,
+            &mut hook,
+            |sim, probe, hook, verdict| {
+                if every > 0 && verdict.delta.report.round % every == 0 {
+                    sink(&ScenarioCheckpoint::capture(sim, probe, hook, verdict))?;
+                }
+                Ok(())
+            },
+        )?
+    };
+    Ok(assemble_sync_outcome(sim, hook, probe, spec, seed, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_scenario;
+    use crate::spec::{EventAction, EventSpec, PlacementSpec, ScenarioSpec};
+
+    /// A failure+churn scenario exercising every checkpointed component:
+    /// RNG-consuming events on both sides of the checkpoint and a
+    /// populated probe series.
+    fn churn_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::uniform("ckpt", 24, 1);
+        spec.laacad.max_rounds = 60;
+        spec.evaluation.round_coverage_samples = 400;
+        spec.evaluation.coverage_samples = 400;
+        spec.events = vec![
+            EventSpec {
+                round: 3,
+                action: EventAction::FailFraction { fraction: 0.2 },
+            },
+            EventSpec {
+                round: 12,
+                action: EventAction::Insert {
+                    placement: PlacementSpec::Clustered {
+                        n: 5,
+                        center: (0.5, 0.5),
+                        radius: 0.1,
+                    },
+                },
+            },
+            EventSpec {
+                round: 20,
+                action: EventAction::FailFraction { fraction: 0.1 },
+            },
+        ];
+        spec
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let spec = churn_spec();
+        let plain = run_scenario(&spec, 41).unwrap();
+        let mut seen = 0usize;
+        let checkpointed = run_scenario_checkpointed(&spec, 41, 5, &mut |_| {
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert!(seen > 1, "expected several checkpoints, saw {seen}");
+        assert_eq!(plain, checkpointed);
+    }
+
+    #[test]
+    fn resume_from_every_checkpoint_is_bit_identical() {
+        let spec = churn_spec();
+        let plain = run_scenario(&spec, 41).unwrap();
+        let mut checkpoints = Vec::new();
+        run_scenario_checkpointed(&spec, 41, 7, &mut |c| {
+            checkpoints.push(c.clone());
+            Ok(())
+        })
+        .unwrap();
+        assert!(checkpoints.len() > 1);
+        for ckpt in &checkpoints {
+            let resumed = resume_scenario(&spec, 41, ckpt, 0, &mut |_| Ok(())).unwrap();
+            assert_eq!(plain, resumed, "resume from round {}", ckpt.round());
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_and_reject_corruption() {
+        let spec = churn_spec();
+        let mut first = None;
+        run_scenario_checkpointed(&spec, 9, 10, &mut |c| {
+            if first.is_none() {
+                first = Some(c.clone());
+            }
+            Ok(())
+        })
+        .unwrap();
+        let ckpt = first.expect("a checkpoint fired");
+        let bytes = ckpt.to_bytes();
+        assert_eq!(ScenarioCheckpoint::from_bytes(&bytes).unwrap(), ckpt);
+        assert!(ScenarioCheckpoint::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(ScenarioCheckpoint::from_bytes(&wrong_magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ScenarioCheckpoint::from_bytes(&trailing).is_err());
+        // A resumed copy that went through bytes behaves identically.
+        let decoded = ScenarioCheckpoint::from_bytes(&bytes).unwrap();
+        let a = resume_scenario(&spec, 9, &ckpt, 0, &mut |_| Ok(())).unwrap();
+        let b = resume_scenario(&spec, 9, &decoded, 0, &mut |_| Ok(())).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faults_specs_are_rejected() {
+        let mut spec = ScenarioSpec::uniform("f", 10, 1);
+        spec.laacad.faults = Some(crate::spec::FaultSpec::default());
+        let err = run_scenario_checkpointed(&spec, 1, 5, &mut |_| Ok(())).unwrap_err();
+        assert!(err.to_string().contains("checkpointing"), "{err}");
+    }
+}

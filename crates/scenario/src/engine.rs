@@ -3,7 +3,7 @@
 use crate::events::{AppliedEvent, TimelineHook};
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::value::{encode, Value};
-use laacad::{HookAction, Observer, Recorder, RoundDelta, RunSummary, Session};
+use laacad::{HookAction, ObservedRound, Observer, Recorder, RoundDelta, RunSummary, Session};
 use laacad_coverage::{evaluate_coverage, CoverageReport};
 use laacad_dist::{AsyncExecutor, ProtocolStats, Termination};
 use laacad_wsn::energy::EnergyModel;
@@ -89,10 +89,12 @@ pub fn recovery_metrics(
         .collect()
 }
 
-/// An [`Observer`] sampling k-coverage after every round.
-struct CoverageProbe {
-    samples: usize,
-    series: Vec<(usize, f64)>,
+/// An [`Observer`] sampling k-coverage after every round. Its series is
+/// part of a run's resumable state, so the checkpoint module
+/// ([`crate::checkpoint`]) serializes and restores it.
+pub(crate) struct CoverageProbe {
+    pub(crate) samples: usize,
+    pub(crate) series: Vec<(usize, f64)>,
 }
 
 impl Observer for CoverageProbe {
@@ -399,35 +401,64 @@ pub fn run_scenario_recorded(
     ))
 }
 
-fn run_scenario_impl(
-    spec: &ScenarioSpec,
-    seed: u64,
-    recorder: Option<Box<dyn Recorder>>,
-) -> Result<(ScenarioOutcome, Option<Box<dyn Recorder>>), SpecError> {
-    if spec.laacad.faults.is_some() {
-        return run_async_impl(spec, seed, recorder);
-    }
-    let (mut sim, mut hook) = build_scenario(spec, seed)?;
-    if let Some(r) = recorder {
-        sim.set_recorder(r);
-    }
-    // Round-0 events act on the initial deployment, before any movement.
-    hook.fire_due(&mut sim, 0);
-    let mut probe = CoverageProbe {
-        samples: spec.evaluation.round_coverage_samples,
-        series: Vec::new(),
-    };
-    let summary = if probe.samples > 0 {
+/// Drives the synchronous engine loop round by round — identical
+/// semantics to [`Session::run_with_observers`] with the probe/hook
+/// observer pair — invoking `after_round` after each observed round.
+/// The checkpoint runners hook their serialization in there; the plain
+/// runner passes a no-op.
+pub(crate) fn drive_rounds(
+    sim: &mut Session,
+    probe: &mut CoverageProbe,
+    hook: &mut TimelineHook,
+    mut after_round: impl FnMut(
+        &Session,
+        &CoverageProbe,
+        &TimelineHook,
+        &ObservedRound,
+    ) -> Result<(), SpecError>,
+) -> Result<RunSummary, SpecError> {
+    while sim.rounds_executed() < sim.config().max_rounds {
         // Probe first: the event-round sample must see the pre-event
         // network (the timeline observer mutates it afterwards).
-        sim.run_with_observers(&mut [&mut probe, &mut hook])
-    } else {
-        sim.run_with_observers(&mut [&mut hook])
-    };
+        let verdict = if probe.samples > 0 {
+            sim.step_observed(&mut [probe, hook])
+        } else {
+            sim.step_observed(&mut [hook])
+        };
+        after_round(sim, probe, hook, &verdict)?;
+        if verdict.stop {
+            break;
+        }
+        if sim.is_converged() && !verdict.keep_running {
+            break;
+        }
+    }
+    sim.finalize();
+    Ok(sim.summarize())
+}
+
+/// Evaluates a finished synchronous run into its [`ScenarioOutcome`] —
+/// shared by the plain, recorded and checkpoint-resumed runners so all
+/// three produce bit-identical outcomes from the same end state.
+pub(crate) fn assemble_sync_outcome(
+    mut sim: Session,
+    mut hook: TimelineHook,
+    probe: CoverageProbe,
+    spec: &ScenarioSpec,
+    seed: u64,
+    summary: RunSummary,
+) -> (ScenarioOutcome, Option<Box<dyn Recorder>>) {
     // Timeline entries beyond the executed rounds must still show up in
     // the outcome (as skipped), or the results would silently describe a
     // different scenario than the one specified.
-    let warnings = hook.mark_unfired(summary.rounds);
+    let mut warnings = hook.mark_unfired(summary.rounds);
+    if !summary.converged {
+        warnings.push(format!(
+            "run stopped at round {} without converging: the max_rounds \
+             budget ({}) was exhausted before ε-termination",
+            summary.rounds, spec.laacad.max_rounds
+        ));
+    }
     let region = sim.region().clone();
     let k = sim.config().k;
     let coverage = evaluate_coverage(sim.network(), &region, k, spec.evaluation.coverage_samples);
@@ -483,7 +514,29 @@ fn run_scenario_impl(
         warnings,
         faults: None,
     };
-    Ok((outcome, recorder))
+    (outcome, recorder)
+}
+
+fn run_scenario_impl(
+    spec: &ScenarioSpec,
+    seed: u64,
+    recorder: Option<Box<dyn Recorder>>,
+) -> Result<(ScenarioOutcome, Option<Box<dyn Recorder>>), SpecError> {
+    if spec.laacad.faults.is_some() {
+        return run_async_impl(spec, seed, recorder);
+    }
+    let (mut sim, mut hook) = build_scenario(spec, seed)?;
+    if let Some(r) = recorder {
+        sim.set_recorder(r);
+    }
+    // Round-0 events act on the initial deployment, before any movement.
+    hook.fire_due(&mut sim, 0);
+    let mut probe = CoverageProbe {
+        samples: spec.evaluation.round_coverage_samples,
+        series: Vec::new(),
+    };
+    let summary = drive_rounds(&mut sim, &mut probe, &mut hook, |_, _, _, _| Ok(()))?;
+    Ok(assemble_sync_outcome(sim, hook, probe, spec, seed, summary))
 }
 
 /// Runs a `[faults]`-bearing scenario on the asynchronous executor and
@@ -551,10 +604,27 @@ fn run_async_impl(
         .collect();
     let mut warnings = Vec::new();
     if report.termination != Termination::Converged {
+        // Name the budget that tripped (and its configured value), not
+        // just the termination tag: "round_limit" alone does not tell a
+        // reader what to raise.
+        let budget = match report.termination {
+            Termination::RoundLimit => {
+                format!("the max_rounds budget ({}) ran out", spec.laacad.max_rounds)
+            }
+            Termination::TickBudget => {
+                format!("the max_ticks budget ({}) ran out", fault_spec.max_ticks)
+            }
+            Termination::EventBudget => "the processed-event budget ran out".to_string(),
+            Termination::Deadlock => {
+                "the event queue deadlocked (no live node can make progress)".to_string()
+            }
+            Termination::Converged => unreachable!("guarded above"),
+        };
         warnings.push(format!(
-            "async run terminated by {} after {} ticks without quiescing; \
-             the reported deployment is partial",
+            "async run terminated by {} at round {} after {} ticks without \
+             quiescing: {budget}; the reported deployment is partial",
             report.termination.as_str(),
+            report.summary.rounds,
             report.ticks
         ));
     }

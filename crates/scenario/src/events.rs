@@ -61,6 +61,31 @@ impl TimelineHook {
         &self.log
     }
 
+    /// The hook's resumable state — (next event index, RNG state, event
+    /// log) — for checkpoint serialization. Feeding it back through
+    /// [`TimelineHook::restore`] (with the same spec timeline) yields a
+    /// hook whose subsequent firings are bit-identical to the original.
+    pub fn checkpoint(&self) -> (usize, u64, &[AppliedEvent]) {
+        (self.next, self.rng.state(), &self.log)
+    }
+
+    /// Rebuilds a hook mid-run from [`TimelineHook::checkpoint`] state.
+    /// `events` must be the same spec timeline the original hook was
+    /// built from; `rng_state` resumes the victim/placement stream
+    /// exactly where the checkpoint left it.
+    pub fn restore(
+        events: &[EventSpec],
+        next: usize,
+        rng_state: u64,
+        log: Vec<AppliedEvent>,
+    ) -> Self {
+        let mut hook = TimelineHook::new(events, 0);
+        hook.next = next.min(hook.events.len());
+        hook.rng = SplitMix64::new(rng_state);
+        hook.log = log;
+        hook
+    }
+
     /// Consumes the hook, returning its event log.
     pub fn into_log(self) -> Vec<AppliedEvent> {
         self.log

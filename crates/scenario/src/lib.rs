@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod engine;
 pub mod events;
 pub mod exec;
@@ -77,6 +78,9 @@ pub mod value;
 pub use campaign::{
     run_campaign, run_campaign_observed, run_campaign_streamed, CampaignCell, CampaignProgress,
     CampaignRunOptions, CampaignSpec, CellInfo, CellResult, ParamGrid, ZipSpec,
+};
+pub use checkpoint::{
+    resume_scenario, run_scenario_checkpointed, ScenarioCheckpoint, CHECKPOINT_MAGIC,
 };
 pub use engine::{
     build_scenario, recovery_metrics, run_scenario, run_scenario_recorded, FaultOutcome,

@@ -9,7 +9,7 @@
 //! and [`LaacadConfig`] for a given seed.
 
 use crate::value::{decode, encode, DecodeError, Value};
-use laacad::{ExecutionMode, LaacadConfig, RingCapPolicy};
+use laacad::{CoordinateMode, ExecutionMode, LaacadConfig, RingCapPolicy};
 use laacad_dist::{AsyncConfig, CrashEvent, DelayModel, FaultPlan};
 use laacad_geom::{Point, Polygon};
 use laacad_region::sampling::{sample_clustered, sample_uniform};
@@ -367,6 +367,11 @@ pub struct AlgorithmSpec {
     pub max_rounds: usize,
     /// Execution schedule.
     pub execution: ExecutionMode,
+    /// How nodes obtain neighbor coordinates: `coordinates = "oracle"`
+    /// (exact positions, the default) or `"ranging"` (local MDS from
+    /// noisy pairwise distances, with `ranging_rel` / `ranging_abs`
+    /// noise sigmas).
+    pub coordinates: CoordinateMode,
     /// Ring-cap policy.
     pub ring_cap: RingCapPolicy,
     /// Snapshot cadence (`None` disables snapshots).
@@ -427,6 +432,7 @@ impl Default for AlgorithmSpec {
             gamma: None,
             max_rounds: 300,
             execution: ExecutionMode::Synchronous,
+            coordinates: CoordinateMode::Oracle,
             ring_cap: RingCapPolicy::Exact,
             snapshot_every: None,
             threads: None,
@@ -462,6 +468,7 @@ impl AlgorithmSpec {
             .epsilon(epsilon)
             .max_rounds(self.max_rounds)
             .execution(self.execution)
+            .coordinates(self.coordinates)
             .ring_cap(self.ring_cap)
             .seed(seed);
         if let Some(every) = self.snapshot_every {
@@ -496,6 +503,31 @@ impl AlgorithmSpec {
                 }
             },
         };
+        let coordinates = match decode::opt_str(v, "coordinates", path)? {
+            None => d.coordinates,
+            Some(s) => match s.as_str() {
+                "oracle" => CoordinateMode::Oracle,
+                "ranging" => {
+                    let rel = decode::opt_f64(v, "ranging_rel", path)?.unwrap_or(0.0);
+                    let abs = decode::opt_f64(v, "ranging_abs", path)?.unwrap_or(0.0);
+                    if rel < 0.0 || abs < 0.0 {
+                        return Err(DecodeError::new(
+                            format!("{path}.ranging_rel"),
+                            "ranging noise sigmas must be non-negative".to_string(),
+                        )
+                        .into());
+                    }
+                    CoordinateMode::Ranging(laacad_wsn::ranging::RangingNoise::new(rel, abs))
+                }
+                other => {
+                    return Err(DecodeError::new(
+                        format!("{path}.coordinates"),
+                        format!("unknown coordinate mode `{other}`"),
+                    )
+                    .into())
+                }
+            },
+        };
         let ring_cap = match decode::opt_str(v, "ring_cap", path)? {
             None => d.ring_cap,
             Some(s) => match s.as_str() {
@@ -517,6 +549,7 @@ impl AlgorithmSpec {
             gamma: decode::opt_f64(v, "gamma", path)?,
             max_rounds: decode::opt_usize(v, "max_rounds", path)?.unwrap_or(d.max_rounds),
             execution,
+            coordinates,
             ring_cap,
             snapshot_every: decode::opt_usize(v, "snapshot_every", path)?,
             threads: decode::opt_usize(v, "threads", path)?,
@@ -558,6 +591,15 @@ impl AlgorithmSpec {
                     .into(),
                 ),
             );
+        }
+        if let CoordinateMode::Ranging(noise) = self.coordinates {
+            t.insert("coordinates", Value::Str("ranging".into()));
+            if noise.rel_sigma != 0.0 {
+                t.insert("ranging_rel", Value::Float(noise.rel_sigma));
+            }
+            if noise.abs_sigma != 0.0 {
+                t.insert("ranging_abs", Value::Float(noise.abs_sigma));
+            }
         }
         if self.ring_cap != d.ring_cap {
             t.insert(
@@ -1273,6 +1315,25 @@ mod tests {
         let spec = sample_spec();
         let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn coordinates_knob_round_trips_and_builds() {
+        let mut spec = sample_spec();
+        spec.laacad.coordinates =
+            CoordinateMode::Ranging(laacad_wsn::ranging::RangingNoise::new(0.01, 0.002));
+        let text = spec.to_toml();
+        assert!(text.contains("coordinates = \"ranging\""), "TOML:\n{text}");
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(spec, back, "TOML:\n{text}");
+        let region = spec.region.build().unwrap();
+        let config = spec.laacad.build(&region, 40, 7).unwrap();
+        assert_eq!(config.coordinates, spec.laacad.coordinates);
+
+        let bad = text.replace("ranging_rel = 0.01", "ranging_rel = -1.0");
+        assert!(ScenarioSpec::from_toml(&bad).is_err());
+        let unknown = text.replace("\"ranging\"", "\"gps\"");
+        assert!(ScenarioSpec::from_toml(&unknown).is_err());
     }
 
     #[test]

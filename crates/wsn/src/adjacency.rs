@@ -144,6 +144,44 @@ impl Adjacency {
     pub fn neighbors(&self, i: usize) -> &[u32] {
         &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
+
+    /// The raw CSR arrays `(offsets, neighbors)` — snapshot serialization.
+    /// Empty offsets means an empty (never-built) snapshot.
+    pub fn csr(&self) -> (&[u32], &[u32]) {
+        (&self.offsets, &self.neighbors)
+    }
+
+    /// Reconstructs a snapshot from serialized CSR arrays. The rebuild
+    /// scratch, double-buffer spares, and epoch stamps are transient
+    /// (resized on demand, never read before being written), so only the
+    /// CSR itself round-trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the CSR is malformed (offsets not starting at 0, not
+    /// monotone, or not ending at `neighbors.len()`), unless both vectors
+    /// are empty (the never-built state).
+    pub fn from_csr(offsets: Vec<u32>, neighbors: Vec<u32>) -> Self {
+        if !offsets.is_empty() {
+            assert_eq!(offsets[0], 0, "CSR offsets must start at 0");
+            assert!(
+                offsets.windows(2).all(|w| w[0] <= w[1]),
+                "CSR offsets must be monotone"
+            );
+            assert_eq!(
+                *offsets.last().unwrap() as usize,
+                neighbors.len(),
+                "CSR offsets must end at neighbors.len()"
+            );
+        } else {
+            assert!(neighbors.is_empty(), "neighbors without offsets");
+        }
+        Adjacency {
+            offsets,
+            neighbors,
+            ..Adjacency::default()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -329,6 +329,61 @@ impl Network {
     pub fn total_distance_moved(&self) -> f64 {
         self.retired_distance + self.distance_moved.iter().sum::<f64>()
     }
+
+    /// Per-node odometry, indexed by node id (snapshot serialization).
+    #[inline]
+    pub fn distances_moved(&self) -> &[f64] {
+        &self.distance_moved
+    }
+
+    /// Odometry retired with removed nodes (snapshot serialization).
+    #[inline]
+    pub fn retired_distance(&self) -> f64 {
+        self.retired_distance
+    }
+
+    /// Whether rebuilds prefer the flat dense grid layout — the knob as
+    /// *configured* (contrast [`Network::uses_flat_grid`], which reports
+    /// the layout actually in use after the sparsity fallback).
+    #[inline]
+    pub fn prefers_flat_grid(&self) -> bool {
+        self.prefer_flat
+    }
+
+    /// Reconstructs a network from serialized struct-of-arrays state.
+    /// The spatial index is rebuilt deterministically from the positions
+    /// (query results are layout-independent, so a rebuilt index yields
+    /// bit-identical behavior to the original).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` is not strictly positive and finite, or when
+    /// the parallel vectors disagree in length.
+    pub fn from_parts(
+        gamma: f64,
+        positions: Vec<Point>,
+        sensing_radius: Vec<f64>,
+        distance_moved: Vec<f64>,
+        retired_distance: f64,
+        prefer_flat: bool,
+    ) -> Self {
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "transmission range must be positive, got {gamma}"
+        );
+        assert_eq!(positions.len(), sensing_radius.len());
+        assert_eq!(positions.len(), distance_moved.len());
+        let grid = GridIndex::build(&positions, gamma.max(1e-9), prefer_flat);
+        Network {
+            positions,
+            sensing_radius,
+            distance_moved,
+            gamma,
+            grid,
+            prefer_flat,
+            retired_distance,
+        }
+    }
 }
 
 impl std::fmt::Display for Network {

@@ -15,7 +15,9 @@
 //! * [`laacad_baselines`] — Bai \[3\], Ammari–Das \[15\], Lloyd, lattices,
 //! * [`laacad_viz`] — SVG figure rendering,
 //! * [`laacad_scenario`] — declarative scenarios, dynamic events, and the
-//!   parallel campaign runner.
+//!   parallel campaign runner,
+//! * [`laacad_serve`] — coverage-as-a-service: session snapshots, the
+//!   multi-session host/scheduler, command-log replay.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub use laacad_coverage;
 pub use laacad_geom;
 pub use laacad_region;
 pub use laacad_scenario;
+pub use laacad_serve;
 pub use laacad_viz;
 pub use laacad_voronoi;
 pub use laacad_wsn;
@@ -64,9 +67,10 @@ pub mod prelude {
     pub use laacad_region::sampling::{sample_clustered, sample_uniform};
     pub use laacad_region::{gallery, Region};
     pub use laacad_scenario::{
-        run_campaign, run_scenario, CampaignSpec, ParamGrid, ResultStore, ScenarioOutcome,
-        ScenarioSpec,
+        resume_scenario, run_campaign, run_scenario, run_scenario_checkpointed, CampaignSpec,
+        ParamGrid, ResultStore, ScenarioCheckpoint, ScenarioOutcome, ScenarioSpec,
     };
+    pub use laacad_serve::{Command, HostConfig, QueuePolicy, Response, SessionHost, SessionId};
     pub use laacad_viz::{DeploymentPlot, LineChart};
     pub use laacad_wsn::{Network, NodeId};
 }
