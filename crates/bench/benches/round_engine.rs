@@ -35,6 +35,7 @@
 //! rewriting the committed JSON.
 
 use laacad::{LaacadConfig, NoopRecorder, Session, SessionBuilder, Stage, TelemetryRegistry};
+use laacad_dist::{AsyncConfig, AsyncExecutor, Backoff, DelayModel, FaultPlan};
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
 use laacad_serve::{Command, HostConfig, QueuePolicy, SessionHost};
@@ -332,6 +333,80 @@ fn host_throughput(sessions: usize, rounds: usize) -> f64 {
     let dt = t.elapsed().as_secs_f64();
     assert_eq!(host.stats().executed, (sessions * rounds) as u64);
     (sessions * rounds) as f64 / dt
+}
+
+/// PR-10: one full asynchronous run under the sharded event queue —
+/// 10% loss plus exponential link delay so the retry machinery and the
+/// queue both work for a living — at a fixed worker count. Returns
+/// `(events per second, events processed, final position bits)`; the
+/// bits let the caller assert thread-count invariance across cells.
+fn async_run_throughput(n: usize, threads: usize) -> (f64, u64, Vec<(u64, u64)>) {
+    let region = Region::square(1.0).expect("unit square");
+    let positions = sample_uniform(&region, n, 42);
+    let k = 1;
+    let config = LaacadConfig::builder(k)
+        .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+        .alpha(0.6)
+        .epsilon(1e-3)
+        .max_rounds(50)
+        .seed(42)
+        .threads(threads)
+        .build()
+        .expect("valid config");
+    let plan = FaultPlan {
+        loss: 0.1,
+        delay: DelayModel::Exp { mean: 1.0 },
+        ..FaultPlan::default()
+    };
+    let mut exec = AsyncExecutor::new(config, region, positions, plan, AsyncConfig::default())
+        .expect("valid async deployment");
+    let t = Instant::now();
+    let report = exec.run();
+    let dt = t.elapsed().as_secs_f64();
+    let bits = exec
+        .network()
+        .positions()
+        .iter()
+        .map(|p| (p.x.to_bits(), p.y.to_bits()))
+        .collect();
+    (
+        report.events_processed as f64 / dt,
+        report.events_processed,
+        bits,
+    )
+}
+
+/// PR-10: message cost of a retransmission-backoff policy at 10% loss —
+/// the raw hello/retransmission counters of one asynchronous run, for
+/// the fixed-vs-adaptive overhead comparison.
+fn backoff_overhead(n: usize, backoff: Backoff) -> (u64, u64, usize) {
+    let region = Region::square(1.0).expect("unit square");
+    let positions = sample_uniform(&region, n, 42);
+    let k = 1;
+    let config = LaacadConfig::builder(k)
+        .transmission_range(LaacadConfig::recommended_gamma(1.0, n, k))
+        .alpha(0.6)
+        .epsilon(1e-3)
+        .max_rounds(200)
+        .seed(42)
+        .build()
+        .expect("valid config");
+    let plan = FaultPlan {
+        loss: 0.1,
+        ..FaultPlan::default()
+    };
+    let proto = AsyncConfig {
+        backoff,
+        ..AsyncConfig::default()
+    };
+    let mut exec =
+        AsyncExecutor::new(config, region, positions, plan, proto).expect("valid async deployment");
+    let report = exec.run();
+    (
+        report.protocol.sent,
+        report.protocol.retransmissions,
+        report.summary.rounds,
+    )
 }
 
 /// Times one `step()` (best of `reps` fresh simulations; construction
@@ -976,6 +1051,67 @@ fn main() {
             sessions, rounds, throughput,
         ));
     }
+    // PR-10 section: the adversarial async engine. Sharded event-queue
+    // throughput across thread counts (with a live thread-invariance
+    // assert), and the fixed-vs-adaptive backoff message cost at 10%
+    // loss.
+    let mut pr10_queue_rows = Vec::new();
+    for &n in &[1_000usize, 10_000] {
+        if skip(n) {
+            continue;
+        }
+        let mut serial_bits = None;
+        for &threads in &[1usize, 4] {
+            let (events_per_s, events, bits) = async_run_throughput(n, threads);
+            match &serial_bits {
+                None => serial_bits = Some(bits),
+                Some(reference) => assert_eq!(
+                    reference, &bits,
+                    "sharded queue diverged between 1 and {threads} threads at N={n}"
+                ),
+            }
+            eprintln!(
+                "round_engine pr10 N={n} threads={threads}: {events_per_s:.0} events/s \
+                 over {events} events"
+            );
+            pr10_queue_rows.push(format!(
+                concat!(
+                    "      {{\"n\": {}, \"threads\": {}, ",
+                    "\"events_processed\": {}, ",
+                    "\"events_per_second\": {:.1}}}"
+                ),
+                n, threads, events, events_per_s,
+            ));
+        }
+    }
+    let mut pr10_backoff_rows = Vec::new();
+    if !skip(1_000) {
+        for (label, backoff) in [
+            ("fixed", Backoff::Fixed),
+            (
+                "adaptive",
+                Backoff::ExponentialJittered {
+                    cap: 64,
+                    jitter: 0.3,
+                },
+            ),
+        ] {
+            let (sent, retransmissions, rounds) = backoff_overhead(1_000, backoff);
+            eprintln!(
+                "round_engine pr10 backoff={label} N=1000 loss=0.1: {sent} sent, \
+                 {retransmissions} retransmissions, {rounds} rounds"
+            );
+            pr10_backoff_rows.push(format!(
+                concat!(
+                    "      {{\"backoff\": \"{}\", \"n\": 1000, \"loss\": 0.1, ",
+                    "\"messages_sent\": {}, ",
+                    "\"retransmissions\": {}, ",
+                    "\"rounds\": {}}}"
+                ),
+                label, sent, retransmissions, rounds,
+            ));
+        }
+    }
     let json = format!(
         concat!(
             "{{\n",
@@ -1009,6 +1145,11 @@ fn main() {
             "    \"description\": \"coverage-as-a-service serve layer: laacad-snapshot/1 serialize/restore wall-clock and buffer size after one cold round at N in {{10^4, 10^5, 10^6}}, k = 1 (restored sessions are bit-identical going forward — pinned by tests, not timed here), and SessionHost scheduler throughput: 64 and 512 independent 64-node sessions stepped 50 rounds each through preloaded bounded queues (tick budget 1, reject policy), reported as executed session-rounds per second over the tick fan-out\",\n",
             "    \"snapshot_rows\": [\n{}\n    ],\n",
             "    \"host_rows\": [\n{}\n    ]\n",
+            "  }},\n",
+            "  \"pr10\": {{\n",
+            "    \"description\": \"adversarial async engine: queue_rows times one full asynchronous run (10% loss, Exp(1) link delay, 50-round budget) under the sharded (tick, seq)-merged event queue at N in {{10^3, 10^4}} x threads in {{1, 4}}, reported as processed events per second — the 1-vs-4-thread cells are asserted bit-identical while measuring. backoff_rows compares the message cost of fixed vs adaptive (exponential + 0.3 jitter, RTT-estimated RTO) retransmission backoff on the same 10%-loss deployment at N = 10^3\",\n",
+            "    \"queue_rows\": [\n{}\n    ],\n",
+            "    \"backoff_rows\": [\n{}\n    ]\n",
             "  }}\n",
             "}}\n"
         ),
@@ -1022,7 +1163,9 @@ fn main() {
         pr8_rows.join(",\n"),
         pr8_stage_rows.join(",\n"),
         pr9_snapshot_rows.join(",\n"),
-        pr9_host_rows.join(",\n")
+        pr9_host_rows.join(",\n"),
+        pr10_queue_rows.join(",\n"),
+        pr10_backoff_rows.join(",\n")
     );
     if cap.is_some() {
         eprintln!("--n cap active: measurements above; committed JSON left untouched");

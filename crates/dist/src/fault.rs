@@ -1,13 +1,18 @@
 //! The pluggable fault model: per-link delay distributions, message
-//! loss/duplication, reordering jitter, and node crash/recover
-//! schedules.
+//! loss/duplication, reordering jitter, node crash/recover schedules,
+//! Byzantine payload corruption, link-level partition schedules, and
+//! per-node clock drift.
 //!
 //! A [`FaultPlan`] plus the executor seed fully determines a run — every
-//! random draw comes from one [`SplitMix64`](laacad_region::sampling::SplitMix64)
-//! stream consumed in deterministic event-processing order, so the same
-//! `(seed, plan)` pair replays byte-identically.
+//! random draw comes from per-node
+//! [`SplitMix64`](laacad_region::sampling::SplitMix64) streams derived
+//! from the seed and consumed in deterministic event-processing order,
+//! so the same `(seed, plan)` pair replays byte-identically at any
+//! thread count.
 
 use laacad_region::sampling::SplitMix64;
+
+use crate::partition::PartitionSchedule;
 
 /// Per-hop message delay distribution, in whole scheduler ticks on top
 /// of the protocol's one-tick base latency.
@@ -87,6 +92,83 @@ pub struct CrashEvent {
     pub recover_at: Option<u64>,
 }
 
+/// The Byzantine payload-corruption model: with probability
+/// [`Corruption::rate`] a transmitted hello carries a mutated payload —
+/// a position mirrored across the region's bounding box, a stale ρ from
+/// the sender's previous round, or a forged sender id.
+///
+/// With [`Corruption::validate`] on (the default), receivers run a
+/// plausibility check on every hello payload — the claimed id must match
+/// the link-layer source, the claimed position must be within
+/// `γ · (1 + tolerance)` of the receiver, and the claimed ρ must be a
+/// finite non-negative number. A claim that fails is rejected and its
+/// sender quarantined for [`Corruption::quarantine_ticks`]: the receiver
+/// ignores the liar's hellos, the liar exhausts its retries against that
+/// neighbor and computes with a partial neighborhood — honest nodes
+/// degrade gracefully and the run still terminates.
+///
+/// With validation off, receivers *believe* what they hear: deviant
+/// position claims are absorbed as belief overrides and fed into the
+/// victim's next local-view compute, and forged ids misroute acks. The
+/// executor counts every absorbed lie
+/// ([`crate::ProtocolStats::corrupted_accepted`]) so the divergence is
+/// detected and reported, never silent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corruption {
+    /// Per-transmitted-hello probability of corruption, in `[0, 1]`.
+    pub rate: f64,
+    /// Receiver-side payload validation + sender quarantine.
+    pub validate: bool,
+    /// Ticks a detected liar stays quarantined at the rejecting
+    /// receiver.
+    pub quarantine_ticks: u64,
+    /// Plausibility slack for claimed positions: a claim farther than
+    /// `γ · (1 + tolerance)` from the receiver fails validation. The
+    /// slack absorbs honest movement during message flight under delay
+    /// faults.
+    pub tolerance: f64,
+}
+
+impl Default for Corruption {
+    fn default() -> Self {
+        Corruption {
+            rate: 0.0,
+            validate: true,
+            quarantine_ticks: 64,
+            tolerance: 0.5,
+        }
+    }
+}
+
+impl Corruption {
+    /// Whether this model never mutates a payload.
+    pub fn is_zero(&self) -> bool {
+        self.rate <= 0.0
+    }
+}
+
+/// Per-node clock drift/skew: node `i`'s local timers (compute slots,
+/// retry timeouts, round gaps) run at rate `1 + U(−rate, rate)` and its
+/// first round starts `U{0..=skew}` ticks late, both sampled once per
+/// node from a dedicated seed-derived stream at executor construction.
+/// Channel latencies are *not* scaled — drift models the node's clock,
+/// not the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Drift {
+    /// Maximum fractional rate deviation (e.g. `0.2` = clocks run up to
+    /// 20% fast or slow). Small rates quantize away on one-tick timers.
+    pub rate: f64,
+    /// Maximum initial skew in ticks (inclusive).
+    pub skew: u64,
+}
+
+impl Drift {
+    /// Whether this model never perturbs a clock.
+    pub fn is_zero(&self) -> bool {
+        self.rate <= 0.0 && self.skew == 0
+    }
+}
+
 /// A complete fault-injection plan for one asynchronous run.
 ///
 /// All probabilities are per message copy in `[0, 1]`. The default plan
@@ -107,6 +189,12 @@ pub struct FaultPlan {
     pub jitter: f64,
     /// Scheduled crash/recover events.
     pub crashes: Vec<CrashEvent>,
+    /// Byzantine payload corruption (`None` = all payloads honest).
+    pub corruption: Option<Corruption>,
+    /// Timed link-level partitions with healing events.
+    pub partitions: Vec<PartitionSchedule>,
+    /// Per-node clock drift/skew (`None` = ideal clocks).
+    pub drift: Option<Drift>,
 }
 
 impl FaultPlan {
@@ -115,14 +203,17 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Whether this plan can never perturb a message or a node — the
-    /// regime the sync-equivalence guarantee covers.
+    /// Whether this plan can never perturb a message, a link, a clock,
+    /// or a node — the regime the sync-equivalence guarantee covers.
     pub fn is_fault_free(&self) -> bool {
         self.loss <= 0.0
             && self.duplicate <= 0.0
             && self.jitter <= 0.0
             && self.delay.is_zero()
             && self.crashes.is_empty()
+            && self.corruption.is_none_or(|c| c.is_zero())
+            && self.partitions.is_empty()
+            && self.drift.is_none_or(|d| d.is_zero())
     }
 }
 

@@ -6,7 +6,11 @@
 //! LAACAD state machines exchange explicit hello/ack messages through a
 //! deterministic, seeded discrete-event queue, with a pluggable
 //! [`FaultPlan`] injecting per-link delay distributions, message
-//! loss/duplication, reordering jitter, and node crash/recover events.
+//! loss/duplication, reordering jitter, node crash/recover events,
+//! Byzantine payload [corruption](fault::Corruption), timed
+//! [link partitions](partition), and per-node clock
+//! [drift](fault::Drift). Retransmissions follow a pluggable
+//! [`Backoff`] policy with per-node RTT estimation.
 //!
 //! Two properties anchor the design:
 //!
@@ -16,10 +20,12 @@
 //!   deployment (positions, sensing radii, ρ, message counts, round
 //!   records) is *bit-identical* to [`laacad::Session::run`] at any
 //!   thread count.
-//! * **Reproducibility.** All randomness flows from one seeded
-//!   [`SplitMix64`](laacad_region::sampling::SplitMix64) stream consumed
-//!   in deterministic event order; `(seed, FaultPlan)` replays
-//!   byte-identically, with no wall-clock anywhere.
+//! * **Reproducibility.** All randomness flows from seeded per-node
+//!   [`SplitMix64`](laacad_region::sampling::SplitMix64) streams
+//!   consumed in each node's transmission order; `(seed, FaultPlan,
+//!   threads)` replays byte-identically, with no wall-clock anywhere.
+//!   Events live in a sharded queue whose `(tick, seq)` merge barrier
+//!   makes the worker thread count unobservable in the result.
 //!
 //! ```
 //! use laacad::LaacadConfig;
@@ -47,8 +53,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod executor;
 pub mod fault;
+pub mod partition;
+mod queue;
 
-pub use executor::{AsyncConfig, AsyncExecutor, AsyncRunReport, ProtocolStats, Termination};
-pub use fault::{CrashEvent, DelayModel, FaultPlan};
+pub use backoff::{Backoff, RttEstimator};
+pub use executor::{
+    AsyncConfig, AsyncExecutor, AsyncRunReport, ProbeFn, ProtocolStats, Termination,
+};
+pub use fault::{Corruption, CrashEvent, DelayModel, Drift, FaultPlan};
+pub use partition::{Axis, PartitionKind, PartitionSchedule};

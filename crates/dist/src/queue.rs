@@ -1,0 +1,146 @@
+//! The sharded event queue: per-shard binary heaps behind a
+//! deterministic `(tick, seq)` merge barrier.
+//!
+//! Events are striped over shards by sequence number; [`ShardedQueue::pop_batch`]
+//! pops *every* event carrying the minimum tick across all shards and
+//! sorts the batch by `seq` — exactly the global order a single heap
+//! would produce, but handing the executor a whole same-tick batch at
+//! once. The batch is what the executor parallelizes: speculative
+//! local-view precomputes fan out over `laacad-exec` while every state
+//! mutation, random draw, and scheduling decision stays in a serial
+//! `(tick, seq)`-ordered pass — so the result is byte-identical for any
+//! shard/thread count by construction.
+//!
+//! With one shard this degrades to the PR 7 single `BinaryHeap`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::executor::Event;
+
+/// Per-shard min-heaps with a deterministic merge barrier.
+#[derive(Debug)]
+pub(crate) struct ShardedQueue {
+    shards: Vec<BinaryHeap<Reverse<Event>>>,
+    len: usize,
+}
+
+impl ShardedQueue {
+    /// A queue striped over `shards` heaps (clamped to ≥ 1).
+    pub(crate) fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedQueue {
+            shards: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Pushes one event; the shard is chosen by `seq`, so the striping
+    /// (and therefore every heap's contents) is independent of push
+    /// order.
+    pub(crate) fn push(&mut self, ev: Event) {
+        let shard = (ev.seq % self.shards.len() as u64) as usize;
+        self.shards[shard].push(Reverse(ev));
+        self.len += 1;
+    }
+
+    /// Total queued events.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The merge barrier: drains every event carrying the minimum tick
+    /// across all shards into `batch`, sorted by `seq`. Returns `false`
+    /// (and leaves `batch` empty) when the queue is drained.
+    pub(crate) fn pop_batch(&mut self, batch: &mut Vec<Event>) -> bool {
+        batch.clear();
+        let Some(tick) = self
+            .shards
+            .iter()
+            .filter_map(|h| h.peek().map(|Reverse(e)| e.tick))
+            .min()
+        else {
+            return false;
+        };
+        for heap in &mut self.shards {
+            while let Some(Reverse(e)) = heap.peek() {
+                if e.tick != tick {
+                    break;
+                }
+                batch.push(heap.pop().expect("peeked event pops").0);
+            }
+        }
+        self.len -= batch.len();
+        batch.sort_unstable_by_key(|e| e.seq);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::EventKind;
+
+    fn ev(tick: u64, seq: u64) -> Event {
+        Event {
+            tick,
+            seq,
+            kind: EventKind::Crash { node: 0 },
+        }
+    }
+
+    /// The merged order out of any shard count equals the `(tick, seq)`
+    /// order a single heap produces.
+    #[test]
+    fn merge_barrier_is_shard_count_invariant() {
+        let events: Vec<Event> = (0..97u64)
+            .map(|i| ev((i * 7919) % 13, (i * 104729) % 1000))
+            .collect();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        for shards in [1usize, 2, 4, 7] {
+            let mut q = ShardedQueue::new(shards);
+            for &e in &events {
+                q.push(e);
+            }
+            let mut order = Vec::new();
+            let mut batch = Vec::new();
+            while q.pop_batch(&mut batch) {
+                let tick = batch[0].tick;
+                for pair in batch.windows(2) {
+                    assert_eq!(pair[0].tick, tick, "batch spans ticks");
+                    assert!(pair[0].seq < pair[1].seq, "batch not seq-sorted");
+                }
+                order.extend(batch.iter().map(|e| (e.tick, e.seq)));
+            }
+            assert_eq!(q.len(), 0);
+            if shards == 1 {
+                reference = order.clone();
+                let mut sorted = reference.clone();
+                sorted.sort_unstable();
+                assert_eq!(reference, sorted);
+            }
+            assert_eq!(order, reference, "shards={shards} diverged");
+        }
+    }
+
+    /// Events pushed for the current minimum tick between barriers are
+    /// picked up by the next batch, never lost.
+    #[test]
+    fn same_tick_repush_lands_in_next_batch() {
+        let mut q = ShardedQueue::new(3);
+        q.push(ev(5, 0));
+        q.push(ev(5, 1));
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(&mut batch));
+        assert_eq!(batch.len(), 2);
+        q.push(ev(5, 2));
+        q.push(ev(6, 3));
+        assert!(q.pop_batch(&mut batch));
+        assert_eq!(batch.len(), 1);
+        assert_eq!((batch[0].tick, batch[0].seq), (5, 2));
+        assert!(q.pop_batch(&mut batch));
+        assert_eq!((batch[0].tick, batch[0].seq), (6, 3));
+        assert!(!q.pop_batch(&mut batch));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the fault-model random streams (satellite of the
+//! adversarial-engine PR): sampled delays are never negative (no f64 →
+//! u64 wrap through the inverse CDF), stay inside their declared
+//! bounds, and per-node stream draws depend only on the node's own
+//! transmission history — never on how deliveries interleave.
+
+use laacad::LaacadConfig;
+use laacad_dist::{
+    AsyncConfig, AsyncExecutor, Axis, DelayModel, FaultPlan, PartitionKind, PartitionSchedule,
+};
+use laacad_region::sampling::{sample_uniform, SplitMix64};
+use laacad_region::Region;
+use proptest::prelude::*;
+
+proptest! {
+    /// The geometric/exponential delay sample is always a sane
+    /// non-negative tick count: the `-mean · ln(1-u)` intermediate can
+    /// never wrap through the f64 → u64 cast, for any seed and any mean.
+    #[test]
+    fn exp_delay_is_never_negative_or_wrapped(
+        seed in 0u64..u64::MAX,
+        mean in 0.0f64..64.0,
+    ) {
+        let model = DelayModel::Exp { mean };
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            let d = model.sample(&mut rng);
+            // A wrapped negative would land near u64::MAX; honest draws
+            // from Exp(mean ≤ 64) are astronomically smaller.
+            prop_assert!(d < 1 << 32, "suspicious delay {d} (mean={mean})");
+        }
+    }
+
+    /// Uniform delays respect their inclusive bounds for any seed and
+    /// any (lo, hi) ordering, including the degenerate hi ≤ lo case.
+    #[test]
+    fn uniform_delay_respects_bounds(
+        seed in 0u64..u64::MAX,
+        lo in 0u64..16,
+        span in 0u64..16,
+    ) {
+        let hi = lo + span;
+        let model = DelayModel::Uniform { lo, hi };
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            let d = model.sample(&mut rng);
+            prop_assert!((lo..=hi).contains(&d));
+        }
+    }
+
+    /// Identical streams replay identical delay sequences — sampling is
+    /// a pure function of the stream state.
+    #[test]
+    fn delay_sampling_is_a_pure_stream_function(
+        seed in 0u64..u64::MAX,
+        mean in 0.1f64..32.0,
+    ) {
+        let model = DelayModel::Exp { mean };
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let xs: Vec<u64> = (0..32).map(|_| model.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| model.sample(&mut b)).collect();
+        prop_assert_eq!(xs, ys);
+    }
+}
+
+fn config(seed: u64) -> LaacadConfig {
+    LaacadConfig::builder(1)
+        .alpha(0.6)
+        .epsilon(1e-3)
+        .transmission_range(0.45)
+        .max_rounds(200)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn run(plan: FaultPlan, probe_every: Option<u64>) -> (Vec<(u64, u64)>, laacad_dist::ProtocolStats) {
+    let region = Region::square(1.0).unwrap();
+    let positions = sample_uniform(&region, 16, 42);
+    let mut exec =
+        AsyncExecutor::new(config(42), region, positions, plan, AsyncConfig::default()).unwrap();
+    if let Some(every) = probe_every {
+        exec.set_probe(every, Box::new(|_, _| {}));
+    }
+    let report = exec.run();
+    let bits = exec
+        .network()
+        .positions()
+        .iter()
+        .map(|p| (p.x.to_bits(), p.y.to_bits()))
+        .collect();
+    (bits, report.protocol)
+}
+
+/// Per-node fault streams are independent of the delivery schedule:
+/// interleaving extra (draw-free) probe events into every partition
+/// window's batches changes the event order the executor processes but
+/// not a single random draw — the run is bit-identical with and without
+/// the probes.
+#[test]
+fn stream_draws_are_independent_of_event_interleaving() {
+    let plan = FaultPlan {
+        loss: 0.1,
+        jitter: 0.1,
+        delay: DelayModel::Exp { mean: 1.5 },
+        partitions: vec![PartitionSchedule {
+            kind: PartitionKind::Bipartition {
+                axis: Axis::Y,
+                at: 0.5,
+            },
+            at: 8,
+            heal_at: Some(120),
+        }],
+        ..FaultPlan::default()
+    };
+    let (bits_plain, proto_plain) = run(plan.clone(), None);
+    let (bits_probed, proto_probed) = run(plan, Some(5));
+    assert_eq!(bits_plain, bits_probed, "probe events perturbed the run");
+    assert_eq!(proto_plain, proto_probed);
+}
+
+/// A partition that severs only pairs that are not radio neighbors is a
+/// no-op: blocked-link checks happen before any stream draw, so the run
+/// is bit-identical to the partition-free one.
+#[test]
+fn blocked_link_checks_spend_no_draws() {
+    let region = Region::square(1.0).unwrap();
+    let positions = sample_uniform(&region, 16, 42);
+    // Find two nodes far beyond transmission range of each other.
+    let mut pair = None;
+    'outer: for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            if positions[i].distance(positions[j]) > 0.9 {
+                pair = Some((i, j));
+                break 'outer;
+            }
+        }
+    }
+    let (a, b) = pair.expect("a unit square sample of 16 has a far pair");
+    let base = FaultPlan {
+        loss: 0.1,
+        delay: DelayModel::Exp { mean: 1.0 },
+        ..FaultPlan::default()
+    };
+    let noop = FaultPlan {
+        partitions: vec![PartitionSchedule {
+            kind: PartitionKind::Links {
+                pairs: vec![(a, b)],
+            },
+            at: 0,
+            heal_at: None,
+        }],
+        ..base.clone()
+    };
+    let (bits_base, proto_base) = run(base, None);
+    let (bits_noop, proto_noop) = run(noop, None);
+    assert_eq!(bits_base, bits_noop);
+    assert_eq!(proto_base.lost, proto_noop.lost, "loss draws shifted");
+    assert_eq!(proto_noop.partition_dropped, 0);
+}

@@ -5,7 +5,8 @@
 
 use laacad::LaacadConfig;
 use laacad_dist::{
-    AsyncConfig, AsyncExecutor, AsyncRunReport, CrashEvent, DelayModel, FaultPlan, Termination,
+    AsyncConfig, AsyncExecutor, AsyncRunReport, Axis, Backoff, Corruption, CrashEvent, DelayModel,
+    Drift, FaultPlan, PartitionKind, PartitionSchedule, Termination,
 };
 use laacad_region::sampling::sample_uniform;
 use laacad_region::Region;
@@ -19,6 +20,28 @@ fn config(seed: u64) -> LaacadConfig {
         .seed(seed)
         .build()
         .unwrap()
+}
+
+fn run_threads(
+    seed: u64,
+    n: usize,
+    plan: FaultPlan,
+    threads: usize,
+) -> (AsyncRunReport, Vec<(u64, u64)>) {
+    let region = Region::square(1.0).unwrap();
+    let positions = sample_uniform(&region, n, seed);
+    let mut cfg = config(seed);
+    cfg.threads = threads;
+    let mut exec =
+        AsyncExecutor::new(cfg, region, positions, plan, AsyncConfig::default()).unwrap();
+    let report = exec.run();
+    let bits = exec
+        .network()
+        .positions()
+        .iter()
+        .map(|p| (p.x.to_bits(), p.y.to_bits()))
+        .collect();
+    (report, bits)
 }
 
 fn run(seed: u64, n: usize, plan: FaultPlan) -> (AsyncRunReport, Vec<(u64, u64)>) {
@@ -109,6 +132,7 @@ fn fault_runs_reproduce_from_seed_and_plan() {
             at: 40,
             recover_at: Some(400),
         }],
+        ..FaultPlan::default()
     };
     let (report_a, bits_a) = run(2024, 18, plan.clone());
     let (report_b, bits_b) = run(2024, 18, plan.clone());
@@ -211,6 +235,139 @@ fn duplication_and_jitter_are_idempotent() {
     assert_eq!(report.termination, Termination::Converged);
 }
 
+/// The adversarial fault plans exercised by the thread-invariance sweep:
+/// every class of fault the engine models, alone and combined.
+fn adversarial_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "baseline_lossy",
+            FaultPlan {
+                loss: 0.1,
+                duplicate: 0.05,
+                jitter: 0.1,
+                delay: DelayModel::Exp { mean: 1.5 },
+                crashes: vec![CrashEvent {
+                    node: 3,
+                    at: 40,
+                    recover_at: Some(400),
+                }],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "corruption_validated",
+            FaultPlan {
+                loss: 0.05,
+                corruption: Some(Corruption {
+                    rate: 0.1,
+                    ..Corruption::default()
+                }),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "partition_heals",
+            FaultPlan {
+                partitions: vec![PartitionSchedule {
+                    kind: PartitionKind::Bipartition {
+                        axis: Axis::X,
+                        at: 0.5,
+                    },
+                    at: 10,
+                    heal_at: Some(160),
+                }],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "drifting_clocks",
+            FaultPlan {
+                loss: 0.05,
+                drift: Some(Drift { rate: 0.2, skew: 3 }),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "everything_at_once",
+            FaultPlan {
+                loss: 0.08,
+                duplicate: 0.03,
+                jitter: 0.05,
+                delay: DelayModel::Uniform { lo: 0, hi: 2 },
+                crashes: vec![CrashEvent {
+                    node: 1,
+                    at: 60,
+                    recover_at: Some(420),
+                }],
+                corruption: Some(Corruption {
+                    rate: 0.05,
+                    ..Corruption::default()
+                }),
+                partitions: vec![PartitionSchedule {
+                    kind: PartitionKind::Links {
+                        pairs: vec![(0, 2), (4, 5)],
+                    },
+                    at: 30,
+                    heal_at: Some(200),
+                }],
+                drift: Some(Drift { rate: 0.1, skew: 2 }),
+            },
+        ),
+    ]
+}
+
+/// The headline reproducibility guarantee: for every adversarial plan,
+/// the sharded queue at 4 worker threads replays the single-threaded
+/// run byte for byte — positions, protocol counters, round records, ρ.
+#[test]
+fn sharded_queue_is_thread_count_invariant() {
+    for (name, plan) in adversarial_plans() {
+        let (report_1, bits_1) = run_threads(2024, 18, plan.clone(), 1);
+        let (report_4, bits_4) = run_threads(2024, 18, plan, 4);
+        assert_eq!(bits_1, bits_4, "{name}: positions diverged across threads");
+        assert_eq!(report_1, report_4, "{name}: report diverged across threads");
+    }
+}
+
+/// Adaptive backoff keeps the same guarantee: `(seed, plan, threads)`
+/// determinism holds when retry timeouts come from per-node RTT
+/// estimates with jittered exponential backoff.
+#[test]
+fn adaptive_backoff_is_thread_count_invariant() {
+    let plan = FaultPlan {
+        loss: 0.1,
+        delay: DelayModel::Exp { mean: 1.5 },
+        ..FaultPlan::default()
+    };
+    let proto = AsyncConfig {
+        backoff: Backoff::ExponentialJittered {
+            cap: 64,
+            jitter: 0.3,
+        },
+        ..AsyncConfig::default()
+    };
+    let region = Region::square(1.0).unwrap();
+    let positions = sample_uniform(&region, 18, 2024);
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let mut cfg = config(2024);
+        cfg.threads = threads;
+        let mut exec =
+            AsyncExecutor::new(cfg, region.clone(), positions.clone(), plan.clone(), proto)
+                .unwrap();
+        let report = exec.run();
+        let bits: Vec<(u64, u64)> = exec
+            .network()
+            .positions()
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
+        assert!(report.protocol.rtt_samples > 0, "estimator never fed");
+        runs.push((report, bits));
+    }
+    assert_eq!(runs[0], runs[1]);
+}
+
 /// Crash events naming nonexistent nodes are rejected up front.
 #[test]
 fn invalid_crash_node_is_rejected() {
@@ -225,6 +382,7 @@ fn invalid_crash_node_is_rejected() {
         ..FaultPlan::default()
     };
     let err = AsyncExecutor::new(config(5), region, positions, plan, AsyncConfig::default())
-        .expect_err("out-of-range crash target must fail");
+        .err()
+        .expect("out-of-range crash target must fail");
     assert!(matches!(err, laacad::LaacadError::UnknownNode { .. }));
 }

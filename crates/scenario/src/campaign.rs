@@ -2,8 +2,8 @@
 //!
 //! A [`CampaignSpec`] pairs one [`ScenarioSpec`] with a [`ParamGrid`]
 //! sweeping seeds and (optionally) `n`, `k`, `α`, `γ` and — for
-//! `[faults]`-bearing scenarios — message `loss` and mean link
-//! `delay` — as the full
+//! `[faults]`-bearing scenarios — message `loss`, mean link
+//! `delay`, and Byzantine `corruption` rate — as the full
 //! cross product (the default), zipped position-by-position (`zip =
 //! true`, for sweeps whose axes all move together), or **mixed**: a
 //! [`ZipSpec::Axes`] group (`zip = ["n", "gamma"]`) fuses the named
@@ -52,6 +52,10 @@ pub struct ParamGrid {
     /// other value an exponential distribution with that mean (requires
     /// a `[faults]` section).
     pub delay: Vec<f64>,
+    /// Byzantine corruption-rate overrides (requires a `[faults]`
+    /// section): the probability that a transmitted HELLO is replaced by
+    /// an adversarially mutated payload.
+    pub corruption: Vec<f64>,
     /// How the parameter axes combine (seeds always cross): full cross
     /// product, all axes zipped, or a named zip group alongside crossed
     /// axes. See [`ZipSpec`].
@@ -69,11 +73,11 @@ pub enum ZipSpec {
     /// they must share one length (TOML `zip = true`).
     All,
     /// Zip exactly the named axes (`"n"`, `"k"`, `"alpha"`, `"gamma"`,
-    /// `"loss"`, `"delay"`) as one fused group of equal-length lists;
-    /// the remaining non-empty axes still cross against it (TOML `zip =
-    /// ["n", "gamma"]`). The group occupies its first member's position
-    /// in the canonical `n` × `k` × `alpha` × `gamma` × `loss` ×
-    /// `delay` expansion order.
+    /// `"loss"`, `"delay"`, `"corruption"`) as one fused group of
+    /// equal-length lists; the remaining non-empty axes still cross
+    /// against it (TOML `zip = ["n", "gamma"]`). The group occupies its
+    /// first member's position in the canonical `n` × `k` × `alpha` ×
+    /// `gamma` × `loss` × `delay` × `corruption` expansion order.
     Axes(Vec<String>),
 }
 
@@ -176,6 +180,7 @@ impl ParamGrid {
             gamma: list_f64("gamma")?,
             loss: list_f64("loss")?,
             delay: list_f64("delay")?,
+            corruption: list_f64("corruption")?,
             zip,
         })
     }
@@ -224,6 +229,12 @@ impl ParamGrid {
                 Value::Array(self.delay.iter().map(|&x| Value::Float(x)).collect()),
             );
         }
+        if !self.corruption.is_empty() {
+            t.insert(
+                "corruption",
+                Value::Array(self.corruption.iter().map(|&x| Value::Float(x)).collect()),
+            );
+        }
         match &self.zip {
             ZipSpec::None => {}
             ZipSpec::All => t.insert("zip", Value::Bool(true)),
@@ -236,9 +247,17 @@ impl ParamGrid {
     }
 }
 
-/// One resolved parameter tuple of the sweep:
-/// `(n, k, α, γ override, loss override, delay override)`.
-type ParamTuple = (usize, usize, f64, Option<f64>, Option<f64>, Option<f64>);
+/// One resolved parameter tuple of the sweep: `(n, k, α, γ override,
+/// loss override, delay override, corruption override)`.
+type ParamTuple = (
+    usize,
+    usize,
+    f64,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+);
 
 /// A scenario plus the grid to sweep it over.
 #[derive(Debug, Clone, PartialEq)]
@@ -282,6 +301,8 @@ pub struct CampaignCell {
     pub loss: Option<f64>,
     /// Mean link-delay override (in ticks), when the grid swept one.
     pub delay: Option<f64>,
+    /// Corruption-rate override, when the grid swept one.
+    pub corruption: Option<f64>,
 }
 
 /// Outcome of one cell: the resolved parameters plus the run result (a
@@ -317,6 +338,8 @@ pub struct CellInfo {
     pub loss: Option<f64>,
     /// Mean link-delay override (in ticks), when the grid swept one.
     pub delay: Option<f64>,
+    /// Corruption-rate override, when the grid swept one.
+    pub corruption: Option<f64>,
 }
 
 impl CampaignSpec {
@@ -359,17 +382,19 @@ impl CampaignSpec {
             ZipSpec::All => self.zipped_tuples(base_n)?,
             ZipSpec::Axes(group) => self.grouped_tuples(base_n, group)?,
         };
-        if (!self.grid.loss.is_empty() || !self.grid.delay.is_empty())
+        if (!self.grid.loss.is_empty()
+            || !self.grid.delay.is_empty()
+            || !self.grid.corruption.is_empty())
             && self.scenario.laacad.faults.is_none()
         {
             return Err(SpecError::Build(
-                "the grid sweeps `loss`/`delay` but the scenario has no [faults] \
-                 section to override"
+                "the grid sweeps `loss`/`delay`/`corruption` but the scenario has \
+                 no [faults] section to override"
                     .into(),
             ));
         }
         let mut cells = Vec::with_capacity(tuples.len() * seeds.len());
-        for (n, k, alpha, gamma, loss, delay) in tuples {
+        for (n, k, alpha, gamma, loss, delay, corruption) in tuples {
             for &seed in seeds {
                 let mut scenario = self.scenario.clone();
                 if n != base_n {
@@ -380,7 +405,7 @@ impl CampaignSpec {
                 if let Some(g) = gamma {
                     scenario.laacad.gamma = Some(g);
                 }
-                if loss.is_some() || delay.is_some() {
+                if loss.is_some() || delay.is_some() || corruption.is_some() {
                     let faults = scenario
                         .laacad
                         .faults
@@ -396,6 +421,9 @@ impl CampaignSpec {
                             DelaySpec::Exp { mean: d }
                         };
                     }
+                    if let Some(c) = corruption {
+                        faults.corruption_rate = c;
+                    }
                 }
                 cells.push(CampaignCell {
                     index: cells.len(),
@@ -407,6 +435,7 @@ impl CampaignSpec {
                     gamma,
                     loss,
                     delay,
+                    corruption,
                 });
             }
         }
@@ -446,6 +475,11 @@ impl CampaignSpec {
         } else {
             self.grid.delay.iter().map(|&x| Some(x)).collect()
         };
+        let corruptions: Vec<Option<f64>> = if self.grid.corruption.is_empty() {
+            vec![None]
+        } else {
+            self.grid.corruption.iter().map(|&x| Some(x)).collect()
+        };
         let mut tuples = Vec::new();
         for &n in &ns {
             for &k in &ks {
@@ -453,7 +487,9 @@ impl CampaignSpec {
                     for &gamma in &gammas {
                         for &loss in &losses {
                             for &delay in &delays {
-                                tuples.push((n, k, alpha, gamma, loss, delay));
+                                for &corruption in &corruptions {
+                                    tuples.push((n, k, alpha, gamma, loss, delay, corruption));
+                                }
                             }
                         }
                     }
@@ -476,6 +512,7 @@ impl CampaignSpec {
             ("gamma", self.grid.gamma.len()),
             ("loss", self.grid.loss.len()),
             ("delay", self.grid.delay.len()),
+            ("corruption", self.grid.corruption.len()),
         ]
         .into_iter()
         .filter(|&(_, len)| len > 0)
@@ -486,6 +523,7 @@ impl CampaignSpec {
                 base_n,
                 self.scenario.laacad.k,
                 self.scenario.laacad.alpha,
+                None,
                 None,
                 None,
                 None,
@@ -514,6 +552,7 @@ impl CampaignSpec {
                     self.grid.gamma.get(i).copied(),
                     self.grid.loss.get(i).copied(),
                     self.grid.delay.get(i).copied(),
+                    self.grid.corruption.get(i).copied(),
                 )
             })
             .collect())
@@ -533,7 +572,7 @@ impl CampaignSpec {
         base_n: usize,
         group: &[String],
     ) -> Result<Vec<ParamTuple>, SpecError> {
-        const AXES: [&str; 6] = ["n", "k", "alpha", "gamma", "loss", "delay"];
+        const AXES: [&str; 7] = ["n", "k", "alpha", "gamma", "loss", "delay", "corruption"];
         if group.is_empty() {
             // An empty group zips nothing: plain cross product.
             return Ok(self.crossed_tuples(base_n));
@@ -541,7 +580,8 @@ impl CampaignSpec {
         for (i, axis) in group.iter().enumerate() {
             if !AXES.contains(&axis.as_str()) {
                 return Err(SpecError::Build(format!(
-                    "unknown zip axis `{axis}` (expected one of n, k, alpha, gamma, loss, delay)"
+                    "unknown zip axis `{axis}` (expected one of n, k, alpha, gamma, \
+                     loss, delay, corruption)"
                 )));
             }
             if group[..i].contains(axis) {
@@ -554,7 +594,8 @@ impl CampaignSpec {
             "alpha" => self.grid.alpha.len(),
             "gamma" => self.grid.gamma.len(),
             "loss" => self.grid.loss.len(),
-            _ => self.grid.delay.len(),
+            "delay" => self.grid.delay.len(),
+            _ => self.grid.corruption.len(),
         };
         let group_len = axis_len(&group[0]);
         for axis in group {
@@ -602,6 +643,11 @@ impl CampaignSpec {
         } else {
             self.grid.delay.iter().map(|&x| Some(x)).collect()
         };
+        let corruptions: Vec<Option<f64>> = if self.grid.corruption.is_empty() {
+            vec![None]
+        } else {
+            self.grid.corruption.iter().map(|&x| Some(x)).collect()
+        };
         #[derive(Clone, Copy)]
         enum Slot {
             Group,
@@ -611,6 +657,7 @@ impl CampaignSpec {
             Gamma,
             Loss,
             Delay,
+            Corruption,
         }
         let in_group = |name: &str| group.iter().any(|a| a == name);
         let mut slots: Vec<(Slot, usize)> = Vec::new();
@@ -626,7 +673,8 @@ impl CampaignSpec {
                     "alpha" => (Slot::Alpha, alphas.len()),
                     "gamma" => (Slot::Gamma, gammas.len()),
                     "loss" => (Slot::Loss, losses.len()),
-                    _ => (Slot::Delay, delays.len()),
+                    "delay" => (Slot::Delay, delays.len()),
+                    _ => (Slot::Corruption, corruptions.len()),
                 });
             }
         }
@@ -640,8 +688,15 @@ impl CampaignSpec {
                 picks[s] = index % len;
                 index /= len;
             }
-            let (mut n, mut k, mut alpha, mut gamma, mut loss, mut delay) =
-                (ns[0], ks[0], alphas[0], gammas[0], losses[0], delays[0]);
+            let (mut n, mut k, mut alpha, mut gamma, mut loss, mut delay, mut corruption) = (
+                ns[0],
+                ks[0],
+                alphas[0],
+                gammas[0],
+                losses[0],
+                delays[0],
+                corruptions[0],
+            );
             for (s, &(slot, _)) in slots.iter().enumerate() {
                 let p = picks[s];
                 match slot {
@@ -664,6 +719,9 @@ impl CampaignSpec {
                         if in_group("delay") {
                             delay = delays[p];
                         }
+                        if in_group("corruption") {
+                            corruption = corruptions[p];
+                        }
                     }
                     Slot::N => n = ns[p],
                     Slot::K => k = ks[p],
@@ -671,9 +729,10 @@ impl CampaignSpec {
                     Slot::Gamma => gamma = gammas[p],
                     Slot::Loss => loss = losses[p],
                     Slot::Delay => delay = delays[p],
+                    Slot::Corruption => corruption = corruptions[p],
                 }
             }
-            tuples.push((n, k, alpha, gamma, loss, delay));
+            tuples.push((n, k, alpha, gamma, loss, delay, corruption));
         }
         Ok(tuples)
     }
@@ -772,6 +831,7 @@ fn cell_info(cell: &CampaignCell) -> CellInfo {
         gamma: cell.gamma,
         loss: cell.loss,
         delay: cell.delay,
+        corruption: cell.corruption,
     }
 }
 
@@ -830,7 +890,21 @@ fn run_cell_checkpointed(
     name: &str,
 ) -> (CellResult, Option<SessionTelemetry>) {
     if every == 0 || cell.scenario.laacad.faults.is_some() {
-        return run_cell_recorded(cell, record);
+        // `[faults]` cells run on the asynchronous executor, which has
+        // no snapshot support: a requested checkpoint cadence is
+        // silently impossible, so say so in the outcome instead of
+        // letting the operator believe the cell is resumable.
+        let bypassed = every > 0;
+        let (mut result, telemetry) = run_cell_recorded(cell, record);
+        if bypassed {
+            if let Ok(outcome) = result.outcome.as_mut() {
+                outcome.warnings.push(format!(
+                    "checkpoint_every = {every} ignored: asynchronous `[faults]` \
+                     cells do not support checkpointing and always run start-to-finish"
+                ));
+            }
+        }
+        return (result, telemetry);
     }
     let info = cell_info(&cell);
     let path = dir.join(format!("{name}.cell{}.checkpoint", cell.index));
@@ -1220,6 +1294,83 @@ mod tests {
         let text = campaign.to_toml();
         let back = CampaignSpec::from_toml(&text).unwrap();
         assert_eq!(campaign, back, "TOML:\n{text}");
+    }
+
+    #[test]
+    fn corruption_axis_crosses_and_overrides() {
+        let mut spec = ScenarioSpec::uniform("byz", 10, 1);
+        spec.laacad.faults = Some(crate::spec::FaultSpec::default());
+        let mut campaign = CampaignSpec::over_seeds(spec, [1]);
+        campaign.grid.loss = vec![0.0, 0.1];
+        campaign.grid.corruption = vec![0.0, 0.2];
+        let cells = campaign.expand().unwrap();
+        assert_eq!(cells.len(), 4, "2 loss × 2 corruption");
+        let params: Vec<(Option<f64>, Option<f64>)> =
+            cells.iter().map(|c| (c.loss, c.corruption)).collect();
+        assert_eq!(
+            params,
+            vec![
+                (Some(0.0), Some(0.0)),
+                (Some(0.0), Some(0.2)),
+                (Some(0.1), Some(0.0)),
+                (Some(0.1), Some(0.2)),
+            ]
+        );
+        for c in &cells {
+            let faults = c.scenario.laacad.faults.as_ref().unwrap();
+            assert_eq!(Some(faults.corruption_rate), c.corruption);
+            assert_eq!(Some(faults.loss), c.loss);
+        }
+    }
+
+    #[test]
+    fn corruption_axis_requires_faults_section() {
+        let mut campaign = CampaignSpec::over_seeds(ScenarioSpec::uniform("no-f", 10, 1), [1]);
+        campaign.grid.corruption = vec![0.1];
+        let err = campaign.expand().unwrap_err();
+        assert!(err.to_string().contains("[faults]"), "{err}");
+    }
+
+    #[test]
+    fn corruption_axis_toml_round_trips() {
+        let mut spec = ScenarioSpec::uniform("rt-byz", 10, 1);
+        spec.laacad.faults = Some(crate::spec::FaultSpec::default());
+        let mut campaign = CampaignSpec::over_seeds(spec, [1, 2]);
+        campaign.grid.corruption = vec![0.0, 0.1, 0.3];
+        let text = campaign.to_toml();
+        let back = CampaignSpec::from_toml(&text).unwrap();
+        assert_eq!(campaign, back, "TOML:\n{text}");
+    }
+
+    #[test]
+    fn checkpoint_bypass_for_faults_cells_is_reported() {
+        let mut spec = ScenarioSpec::uniform("ckpt-async", 10, 1);
+        spec.laacad.max_rounds = 60;
+        spec.laacad.faults = Some(crate::spec::FaultSpec::default());
+        let campaign = CampaignSpec::over_seeds(spec, [3]);
+        let cells = campaign.expand().unwrap();
+        let dir = std::env::temp_dir();
+
+        // A requested cadence that cannot apply is surfaced as a warning…
+        let (result, _) = run_cell_checkpointed(cells[0].clone(), false, 5, &dir, "ckpt-async");
+        let outcome = result.outcome.expect("cell runs");
+        assert!(
+            outcome
+                .warnings
+                .iter()
+                .any(|w| w.contains("checkpoint_every = 5 ignored")),
+            "missing bypass warning: {:?}",
+            outcome.warnings
+        );
+
+        // …while an unrequested one stays silent.
+        let (result, _) = run_cell_checkpointed(cells[0].clone(), false, 0, &dir, "ckpt-async");
+        let outcome = result.outcome.expect("cell runs");
+        assert!(
+            !outcome.warnings.iter().any(|w| w.contains("checkpoint")),
+            "spurious warning: {:?}",
+            outcome.warnings
+        );
     }
 
     #[test]

@@ -128,6 +128,21 @@ pub struct FaultOutcome {
     /// `baseline_coverage − covered_fraction` of the faulted run,
     /// clamped at 0 — how much coverage the faults cost.
     pub coverage_dip: f64,
+    /// Validation rejections: senders quarantined for implausible
+    /// hello payloads (mirror of `protocol.quarantined`, surfaced for
+    /// the CSV/JSONL grids).
+    pub quarantined: u64,
+    /// Corrupted payloads absorbed as beliefs with validation off —
+    /// non-zero means the deployment may have diverged from ground
+    /// truth (also raised as an outcome warning).
+    pub corrupted_accepted: u64,
+    /// Minimum k-covered fraction probed while a partition was open
+    /// (`None` when no partition was probed).
+    pub partition_coverage_floor: Option<f64>,
+    /// Ticks from the last partition heal to the last applied movement
+    /// — how long the deployment kept re-equilibrating after the heal
+    /// (`None` when no partition healed).
+    pub heal_recovery_ticks: Option<u64>,
     /// Coordination-plane message accounting.
     pub protocol: ProtocolStats,
 }
@@ -286,6 +301,17 @@ impl ScenarioOutcome {
             ft.insert("message_overhead", Value::Float(f.message_overhead));
             ft.insert("baseline_coverage", Value::Float(f.baseline_coverage));
             ft.insert("coverage_dip", Value::Float(f.coverage_dip));
+            ft.insert("quarantined", Value::Int(f.quarantined as i64));
+            ft.insert(
+                "corrupted_accepted",
+                Value::Int(f.corrupted_accepted as i64),
+            );
+            if let Some(floor) = f.partition_coverage_floor {
+                ft.insert("partition_coverage_floor", Value::Float(floor));
+            }
+            if let Some(heal) = f.heal_recovery_ticks {
+                ft.insert("heal_recovery_ticks", Value::Int(heal as i64));
+            }
             let mut p = Value::table();
             p.insert("hellos", Value::Int(f.protocol.hellos as i64));
             p.insert("acks", Value::Int(f.protocol.acks as i64));
@@ -305,6 +331,21 @@ impl ScenarioOutcome {
             p.insert("computes", Value::Int(f.protocol.computes as i64));
             p.insert("crashes", Value::Int(f.protocol.crashes as i64));
             p.insert("recoveries", Value::Int(f.protocol.recoveries as i64));
+            p.insert("corrupted", Value::Int(f.protocol.corrupted as i64));
+            p.insert("quarantined", Value::Int(f.protocol.quarantined as i64));
+            p.insert(
+                "quarantine_drops",
+                Value::Int(f.protocol.quarantine_drops as i64),
+            );
+            p.insert(
+                "corrupted_accepted",
+                Value::Int(f.protocol.corrupted_accepted as i64),
+            );
+            p.insert(
+                "partition_dropped",
+                Value::Int(f.protocol.partition_dropped as i64),
+            );
+            p.insert("rtt_samples", Value::Int(f.protocol.rtt_samples as i64));
             ft.insert("protocol", p);
             t.insert("faults", ft);
         }
@@ -586,8 +627,29 @@ fn run_async_impl(
     if let Some(r) = recorder {
         exec.set_recorder(r);
     }
+    // Coverage probes over the partition windows: the executor calls
+    // back with the ground-truth network at the scheduled ticks, and the
+    // sampled series becomes the partition coverage floor + post-heal
+    // recovery evidence in the outcome. Probes observe only — the run is
+    // bit-identical with or without them.
+    let probe_series = std::sync::Arc::new(std::sync::Mutex::new(Vec::<(u64, f64)>::new()));
+    if !fault_spec.partition.is_empty() && fault_spec.probe_every > 0 {
+        let sink = probe_series.clone();
+        let probe_region = region.clone();
+        let samples = spec.evaluation.coverage_samples;
+        exec.set_probe(
+            fault_spec.probe_every,
+            Box::new(move |tick, net| {
+                let cov = evaluate_coverage(net, &probe_region, k, samples);
+                sink.lock().unwrap().push((tick, cov.covered_fraction));
+            }),
+        );
+    }
     let report = exec.run();
     let recorder = exec.take_recorder();
+    // The executor still holds the probe closure (and its Arc clone), so
+    // snapshot the series rather than unwrapping it.
+    let probe_series: Vec<(u64, f64)> = probe_series.lock().unwrap().clone();
 
     let coverage = evaluate_coverage(exec.network(), &region, k, spec.evaluation.coverage_samples);
     let model = EnergyModel::new(std::f64::consts::PI, spec.evaluation.energy_exponent);
@@ -628,6 +690,33 @@ fn run_async_impl(
             report.ticks
         ));
     }
+    if report.protocol.corrupted_accepted > 0 {
+        warnings.push(format!(
+            "{} corrupted payloads were accepted as beliefs (corruption_validate \
+             = false): the reported deployment may have diverged from the \
+             ground-truth fixed point",
+            report.protocol.corrupted_accepted
+        ));
+    }
+    // Partition coverage floor: the minimum probed coverage while any
+    // partition was open (probes after the heal belong to the recovery
+    // tail, not the floor).
+    let partition_open_at = |tick: u64| {
+        fault_spec
+            .partition
+            .iter()
+            .any(|p| tick >= p.at && p.heal_at.is_none_or(|h| tick < h))
+    };
+    let partition_coverage_floor = probe_series
+        .iter()
+        .filter(|&&(tick, _)| partition_open_at(tick))
+        .map(|&(_, c)| c)
+        .fold(None, |acc: Option<f64>, c| {
+            Some(acc.map_or(c, |m| m.min(c)))
+        });
+    let heal_recovery_ticks = report
+        .last_heal_tick
+        .map(|heal| report.last_move_tick.saturating_sub(heal));
     let baseline_messages =
         (baseline_summary.messages.unicast + baseline_summary.messages.broadcast) as f64;
     let async_messages =
@@ -644,6 +733,10 @@ fn run_async_impl(
         },
         baseline_coverage: baseline_coverage.covered_fraction,
         coverage_dip: (baseline_coverage.covered_fraction - coverage.covered_fraction).max(0.0),
+        quarantined: report.protocol.quarantined,
+        corrupted_accepted: report.protocol.corrupted_accepted,
+        partition_coverage_floor,
+        heal_recovery_ticks,
         protocol: report.protocol,
     };
     let outcome = ScenarioOutcome {

@@ -89,7 +89,8 @@ pub use engine::{
 pub use events::{AppliedEvent, TimelineHook};
 pub use results::{to_csv, to_jsonl, ResultStore, StreamingResultFiles};
 pub use spec::{
-    AlgorithmSpec, CrashSpec, DelaySpec, EvaluationSpec, EventAction, EventSpec, FaultSpec,
-    PlacementSpec, RegionSpec, ScenarioSpec, SpecError,
+    AlgorithmSpec, BackoffSpec, CrashSpec, DelaySpec, EvaluationSpec, EventAction, EventSpec,
+    FaultSpec, PartitionKindSpec, PartitionSpec, PlacementSpec, RegionSpec, ScenarioSpec,
+    SpecError,
 };
 pub use value::Value;

@@ -11,11 +11,11 @@ use crate::value::Value;
 use std::path::{Path, PathBuf};
 
 /// The CSV header row (including the trailing newline).
-pub const CSV_HEADER: &str = "index,scenario,seed,n,k,alpha,gamma,loss,delay,\
+pub const CSV_HEADER: &str = "index,scenario,seed,n,k,alpha,gamma,loss,delay,corruption,\
      final_n,rounds,converged,\
      max_sensing_radius,min_sensing_radius,covered_fraction,min_degree,\
      balance_ratio,total_distance_moved,events_applied,\
-     time_to_recover,coverage_dip,error\n";
+     time_to_recover,coverage_dip,quarantined,error\n";
 
 /// One cell's JSONL line (including the trailing newline): the cell
 /// parameters plus either the full outcome or the error that prevented
@@ -38,6 +38,9 @@ pub fn jsonl_line(r: &CellResult) -> String {
     }
     if let Some(d) = r.cell.delay {
         line.insert("delay", Value::Float(d));
+    }
+    if let Some(c) = r.cell.corruption {
+        line.insert("corruption", Value::Float(c));
     }
     match &r.outcome {
         Ok(outcome) => line.insert("outcome", outcome.to_value()),
@@ -76,8 +79,13 @@ pub fn csv_row(r: &CellResult) -> String {
                 .and_then(|rec| rec.coverage_dip)
                 .map(|d| d.to_string())
                 .unwrap_or_default();
+            let quarantined = o
+                .faults
+                .as_ref()
+                .map(|f| f.quarantined.to_string())
+                .unwrap_or_default();
             format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\n",
                 c.index,
                 name,
                 c.seed,
@@ -87,6 +95,7 @@ pub fn csv_row(r: &CellResult) -> String {
                 o.gamma,
                 c.loss.map(|x| x.to_string()).unwrap_or_default(),
                 c.delay.map(|x| x.to_string()).unwrap_or_default(),
+                c.corruption.map(|x| x.to_string()).unwrap_or_default(),
                 o.final_n,
                 o.summary.rounds,
                 o.summary.converged,
@@ -99,12 +108,13 @@ pub fn csv_row(r: &CellResult) -> String {
                 o.events.len(),
                 ttr,
                 dip,
+                quarantined,
             )
         }
         Err(e) => {
             let msg = e.to_string().replace([',', '\n'], ";");
             format!(
-                "{},{},{},{},{},{},,,,,,,,,,,,,,,,{}\n",
+                "{},{},{},{},{},{},,,,,,,,,,,,,,,,,,{}\n",
                 c.index, name, c.seed, c.n, c.k, c.alpha, msg
             )
         }

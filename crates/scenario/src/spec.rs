@@ -10,7 +10,10 @@
 
 use crate::value::{decode, encode, DecodeError, Value};
 use laacad::{CoordinateMode, ExecutionMode, LaacadConfig, RingCapPolicy};
-use laacad_dist::{AsyncConfig, CrashEvent, DelayModel, FaultPlan};
+use laacad_dist::{
+    AsyncConfig, Axis, Backoff, Corruption, CrashEvent, DelayModel, Drift, FaultPlan,
+    PartitionKind, PartitionSchedule,
+};
 use laacad_geom::{Point, Polygon};
 use laacad_region::sampling::{sample_clustered, sample_uniform};
 use laacad_region::{gallery, Region};
@@ -693,6 +696,52 @@ pub struct CrashSpec {
     pub recover_at: Option<u64>,
 }
 
+/// One timed link partition (a `[[faults.partition]]` table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// What the partition severs.
+    pub kind: PartitionKindSpec,
+    /// Tick at which the partition opens.
+    pub at: u64,
+    /// Tick at which it heals (`None` = permanent).
+    pub heal_at: Option<u64>,
+}
+
+/// Declarative partition shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionKindSpec {
+    /// Geometric bipartition (`kind = "bipartition"`, `axis = "x"|"y"`,
+    /// `coord = c`): sides frozen from the positions at activation.
+    Bipartition {
+        /// Cut axis (`"x"` or `"y"`).
+        axis: char,
+        /// Cut coordinate on that axis.
+        coord: f64,
+    },
+    /// Explicit link mask (`kind = "links"`, `pairs = [[a, b], ...]`).
+    Links {
+        /// Severed undirected node-index pairs.
+        pairs: Vec<(usize, usize)>,
+    },
+}
+
+/// Declarative retransmission-backoff policy (the `backoff` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BackoffSpec {
+    /// Retry every `ack_timeout` ticks (`backoff = "fixed"`, the
+    /// default).
+    #[default]
+    Fixed,
+    /// Adaptive RTT-based exponential backoff (`backoff = "adaptive"`,
+    /// with `backoff_cap` / `backoff_jitter`).
+    Adaptive {
+        /// Upper bound on a single retry timeout, in ticks.
+        cap: u64,
+        /// Jitter fraction in `[0, 1]`.
+        jitter: f64,
+    },
+}
+
 /// Declarative fault-injection knobs (the top-level `[faults]` TOML
 /// section). Presence of the section switches the scenario onto the
 /// asynchronous message-driven executor; every knob defaults to the
@@ -718,11 +767,36 @@ pub struct FaultSpec {
     pub max_ticks: u64,
     /// Scheduled crash/recover events.
     pub crash: Vec<CrashSpec>,
+    /// Byzantine payload-corruption probability per transmitted hello
+    /// (`corruption_rate`, 0 = all payloads honest).
+    pub corruption_rate: f64,
+    /// Receiver-side payload validation + quarantine
+    /// (`corruption_validate`, default true). With validation off,
+    /// absorbed lies are counted and surfaced as an outcome warning.
+    pub corruption_validate: bool,
+    /// Ticks a detected liar stays quarantined (`quarantine_ticks`).
+    pub quarantine_ticks: u64,
+    /// Plausibility slack for claimed positions
+    /// (`corruption_tolerance`).
+    pub corruption_tolerance: f64,
+    /// Timed link partitions (`[[faults.partition]]`).
+    pub partition: Vec<PartitionSpec>,
+    /// Retransmission-backoff policy.
+    pub backoff: BackoffSpec,
+    /// Per-node clock-rate deviation bound (`drift_rate`, 0 = ideal).
+    pub drift_rate: f64,
+    /// Per-node initial clock skew bound in ticks (`drift_skew`).
+    pub drift_skew: u64,
+    /// Coverage-probe cadence in ticks over partition windows
+    /// (`probe_every`); drives the partition coverage-floor and
+    /// recovery metrics in the outcome.
+    pub probe_every: u64,
 }
 
 impl Default for FaultSpec {
     fn default() -> Self {
         let proto = AsyncConfig::default();
+        let corruption = Corruption::default();
         FaultSpec {
             loss: 0.0,
             duplicate: 0.0,
@@ -732,6 +806,15 @@ impl Default for FaultSpec {
             max_retries: proto.max_retries,
             max_ticks: proto.max_ticks,
             crash: Vec::new(),
+            corruption_rate: 0.0,
+            corruption_validate: corruption.validate,
+            quarantine_ticks: corruption.quarantine_ticks,
+            corruption_tolerance: corruption.tolerance,
+            partition: Vec::new(),
+            backoff: BackoffSpec::Fixed,
+            drift_rate: 0.0,
+            drift_skew: 0,
+            probe_every: 8,
         }
     }
 }
@@ -740,6 +823,24 @@ impl FaultSpec {
     /// Builds the concrete executor inputs: the [`FaultPlan`] and the
     /// protocol/budget knobs.
     pub fn to_plan(&self) -> (FaultPlan, AsyncConfig) {
+        let corruption = if self.corruption_rate > 0.0 || !self.corruption_validate {
+            Some(Corruption {
+                rate: self.corruption_rate,
+                validate: self.corruption_validate,
+                quarantine_ticks: self.quarantine_ticks,
+                tolerance: self.corruption_tolerance,
+            })
+        } else {
+            None
+        };
+        let drift = if self.drift_rate > 0.0 || self.drift_skew > 0 {
+            Some(Drift {
+                rate: self.drift_rate,
+                skew: self.drift_skew,
+            })
+        } else {
+            None
+        };
         let plan = FaultPlan {
             loss: self.loss,
             duplicate: self.duplicate,
@@ -754,11 +855,38 @@ impl FaultSpec {
                     recover_at: c.recover_at,
                 })
                 .collect(),
+            corruption,
+            partitions: self
+                .partition
+                .iter()
+                .map(|p| PartitionSchedule {
+                    kind: match &p.kind {
+                        PartitionKindSpec::Bipartition { axis, coord } => {
+                            PartitionKind::Bipartition {
+                                axis: if *axis == 'y' { Axis::Y } else { Axis::X },
+                                at: *coord,
+                            }
+                        }
+                        PartitionKindSpec::Links { pairs } => PartitionKind::Links {
+                            pairs: pairs.clone(),
+                        },
+                    },
+                    at: p.at,
+                    heal_at: p.heal_at,
+                })
+                .collect(),
+            drift,
         };
         let proto = AsyncConfig {
             ack_timeout: self.ack_timeout,
             max_retries: self.max_retries,
             max_ticks: self.max_ticks,
+            backoff: match self.backoff {
+                BackoffSpec::Fixed => Backoff::Fixed,
+                BackoffSpec::Adaptive { cap, jitter } => {
+                    Backoff::ExponentialJittered { cap, jitter }
+                }
+            },
             ..AsyncConfig::default()
         };
         (plan, proto)
@@ -808,6 +936,96 @@ impl FaultSpec {
                     .collect::<Result<Vec<_>, SpecError>>()?
             }
         };
+        let partition = match v.get("partition") {
+            None => Vec::new(),
+            Some(ps) => {
+                let p = format!("{path}.partition");
+                ps.as_array()
+                    .ok_or_else(|| DecodeError::new(&p, "expected array of partition tables"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, pv)| {
+                        let pp = format!("{p}[{i}]");
+                        let kind = match decode::req_str(pv, "kind", &pp)?.as_str() {
+                            "bipartition" => {
+                                let axis = match decode::opt_str(pv, "axis", &pp)?.as_deref() {
+                                    None | Some("x") => 'x',
+                                    Some("y") => 'y',
+                                    Some(other) => {
+                                        return Err(DecodeError::new(
+                                            format!("{pp}.axis"),
+                                            format!("unknown axis `{other}` (x|y)"),
+                                        )
+                                        .into())
+                                    }
+                                };
+                                PartitionKindSpec::Bipartition {
+                                    axis,
+                                    coord: decode::req_f64(pv, "coord", &pp)?,
+                                }
+                            }
+                            "links" => {
+                                let lp = format!("{pp}.pairs");
+                                let pairs = pv
+                                    .get("pairs")
+                                    .ok_or_else(|| DecodeError::new(&lp, "missing required field"))?
+                                    .as_array()
+                                    .ok_or_else(|| {
+                                        DecodeError::new(&lp, "expected array of [a, b] pairs")
+                                    })?
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(j, pair)| {
+                                        let ep = format!("{lp}[{j}]");
+                                        let arr = pair.as_array().ok_or_else(|| {
+                                            DecodeError::new(&ep, "expected [a, b] pair")
+                                        })?;
+                                        if arr.len() != 2 {
+                                            return Err(DecodeError::new(
+                                                &ep,
+                                                "expected exactly two node indices",
+                                            )
+                                            .into());
+                                        }
+                                        Ok((
+                                            decode::to_usize(&arr[0], &format!("{ep}[0]"))?,
+                                            decode::to_usize(&arr[1], &format!("{ep}[1]"))?,
+                                        ))
+                                    })
+                                    .collect::<Result<Vec<_>, SpecError>>()?;
+                                PartitionKindSpec::Links { pairs }
+                            }
+                            other => {
+                                return Err(DecodeError::new(
+                                    format!("{pp}.kind"),
+                                    format!("unknown partition kind `{other}` (bipartition|links)"),
+                                )
+                                .into())
+                            }
+                        };
+                        Ok(PartitionSpec {
+                            kind,
+                            at: decode::req_usize(pv, "at", &pp)? as u64,
+                            heal_at: decode::opt_usize(pv, "heal_at", &pp)?.map(|t| t as u64),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?
+            }
+        };
+        let backoff = match decode::opt_str(v, "backoff", path)?.as_deref() {
+            None | Some("fixed") => BackoffSpec::Fixed,
+            Some("adaptive") => BackoffSpec::Adaptive {
+                cap: decode::opt_usize(v, "backoff_cap", path)?.unwrap_or(64) as u64,
+                jitter: decode::opt_f64(v, "backoff_jitter", path)?.unwrap_or(0.0),
+            },
+            Some(other) => {
+                return Err(DecodeError::new(
+                    format!("{path}.backoff"),
+                    format!("unknown backoff policy `{other}` (fixed|adaptive)"),
+                )
+                .into())
+            }
+        };
         let spec = FaultSpec {
             loss: decode::opt_f64(v, "loss", path)?.unwrap_or(d.loss),
             duplicate: decode::opt_f64(v, "duplicate", path)?.unwrap_or(d.duplicate),
@@ -819,17 +1037,39 @@ impl FaultSpec {
                 .map_or(d.max_retries, |r| r as u32),
             max_ticks: decode::opt_usize(v, "max_ticks", path)?.map_or(d.max_ticks, |t| t as u64),
             crash,
+            corruption_rate: decode::opt_f64(v, "corruption_rate", path)?
+                .unwrap_or(d.corruption_rate),
+            corruption_validate: decode::opt_bool(v, "corruption_validate", path)?
+                .unwrap_or(d.corruption_validate),
+            quarantine_ticks: decode::opt_usize(v, "quarantine_ticks", path)?
+                .map_or(d.quarantine_ticks, |t| t as u64),
+            corruption_tolerance: decode::opt_f64(v, "corruption_tolerance", path)?
+                .unwrap_or(d.corruption_tolerance),
+            partition,
+            backoff,
+            drift_rate: decode::opt_f64(v, "drift_rate", path)?.unwrap_or(d.drift_rate),
+            drift_skew: decode::opt_usize(v, "drift_skew", path)?
+                .map_or(d.drift_skew, |t| t as u64),
+            probe_every: decode::opt_usize(v, "probe_every", path)?
+                .map_or(d.probe_every, |t| t as u64),
         };
         for (name, p) in [
             ("loss", spec.loss),
             ("duplicate", spec.duplicate),
             ("jitter", spec.jitter),
+            ("corruption_rate", spec.corruption_rate),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(SpecError::Build(format!(
                     "faults.{name} must be a probability in [0, 1], got {p}"
                 )));
             }
+        }
+        if spec.drift_rate < 0.0 || spec.drift_rate >= 1.0 || spec.drift_rate.is_nan() {
+            return Err(SpecError::Build(format!(
+                "faults.drift_rate must be in [0, 1), got {}",
+                spec.drift_rate
+            )));
         }
         Ok(spec)
     }
@@ -885,6 +1125,82 @@ impl FaultSpec {
                                 ct.insert("recover_at", encode::int(r as usize));
                             }
                             ct
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if self.corruption_rate != d.corruption_rate {
+            t.insert("corruption_rate", Value::Float(self.corruption_rate));
+        }
+        if self.corruption_validate != d.corruption_validate {
+            t.insert("corruption_validate", Value::Bool(self.corruption_validate));
+        }
+        if self.quarantine_ticks != d.quarantine_ticks {
+            t.insert(
+                "quarantine_ticks",
+                encode::int(self.quarantine_ticks as usize),
+            );
+        }
+        if self.corruption_tolerance != d.corruption_tolerance {
+            t.insert(
+                "corruption_tolerance",
+                Value::Float(self.corruption_tolerance),
+            );
+        }
+        if let BackoffSpec::Adaptive { cap, jitter } = self.backoff {
+            t.insert("backoff", Value::Str("adaptive".into()));
+            t.insert("backoff_cap", encode::int(cap as usize));
+            if jitter != 0.0 {
+                t.insert("backoff_jitter", Value::Float(jitter));
+            }
+        }
+        if self.drift_rate != d.drift_rate {
+            t.insert("drift_rate", Value::Float(self.drift_rate));
+        }
+        if self.drift_skew != d.drift_skew {
+            t.insert("drift_skew", encode::int(self.drift_skew as usize));
+        }
+        if self.probe_every != d.probe_every {
+            t.insert("probe_every", encode::int(self.probe_every as usize));
+        }
+        if !self.partition.is_empty() {
+            t.insert(
+                "partition",
+                Value::Array(
+                    self.partition
+                        .iter()
+                        .map(|p| {
+                            let mut pt = Value::table();
+                            match &p.kind {
+                                PartitionKindSpec::Bipartition { axis, coord } => {
+                                    pt.insert("kind", Value::Str("bipartition".into()));
+                                    pt.insert("axis", Value::Str(axis.to_string()));
+                                    pt.insert("coord", Value::Float(*coord));
+                                }
+                                PartitionKindSpec::Links { pairs } => {
+                                    pt.insert("kind", Value::Str("links".into()));
+                                    pt.insert(
+                                        "pairs",
+                                        Value::Array(
+                                            pairs
+                                                .iter()
+                                                .map(|&(a, b)| {
+                                                    Value::Array(vec![
+                                                        encode::int(a),
+                                                        encode::int(b),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    );
+                                }
+                            }
+                            pt.insert("at", encode::int(p.at as usize));
+                            if let Some(h) = p.heal_at {
+                                pt.insert("heal_at", encode::int(h as usize));
+                            }
+                            pt
                         })
                         .collect(),
                 ),
@@ -1315,6 +1631,86 @@ mod tests {
         let spec = sample_spec();
         let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn adversarial_fault_knobs_round_trip() {
+        let mut spec = sample_spec();
+        spec.laacad.faults = Some(FaultSpec {
+            loss: 0.1,
+            corruption_rate: 0.15,
+            corruption_validate: false,
+            quarantine_ticks: 48,
+            corruption_tolerance: 0.3,
+            partition: vec![
+                PartitionSpec {
+                    kind: PartitionKindSpec::Bipartition {
+                        axis: 'y',
+                        coord: 0.4,
+                    },
+                    at: 10,
+                    heal_at: Some(90),
+                },
+                PartitionSpec {
+                    kind: PartitionKindSpec::Links {
+                        pairs: vec![(0, 3), (1, 7)],
+                    },
+                    at: 20,
+                    heal_at: None,
+                },
+            ],
+            backoff: BackoffSpec::Adaptive {
+                cap: 32,
+                jitter: 0.25,
+            },
+            drift_rate: 0.05,
+            drift_skew: 3,
+            probe_every: 4,
+            ..FaultSpec::default()
+        });
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(spec, back, "TOML:\n{text}");
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+
+        // The mapped plan carries every adversarial knob.
+        let (plan, proto) = spec.laacad.faults.as_ref().unwrap().to_plan();
+        let corruption = plan.corruption.expect("corruption enabled");
+        assert_eq!(corruption.rate, 0.15);
+        assert!(!corruption.validate);
+        assert_eq!(plan.partitions.len(), 2);
+        assert_eq!(
+            plan.drift,
+            Some(laacad_dist::Drift {
+                rate: 0.05,
+                skew: 3
+            })
+        );
+        assert_eq!(
+            proto.backoff,
+            laacad_dist::Backoff::ExponentialJittered {
+                cap: 32,
+                jitter: 0.25
+            }
+        );
+    }
+
+    #[test]
+    fn adversarial_fault_knobs_validate() {
+        let base = "name = \"x\"\n[region]\nkind = \"square\"\nside = 1.0\n\
+                    [placement]\nkind = \"uniform\"\nn = 8\n[laacad]\nk = 1\n";
+        let bad_rate = format!("{base}[faults]\ncorruption_rate = 1.5\n");
+        assert!(ScenarioSpec::from_toml(&bad_rate).is_err());
+        let bad_drift = format!("{base}[faults]\ndrift_rate = 1.0\n");
+        assert!(ScenarioSpec::from_toml(&bad_drift).is_err());
+        let bad_backoff = format!("{base}[faults]\nbackoff = \"quadratic\"\n");
+        assert!(ScenarioSpec::from_toml(&bad_backoff).is_err());
+        let bad_axis = format!(
+            "{base}[faults]\n[[faults.partition]]\nkind = \"bipartition\"\naxis = \"z\"\n\
+             coord = 0.5\nat = 0\n"
+        );
+        assert!(ScenarioSpec::from_toml(&bad_axis).is_err());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! metrics, fault grid axes, and the events × faults exclusion.
 
 use laacad_scenario::{
-    run_scenario, CampaignSpec, CrashSpec, DelaySpec, EventAction, EventSpec, FaultSpec,
-    ScenarioSpec,
+    run_scenario, BackoffSpec, CampaignSpec, CrashSpec, DelaySpec, EventAction, EventSpec,
+    FaultSpec, PartitionKindSpec, PartitionSpec, ScenarioSpec,
 };
 
 fn faulty_spec(name: &str, loss: f64) -> ScenarioSpec {
@@ -139,4 +139,119 @@ fn fault_axes_without_faults_section_fail_cleanly() {
     campaign.grid.loss = vec![0.1];
     let err = campaign.expand().unwrap_err();
     assert!(err.to_string().contains("[faults]"), "{err}");
+}
+
+#[test]
+fn partition_heal_recovers_coverage_to_baseline() {
+    let mut spec = faulty_spec("heal", 0.0);
+    {
+        let f = spec.laacad.faults.as_mut().unwrap();
+        f.partition = vec![PartitionSpec {
+            kind: PartitionKindSpec::Bipartition {
+                axis: 'x',
+                coord: 0.5,
+            },
+            at: 10,
+            heal_at: Some(150),
+        }];
+        f.probe_every = 8;
+    }
+    let out = run_scenario(&spec, 5).unwrap();
+    let f = out.faults.as_ref().expect("fault metrics present");
+
+    // The probes observed the open window and measured its floor…
+    let floor = f
+        .partition_coverage_floor
+        .expect("probes ran during the partition window");
+    assert!((0.0..=1.0).contains(&floor));
+    // …and the recovery time from heal to last movement is reported.
+    let recovery = f.heal_recovery_ticks.expect("the partition healed");
+    assert!(recovery > 0, "nodes must keep adjusting after the heal");
+
+    // The acceptance criterion: after the heal, coverage recovers to
+    // the fault-free baseline (within the evaluation's sampling noise).
+    assert!(
+        out.coverage.covered_fraction >= f.baseline_coverage - 0.02,
+        "final coverage {} did not recover to baseline {}",
+        out.coverage.covered_fraction,
+        f.baseline_coverage
+    );
+    assert_eq!(f.protocol.corrupted, 0);
+    assert!(f.protocol.partition_dropped > 0, "the partition must bite");
+
+    // Determinism holds with partitions + probes in play.
+    let again = run_scenario(&spec, 5).unwrap();
+    assert_eq!(out, again);
+}
+
+#[test]
+fn validated_corruption_quarantines_and_reports() {
+    let mut spec = faulty_spec("byzantine", 0.0);
+    {
+        let f = spec.laacad.faults.as_mut().unwrap();
+        f.corruption_rate = 0.15;
+    }
+    let out = run_scenario(&spec, 9).unwrap();
+    let f = out.faults.as_ref().unwrap();
+    assert!(
+        f.protocol.corrupted > 0,
+        "corruption knob must mutate hellos"
+    );
+    assert!(f.quarantined > 0, "validation must catch liars");
+    assert_eq!(f.corrupted_accepted, 0, "validated runs absorb no lies");
+    assert!(
+        !out.warnings.iter().any(|w| w.contains("corrupted")),
+        "validated corruption is handled, not warned about: {:?}",
+        out.warnings
+    );
+
+    // The new counters ride the JSONL serialization.
+    let line = out.to_value();
+    let ft = line.get("faults").unwrap();
+    assert!(ft.get("quarantined").is_some());
+    assert!(ft.get("protocol").unwrap().get("corrupted").is_some());
+}
+
+#[test]
+fn unvalidated_corruption_surfaces_divergence_warning() {
+    let mut spec = faulty_spec("gullible", 0.0);
+    {
+        let f = spec.laacad.faults.as_mut().unwrap();
+        f.corruption_rate = 0.2;
+        f.corruption_validate = false;
+    }
+    let out = run_scenario(&spec, 9).unwrap();
+    let f = out.faults.as_ref().unwrap();
+    assert!(f.corrupted_accepted > 0, "validation off must absorb lies");
+    assert_eq!(f.quarantined, 0);
+    assert!(
+        out.warnings
+            .iter()
+            .any(|w| w.contains("corrupted payloads were accepted")),
+        "divergence must be reported, not silent: {:?}",
+        out.warnings
+    );
+}
+
+#[test]
+fn adaptive_backoff_and_drift_run_through_the_scenario_layer() {
+    let mut spec = faulty_spec("adaptive", 0.1);
+    {
+        let f = spec.laacad.faults.as_mut().unwrap();
+        f.backoff = BackoffSpec::Adaptive {
+            cap: 64,
+            jitter: 0.3,
+        };
+        f.drift_rate = 0.05;
+        f.drift_skew = 2;
+    }
+    let a = run_scenario(&spec, 4).unwrap();
+    let b = run_scenario(&spec, 4).unwrap();
+    assert_eq!(a, b, "adaptive backoff + drift must stay deterministic");
+    let f = a.faults.as_ref().unwrap();
+    assert!(
+        f.protocol.rtt_samples > 0,
+        "acks must feed the RTT estimator"
+    );
+    assert!(a.coverage.covered_fraction > 0.9);
 }

@@ -51,6 +51,7 @@ fn result_bytes(spec: &ScenarioSpec, seed: u64, outcome: ScenarioOutcome) -> (St
             gamma: cell.gamma,
             loss: cell.loss,
             delay: cell.delay,
+            corruption: cell.corruption,
         },
         outcome: Ok(outcome),
     }];

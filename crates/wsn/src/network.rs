@@ -203,6 +203,21 @@ impl Network {
         }
     }
 
+    /// Repositions a node **without** touching odometry, maintaining the
+    /// spatial index, and returns the previous position. The substrate
+    /// for belief-perturbed evaluations (a node computing its local rule
+    /// under forged neighbor claims): callers apply the claimed
+    /// positions, compute, then restore the returned truth — the round
+    /// trip leaves [`Network::total_distance_moved`] untouched.
+    pub fn override_position(&mut self, id: NodeId, target: Point) -> Point {
+        let old = self.positions[id.0];
+        self.positions[id.0] = target;
+        if !self.grid.relocate(id.0, old, target) {
+            self.rebuild_grid();
+        }
+        old
+    }
+
     /// Sets a node's sensing range.
     ///
     /// # Panics
